@@ -1,0 +1,72 @@
+"""Ablation: the INT8 quantization crossover, edge vs datacenter.
+
+§3.3 contrasts the Orin result ("quantization makes small models
+slower") with Dettmers et al.'s A100 result ("INT8 speeds up models
+above ~13B").  Both fall out of one kernel-cost model once the GPU's
+``int8_tensor_core_gemm`` capability is flipped: the Orin-era
+bitsandbytes falls back to dequantize-then-FP16, paying per *weight*;
+the A100 runs native igemmlt, paying per *activation* — a cost that
+amortises with model size.
+"""
+
+from conftest import N_RUNS
+
+from repro.engine import GenerationSpec, ServingEngine
+from repro.errors import OutOfMemoryError
+from repro.hardware import get_device
+from repro.models import get_model
+from repro.quant.dtypes import Precision
+from repro.reporting import format_table
+
+MODELS = ("phi2", "llama", "mistral", "deepq")
+GEN = GenerationSpec(32, 64)
+
+
+def _latency(device_name, model, precision):
+    try:
+        eng = ServingEngine(get_device(device_name), get_model(model), precision)
+    except OutOfMemoryError:
+        return None
+    return eng.run(batch_size=16, gen=GEN, n_runs=N_RUNS).mean_latency_s
+
+
+def _build():
+    rows = []
+    for device in ("jetson-orin-agx-64gb", "a100-sxm-80gb"):
+        for m in MODELS:
+            fp16 = _latency(device, m, Precision.FP16)
+            int8 = _latency(device, m, Precision.INT8)
+            rows.append({
+                "device": device,
+                "model": get_model(m).name,
+                "params_b": round(get_model(m).n_params_billions, 1),
+                "fp16_latency_s": None if fp16 is None else round(fp16, 2),
+                "int8_latency_s": None if int8 is None else round(int8, 2),
+                "int8_speedup": None if (fp16 is None or int8 is None)
+                else round(fp16 / int8, 3),
+            })
+    return rows
+
+
+def test_a100_int8_crossover(benchmark, emit):
+    rows = benchmark.pedantic(_build, rounds=1, iterations=1)
+    emit(
+        "ablation_a100_crossover",
+        format_table(rows, title="INT8 speedup over FP16: edge vs A100 (bs=16, sl=96)"),
+        rows,
+    )
+
+    speedup = {(r["device"], r["model"]): r["int8_speedup"] for r in rows}
+
+    # Edge: INT8 always a slowdown where FP16 fits.
+    for m in ("MS-Phi2", "Llama3", "Mistral-Base"):
+        assert speedup[("jetson-orin-agx-64gb", m)] < 0.9
+
+    # A100: small model gains nothing; big models gain clearly.
+    assert speedup[("a100-sxm-80gb", "MS-Phi2")] < 1.05
+    assert speedup[("a100-sxm-80gb", "Mistral-Base")] > 1.1
+    assert speedup[("a100-sxm-80gb", "Deepseek-Qwen")] > 1.1
+
+    # The speedup grows with model size on the A100 (the crossover).
+    a100 = [speedup[("a100-sxm-80gb", get_model(m).name)] for m in MODELS]
+    assert a100 == sorted(a100)

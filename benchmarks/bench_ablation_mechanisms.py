@@ -1,0 +1,164 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation toggles one mechanism and quantifies its contribution:
+
+1. DynamicCache vs StaticCache — the concat-churn memory overhead.
+2. Eager-attention score buffers — the Phi-2 OOM mechanism.
+3. Allocator GC threshold — fragmentation control under growing streams.
+4. GQA expansion traffic — the long-context latency collapse.
+"""
+
+from conftest import N_RUNS
+
+from repro.engine import EngineCostParams, GenerationSpec, ServingEngine
+from repro.engine.executor import BatchExecutor
+from repro.engine.kernels import StepTimer
+from repro.engine.request import BatchRequest
+from repro.engine.state import EngineState
+from repro.hardware import get_device
+from repro.memsys.allocator import CachingAllocator
+from repro.models import get_model
+from repro.quant.dtypes import Precision
+from repro.reporting import format_table
+from repro.sim import Environment
+from repro.units import gib
+
+
+def test_dynamic_vs_static_kv_cache_memory(benchmark, emit):
+    def build():
+        rows = []
+        for mode in ("dynamic", "static"):
+            eng = ServingEngine(
+                get_device("jetson-orin-agx-64gb"), get_model("llama"),
+                Precision.FP16, kv_mode=mode,
+            )
+            res = eng.run(batch_size=32, gen=GenerationSpec(256, 768),
+                          n_runs=N_RUNS)
+            rows.append({
+                "kv_mode": mode,
+                "ram_gb": round(res.model_gb + res.incremental_gb, 2),
+                "latency_s": round(res.mean_latency_s, 2),
+            })
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("ablation_kv_cache_mode",
+         format_table(rows, title="Ablation — DynamicCache vs StaticCache (Llama, sl=1024)"),
+         rows)
+    dyn, sta = rows[0], rows[1]
+    assert dyn["ram_gb"] > sta["ram_gb"] * 1.05  # churn costs real memory
+    assert dyn["latency_s"] > sta["latency_s"]   # and concat copies cost time
+
+
+def _phi2_peak(eager: bool, gen: GenerationSpec):
+    from repro.models.footprint import weight_bytes
+
+    device = get_device("jetson-orin-agx-64gb")
+    allocator = CachingAllocator(device.memory.usable_bytes)
+    arch = get_model("phi2")
+    allocator.alloc(weight_bytes(arch, Precision.FP16), tag="weights")
+    timer = StepTimer(arch, device, Precision.FP16)
+    execu = BatchExecutor(timer, allocator, eager_score_buffers=eager,
+                          workspace_bytes=int(0.45e9))
+    env = Environment()
+    res = env.run(until=env.process(
+        execu.run(env, BatchRequest(batch_size=32, gen=gen), EngineState())
+    ))
+    return res.oom, allocator.stats.peak_reserved / 1e9
+
+
+def test_eager_score_buffers_cause_phi2_oom(benchmark, emit):
+    def build():
+        rows = []
+        for sl, gen in ((256, GenerationSpec(64, 192)), (512, GenerationSpec(128, 384))):
+            for eager in (True, False):
+                oom, peak = _phi2_peak(eager, gen)
+                rows.append({"seq_len": sl, "eager_buffers": eager,
+                             "oom": oom, "peak_gb": round(peak, 1)})
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("ablation_eager_buffers",
+         format_table(rows, title="Ablation — Phi-2 eager attention buffers"),
+         rows)
+    cell = {(r["seq_len"], r["eager_buffers"]): r for r in rows}
+    # With the legacy eager path Phi-2 dies at sl=512, as the paper saw;
+    # with SDPA-style attention it would have survived comfortably.
+    assert cell[(512, True)]["oom"]
+    assert not cell[(512, False)]["oom"]
+    assert not cell[(256, True)]["oom"]
+    # At sl=256 the buffers already dominate the non-weight footprint.
+    weights_gb = 5.56
+    eager_extra = cell[(256, True)]["peak_gb"] - weights_gb
+    sdpa_extra = cell[(256, False)]["peak_gb"] - weights_gb
+    assert eager_extra > 1.3 * sdpa_extra
+
+
+def test_allocator_gc_bounds_fragmentation(benchmark, emit):
+    from repro.memsys.kvcache import KVCache, KVCacheSpec
+
+    def build():
+        rows = []
+        spec = KVCacheSpec(n_layers=32, kv_heads=8, head_dim=128)
+        for gc in (None, 0.5):
+            alloc = CachingAllocator(gib(48), gc_threshold=gc)
+            kv = KVCache(spec, alloc, batch_size=32)
+            kv.prefill(256)
+            for _ in range(768):
+                kv.append_token()
+            rows.append({
+                "gc_threshold": "off" if gc is None else gc,
+                "live_gb": round(kv.live_bytes / 1e9, 2),
+                "peak_reserved_gb": round(alloc.stats.peak_reserved / 1e9, 2),
+                "reclaims": alloc.stats.n_reclaims,
+            })
+            kv.release()
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("ablation_allocator_gc",
+         format_table(rows, title="Ablation — allocator GC vs fragmentation (Llama KV, sl=1024)"),
+         rows)
+    off, on = rows[0], rows[1]
+    assert on["peak_reserved_gb"] < off["peak_reserved_gb"]
+    assert on["reclaims"] > 0
+
+
+def test_gqa_expansion_traffic_drives_long_context_cost(benchmark, emit):
+    def build():
+        device = get_device("jetson-orin-agx-64gb")
+        arch = get_model("llama")
+        timer = StepTimer(arch, device, Precision.FP16, EngineCostParams())
+        rows = []
+        for context in (96, 1024):
+            with_exp = timer.decode_step(32, context).seconds
+            # Compare against an MHA-equivalent traffic model by zeroing
+            # the expansion through a spoofed counts object.
+            from repro.models.flops import decode_step_counts
+
+            counts = decode_step_counts(arch, 32, context, timer.weight_bytes)
+            no_exp = timer._combine(
+                type(counts)(
+                    flops=counts.flops,
+                    weight_bytes_read=counts.weight_bytes_read,
+                    kv_bytes_read=counts.kv_bytes_read,
+                    kv_bytes_written=counts.kv_bytes_written,
+                    kv_expand_bytes=0.0,
+                    activation_bytes=counts.activation_bytes,
+                ),
+                32, 0.0, False,
+            ).seconds
+            rows.append({
+                "context": context,
+                "step_ms_with_expansion": round(with_exp * 1e3, 1),
+                "step_ms_without": round(no_exp * 1e3, 1),
+                "overhead": round(with_exp / no_exp - 1, 3),
+            })
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("ablation_gqa_expansion",
+         format_table(rows, title="Ablation — repeat_kv expansion traffic (Llama decode step)"),
+         rows)
+    short, long = rows[0], rows[1]
+    assert long["overhead"] > 4 * max(short["overhead"], 0.01)

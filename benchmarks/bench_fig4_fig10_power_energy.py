@@ -1,0 +1,91 @@
+"""Figures 4 & 10: power load and energy vs batch size per precision.
+
+MAXN, sl=96, batch sizes 1-128, precisions FP16/INT8/INT4 per model
+(skipping cells the board cannot fit).  Shape checks encode §3.3 and
+§A.3: INT8 draws the least power (it keeps only ~60% of the GPU busy),
+INT4 draws the most and wastes the most energy, and the FP16-vs-INT8
+energy ordering is model-dependent but always close.
+"""
+
+from conftest import N_RUNS
+from _helpers import sweep_rows
+
+from repro.core.sweeps import batch_quant_power_sweep
+from repro.quant.dtypes import Precision
+from repro.reporting import ascii_lines, format_table
+
+BATCH_SIZES = (1, 4, 16, 64, 128)
+MODELS = ("phi2", "llama", "mistral", "deepq")
+
+
+def _build():
+    out = {}
+    for m in MODELS:
+        out[m] = batch_quant_power_sweep(m, batch_sizes=BATCH_SIZES, n_runs=N_RUNS)
+    return out
+
+
+def _rows(data):
+    rows = []
+    for m, by_prec in data.items():
+        for prec, results in by_prec.items():
+            for r in results:
+                base = sweep_rows([r], "batch_size", lambda x: x.batch_size)[0]
+                base["precision"] = prec.value
+                rows.append(base)
+    return rows
+
+
+def test_fig4_fig10_power_energy(benchmark, emit):
+    data = benchmark.pedantic(_build, rounds=1, iterations=1)
+    rows = _rows(data)
+
+    panels = [format_table(
+        rows, title="Fig 4/10 — power & energy vs batch size x precision",
+        columns=["model", "precision", "batch_size", "power_w", "energy_j",
+                 "latency_s"],
+    )]
+    for m in ("Llama3", "Mistral-Base"):
+        series = {}
+        for prec in ("fp16", "int8", "int4"):
+            series[prec] = [
+                next((r["power_w"] for r in rows
+                      if r["model"] == m and r["precision"] == prec
+                      and r["batch_size"] == bs), None)
+                for bs in BATCH_SIZES
+            ]
+        panels.append(ascii_lines(series, [str(b) for b in BATCH_SIZES],
+                                  title=f"{m} power (W) vs batch size"))
+    emit("fig4_fig10_power_energy", "\n\n".join(panels), rows)
+
+    cell = {(r["model"], r["precision"], r["batch_size"]): r for r in rows}
+
+    for model in ("MS-Phi2", "Llama3", "Mistral-Base"):
+        for bs in BATCH_SIZES:
+            fp16 = cell[(model, "fp16", bs)]
+            int8 = cell[(model, "int8", bs)]
+            int4 = cell[(model, "int4", bs)]
+            # INT8 draws the least power; INT4 the most (paper: INT8 uses
+            # ~60% of the GPU, INT4 saturates it).
+            assert int8["power_w"] < fp16["power_w"], (model, bs)
+            assert int8["power_w"] < int4["power_w"], (model, bs)
+            # INT4 is the energy loser at every batch size.
+            assert int4["energy_j"] > fp16["energy_j"], (model, bs)
+            assert int4["energy_j"] > int8["energy_j"], (model, bs)
+            # FP16 and INT8 energy stay within a factor band (the paper
+            # reports them comparable-to-favourable for INT8; our INT8
+            # latency penalty pushes small models toward the high end —
+            # see EXPERIMENTS.md).
+            ratio = int8["energy_j"] / fp16["energy_j"]
+            assert 0.4 < ratio < 2.0, (model, bs, ratio)
+
+    # Deepseek: FP16 cannot run; INT8 must beat INT4 on energy (§A.3).
+    for bs in BATCH_SIZES:
+        assert cell[("Deepseek-Qwen", "fp16", bs)]["energy_j"] is None
+        assert cell[("Deepseek-Qwen", "int8", bs)]["energy_j"] < \
+            cell[("Deepseek-Qwen", "int4", bs)]["energy_j"]
+
+    # Power grows with batch size for FP16 (more compute saturation).
+    for model in ("Llama3", "Mistral-Base"):
+        powers = [cell[(model, "fp16", bs)]["power_w"] for bs in BATCH_SIZES]
+        assert powers[-1] > powers[0]

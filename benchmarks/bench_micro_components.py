@@ -1,0 +1,88 @@
+"""Microbenchmarks of the library's own hot paths.
+
+Not a paper artifact — these track the simulator's performance so
+regressions in the allocator, DES kernel, quantizers or the numpy
+transformer are caught by ``pytest-benchmark``'s timing machinery.
+"""
+
+import numpy as np
+import pytest
+
+from repro.memsys.allocator import CachingAllocator
+from repro.models.architecture import TransformerArchitecture
+from repro.nn import NumpyTransformer
+from repro.quant import LLMInt8Linear, blockwise_quantize
+from repro.sim import Environment
+from repro.units import gib, mib
+
+
+def test_allocator_churn_throughput(benchmark):
+    def churn():
+        a = CachingAllocator(gib(8), gc_threshold=0.35, dead_cap_bytes=int(1e9))
+        h = a.alloc(mib(24))
+        for step in range(200):
+            h = a.realloc_grow(h, mib(24) + step * 65536)
+        return a.stats.n_allocs
+
+    assert benchmark(churn) == 201
+
+
+def test_des_event_throughput(benchmark):
+    def run():
+        env = Environment()
+
+        def ping(n):
+            for _ in range(n):
+                yield env.timeout(1.0)
+
+        for _ in range(10):
+            env.process(ping(500))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 500.0
+
+
+def test_llm_int8_matmul(benchmark, rng):
+    w = (rng.standard_normal((512, 1024)) * 0.02).astype(np.float32)
+    x = rng.standard_normal((32, 1024)).astype(np.float32)
+    layer = LLMInt8Linear(w)
+    out = benchmark(layer.forward, x)
+    assert out.shape == (32, 512)
+
+
+def test_nf4_quantization(benchmark, rng):
+    w = (rng.standard_normal((1024, 1024)) * 0.02).astype(np.float32)
+    q = benchmark(blockwise_quantize, w)
+    assert q.codes.shape[0] == 1024 * 1024 // 64
+
+
+def test_numpy_transformer_decode_step(benchmark):
+    arch = TransformerArchitecture(
+        name="bench", hf_id="b", vocab_size=512, hidden_size=128,
+        n_layers=4, n_heads=8, n_kv_heads=4, head_dim=16,
+        intermediate_size=256,
+    )
+    model = NumpyTransformer(arch, seed=0)
+    prompts = np.arange(32).reshape(4, 8) % 512
+
+    def gen():
+        return model.generate(prompts, 4)
+
+    assert benchmark(gen).shape == (4, 4)
+
+
+def test_full_experiment_simulation(benchmark):
+    """One complete measured configuration end to end."""
+    from repro.core import ExperimentSpec, run_experiment
+    from repro.engine.request import GenerationSpec
+
+    spec = ExperimentSpec(model="llama", batch_size=32,
+                          gen=GenerationSpec(32, 64), n_runs=2)
+    res = benchmark.pedantic(run_experiment, args=(spec,), rounds=1, iterations=1)
+    assert not res.oom
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)

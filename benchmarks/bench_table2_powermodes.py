@@ -1,0 +1,33 @@
+"""Table 2: the power-mode resource configurations.
+
+Emits the mode table, validates it against the paper's values, and
+round-trips it through the nvpmodel config format.
+"""
+
+from repro.power import PAPER_POWER_MODES, parse_nvpmodel_conf, render_nvpmodel_conf
+from repro.reporting import format_table
+
+
+def _build():
+    return [m.as_row() for m in PAPER_POWER_MODES.values()]
+
+
+def test_table2_power_modes(benchmark, emit):
+    rows = benchmark(_build)
+    emit(
+        "table2_powermodes",
+        format_table(rows, title="Table 2 — power mode configurations"),
+        rows,
+    )
+
+    by_mode = {r["mode"]: r for r in rows}
+    assert by_mode["MAXN"] == {
+        "mode": "MAXN", "gpu_freq_mhz": 1301, "cpu_freq_ghz": 2.2,
+        "cpu_cores_online": 12, "mem_freq_mhz": 3199,
+    }
+    assert by_mode["H"]["mem_freq_mhz"] == 665
+    assert by_mode["F"]["cpu_cores_online"] == 4
+
+    # Round-trip through the nvpmodel-conf format is lossless.
+    parsed = parse_nvpmodel_conf(render_nvpmodel_conf(PAPER_POWER_MODES.values()))
+    assert [m.name for m in parsed] == list(PAPER_POWER_MODES)

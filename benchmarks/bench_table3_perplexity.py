@@ -1,0 +1,51 @@
+"""Table 3: perplexity per model, precision and dataset.
+
+The FP32/FP16 anchors come from the paper (not derivable offline); the
+INT8/INT4 cells are *predictions* of the real-quantizer error pipeline,
+and the OOM cells are decided by the memory model.  Checks: every
+non-OOM cell within 3% of the paper; OOM pattern identical.
+"""
+
+import pytest
+
+from repro.calibration import paperdata
+from repro.hardware import get_device
+from repro.perplexity import perplexity_table
+from repro.reporting import format_table
+
+
+def _build():
+    return perplexity_table(get_device("jetson-orin-agx-64gb"))
+
+
+def test_table3_perplexity(benchmark, emit):
+    rows = benchmark.pedantic(_build, rounds=1, iterations=1)
+    emit(
+        "table3_perplexity",
+        format_table(rows, title="Table 3 — perplexity by precision (OOM = does not fit)"),
+        rows,
+    )
+
+    by_model = {r["model"]: r for r in rows}
+    worst = 0.0
+    for ds in ("wikitext2", "longbench"):
+        for model, cells in paperdata.TABLE3_PERPLEXITY[ds].items():
+            for prec, paper_val in cells.items():
+                ours = by_model[model][f"{ds}_{prec}"]
+                if paper_val is None:
+                    assert ours is None, (ds, model, prec)
+                    continue
+                assert ours is not None, (ds, model, prec)
+                dev = abs(ours / paper_val - 1.0)
+                worst = max(worst, dev)
+                assert dev <= 0.03, (ds, model, prec, ours, paper_val)
+    print(f"worst perplexity deviation vs paper: {worst:.1%}")
+
+
+def test_quantization_degrades_monotonically(benchmark):
+    rows = benchmark.pedantic(_build, rounds=1, iterations=1)
+    for r in rows:
+        for ds in ("wikitext2", "longbench"):
+            vals = [r[f"{ds}_{p}"] for p in ("fp32", "fp16", "int8", "int4")]
+            present = [v for v in vals if v is not None]
+            assert present == sorted(present)

@@ -1,0 +1,36 @@
+"""Table 4 / Figures 1 & 6: batch-size sweep on WikiText2.
+
+MAXN, sl=96 (32 input + 64 output), FP16 (INT8 for Deepseek-Qwen),
+batch sizes 1-128.  Regenerates RAM / latency / throughput per model
+and compares each cell with the paper.
+"""
+
+from _helpers import assert_latency_band, perf_report, run_batch_sweep
+from conftest import N_RUNS
+
+from repro.calibration import paperdata
+
+
+def test_table4_fig1_fig6(benchmark, emit):
+    rows = benchmark.pedantic(
+        run_batch_sweep, args=("wikitext2", N_RUNS), rounds=1, iterations=1
+    )
+    emit(
+        "table4_batchsize_wikitext",
+        perf_report("Table 4 — batch-size sweep, WikiText2 (MaxN, sl=96)",
+                    rows, paperdata.TABLE4_BATCH_WIKITEXT, "batch_size"),
+        rows,
+    )
+
+    # Shape assertions (§3.1): throughput rises with batch size,
+    # latency rises, memory rises; nothing OOMs.
+    for model in paperdata.MODELS:
+        mine = [r for r in rows if r["model"] == model]
+        mine.sort(key=lambda r: r["batch_size"])
+        tps = [r["throughput_tok_s"] for r in mine]
+        rams = [r["ram_gb"] for r in mine]
+        assert all(v is not None for v in tps)
+        assert tps == sorted(tps)
+        assert rams == sorted(rams)
+
+    assert_latency_band(rows, paperdata.TABLE4_BATCH_WIKITEXT, "batch_size")

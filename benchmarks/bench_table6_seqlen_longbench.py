@@ -1,0 +1,44 @@
+"""Table 6 / Figures 2 & 8: sequence-length sweep on LongBench.
+
+MAXN, bs=32, sl in {128, 256, 512, 1024} split paper-style into
+input+output tokens.  The headline mechanism checks: throughput falls
+with sequence length (memory-bound decode), KV memory grows, and Phi-2
+OOMs for sl >= 512 exactly as the paper reports.
+"""
+
+from _helpers import assert_latency_band, perf_report, run_seqlen_sweep
+from conftest import N_RUNS
+
+from repro.calibration import paperdata
+
+
+def test_table6_fig2_fig8(benchmark, emit):
+    rows = benchmark.pedantic(
+        run_seqlen_sweep, args=("longbench", N_RUNS), rounds=1, iterations=1
+    )
+    emit(
+        "table6_seqlen_longbench",
+        perf_report("Table 6 — sequence-length sweep, LongBench (MaxN, bs=32)",
+                    rows, paperdata.TABLE6_SEQLEN_LONGBENCH, "seq_len"),
+        rows,
+    )
+
+    # Phi-2 OOM boundary (the paper's most distinctive memory result).
+    phi = {r["seq_len"]: r for r in rows if r["model"] == "MS-Phi2"}
+    assert phi[128]["latency_s"] is not None
+    assert phi[256]["latency_s"] is not None
+    assert phi[512]["latency_s"] is None
+    assert phi[1024]["latency_s"] is None
+
+    # Throughput decreases monotonically for every surviving model.
+    for model in ("Llama3", "Mistral-Base", "Deepseek-Qwen"):
+        tps = [r["throughput_tok_s"] for r in rows if r["model"] == model]
+        assert all(v is not None for v in tps)
+        assert tps == sorted(tps, reverse=True)
+
+    # Memory grows with sequence length (KV cache + churn).
+    for model in ("Llama3", "Mistral-Base", "Deepseek-Qwen"):
+        rams = [r["ram_gb"] for r in rows if r["model"] == model]
+        assert rams == sorted(rams)
+
+    assert_latency_band(rows, paperdata.TABLE6_SEQLEN_LONGBENCH, "seq_len")

@@ -1,0 +1,30 @@
+"""Table 7 / Figure 9: sequence-length sweep on WikiText2."""
+
+from _helpers import assert_latency_band, perf_report, run_seqlen_sweep
+from conftest import N_RUNS
+
+from repro.calibration import paperdata
+
+
+def test_table7_fig9(benchmark, emit):
+    rows = benchmark.pedantic(
+        run_seqlen_sweep, args=("wikitext2", N_RUNS), rounds=1, iterations=1
+    )
+    emit(
+        "table7_seqlen_wikitext",
+        perf_report("Table 7 — sequence-length sweep, WikiText2 (MaxN, bs=32)",
+                    rows, paperdata.TABLE7_SEQLEN_WIKITEXT, "seq_len"),
+        rows,
+    )
+
+    # Same OOM pattern as Table 6.
+    phi = {r["seq_len"]: r for r in rows if r["model"] == "MS-Phi2"}
+    assert phi[512]["latency_s"] is None and phi[1024]["latency_s"] is None
+
+    # Llama latency grows superlinearly with sequence length (KV concat
+    # churn + GQA expansion traffic): quadrupling sl from 256 to 1024
+    # must much more than quadruple latency.
+    llama = {r["seq_len"]: r for r in rows if r["model"] == "Llama3"}
+    assert llama[1024]["latency_s"] > 4.5 * llama[256]["latency_s"]
+
+    assert_latency_band(rows, paperdata.TABLE7_SEQLEN_WIKITEXT, "seq_len")

@@ -1,0 +1,61 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper, prints it in
+paper format, writes it (plus the paper-vs-ours comparison) under
+``benchmarks/results/``, and asserts the qualitative shape.
+
+The simulator is deterministic, so the paper's 5-run averaging protocol
+adds no information here; benches default to 2 measured runs per
+configuration to keep wall time short.  Override with the
+``REPRO_BENCH_RUNS`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Measured runs per configuration (paper: 5; the sim is deterministic).
+N_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "1"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """emit(name, text, rows=None): print + persist one artifact."""
+    from repro.reporting import write_csv
+
+    def _emit(name: str, text: str, rows: Sequence[Dict] = None) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        if rows:
+            write_csv(results_dir / f"{name}.csv", list(rows))
+
+    return _emit
+
+
+def run_result_rows(results) -> List[Dict]:
+    """RunResult list -> flat dict rows (OOM-aware)."""
+    rows = []
+    for r in results:
+        row = r.as_row()
+        if r.oom:
+            row["ram_gb"] = None
+            row["latency_s"] = None
+            row["throughput_tok_s"] = None
+            row["power_w"] = None
+            row["energy_j"] = None
+        else:
+            row["ram_gb"] = round(r.model_gb + r.incremental_gb, 2)
+        rows.append(row)
+    return rows

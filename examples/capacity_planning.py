@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Scenario: size a deployment before buying hardware.
+
+For each paper model and each Jetson in the family, find the largest
+feasible batch at the paper's default sequence length and the longest
+feasible context at a fixed batch — the feasibility envelope behind the
+paper's OOM cells, computed by searching the actual simulated engine.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.core.experiment import default_precision_for
+from repro.core.planner import max_batch_size, max_sequence_length
+from repro.reporting import format_table
+
+DEVICES = ("jetson-orin-nx-16gb", "jetson-orin-agx-32gb",
+           "jetson-orin-agx-64gb")
+MODELS = ("phi2", "llama", "mistral", "deepq")
+
+
+def main() -> None:
+    rows = []
+    for device in DEVICES:
+        for model in MODELS:
+            precision = default_precision_for(model)
+            bs = max_batch_size(model, precision, device=device, upper=512)
+            sl = (max_sequence_length(model, precision, device=device,
+                                      batch_size=8, upper=8192)
+                  if bs else None)
+            rows.append({
+                "device": device,
+                "model": model,
+                "precision": precision.value,
+                "max_batch@sl96": bs if bs is not None else "OOM",
+                "max_seqlen@bs8": sl if sl is not None else "OOM",
+            })
+    print(format_table(rows, title="feasibility envelope (simulated Orin family)"))
+    print("\n'OOM' rows: the model's weights alone exceed the board;")
+    print("compare the paper's Table 3 OOM cells for the 64GB flagship.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Scenario: will this model fit my board, and what does quantization cost?
+
+Given a model and a device, walks FP32 -> INT4 and reports, per
+precision: does it fit, projected RAM, latency, throughput, power,
+energy, and the predicted perplexity penalty (from the real-quantizer
+error pipeline behind Table 3).  Ends with the deployment matrix the
+paper's §3.3 motivates: memory savings are real, but on edge GPUs the
+latency moves the *wrong* way.
+
+Run:  python examples/quantization_planner.py [model] [device]
+"""
+
+import sys
+
+from repro.core.sweeps import quantization_sweep
+from repro.models import get_model
+from repro.perplexity.analytical import perplexity_cell
+from repro.hardware import get_device
+from repro.quant.dtypes import PRECISION_ORDER
+from repro.reporting import format_table
+
+
+def main(model: str = "llama", device: str = "jetson-orin-agx-64gb") -> None:
+    arch = get_model(model)
+    dev = get_device(device)
+    print(f"planning {arch.name} ({arch.n_params_billions:.1f}B) on {dev.name}\n")
+
+    runs = {r.precision: r for r in
+            quantization_sweep(model, device=device, n_runs=3)}
+
+    rows = []
+    for prec in PRECISION_ORDER:
+        r = runs[prec]
+        ppl = perplexity_cell(arch.name, prec, "wikitext2", device=dev)
+        if r.oom:
+            rows.append({"precision": str(prec), "fits": False, "ram_gb": None,
+                         "latency_s": None, "throughput_tok_s": None,
+                         "power_w": None, "ppl_wikitext2": ppl})
+            continue
+        rows.append({
+            "precision": str(prec),
+            "fits": True,
+            "ram_gb": round(r.model_gb + r.incremental_gb, 1),
+            "latency_s": round(r.mean_latency_s, 2),
+            "throughput_tok_s": round(r.throughput_tok_s, 1),
+            "power_w": round(r.median_power_w, 1),
+            "ppl_wikitext2": ppl,
+        })
+    print(format_table(rows, title="deployment matrix (bs=32, sl=96)"))
+
+    feasible = [p for p in PRECISION_ORDER if not runs[p].oom]
+    if not feasible:
+        print("\nNothing fits this board.")
+        return
+    fastest = min(feasible, key=lambda p: runs[p].mean_latency_s)
+    smallest = min(feasible, key=lambda p: runs[p].total_gb)
+    print(f"\nfastest precision that fits : {fastest}")
+    print(f"smallest footprint          : {smallest}")
+    if fastest is not smallest:
+        print("On this GPU quantization trades latency for memory — choose by")
+        print("which constraint binds (the paper's central §3.3 finding).")
+
+
+if __name__ == "__main__":
+    main(*(sys.argv[1:3] or ["llama"]))

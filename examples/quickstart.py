@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: measure one LLM serving configuration on a simulated Orin.
+
+Loads Llama-3.1-8B at FP16 onto a simulated Jetson Orin AGX 64GB,
+serves one batch configuration with the paper's measurement protocol
+(warm-up + averaged runs, 2-second jtop-style power sampling), and
+prints the metrics the paper reports: RAM, latency, token throughput,
+median power and trapezoid-integrated energy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GenerationSpec, Precision, ServingEngine, get_device, get_model
+from repro.reporting import format_table
+
+
+def main() -> None:
+    device = get_device("jetson-orin-agx-64gb")
+    model = get_model("llama")
+
+    print(f"device : {device.name}  ({device.memory.usable_bytes / 1e9:.1f} GB usable)")
+    print(f"model  : {model.name}  ({model.n_params_billions:.1f}B params, "
+          f"{model.n_layers} layers, GQA {model.gqa_ratio}:1)")
+
+    engine = ServingEngine(device, model, Precision.FP16)
+    print(f"loaded : {engine.tracker.model_bytes / 1e9:.2f} GB of weights\n")
+
+    rows = []
+    for bs in (1, 8, 32, 128):
+        result = engine.run(batch_size=bs, gen=GenerationSpec(32, 64), n_runs=3)
+        rows.append(result.as_row())
+    print(format_table(
+        rows,
+        columns=["batch_size", "ram_gb", "latency_s", "throughput_tok_s",
+                 "power_w", "energy_j"],
+        title="Llama-3.1-8B FP16 on Orin AGX 64GB (MaxN, sl=96)",
+    ))
+
+    print("\nLarger batches buy throughput at the cost of per-batch latency —")
+    print("the paper's headline batching trade-off (its Fig. 1).")
+
+
+if __name__ == "__main__":
+    main()

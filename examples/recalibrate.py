@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Regenerate the calibration constants from the paper's tables.
+
+Fits the engine cost parameters (bounded least squares over the latency
+columns of Tables 4 and 6) and the perplexity sensitivities (anchored on
+Table 3's INT4 column), prints the values currently frozen in
+``repro/calibration/constants.py`` next to the fresh fit, and reports
+fit quality.  Edit the constants file with the printed values to adopt
+a new fit.
+
+Run:  python examples/recalibrate.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.calibration.constants import CALIBRATED_COST_PARAMS, PPL_SENSITIVITY
+from repro.calibration.fitting import (
+    _latency_targets,
+    fit_cost_params,
+    fit_ppl_sensitivity,
+    predict_latency,
+)
+from repro.reporting import format_table
+
+
+def main() -> None:
+    print("fitting engine cost parameters against Tables 4 & 6...")
+    fitted = fit_cost_params()
+
+    names = ("kernel_floor_s", "host_step_s", "host_per_seq_s", "bw_scale",
+             "kv_traffic_scale", "int8_kv_penalty", "gemm_sat_tokens",
+             "flops_scale")
+    rows = [
+        {"parameter": n,
+         "frozen": f"{getattr(CALIBRATED_COST_PARAMS, n):.4g}",
+         "fresh_fit": f"{getattr(fitted, n):.4g}"}
+        for n in names
+    ]
+    rows.append({
+        "parameter": "int8_cycles_per_param",
+        "frozen": f"{CALIBRATED_COST_PARAMS.quant.int8_cycles_per_param:.4g}",
+        "fresh_fit": f"{fitted.quant.int8_cycles_per_param:.4g}",
+    })
+    print(format_table(rows, title="engine cost parameters"))
+
+    errs = []
+    for model, bs, inp, outp, lat in _latency_targets():
+        pred = predict_latency(fitted, model, bs, inp, outp, stride=8)
+        errs.append(abs(math.log(pred / lat)))
+    print(f"\nfit quality: rms log-error {float(np.sqrt(np.mean(np.square(errs)))):.3f}, "
+          f"median abs {float(np.median(errs)):.3f} "
+          f"over {len(errs)} published latencies")
+
+    print("\nfitting perplexity sensitivities against Table 3...")
+    sens = fit_ppl_sensitivity()
+    rows = [
+        {"model": m, "frozen": PPL_SENSITIVITY[m], "fresh_fit": round(s, 4)}
+        for m, s in sens.items()
+    ]
+    print(format_table(rows, title="perplexity sensitivities"))
+
+
+if __name__ == "__main__":
+    main()

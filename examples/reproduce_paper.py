@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Reproduce the whole paper in one run.
+
+Executes every experiment (Tables 1-7, Figures 1-11) on the simulated
+Orin AGX 64GB, prints each artifact, and writes CSVs plus a summary
+under ``examples/output/``.  This is the same machinery the benchmark
+suite uses, packaged as a single script.
+
+Run:  python examples/reproduce_paper.py [--quick]
+      --quick uses 1 measured run per configuration instead of 5.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.core.study import run_full_study
+from repro.models import footprint_table, PAPER_MODELS
+from repro.reporting import format_table, write_csv
+
+OUT = Path(__file__).parent / "output"
+
+
+def main(quick: bool = False) -> None:
+    n_runs = 1 if quick else 5
+    print(f"running the full study (n_runs={n_runs}) — this simulates "
+          f"~300 measured configurations...\n")
+    study = run_full_study(n_runs=n_runs, progress=True)
+    OUT.mkdir(exist_ok=True)
+
+    print("\n" + format_table(study.table1_footprints,
+                              title="Table 1 — footprints (GB)"))
+    write_csv(OUT / "table1.csv", study.table1_footprints)
+
+    print("\n" + format_table(study.table3_perplexity,
+                              title="Table 3 — perplexity"))
+    write_csv(OUT / "table3.csv", study.table3_perplexity)
+
+    for model, by_wl in study.batch_sweeps.items():
+        rows = [r.as_row() for r in by_wl["wikitext2"]]
+        print("\n" + format_table(rows, title=f"batch sweep — {model} (WikiText2)"))
+        write_csv(OUT / f"batch_{model}.csv", rows)
+
+    for model, by_wl in study.seqlen_sweeps.items():
+        rows = [r.as_row() for r in by_wl["longbench"]]
+        print("\n" + format_table(rows, title=f"seq-len sweep — {model} (LongBench)"))
+        write_csv(OUT / f"seqlen_{model}.csv", rows)
+
+    for model, runs in study.quant_sweeps.items():
+        rows = [r.as_row() for r in runs]
+        print("\n" + format_table(rows, title=f"quantization sweep — {model}"))
+        write_csv(OUT / f"quant_{model}.csv", rows)
+
+    for model, runs in study.power_mode_sweeps.items():
+        rows = [r.as_row() for r in runs]
+        print("\n" + format_table(rows, title=f"power modes — {model}"))
+        write_csv(OUT / f"powermodes_{model}.csv", rows)
+
+    print(f"\nall artifacts written under {OUT}/")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

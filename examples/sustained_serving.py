@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Scenario: is the headline throughput sustainable, thermally?
+
+The paper measures short sessions; a deployed box serves for hours.
+This example runs a 10-minute simulated serving session for Mistral-24B
+on the Orin at MAXN and at power mode A, with a lumped thermal model of
+a warm enclosure, and shows MAXN throttling away its advantage while
+mode A holds steady — the §4 future-work question, answered with the
+same cost model that reproduces the paper.
+
+Run:  python examples/sustained_serving.py
+"""
+
+from repro.engine import GenerationSpec, run_sustained
+from repro.hardware import get_device
+from repro.hardware.thermal import ThermalModel
+from repro.models import get_model
+from repro.power.modes import apply_power_mode, get_power_mode
+from repro.quant.dtypes import Precision
+from repro.reporting import ascii_lines, format_table
+
+
+def session(mode: str):
+    device = get_device("jetson-orin-agx-64gb")
+    apply_power_mode(device, get_power_mode(mode))
+    thermal = ThermalModel(ambient_c=42.0, r_thermal_c_per_w=1.5, tau_s=60.0,
+                           throttle_temp_c=88.0, resume_temp_c=82.0,
+                           throttle_freq_ratio=0.55)
+    return run_sustained(device, get_model("mistral"), Precision.FP16,
+                         duration_s=600.0, batch_size=32,
+                         gen=GenerationSpec(32, 64), thermal=thermal)
+
+
+def main() -> None:
+    results = {mode: session(mode) for mode in ("MAXN", "A")}
+
+    rows = []
+    for mode, samples in results.items():
+        tps = [s.throughput_tok_s for s in samples]
+        rows.append({
+            "mode": mode,
+            "batches": len(samples),
+            "first_tp": round(tps[0], 1),
+            "last_tp": round(tps[-1], 1),
+            "mean_tp": round(sum(tps) / len(tps), 1),
+            "peak_temp_c": round(max(s.temp_c for s in samples), 1),
+            "throttled_frac": round(
+                sum(s.throttled for s in samples) / len(samples), 2),
+        })
+    print(format_table(rows, title="10-minute sustained serving, Mistral-24B FP16"))
+
+    n = 8
+    series = {}
+    for mode, samples in results.items():
+        stride = max(1, len(samples) // n)
+        series[mode] = [round(s.throughput_tok_s, 1)
+                        for s in samples[::stride]][:n]
+    labels = [f"{i * 600 // n}s" for i in range(n)]
+    print()
+    print(ascii_lines(series, labels, title="throughput over the session (tok/s)"))
+
+    maxn, a = rows[0], rows[1]
+    print(f"\nMAXN opens {maxn['first_tp'] / a['first_tp']:.2f}x faster but ")
+    print(f"spends {maxn['throttled_frac']:.0%} of the session throttled; the")
+    print("sustained averages tell the real story for deployment.")
+
+
+if __name__ == "__main__":
+    main()

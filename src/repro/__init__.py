@@ -1,0 +1,43 @@
+"""repro — a simulation-based reproduction of *"Understanding the
+Performance and Power of LLM Inferencing on Edge Accelerators"*
+(Arya & Simmhan, PAISE/IPDPS 2025).
+
+The library models the paper's entire experimental stack — the Jetson
+Orin AGX 64GB board (CPU/GPU/LPDDR5, power modes), the PyTorch + HF
+serving runtime (prefill/decode roofline, caching allocator, KV cache),
+bitsandbytes quantization, the WikiText2/LongBench workloads and the
+jtop measurement methodology — and re-runs every table and figure of
+the paper against the simulation.
+
+Quick start::
+
+    from repro import ServingEngine, GenerationSpec, get_device, get_model, Precision
+
+    engine = ServingEngine(get_device("jetson-orin-agx-64gb"),
+                           get_model("llama"), Precision.FP16)
+    result = engine.run(batch_size=32, gen=GenerationSpec(32, 64))
+    print(result.as_row())
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+per-table/figure reproductions.
+"""
+
+from repro.engine import GenerationSpec, RunResult, ServingEngine
+from repro.errors import OutOfMemoryError, ReproError
+from repro.hardware import get_device
+from repro.models import get_model
+from repro.quant import Precision
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GenerationSpec",
+    "OutOfMemoryError",
+    "Precision",
+    "ReproError",
+    "RunResult",
+    "ServingEngine",
+    "__version__",
+    "get_device",
+    "get_model",
+]

@@ -1,0 +1,96 @@
+"""Calibrated constants shipped with the library.
+
+Every value here is either (a) fitted by :mod:`repro.calibration.fitting`
+against the paper's appendix tables (run ``examples/recalibrate.py`` to
+regenerate), or (b) an anchored measurement from the paper that cannot
+be derived offline (absolute FP32 perplexities of paper-scale models).
+Provenance is documented per constant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.engine.kernels import EngineCostParams
+from repro.quant.overhead import QuantKernelModel
+
+# ---------------------------------------------------------------------------
+# Engine cost parameters, fitted by bounded least squares on the latency
+# columns of paper Tables 4 and 6 (batch-size sweep on WikiText2, sequence-
+# length sweep on LongBench; Orin AGX 64GB).  Fit quality: rms log-error
+# 0.16, median absolute relative error 11%; the largest residuals sit on
+# the paper's own non-monotonic Deepseek-Qwen rows (its Table 4 reports
+# bs=16 slower than bs=32).  Regenerate with examples/recalibrate.py.
+# ---------------------------------------------------------------------------
+CALIBRATED_COST_PARAMS = EngineCostParams(
+    overlap_p=2.0,
+    kernel_floor_s=5.0e-6,      # hit the physical lower bound
+    host_step_s=18.8e-3,        # HF generate loop on the ARM cores
+    host_per_seq_s=1.0e-5,
+    bw_scale=1.28,              # bounded at 100% of the 204.8 GB/s peak
+    kv_traffic_scale=3.17,      # KV path moves ~3x its logical bytes
+    int8_kv_penalty=2.31,       # bitsandbytes dtype-conversion copies
+    gemm_sat_tokens=29.0,       # GEMMs reach ~80% peak by ~128 tokens
+    flops_scale=1.61,           # bounded at 100% of FP16 peak
+    quant=QuantKernelModel(int8_cycles_per_param=37.7),
+)
+
+# ---------------------------------------------------------------------------
+# Per-model phenomenological memory overheads (GB), covering runtime
+# behaviour the mechanistic allocator model does not capture (bitsandbytes
+# INT8 holds per-layer dequantization and outlier buffers that grow with
+# batch size).  Applied as: extra_gb = coeff * (batch_size**0.4 - 1).
+# Fitted from the RAM columns of Table 4 after subtracting weights, KV and
+# workspace.  The coefficient scales with quantized parameter count.
+# ---------------------------------------------------------------------------
+INT8_WORKLOAD_OVERHEAD_GB_PER_BPARAM = 0.040
+INT4_WORKLOAD_OVERHEAD_GB_PER_BPARAM = 0.015
+
+#: Fixed runtime workspace (cuBLAS handles, autotuning buffers, logits
+#: scratch), from the batch-size-1 incremental footprints of Table 4.
+RUNTIME_WORKSPACE_GB = 0.45
+
+#: Per-model trims (empty = fully mechanistic).  Reserved for fit output.
+MODEL_CALIBRATION: Dict[str, Dict[str, float]] = {}
+
+# ---------------------------------------------------------------------------
+# Perplexity anchors (paper Table 3, FP32/FP16 column; for Deepseek-Qwen the
+# anchor precision is INT8 because nothing larger fits the board).  These are
+# measurements of the real models and cannot be reproduced offline.
+# ---------------------------------------------------------------------------
+PPL_ANCHORS: Dict[str, Dict[str, float]] = {
+    "wikitext2": {
+        "MS-Phi2": 9.12,
+        "Llama3": 5.91,
+        "Mistral-Base": 4.99,
+        "Deepseek-Qwen": 6.36,  # INT8 anchor
+    },
+    "longbench": {
+        "MS-Phi2": 7.35,
+        "Llama3": 5.77,
+        "Mistral-Base": 4.95,
+        "Deepseek-Qwen": 6.42,  # INT8 anchor
+    },
+}
+
+#: Which precision each anchor was measured at.
+PPL_ANCHOR_PRECISION: Dict[str, str] = {
+    "MS-Phi2": "fp32",
+    "Llama3": "fp32",
+    "Mistral-Base": "fp16",
+    "Deepseek-Qwen": "int8",
+}
+
+# ---------------------------------------------------------------------------
+# Quantization->perplexity sensitivity: delta_ln_ppl = s_model * err**P.
+# P is shared; s_model is fitted per model from Table 3's INT4 row with the
+# measured errors of repro.quant.error (regenerate with
+# examples/recalibrate.py).  The INT8 row is then a prediction.
+# ---------------------------------------------------------------------------
+PPL_ERROR_EXPONENT = 0.75
+PPL_SENSITIVITY: Dict[str, float] = {
+    "MS-Phi2": 0.2518,
+    "Llama3": 0.2855,
+    "Mistral-Base": 0.1490,
+    "Deepseek-Qwen": 0.1279,
+}

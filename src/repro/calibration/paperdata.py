@@ -1,0 +1,190 @@
+"""The paper's published measurements, transcribed verbatim.
+
+Units follow the paper: RAM in GB (total peak: model + incremental),
+latency in seconds (the appendix column header says "ms" but the values
+are clearly seconds — e.g. Table 4's Phi-2 batch-1 latency of "3.73"
+matches §A.1's "3.73 seconds"), throughput in tokens/s.
+
+``None`` marks OOM cells.
+
+Sources: Tables 4-7 (appendix), Table 3 (perplexity), Table 1
+(footprints), plus headline claims from §3 used as shape checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+MODELS = ("MS-Phi2", "Llama3", "Mistral-Base", "Deepseek-Qwen")
+
+BATCH_SIZES = (1, 2, 4, 8, 16, 32, 64, 128)
+SEQ_LENGTHS = (128, 256, 512, 1024)
+
+#: Sequence-length compositions: total -> (input tokens, output tokens).
+SEQLEN_SPLIT: Dict[int, Tuple[int, int]] = {
+    96: (32, 64),
+    128: (32, 96),
+    256: (64, 192),
+    512: (128, 384),
+    1024: (256, 768),
+}
+
+Cell = Optional[float]
+
+# ---------------------------------------------------------------------------
+# Table 4: batch-size sweep, WikiText2.  MAXN, sl=96 (32+64).
+# FP16 everywhere, INT8 for Deepseek-Qwen.
+# Per model: {bs: (ram_gb, latency_s, throughput_tok_s)}
+# ---------------------------------------------------------------------------
+TABLE4_BATCH_WIKITEXT: Dict[str, Dict[int, Tuple[Cell, Cell, Cell]]] = {
+    "MS-Phi2": {
+        1: (6.18, 3.73, 25.45), 2: (6.24, 3.95, 48.66), 4: (6.36, 3.95, 96.24),
+        8: (6.48, 3.95, 194.59), 16: (6.87, 4.09, 375.88), 32: (8.05, 5.19, 591.68),
+        64: (11.57, 7.59, 809.96), 128: (20.53, 12.85, 956.61),
+    },
+    "Llama3": {
+        1: (16.38, 6.37, 15.08), 2: (16.42, 6.66, 28.82), 4: (16.45, 6.87, 55.91),
+        8: (16.53, 7.37, 104.27), 16: (16.72, 8.33, 184.39), 32: (17.12, 9.96, 308.47),
+        64: (17.91, 14.04, 437.47), 128: (19.26, 21.99, 558.87),
+    },
+    "Mistral-Base": {
+        1: (47.33, 18.51, 5.19), 2: (47.36, 18.30, 8.96), 4: (47.44, 18.74, 20.49),
+        8: (47.59, 19.54, 39.30), 16: (47.74, 21.29, 72.16), 32: (47.99, 39.12, 78.52),
+        64: (48.77, 48.84, 125.79), 128: (50.08, 66.53, 184.69),
+    },
+    "Deepseek-Qwen": {
+        1: (34.82, 43.25, 2.22), 2: (35.24, 46.97, 4.09), 4: (35.72, 48.97, 7.84),
+        8: (36.76, 47.73, 16.09), 16: (38.25, 69.81, 22.00), 32: (40.87, 47.92, 64.11),
+        64: (43.23, 61.05, 100.65), 128: (44.35, 83.69, 146.83),
+    },
+}
+
+# ---------------------------------------------------------------------------
+# Table 5: batch-size sweep, LongBench.  Same configuration.
+# ---------------------------------------------------------------------------
+TABLE5_BATCH_LONGBENCH: Dict[str, Dict[int, Tuple[Cell, Cell, Cell]]] = {
+    "MS-Phi2": {
+        1: (6.09, 3.62, 26.54), 2: (6.10, 3.64, 52.73), 4: (6.13, 3.63, 105.72),
+        8: (6.13, 3.65, 210.17), 16: (6.22, 3.85, 398.99), 32: (7.42, 4.93, 623.20),
+        64: (10.94, 7.12, 863.01), 128: (19.91, 11.97, 1026.76),
+    },
+    "Llama3": {
+        1: (16.37, 6.36, 15.08), 2: (16.46, 6.59, 29.13), 4: (16.46, 6.77, 56.69),
+        8: (16.53, 7.26, 105.84), 16: (16.73, 8.19, 187.59), 32: (17.14, 9.76, 314.60),
+        64: (17.91, 13.65, 450.12), 128: (19.27, 21.21, 579.40),
+    },
+    "Mistral-Base": {
+        1: (47.77, 18.53, 5.18), 2: (47.73, 18.30, 10.49), 4: (47.89, 18.63, 20.61),
+        8: (48.03, 19.43, 39.53), 16: (48.18, 21.14, 72.66), 32: (48.40, 39.05, 78.67),
+        64: (49.10, 48.44, 126.83), 128: (50.55, 65.83, 186.67),
+    },
+    "Deepseek-Qwen": {
+        1: (34.74, 43.42, 2.21), 2: (35.11, 46.58, 4.12), 4: (35.72, 48.11, 7.98),
+        8: (36.94, 47.01, 16.34), 16: (37.97, 69.13, 22.22), 32: (39.76, 46.52, 66.04),
+        64: (41.90, 58.86, 104.39), 128: (43.06, 80.61, 152.43),
+    },
+}
+
+# ---------------------------------------------------------------------------
+# Table 6: sequence-length sweep, LongBench.  MAXN, bs=32.
+# ---------------------------------------------------------------------------
+TABLE6_SEQLEN_LONGBENCH: Dict[str, Dict[int, Tuple[Cell, Cell, Cell]]] = {
+    "MS-Phi2": {
+        128: (6.97, 7.74, 529.04), 256: (20.70, 21.26, 385.32),
+        512: (None, None, None), 1024: (None, None, None),
+    },
+    "Llama3": {
+        128: (17.24, 15.09, 271.50), 256: (18.26, 37.37, 219.21),
+        512: (21.17, 101.02, 162.18), 1024: (29.37, 305.36, 107.31),
+    },
+    "Mistral-Base": {
+        128: (48.24, 57.51, 71.22), 256: (49.00, 123.64, 66.26),
+        512: (50.86, 281.30, 58.24), 1024: (54.48, 694.74, 47.17),
+    },
+    "Deepseek-Qwen": {
+        128: (34.56, 97.72, 41.91), 256: (39.58, 257.02, 31.88),
+        512: (42.17, 679.31, 24.12), 1024: (46.91, 1646.36, 19.90),
+    },
+}
+
+# ---------------------------------------------------------------------------
+# Table 7: sequence-length sweep, WikiText2.
+# ---------------------------------------------------------------------------
+TABLE7_SEQLEN_WIKITEXT: Dict[str, Dict[int, Tuple[Cell, Cell, Cell]]] = {
+    "MS-Phi2": {
+        128: (9.19, 7.74, 529.31), 256: (19.98, 21.03, 389.48),
+        512: (None, None, None), 1024: (None, None, None),
+    },
+    "Llama3": {
+        128: (17.20, 14.99, 273.18), 256: (18.77, 37.23, 220.02),
+        512: (20.99, 100.69, 162.71), 1024: (29.13, 304.33, 107.67),
+    },
+    "Mistral-Base": {
+        128: (48.15, 57.35, 71.42), 256: (49.00, 123.31, 66.43),
+        512: (50.81, 280.48, 58.41), 1024: (54.66, 693.13, 47.28),
+    },
+    "Deepseek-Qwen": {
+        128: (40.49, 93.04, 44.03), 256: (41.38, 249.24, 32.87),
+        512: (43.28, 667.08, 24.56), 1024: (46.10, 1681.75, 19.48),
+    },
+}
+
+# ---------------------------------------------------------------------------
+# Table 3: perplexity per precision.  None = OOM on the device.
+# ---------------------------------------------------------------------------
+TABLE3_PERPLEXITY: Dict[str, Dict[str, Dict[str, Cell]]] = {
+    "wikitext2": {
+        "MS-Phi2": {"fp32": 9.12, "fp16": 9.12, "int8": 9.34, "int4": 9.69},
+        "Llama3": {"fp32": 5.91, "fp16": 5.91, "int8": 6.00, "int4": 6.30},
+        "Mistral-Base": {"fp32": None, "fp16": 4.99, "int8": 5.00, "int4": 5.08},
+        "Deepseek-Qwen": {"fp32": None, "fp16": None, "int8": 6.36, "int4": 6.48},
+    },
+    "longbench": {
+        "MS-Phi2": {"fp32": 7.35, "fp16": 7.35, "int8": 7.47, "int4": 7.65},
+        "Llama3": {"fp32": 5.77, "fp16": 5.77, "int8": 5.80, "int4": 5.99},
+        "Mistral-Base": {"fp32": None, "fp16": 4.95, "int8": 4.97, "int4": 5.11},
+        "Deepseek-Qwen": {"fp32": None, "fp16": None, "int8": 6.42, "int4": 6.53},
+    },
+}
+
+# ---------------------------------------------------------------------------
+# Table 1: model footprints in decimal GB (red "estimate" cells included).
+# ---------------------------------------------------------------------------
+TABLE1_FOOTPRINT: Dict[str, Dict[str, float]] = {
+    "MS-Phi2": {"params_b": 2.7, "fp32": 11.2, "fp16": 5.6, "int8": 3.0, "int4": 1.8},
+    "Llama3": {"params_b": 8.0, "fp32": 32.2, "fp16": 16.1, "int8": 9.1, "int4": 5.6},
+    "Mistral-Base": {"params_b": 23.6, "fp32": 94.2, "fp16": 47.1, "int8": 24.9, "int4": 13.8},
+    "Deepseek-Qwen": {"params_b": 32.8, "fp32": 124.0, "fp16": 62.0, "int8": 34.3, "int4": 18.7},
+}
+
+#: Which precision each model ran at in the performance sweeps.
+SWEEP_PRECISION: Dict[str, str] = {
+    "MS-Phi2": "fp16",
+    "Llama3": "fp16",
+    "Mistral-Base": "fp16",
+    "Deepseek-Qwen": "int8",
+}
+
+# ---------------------------------------------------------------------------
+# §3.3 / §3.4 headline claims used as shape assertions in the benches.
+# ---------------------------------------------------------------------------
+CLAIMS = {
+    # INT8 vs FP16 latency penalty for small models (Phi-2, Llama3): ~ +62%.
+    "int8_small_model_slowdown": 0.62,
+    # INT8 RAM saving vs FP16 for small models: ~ -46%.
+    "int8_small_model_ram_saving": 0.46,
+    # Mistral INT8 within 2% of FP16 latency.
+    "int8_mistral_latency_band": 0.02,
+    # GPU utilization: INT8 ~60%, INT4 ~100%.
+    "int8_gpu_util": 0.60,
+    "int4_gpu_util": 1.00,
+    # Power mode A: power -28%, latency +26% (Llama).
+    "pm_a_power_drop": 0.28,
+    "pm_a_latency_increase": 0.26,
+    # Power mode B: power -51% vs MAXN, energy worse than MAXN.
+    "pm_b_power_drop": 0.51,
+    # Power mode H: latency +370%, energy +72%, power -52%.
+    "pm_h_latency_increase": 3.70,
+    "pm_h_energy_increase": 0.72,
+    "pm_h_power_drop": 0.52,
+}

@@ -1,0 +1,165 @@
+"""Command-line interface.
+
+Installed as ``repro`` (or run ``python -m repro.cli``).  Subcommands
+map onto the paper's experiments:
+
+- ``repro footprint`` — Table 1 (weights per precision).
+- ``repro run --model llama --precision fp16 --batch-size 32`` — one
+  measured configuration.
+- ``repro sweep batch|seqlen|quant|powermode --model llama`` — one of
+  the §3 sweeps.
+- ``repro perplexity`` — Table 3.
+- ``repro devices`` / ``repro models`` — list presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+def _cmd_footprint(args: argparse.Namespace) -> int:
+    from repro.models import PAPER_MODELS, footprint_table
+    from repro.reporting import format_table
+
+    print(format_table(footprint_table(PAPER_MODELS.values()),
+                       title="Model weights per precision (GB)"))
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.models import list_models, get_model
+
+    for name in list_models():
+        arch = get_model(name)
+        print(f"{name:14s} {arch.n_params_billions:5.1f}B  {arch.hf_id}")
+    return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    from repro.hardware import device_registry
+
+    for name, factory in sorted(device_registry().items()):
+        dev = factory()
+        print(f"{name:24s} {dev.memory.capacity_bytes / 2**30:5.0f} GiB  "
+              f"{dev.gpu.cuda_cores:5d} CUDA cores  "
+              f"{dev.memory.peak_bandwidth / 1e9:6.1f} GB/s")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core import ExperimentSpec, run_experiment
+    from repro.core.experiment import default_precision_for
+    from repro.engine.request import GenerationSpec
+    from repro.quant.dtypes import Precision
+    from repro.reporting import format_table
+
+    precision = (Precision.parse(args.precision) if args.precision
+                 else default_precision_for(args.model))
+    spec = ExperimentSpec(
+        model=args.model,
+        precision=precision,
+        device=args.device,
+        batch_size=args.batch_size,
+        gen=GenerationSpec(args.input_tokens, args.output_tokens),
+        power_mode=args.power_mode,
+        n_runs=args.runs,
+    )
+    result = run_experiment(spec)
+    print(format_table([result.as_row()]))
+    return 2 if result.oom else 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.sweeps import (
+        batch_size_sweep,
+        power_mode_sweep,
+        quantization_sweep,
+        seq_len_sweep,
+    )
+    from repro.reporting import format_table, write_csv
+
+    sweeps = {
+        "batch": batch_size_sweep,
+        "seqlen": seq_len_sweep,
+        "quant": quantization_sweep,
+        "powermode": power_mode_sweep,
+    }
+    runs = sweeps[args.kind](args.model, n_runs=args.runs, device=args.device)
+    rows = [r.as_row() for r in runs]
+    print(format_table(rows, title=f"{args.kind} sweep — {runs[0].model}"))
+    if args.csv:
+        path = write_csv(args.csv, rows)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_perplexity(args: argparse.Namespace) -> int:
+    from repro.hardware import get_device
+    from repro.perplexity import perplexity_table
+    from repro.reporting import format_table
+
+    rows = perplexity_table(get_device(args.device))
+    print(format_table(rows, title="Perplexity by precision (OOM = does not fit)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulated reproduction of 'LLM Inferencing on Edge Accelerators'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("footprint", help="Table 1: weights per precision")
+    sub.add_parser("models", help="list model presets")
+    sub.add_parser("devices", help="list device presets")
+
+    run = sub.add_parser("run", help="measure one configuration")
+    run.add_argument("--model", default="llama")
+    run.add_argument("--precision", default=None,
+                     help="fp32|fp16|int8|int4 (default: paper's choice)")
+    run.add_argument("--device", default="jetson-orin-agx-64gb")
+    run.add_argument("--batch-size", type=int, default=32)
+    run.add_argument("--input-tokens", type=int, default=32)
+    run.add_argument("--output-tokens", type=int, default=64)
+    run.add_argument("--power-mode", default="MAXN")
+    run.add_argument("--runs", type=int, default=5)
+
+    sweep = sub.add_parser("sweep", help="run one of the paper's sweeps")
+    sweep.add_argument("kind", choices=["batch", "seqlen", "quant", "powermode"])
+    sweep.add_argument("--model", default="llama")
+    sweep.add_argument("--device", default="jetson-orin-agx-64gb")
+    sweep.add_argument("--runs", type=int, default=2)
+    sweep.add_argument("--csv", default=None, help="also write rows to CSV")
+
+    ppl = sub.add_parser("perplexity", help="Table 3: perplexity by precision")
+    ppl.add_argument("--device", default="jetson-orin-agx-64gb")
+
+    return parser
+
+
+_COMMANDS = {
+    "footprint": _cmd_footprint,
+    "models": _cmd_models,
+    "devices": _cmd_devices,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "perplexity": _cmd_perplexity,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""The study harness — the paper's experiment matrix as code.
+
+- :mod:`repro.core.experiment` — :class:`ExperimentSpec` and
+  :func:`run_experiment` (one configuration, paper protocol: warm-up +
+  5 measured runs, OOM-safe).
+- :mod:`repro.core.sweeps` — the four §3 sweeps: batch size, sequence
+  length, quantization, power modes.
+- :mod:`repro.core.study` — run the entire paper and collect every
+  table/figure's data in one call.
+"""
+
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.sweeps import (
+    batch_size_sweep,
+    power_mode_sweep,
+    quantization_sweep,
+    seq_len_sweep,
+)
+from repro.core.study import FullStudyResults, run_full_study
+
+__all__ = [
+    "ExperimentSpec",
+    "FullStudyResults",
+    "batch_size_sweep",
+    "power_mode_sweep",
+    "quantization_sweep",
+    "run_experiment",
+    "run_full_study",
+    "seq_len_sweep",
+]

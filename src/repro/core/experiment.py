@@ -1,0 +1,82 @@
+"""One experiment configuration and its execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.calibration import paperdata
+from repro.engine.kernels import EngineCostParams
+from repro.engine.request import GenerationSpec
+from repro.engine.runtime import RunResult, ServingEngine
+from repro.errors import ExperimentError, OutOfMemoryError
+from repro.hardware.device import get_device
+from repro.models.zoo import get_model
+from repro.power.modes import get_power_mode
+from repro.quant.dtypes import Precision
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything needed to reproduce one measured cell of the paper.
+
+    Defaults mirror the paper's defaults: Orin AGX 64GB, MAXN, batch
+    size 32, sequence length 96 (32 input + 64 output), FP16 — except
+    Deepseek-Qwen, which only fits at INT8 (pass the precision
+    explicitly or use :func:`default_precision_for`).
+    """
+
+    model: str
+    precision: Precision = Precision.FP16
+    device: str = "jetson-orin-agx-64gb"
+    batch_size: int = 32
+    gen: GenerationSpec = field(default_factory=lambda: GenerationSpec(32, 64))
+    power_mode: str = "MAXN"
+    workload: str = "wikitext2"
+    n_runs: int = 5
+    warmup: int = 1
+    kv_mode: str = "dynamic"
+
+    def __post_init__(self) -> None:
+        if self.kv_mode not in ("dynamic", "static"):
+            raise ExperimentError(f"unknown kv_mode {self.kv_mode!r}")
+        if self.workload not in ("wikitext2", "longbench"):
+            raise ExperimentError(f"unknown workload {self.workload!r}")
+
+
+def default_precision_for(model_name: str) -> Precision:
+    """The precision the paper's performance sweeps used for a model."""
+    arch = get_model(model_name)
+    name = paperdata.SWEEP_PRECISION.get(arch.name, "fp16")
+    return Precision.parse(name)
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    params: Optional[EngineCostParams] = None,
+) -> RunResult:
+    """Execute one spec; OOM (at load or mid-run) yields ``oom=True``."""
+    arch = get_model(spec.model)
+    device = get_device(spec.device)
+    mode = get_power_mode(spec.power_mode)
+    try:
+        engine = ServingEngine(device, arch, spec.precision, params=params,
+                               kv_mode=spec.kv_mode)
+    except OutOfMemoryError:
+        # The model itself does not fit (e.g. FP32 Mistral on 64GB).
+        return RunResult(
+            model=arch.name,
+            device=device.name,
+            precision=spec.precision,
+            batch_size=spec.batch_size,
+            gen=spec.gen,
+            power_mode=spec.power_mode,
+            oom=True,
+        )
+    return engine.run(
+        batch_size=spec.batch_size,
+        gen=spec.gen,
+        n_runs=spec.n_runs,
+        warmup=spec.warmup,
+        power_mode=mode,
+    )

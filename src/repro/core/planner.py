@@ -1,0 +1,92 @@
+"""Capacity planning: what fits before the board OOMs.
+
+Answers the questions the paper's OOM cells pose operationally: for a
+(device, model, precision), what is the largest batch at a given
+sequence length — or the longest sequence at a given batch — that
+completes?  The planner searches over the *actual simulated engine*
+(same allocator, same buffers), so its answers are exactly the
+feasibility boundary of the experiments, not a closed-form guess.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.engine.request import GenerationSpec
+from repro.errors import ExperimentError
+from repro.quant.dtypes import Precision
+
+
+def _feasible(model: str, precision: Precision, device: str,
+              batch_size: int, gen: GenerationSpec) -> bool:
+    spec = ExperimentSpec(
+        model=model, precision=precision, device=device,
+        batch_size=batch_size, gen=gen, n_runs=1, warmup=0,
+    )
+    return not run_experiment(spec).oom
+
+
+def max_batch_size(
+    model: str,
+    precision: Precision,
+    device: str = "jetson-orin-agx-64gb",
+    gen: GenerationSpec = GenerationSpec(32, 64),
+    upper: int = 4096,
+) -> Optional[int]:
+    """Largest feasible batch size at ``gen``; None if even bs=1 OOMs."""
+    if upper < 1:
+        raise ExperimentError("upper bound must be >= 1")
+    if not _feasible(model, precision, device, 1, gen):
+        return None
+    # Exponential probe then binary search.
+    lo, hi = 1, 2
+    while hi <= upper and _feasible(model, precision, device, hi, gen):
+        lo, hi = hi, hi * 2
+    if hi > upper:
+        return lo
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if _feasible(model, precision, device, mid, gen):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def max_sequence_length(
+    model: str,
+    precision: Precision,
+    device: str = "jetson-orin-agx-64gb",
+    batch_size: int = 32,
+    input_fraction: float = 0.25,
+    upper: int = 65536,
+) -> Optional[int]:
+    """Longest feasible total sequence length at ``batch_size``.
+
+    Sequence lengths follow the paper's convention: ``input_fraction``
+    of the total is prompt, the rest generated.  Returns None if even
+    sl=8 OOMs.
+    """
+    if not (0.0 < input_fraction < 1.0):
+        raise ExperimentError("input_fraction must be in (0, 1)")
+
+    def gen_for(sl: int) -> GenerationSpec:
+        inp = max(1, int(sl * input_fraction))
+        return GenerationSpec(inp, max(1, sl - inp))
+
+    if not _feasible(model, precision, device, batch_size, gen_for(8)):
+        return None
+    lo, hi = 8, 16
+    while hi <= upper and _feasible(model, precision, device, batch_size,
+                                    gen_for(hi)):
+        lo, hi = hi, hi * 2
+    if hi > upper:
+        return lo
+    while hi - lo > 8:
+        mid = (lo + hi) // 2
+        if _feasible(model, precision, device, batch_size, gen_for(mid)):
+            lo = mid
+        else:
+            hi = mid
+    return lo

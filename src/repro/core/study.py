@@ -1,0 +1,89 @@
+"""Run the entire paper in one call."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.calibration import paperdata
+from repro.core.sweeps import (
+    batch_quant_power_sweep,
+    batch_size_sweep,
+    power_mode_sweep,
+    quantization_sweep,
+    seq_len_sweep,
+)
+from repro.engine.kernels import EngineCostParams
+from repro.engine.runtime import RunResult
+from repro.hardware.device import get_device
+from repro.models.footprint import footprint_table
+from repro.models.zoo import PAPER_MODELS
+from repro.perplexity.analytical import perplexity_table
+from repro.quant.dtypes import Precision
+
+
+@dataclass
+class FullStudyResults:
+    """Every table/figure's data, keyed the way the benches consume it."""
+
+    table1_footprints: List[dict] = field(default_factory=list)
+    table3_perplexity: List[dict] = field(default_factory=list)
+    batch_sweeps: Dict[str, Dict[str, List[RunResult]]] = field(default_factory=dict)
+    seqlen_sweeps: Dict[str, Dict[str, List[RunResult]]] = field(default_factory=dict)
+    quant_sweeps: Dict[str, List[RunResult]] = field(default_factory=dict)
+    power_mode_sweeps: Dict[str, List[RunResult]] = field(default_factory=dict)
+    power_energy_sweeps: Dict[str, Dict[Precision, List[RunResult]]] = field(
+        default_factory=dict
+    )
+
+
+def run_full_study(
+    models: Optional[List[str]] = None,
+    n_runs: int = 5,
+    params: Optional[EngineCostParams] = None,
+    include_power_energy: bool = True,
+    progress: bool = False,
+) -> FullStudyResults:
+    """Reproduce every experiment of the paper on the simulated board.
+
+    ``n_runs`` follows the paper's protocol (5); lower it for quick
+    smoke runs.  With the default model set this covers Tables 1 and 3
+    analytically and runs ~290 simulated configurations for the sweeps.
+    """
+    models = models or list(PAPER_MODELS)
+    results = FullStudyResults()
+
+    results.table1_footprints = footprint_table(
+        [PAPER_MODELS[m] for m in models if m in PAPER_MODELS]
+    )
+    results.table3_perplexity = perplexity_table(get_device("jetson-orin-agx-64gb"))
+
+    def log(msg: str) -> None:
+        if progress:  # pragma: no cover - cosmetic
+            print(msg, flush=True)
+
+    for model in models:
+        log(f"[study] batch-size sweep: {model}")
+        results.batch_sweeps[model] = {
+            wl: batch_size_sweep(model, workload=wl, n_runs=n_runs, params=params)
+            for wl in ("wikitext2", "longbench")
+        }
+        log(f"[study] sequence-length sweep: {model}")
+        results.seqlen_sweeps[model] = {
+            wl: seq_len_sweep(model, workload=wl, n_runs=n_runs, params=params)
+            for wl in ("wikitext2", "longbench")
+        }
+        log(f"[study] quantization sweep: {model}")
+        results.quant_sweeps[model] = quantization_sweep(
+            model, n_runs=n_runs, params=params
+        )
+        log(f"[study] power-mode sweep: {model}")
+        results.power_mode_sweeps[model] = power_mode_sweep(
+            model, n_runs=n_runs, params=params
+        )
+        if include_power_energy:
+            log(f"[study] power/energy x batch x precision: {model}")
+            results.power_energy_sweeps[model] = batch_quant_power_sweep(
+                model, n_runs=n_runs, params=params
+            )
+    return results

@@ -1,0 +1,129 @@
+"""The paper's four experiment sweeps (§3.1-§3.4)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.calibration import paperdata
+from repro.core.experiment import ExperimentSpec, default_precision_for, run_experiment
+from repro.engine.kernels import EngineCostParams
+from repro.engine.request import GenerationSpec
+from repro.engine.runtime import RunResult
+from repro.errors import ExperimentError
+from repro.quant.dtypes import PRECISION_ORDER, Precision
+
+#: The paper's default generation split: sl=96 as 32 input + 64 output.
+DEFAULT_GEN = GenerationSpec(32, 64)
+
+
+def _gen_for_seqlen(seq_len: int) -> GenerationSpec:
+    split = paperdata.SEQLEN_SPLIT.get(seq_len)
+    if split is None:
+        raise ExperimentError(
+            f"no input/output split defined for sequence length {seq_len}"
+        )
+    return GenerationSpec(*split)
+
+
+def batch_size_sweep(
+    model: str,
+    batch_sizes: Sequence[int] = paperdata.BATCH_SIZES,
+    precision: Optional[Precision] = None,
+    workload: str = "wikitext2",
+    params: Optional[EngineCostParams] = None,
+    **spec_kwargs,
+) -> List[RunResult]:
+    """§3.1 / Fig 1/6/7, Tables 4-5: vary batch size at sl=96, MAXN."""
+    precision = precision or default_precision_for(model)
+    out: List[RunResult] = []
+    for bs in batch_sizes:
+        spec = ExperimentSpec(
+            model=model, precision=precision, batch_size=bs,
+            gen=DEFAULT_GEN, workload=workload, **spec_kwargs,
+        )
+        out.append(run_experiment(spec, params=params))
+    return out
+
+
+def seq_len_sweep(
+    model: str,
+    seq_lengths: Sequence[int] = paperdata.SEQ_LENGTHS,
+    precision: Optional[Precision] = None,
+    workload: str = "longbench",
+    params: Optional[EngineCostParams] = None,
+    **spec_kwargs,
+) -> List[RunResult]:
+    """§3.2 / Fig 2/8/9, Tables 6-7: vary sequence length at bs=32."""
+    precision = precision or default_precision_for(model)
+    out: List[RunResult] = []
+    for sl in seq_lengths:
+        spec = ExperimentSpec(
+            model=model, precision=precision, batch_size=32,
+            gen=_gen_for_seqlen(sl), workload=workload, **spec_kwargs,
+        )
+        out.append(run_experiment(spec, params=params))
+    return out
+
+
+def quantization_sweep(
+    model: str,
+    precisions: Iterable[Precision] = PRECISION_ORDER,
+    batch_size: int = 32,
+    gen: GenerationSpec = DEFAULT_GEN,
+    params: Optional[EngineCostParams] = None,
+    **spec_kwargs,
+) -> List[RunResult]:
+    """§3.3 / Fig 3/11: FP32->INT4 at bs=32, sl=96 (OOM cells included)."""
+    out: List[RunResult] = []
+    for prec in precisions:
+        spec = ExperimentSpec(
+            model=model, precision=prec, batch_size=batch_size,
+            gen=gen, **spec_kwargs,
+        )
+        out.append(run_experiment(spec, params=params))
+    return out
+
+
+#: Paper Table 2 mode names, in paper order.
+POWER_MODES = ("MAXN", "A", "B", "C", "D", "E", "F", "G", "H")
+
+
+def power_mode_sweep(
+    model: str,
+    modes: Sequence[str] = POWER_MODES,
+    precision: Optional[Precision] = None,
+    params: Optional[EngineCostParams] = None,
+    **spec_kwargs,
+) -> List[RunResult]:
+    """§3.4 / Fig 5: the nine power modes at bs=32, sl=96."""
+    precision = precision or default_precision_for(model)
+    out: List[RunResult] = []
+    for mode in modes:
+        spec = ExperimentSpec(
+            model=model, precision=precision, batch_size=32,
+            gen=DEFAULT_GEN, power_mode=mode, **spec_kwargs,
+        )
+        out.append(run_experiment(spec, params=params))
+    return out
+
+
+def batch_quant_power_sweep(
+    model: str,
+    precisions: Iterable[Precision] = (Precision.FP16, Precision.INT8, Precision.INT4),
+    batch_sizes: Sequence[int] = paperdata.BATCH_SIZES,
+    params: Optional[EngineCostParams] = None,
+    **spec_kwargs,
+) -> Dict[Precision, List[RunResult]]:
+    """§3.3 / Fig 4/10: power & energy across batch sizes per precision."""
+    out: Dict[Precision, List[RunResult]] = {}
+    for prec in precisions:
+        runs: List[RunResult] = []
+        for bs in batch_sizes:
+            spec = ExperimentSpec(
+                model=model, precision=prec, batch_size=bs,
+                gen=DEFAULT_GEN, **spec_kwargs,
+            )
+            runs.append(run_experiment(spec, params=params))
+        out[prec] = runs
+    return out

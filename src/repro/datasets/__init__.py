@@ -1,0 +1,28 @@
+"""Synthetic workload corpora and prompt pools.
+
+The paper draws prompts from WikiText2 and LongBench: paragraphs with at
+least 256 tokens form a pool; each batch samples prompts from the pool.
+Offline we generate statistically controlled stand-ins:
+
+- :mod:`repro.datasets.textgen` — seeded Zipf-vocabulary Markov text.
+- :mod:`repro.datasets.wikitext` — WikiText2-like encyclopedic articles
+  (headed sections, medium paragraphs).
+- :mod:`repro.datasets.longbench` — LongBench-like long documents with
+  task/question framing.
+- :mod:`repro.datasets.prompts` — pool extraction and batch sampling.
+"""
+
+from repro.datasets.textgen import MarkovTextGenerator, ZipfVocabulary
+from repro.datasets.wikitext import wikitext2_like_corpus
+from repro.datasets.longbench import longbench_like_corpus
+from repro.datasets.prompts import PromptPool, Workload, build_workload
+
+__all__ = [
+    "MarkovTextGenerator",
+    "PromptPool",
+    "Workload",
+    "ZipfVocabulary",
+    "build_workload",
+    "longbench_like_corpus",
+    "wikitext2_like_corpus",
+]

@@ -1,0 +1,127 @@
+"""Prompt pools and batch sampling, following the paper's methodology.
+
+"We extract paragraphs with >= 256 tokens as a pool of valid prompts.
+For each inference batch, we randomly sample the required number of
+prompts." — §2.  For sequence-length experiments, "a diverse subset or
+multiples of the 256-token prompts form a single input" and outputs are
+limited to the remaining sequence length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.tokenizer.bpe import BpeTokenizer
+
+
+@dataclass(frozen=True)
+class Prompt:
+    """One pooled prompt: raw text plus its tokenization."""
+
+    text: str
+    token_ids: tuple
+
+    @property
+    def n_tokens(self) -> int:
+        return len(self.token_ids)
+
+
+class PromptPool:
+    """A pool of prompts meeting a minimum token-count threshold."""
+
+    def __init__(self, prompts: Sequence[Prompt], min_tokens: int):
+        if not prompts:
+            raise WorkloadError(
+                f"prompt pool is empty (no paragraph reached {min_tokens} tokens)"
+            )
+        self.prompts = list(prompts)
+        self.min_tokens = min_tokens
+
+    def __len__(self) -> int:
+        return len(self.prompts)
+
+    @classmethod
+    def from_corpus(
+        cls, corpus: str, tokenizer: BpeTokenizer, min_tokens: int = 256
+    ) -> "PromptPool":
+        """Extract paragraphs (blank-line separated) with >= ``min_tokens``."""
+        if min_tokens < 1:
+            raise WorkloadError("min_tokens must be >= 1")
+        prompts: List[Prompt] = []
+        for para in corpus.split("\n\n"):
+            text = " ".join(para.split())
+            if not text:
+                continue
+            ids = tokenizer.encode(text)
+            if len(ids) >= min_tokens:
+                prompts.append(Prompt(text=text, token_ids=tuple(ids)))
+        return cls(prompts, min_tokens)
+
+    def sample_batch(
+        self, batch_size: int, input_tokens: int, rng: np.random.Generator
+    ) -> List[List[int]]:
+        """Sample ``batch_size`` inputs of exactly ``input_tokens`` tokens.
+
+        Prompts are drawn randomly; longer prompts are truncated and
+        shorter inputs concatenate multiple pooled prompts (the paper's
+        "multiples of the 256-token prompts").
+        """
+        if batch_size < 1 or input_tokens < 1:
+            raise WorkloadError("batch_size and input_tokens must be >= 1")
+        batch: List[List[int]] = []
+        for _ in range(batch_size):
+            ids: List[int] = []
+            while len(ids) < input_tokens:
+                p = self.prompts[int(rng.integers(len(self.prompts)))]
+                ids.extend(p.token_ids)
+            batch.append(ids[:input_tokens])
+        return batch
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named dataset ready for experiments."""
+
+    name: str
+    corpus: str
+    tokenizer: BpeTokenizer
+    pool: PromptPool
+
+    def sample_batch(
+        self, batch_size: int, input_tokens: int, seed: int = 0
+    ) -> List[List[int]]:
+        """Seeded batch sampling (see :meth:`PromptPool.sample_batch`)."""
+        rng = np.random.default_rng(seed)
+        return self.pool.sample_batch(batch_size, input_tokens, rng)
+
+
+def build_workload(
+    name: str,
+    tokenizer: BpeTokenizer = None,
+    min_tokens: int = 256,
+    seed: int = 0,
+) -> Workload:
+    """Construct one of the paper's two workloads by name.
+
+    ``name`` is ``"wikitext2"`` or ``"longbench"``.  If ``tokenizer`` is
+    None, a BPE is trained on the generated corpus itself.
+    """
+    from repro.datasets.longbench import longbench_like_corpus
+    from repro.datasets.wikitext import wikitext2_like_corpus
+    from repro.tokenizer.bpe import train_bpe
+
+    key = name.strip().lower()
+    if key == "wikitext2":
+        corpus = wikitext2_like_corpus(seed=1234 + seed)
+    elif key == "longbench":
+        corpus = longbench_like_corpus(seed=5678 + seed)
+    else:
+        raise WorkloadError(f"unknown workload {name!r} (wikitext2 | longbench)")
+    if tokenizer is None:
+        tokenizer = train_bpe(corpus[:200_000], vocab_size=800)
+    pool = PromptPool.from_corpus(corpus, tokenizer, min_tokens=min_tokens)
+    return Workload(name=key, corpus=corpus, tokenizer=tokenizer, pool=pool)

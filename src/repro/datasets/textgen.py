@@ -1,0 +1,105 @@
+"""Seeded synthetic natural-ish text: Zipf vocabulary + Markov chains.
+
+Word frequencies follow a Zipf law (exponent ~1.07, as in English);
+word-to-word transitions come from a sparse first-order Markov chain, so
+the text has realistic local statistics for BPE training and perplexity
+windows while being fully deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+_CONSONANTS = "bcdfghjklmnprstvwz"
+_VOWELS = "aeiou"
+
+
+def _synth_word(rng: np.random.Generator) -> str:
+    """A pronounceable pseudo-word of 1-4 syllables."""
+    n_syll = int(rng.integers(1, 5))
+    parts: List[str] = []
+    for _ in range(n_syll):
+        c = _CONSONANTS[int(rng.integers(len(_CONSONANTS)))]
+        v = _VOWELS[int(rng.integers(len(_VOWELS)))]
+        parts.append(c + v)
+    if rng.random() < 0.4:
+        parts.append(_CONSONANTS[int(rng.integers(len(_CONSONANTS)))])
+    return "".join(parts)
+
+
+class ZipfVocabulary:
+    """A vocabulary of pseudo-words with Zipfian unigram frequencies."""
+
+    def __init__(self, size: int = 4000, exponent: float = 1.07, seed: int = 0):
+        if size < 10:
+            raise WorkloadError(f"vocabulary needs >= 10 words, got {size}")
+        if exponent <= 0:
+            raise WorkloadError("Zipf exponent must be positive")
+        rng = np.random.default_rng(seed)
+        seen = set()
+        words: List[str] = []
+        while len(words) < size:
+            w = _synth_word(rng)
+            if w not in seen:
+                seen.add(w)
+                words.append(w)
+        self.words = words
+        ranks = np.arange(1, size + 1, dtype=np.float64)
+        probs = ranks**-exponent
+        self.probs = probs / probs.sum()
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+
+class MarkovTextGenerator:
+    """First-order Markov chain over a :class:`ZipfVocabulary`.
+
+    Each word gets ``branching`` candidate successors (sampled by
+    unigram probability); transitions interpolate between the chain and
+    the unigram distribution to avoid degenerate loops.
+    """
+
+    def __init__(
+        self,
+        vocab: ZipfVocabulary,
+        branching: int = 24,
+        chain_weight: float = 0.75,
+        seed: int = 0,
+    ):
+        if branching < 2:
+            raise WorkloadError("branching must be >= 2")
+        if not (0.0 <= chain_weight < 1.0):
+            raise WorkloadError("chain_weight must be in [0, 1)")
+        self.vocab = vocab
+        self.chain_weight = chain_weight
+        self.rng = np.random.default_rng(seed)
+        n = len(vocab)
+        # Successor table: for each word, `branching` successor indices.
+        self._succ = self.rng.choice(n, size=(n, branching), p=vocab.probs)
+
+    def _next(self, current: int) -> int:
+        if self.rng.random() < self.chain_weight:
+            row = self._succ[current]
+            return int(row[int(self.rng.integers(len(row)))])
+        return int(self.rng.choice(len(self.vocab), p=self.vocab.probs))
+
+    def sentence(self, min_words: int = 6, max_words: int = 24) -> str:
+        """One sentence, capitalised, period-terminated."""
+        n = int(self.rng.integers(min_words, max_words + 1))
+        idx = int(self.rng.choice(len(self.vocab), p=self.vocab.probs))
+        out = [self.vocab.words[idx].capitalize()]
+        for _ in range(n - 1):
+            idx = self._next(idx)
+            out.append(self.vocab.words[idx])
+        return " ".join(out) + "."
+
+    def paragraph(self, n_sentences: int) -> str:
+        """``n_sentences`` sentences joined with spaces."""
+        if n_sentences < 1:
+            raise WorkloadError("paragraph needs >= 1 sentence")
+        return " ".join(self.sentence() for _ in range(n_sentences))

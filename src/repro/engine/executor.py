@@ -1,0 +1,167 @@
+"""The prefill/decode loop as a discrete-event process.
+
+One :class:`BatchExecutor` runs one batch: it allocates workspace and the
+KV cache through the caching allocator (so fragmentation and OOM emerge
+from the same mechanisms as on the real board), advances simulated time
+per engine step using :class:`~repro.engine.kernels.StepTimer`, and
+publishes utilization to :class:`~repro.engine.state.EngineState` for
+the power sampler.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine.kernels import StepTimer
+from repro.engine.request import BatchRequest, BatchResult
+from repro.engine.state import EngineState
+from repro.errors import OutOfMemoryError
+from repro.memsys.allocator import Allocation, CachingAllocator
+from repro.memsys.kvcache import KVCache
+from repro.power.model import ComponentUtilization
+from repro.sim.environment import Environment
+from repro.sim.tracing import Trace
+
+
+def _util_of(cost) -> ComponentUtilization:
+    return ComponentUtilization(
+        gpu_compute=cost.gpu_compute_frac,
+        gpu_busy=cost.gpu_busy_frac,
+        mem_bw=cost.mem_bw_frac,
+        cpu_cores_active=cost.cpu_cores_active,
+    )
+
+
+class BatchExecutor:
+    """Runs one :class:`BatchRequest` on the simulation.
+
+    Parameters
+    ----------
+    timer:
+        Cost model bound to (model, device, precision).
+    allocator:
+        The device allocator (shared with model weights).
+    kv_mode:
+        ``"dynamic"`` (HF DynamicCache, the paper's setup) or
+        ``"static"`` (pre-allocated; ablation).
+    eager_score_buffers:
+        If True (legacy eager-attention models, i.e. Phi-2), hold
+        per-layer full-context score buffers whose footprint grows
+        quadratically with context — the phenomenological model of the
+        Phi-2 memory blow-up and its sl>=512 OOM (see DESIGN.md).
+    workspace_bytes:
+        Fixed + batch-dependent runtime workspace to hold for the run.
+    """
+
+    def __init__(
+        self,
+        timer: StepTimer,
+        allocator: CachingAllocator,
+        kv_mode: str = "dynamic",
+        eager_score_buffers: Optional[bool] = None,
+        workspace_bytes: int = 0,
+    ):
+        self.timer = timer
+        self.allocator = allocator
+        self.kv_mode = kv_mode
+        arch = timer.arch
+        if eager_score_buffers is None:
+            eager_score_buffers = arch.attention_impl == "eager"
+        self.eager_score_buffers = eager_score_buffers
+        self.workspace_bytes = int(workspace_bytes)
+
+    # -- memory helpers ------------------------------------------------------
+    def _eager_bytes(self, batch_size: int, context: int) -> int:
+        arch = self.timer.arch
+        # fp16 scores + fp32 softmax upcast per layer, all layers resident.
+        return batch_size * arch.n_layers * arch.n_heads * context * context * 6
+
+    def _activation_bytes(self, batch_size: int) -> int:
+        arch = self.timer.arch
+        per_seq = (4 * arch.hidden_size + 2 * arch.intermediate_size) * 2
+        logits = arch.vocab_size * 4 * 2  # fp32 logits + softmax scratch
+        return batch_size * (per_seq + logits)
+
+    # -- the process -----------------------------------------------------------
+    def run(
+        self,
+        env: Environment,
+        request: BatchRequest,
+        state: EngineState,
+        trace: Optional[Trace] = None,
+    ):
+        """Generator process: yields timeouts; returns a BatchResult.
+
+        On simulated OOM the result is returned with ``oom=True`` (all
+        held memory is released first), mirroring a caught
+        ``torch.cuda.OutOfMemoryError``.
+        """
+        bs = request.batch_size
+        gen = request.gen
+        result = BatchResult(request=request, latency_s=0.0, prefill_s=0.0, decode_s=0.0)
+        start = env.now
+
+        held: List[Allocation] = []
+        kv: Optional[KVCache] = None
+        eager_buf: Optional[Allocation] = None
+        try:
+            held.append(
+                self.allocator.alloc(
+                    self.workspace_bytes + self._activation_bytes(bs), tag="workspace"
+                )
+            )
+            kv = KVCache(
+                self.timer.arch.kv_cache_spec(),
+                self.allocator,
+                batch_size=bs,
+                mode=self.kv_mode,
+                max_seq_len=gen.total_tokens if self.kv_mode == "static" else None,
+            )
+
+            # ---- prefill ----
+            kv.prefill(gen.input_tokens)
+            if self.eager_score_buffers:
+                eager_buf = self.allocator.alloc(
+                    self._eager_bytes(bs, gen.input_tokens), tag="eager-scores"
+                )
+            cost = self.timer.prefill(bs, gen.input_tokens)
+            state.set("prefill", _util_of(cost))
+            yield env.timeout(cost.seconds)
+            result.prefill_s = cost.seconds
+            if trace is not None:
+                trace.record(env.now, "prefill", seconds=cost.seconds, batch=bs)
+
+            # ---- decode ----
+            for _ in range(gen.output_tokens):
+                context = kv.seq_len
+                concat = kv.concat_traffic_bytes()
+                kv.append_token()
+                if self.eager_score_buffers:
+                    assert eager_buf is not None
+                    # Free-then-alloc: the runtime reuses the buffer in
+                    # place when it can; only the footprint grows.  Clear
+                    # the reference first so an OOM here cannot cause a
+                    # double free in the cleanup path.
+                    buf, eager_buf = eager_buf, None
+                    self.allocator.free(buf)
+                    eager_buf = self.allocator.alloc(
+                        self._eager_bytes(bs, kv.seq_len), tag="eager-scores"
+                    )
+                cost = self.timer.decode_step(bs, context, concat_bytes=concat)
+                state.set("decode", _util_of(cost))
+                yield env.timeout(cost.seconds)
+                result.step_seconds.append(cost.seconds)
+            result.decode_s = sum(result.step_seconds)
+            result.latency_s = env.now - start
+        except OutOfMemoryError:
+            result.oom = True
+            result.latency_s = env.now - start
+        finally:
+            state.set_idle()
+            if eager_buf is not None:
+                self.allocator.free(eager_buf)
+            if kv is not None:
+                kv.release()
+            for h in held:
+                self.allocator.free(h)
+        return result

@@ -1,0 +1,227 @@
+"""Per-step cost model: time and utilization of prefill/decode iterations.
+
+The decode step of batched LLM inference decomposes into
+
+``t_gpu = (t_mem^p + t_comp^p)^(1/p) + n_kernels * kernel_floor``
+``t_step = t_gpu + t_host``
+
+where
+
+- ``t_mem`` streams the weights once, gathers the KV cache (strided
+  bandwidth), pays the DynamicCache concat copy, and moves activations;
+- ``t_comp`` is dense math at the precision's effective FLOP rate plus
+  the quantization kernel overheads of
+  :class:`~repro.quant.overhead.QuantKernelModel`;
+- the p-norm models partial compute/memory overlap (p=inf would be a
+  perfect-overlap roofline; measured Jetson behaviour sits near p=2);
+- the kernel floor is the minimum execution time of a launched kernel
+  on the iGPU (occupancy ramp + launch), dominant for small models;
+- ``t_host`` is the CPU-side HF ``generate`` loop (Python dispatch,
+  logits post-processing, sampling), scaling inversely with CPU clock
+  and linearly with batch size — and, being serial, indifferent to the
+  number of online cores (which is exactly the paper's PM-E/F finding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.hardware.device import EdgeDevice
+from repro.models.architecture import TransformerArchitecture
+from repro.models.flops import PhaseCounts, decode_step_counts, prefill_counts
+from repro.models.footprint import weight_bytes
+from repro.quant.dtypes import Precision
+from repro.quant.overhead import QuantKernelModel
+
+
+@dataclass(frozen=True)
+class EngineCostParams:
+    """Calibratable constants of the cost model.
+
+    Defaults are the values fitted against the paper's appendix tables
+    (see :mod:`repro.calibration`); ``bw_scale``/``flops_scale`` let the
+    fit trim the device's spec-derived capabilities without touching the
+    hardware presets.
+    """
+
+    #: p-norm exponent for memory/compute overlap.
+    overlap_p: float = 2.0
+    #: Minimum execution seconds per launched kernel at max clocks.
+    kernel_floor_s: float = 42e-6
+    #: Host-side seconds per forward step at max CPU clock.
+    host_step_s: float = 4.0e-3
+    #: Additional host-side seconds per sequence per step.
+    host_per_seq_s: float = 0.30e-3
+    #: Multiplier on streaming bandwidth (calibration trim).
+    bw_scale: float = 1.0
+    #: Multiplier on KV-path traffic (cache reads + GQA expansion).
+    kv_traffic_scale: float = 1.0
+    #: Extra KV-path traffic multiplier when running INT8 (bitsandbytes
+    #: attention inserts dtype-conversion copies around the cache).
+    int8_kv_penalty: float = 2.0
+    #: Multiplier on effective FLOP rate.
+    flops_scale: float = 1.0
+    #: GEMM efficiency saturates with tokens in flight:
+    #: ``eff = n / (n + gemm_sat_tokens)``.
+    gemm_sat_tokens: float = 4.0
+    #: Quantization kernel cost model.
+    quant: QuantKernelModel = field(default_factory=QuantKernelModel)
+
+    def __post_init__(self) -> None:
+        if self.overlap_p < 1.0:
+            raise ConfigError("overlap_p must be >= 1")
+        for name in ("kernel_floor_s", "host_step_s", "host_per_seq_s",
+                     "bw_scale", "kv_traffic_scale", "int8_kv_penalty",
+                     "flops_scale", "gemm_sat_tokens"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+    def with_(self, **kwargs) -> "EngineCostParams":
+        """Copy with overrides (used by the calibration fitter)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class StepCost:
+    """Time and resource view of one engine step."""
+
+    seconds: float
+    t_mem: float
+    t_comp: float
+    t_kernel_floor: float
+    t_host: float
+    bytes_moved: float
+    #: Fraction of wall time the GPU executes compute-limited work.
+    gpu_compute_frac: float
+    #: Fraction of wall time any kernel is resident.
+    gpu_busy_frac: float
+    #: Achieved DRAM bandwidth / peak at current clock.
+    mem_bw_frac: float
+    #: Average busy CPU cores.
+    cpu_cores_active: float
+
+
+class StepTimer:
+    """Computes :class:`StepCost` for a (model, device, precision) triple."""
+
+    def __init__(
+        self,
+        arch: TransformerArchitecture,
+        device: EdgeDevice,
+        precision: Precision,
+        params: EngineCostParams | None = None,
+    ):
+        self.arch = arch
+        self.device = device
+        self.precision = precision
+        self.params = params or EngineCostParams()
+        self.weight_bytes = weight_bytes(arch, precision)
+
+    # -- internals -----------------------------------------------------------
+    def _combine(self, counts: PhaseCounts, n_tokens: int,
+                 concat_bytes: float, is_prefill: bool) -> StepCost:
+        p = self.params
+        dev = self.device
+        gpu = dev.gpu
+
+        stream_bw = dev.memory.streaming_bandwidth() * p.bw_scale
+
+        kv_scale = p.kv_traffic_scale
+        if self.precision is Precision.INT8 and p.quant.uses_fallback(gpu, self.precision):
+            kv_scale *= p.int8_kv_penalty
+        traffic_mult = p.quant.weight_traffic_multiplier(gpu, self.precision)
+        stream_bytes = (
+            counts.weight_bytes_read * traffic_mult
+            + counts.activation_bytes
+            + counts.kv_bytes_written
+            + concat_bytes
+            + (counts.kv_bytes_read + counts.kv_expand_bytes) * kv_scale
+        )
+        t_mem = stream_bytes / stream_bw
+
+        # GEMM efficiency saturates with the number of tokens in flight.
+        sat = n_tokens / (n_tokens + p.gemm_sat_tokens)
+        flops_rate = (
+            gpu.effective_flops(self.precision)
+            * p.flops_scale
+            * sat
+            * p.quant.math_rate_multiplier(gpu, self.precision)
+        )
+        t_matmul = counts.flops / flops_rate
+        t_dequant = p.quant.dequant_seconds(self.arch, gpu, self.precision)
+        t_actq = p.quant.activation_overhead_seconds(
+            self.arch, gpu, self.precision, n_tokens
+        )
+        t_comp = t_matmul + t_dequant + t_actq
+        # For power attribution: only ALU-saturating work counts as
+        # compute; the rest of the dequant time is memory-latency stall.
+        t_alu = (
+            t_matmul
+            + t_actq
+            + t_dequant * p.quant.dequant_alu_fraction(self.precision)
+        )
+
+        t_roof = (t_mem**p.overlap_p + t_comp**p.overlap_p) ** (1.0 / p.overlap_p)
+        # Kernel floors shrink with GPU clock and, partially, memory clock
+        # (occupancy ramps are latency-bound).
+        floor_scale = gpu.freq_ratio * dev.memory.freq_ratio**0.5
+        n_kernels = self.arch.kernels_per_step
+        if is_prefill:
+            n_kernels += self.arch.n_layers  # attention mask/materialisation
+        t_floor = n_kernels * p.kernel_floor_s / floor_scale
+        t_gpu = t_roof + t_floor
+
+        t_host = (p.host_step_s + p.host_per_seq_s * self._host_seqs(n_tokens, is_prefill)) \
+            / dev.cpu.freq_ratio
+        seconds = t_gpu + t_host
+
+        busy_cap = p.quant.gpu_utilization(self.precision)
+        gpu_busy = (t_gpu / seconds) * busy_cap
+        denom = t_mem + t_comp
+        gpu_compute = gpu_busy * (t_alu / denom if denom > 0 else 0.0)
+        bytes_moved = stream_bytes
+        peak_bw_now = dev.memory.peak_bandwidth * dev.memory.effective_ratio
+        mem_bw_frac = min(1.0, bytes_moved / (peak_bw_now * seconds))
+        # PyTorch's dispatch thread plus worker/GC threads keep a couple
+        # of cores busy throughout; the serial generate loop adds more
+        # while host-bound.
+        cpu_cores = 2.2 + 0.8 * (t_host / seconds)
+        return StepCost(
+            seconds=seconds,
+            t_mem=t_mem,
+            t_comp=t_comp,
+            t_kernel_floor=t_floor,
+            t_host=t_host,
+            bytes_moved=bytes_moved,
+            gpu_compute_frac=gpu_compute,
+            gpu_busy_frac=gpu_busy,
+            mem_bw_frac=mem_bw_frac,
+            cpu_cores_active=min(cpu_cores, float(dev.cpu.online_cores)),
+        )
+
+    @staticmethod
+    def _host_seqs(n_tokens: int, is_prefill: bool) -> float:
+        # Host post-processing is per sequence; during prefill HF does the
+        # same work once for the whole batch.
+        return 1.0 if is_prefill else float(n_tokens)
+
+    # -- public --------------------------------------------------------------
+    def prefill(self, batch_size: int, prompt_tokens: int) -> StepCost:
+        """Cost of ingesting the prompt for the whole batch."""
+        counts = prefill_counts(
+            self.arch, batch_size, prompt_tokens, self.weight_bytes
+        )
+        return self._combine(
+            counts, batch_size * prompt_tokens, concat_bytes=0.0, is_prefill=True
+        )
+
+    def decode_step(self, batch_size: int, context_len: int,
+                    concat_bytes: float = 0.0) -> StepCost:
+        """Cost of one decode iteration at the given context length."""
+        counts = decode_step_counts(
+            self.arch, batch_size, context_len, self.weight_bytes
+        )
+        return self._combine(
+            counts, batch_size, concat_bytes=concat_bytes, is_prefill=False
+        )

@@ -1,0 +1,71 @@
+"""Batch descriptors and results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class GenerationSpec:
+    """How much to generate per sequence.
+
+    The paper's sequence-length convention: ``input_tokens`` prompt
+    tokens, ``output_tokens`` generated tokens, total = sl.
+    """
+
+    input_tokens: int
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.input_tokens < 1 or self.output_tokens < 1:
+            raise ExperimentError("input/output token counts must be >= 1")
+
+    @property
+    def total_tokens(self) -> int:
+        return self.input_tokens + self.output_tokens
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One batch of prompts to run through the engine."""
+
+    batch_size: int
+    gen: GenerationSpec
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ExperimentError("batch size must be >= 1")
+
+    @property
+    def total_tokens(self) -> int:
+        """Input + output tokens across the batch (throughput numerator)."""
+        return self.batch_size * self.gen.total_tokens
+
+
+@dataclass
+class BatchResult:
+    """Measured outcome of one batch."""
+
+    request: BatchRequest
+    latency_s: float
+    prefill_s: float
+    decode_s: float
+    oom: bool = False
+    #: Per-decode-step durations (for tail analysis).
+    step_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def throughput_tok_s(self) -> float:
+        """The paper's token throughput: (input+output tokens) / latency."""
+        if self.oom or self.latency_s <= 0:
+            return 0.0
+        return self.request.total_tokens / self.latency_s
+
+    @property
+    def time_per_output_token_s(self) -> Optional[float]:
+        if self.oom or not self.step_seconds:
+            return None
+        return sum(self.step_seconds) / len(self.step_seconds)

@@ -1,0 +1,374 @@
+"""Request-level serving simulation: static vs continuous batching.
+
+The paper serves *static* batches (HF ``generate`` over a fixed prompt
+set) and points to dedicated inference engines as future work (§4).
+This module simulates both disciplines over the same calibrated cost
+model, with Poisson request arrivals on the DES:
+
+- :class:`StaticBatchScheduler` — collect up to ``max_batch`` requests
+  (or wait out ``max_wait_s``), run the batch to completion, repeat.
+  Simple, but late arrivals wait for the whole previous batch.
+- :class:`ContinuousBatchScheduler` — iteration-level scheduling in the
+  Orca/vLLM style: after every decode step, finished sequences retire
+  and queued requests are admitted (paying their prefill) while the KV
+  budget allows, so the GPU never idles on a draining batch.
+
+Both report per-request metrics: time-to-first-token, time-per-output-
+token, end-to-end latency, plus aggregate percentiles and goodput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.engine.kernels import EngineCostParams, StepTimer
+from repro.errors import ExperimentError, OutOfMemoryError
+from repro.hardware.device import EdgeDevice
+from repro.models.architecture import TransformerArchitecture
+from repro.models.footprint import weight_bytes
+from repro.quant.dtypes import Precision
+from repro.sim.environment import Environment
+from repro.sim.resources import Store
+
+
+@dataclass
+class ServeRequest:
+    """One inference request in the arrival stream."""
+
+    req_id: int
+    arrival_s: float
+    input_tokens: int
+    output_tokens: int
+    first_token_s: Optional[float] = None
+    finish_s: Optional[float] = None
+    generated: int = 0
+
+    @property
+    def ttft_s(self) -> Optional[float]:
+        """Time to first token."""
+        if self.first_token_s is None:
+            return None
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.finish_s is None:
+            return None
+        return self.finish_s - self.arrival_s
+
+    @property
+    def tpot_s(self) -> Optional[float]:
+        """Time per output token after the first."""
+        if self.finish_s is None or self.first_token_s is None or self.output_tokens < 2:
+            return None
+        return (self.finish_s - self.first_token_s) / (self.output_tokens - 1)
+
+
+def poisson_workload(
+    rate_per_s: float,
+    n_requests: int,
+    input_tokens: int = 32,
+    output_tokens: int = 64,
+    seed: int = 0,
+) -> List[ServeRequest]:
+    """Seeded Poisson arrival stream with fixed-shape requests."""
+    if rate_per_s <= 0 or n_requests < 1:
+        raise ExperimentError("need positive rate and >= 1 request")
+    rng = np.random.default_rng(seed)
+    t = 0.0
+    out = []
+    for i in range(n_requests):
+        t += float(rng.exponential(1.0 / rate_per_s))
+        out.append(ServeRequest(req_id=i, arrival_s=t,
+                                input_tokens=input_tokens,
+                                output_tokens=output_tokens))
+    return out
+
+
+@dataclass
+class ServingReport:
+    """Aggregate outcome of one serving simulation."""
+
+    discipline: str
+    n_requests: int
+    makespan_s: float
+    throughput_tok_s: float
+    mean_ttft_s: float
+    p95_ttft_s: float
+    mean_latency_s: float
+    p95_latency_s: float
+    mean_tpot_s: float
+    requests: List[ServeRequest] = field(default_factory=list)
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "discipline": self.discipline,
+            "throughput_tok_s": round(self.throughput_tok_s, 1),
+            "mean_ttft_s": round(self.mean_ttft_s, 2),
+            "p95_ttft_s": round(self.p95_ttft_s, 2),
+            "mean_latency_s": round(self.mean_latency_s, 2),
+            "p95_latency_s": round(self.p95_latency_s, 2),
+            "mean_tpot_s": round(self.mean_tpot_s, 4),
+        }
+
+
+def _report(discipline: str, requests: List[ServeRequest],
+            makespan: float) -> ServingReport:
+    done = [r for r in requests if r.finish_s is not None]
+    if not done:
+        raise ExperimentError("no request completed")
+    ttfts = np.array([r.ttft_s for r in done])
+    lats = np.array([r.latency_s for r in done])
+    tpots = np.array([r.tpot_s for r in done if r.tpot_s is not None])
+    total_tokens = sum(r.input_tokens + r.output_tokens for r in done)
+    return ServingReport(
+        discipline=discipline,
+        n_requests=len(done),
+        makespan_s=makespan,
+        throughput_tok_s=total_tokens / makespan,
+        mean_ttft_s=float(ttfts.mean()),
+        p95_ttft_s=float(np.percentile(ttfts, 95)),
+        mean_latency_s=float(lats.mean()),
+        p95_latency_s=float(np.percentile(lats, 95)),
+        mean_tpot_s=float(tpots.mean()) if tpots.size else 0.0,
+        requests=done,
+    )
+
+
+class _SchedulerBase:
+    def __init__(
+        self,
+        device: EdgeDevice,
+        arch: TransformerArchitecture,
+        precision: Precision,
+        max_batch: int = 32,
+        params: Optional[EngineCostParams] = None,
+        kv_budget_bytes: Optional[int] = None,
+    ):
+        if max_batch < 1:
+            raise ExperimentError("max_batch must be >= 1")
+        self.device = device
+        self.arch = arch
+        self.precision = precision
+        self.max_batch = max_batch
+        self.timer = StepTimer(arch, device, precision, params)
+        if kv_budget_bytes is None:
+            kv_budget_bytes = int(
+                device.memory.usable_bytes
+                - weight_bytes(arch, precision)
+                - 1e9  # workspace
+            )
+        if kv_budget_bytes <= 0:
+            raise ExperimentError("model leaves no KV budget on this device")
+        self.kv_budget = kv_budget_bytes
+        self._kv_per_token = arch.kv_cache_spec().bytes_per_token_per_layer \
+            * arch.n_layers
+
+    def kv_bytes(self, tokens: int) -> int:
+        return tokens * self._kv_per_token
+
+
+class StaticBatchScheduler(_SchedulerBase):
+    """The paper's discipline: fixed batches run to completion."""
+
+    def __init__(self, *args, max_wait_s: float = 1.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if max_wait_s < 0:
+            raise ExperimentError("max_wait_s must be >= 0")
+        self.max_wait_s = max_wait_s
+
+    def serve(self, requests: List[ServeRequest]) -> ServingReport:
+        """Run the arrival stream to completion; returns the report."""
+        env = Environment()
+        queue = Store(env)
+
+        def arrivals():
+            for r in sorted(requests, key=lambda x: x.arrival_s):
+                delay = r.arrival_s - env.now
+                if delay > 0:
+                    yield env.timeout(delay)
+                yield queue.put(r)
+
+        served = 0
+
+        def server():
+            nonlocal served
+            while served < len(requests):
+                first = yield queue.get()
+                batch = [first]
+                deadline = env.now + self.max_wait_s
+                # Fill the batch until the window closes or it is full.
+                while len(batch) < self.max_batch and queue.size > 0:
+                    batch.append((yield queue.get()))
+                if len(batch) < self.max_batch and env.now < deadline:
+                    yield env.timeout(deadline - env.now)
+                    while len(batch) < self.max_batch and queue.size > 0:
+                        batch.append((yield queue.get()))
+
+                bs = len(batch)
+                inp = max(r.input_tokens for r in batch)
+                out = max(r.output_tokens for r in batch)
+                yield env.timeout(self.timer.prefill(bs, inp).seconds)
+                for step in range(out):
+                    context = inp + step
+                    concat = 2 * self.kv_bytes(bs * context)
+                    cost = self.timer.decode_step(bs, context, concat_bytes=concat)
+                    yield env.timeout(cost.seconds)
+                    for r in batch:
+                        if step == 0:
+                            r.first_token_s = env.now
+                        if step == r.output_tokens - 1 and r.finish_s is None:
+                            # Static batching holds finished sequences
+                            # until the whole batch drains (padding), but
+                            # the client sees its last token here.
+                            r.finish_s = env.now
+                served += bs
+
+        env.process(arrivals(), name="arrivals")
+        done = env.process(server(), name="static-server")
+        env.run(until=done)
+        return _report("static", requests, env.now)
+
+
+class ContinuousBatchScheduler(_SchedulerBase):
+    """Iteration-level scheduling (Orca/vLLM style).
+
+    With ``paged=True`` admission control runs through the
+    :class:`~repro.memsys.paged.PagedKVCache` block manager instead of
+    whole-sequence byte reservations: sequences only hold blocks for the
+    tokens they have actually produced, so more requests fit the same
+    budget (at bounded per-sequence slack).
+    """
+
+    def __init__(self, *args, paged: bool = False, block_tokens: int = 16,
+                 **kwargs):
+        super().__init__(*args, **kwargs)
+        self.paged = paged
+        self.block_tokens = block_tokens
+
+    def serve(self, requests: List[ServeRequest]) -> ServingReport:
+        from repro.memsys.allocator import CachingAllocator
+        from repro.memsys.paged import PagedKVCache
+
+        env = Environment()
+        pending = sorted(requests, key=lambda x: x.arrival_s)
+        arrived: List[ServeRequest] = []
+        active: List[ServeRequest] = []
+        next_idx = 0
+
+        paged_cache: Optional[PagedKVCache] = None
+        if self.paged:
+            # Headroom for segment rounding (the allocator's large-pool
+            # floor is 20 MiB).
+            pool_alloc = CachingAllocator(self.kv_budget + 32 * 2**20)
+            paged_cache = PagedKVCache(
+                self.arch.kv_cache_spec(), pool_alloc, self.kv_budget,
+                block_tokens=self.block_tokens,
+            )
+
+        def kv_in_use() -> int:
+            return sum(
+                self.kv_bytes(r.input_tokens + r.generated) for r in active
+            )
+
+        def can_admit(r: ServeRequest) -> bool:
+            if paged_cache is not None:
+                # Paged: only the prompt needs blocks now; decode grows
+                # block by block.
+                return paged_cache.can_admit(r.input_tokens + 1)
+            # Contiguous: reserve the whole final sequence up front.
+            return kv_in_use() + self.kv_bytes(
+                r.input_tokens + r.output_tokens
+            ) <= self.kv_budget
+
+        #: Preempted requests wait here until a sequence finishes —
+        #: re-admitting them immediately would steal the very blocks the
+        #: running sequences need to grow (admission/preemption thrash).
+        parked: List[ServeRequest] = []
+
+        def server():
+            nonlocal next_idx
+            finished = 0
+            while finished < len(pending):
+                # Pull arrivals up to the current time.
+                while next_idx < len(pending) and pending[next_idx].arrival_s <= env.now:
+                    arrived.append(pending[next_idx])
+                    next_idx += 1
+                # Admit while capacity allows; newly admitted pay prefill.
+                admitted = []
+                while (arrived and len(active) < self.max_batch
+                       and can_admit(arrived[0])):
+                    r = arrived.pop(0)
+                    active.append(r)
+                    admitted.append(r)
+                    if paged_cache is not None:
+                        paged_cache.add_sequence(r.req_id, r.input_tokens)
+                for r in admitted:
+                    yield env.timeout(
+                        self.timer.prefill(1, r.input_tokens).seconds
+                    )
+
+                if not active:
+                    # Idle: jump to the next arrival.
+                    if next_idx < len(pending):
+                        yield env.timeout(
+                            max(0.0, pending[next_idx].arrival_s - env.now)
+                        )
+                        continue
+                    break
+
+                bs = len(active)
+                context = max(r.input_tokens + r.generated for r in active)
+                concat = 2 * self.kv_bytes(bs * context)
+                cost = self.timer.decode_step(bs, context, concat_bytes=concat)
+                yield env.timeout(cost.seconds)
+
+                def preempt_youngest(keep: ServeRequest) -> bool:
+                    """Recompute-style preemption: evict the youngest
+                    other sequence (ties broken by admission order, so
+                    the head of the batch always makes progress) into the
+                    parked list until something finishes."""
+                    victims = [a for a in active if a is not keep]
+                    if not victims:
+                        return False
+                    victim = max(victims,
+                                 key=lambda a: (a.arrival_s, active.index(a)))
+                    paged_cache.release_sequence(victim.req_id)
+                    active.remove(victim)
+                    victim.generated = 0
+                    parked.append(victim)
+                    return True
+
+                for r in list(active):
+                    if r not in active:
+                        continue  # preempted within this iteration
+                    r.generated += 1
+                    if paged_cache is not None:
+                        while True:
+                            try:
+                                paged_cache.append_token(r.req_id)
+                                break
+                            except OutOfMemoryError:
+                                if not preempt_youngest(r):
+                                    raise
+                    if r.generated == 1 and r.first_token_s is None:
+                        r.first_token_s = env.now
+                    if r.generated >= r.output_tokens:
+                        r.finish_s = env.now
+                        active.remove(r)
+                        finished += 1
+                        if paged_cache is not None:
+                            paged_cache.release_sequence(r.req_id)
+                        if parked:
+                            # Freed capacity: let preempted work retry,
+                            # ahead of fresh arrivals.
+                            arrived[0:0] = parked
+                            parked.clear()
+
+        done = env.process(server(), name="continuous-server")
+        env.run(until=done)
+        return _report("continuous-paged" if self.paged else "continuous",
+                       requests, env.now)

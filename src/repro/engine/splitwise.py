@@ -1,0 +1,128 @@
+"""Phase-split serving across two devices (Splitwise-style; paper ref [11]).
+
+The paper cites Splitwise for the observation that prefill is
+compute-bound while decode is memory-bound; Splitwise's proposal is to
+run the two phases on different machines, shipping the prompt's KV
+cache across a link.  This module simulates that split with this repo's
+calibrated cost models: a *prefill device* ingests prompts, transfers
+the KV cache, and a *decode device* generates — pipelined, so prefill
+of batch N+1 overlaps decode of batch N.
+
+It answers the §4 question "does coupling the edge box with a second
+device pay?" quantitatively: the split wins when the prefill share of a
+collocated run exceeds the KV-transfer cost, i.e. long prompts and
+short generations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.engine.kernels import EngineCostParams, StepTimer
+from repro.engine.request import GenerationSpec
+from repro.errors import ExperimentError
+from repro.hardware.device import EdgeDevice
+from repro.models.architecture import TransformerArchitecture
+from repro.quant.dtypes import Precision
+
+
+@dataclass(frozen=True)
+class SplitServingResult:
+    """Steady-state comparison of collocated vs phase-split serving."""
+
+    collocated_batch_s: float
+    prefill_stage_s: float
+    kv_transfer_s: float
+    decode_stage_s: float
+    #: Pipelined steady-state seconds per batch for the split setup.
+    split_batch_s: float
+    #: Throughput gain of the split over collocated (>1 means split wins).
+    speedup: float
+    #: End-to-end latency of one batch through the split pipeline.
+    split_latency_s: float
+
+
+def simulate_phase_split(
+    prefill_device: EdgeDevice,
+    decode_device: EdgeDevice,
+    arch: TransformerArchitecture,
+    precision: Precision,
+    batch_size: int = 32,
+    gen: GenerationSpec = GenerationSpec(256, 64),
+    link_bytes_per_s: float = 10e9 / 8,  # 10 GbE
+    params: Optional[EngineCostParams] = None,
+) -> SplitServingResult:
+    """Steady-state throughput of split vs collocated serving.
+
+    Both devices hold a copy of the model (Splitwise's deployment).  In
+    steady state the split pipeline's batch period is the *max* of its
+    three stages; collocated serving pays prefill + decode in series.
+    """
+    if link_bytes_per_s <= 0:
+        raise ExperimentError("link bandwidth must be positive")
+
+    pre_timer = StepTimer(arch, prefill_device, precision, params)
+    dec_timer = StepTimer(arch, decode_device, precision, params)
+
+    prefill_s = pre_timer.prefill(batch_size, gen.input_tokens).seconds
+
+    kv_bytes = arch.kv_cache_spec().bytes_total(batch_size, gen.input_tokens)
+    transfer_s = kv_bytes / link_bytes_per_s
+
+    decode_s = 0.0
+    for step in range(gen.output_tokens):
+        context = gen.input_tokens + step
+        spec = arch.kv_cache_spec()
+        concat = spec.bytes_total(batch_size, context) + spec.bytes_total(
+            batch_size, context + 1
+        )
+        decode_s += dec_timer.decode_step(batch_size, context,
+                                          concat_bytes=concat).seconds
+
+    # Collocated: the decode device does everything in series.
+    collocated_prefill_s = dec_timer.prefill(batch_size, gen.input_tokens).seconds
+    collocated_s = collocated_prefill_s + decode_s
+
+    split_period = max(prefill_s, transfer_s, decode_s)
+    split_latency = prefill_s + transfer_s + decode_s
+    return SplitServingResult(
+        collocated_batch_s=collocated_s,
+        prefill_stage_s=prefill_s,
+        kv_transfer_s=transfer_s,
+        decode_stage_s=decode_s,
+        split_batch_s=split_period,
+        speedup=collocated_s / split_period,
+        split_latency_s=split_latency,
+    )
+
+
+def split_break_even_prompt_tokens(
+    prefill_device: EdgeDevice,
+    decode_device: EdgeDevice,
+    arch: TransformerArchitecture,
+    precision: Precision,
+    batch_size: int = 32,
+    output_tokens: int = 64,
+    link_bytes_per_s: float = 10e9 / 8,
+    max_prompt: int = 8192,
+    params: Optional[EngineCostParams] = None,
+) -> Optional[int]:
+    """Smallest prompt length at which the split beats collocated by >10%.
+
+    Returns None if it never does within ``max_prompt`` (e.g. the link
+    is too slow or generations are long enough that decode dominates).
+    """
+    prompt = 64
+    while prompt <= max_prompt:
+        res = simulate_phase_split(
+            prefill_device, decode_device, arch, precision,
+            batch_size=batch_size,
+            gen=GenerationSpec(prompt, output_tokens),
+            link_bytes_per_s=link_bytes_per_s,
+            params=params,
+        )
+        if res.speedup > 1.1:
+            return prompt
+        prompt *= 2
+    return None

@@ -1,0 +1,28 @@
+"""Live engine state shared with the telemetry sampler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power.model import ComponentUtilization
+
+
+@dataclass
+class EngineState:
+    """What the engine is doing *right now* (sim time).
+
+    The executor updates this at phase boundaries; the jtop-style
+    sampler reads it every 2 s of simulated time to produce the power
+    trace, exactly as the real tooling samples a running board.
+    """
+
+    phase: str = "idle"
+    util: ComponentUtilization = field(default_factory=ComponentUtilization.idle)
+
+    def set(self, phase: str, util: ComponentUtilization) -> None:
+        self.phase = phase
+        self.util = util
+
+    def set_idle(self) -> None:
+        self.phase = "idle"
+        self.util = ComponentUtilization.idle()

@@ -1,0 +1,96 @@
+"""Sustained serving with thermal feedback (extension beyond the paper).
+
+The paper measures short sessions; §4 calls out sustained serving as
+future work.  This module closes the loop: batches run back-to-back,
+each batch's power heats the lumped thermal model, and when the junction
+crosses the throttle point the GPU clock steps down (and recovers with
+hysteresis) — showing where MAXN's headline throughput is *not*
+sustainable on a passively cooled board while a reduced power mode is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.engine.kernels import EngineCostParams, StepTimer
+from repro.engine.request import GenerationSpec
+from repro.errors import ExperimentError
+from repro.hardware.device import EdgeDevice
+from repro.hardware.thermal import ThermalModel
+from repro.models.architecture import TransformerArchitecture
+from repro.power.model import ComponentUtilization, PowerModel
+from repro.quant.dtypes import Precision
+
+
+@dataclass(frozen=True)
+class SustainedSample:
+    """State after one batch of a sustained session."""
+
+    t_end_s: float
+    batch_latency_s: float
+    throughput_tok_s: float
+    power_w: float
+    temp_c: float
+    throttled: bool
+
+
+def run_sustained(
+    device: EdgeDevice,
+    arch: TransformerArchitecture,
+    precision: Precision,
+    duration_s: float,
+    batch_size: int = 32,
+    gen: GenerationSpec = GenerationSpec(32, 64),
+    thermal: Optional[ThermalModel] = None,
+    params: Optional[EngineCostParams] = None,
+    power_model: Optional[PowerModel] = None,
+) -> List[SustainedSample]:
+    """Serve batches back-to-back for ``duration_s`` simulated seconds.
+
+    The device's GPU clock is modulated by the thermal model's throttle
+    multiplier between batches.  Returns one sample per completed batch.
+    """
+    if duration_s <= 0:
+        raise ExperimentError("duration must be positive")
+    thermal = thermal or ThermalModel()
+    power_model = power_model or PowerModel()
+    timer = StepTimer(arch, device, precision, params)
+
+    nominal_gpu_hz = device.gpu.freq_hz
+    samples: List[SustainedSample] = []
+    now = 0.0
+    while now < duration_s:
+        target = max(
+            device.gpu.min_freq_hz, nominal_gpu_hz * thermal.freq_multiplier
+        )
+        device.gpu.set_freq(target)
+
+        prefill = timer.prefill(batch_size, gen.input_tokens)
+        latency = prefill.seconds
+        # Decode at the mid-context cost (costs are near-linear in t).
+        mid = gen.input_tokens + gen.output_tokens // 2
+        step = timer.decode_step(batch_size, mid)
+        latency += step.seconds * gen.output_tokens
+
+        util = ComponentUtilization(
+            gpu_compute=step.gpu_compute_frac,
+            gpu_busy=step.gpu_busy_frac,
+            mem_bw=step.mem_bw_frac,
+            cpu_cores_active=step.cpu_cores_active,
+        )
+        watts = power_model.power_w(device, util)
+        temp = thermal.advance(watts, latency)
+        now += latency
+        samples.append(
+            SustainedSample(
+                t_end_s=now,
+                batch_latency_s=latency,
+                throughput_tok_s=batch_size * gen.total_tokens / latency,
+                power_w=watts,
+                temp_c=temp,
+                throttled=thermal.throttled,
+            )
+        )
+    device.gpu.set_freq(nominal_gpu_hz)
+    return samples

@@ -1,0 +1,39 @@
+"""Hardware component models and device presets.
+
+The central object is :class:`~repro.hardware.device.EdgeDevice`, a
+composition of a :class:`~repro.hardware.cpu.CpuCluster`, a
+:class:`~repro.hardware.gpu.Gpu` and a shared
+:class:`~repro.hardware.memory.SharedMemory`.  Presets mirror real boards:
+
+- :func:`~repro.hardware.jetson.orin_agx_64gb` — the paper's testbed.
+- :func:`~repro.hardware.jetson.orin_agx_32gb`,
+  :func:`~repro.hardware.jetson.xavier_agx_32gb` — related-work devices.
+- :func:`~repro.hardware.datacenter.a100_sxm_80gb` — the server baseline
+  used for the quantization-crossover contrast (paper §3.3, ref [10]).
+
+Frequencies are mutable at runtime (that is what power modes do); peak
+capabilities scale linearly with clock, which is the right first-order
+model for both SM math throughput and LPDDR bandwidth.
+"""
+
+from repro.hardware.cpu import CpuCluster
+from repro.hardware.gpu import Gpu
+from repro.hardware.memory import SharedMemory
+from repro.hardware.device import EdgeDevice, device_registry, get_device
+from repro.hardware.jetson import orin_agx_64gb, orin_agx_32gb, xavier_agx_32gb
+from repro.hardware.datacenter import a100_sxm_80gb
+from repro.hardware.thermal import ThermalModel
+
+__all__ = [
+    "CpuCluster",
+    "EdgeDevice",
+    "Gpu",
+    "SharedMemory",
+    "ThermalModel",
+    "a100_sxm_80gb",
+    "device_registry",
+    "get_device",
+    "orin_agx_32gb",
+    "orin_agx_64gb",
+    "xavier_agx_32gb",
+]

@@ -1,0 +1,98 @@
+"""CPU cluster model (e.g. the Orin AGX's 12-core ARM Cortex-A78AE)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class CpuCluster:
+    """A homogeneous CPU cluster with DVFS and hot-pluggable cores.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"ARM Cortex-A78AE"``.
+    total_cores:
+        Physical core count.
+    max_freq_hz:
+        Maximum supported clock.
+    min_freq_hz:
+        Lowest DVFS operating point.
+    online_cores:
+        Currently enabled cores (power modes take cores offline).
+    freq_hz:
+        Current clock (power modes lower it).
+    ipc:
+        Sustained instructions-per-cycle for the serving workload's
+        CPU-side code (tokenization, Python dispatch, sampling).  Used to
+        convert "CPU work units" into seconds.
+    """
+
+    name: str
+    total_cores: int
+    max_freq_hz: float
+    min_freq_hz: float = 115.2e6
+    online_cores: int = field(default=0)
+    freq_hz: float = field(default=0.0)
+    ipc: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.total_cores < 1:
+            raise ConfigError(f"CPU needs >= 1 core, got {self.total_cores}")
+        if self.max_freq_hz <= 0:
+            raise ConfigError("CPU max frequency must be positive")
+        if self.min_freq_hz <= 0 or self.min_freq_hz > self.max_freq_hz:
+            raise ConfigError("CPU min frequency must be in (0, max]")
+        if self.online_cores == 0:
+            self.online_cores = self.total_cores
+        if self.freq_hz == 0.0:
+            self.freq_hz = self.max_freq_hz
+        self._validate_state()
+
+    def _validate_state(self) -> None:
+        if not (1 <= self.online_cores <= self.total_cores):
+            raise ConfigError(
+                f"online cores {self.online_cores} outside [1, {self.total_cores}]"
+            )
+        if not (self.min_freq_hz <= self.freq_hz <= self.max_freq_hz):
+            raise ConfigError(
+                f"CPU frequency {self.freq_hz:.3e} Hz outside "
+                f"[{self.min_freq_hz:.3e}, {self.max_freq_hz:.3e}]"
+            )
+
+    # -- runtime control (what nvpmodel does) -----------------------------
+    def set_freq(self, freq_hz: float) -> None:
+        """Set the cluster clock; raises :class:`ConfigError` if out of range."""
+        self.freq_hz = float(freq_hz)
+        self._validate_state()
+
+    def set_online_cores(self, n: int) -> None:
+        """Enable exactly ``n`` cores."""
+        self.online_cores = int(n)
+        self._validate_state()
+
+    # -- capability queries -------------------------------------------------
+    @property
+    def single_core_ops_per_s(self) -> float:
+        """Scalar-op throughput of one core at the current clock."""
+        return self.freq_hz * self.ipc
+
+    def time_for_serial_work(self, ops: float) -> float:
+        """Seconds to retire ``ops`` single-threaded operations."""
+        return ops / self.single_core_ops_per_s
+
+    def time_for_parallel_work(self, ops: float, parallel_fraction: float = 1.0) -> float:
+        """Seconds for ``ops`` with an Amdahl parallel fraction across online cores."""
+        if not (0.0 <= parallel_fraction <= 1.0):
+            raise ConfigError("parallel fraction must be within [0, 1]")
+        serial = ops * (1.0 - parallel_fraction)
+        parallel = ops * parallel_fraction / self.online_cores
+        return (serial + parallel) / self.single_core_ops_per_s
+
+    @property
+    def freq_ratio(self) -> float:
+        """Current clock relative to max (used by the power model)."""
+        return self.freq_hz / self.max_freq_hz

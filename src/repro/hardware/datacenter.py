@@ -1,0 +1,58 @@
+"""Datacenter GPU presets, used as comparison baselines.
+
+The paper contrasts its edge observations ("quantization makes small
+models slower") with Dettmers et al.'s A100 results ("quantization speeds
+up models > 13B").  An A100 preset lets the ablation bench reproduce that
+crossover from the same kernel-cost model.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cpu import CpuCluster
+from repro.hardware.device import EdgeDevice, register_device
+from repro.hardware.gpu import Gpu
+from repro.hardware.memory import SharedMemory
+from repro.quant.dtypes import Precision
+from repro.units import gb_per_s, ghz, gib, mhz, tflops
+
+
+def a100_sxm_80gb() -> EdgeDevice:
+    """NVIDIA A100 SXM 80 GB with a typical EPYC host."""
+    return EdgeDevice(
+        name="a100-sxm-80gb",
+        cpu=CpuCluster(
+            name="AMD EPYC 7763 (host)",
+            total_cores=64,
+            max_freq_hz=ghz(2.45),
+            min_freq_hz=ghz(1.5),
+            ipc=4.0,
+        ),
+        gpu=Gpu(
+            name="A100 SXM (6912 CUDA cores, 432 tensor cores)",
+            cuda_cores=6912,
+            max_freq_hz=mhz(1410),
+            min_freq_hz=mhz(210),
+            peak_flops={
+                Precision.FP32: tflops(19.5),
+                Precision.FP16: tflops(312.0),
+            },
+            mma_efficiency=0.70,
+            kernel_launch_s=4e-6,
+            int8_tensor_core_gemm=True,
+        ),
+        memory=SharedMemory(
+            capacity_bytes=gib(80),
+            max_freq_hz=mhz(1593),
+            min_freq_hz=mhz(512),
+            peak_bandwidth=gb_per_s(2039.0),
+            streaming_efficiency=0.85,
+            strided_efficiency=0.35,
+            reserved_bytes=gib(1.0),
+        ),
+        unified_memory=False,
+        idle_power_w=55.0,
+        max_power_w=400.0,
+    )
+
+
+register_device("a100-sxm-80gb", a100_sxm_80gb)

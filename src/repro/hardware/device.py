@@ -1,0 +1,86 @@
+"""Device composition and registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigError
+from repro.hardware.cpu import CpuCluster
+from repro.hardware.gpu import Gpu
+from repro.hardware.memory import SharedMemory
+
+
+@dataclass
+class EdgeDevice:
+    """A complete accelerator board: CPU cluster + GPU + (shared) memory.
+
+    ``unified_memory`` distinguishes Jetson-class devices (single LPDDR
+    pool shared by CPU and GPU) from discrete-GPU servers (separate HBM);
+    on non-unified devices the memory object models the *GPU* memory and
+    host RAM is assumed plentiful.
+
+    The mutable frequency state on the components is the device's *current
+    operating point*; :mod:`repro.power` mutates it when applying modes.
+    """
+
+    name: str
+    cpu: CpuCluster
+    gpu: Gpu
+    memory: SharedMemory
+    unified_memory: bool = True
+    #: Idle board power in watts (fans, SoC, rails) at default clocks.
+    idle_power_w: float = 8.0
+    #: Power budget cap in watts (Orin AGX: 60 W at MAXN), informational.
+    max_power_w: float = 60.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.idle_power_w < 0 or self.max_power_w <= 0:
+            raise ConfigError("device power figures must be positive")
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current operating point, for traces and reports."""
+        return {
+            "gpu_freq_hz": self.gpu.freq_hz,
+            "cpu_freq_hz": self.cpu.freq_hz,
+            "cpu_online_cores": float(self.cpu.online_cores),
+            "mem_freq_hz": self.memory.freq_hz,
+        }
+
+    def reset_to_max(self) -> None:
+        """Restore the default (MAXN-like) operating point."""
+        self.gpu.set_freq(self.gpu.max_freq_hz)
+        self.cpu.set_freq(self.cpu.max_freq_hz)
+        self.cpu.set_online_cores(self.cpu.total_cores)
+        self.memory.set_freq(self.memory.max_freq_hz)
+
+
+_REGISTRY: Dict[str, Callable[[], EdgeDevice]] = {}
+
+
+def register_device(name: str, factory: Callable[[], EdgeDevice]) -> None:
+    """Register a device preset under ``name`` (lowercase key)."""
+    key = name.strip().lower()
+    if key in _REGISTRY:
+        raise ConfigError(f"device {name!r} already registered")
+    _REGISTRY[key] = factory
+
+
+def device_registry() -> Dict[str, Callable[[], EdgeDevice]]:
+    """Read-only view of the preset registry."""
+    return dict(_REGISTRY)
+
+
+def get_device(name: str) -> EdgeDevice:
+    """Instantiate a fresh device preset by name.
+
+    Each call returns a new object so experiments can mutate frequency
+    state without interfering with each other.
+    """
+    key = name.strip().lower()
+    factory = _REGISTRY.get(key)
+    if factory is None:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ConfigError(f"unknown device {name!r}; known: {known}")
+    return factory()

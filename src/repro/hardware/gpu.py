@@ -1,0 +1,98 @@
+"""GPU model (e.g. the Orin AGX's 2048-core Ampere integrated GPU)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.quant.dtypes import Precision
+
+
+@dataclass
+class Gpu:
+    """An SIMT GPU with precision-dependent math throughput.
+
+    Peak FLOP/s at max clock is given per precision; dequantized INT8/INT4
+    matmuls in the bitsandbytes style execute in FP16 after dequantization,
+    so their *math* peak equals FP16 — the extra cost is modelled separately
+    by :class:`repro.quant.overhead.QuantKernelModel`.
+
+    Attributes
+    ----------
+    cuda_cores:
+        Shader core count (informational, used for launch-overhead scaling).
+    max_freq_hz / freq_hz:
+        Max and current SM clock.
+    peak_flops:
+        Map precision -> peak FLOP/s *at max clock*.
+    mma_efficiency:
+        Fraction of peak achievable on large GEMMs by the runtime's kernels
+        (cuBLAS on Jetson reaches ~0.55-0.75 on these shapes).
+    kernel_launch_s:
+        Host-side cost of launching one kernel (Jetson: ~5-15 us; this is
+        the dominant term for small models like Phi-2).
+    int8_tensor_core_gemm:
+        True if the bitsandbytes INT8 matmul (igemmlt) runs natively on
+        this part.  On the paper's Orin AGX (sm_87, bnb of that era) it
+        did not — INT8 inference dequantized weights and multiplied in
+        FP16, which is why quantization made models *slower* on the edge
+        while speeding up large models on A100-class GPUs (paper §3.3).
+    """
+
+    name: str
+    cuda_cores: int
+    max_freq_hz: float
+    peak_flops: Dict[Precision, float]
+    min_freq_hz: float = 114.75e6
+    freq_hz: float = field(default=0.0)
+    mma_efficiency: float = 0.62
+    kernel_launch_s: float = 9e-6
+    int8_tensor_core_gemm: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cuda_cores < 1:
+            raise ConfigError("GPU needs >= 1 CUDA core")
+        if self.max_freq_hz <= 0:
+            raise ConfigError("GPU max frequency must be positive")
+        if Precision.FP16 not in self.peak_flops:
+            raise ConfigError("GPU peak_flops must include FP16")
+        if not (0.0 < self.mma_efficiency <= 1.0):
+            raise ConfigError("mma_efficiency must be in (0, 1]")
+        if self.freq_hz == 0.0:
+            self.freq_hz = self.max_freq_hz
+        self._validate_state()
+
+    def _validate_state(self) -> None:
+        if not (self.min_freq_hz <= self.freq_hz <= self.max_freq_hz):
+            raise ConfigError(
+                f"GPU frequency {self.freq_hz:.3e} Hz outside "
+                f"[{self.min_freq_hz:.3e}, {self.max_freq_hz:.3e}]"
+            )
+
+    def set_freq(self, freq_hz: float) -> None:
+        """Set the SM clock; raises :class:`ConfigError` if out of range."""
+        self.freq_hz = float(freq_hz)
+        self._validate_state()
+
+    @property
+    def freq_ratio(self) -> float:
+        """Current clock relative to max."""
+        return self.freq_hz / self.max_freq_hz
+
+    def effective_flops(self, precision: Precision) -> float:
+        """Sustained FLOP/s for large GEMMs at the current clock.
+
+        Quantized precisions compute in FP16 after dequantization.
+        """
+        math_prec = Precision.FP16 if precision.is_quantized else precision
+        peak = self.peak_flops.get(math_prec)
+        if peak is None:
+            raise ConfigError(f"GPU has no peak FLOP/s entry for {math_prec}")
+        return peak * self.freq_ratio * self.mma_efficiency
+
+    def launch_overhead(self, n_kernels: int) -> float:
+        """Host-side seconds to launch ``n_kernels`` kernels."""
+        if n_kernels < 0:
+            raise ConfigError("kernel count must be non-negative")
+        return n_kernels * self.kernel_launch_s

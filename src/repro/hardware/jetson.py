@@ -1,0 +1,216 @@
+"""Jetson device presets.
+
+Numbers come from NVIDIA's published specifications:
+
+- Orin AGX 64GB: 12x Cortex-A78AE @ 2.2 GHz, Ampere GPU with 2048 CUDA
+  cores @ 1.301 GHz (5.3 FP32 / 10.6 FP16 TFLOP/s), 64 GB LPDDR5 @ 3200 MHz
+  (204.8 GB/s), 15-60 W.
+- Orin AGX 32GB: 8 CPU cores, 1792 CUDA cores @ 930 MHz, 204.8 GB/s.
+- Xavier AGX 32GB: 8x Carmel @ 2.265 GHz, 512-core Volta @ 1.377 GHz,
+  LPDDR4x @ 2133 MHz (136.5 GB/s).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cpu import CpuCluster
+from repro.hardware.device import EdgeDevice, register_device
+from repro.hardware.gpu import Gpu
+from repro.hardware.memory import SharedMemory
+from repro.quant.dtypes import Precision
+from repro.units import gb_per_s, ghz, gib, mhz, tflops
+
+
+def orin_agx_64gb() -> EdgeDevice:
+    """The paper's testbed: Jetson Orin AGX Developer Kit, 64 GB."""
+    return EdgeDevice(
+        name="jetson-orin-agx-64gb",
+        cpu=CpuCluster(
+            name="ARM Cortex-A78AE",
+            total_cores=12,
+            max_freq_hz=ghz(2.2014),
+            min_freq_hz=mhz(115.2),
+        ),
+        gpu=Gpu(
+            name="Ampere iGPU (2048 CUDA cores, 64 tensor cores)",
+            cuda_cores=2048,
+            max_freq_hz=mhz(1301),
+            min_freq_hz=mhz(114.75),
+            peak_flops={
+                Precision.FP32: tflops(5.33),
+                Precision.FP16: tflops(10.65),
+            },
+            mma_efficiency=0.62,
+            kernel_launch_s=9e-6,
+        ),
+        memory=SharedMemory(
+            capacity_bytes=gib(64),
+            max_freq_hz=mhz(3199),
+            min_freq_hz=mhz(204),
+            peak_bandwidth=gb_per_s(204.8),
+            streaming_efficiency=0.78,
+            strided_efficiency=0.11,
+            # Ubuntu desktop + JetPack services + CUDA context: what the
+            # paper's pre-load jtop baseline shows as already used.
+            reserved_bytes=gib(6.0),
+        ),
+        unified_memory=True,
+        idle_power_w=9.0,
+        max_power_w=60.0,
+    )
+
+
+def orin_agx_32gb() -> EdgeDevice:
+    """The 32 GB Orin AGX used by Seymour et al. (paper ref [6])."""
+    return EdgeDevice(
+        name="jetson-orin-agx-32gb",
+        cpu=CpuCluster(
+            name="ARM Cortex-A78AE",
+            total_cores=8,
+            max_freq_hz=ghz(2.2014),
+            min_freq_hz=mhz(115.2),
+        ),
+        gpu=Gpu(
+            name="Ampere iGPU (1792 CUDA cores, 56 tensor cores)",
+            cuda_cores=1792,
+            max_freq_hz=mhz(930),
+            min_freq_hz=mhz(114.75),
+            peak_flops={
+                Precision.FP32: tflops(3.33),
+                Precision.FP16: tflops(6.66),
+            },
+            mma_efficiency=0.62,
+            kernel_launch_s=9e-6,
+        ),
+        memory=SharedMemory(
+            capacity_bytes=gib(32),
+            max_freq_hz=mhz(3199),
+            min_freq_hz=mhz(204),
+            peak_bandwidth=gb_per_s(204.8),
+            streaming_efficiency=0.78,
+            strided_efficiency=0.11,
+            reserved_bytes=gib(3.3),
+        ),
+        unified_memory=True,
+        idle_power_w=8.0,
+        max_power_w=40.0,
+    )
+
+
+def xavier_agx_32gb() -> EdgeDevice:
+    """Jetson Xavier AGX 32 GB (the authors' earlier poster, ref [7])."""
+    return EdgeDevice(
+        name="jetson-xavier-agx-32gb",
+        cpu=CpuCluster(
+            name="NVIDIA Carmel",
+            total_cores=8,
+            max_freq_hz=ghz(2.2656),
+            min_freq_hz=mhz(115.2),
+        ),
+        gpu=Gpu(
+            name="Volta iGPU (512 CUDA cores, 64 tensor cores)",
+            cuda_cores=512,
+            max_freq_hz=mhz(1377),
+            min_freq_hz=mhz(114.75),
+            peak_flops={
+                Precision.FP32: tflops(1.41),
+                Precision.FP16: tflops(2.82),
+            },
+            mma_efficiency=0.58,
+            kernel_launch_s=12e-6,
+        ),
+        memory=SharedMemory(
+            capacity_bytes=gib(32),
+            max_freq_hz=mhz(2133),
+            min_freq_hz=mhz(204),
+            peak_bandwidth=gb_per_s(136.5),
+            streaming_efficiency=0.72,
+            strided_efficiency=0.10,
+            reserved_bytes=gib(3.0),
+        ),
+        unified_memory=True,
+        idle_power_w=8.5,
+        max_power_w=30.0,
+    )
+
+
+def orin_nx_16gb() -> EdgeDevice:
+    """Jetson Orin NX 16 GB — the mid-range sibling (1024 CUDA cores,
+    102.4 GB/s LPDDR5), for cross-device scaling studies."""
+    return EdgeDevice(
+        name="jetson-orin-nx-16gb",
+        cpu=CpuCluster(
+            name="ARM Cortex-A78AE",
+            total_cores=8,
+            max_freq_hz=ghz(2.0),
+            min_freq_hz=mhz(115.2),
+        ),
+        gpu=Gpu(
+            name="Ampere iGPU (1024 CUDA cores, 32 tensor cores)",
+            cuda_cores=1024,
+            max_freq_hz=mhz(918),
+            min_freq_hz=mhz(114.75),
+            peak_flops={
+                Precision.FP32: tflops(1.88),
+                Precision.FP16: tflops(3.76),
+            },
+            mma_efficiency=0.62,
+            kernel_launch_s=9e-6,
+        ),
+        memory=SharedMemory(
+            capacity_bytes=gib(16),
+            max_freq_hz=mhz(3199),
+            min_freq_hz=mhz(204),
+            peak_bandwidth=gb_per_s(102.4),
+            streaming_efficiency=0.78,
+            strided_efficiency=0.11,
+            reserved_bytes=gib(2.5),
+        ),
+        unified_memory=True,
+        idle_power_w=6.0,
+        max_power_w=25.0,
+    )
+
+
+def orin_nano_8gb() -> EdgeDevice:
+    """Jetson Orin Nano 8 GB — the entry-level part (512 CUDA cores,
+    68 GB/s); only the smallest models fit."""
+    return EdgeDevice(
+        name="jetson-orin-nano-8gb",
+        cpu=CpuCluster(
+            name="ARM Cortex-A78AE",
+            total_cores=6,
+            max_freq_hz=ghz(1.5),
+            min_freq_hz=mhz(115.2),
+        ),
+        gpu=Gpu(
+            name="Ampere iGPU (512 CUDA cores, 16 tensor cores)",
+            cuda_cores=512,
+            max_freq_hz=mhz(625),
+            min_freq_hz=mhz(114.75),
+            peak_flops={
+                Precision.FP32: tflops(0.64),
+                Precision.FP16: tflops(1.28),
+            },
+            mma_efficiency=0.60,
+            kernel_launch_s=10e-6,
+        ),
+        memory=SharedMemory(
+            capacity_bytes=gib(8),
+            max_freq_hz=mhz(2133),
+            min_freq_hz=mhz(204),
+            peak_bandwidth=gb_per_s(68.0),
+            streaming_efficiency=0.75,
+            strided_efficiency=0.10,
+            reserved_bytes=gib(2.0),
+        ),
+        unified_memory=True,
+        idle_power_w=4.5,
+        max_power_w=15.0,
+    )
+
+
+register_device("jetson-orin-agx-64gb", orin_agx_64gb)
+register_device("jetson-orin-agx-32gb", orin_agx_32gb)
+register_device("jetson-xavier-agx-32gb", xavier_agx_32gb)
+register_device("jetson-orin-nx-16gb", orin_nx_16gb)
+register_device("jetson-orin-nano-8gb", orin_nano_8gb)

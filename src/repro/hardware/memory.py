@@ -1,0 +1,108 @@
+"""Shared CPU/GPU memory model (LPDDR5 on Jetson, HBM on servers).
+
+The distinguishing feature of Jetson-class devices is a *single* physical
+memory shared by CPU and GPU.  Capacity pressure, bandwidth and frequency
+scaling therefore affect both sides — which is exactly why the paper's
+power-mode H (memory at 665 MHz) inflates decode latency by 370%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class SharedMemory:
+    """A DRAM subsystem with frequency-scaled bandwidth.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Total physical capacity (64 GiB on the paper's Orin AGX).
+    max_freq_hz / freq_hz:
+        Max and current DRAM clock (EMC frequency on Jetson).
+    peak_bandwidth:
+        Theoretical bytes/s at max clock (Orin AGX: 204.8 GB/s).
+    streaming_efficiency:
+        Fraction of peak achieved by large contiguous reads (weights).
+    strided_efficiency:
+        Fraction of peak achieved by scattered/strided reads (KV cache
+        gathers, attention over paged contexts).  Much lower on LPDDR.
+    reserved_bytes:
+        Carve-out not available to applications (OS, display, carveouts).
+    """
+
+    capacity_bytes: int
+    max_freq_hz: float
+    peak_bandwidth: float
+    min_freq_hz: float = 204e6
+    freq_hz: float = field(default=0.0)
+    streaming_efficiency: float = 0.78
+    strided_efficiency: float = 0.11
+    reserved_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError("memory capacity must be positive")
+        if self.peak_bandwidth <= 0:
+            raise ConfigError("memory bandwidth must be positive")
+        for name in ("streaming_efficiency", "strided_efficiency"):
+            v = getattr(self, name)
+            if not (0.0 < v <= 1.0):
+                raise ConfigError(f"{name} must be in (0, 1], got {v}")
+        if not (0 <= self.reserved_bytes < self.capacity_bytes):
+            raise ConfigError("reserved bytes must be within [0, capacity)")
+        if self.freq_hz == 0.0:
+            self.freq_hz = self.max_freq_hz
+        self._validate_state()
+
+    def _validate_state(self) -> None:
+        if not (self.min_freq_hz <= self.freq_hz <= self.max_freq_hz):
+            raise ConfigError(
+                f"memory frequency {self.freq_hz:.3e} Hz outside "
+                f"[{self.min_freq_hz:.3e}, {self.max_freq_hz:.3e}]"
+            )
+
+    def set_freq(self, freq_hz: float) -> None:
+        """Set the DRAM clock; raises :class:`ConfigError` if out of range."""
+        self.freq_hz = float(freq_hz)
+        self._validate_state()
+
+    @property
+    def freq_ratio(self) -> float:
+        """Current DRAM clock relative to max."""
+        return self.freq_hz / self.max_freq_hz
+
+    @property
+    def effective_ratio(self) -> float:
+        """Bandwidth scaling with clock, sub-linear at low frequencies.
+
+        LPDDR access latency does not shrink with the clock, so at low
+        EMC frequencies the achievable fraction of the (already reduced)
+        peak drops further: ``ratio * (0.55 + 0.45 * ratio)``.  At max
+        clock this is exactly 1.
+        """
+        r = self.freq_ratio
+        return r * (0.55 + 0.45 * r)
+
+    @property
+    def usable_bytes(self) -> int:
+        """Capacity available to applications."""
+        return self.capacity_bytes - self.reserved_bytes
+
+    def streaming_bandwidth(self) -> float:
+        """Sustained bytes/s for large contiguous transfers at current clock."""
+        return self.peak_bandwidth * self.effective_ratio * self.streaming_efficiency
+
+    def strided_bandwidth(self) -> float:
+        """Sustained bytes/s for scattered transfers at current clock."""
+        return self.peak_bandwidth * self.effective_ratio * self.strided_efficiency
+
+    def transfer_time(self, nbytes: float, strided: bool = False) -> float:
+        """Seconds to move ``nbytes`` through DRAM."""
+        if nbytes < 0:
+            raise ConfigError("transfer size must be non-negative")
+        bw = self.strided_bandwidth() if strided else self.streaming_bandwidth()
+        return nbytes / bw

@@ -1,0 +1,32 @@
+"""Memory subsystem: caching allocator, KV cache, usage tracking.
+
+The paper reports *incremental peak memory* (peak during the run minus
+baseline before model load) and observes out-of-memory failures whose
+boundary depends on batch size, sequence length and the model's attention
+implementation.  Reproducing these requires modelling the PyTorch CUDA
+caching allocator, not just summing tensor sizes:
+
+- :mod:`repro.memsys.allocator` — segment/block caching allocator with
+  512 B / 2 MiB rounding, 20 MiB small-segment pooling, block split and
+  coalesce, and pressure-driven reclaim of empty segments.
+- :mod:`repro.memsys.kvcache` — HF ``DynamicCache``-style KV cache whose
+  per-step ``torch.cat`` churn produces the fragmentation overhead the
+  paper measures.
+- :mod:`repro.memsys.tracker` — baseline/peak/incremental bookkeeping as
+  jtop post-processing does it.
+"""
+
+from repro.memsys.allocator import AllocStats, Allocation, CachingAllocator
+from repro.memsys.kvcache import KVCache, KVCacheSpec
+from repro.memsys.paged import PagedKVCache
+from repro.memsys.tracker import MemoryTracker
+
+__all__ = [
+    "AllocStats",
+    "Allocation",
+    "CachingAllocator",
+    "KVCache",
+    "KVCacheSpec",
+    "MemoryTracker",
+    "PagedKVCache",
+]

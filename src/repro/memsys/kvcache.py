@@ -1,0 +1,139 @@
+"""KV-cache manager mirroring HuggingFace cache implementations.
+
+Two modes:
+
+- ``dynamic`` (HF ``DynamicCache``, what the paper's setup uses): each
+  generated token triggers, per layer, a ``torch.cat`` that allocates a
+  new K and V tensor one token longer and frees the old one.  Driving
+  this through the :class:`~repro.memsys.allocator.CachingAllocator`
+  reproduces the cache-churn memory overhead the paper measures.
+- ``static`` (HF ``StaticCache`` / pre-allocated): one allocation at the
+  final length, used by the ablation bench to quantify the churn cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.memsys.allocator import Allocation, CachingAllocator
+
+
+@dataclass(frozen=True)
+class KVCacheSpec:
+    """Geometry of one model's KV cache.
+
+    ``bytes_per_token_per_layer`` is for a *single sequence*: K and V for
+    one token in one layer (``2 * kv_heads * head_dim * dtype_bytes``).
+    """
+
+    n_layers: int
+    kv_heads: int
+    head_dim: int
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if min(self.n_layers, self.kv_heads, self.head_dim, self.dtype_bytes) < 1:
+            raise ConfigError("KV cache spec fields must be >= 1")
+
+    @property
+    def bytes_per_token_per_layer(self) -> int:
+        return 2 * self.kv_heads * self.head_dim * self.dtype_bytes
+
+    def bytes_total(self, batch_size: int, seq_len: int) -> int:
+        """Total cache bytes for ``batch_size`` sequences at ``seq_len``."""
+        return (
+            self.bytes_per_token_per_layer * self.n_layers * batch_size * seq_len
+        )
+
+    def layer_tensor_bytes(self, batch_size: int, seq_len: int) -> int:
+        """Bytes of *one* of K or V for one layer, whole batch."""
+        return self.kv_heads * self.head_dim * self.dtype_bytes * batch_size * seq_len
+
+
+class KVCache:
+    """Allocator-backed KV cache for one running batch."""
+
+    def __init__(
+        self,
+        spec: KVCacheSpec,
+        allocator: CachingAllocator,
+        batch_size: int,
+        mode: str = "dynamic",
+        max_seq_len: Optional[int] = None,
+    ):
+        if batch_size < 1:
+            raise ConfigError("batch size must be >= 1")
+        if mode not in ("dynamic", "static"):
+            raise ConfigError(f"unknown KV cache mode {mode!r}")
+        if mode == "static" and max_seq_len is None:
+            raise ConfigError("static KV cache requires max_seq_len")
+        self.spec = spec
+        self.allocator = allocator
+        self.batch_size = batch_size
+        self.mode = mode
+        self.max_seq_len = max_seq_len
+        self.seq_len = 0
+        # One handle per layer per {K, V} tensor.
+        self._handles: List[Allocation] = []
+
+    def prefill(self, n_tokens: int) -> None:
+        """Allocate the cache for the prompt (one shot, both modes)."""
+        if self.seq_len != 0:
+            raise ConfigError("prefill() on a non-empty cache")
+        if n_tokens < 1:
+            raise ConfigError("prefill needs >= 1 token")
+        length = self.max_seq_len if self.mode == "static" else n_tokens
+        assert length is not None
+        per_tensor = self.spec.layer_tensor_bytes(self.batch_size, length)
+        for layer in range(self.spec.n_layers):
+            for kv in ("k", "v"):
+                self._handles.append(
+                    self.allocator.alloc(per_tensor, tag=f"kv.{kv}.L{layer}")
+                )
+        self.seq_len = n_tokens
+
+    def append_token(self) -> None:
+        """Extend every layer's cache by one token (decode step)."""
+        if self.seq_len == 0:
+            raise ConfigError("append_token() before prefill()")
+        new_len = self.seq_len + 1
+        if self.mode == "static":
+            assert self.max_seq_len is not None
+            if new_len > self.max_seq_len:
+                raise ConfigError("static KV cache overflow")
+            self.seq_len = new_len
+            return
+        per_tensor = self.spec.layer_tensor_bytes(self.batch_size, new_len)
+        # In-place update keeps the handle list consistent if an OOM is
+        # raised mid-way (realloc_grow allocates before freeing).
+        for i in range(len(self._handles)):
+            self._handles[i] = self.allocator.realloc_grow(self._handles[i], per_tensor)
+        self.seq_len = new_len
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes currently held by the cache tensors (logical sizes)."""
+        if self.mode == "static" and self._handles:
+            assert self.max_seq_len is not None
+            return self.spec.bytes_total(self.batch_size, self.max_seq_len)
+        return self.spec.bytes_total(self.batch_size, self.seq_len)
+
+    def concat_traffic_bytes(self) -> int:
+        """DRAM bytes moved by one ``append_token`` (read old + write new).
+
+        Zero in static mode (writes only the new token, negligible).
+        """
+        if self.mode == "static":
+            return 0
+        old = self.spec.bytes_total(self.batch_size, self.seq_len)
+        new = self.spec.bytes_total(self.batch_size, self.seq_len + 1)
+        return old + new
+
+    def release(self) -> None:
+        """Free all cache tensors (end of batch)."""
+        for h in self._handles:
+            self.allocator.free(h)
+        self._handles.clear()
+        self.seq_len = 0

@@ -1,0 +1,43 @@
+"""LLM architecture descriptions and analytical counts.
+
+- :mod:`repro.models.architecture` — :class:`TransformerArchitecture`,
+  a complete structural description (layers, heads, GQA, MLP type,
+  attention implementation) with exact parameter-count decomposition.
+- :mod:`repro.models.zoo` — the paper's four models (Phi-2,
+  Llama-3.1-8B, Mistral-Small-24B, DeepSeek-R1-Distill-Qwen-32B) plus
+  Pythia comparators from the related work.
+- :mod:`repro.models.flops` — FLOPs and DRAM-byte analytics per
+  prefill/decode phase.
+- :mod:`repro.models.footprint` — weight memory per precision
+  (reproduces the paper's Table 1).
+"""
+
+from repro.models.architecture import ParamBreakdown, TransformerArchitecture
+from repro.models.flops import PhaseCounts, decode_step_counts, prefill_counts
+from repro.models.footprint import weight_bytes, footprint_table
+from repro.models.zoo import (
+    PAPER_MODELS,
+    deepseek_r1_qwen_32b,
+    get_model,
+    list_models,
+    llama31_8b,
+    mistral_small_24b,
+    phi2,
+)
+
+__all__ = [
+    "PAPER_MODELS",
+    "ParamBreakdown",
+    "PhaseCounts",
+    "TransformerArchitecture",
+    "decode_step_counts",
+    "deepseek_r1_qwen_32b",
+    "footprint_table",
+    "get_model",
+    "list_models",
+    "llama31_8b",
+    "mistral_small_24b",
+    "phi2",
+    "prefill_counts",
+    "weight_bytes",
+]

@@ -1,0 +1,158 @@
+"""Structural description of a decoder-only transformer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.errors import ModelError
+from repro.memsys.kvcache import KVCacheSpec
+
+MlpType = Literal["gated", "plain"]
+AttentionImpl = Literal["eager", "sdpa"]
+
+
+@dataclass(frozen=True)
+class ParamBreakdown:
+    """Parameter counts split by role (drives per-precision footprints).
+
+    ``linear`` parameters are the ones bitsandbytes quantizes
+    (``nn.Linear`` weights in attention and MLP blocks); ``embedding``,
+    ``lm_head``, ``norm`` and ``bias`` parameters stay in 16/32-bit.
+    """
+
+    embedding: int
+    lm_head: int
+    linear: int
+    norm: int
+    bias: int
+
+    @property
+    def total(self) -> int:
+        return self.embedding + self.lm_head + self.linear + self.norm + self.bias
+
+    @property
+    def non_linear(self) -> int:
+        """Everything bitsandbytes leaves unquantized."""
+        return self.total - self.linear
+
+
+@dataclass(frozen=True)
+class TransformerArchitecture:
+    """A decoder-only transformer's shape.
+
+    Attributes mirror HF config fields.  ``attention_impl`` records which
+    attention code path the HF implementation of the model used at the
+    paper's JetPack/transformers versions: Phi-2 ran the legacy eager
+    path (materialised attention scores, fp32 softmax upcast) while the
+    Llama/Mistral/Qwen families dispatched to SDPA.
+    """
+
+    name: str
+    hf_id: str
+    vocab_size: int
+    hidden_size: int
+    n_layers: int
+    n_heads: int
+    n_kv_heads: int
+    head_dim: int
+    intermediate_size: int
+    mlp_type: MlpType = "gated"
+    tied_embeddings: bool = False
+    attention_bias: bool = False
+    mlp_bias: bool = False
+    attention_impl: AttentionImpl = "sdpa"
+    partial_rotary_factor: float = 1.0
+    norms_per_layer: int = 2
+    max_position_embeddings: int = 4096
+
+    def __post_init__(self) -> None:
+        if min(self.vocab_size, self.hidden_size, self.n_layers, self.n_heads,
+               self.n_kv_heads, self.head_dim, self.intermediate_size) < 1:
+            raise ModelError(f"{self.name}: architecture dimensions must be >= 1")
+        if self.n_heads % self.n_kv_heads != 0:
+            raise ModelError(
+                f"{self.name}: n_heads ({self.n_heads}) must be a multiple of "
+                f"n_kv_heads ({self.n_kv_heads})"
+            )
+        if not (0.0 < self.partial_rotary_factor <= 1.0):
+            raise ModelError(f"{self.name}: partial_rotary_factor must be in (0, 1]")
+
+    # -- derived shapes ------------------------------------------------------
+    @property
+    def q_dim(self) -> int:
+        return self.n_heads * self.head_dim
+
+    @property
+    def kv_dim(self) -> int:
+        return self.n_kv_heads * self.head_dim
+
+    @property
+    def gqa_ratio(self) -> int:
+        """Query heads per KV head (1 = MHA)."""
+        return self.n_heads // self.n_kv_heads
+
+    def kv_cache_spec(self, dtype_bytes: int = 2) -> KVCacheSpec:
+        """KV-cache geometry for this model."""
+        return KVCacheSpec(
+            n_layers=self.n_layers,
+            kv_heads=self.n_kv_heads,
+            head_dim=self.head_dim,
+            dtype_bytes=dtype_bytes,
+        )
+
+    # -- parameter accounting --------------------------------------------------
+    def param_breakdown(self) -> ParamBreakdown:
+        """Exact parameter counts by role."""
+        h = self.hidden_size
+        embedding = self.vocab_size * h
+        lm_head = 0 if self.tied_embeddings else self.vocab_size * h
+
+        attn_linear = h * self.q_dim + 2 * h * self.kv_dim + self.q_dim * h
+        if self.mlp_type == "gated":
+            mlp_linear = 3 * h * self.intermediate_size
+        else:
+            mlp_linear = 2 * h * self.intermediate_size
+        linear = self.n_layers * (attn_linear + mlp_linear)
+
+        # Norm weights (+ biases for LayerNorm models are counted as bias).
+        norm = (self.n_layers * self.norms_per_layer + 1) * h
+
+        bias = 0
+        if self.attention_bias:
+            bias += self.n_layers * (self.q_dim + 2 * self.kv_dim + h)
+        if self.mlp_bias:
+            bias += self.n_layers * (self.intermediate_size + h)
+        if not self.tied_embeddings and (self.attention_bias or self.mlp_bias):
+            # Models with biased linears (Phi-2) also bias the LM head.
+            bias += self.vocab_size
+        return ParamBreakdown(
+            embedding=embedding, lm_head=lm_head, linear=linear, norm=norm, bias=bias
+        )
+
+    @property
+    def n_params(self) -> int:
+        """Total parameter count."""
+        return self.param_breakdown().total
+
+    @property
+    def n_params_billions(self) -> float:
+        """Total parameters in units of 1e9 (as quoted in papers)."""
+        return self.n_params / 1e9
+
+    # -- per-step work ----------------------------------------------------------
+    @property
+    def kernels_per_layer(self) -> int:
+        """Approximate kernel launches per layer per forward step.
+
+        QKV + output projections, MLP matmuls, norms, rotary, attention,
+        residual adds; gated MLPs launch one more matmul and a fused
+        activation-multiply.
+        """
+        base = 4 + (3 if self.mlp_type == "gated" else 2)  # projections
+        return base + 6  # norms, rope, attention core, softmax, residuals
+
+    @property
+    def kernels_per_step(self) -> int:
+        """Kernel launches for a full forward pass (decode step)."""
+        return self.n_layers * self.kernels_per_layer + 3  # final norm, lm_head, sample

@@ -1,0 +1,126 @@
+"""Analytical FLOPs and DRAM-byte counts per inference phase.
+
+The standard decomposition: a forward pass over ``n`` tokens costs
+``2 * n * P_matmul`` FLOPs in the dense projections plus the attention
+context term ``4 * n * n_layers * n_heads * head_dim * t`` against a
+context of ``t`` tokens (scores + weighted sum, counting multiply-adds
+as 2 FLOPs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.models.architecture import TransformerArchitecture
+
+
+@dataclass(frozen=True)
+class PhaseCounts:
+    """Work for one engine step (a prefill, or one decode iteration).
+
+    Attributes
+    ----------
+    flops:
+        Dense math (projections, MLP, LM head, attention context).
+    weight_bytes_read:
+        Weight traffic: each weight is streamed once per step.
+    kv_bytes_read:
+        Reads of cached K/V during attention.
+    kv_bytes_written:
+        New K/V entries written.
+    kv_expand_bytes:
+        GQA expansion traffic: HF ``repeat_kv`` materialises K/V
+        replicated across the query-group dimension (``torch.expand`` +
+        ``contiguous``), writing and re-reading ``gqa_ratio`` copies of
+        the cache every decode step.  This — not the raw cache size — is
+        what makes long-context decode collapse on bandwidth-limited
+        devices.  Zero for MHA models (Phi-2) and for query counts where
+        the runtime can skip the copy.
+    activation_bytes:
+        Activation traffic (read+write across layer boundaries).
+    """
+
+    flops: float
+    weight_bytes_read: float
+    kv_bytes_read: float
+    kv_bytes_written: float
+    kv_expand_bytes: float
+    activation_bytes: float
+
+
+def _matmul_params(arch: TransformerArchitecture) -> int:
+    """Parameters participating in per-token matmuls (incl. LM head)."""
+    pb = arch.param_breakdown()
+    return pb.linear + pb.lm_head if not arch.tied_embeddings else pb.linear + pb.embedding
+
+
+def _attention_flops(arch: TransformerArchitecture, n_query: int, context: int) -> float:
+    """Score + weighted-sum FLOPs for ``n_query`` tokens over ``context``."""
+    return 4.0 * n_query * arch.n_layers * arch.n_heads * arch.head_dim * context
+
+
+def _activation_bytes(arch: TransformerArchitecture, n_tokens: int,
+                      dtype_bytes: int = 2) -> float:
+    """Inter-layer activation traffic: read + write of the hidden stream
+    plus the MLP intermediate, per layer."""
+    per_token = (4 * arch.hidden_size + 2 * arch.intermediate_size) * dtype_bytes
+    return float(n_tokens * arch.n_layers * per_token)
+
+
+def prefill_counts(
+    arch: TransformerArchitecture,
+    batch_size: int,
+    prompt_tokens: int,
+    weight_bytes_total: float,
+    kv_dtype_bytes: int = 2,
+) -> PhaseCounts:
+    """Work to ingest the prompt (one big parallel forward pass)."""
+    if batch_size < 1 or prompt_tokens < 1:
+        raise ModelError("prefill needs batch_size >= 1 and prompt_tokens >= 1")
+    n = batch_size * prompt_tokens
+    # Causal attention over the prompt: average context length is t/2.
+    attn = _attention_flops(arch, n, prompt_tokens) / 2.0
+    flops = 2.0 * n * _matmul_params(arch) + attn
+    kv_spec = arch.kv_cache_spec(kv_dtype_bytes)
+    kv_written = float(kv_spec.bytes_total(batch_size, prompt_tokens))
+    expand = 0.0
+    if arch.gqa_ratio > 1:
+        expand = 2.0 * (arch.gqa_ratio - 1) * kv_written
+    return PhaseCounts(
+        flops=flops,
+        weight_bytes_read=float(weight_bytes_total),
+        kv_bytes_read=0.0,
+        kv_bytes_written=kv_written,
+        kv_expand_bytes=expand,
+        activation_bytes=_activation_bytes(arch, n),
+    )
+
+
+def decode_step_counts(
+    arch: TransformerArchitecture,
+    batch_size: int,
+    context_len: int,
+    weight_bytes_total: float,
+    kv_dtype_bytes: int = 2,
+) -> PhaseCounts:
+    """Work for one autoregressive decode iteration (one new token/seq)."""
+    if batch_size < 1 or context_len < 1:
+        raise ModelError("decode needs batch_size >= 1 and context_len >= 1")
+    n = batch_size  # one query token per sequence
+    flops = 2.0 * n * _matmul_params(arch) + _attention_flops(arch, n, context_len)
+    kv_spec = arch.kv_cache_spec(kv_dtype_bytes)
+    kv_read = float(kv_spec.bytes_total(batch_size, context_len))
+    kv_written = float(kv_spec.bytes_total(batch_size, 1))
+    expand = 0.0
+    if arch.gqa_ratio > 1:
+        # Write gqa_ratio copies, attention then reads the expanded tensor.
+        expand = 2.0 * (arch.gqa_ratio - 1) * kv_read
+    return PhaseCounts(
+        flops=flops,
+        weight_bytes_read=float(weight_bytes_total),
+        kv_bytes_read=kv_read,
+        kv_bytes_written=kv_written,
+        kv_expand_bytes=expand,
+        activation_bytes=_activation_bytes(arch, n),
+    )

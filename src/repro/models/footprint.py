@@ -1,0 +1,67 @@
+"""Weight memory per precision — reproduces the paper's Table 1.
+
+bitsandbytes quantizes only ``nn.Linear`` weights; embeddings, the LM
+head, norms and biases remain in 16-bit.  Per-parameter storage for the
+quantized linears:
+
+- INT8 (LLM.int8()): 1 byte + per-row FP16 scale statistics ≈ 1.005 B.
+- INT4 (NF4): 0.5 byte + one FP16 absmax per 64-weight block + nested
+  double-quantization constants ≈ 0.52 B.
+
+Table 1 in the paper reports decimal gigabytes; so do we.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.models.architecture import TransformerArchitecture
+from repro.quant.dtypes import PRECISION_ORDER, Precision
+
+#: Storage bytes per quantized-linear parameter.
+LINEAR_BYTES: Dict[Precision, float] = {
+    Precision.FP32: 4.0,
+    Precision.FP16: 2.0,
+    Precision.INT8: 1.005,
+    Precision.INT4: 0.52,
+}
+
+#: Storage bytes for the unquantized remainder (embeddings, head, norms).
+NON_LINEAR_BYTES: Dict[Precision, float] = {
+    Precision.FP32: 4.0,
+    Precision.FP16: 2.0,
+    Precision.INT8: 2.0,
+    Precision.INT4: 2.0,
+}
+
+
+def weight_bytes(arch: TransformerArchitecture, precision: Precision) -> int:
+    """Total bytes to hold the model's weights at ``precision``."""
+    pb = arch.param_breakdown()
+    linear = pb.linear * LINEAR_BYTES[precision]
+    rest = pb.non_linear * NON_LINEAR_BYTES[precision]
+    return int(round(linear + rest))
+
+
+def weight_gb(arch: TransformerArchitecture, precision: Precision) -> float:
+    """Weights in decimal GB (the paper's Table 1 unit)."""
+    return weight_bytes(arch, precision) / 1e9
+
+
+def footprint_table(
+    models: Iterable[TransformerArchitecture],
+    precisions: Iterable[Precision] = PRECISION_ORDER,
+) -> List[Dict[str, object]]:
+    """Table-1 rows: one dict per model with params and per-precision GB."""
+    rows: List[Dict[str, object]] = []
+    precisions = tuple(precisions)
+    for arch in models:
+        row: Dict[str, object] = {
+            "model": arch.name,
+            "hf_id": arch.hf_id,
+            "params_b": round(arch.n_params_billions, 1),
+        }
+        for prec in precisions:
+            row[f"{prec.value}_gb"] = round(weight_gb(arch, prec), 1)
+        rows.append(row)
+    return rows

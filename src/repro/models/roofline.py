@@ -1,0 +1,151 @@
+"""Roofline analysis: arithmetic intensity vs device balance point.
+
+The paper repeatedly *asserts* that autoregressive decode is
+memory-bound ([11], §3.2); this module quantifies it.  For any
+(model, device, precision, batch, context) point it reports the
+arithmetic intensity (FLOPs per DRAM byte), the device's balance point
+(FLOP/s / bytes/s), the bound classification and the attainable
+throughput — the numbers behind every latency trend in the study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Literal
+
+from repro.errors import ModelError
+from repro.hardware.device import EdgeDevice
+from repro.models.architecture import TransformerArchitecture
+from repro.models.flops import decode_step_counts, prefill_counts
+from repro.models.footprint import weight_bytes
+from repro.quant.dtypes import Precision
+
+Bound = Literal["memory", "compute"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One phase's position on the device roofline."""
+
+    phase: str
+    batch_size: int
+    context: int
+    flops: float
+    dram_bytes: float
+    arithmetic_intensity: float
+    device_balance: float
+    bound: Bound
+    attainable_flops: float
+    #: Attainable tokens/s assuming the phase saturates its bottleneck.
+    attainable_tokens_per_s: float
+
+    @property
+    def intensity_ratio(self) -> float:
+        """Intensity / balance; < 1 means memory-bound."""
+        return self.arithmetic_intensity / self.device_balance
+
+
+def _point(
+    phase: str,
+    arch: TransformerArchitecture,
+    device: EdgeDevice,
+    precision: Precision,
+    batch_size: int,
+    context: int,
+    counts,
+    tokens: int,
+) -> RooflinePoint:
+    dram = (
+        counts.weight_bytes_read
+        + counts.kv_bytes_read
+        + counts.kv_bytes_written
+        + counts.kv_expand_bytes
+        + counts.activation_bytes
+    )
+    if dram <= 0:
+        raise ModelError("degenerate roofline point: no DRAM traffic")
+    intensity = counts.flops / dram
+    peak_flops = device.gpu.effective_flops(precision)
+    peak_bw = device.memory.streaming_bandwidth()
+    balance = peak_flops / peak_bw
+    bound: Bound = "memory" if intensity < balance else "compute"
+    attainable = min(peak_flops, intensity * peak_bw)
+    seconds = counts.flops / attainable
+    return RooflinePoint(
+        phase=phase,
+        batch_size=batch_size,
+        context=context,
+        flops=counts.flops,
+        dram_bytes=dram,
+        arithmetic_intensity=intensity,
+        device_balance=balance,
+        bound=bound,
+        attainable_flops=attainable,
+        attainable_tokens_per_s=tokens / seconds,
+    )
+
+
+def decode_roofline(
+    arch: TransformerArchitecture,
+    device: EdgeDevice,
+    precision: Precision,
+    batch_size: int,
+    context: int,
+) -> RooflinePoint:
+    """Roofline position of one decode iteration."""
+    counts = decode_step_counts(
+        arch, batch_size, context, weight_bytes(arch, precision)
+    )
+    return _point("decode", arch, device, precision, batch_size, context,
+                  counts, tokens=batch_size)
+
+
+def prefill_roofline(
+    arch: TransformerArchitecture,
+    device: EdgeDevice,
+    precision: Precision,
+    batch_size: int,
+    prompt_tokens: int,
+) -> RooflinePoint:
+    """Roofline position of the prompt-ingest pass."""
+    counts = prefill_counts(
+        arch, batch_size, prompt_tokens, weight_bytes(arch, precision)
+    )
+    return _point("prefill", arch, device, precision, batch_size,
+                  prompt_tokens, counts, tokens=batch_size * prompt_tokens)
+
+
+def batch_size_to_saturate(
+    arch: TransformerArchitecture,
+    device: EdgeDevice,
+    precision: Precision,
+    context: int = 64,
+    max_batch: int = 4096,
+) -> int:
+    """Smallest batch size at which decode becomes compute-bound.
+
+    This is the concurrency the paper's batching experiments climb
+    toward — beyond it, extra batch buys latency, not throughput.
+    Returns ``max_batch`` if the device never flips (huge-bandwidth
+    parts like the A100 stay memory-bound far longer).
+    """
+    bs = 1
+    while bs < max_batch:
+        if decode_roofline(arch, device, precision, bs, context).bound == "compute":
+            return bs
+        bs *= 2
+    return max_batch
+
+
+def roofline_sweep(
+    arch: TransformerArchitecture,
+    device: EdgeDevice,
+    precision: Precision,
+    batch_sizes=(1, 2, 4, 8, 16, 32, 64, 128),
+    context: int = 64,
+) -> List[RooflinePoint]:
+    """Decode roofline across the paper's batch sizes."""
+    return [
+        decode_roofline(arch, device, precision, bs, context)
+        for bs in batch_sizes
+    ]

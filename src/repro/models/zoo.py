@@ -1,0 +1,171 @@
+"""Model presets: the paper's four LLMs plus related-work comparators.
+
+Dimensions are taken from the public HuggingFace configs of each model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ModelError
+from repro.models.architecture import TransformerArchitecture
+
+
+def phi2() -> TransformerArchitecture:
+    """Microsoft Phi-2, 2.7B.  LayerNorm + biased linears, plain MLP,
+    partial rotary, MHA, legacy eager attention path."""
+    return TransformerArchitecture(
+        name="MS-Phi2",
+        hf_id="microsoft/phi-2",
+        vocab_size=51200,
+        hidden_size=2560,
+        n_layers=32,
+        n_heads=32,
+        n_kv_heads=32,
+        head_dim=80,
+        intermediate_size=10240,
+        mlp_type="plain",
+        tied_embeddings=False,
+        attention_bias=True,
+        mlp_bias=True,
+        attention_impl="eager",
+        partial_rotary_factor=0.4,
+        norms_per_layer=1,  # parallel attention/MLP block shares one LN
+        max_position_embeddings=2048,
+    )
+
+
+def llama31_8b() -> TransformerArchitecture:
+    """Meta Llama-3.1-8B.  GQA (8 KV heads), SwiGLU, RMSNorm, SDPA."""
+    return TransformerArchitecture(
+        name="Llama3",
+        hf_id="meta-llama/Llama-3.1-8B",
+        vocab_size=128256,
+        hidden_size=4096,
+        n_layers=32,
+        n_heads=32,
+        n_kv_heads=8,
+        head_dim=128,
+        intermediate_size=14336,
+        mlp_type="gated",
+        tied_embeddings=False,
+        attention_impl="sdpa",
+        max_position_embeddings=131072,
+    )
+
+
+def mistral_small_24b() -> TransformerArchitecture:
+    """Mistral-Small-24B-Base-2501.  GQA, SwiGLU, SDPA."""
+    return TransformerArchitecture(
+        name="Mistral-Base",
+        hf_id="mistralai/Mistral-Small-24B-Base-2501",
+        vocab_size=131072,
+        hidden_size=5120,
+        n_layers=40,
+        n_heads=32,
+        n_kv_heads=8,
+        head_dim=128,
+        intermediate_size=32768,
+        mlp_type="gated",
+        tied_embeddings=False,
+        attention_impl="sdpa",
+        max_position_embeddings=32768,
+    )
+
+
+def deepseek_r1_qwen_32b() -> TransformerArchitecture:
+    """DeepSeek-R1-Distill-Qwen-32B (Qwen2.5-32B backbone).  QKV biases."""
+    return TransformerArchitecture(
+        name="Deepseek-Qwen",
+        hf_id="deepseek-ai/DeepSeek-R1-Distill-Qwen-32B",
+        vocab_size=152064,
+        hidden_size=5120,
+        n_layers=64,
+        n_heads=40,
+        n_kv_heads=8,
+        head_dim=128,
+        intermediate_size=27648,
+        mlp_type="gated",
+        tied_embeddings=False,
+        attention_bias=True,
+        attention_impl="sdpa",
+        max_position_embeddings=131072,
+    )
+
+
+def pythia_410m() -> TransformerArchitecture:
+    """EleutherAI Pythia-410M (Seymour et al. comparator, ref [6])."""
+    return TransformerArchitecture(
+        name="Pythia-410M",
+        hf_id="EleutherAI/pythia-410m",
+        vocab_size=50304,
+        hidden_size=1024,
+        n_layers=24,
+        n_heads=16,
+        n_kv_heads=16,
+        head_dim=64,
+        intermediate_size=4096,
+        mlp_type="plain",
+        tied_embeddings=False,
+        attention_impl="eager",
+        max_position_embeddings=2048,
+    )
+
+
+def pythia_14b() -> TransformerArchitecture:
+    """EleutherAI Pythia-1.4B (the largest model in ref [6])."""
+    return TransformerArchitecture(
+        name="Pythia-1.4B",
+        hf_id="EleutherAI/pythia-1.4b",
+        vocab_size=50304,
+        hidden_size=2048,
+        n_layers=24,
+        n_heads=16,
+        n_kv_heads=16,
+        head_dim=128,
+        intermediate_size=8192,
+        mlp_type="plain",
+        tied_embeddings=False,
+        attention_impl="eager",
+        max_position_embeddings=2048,
+    )
+
+
+#: The paper's Table 1 models, in paper order.
+PAPER_MODELS: Dict[str, TransformerArchitecture] = {
+    m.name: m
+    for m in (phi2(), llama31_8b(), mistral_small_24b(), deepseek_r1_qwen_32b())
+}
+
+_ALL = {
+    **{m.name.lower(): m for m in PAPER_MODELS.values()},
+    "pythia-410m": pythia_410m(),
+    "pythia-1.4b": pythia_14b(),
+    # Convenience aliases.
+    "phi2": phi2(),
+    "phi-2": phi2(),
+    "llama3.1-8b": llama31_8b(),
+    "llama": llama31_8b(),
+    "mistral-small-24b": mistral_small_24b(),
+    "mistral": mistral_small_24b(),
+    "deepseek-r1-qwen-32b": deepseek_r1_qwen_32b(),
+    "deepq": deepseek_r1_qwen_32b(),
+}
+
+
+def get_model(name: str) -> TransformerArchitecture:
+    """Look up a model preset by name or alias (case-insensitive)."""
+    arch = _ALL.get(name.strip().lower())
+    if arch is None:
+        raise ModelError(
+            f"unknown model {name!r}; known: {', '.join(sorted(set(_ALL)))}"
+        )
+    return arch
+
+
+def list_models() -> List[str]:
+    """Canonical names of all presets."""
+    seen = {}
+    for arch in _ALL.values():
+        seen.setdefault(arch.name, None)
+    return list(seen)

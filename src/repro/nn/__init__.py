@@ -1,0 +1,34 @@
+"""A real, runnable decoder-only transformer in numpy.
+
+This is not a performance model — it actually computes forward passes,
+KV-cached generation and token losses, at scales a CPU can handle.  It
+exists so the perplexity pipeline, the quantization-error-to-NLL link,
+and the end-to-end examples run genuine computation:
+
+- :mod:`repro.nn.layers` — Linear (FP32/FP16/INT8/NF4 execution modes),
+  RMSNorm, LayerNorm, MLPs.
+- :mod:`repro.nn.attention` — rotary embeddings (with partial-rotary
+  support, as Phi-2 uses), grouped-query attention, causal masking,
+  numpy KV cache.
+- :mod:`repro.nn.transformer` — the full model built from a
+  :class:`~repro.models.architecture.TransformerArchitecture`.
+- :mod:`repro.nn.sampling` — greedy/temperature/top-k/top-p.
+- :mod:`repro.nn.loss` — cross entropy / negative log-likelihood.
+"""
+
+from repro.nn.layers import LayerNorm, Linear, RMSNorm
+from repro.nn.attention import AttentionCache, rope_frequencies
+from repro.nn.transformer import NumpyTransformer
+from repro.nn.sampling import sample_token
+from repro.nn.loss import cross_entropy_nll
+
+__all__ = [
+    "AttentionCache",
+    "LayerNorm",
+    "Linear",
+    "NumpyTransformer",
+    "RMSNorm",
+    "cross_entropy_nll",
+    "rope_frequencies",
+    "sample_token",
+]

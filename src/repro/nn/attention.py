@@ -1,0 +1,108 @@
+"""Rotary embeddings, grouped-query causal attention, numpy KV cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def rope_frequencies(head_dim: int, rotary_dim: int, base: float = 10000.0) -> np.ndarray:
+    """Inverse frequencies for the first ``rotary_dim`` dims of a head."""
+    if rotary_dim % 2:
+        raise ModelError(f"rotary_dim must be even, got {rotary_dim}")
+    if rotary_dim > head_dim:
+        raise ModelError("rotary_dim cannot exceed head_dim")
+    return 1.0 / (base ** (np.arange(0, rotary_dim, 2, dtype=np.float64) / rotary_dim))
+
+
+def apply_rope(
+    x: np.ndarray, positions: np.ndarray, inv_freq: np.ndarray, rotary_dim: int
+) -> np.ndarray:
+    """Rotate the first ``rotary_dim`` dims of ``x`` by position.
+
+    ``x`` has shape (batch, heads, seq, head_dim); ``positions`` (seq,).
+    Supports partial rotary (Phi-2 rotates only 40% of each head).
+    """
+    angles = positions[:, None].astype(np.float64) * inv_freq[None, :]
+    cos = np.cos(angles).astype(np.float32)  # (seq, rotary_dim/2)
+    sin = np.sin(angles).astype(np.float32)
+    rot, rest = x[..., :rotary_dim], x[..., rotary_dim:]
+    x1, x2 = rot[..., 0::2], rot[..., 1::2]
+    out = np.empty_like(rot)
+    out[..., 0::2] = x1 * cos - x2 * sin
+    out[..., 1::2] = x1 * sin + x2 * cos
+    return np.concatenate([out, rest], axis=-1) if rest.size else out
+
+
+@dataclass
+class AttentionCache:
+    """Per-layer K/V tensors, grown by concatenation (DynamicCache-style)."""
+
+    keys: List[Optional[np.ndarray]] = field(default_factory=list)
+    values: List[Optional[np.ndarray]] = field(default_factory=list)
+
+    def ensure_layers(self, n_layers: int) -> None:
+        while len(self.keys) < n_layers:
+            self.keys.append(None)
+            self.values.append(None)
+
+    def update(
+        self, layer: int, k: np.ndarray, v: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Append new K/V for ``layer``; return the full cached tensors."""
+        self.ensure_layers(layer + 1)
+        if self.keys[layer] is None:
+            self.keys[layer], self.values[layer] = k, v
+        else:
+            self.keys[layer] = np.concatenate([self.keys[layer], k], axis=2)
+            self.values[layer] = np.concatenate([self.values[layer], v], axis=2)
+        return self.keys[layer], self.values[layer]
+
+    @property
+    def seq_len(self) -> int:
+        if not self.keys or self.keys[0] is None:
+            return 0
+        return self.keys[0].shape[2]
+
+
+def causal_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    n_query_groups: int,
+    past_len: int = 0,
+) -> np.ndarray:
+    """Scaled dot-product attention with causal mask and GQA.
+
+    Shapes: q (b, Hq, Tq, d); k, v (b, Hkv, Tk, d) with
+    ``Hq = Hkv * n_query_groups``.  ``past_len`` is how many of the Tk
+    key positions precede the first query position.
+    """
+    b, hq, tq, d = q.shape
+    _, hkv, tk, _ = k.shape
+    if hq != hkv * n_query_groups:
+        raise ModelError(
+            f"GQA mismatch: {hq} query heads vs {hkv} kv heads x {n_query_groups}"
+        )
+    if past_len + tq != tk:
+        raise ModelError(
+            f"causal geometry mismatch: past {past_len} + queries {tq} != keys {tk}"
+        )
+    if n_query_groups > 1:
+        k = np.repeat(k, n_query_groups, axis=1)
+        v = np.repeat(v, n_query_groups, axis=1)
+
+    scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(d)  # (b, Hq, Tq, Tk)
+    # Causal mask: query i (absolute pos past_len+i) sees keys <= its pos.
+    qpos = past_len + np.arange(tq)[:, None]
+    kpos = np.arange(tk)[None, :]
+    scores = np.where(kpos <= qpos, scores, -np.inf)
+
+    scores -= scores.max(axis=-1, keepdims=True)
+    w = np.exp(scores)
+    w /= w.sum(axis=-1, keepdims=True)
+    return w @ v

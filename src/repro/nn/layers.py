@@ -1,0 +1,117 @@
+"""Linear layers (with quantized execution modes) and normalisations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.quant.blockwise import blockwise_dequantize, blockwise_quantize
+from repro.quant.dtypes import Precision
+from repro.quant.llm_int8 import LLMInt8Linear
+
+
+class Linear:
+    """``y = x @ W.T + b`` with a per-layer execution precision.
+
+    - FP32: reference.
+    - FP16: weights and activations round-tripped through float16.
+    - INT8: the real LLM.int8() mixed-precision product.
+    - INT4: weights NF4-quantized at load (dequantize-once is numerically
+      identical to dequantize-per-tile).
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        precision: Precision = Precision.FP32,
+    ):
+        w = np.asarray(weight, dtype=np.float32)
+        if w.ndim != 2:
+            raise ModelError(f"Linear weight must be 2-D, got shape {w.shape}")
+        if bias is not None:
+            bias = np.asarray(bias, dtype=np.float32)
+            if bias.shape != (w.shape[0],):
+                raise ModelError(
+                    f"bias shape {bias.shape} does not match out features {w.shape[0]}"
+                )
+        self.precision = precision
+        self.bias = bias
+        self.out_features, self.in_features = w.shape
+        self._int8: Optional[LLMInt8Linear] = None
+        if precision is Precision.INT8:
+            self._int8 = LLMInt8Linear(w)
+            self._w = w  # retained only for `exact` comparisons
+        elif precision is Precision.INT4:
+            self._w = blockwise_dequantize(blockwise_quantize(w, scheme="nf4"))
+        elif precision is Precision.FP16:
+            self._w = w.astype(np.float16).astype(np.float32)
+        else:
+            self._w = w
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        a = np.asarray(x, dtype=np.float32)
+        shape = a.shape
+        a2 = a.reshape(-1, shape[-1])
+        if self._int8 is not None:
+            y = self._int8.forward(a2)
+        elif self.precision is Precision.FP16:
+            y = (a2.astype(np.float16) @ self._w.T.astype(np.float16)).astype(np.float32)
+        else:
+            y = a2 @ self._w.T
+        if self.bias is not None:
+            y = y + self.bias
+        return y.reshape(*shape[:-1], self.out_features)
+
+    @property
+    def n_params(self) -> int:
+        n = self.out_features * self.in_features
+        if self.bias is not None:
+            n += self.out_features
+        return n
+
+
+class RMSNorm:
+    """Root-mean-square normalisation (Llama/Mistral/Qwen family)."""
+
+    def __init__(self, weight: np.ndarray, eps: float = 1e-5):
+        self.weight = np.asarray(weight, dtype=np.float32)
+        if self.weight.ndim != 1:
+            raise ModelError("RMSNorm weight must be 1-D")
+        self.eps = eps
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        a = np.asarray(x, dtype=np.float32)
+        rms = np.sqrt(np.mean(a * a, axis=-1, keepdims=True) + self.eps)
+        return (a / rms) * self.weight
+
+
+class LayerNorm:
+    """Classic layer normalisation with bias (Phi-2/Pythia family)."""
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray, eps: float = 1e-5):
+        self.weight = np.asarray(weight, dtype=np.float32)
+        self.bias = np.asarray(bias, dtype=np.float32)
+        if self.weight.shape != self.bias.shape or self.weight.ndim != 1:
+            raise ModelError("LayerNorm weight/bias must be matching 1-D arrays")
+        self.eps = eps
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        a = np.asarray(x, dtype=np.float32)
+        mu = a.mean(axis=-1, keepdims=True)
+        var = a.var(axis=-1, keepdims=True)
+        return (a - mu) / np.sqrt(var + self.eps) * self.weight + self.bias
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """tanh-approximation GELU (as Phi-2 uses)."""
+    a = np.asarray(x, dtype=np.float32)
+    return 0.5 * a * (1.0 + np.tanh(0.7978845608 * (a + 0.044715 * a**3)))
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish (the Llama-family gate activation)."""
+    a = np.asarray(x, dtype=np.float32)
+    return a / (1.0 + np.exp(-a))

@@ -1,0 +1,40 @@
+"""Cross-entropy / negative log-likelihood for perplexity evaluation."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def cross_entropy_nll(
+    logits: np.ndarray, targets: np.ndarray, ignore_index: int = -100
+) -> Tuple[float, int]:
+    """Summed NLL of ``targets`` under ``logits`` and the token count.
+
+    ``logits``: (..., vocab); ``targets``: matching leading shape.
+    Positions equal to ``ignore_index`` are excluded — the sliding-window
+    perplexity evaluator masks the overlapped prefix this way, exactly
+    like the HF reference implementation.
+    """
+    z = np.asarray(logits, dtype=np.float64)
+    t = np.asarray(targets)
+    if z.shape[:-1] != t.shape:
+        raise ModelError(
+            f"logits leading shape {z.shape[:-1]} != targets shape {t.shape}"
+        )
+    flat_z = z.reshape(-1, z.shape[-1])
+    flat_t = t.reshape(-1)
+    keep = flat_t != ignore_index
+    if not keep.any():
+        return 0.0, 0
+    zk = flat_z[keep]
+    tk = flat_t[keep]
+    if (tk < 0).any() or (tk >= zk.shape[-1]).any():
+        raise ModelError("target token id out of vocabulary range")
+    zmax = zk.max(axis=-1, keepdims=True)
+    logsumexp = np.log(np.exp(zk - zmax).sum(axis=-1)) + zmax[:, 0]
+    nll = logsumexp - zk[np.arange(zk.shape[0]), tk]
+    return float(nll.sum()), int(keep.sum())

@@ -1,0 +1,62 @@
+"""Token sampling strategies for generation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def sample_token(
+    logits: np.ndarray,
+    rng: Optional[np.random.Generator] = None,
+    temperature: float = 0.0,
+    top_k: Optional[int] = None,
+    top_p: Optional[float] = None,
+) -> np.ndarray:
+    """Pick one token id per row of ``logits`` (batch, vocab).
+
+    ``temperature == 0`` means greedy.  top-k and top-p filters compose
+    (k first, then nucleus), as in HF ``generate``.
+    """
+    z = np.asarray(logits, dtype=np.float32)
+    if z.ndim != 2:
+        raise ModelError(f"logits must be (batch, vocab), got shape {z.shape}")
+    if temperature < 0:
+        raise ModelError("temperature must be >= 0")
+    if temperature == 0.0:
+        return z.argmax(axis=-1)
+    if rng is None:
+        raise ModelError("stochastic sampling requires an rng")
+
+    z = z / temperature
+    if top_k is not None:
+        if top_k < 1:
+            raise ModelError("top_k must be >= 1")
+        kth = np.partition(z, -top_k, axis=-1)[:, -top_k][:, None]
+        z = np.where(z < kth, -np.inf, z)
+    if top_p is not None:
+        if not (0.0 < top_p <= 1.0):
+            raise ModelError("top_p must be in (0, 1]")
+        probs = _softmax(z)
+        order = np.argsort(-probs, axis=-1)
+        sorted_p = np.take_along_axis(probs, order, axis=-1)
+        csum = np.cumsum(sorted_p, axis=-1)
+        # Keep tokens until cumulative prob exceeds top_p (always >= 1 token).
+        cut = csum - sorted_p >= top_p
+        mask = np.zeros_like(z, dtype=bool)
+        np.put_along_axis(mask, order, cut, axis=-1)
+        z = np.where(mask, -np.inf, z)
+
+    probs = _softmax(z)
+    c = probs.cumsum(axis=-1)
+    u = rng.random((z.shape[0], 1))
+    return (c < u).sum(axis=-1).clip(0, z.shape[-1] - 1)

@@ -1,0 +1,183 @@
+"""The full numpy decoder-only transformer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.models.architecture import TransformerArchitecture
+from repro.nn.attention import AttentionCache, apply_rope, causal_attention, rope_frequencies
+from repro.nn.layers import LayerNorm, Linear, RMSNorm, gelu, silu
+from repro.nn.sampling import sample_token
+from repro.quant.dtypes import Precision
+
+
+@dataclass
+class _Layer:
+    norm1: object
+    norm2: Optional[object]
+    q: Linear
+    k: Linear
+    v: Linear
+    o: Linear
+    mlp_up: Linear
+    mlp_gate: Optional[Linear]
+    mlp_down: Linear
+
+
+class NumpyTransformer:
+    """A runnable decoder-only transformer instantiated from an
+    architecture description.
+
+    Weights are seeded-random (scaled init); the class supports
+    KV-cached generation and batched forward passes.  The same object
+    can be re-instantiated at a different :class:`Precision` to measure
+    quantization effects on real computation.
+
+    Parameters
+    ----------
+    arch:
+        Structural description.  Use small custom architectures for
+        CPU-feasible runs; the paper-scale presets would need hundreds
+        of GB.
+    precision:
+        Execution precision of all linear layers.
+    seed:
+        Weight-initialisation seed (same seed => same FP32 weights at
+        every precision, so precision deltas are purely quantization).
+    """
+
+    def __init__(
+        self,
+        arch: TransformerArchitecture,
+        precision: Precision = Precision.FP32,
+        seed: int = 0,
+    ):
+        self.arch = arch
+        self.precision = precision
+        rng = np.random.default_rng(seed)
+        h = arch.hidden_size
+
+        def linear(n_out: int, n_in: int, bias: bool) -> Linear:
+            w = rng.standard_normal((n_out, n_in)).astype(np.float32)
+            w *= np.sqrt(2.0 / (n_in + n_out))
+            b = np.zeros(n_out, dtype=np.float32) if bias else None
+            return Linear(w, b, precision)
+
+        def norm() -> object:
+            if arch.mlp_type == "plain":  # LayerNorm family (Phi-2, Pythia)
+                return LayerNorm(np.ones(h, np.float32), np.zeros(h, np.float32))
+            return RMSNorm(np.ones(h, np.float32))
+
+        self.embed = (
+            rng.standard_normal((arch.vocab_size, h)).astype(np.float32) * 0.02
+        )
+        self.layers: List[_Layer] = []
+        for _ in range(arch.n_layers):
+            gate = (
+                linear(arch.intermediate_size, h, arch.mlp_bias)
+                if arch.mlp_type == "gated"
+                else None
+            )
+            self.layers.append(
+                _Layer(
+                    norm1=norm(),
+                    norm2=None if arch.norms_per_layer == 1 else norm(),
+                    q=linear(arch.q_dim, h, arch.attention_bias),
+                    k=linear(arch.kv_dim, h, arch.attention_bias),
+                    v=linear(arch.kv_dim, h, arch.attention_bias),
+                    o=linear(h, arch.q_dim, arch.attention_bias),
+                    mlp_up=linear(arch.intermediate_size, h, arch.mlp_bias),
+                    mlp_gate=gate,
+                    mlp_down=linear(h, arch.intermediate_size, arch.mlp_bias),
+                )
+            )
+        self.final_norm = norm()
+        if arch.tied_embeddings:
+            self.lm_head = Linear(self.embed, None, precision)
+        else:
+            self.lm_head = linear(arch.vocab_size, h, False)
+
+        rotary_dim = int(arch.head_dim * arch.partial_rotary_factor)
+        rotary_dim -= rotary_dim % 2
+        self._rotary_dim = max(2, rotary_dim)
+        self._inv_freq = rope_frequencies(arch.head_dim, self._rotary_dim)
+
+    # -- forward -----------------------------------------------------------
+    def _split_heads(self, x: np.ndarray, n_heads: int) -> np.ndarray:
+        b, t, _ = x.shape
+        return x.reshape(b, t, n_heads, self.arch.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(
+        self, tokens: np.ndarray, cache: Optional[AttentionCache] = None
+    ) -> np.ndarray:
+        """Logits for ``tokens`` (batch, seq); uses/extends ``cache``."""
+        t_ids = np.asarray(tokens)
+        if t_ids.ndim != 2:
+            raise ModelError(f"tokens must be (batch, seq), got shape {t_ids.shape}")
+        if (t_ids < 0).any() or (t_ids >= self.arch.vocab_size).any():
+            raise ModelError("token id out of vocabulary range")
+        past = cache.seq_len if cache is not None else 0
+        b, t = t_ids.shape
+        positions = past + np.arange(t)
+
+        x = self.embed[t_ids]  # (b, t, h)
+        for i, layer in enumerate(self.layers):
+            normed = layer.norm1(x)
+            q = self._split_heads(layer.q(normed), self.arch.n_heads)
+            k = self._split_heads(layer.k(normed), self.arch.n_kv_heads)
+            v = self._split_heads(layer.v(normed), self.arch.n_kv_heads)
+            q = apply_rope(q, positions, self._inv_freq, self._rotary_dim)
+            k = apply_rope(k, positions, self._inv_freq, self._rotary_dim)
+            if cache is not None:
+                k, v = cache.update(i, k, v)
+            attn = causal_attention(q, k, v, self.arch.gqa_ratio, past_len=past)
+            attn = attn.transpose(0, 2, 1, 3).reshape(b, t, self.arch.q_dim)
+            attn_out = layer.o(attn)
+
+            if layer.norm2 is None:
+                # Parallel block (Phi-2): attention and MLP share the norm.
+                mlp_in = normed
+            else:
+                x = x + attn_out
+                mlp_in = layer.norm2(x)
+            if layer.mlp_gate is not None:
+                hidden = silu(layer.mlp_gate(mlp_in)) * layer.mlp_up(mlp_in)
+            else:
+                hidden = gelu(layer.mlp_up(mlp_in))
+            mlp_out = layer.mlp_down(hidden)
+            if layer.norm2 is None:
+                x = x + attn_out + mlp_out
+            else:
+                x = x + mlp_out
+        return self.lm_head(self.final_norm(x))
+
+    # -- generation ----------------------------------------------------------
+    def generate(
+        self,
+        prompts: np.ndarray,
+        max_new_tokens: int,
+        temperature: float = 0.0,
+        top_k: Optional[int] = None,
+        top_p: Optional[float] = None,
+        seed: int = 0,
+    ) -> np.ndarray:
+        """KV-cached autoregressive generation.
+
+        ``prompts``: (batch, prompt_len) token ids.  Returns the
+        generated ids, (batch, max_new_tokens).
+        """
+        if max_new_tokens < 1:
+            raise ModelError("max_new_tokens must be >= 1")
+        rng = np.random.default_rng(seed)
+        cache = AttentionCache()
+        logits = self.forward(prompts, cache)[:, -1, :]
+        out = []
+        for _ in range(max_new_tokens):
+            nxt = sample_token(logits, rng, temperature, top_k, top_p)
+            out.append(nxt)
+            logits = self.forward(nxt[:, None], cache)[:, -1, :]
+        return np.stack(out, axis=1)

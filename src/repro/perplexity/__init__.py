@@ -1,0 +1,18 @@
+"""Perplexity evaluation.
+
+- :mod:`repro.perplexity.evaluator` — the paper's sliding-window
+  protocol (1024-token windows, stride 512, cross-entropy over
+  non-overlapped targets) running on the real numpy transformer.
+- :mod:`repro.perplexity.analytical` — Table-3 reproduction for
+  paper-scale models: calibrated FP32 anchors plus the measured
+  quantization-error -> NLL-degradation model.
+"""
+
+from repro.perplexity.evaluator import sliding_window_perplexity
+from repro.perplexity.analytical import perplexity_table, predicted_perplexity
+
+__all__ = [
+    "perplexity_table",
+    "predicted_perplexity",
+    "sliding_window_perplexity",
+]

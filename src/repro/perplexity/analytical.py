@@ -1,0 +1,101 @@
+"""Table-3 reproduction for paper-scale models.
+
+Absolute FP32 perplexity of a 32B model cannot be computed offline, so
+the anchors come from the paper (documented in
+:mod:`repro.calibration.constants`); the quantization *degradation* is
+predicted from the measured matmul error of the real quantizers through
+the calibrated sensitivity model.  OOM cells are decided by the same
+memory model the engine uses (can the weights + a 1024-token evaluation
+window fit the 64 GB board?).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.calibration.constants import (
+    PPL_ANCHOR_PRECISION,
+    PPL_ANCHORS,
+    PPL_ERROR_EXPONENT,
+    PPL_SENSITIVITY,
+)
+from repro.errors import ExperimentError
+from repro.hardware.device import EdgeDevice
+from repro.models.architecture import TransformerArchitecture
+from repro.models.footprint import weight_bytes
+from repro.models.zoo import PAPER_MODELS
+from repro.quant.dtypes import PRECISION_ORDER, Precision
+from repro.quant.error import measure_quant_error
+
+
+def fits_on_device(
+    arch: TransformerArchitecture, precision: Precision, device: EdgeDevice,
+    eval_window: int = 1024,
+) -> bool:
+    """Can a perplexity evaluation run at this precision on this device?
+
+    Weights + the evaluation working set (KV for one window, workspace)
+    must fit the usable memory.
+    """
+    weights = weight_bytes(arch, precision)
+    kv = arch.kv_cache_spec().bytes_total(1, eval_window)
+    workspace = int(0.5e9)
+    return weights + kv + workspace <= device.memory.usable_bytes
+
+
+def predicted_perplexity(
+    model_name: str,
+    precision: Precision,
+    dataset: str,
+    seed: int = 0,
+) -> float:
+    """Predicted perplexity for one (model, precision, dataset) cell."""
+    anchors = PPL_ANCHORS.get(dataset)
+    if anchors is None or model_name not in anchors:
+        raise ExperimentError(f"no anchor for {model_name!r} on {dataset!r}")
+    arch = PAPER_MODELS[model_name]
+    anchor_prec = Precision.parse(PPL_ANCHOR_PRECISION[model_name])
+    base = anchors[model_name]
+    s = PPL_SENSITIVITY[model_name]
+    p = PPL_ERROR_EXPONENT
+
+    e_target = measure_quant_error(arch, precision, seed=seed).rel_matmul_error
+    e_anchor = measure_quant_error(arch, anchor_prec, seed=seed).rel_matmul_error
+    delta = s * (e_target**p - e_anchor**p)
+    return float(base * math.exp(delta))
+
+
+def perplexity_table(
+    device: EdgeDevice,
+    datasets: tuple = ("wikitext2", "longbench"),
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Full Table-3 analogue with OOM cells decided by the memory model."""
+    rows: List[Dict[str, object]] = []
+    for model_name in PAPER_MODELS:
+        arch = PAPER_MODELS[model_name]
+        row: Dict[str, object] = {"model": model_name}
+        for ds in datasets:
+            for prec in PRECISION_ORDER:
+                key = f"{ds}_{prec.value}"
+                if not fits_on_device(arch, prec, device):
+                    row[key] = None
+                    continue
+                row[key] = round(
+                    predicted_perplexity(model_name, prec, ds, seed=seed), 2
+                )
+        rows.append(row)
+    return rows
+
+
+def perplexity_cell(
+    model_name: str, precision: Precision, dataset: str, device: Optional[EdgeDevice] = None,
+    seed: int = 0,
+) -> Optional[float]:
+    """One cell, or None if it would OOM on ``device``."""
+    if device is not None and not fits_on_device(
+        PAPER_MODELS[model_name], precision, device
+    ):
+        return None
+    return round(predicted_perplexity(model_name, precision, dataset, seed=seed), 2)

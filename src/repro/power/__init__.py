@@ -1,0 +1,32 @@
+"""Power modes, DVFS and the board power model.
+
+- :mod:`repro.power.dvfs` — voltage/frequency operating curves.
+- :mod:`repro.power.modes` — :class:`PowerMode` definitions including the
+  paper's Table 2 set (MAXN and custom modes A-H), plus an nvpmodel-style
+  config parser/emitter.
+- :mod:`repro.power.model` — converts device state + component
+  utilizations into instantaneous watts (what jtop would display).
+"""
+
+from repro.power.dvfs import DvfsCurve
+from repro.power.modes import (
+    PAPER_POWER_MODES,
+    PowerMode,
+    apply_power_mode,
+    get_power_mode,
+    parse_nvpmodel_conf,
+    render_nvpmodel_conf,
+)
+from repro.power.model import ComponentUtilization, PowerModel
+
+__all__ = [
+    "ComponentUtilization",
+    "DvfsCurve",
+    "PAPER_POWER_MODES",
+    "PowerMode",
+    "PowerModel",
+    "apply_power_mode",
+    "get_power_mode",
+    "parse_nvpmodel_conf",
+    "render_nvpmodel_conf",
+]

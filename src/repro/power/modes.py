@@ -1,0 +1,186 @@
+"""Power-mode definitions (nvpmodel analogue).
+
+The paper evaluates MAXN plus eight custom modes (its Table 2), each
+varying exactly one resource dimension relative to MAXN:
+
+====  =========  =========  =========  ==========
+Mode  GPU (MHz)  CPU (GHz)  CPU cores  Mem (MHz)
+====  =========  =========  =========  ==========
+MAXN  1301       2.2        12         3200
+A     800        2.2        12         3200
+B     400        2.2        12         3200
+C     1301       1.7        12         3200
+D     1301       1.2        12         3200
+E     1301       2.2        8          3200
+F     1301       2.2        4          3200
+G     1301       2.2        12         2133
+H     1301       2.2        12         665
+====  =========  =========  =========  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.errors import PowerModeError
+from repro.hardware.device import EdgeDevice
+from repro.units import ghz, mhz
+
+
+@dataclass(frozen=True)
+class PowerMode:
+    """One nvpmodel-style operating point."""
+
+    name: str
+    gpu_freq_hz: float
+    cpu_freq_hz: float
+    cpu_online_cores: int
+    mem_freq_hz: float
+
+    def __post_init__(self) -> None:
+        if min(self.gpu_freq_hz, self.cpu_freq_hz, self.mem_freq_hz) <= 0:
+            raise PowerModeError(f"power mode {self.name!r} has a non-positive frequency")
+        if self.cpu_online_cores < 1:
+            raise PowerModeError(f"power mode {self.name!r} must keep >= 1 CPU core")
+
+    def as_row(self) -> Dict[str, float]:
+        """Row for the Table-2 style report (MHz/GHz units as in the paper)."""
+        return {
+            "mode": self.name,
+            "gpu_freq_mhz": round(self.gpu_freq_hz / 1e6),
+            "cpu_freq_ghz": round(self.cpu_freq_hz / 1e9, 1),
+            "cpu_cores_online": self.cpu_online_cores,
+            "mem_freq_mhz": round(self.mem_freq_hz / 1e6),
+        }
+
+
+def _mode(name: str, gpu_mhz: float, cpu_ghz: float, cores: int, mem_mhz: float) -> PowerMode:
+    return PowerMode(
+        name=name,
+        gpu_freq_hz=mhz(gpu_mhz),
+        cpu_freq_hz=ghz(cpu_ghz),
+        cpu_online_cores=cores,
+        mem_freq_hz=mhz(mem_mhz),
+    )
+
+
+#: The paper's Table 2, in paper order.
+PAPER_POWER_MODES: Dict[str, PowerMode] = {
+    m.name: m
+    for m in (
+        _mode("MAXN", 1301, 2.2, 12, 3199),
+        _mode("A", 800, 2.2, 12, 3199),
+        _mode("B", 400, 2.2, 12, 3199),
+        _mode("C", 1301, 1.7, 12, 3199),
+        _mode("D", 1301, 1.2, 12, 3199),
+        _mode("E", 1301, 2.2, 8, 3199),
+        _mode("F", 1301, 2.2, 4, 3199),
+        _mode("G", 1301, 2.2, 12, 2133),
+        _mode("H", 1301, 2.2, 12, 665),
+    )
+}
+
+
+def get_power_mode(name: str) -> PowerMode:
+    """Look up one of the paper's modes by name (case-insensitive)."""
+    mode = PAPER_POWER_MODES.get(name.strip().upper())
+    if mode is None:
+        known = ", ".join(PAPER_POWER_MODES)
+        raise PowerModeError(f"unknown power mode {name!r}; known: {known}")
+    return mode
+
+
+def apply_power_mode(device: EdgeDevice, mode: PowerMode) -> None:
+    """Set the device's operating point to ``mode``.
+
+    Raises :class:`PowerModeError` if the mode asks for something the
+    device cannot do (frequency out of range, too many cores).
+    """
+    from repro.errors import ConfigError
+
+    try:
+        device.gpu.set_freq(mode.gpu_freq_hz)
+        device.cpu.set_freq(mode.cpu_freq_hz)
+        device.cpu.set_online_cores(mode.cpu_online_cores)
+        device.memory.set_freq(mode.mem_freq_hz)
+    except ConfigError as exc:
+        raise PowerModeError(
+            f"device {device.name!r} cannot apply power mode {mode.name!r}: {exc}"
+        ) from exc
+
+
+# -- nvpmodel-conf-style round trip ----------------------------------------
+
+def render_nvpmodel_conf(modes: Iterable[PowerMode]) -> str:
+    """Serialise modes in a minimal nvpmodel.conf-like format."""
+    lines: List[str] = []
+    for i, m in enumerate(modes):
+        lines.append(f"< POWER_MODEL ID={i} NAME={m.name} >")
+        lines.append(f"CPU_ONLINE CORES {m.cpu_online_cores}")
+        lines.append(f"CPU_FREQ MAX {int(m.cpu_freq_hz / 1e3)}")  # kHz, as sysfs
+        lines.append(f"GPU_FREQ MAX {int(m.gpu_freq_hz)}")
+        lines.append(f"EMC_FREQ MAX {int(m.mem_freq_hz)}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def parse_nvpmodel_conf(text: str) -> List[PowerMode]:
+    """Parse the format produced by :func:`render_nvpmodel_conf`."""
+    modes: List[PowerMode] = []
+    current: Dict[str, float] = {}
+    name = ""
+
+    def flush() -> None:
+        nonlocal current, name
+        if not name:
+            return
+        missing = {"cores", "cpu_khz", "gpu_hz", "emc_hz"} - set(current)
+        if missing:
+            raise PowerModeError(f"mode {name!r} missing fields: {sorted(missing)}")
+        modes.append(
+            PowerMode(
+                name=name,
+                gpu_freq_hz=current["gpu_hz"],
+                cpu_freq_hz=current["cpu_khz"] * 1e3,
+                cpu_online_cores=int(current["cores"]),
+                mem_freq_hz=current["emc_hz"],
+            )
+        )
+        current = {}
+        name = ""
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("<"):
+            flush()
+            for token in line.strip("<> ").split():
+                if token.startswith("NAME="):
+                    name = token.split("=", 1)[1]
+            if not name:
+                raise PowerModeError(f"mode header without NAME: {line!r}")
+            continue
+        if not name:
+            raise PowerModeError(f"nvpmodel data line outside a mode block: {line!r}")
+        parts = line.split()
+        if len(parts) != 3:
+            raise PowerModeError(f"malformed nvpmodel line: {line!r}")
+        key, _sub, value = parts
+        try:
+            num = float(value)
+        except ValueError:
+            raise PowerModeError(f"non-numeric value in line: {line!r}") from None
+        if key == "CPU_ONLINE":
+            current["cores"] = num
+        elif key == "CPU_FREQ":
+            current["cpu_khz"] = num
+        elif key == "GPU_FREQ":
+            current["gpu_hz"] = num
+        elif key == "EMC_FREQ":
+            current["emc_hz"] = num
+        else:
+            raise PowerModeError(f"unknown nvpmodel key {key!r}")
+    flush()
+    return modes

@@ -1,0 +1,144 @@
+"""Power-mode search: Pareto-optimal custom operating points.
+
+The paper evaluates nine hand-picked modes out of the "1000s" nvpmodel
+supports (§2) and concludes that picking well "can help optimize LLM
+serving" (§4).  This tuner does the picking: it sweeps the full
+GPU x CPU x memory frequency grid with the calibrated cost and power
+models, computes latency/power/energy per candidate, and extracts the
+Pareto frontier — plus constrained-argmin helpers ("fastest mode under
+30 W", "lowest energy within 1.5x MAXN latency").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.engine.kernels import EngineCostParams, StepTimer
+from repro.errors import ExperimentError
+from repro.hardware.device import EdgeDevice
+from repro.models.architecture import TransformerArchitecture
+from repro.power.model import ComponentUtilization, PowerModel
+from repro.power.modes import PowerMode
+from repro.quant.dtypes import Precision
+from repro.units import ghz, mhz
+
+#: Frequency grids, a superset of the paper's Table-2 values.
+GPU_FREQS_MHZ = (1301, 1100, 900, 800, 600, 400)
+CPU_FREQS_GHZ = (2.2, 1.7, 1.2)
+MEM_FREQS_MHZ = (3199, 2133, 1600, 665)
+
+
+@dataclass(frozen=True)
+class TunedPoint:
+    """One evaluated operating point."""
+
+    mode: PowerMode
+    latency_s: float
+    power_w: float
+    energy_j: float
+
+    def dominates(self, other: "TunedPoint") -> bool:
+        """True if at least as good on all axes and better on one."""
+        le = (self.latency_s <= other.latency_s
+              and self.power_w <= other.power_w
+              and self.energy_j <= other.energy_j)
+        lt = (self.latency_s < other.latency_s
+              or self.power_w < other.power_w
+              or self.energy_j < other.energy_j)
+        return le and lt
+
+
+def evaluate_mode(
+    device: EdgeDevice,
+    arch: TransformerArchitecture,
+    precision: Precision,
+    mode: PowerMode,
+    batch_size: int = 32,
+    input_tokens: int = 32,
+    output_tokens: int = 64,
+    params: Optional[EngineCostParams] = None,
+    power_model: Optional[PowerModel] = None,
+) -> TunedPoint:
+    """Closed-form latency/power/energy of one batch under ``mode``."""
+    from repro.power.modes import apply_power_mode
+
+    power_model = power_model or PowerModel()
+    apply_power_mode(device, mode)
+    timer = StepTimer(arch, device, precision, params)
+
+    latency = timer.prefill(batch_size, input_tokens).seconds
+    mid = input_tokens + output_tokens // 2
+    step = timer.decode_step(batch_size, mid)
+    latency += step.seconds * output_tokens
+
+    util = ComponentUtilization(
+        gpu_compute=step.gpu_compute_frac,
+        gpu_busy=step.gpu_busy_frac,
+        mem_bw=step.mem_bw_frac,
+        cpu_cores_active=step.cpu_cores_active,
+    )
+    watts = power_model.power_w(device, util)
+    return TunedPoint(mode=mode, latency_s=latency, power_w=watts,
+                      energy_j=watts * latency)
+
+
+def sweep_operating_points(
+    device: EdgeDevice,
+    arch: TransformerArchitecture,
+    precision: Precision,
+    gpu_freqs_mhz: Sequence[float] = GPU_FREQS_MHZ,
+    cpu_freqs_ghz: Sequence[float] = CPU_FREQS_GHZ,
+    mem_freqs_mhz: Sequence[float] = MEM_FREQS_MHZ,
+    **eval_kwargs,
+) -> List[TunedPoint]:
+    """Evaluate the full frequency grid (cores stay online: the paper
+    shows core count is performance-neutral, so offlining is pure
+    static-power savings handled separately)."""
+    points: List[TunedPoint] = []
+    for g in gpu_freqs_mhz:
+        for c in cpu_freqs_ghz:
+            for m in mem_freqs_mhz:
+                mode = PowerMode(
+                    name=f"g{g:.0f}-c{c:.1f}-m{m:.0f}",
+                    gpu_freq_hz=mhz(g),
+                    cpu_freq_hz=ghz(c),
+                    cpu_online_cores=device.cpu.total_cores,
+                    mem_freq_hz=mhz(m),
+                )
+                points.append(
+                    evaluate_mode(device, arch, precision, mode, **eval_kwargs)
+                )
+    device.reset_to_max()
+    return points
+
+
+def pareto_frontier(points: Sequence[TunedPoint]) -> List[TunedPoint]:
+    """Non-dominated subset, sorted by latency."""
+    if not points:
+        raise ExperimentError("no points to filter")
+    frontier = [
+        p for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(frontier, key=lambda p: p.latency_s)
+
+
+def best_under_power_cap(
+    points: Sequence[TunedPoint], cap_w: float
+) -> Optional[TunedPoint]:
+    """Fastest point drawing at most ``cap_w`` watts."""
+    ok = [p for p in points if p.power_w <= cap_w]
+    return min(ok, key=lambda p: p.latency_s) if ok else None
+
+
+def best_energy_within_slowdown(
+    points: Sequence[TunedPoint], max_slowdown: float,
+    baseline: Optional[TunedPoint] = None,
+) -> Optional[TunedPoint]:
+    """Lowest-energy point within ``max_slowdown``x of the fastest."""
+    if max_slowdown < 1.0:
+        raise ExperimentError("max_slowdown must be >= 1")
+    base = baseline or min(points, key=lambda p: p.latency_s)
+    ok = [p for p in points if p.latency_s <= base.latency_s * max_slowdown]
+    return min(ok, key=lambda p: p.energy_j) if ok else None

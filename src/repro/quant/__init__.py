@@ -1,0 +1,47 @@
+"""Quantization: dtypes, real numpy quantizers, error metrics, overheads.
+
+This package implements, from scratch in numpy, the quantization schemes
+the paper uses through bitsandbytes:
+
+- :mod:`repro.quant.absmax` — row-wise absmax INT8 quantization.
+- :mod:`repro.quant.llm_int8` — LLM.int8() mixed-precision decomposition
+  (outlier columns kept in FP16, the rest in vector-wise INT8), after
+  Dettmers et al., NeurIPS 2022 (the paper's reference [10]).
+- :mod:`repro.quant.blockwise` — blockwise INT4 and NF4 (4-bit NormalFloat)
+  quantization with per-block absmax scales.
+- :mod:`repro.quant.error` — quantization error metrics and the
+  perplexity-degradation model used for paper-scale models.
+- :mod:`repro.quant.overhead` — the *kernel cost* model: dequantization
+  compute overhead and GPU-utilization caps that make INT8 slower than
+  FP16 on edge GPUs (and faster on A100-class parts for big models).
+"""
+
+from repro.quant.dtypes import Precision
+from repro.quant.absmax import absmax_quantize_int8, absmax_dequantize_int8
+from repro.quant.blockwise import (
+    NF4_CODEBOOK,
+    blockwise_dequantize,
+    blockwise_quantize,
+)
+from repro.quant.llm_int8 import LLMInt8Linear, llm_int8_decompose
+from repro.quant.error import (
+    QuantErrorReport,
+    measure_quant_error,
+    perplexity_delta,
+)
+from repro.quant.overhead import QuantKernelModel
+
+__all__ = [
+    "NF4_CODEBOOK",
+    "LLMInt8Linear",
+    "Precision",
+    "QuantErrorReport",
+    "QuantKernelModel",
+    "absmax_dequantize_int8",
+    "absmax_quantize_int8",
+    "blockwise_dequantize",
+    "blockwise_quantize",
+    "llm_int8_decompose",
+    "measure_quant_error",
+    "perplexity_delta",
+]

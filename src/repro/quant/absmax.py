@@ -1,0 +1,49 @@
+"""Row-wise absmax INT8 quantization (the LLM.int8() base scheme)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+def absmax_quantize_int8(
+    weights: np.ndarray, axis: int = 1
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize ``weights`` to INT8 with per-vector absmax scaling.
+
+    Each vector along ``axis`` is scaled so its absolute maximum maps to
+    127 ("vector-wise quantization" in Dettmers et al.).
+
+    Returns
+    -------
+    (q, scales):
+        ``q`` is int8 with the input's shape; ``scales`` is float32 with
+        the reduced shape (keepdims) such that ``q * scales``
+        dequantizes.
+    """
+    w = np.asarray(weights)
+    if w.ndim != 2:
+        raise QuantizationError(f"expected a 2-D weight matrix, got shape {w.shape}")
+    if w.size == 0:
+        raise QuantizationError("cannot quantize an empty matrix")
+    if axis not in (0, 1):
+        raise QuantizationError(f"axis must be 0 or 1, got {axis}")
+    # Work in float64: subnormal float32 inputs would underflow the
+    # scale computation and poison the division.
+    absmax = np.abs(w.astype(np.float64)).max(axis=axis, keepdims=True)
+    # A zero vector has scale 0; map it to 1 to avoid division by zero
+    # (its quantized values are all zero anyway).
+    safe = np.where(absmax == 0.0, 1.0, absmax)
+    scales64 = safe / 127.0
+    q = np.clip(np.rint(w.astype(np.float64) / scales64), -127, 127).astype(np.int8)
+    return q, scales64.astype(np.float32)
+
+
+def absmax_dequantize_int8(q: np.ndarray, scales: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`absmax_quantize_int8` (float32 result)."""
+    if q.dtype != np.int8:
+        raise QuantizationError(f"expected int8 input, got {q.dtype}")
+    return q.astype(np.float32) * scales

@@ -1,0 +1,71 @@
+"""Numeric precisions used for model weights and arithmetic."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import QuantizationError
+
+
+class Precision(str, Enum):
+    """Weight/compute precision.
+
+    ``bytes_per_param`` includes quantization metadata overhead (scales,
+    zero-points) amortised per parameter, matching what ``bitsandbytes``
+    actually stores:
+
+    - INT8 (LLM.int8()): 1 byte per weight + per-row FP16 scales and a
+      small fraction of outlier columns kept in FP16 — ≈ 1.06 B/param.
+    - INT4 (NF4): 0.5 byte per weight + one FP16 (later FP8) absmax per
+      64-weight block plus nested quantization constants — ≈ 0.56 B/param.
+    """
+
+    FP32 = "fp32"
+    FP16 = "fp16"
+    INT8 = "int8"
+    INT4 = "int4"
+
+    @property
+    def bytes_per_param(self) -> float:
+        return _BYTES_PER_PARAM[self]
+
+    @property
+    def is_quantized(self) -> bool:
+        """True for integer formats that need dequantization at compute time."""
+        return self in (Precision.INT8, Precision.INT4)
+
+    @property
+    def bits(self) -> int:
+        return _BITS[self]
+
+    @classmethod
+    def parse(cls, name: str) -> "Precision":
+        """Parse a precision from a user-facing string (case-insensitive)."""
+        try:
+            return cls(name.strip().lower())
+        except ValueError:
+            valid = ", ".join(p.value for p in cls)
+            raise QuantizationError(
+                f"unknown precision {name!r}; expected one of: {valid}"
+            ) from None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value.upper()
+
+
+_BYTES_PER_PARAM = {
+    Precision.FP32: 4.0,
+    Precision.FP16: 2.0,
+    Precision.INT8: 1.06,
+    Precision.INT4: 0.56,
+}
+
+_BITS = {
+    Precision.FP32: 32,
+    Precision.FP16: 16,
+    Precision.INT8: 8,
+    Precision.INT4: 4,
+}
+
+#: Sweep order used throughout the paper's tables (highest precision first).
+PRECISION_ORDER = (Precision.FP32, Precision.FP16, Precision.INT8, Precision.INT4)

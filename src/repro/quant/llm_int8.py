@@ -1,0 +1,111 @@
+"""LLM.int8() mixed-precision matrix multiplication (Dettmers et al. 2022).
+
+The scheme that bitsandbytes applies for 8-bit inference — the paper's
+reference [10]:
+
+1. Find *outlier feature dimensions*: input columns whose magnitude
+   exceeds a threshold (6.0 in the paper).
+2. Multiply the outlier columns against the matching weight rows in
+   FP16.
+3. Quantize everything else vector-wise to INT8 (per-row for A, per
+   -column for W), multiply in INT8, and dequantize the INT32
+   accumulator with the outer product of the scales.
+4. Sum the two partial results.
+
+The numpy implementation here is used for correctness tests, the
+quantization-error measurements that drive Table 3, and the runnable
+examples; the *cost* of these extra passes on a given GPU is modelled in
+:mod:`repro.quant.overhead`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.absmax import absmax_quantize_int8
+
+
+@dataclass(frozen=True)
+class OutlierDecomposition:
+    """Column split produced by :func:`llm_int8_decompose`."""
+
+    outlier_cols: np.ndarray  # int indices into the feature dimension
+    regular_cols: np.ndarray
+
+    @property
+    def outlier_fraction(self) -> float:
+        total = self.outlier_cols.size + self.regular_cols.size
+        return self.outlier_cols.size / total if total else 0.0
+
+
+def llm_int8_decompose(x: np.ndarray, threshold: float = 6.0) -> OutlierDecomposition:
+    """Split feature columns of activations ``x`` into outliers/regulars.
+
+    A column is an outlier if any activation magnitude in it exceeds
+    ``threshold`` — the systematic-outlier criterion of LLM.int8().
+    """
+    a = np.asarray(x)
+    if a.ndim != 2:
+        raise QuantizationError(f"expected 2-D activations, got shape {a.shape}")
+    if threshold <= 0:
+        raise QuantizationError("outlier threshold must be positive")
+    mask = (np.abs(a) > threshold).any(axis=0)
+    cols = np.arange(a.shape[1])
+    return OutlierDecomposition(outlier_cols=cols[mask], regular_cols=cols[~mask])
+
+
+class LLMInt8Linear:
+    """A linear layer executing matmuls the LLM.int8() way.
+
+    Weights are stored column-wise INT8 once at construction; each
+    forward pass re-quantizes activations row-wise and performs the
+    mixed INT8 + FP16-outlier product.
+    """
+
+    def __init__(self, weight: np.ndarray, threshold: float = 6.0):
+        w = np.asarray(weight, dtype=np.float32)
+        if w.ndim != 2:
+            raise QuantizationError(f"expected 2-D weight, got shape {w.shape}")
+        self.threshold = float(threshold)
+        self.out_features, self.in_features = w.shape
+        # Per-input-feature (column of W^T product dimension) scaling:
+        # quantize along the shared inner dimension.
+        self._w_fp = w  # kept for the outlier path (bnb keeps fp16 copies)
+        self._wq, self._w_scales = absmax_quantize_int8(w, axis=1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``x @ W.T`` with mixed INT8/FP16 precision."""
+        a = np.asarray(x, dtype=np.float32)
+        if a.ndim != 2 or a.shape[1] != self.in_features:
+            raise QuantizationError(
+                f"activation shape {a.shape} incompatible with weight "
+                f"({self.out_features}, {self.in_features})"
+            )
+        dec = llm_int8_decompose(a, self.threshold)
+
+        out = np.zeros((a.shape[0], self.out_features), dtype=np.float32)
+        if dec.regular_cols.size:
+            a_reg = a[:, dec.regular_cols]
+            aq, a_scales = absmax_quantize_int8(a_reg, axis=1)
+            wq = self._wq[:, dec.regular_cols]
+            # INT32 accumulate, then dequantize with the scale outer product.
+            acc = aq.astype(np.int32) @ wq.astype(np.int32).T
+            out += acc.astype(np.float32) * a_scales * self._w_scales.T
+        if dec.outlier_cols.size:
+            out += a[:, dec.outlier_cols] @ self._w_fp[:, dec.outlier_cols].T
+        return out
+
+    def exact(self, x: np.ndarray) -> np.ndarray:
+        """Unquantized reference product (for error measurements)."""
+        return np.asarray(x, dtype=np.float32) @ self._w_fp.T
+
+    def relative_error(self, x: np.ndarray) -> float:
+        """Frobenius relative error of the quantized product on ``x``."""
+        ref = self.exact(x)
+        approx = self.forward(x)
+        denom = float(np.linalg.norm(ref))
+        return float(np.linalg.norm(approx - ref)) / denom if denom else 0.0

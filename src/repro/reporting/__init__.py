@@ -1,0 +1,27 @@
+"""Reporting: tables, ASCII figures, CSV/JSON export, paper regeneration.
+
+- :mod:`repro.reporting.tables` — markdown/aligned-text tables from
+  lists of dict rows.
+- :mod:`repro.reporting.figures` — terminal-renderable line and bar
+  charts (the repo has no display; every paper figure is regenerated as
+  an ASCII panel plus its underlying data).
+- :mod:`repro.reporting.export` — CSV/JSON writers.
+- :mod:`repro.reporting.compare` — paper-vs-measured comparison tables
+  with per-cell relative deviation (feeds EXPERIMENTS.md).
+"""
+
+from repro.reporting.tables import format_table, markdown_table
+from repro.reporting.figures import ascii_bars, ascii_lines
+from repro.reporting.export import write_csv, write_json
+from repro.reporting.compare import compare_rows, deviation_summary
+
+__all__ = [
+    "ascii_bars",
+    "ascii_lines",
+    "compare_rows",
+    "deviation_summary",
+    "format_table",
+    "markdown_table",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,73 @@
+"""Paper-vs-measured comparison tables (feeds EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+def compare_rows(
+    paper: Sequence[Dict[str, Any]],
+    ours: Sequence[Dict[str, Any]],
+    key_cols: Sequence[str],
+    value_cols: Sequence[str],
+) -> List[Dict[str, Any]]:
+    """Join two row sets on ``key_cols`` and diff each value column.
+
+    Output rows carry ``<col>_paper``, ``<col>_ours`` and ``<col>_dev``
+    (relative deviation, ours/paper - 1), with None where either side is
+    OOM; a ``match`` column flags OOM-agreement mismatches.
+    """
+    if not paper or not ours:
+        raise ReproError("both row sets must be non-empty")
+
+    def key(r: Dict[str, Any]) -> tuple:
+        return tuple(r.get(k) for k in key_cols)
+
+    ours_by_key = {key(r): r for r in ours}
+    out: List[Dict[str, Any]] = []
+    for p in paper:
+        k = key(p)
+        o = ours_by_key.get(k)
+        if o is None:
+            continue
+        row: Dict[str, Any] = {c: p[c] for c in key_cols}
+        agree = True
+        for c in value_cols:
+            pv: Optional[float] = p.get(c)
+            ov: Optional[float] = o.get(c)
+            row[f"{c}_paper"] = pv
+            row[f"{c}_ours"] = ov
+            if pv is None or ov is None:
+                row[f"{c}_dev"] = None
+                agree = agree and (pv is None) == (ov is None)
+            else:
+                row[f"{c}_dev"] = round(ov / pv - 1.0, 3) if pv else None
+        row["match"] = agree
+        out.append(row)
+    return out
+
+
+def deviation_summary(
+    compared: Sequence[Dict[str, Any]], value_cols: Sequence[str]
+) -> Dict[str, Dict[str, float]]:
+    """Per-column deviation stats: mean/median/max absolute deviation."""
+    import numpy as np
+
+    if not compared:
+        raise ReproError("nothing to summarise")
+    out: Dict[str, Dict[str, float]] = {}
+    for c in value_cols:
+        devs = [
+            abs(r[f"{c}_dev"]) for r in compared if r.get(f"{c}_dev") is not None
+        ]
+        if not devs:
+            continue
+        out[c] = {
+            "mean_abs_dev": round(float(np.mean(devs)), 3),
+            "median_abs_dev": round(float(np.median(devs)), 3),
+            "max_abs_dev": round(float(np.max(devs)), 3),
+            "n": len(devs),
+        }
+    return out

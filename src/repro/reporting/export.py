@@ -1,0 +1,39 @@
+"""CSV and JSON result writers."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, Sequence
+
+from repro.errors import ReproError
+
+
+def write_csv(path: str | Path, rows: Sequence[Dict[str, Any]]) -> Path:
+    """Write dict rows to CSV (columns = union of keys, first-seen order)."""
+    if not rows:
+        raise ReproError("cannot export an empty result set")
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    cols: list = []
+    for r in rows:
+        for k in r:
+            if k not in cols:
+                cols.append(k)
+    with out.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=cols)
+        writer.writeheader()
+        for r in rows:
+            writer.writerow(r)
+    return out
+
+
+def write_json(path: str | Path, payload: Any) -> Path:
+    """Write any JSON-serialisable payload, pretty-printed."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False, default=str)
+        fh.write("\n")
+    return out

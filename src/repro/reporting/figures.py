@@ -1,0 +1,99 @@
+"""ASCII charts for regenerating the paper's figures in a terminal."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_lines(
+    series: Dict[str, Sequence[Optional[float]]],
+    x_labels: Sequence[str],
+    title: str = "",
+    height: int = 12,
+    width: int = 64,
+    log_y: bool = False,
+) -> str:
+    """Multi-series line/scatter panel.
+
+    ``series`` maps name -> y values (None = missing/OOM, skipped);
+    all series share ``x_labels``.
+    """
+    import math
+
+    if not series:
+        raise ReproError("no series to plot")
+    n = len(x_labels)
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ReproError(f"series {name!r} length {len(ys)} != {n} x labels")
+    vals = [y for ys in series.values() for y in ys if y is not None]
+    if not vals:
+        raise ReproError("all values are missing")
+
+    def tr(v: float) -> float:
+        return math.log10(v) if log_y else v
+
+    lo = min(tr(v) for v in vals if not log_y or v > 0)
+    hi = max(tr(v) for v in vals if not log_y or v > 0)
+    span = (hi - lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    xs = [int(i * (width - 1) / max(1, n - 1)) for i in range(n)]
+    for si, (name, ys) in enumerate(series.items()):
+        mark = _MARKS[si % len(_MARKS)]
+        for i, y in enumerate(ys):
+            if y is None or (log_y and y <= 0):
+                continue
+            row = height - 1 - int((tr(y) - lo) / span * (height - 1))
+            grid[row][xs[i]] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top = 10**hi if log_y else hi
+    bot = 10**lo if log_y else lo
+    lines.append(f"{top:10.6g} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{bot:10.6g} +" + "".join(grid[-1]))
+    # x axis labels, spread under their positions.
+    axis = [" "] * (width + 12)
+    for i, lbl in enumerate(x_labels):
+        pos = xs[i] + 12
+        for j, ch in enumerate(str(lbl)):
+            if pos + j < len(axis):
+                axis[pos + j] = ch
+    lines.append("".join(axis))
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend + ("   (log y)" if log_y else ""))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: Dict[str, Optional[float]],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; None renders as an OOM marker."""
+    if not values:
+        raise ReproError("no bars to plot")
+    present = [v for v in values.values() if v is not None]
+    top = max(present) if present else 1.0
+    label_w = max(len(k) for k in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, v in values.items():
+        if v is None:
+            lines.append(f"{name.ljust(label_w)} | OOM")
+            continue
+        n = int(round(v / top * width)) if top > 0 else 0
+        lines.append(f"{name.ljust(label_w)} | {'#' * n} {v:.4g}{unit}")
+    return "\n".join(lines)

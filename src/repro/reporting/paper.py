@@ -1,0 +1,122 @@
+"""Programmatic regeneration of every paper artifact.
+
+``regenerate("table4")`` returns the rows behind any table/figure of
+the paper, using the same sweeps the benchmark suite runs.  The
+benchmark files add assertions and persistence on top; this facade is
+for notebooks and downstream tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+
+
+def _table1(n_runs: int) -> List[dict]:
+    from repro.models import PAPER_MODELS, footprint_table
+
+    return footprint_table(PAPER_MODELS.values())
+
+
+def _table2(n_runs: int) -> List[dict]:
+    from repro.power import PAPER_POWER_MODES
+
+    return [m.as_row() for m in PAPER_POWER_MODES.values()]
+
+
+def _table3(n_runs: int) -> List[dict]:
+    from repro.hardware import get_device
+    from repro.perplexity import perplexity_table
+
+    return perplexity_table(get_device("jetson-orin-agx-64gb"))
+
+
+def _batch_rows(workload: str, n_runs: int) -> List[dict]:
+    from repro.core.sweeps import batch_size_sweep
+
+    rows: List[dict] = []
+    for model in ("phi2", "llama", "mistral", "deepq"):
+        rows.extend(r.as_row() for r in
+                    batch_size_sweep(model, workload=workload, n_runs=n_runs))
+    return rows
+
+
+def _seqlen_rows(workload: str, n_runs: int) -> List[dict]:
+    from repro.core.sweeps import seq_len_sweep
+
+    rows: List[dict] = []
+    for model in ("phi2", "llama", "mistral", "deepq"):
+        rows.extend(r.as_row() for r in
+                    seq_len_sweep(model, workload=workload, n_runs=n_runs))
+    return rows
+
+
+def _quant_rows(n_runs: int) -> List[dict]:
+    from repro.core.sweeps import quantization_sweep
+
+    rows: List[dict] = []
+    for model in ("phi2", "llama", "mistral", "deepq"):
+        rows.extend(r.as_row() for r in quantization_sweep(model, n_runs=n_runs))
+    return rows
+
+
+def _powermode_rows(n_runs: int) -> List[dict]:
+    from repro.core.sweeps import power_mode_sweep
+
+    rows: List[dict] = []
+    for model in ("phi2", "llama", "mistral", "deepq"):
+        rows.extend(r.as_row() for r in power_mode_sweep(model, n_runs=n_runs))
+    return rows
+
+
+def _power_energy_rows(n_runs: int) -> List[dict]:
+    from repro.core.sweeps import batch_quant_power_sweep
+
+    rows: List[dict] = []
+    for model in ("phi2", "llama", "mistral", "deepq"):
+        for prec, results in batch_quant_power_sweep(model, n_runs=n_runs).items():
+            for r in results:
+                row = r.as_row()
+                row["precision"] = prec.value
+                rows.append(row)
+    return rows
+
+
+_REGISTRY: Dict[str, Callable[[int], List[dict]]] = {
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "table4": lambda n: _batch_rows("wikitext2", n),
+    "table5": lambda n: _batch_rows("longbench", n),
+    "table6": lambda n: _seqlen_rows("longbench", n),
+    "table7": lambda n: _seqlen_rows("wikitext2", n),
+    "fig1": lambda n: _batch_rows("wikitext2", n),
+    "fig2": lambda n: _seqlen_rows("longbench", n),
+    "fig3": _quant_rows,
+    "fig4": _power_energy_rows,
+    "fig5": _powermode_rows,
+    "fig6": lambda n: _batch_rows("wikitext2", n),
+    "fig7": lambda n: _batch_rows("longbench", n),
+    "fig8": lambda n: _seqlen_rows("longbench", n),
+    "fig9": lambda n: _seqlen_rows("wikitext2", n),
+    "fig10": _power_energy_rows,
+    "fig11": _quant_rows,
+}
+
+
+def artifacts() -> List[str]:
+    """Every regenerable artifact id."""
+    return sorted(_REGISTRY)
+
+
+def regenerate(artifact: str, n_runs: int = 1) -> List[dict]:
+    """Rows behind one paper table/figure (see :func:`artifacts`)."""
+    builder = _REGISTRY.get(artifact.strip().lower())
+    if builder is None:
+        raise ExperimentError(
+            f"unknown artifact {artifact!r}; choose from {', '.join(artifacts())}"
+        )
+    if n_runs < 1:
+        raise ExperimentError("n_runs must be >= 1")
+    return builder(n_runs)

@@ -1,0 +1,65 @@
+"""Plain-text and markdown tables from dict rows."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "OOM"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _columns(rows: Sequence[Dict[str, Any]],
+             columns: Optional[Sequence[str]]) -> List[str]:
+    if not rows:
+        raise ReproError("cannot format an empty table")
+    if columns is not None:
+        return list(columns)
+    cols: List[str] = []
+    for row in rows:
+        for k in row:
+            if k not in cols:
+                cols.append(k)
+    return cols
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Aligned monospace table (what the benches print)."""
+    cols = _columns(rows, columns)
+    grid = [[_cell(r.get(c)) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(g[i]) for g in grid)) for i, c in enumerate(cols)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for g in grid:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(g, widths)))
+    return "\n".join(lines)
+
+
+def markdown_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """GitHub-flavoured markdown table."""
+    cols = _columns(rows, columns)
+    out = ["| " + " | ".join(cols) + " |",
+           "|" + "|".join("---" for _ in cols) + "|"]
+    for r in rows:
+        out.append("| " + " | ".join(_cell(r.get(c)) for c in cols) + " |")
+    return "\n".join(out)

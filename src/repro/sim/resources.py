@@ -1,0 +1,121 @@
+"""Contention primitives: counted resources and object stores."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.environment import Environment
+
+
+class Request(Event):
+    """Event that fires when a :class:`Resource` slot is granted."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: Environment, resource: "Resource"):
+        super().__init__(env)
+        self.resource = resource
+
+
+class Resource:
+    """A resource with ``capacity`` slots and FIFO queueing.
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        ...  # critical section
+        resource.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self._users: List[Request] = []
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        """Number of pending requests."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Ask for a slot; the returned event fires when granted."""
+        req = Request(self.env, self)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed(None)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        """Return a previously granted slot."""
+        try:
+            self._users.remove(req)
+        except ValueError:
+            raise SimulationError("release() of a request that does not hold a slot")
+        if self._queue:
+            nxt = self._queue.popleft()
+            self._users.append(nxt)
+            nxt.succeed(None)
+
+
+class Store:
+    """An unbounded (or bounded) FIFO buffer of Python objects.
+
+    ``put`` events fire when the item is accepted; ``get`` events fire with
+    the item as value when one is available.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    @property
+    def size(self) -> int:
+        """Number of buffered items."""
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Offer ``item``; returns an event that fires on acceptance."""
+        ev = Event(self.env)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Take the oldest item; returns an event whose value is the item."""
+        ev = Event(self.env)
+        if self._items:
+            item = self._items.popleft()
+            ev.succeed(item)
+            if self._putters:
+                pev, pitem = self._putters.popleft()
+                self._items.append(pitem)
+                pev.succeed(None)
+        else:
+            self._getters.append(ev)
+        return ev

@@ -1,0 +1,62 @@
+"""Lightweight timestamped tracing for simulations.
+
+The serving engine and telemetry sampler append :class:`TraceRecord`
+entries; reporting code slices them by kind.  Records are kept in
+insertion order which, by construction of the DES, is time order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes
+    ----------
+    time:
+        Simulation time in seconds.
+    kind:
+        Category string, e.g. ``"decode_step"`` or ``"power_sample"``.
+    data:
+        Arbitrary payload.
+    """
+
+    time: float
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class Trace:
+    """Append-only trace buffer with kind-based filtering."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+
+    def record(self, time: float, kind: str, **data: Any) -> None:
+        """Append one record at simulation time ``time``."""
+        self._records.append(TraceRecord(time=time, kind=kind, data=data))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def by_kind(self, kind: str) -> List[TraceRecord]:
+        """All records with the given kind, in time order."""
+        return [r for r in self._records if r.kind == kind]
+
+    def kinds(self) -> List[str]:
+        """Distinct kinds, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for r in self._records:
+            seen.setdefault(r.kind, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()

@@ -1,0 +1,66 @@
+"""Power-trace persistence: save/load jtop-style traces.
+
+Real studies archive their tegrastats/jtop logs; the simulated sampler
+produces the same shape of data, and this module round-trips it through
+CSV so traces can be diffed across calibrations or plotted externally.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigError
+from repro.telemetry.energy import median_power_w, trapezoid_energy_j
+from repro.telemetry.sampler import PowerSample
+
+
+def save_trace(path: str | Path, samples: Sequence[PowerSample]) -> Path:
+    """Write a power trace as CSV (time_s, power_w, phase)."""
+    if not samples:
+        raise ConfigError("refusing to save an empty trace")
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_s", "power_w", "phase"])
+        for s in samples:
+            writer.writerow([f"{s.time_s:.6f}", f"{s.power_w:.4f}", s.phase])
+    return out
+
+
+def load_trace(path: str | Path) -> List[PowerSample]:
+    """Read a trace written by :func:`save_trace`."""
+    p = Path(path)
+    if not p.exists():
+        raise ConfigError(f"no trace at {p}")
+    samples: List[PowerSample] = []
+    with p.open() as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames != ["time_s", "power_w", "phase"]:
+            raise ConfigError(f"not a power trace: {p} (header {reader.fieldnames})")
+        for row in reader:
+            samples.append(PowerSample(
+                time_s=float(row["time_s"]),
+                power_w=float(row["power_w"]),
+                phase=row["phase"],
+            ))
+    return samples
+
+
+def trace_summary(samples: Sequence[PowerSample]) -> Dict[str, float]:
+    """Headline numbers of a trace (what the paper reports per run)."""
+    if not samples:
+        raise ConfigError("empty trace")
+    duration = samples[-1].time_s - samples[0].time_s
+    return {
+        "duration_s": round(duration, 3),
+        "samples": len(samples),
+        "median_power_w": round(median_power_w(samples), 2),
+        "peak_power_w": round(max(s.power_w for s in samples), 2),
+        "energy_j": round(trapezoid_energy_j(samples), 1),
+        "active_fraction": round(
+            sum(s.phase != "idle" for s in samples) / len(samples), 3
+        ),
+    }

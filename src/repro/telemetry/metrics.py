@@ -1,0 +1,29 @@
+"""Metric definitions, matching the paper's §2 exactly."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+
+def throughput_tokens_per_s(
+    input_tokens: Sequence[int], output_tokens: Sequence[int], batch_latency_s: float
+) -> float:
+    """Token throughput: sum of (input + output) tokens over batch latency.
+
+    ``TP = sum_i (in_i + out_i) / batch_latency`` — §2.
+    """
+    if batch_latency_s <= 0:
+        raise ConfigError("batch latency must be positive")
+    if len(input_tokens) != len(output_tokens):
+        raise ConfigError("input/output token lists must have equal length")
+    total = sum(input_tokens) + sum(output_tokens)
+    return total / batch_latency_s
+
+
+def latency_seconds(step_durations: Sequence[float], prefill_s: float = 0.0) -> float:
+    """End-to-end batch latency: time to last token across all prompts."""
+    if prefill_s < 0 or any(d < 0 for d in step_durations):
+        raise ConfigError("durations must be non-negative")
+    return prefill_s + sum(step_durations)

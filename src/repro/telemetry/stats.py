@@ -1,0 +1,55 @@
+"""Derived efficiency statistics over run results.
+
+The paper reports raw latency/power/energy; deployment decisions use
+derived figures of merit: energy per token, energy-delay product, and
+tail percentiles over per-step durations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.engine.runtime import RunResult
+from repro.errors import ConfigError
+
+
+def energy_per_token_j(result: RunResult) -> float:
+    """Joules per (input+output) token across the measured batches."""
+    if result.oom:
+        raise ConfigError("no energy figure for an OOM result")
+    total_tokens = sum(b.request.total_tokens for b in result.batches if not b.oom)
+    if total_tokens == 0:
+        raise ConfigError("result contains no completed tokens")
+    return result.energy_j / total_tokens
+
+
+def energy_delay_product(result: RunResult) -> float:
+    """EDP: energy x latency (lower is better on both axes)."""
+    if result.oom:
+        raise ConfigError("no EDP for an OOM result")
+    return result.energy_j * result.mean_latency_s
+
+
+def step_latency_percentiles(
+    result: RunResult, percentiles: Sequence[float] = (50, 95, 99)
+) -> Dict[str, float]:
+    """Decode-step duration percentiles across the measured batches."""
+    steps = [s for b in result.batches if not b.oom for s in b.step_seconds]
+    if not steps:
+        raise ConfigError("result has no decode steps")
+    arr = np.array(steps)
+    return {f"p{int(p)}": float(np.percentile(arr, p)) for p in percentiles}
+
+
+def efficiency_row(result: RunResult) -> Dict[str, float]:
+    """One comparison row of derived metrics."""
+    return {
+        "model": result.model,
+        "precision": result.precision.value,
+        "power_mode": result.power_mode,
+        "tokens_per_joule": round(1.0 / energy_per_token_j(result), 2),
+        "edp_js": round(energy_delay_product(result), 1),
+        **{k: round(v, 4) for k, v in step_latency_percentiles(result).items()},
+    }

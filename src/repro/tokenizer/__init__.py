@@ -1,0 +1,12 @@
+"""Trainable byte-pair-encoding tokenizer.
+
+The paper tokenizes WikiText2/LongBench text with each model's HF
+tokenizer.  Offline we train a byte-level BPE on the synthetic corpora;
+it exercises the same code paths (token counting, prompt pools, sliding
+perplexity windows) with a deterministic vocabulary.
+"""
+
+from repro.tokenizer.bpe import BpeTokenizer, train_bpe
+from repro.tokenizer.vocab import Vocab
+
+__all__ = ["BpeTokenizer", "Vocab", "train_bpe"]

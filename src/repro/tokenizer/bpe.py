@@ -1,0 +1,146 @@
+"""Byte-level byte-pair encoding, trained greedily on a corpus.
+
+Training repeatedly merges the most frequent adjacent symbol pair within
+words (whitespace-delimited chunks keep merges from crossing word
+boundaries, GPT-2 style).  Encoding applies merges in rank order.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import TokenizerError
+from repro.tokenizer.vocab import Vocab
+
+Pair = Tuple[bytes, bytes]
+
+
+def _words(text: str) -> List[bytes]:
+    """Split text into byte chunks; whitespace is attached to the
+    following word (GPT-2 style leading-space convention).  Runs of
+    spaces with no following word become lone-space chunks so the
+    round-trip is lossless."""
+    out: List[bytes] = []
+    for i, piece in enumerate(text.split(" ")):
+        if i == 0:
+            if piece:
+                out.append(piece.encode("utf-8", errors="replace"))
+            continue
+        if piece:
+            out.append((" " + piece).encode("utf-8", errors="replace"))
+        else:
+            out.append(b" ")
+    return out
+
+
+class BpeTokenizer:
+    """A trained BPE tokenizer.
+
+    Construct via :func:`train_bpe`; supports ``encode``/``decode`` with
+    a lossless byte-level base alphabet.
+    """
+
+    def __init__(self, vocab: Vocab, merges: List[Pair]):
+        self.vocab = vocab
+        self.merges = merges
+        self._ranks: Dict[Pair, int] = {pair: i for i, pair in enumerate(merges)}
+        self._cache: Dict[bytes, List[bytes]] = {}
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    def _apply_merges(self, word: bytes) -> List[bytes]:
+        cached = self._cache.get(word)
+        if cached is not None:
+            return cached
+        symbols: List[bytes] = [bytes([b]) for b in word]
+        while len(symbols) > 1:
+            best_rank = None
+            best_i = -1
+            for i in range(len(symbols) - 1):
+                rank = self._ranks.get((symbols[i], symbols[i + 1]))
+                if rank is not None and (best_rank is None or rank < best_rank):
+                    best_rank, best_i = rank, i
+            if best_rank is None:
+                break
+            symbols[best_i : best_i + 2] = [symbols[best_i] + symbols[best_i + 1]]
+        if len(self._cache) < 65536:
+            self._cache[word] = symbols
+        return symbols
+
+    def encode(self, text: str, add_bos: bool = False, add_eos: bool = False) -> List[int]:
+        """Tokenize ``text`` to a list of ids."""
+        ids: List[int] = [self.vocab.bos_id] if add_bos else []
+        for word in _words(text):
+            for sym in self._apply_merges(word):
+                if sym in self.vocab:
+                    ids.append(self.vocab.id_of(sym))
+                else:  # pragma: no cover - base alphabet covers everything
+                    ids.append(self.vocab.unk_id)
+        if add_eos:
+            ids.append(self.vocab.eos_id)
+        return ids
+
+    def decode(self, ids: Iterable[int]) -> str:
+        """Reconstruct text from ids (specials are dropped)."""
+        parts: List[bytes] = []
+        n_special = len(self.vocab.specials)
+        for idx in ids:
+            if idx < n_special:
+                continue
+            parts.append(self.vocab.token_of(idx))
+        return b"".join(parts).decode("utf-8", errors="replace")
+
+    def count_tokens(self, text: str) -> int:
+        """Token count of ``text`` (the paper's prompt-pool criterion)."""
+        return len(self.encode(text))
+
+
+def train_bpe(corpus: str, vocab_size: int = 1024) -> BpeTokenizer:
+    """Train a byte-level BPE on ``corpus`` to roughly ``vocab_size``.
+
+    The final vocabulary holds the 4 specials + 256 byte symbols + the
+    learned merges.
+    """
+    if not corpus:
+        raise TokenizerError("cannot train on an empty corpus")
+    vocab = Vocab()
+    for b in range(256):
+        vocab.add(bytes([b]))
+    n_base = len(vocab)
+    if vocab_size <= n_base:
+        raise TokenizerError(
+            f"vocab_size must exceed the base alphabet ({n_base}), got {vocab_size}"
+        )
+
+    # Word frequency table; each word is a tuple of symbols.
+    word_freq: Counter = Counter(_words(corpus))
+    words: List[List[bytes]] = [[bytes([b]) for b in w] for w in word_freq]
+    freqs: List[int] = list(word_freq.values())
+
+    merges: List[Pair] = []
+    n_merges = vocab_size - n_base
+    for _ in range(n_merges):
+        pair_counts: Counter = Counter()
+        for syms, f in zip(words, freqs):
+            for i in range(len(syms) - 1):
+                pair_counts[(syms[i], syms[i + 1])] += f
+        if not pair_counts:
+            break
+        # Deterministic tie-break: highest count, then lexicographic.
+        (a, b), top = max(pair_counts.items(), key=lambda kv: (kv[1], kv[0]))
+        if top < 2:
+            break
+        merges.append((a, b))
+        vocab.add(a + b)
+        merged = a + b
+        for syms in words:
+            i = 0
+            while i < len(syms) - 1:
+                if syms[i] == a and syms[i + 1] == b:
+                    syms[i : i + 2] = [merged]
+                else:
+                    i += 1
+    return BpeTokenizer(vocab, merges)

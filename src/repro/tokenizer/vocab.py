@@ -1,0 +1,73 @@
+"""Token vocabulary with id<->token maps and special tokens."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import TokenizerError
+
+
+@dataclass
+class Vocab:
+    """Bidirectional token/id mapping.
+
+    Tokens are byte strings (byte-level BPE); ids are dense ints with
+    special tokens first.
+    """
+
+    specials: Tuple[str, ...] = ("<pad>", "<bos>", "<eos>", "<unk>")
+    _token_to_id: Dict[bytes, int] = field(default_factory=dict)
+    _id_to_token: List[bytes] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self._id_to_token:
+            for s in self.specials:
+                self.add(s.encode())
+
+    def add(self, token: bytes) -> int:
+        """Add a token if new; return its id."""
+        if not isinstance(token, bytes):
+            raise TokenizerError(f"tokens must be bytes, got {type(token).__name__}")
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        idx = len(self._id_to_token)
+        self._token_to_id[token] = idx
+        self._id_to_token.append(token)
+        return idx
+
+    def id_of(self, token: bytes) -> int:
+        """Id of ``token``; raises :class:`TokenizerError` if unknown."""
+        idx = self._token_to_id.get(token)
+        if idx is None:
+            raise TokenizerError(f"unknown token {token!r}")
+        return idx
+
+    def token_of(self, idx: int) -> bytes:
+        """Token with id ``idx``."""
+        if not (0 <= idx < len(self._id_to_token)):
+            raise TokenizerError(f"token id {idx} out of range")
+        return self._id_to_token[idx]
+
+    def __contains__(self, token: bytes) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    @property
+    def bos_id(self) -> int:
+        return 1
+
+    @property
+    def eos_id(self) -> int:
+        return 2
+
+    @property
+    def unk_id(self) -> int:
+        return 3

@@ -1,0 +1,99 @@
+"""Paper data integrity and calibration fitting."""
+
+import math
+
+import pytest
+
+from repro.calibration import paperdata
+from repro.calibration.constants import (
+    CALIBRATED_COST_PARAMS,
+    PPL_ANCHORS,
+    PPL_SENSITIVITY,
+)
+from repro.calibration.fitting import (
+    _latency_targets,
+    fit_cost_params,
+    fit_ppl_sensitivity,
+    predict_latency,
+)
+from repro.errors import CalibrationError
+
+
+class TestPaperData:
+    def test_tables_cover_all_models_and_sizes(self):
+        for table in (paperdata.TABLE4_BATCH_WIKITEXT,
+                      paperdata.TABLE5_BATCH_LONGBENCH):
+            assert set(table) == set(paperdata.MODELS)
+            for rows in table.values():
+                assert set(rows) == set(paperdata.BATCH_SIZES)
+        for table in (paperdata.TABLE6_SEQLEN_LONGBENCH,
+                      paperdata.TABLE7_SEQLEN_WIKITEXT):
+            assert set(table) == set(paperdata.MODELS)
+            for rows in table.values():
+                assert set(rows) == set(paperdata.SEQ_LENGTHS)
+
+    def test_phi2_ooms_recorded(self):
+        assert paperdata.TABLE6_SEQLEN_LONGBENCH["MS-Phi2"][512] == (None,) * 3
+        assert paperdata.TABLE7_SEQLEN_WIKITEXT["MS-Phi2"][1024] == (None,) * 3
+
+    def test_seqlen_splits_sum(self):
+        for total, (inp, out) in paperdata.SEQLEN_SPLIT.items():
+            assert inp + out == total
+
+    def test_throughput_consistent_with_latency(self):
+        """Within each row, tokens/latency ~ reported throughput.  The
+        paper's own tables carry up to ~17% internal inconsistency on a
+        few cells (e.g. Mistral bs=2), so the tolerance is generous."""
+        for model, rows in paperdata.TABLE4_BATCH_WIKITEXT.items():
+            for bs, (_ram, lat, tp) in rows.items():
+                expected = bs * 96 / lat
+                assert tp == pytest.approx(expected, rel=0.20), (model, bs)
+
+    def test_perplexity_anchor_tables_consistent(self):
+        for ds, anchors in PPL_ANCHORS.items():
+            for model, val in anchors.items():
+                table = paperdata.TABLE3_PERPLEXITY[ds][model]
+                assert val in table.values()
+
+
+class TestFitting:
+    def test_latency_targets_skip_oom(self):
+        targets = _latency_targets()
+        assert all(t[-1] is not None for t in targets)
+        assert len(targets) >= 40
+
+    def test_shipped_params_fit_quality(self):
+        """The frozen constants must predict the paper's latencies with
+        median error under 20%."""
+        errs = []
+        for model, bs, inp, outp, lat in _latency_targets():
+            pred = predict_latency(CALIBRATED_COST_PARAMS, model, bs, inp, outp,
+                                   stride=8)
+            errs.append(abs(math.log(pred / lat)))
+        errs.sort()
+        assert errs[len(errs) // 2] < 0.20
+
+    def test_fit_improves_or_matches_defaults(self):
+        from repro.engine.kernels import EngineCostParams
+
+        subset = _latency_targets()[:10]
+        fitted = fit_cost_params(targets=subset)
+
+        def rms(params):
+            import numpy as np
+
+            r = [math.log(predict_latency(params, m, b, i, o, stride=8) / lat)
+                 for m, b, i, o, lat in subset]
+            return float(np.sqrt(np.mean(np.square(r))))
+
+        assert rms(fitted) <= rms(EngineCostParams()) + 1e-9
+
+    def test_fit_requires_targets(self):
+        with pytest.raises(CalibrationError):
+            fit_cost_params(targets=[])
+
+    def test_ppl_sensitivities_positive_and_frozen_values_close(self):
+        fresh = fit_ppl_sensitivity()
+        for model, s in fresh.items():
+            assert s > 0
+            assert s == pytest.approx(PPL_SENSITIVITY[model], rel=0.05)

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.kernels import EngineCostParams
+from repro.hardware import get_device
+from repro.models.architecture import TransformerArchitecture
+
+
+@pytest.fixture
+def orin():
+    """A fresh Orin AGX 64GB device (mutable per test)."""
+    return get_device("jetson-orin-agx-64gb")
+
+
+@pytest.fixture
+def a100():
+    return get_device("a100-sxm-80gb")
+
+
+@pytest.fixture
+def tiny_arch():
+    """A CPU-feasible architecture for real numpy forward passes."""
+    return TransformerArchitecture(
+        name="tiny",
+        hf_id="test/tiny",
+        vocab_size=512,
+        hidden_size=64,
+        n_layers=2,
+        n_heads=4,
+        n_kv_heads=2,
+        head_dim=16,
+        intermediate_size=128,
+    )
+
+
+@pytest.fixture
+def tiny_phi_arch():
+    """Tiny model exercising the Phi-2 code paths (parallel block,
+    LayerNorm, biases, partial rotary, MHA, eager attention)."""
+    return TransformerArchitecture(
+        name="tiny-phi",
+        hf_id="test/tiny-phi",
+        vocab_size=512,
+        hidden_size=64,
+        n_layers=2,
+        n_heads=4,
+        n_kv_heads=4,
+        head_dim=16,
+        intermediate_size=128,
+        mlp_type="plain",
+        attention_bias=True,
+        mlp_bias=True,
+        attention_impl="eager",
+        norms_per_layer=1,
+        partial_rotary_factor=0.5,
+    )
+
+
+@pytest.fixture
+def fast_params():
+    """Default cost params (explicit object so tests can override)."""
+    return EngineCostParams()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,47 @@
+"""The full-paper study orchestrator (small configuration)."""
+
+import pytest
+
+from repro.core.study import run_full_study
+from repro.quant.dtypes import Precision
+
+
+@pytest.fixture(scope="module")
+def study():
+    # One small model, one run per config: fast but exercises every path.
+    return run_full_study(models=["MS-Phi2"], n_runs=1,
+                          include_power_energy=False)
+
+
+def test_analytic_tables_present(study):
+    assert len(study.table1_footprints) == 1
+    assert study.table1_footprints[0]["model"] == "MS-Phi2"
+    assert len(study.table3_perplexity) == 4  # all paper models
+
+
+def test_batch_sweeps_cover_both_workloads(study):
+    assert set(study.batch_sweeps["MS-Phi2"]) == {"wikitext2", "longbench"}
+    runs = study.batch_sweeps["MS-Phi2"]["wikitext2"]
+    assert [r.batch_size for r in runs] == [1, 2, 4, 8, 16, 32, 64, 128]
+
+
+def test_seqlen_sweeps_contain_oom_rows(study):
+    runs = study.seqlen_sweeps["MS-Phi2"]["longbench"]
+    assert any(r.oom for r in runs)
+    assert any(not r.oom for r in runs)
+
+
+def test_quant_sweep_covers_all_precisions(study):
+    runs = study.quant_sweeps["MS-Phi2"]
+    assert {r.precision for r in runs} == set(Precision)
+
+
+def test_power_mode_sweep_covers_table2(study):
+    runs = study.power_mode_sweeps["MS-Phi2"]
+    assert [r.power_mode for r in runs] == [
+        "MAXN", "A", "B", "C", "D", "E", "F", "G", "H"
+    ]
+
+
+def test_power_energy_skippable(study):
+    assert study.power_energy_sweeps == {}

@@ -1,0 +1,99 @@
+"""Synthetic corpora, prompt pools and batch sampling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    MarkovTextGenerator,
+    PromptPool,
+    ZipfVocabulary,
+    build_workload,
+    longbench_like_corpus,
+    wikitext2_like_corpus,
+)
+from repro.errors import WorkloadError
+from repro.tokenizer import train_bpe
+
+
+class TestTextGen:
+    def test_zipf_vocabulary_is_deterministic_and_unique(self):
+        v1 = ZipfVocabulary(size=200, seed=9)
+        v2 = ZipfVocabulary(size=200, seed=9)
+        assert v1.words == v2.words
+        assert len(set(v1.words)) == 200
+        assert v1.probs[0] > v1.probs[-1]
+        assert v1.probs.sum() == pytest.approx(1.0)
+
+    def test_markov_sentences_have_requested_length(self):
+        gen = MarkovTextGenerator(ZipfVocabulary(size=100, seed=1), seed=2)
+        s = gen.sentence(5, 5)
+        assert len(s.split()) == 5
+        assert s.endswith(".")
+        assert s[0].isupper()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfVocabulary(size=5)
+        gen = MarkovTextGenerator(ZipfVocabulary(size=50, seed=0), seed=0)
+        with pytest.raises(WorkloadError):
+            gen.paragraph(0)
+
+
+class TestCorpora:
+    def test_wikitext_structure(self):
+        corpus = wikitext2_like_corpus(n_articles=3, seed=7)
+        assert corpus.count("= =") >= 4  # section headings
+        assert "\n\n" in corpus
+
+    def test_longbench_documents_are_long(self):
+        wiki = wikitext2_like_corpus(n_articles=5, seed=7)
+        lb = longbench_like_corpus(n_documents=5, seed=7)
+        wiki_paras = [p for p in wiki.split("\n\n") if len(p.split()) > 5]
+        lb_docs = [p for p in lb.split("\n\n") if len(p.split()) > 5]
+        assert max(len(d.split()) for d in lb_docs) > \
+            2 * max(len(p.split()) for p in wiki_paras)
+
+    def test_seeding_is_reproducible(self):
+        assert wikitext2_like_corpus(seed=3, n_articles=2) == \
+            wikitext2_like_corpus(seed=3, n_articles=2)
+        assert wikitext2_like_corpus(seed=3, n_articles=2) != \
+            wikitext2_like_corpus(seed=4, n_articles=2)
+
+
+class TestPromptPool:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return build_workload("wikitext2")
+
+    def test_pool_respects_min_tokens(self, workload):
+        for p in workload.pool.prompts:
+            assert p.n_tokens >= 256
+
+    def test_sample_batch_exact_lengths(self, workload):
+        batch = workload.sample_batch(8, 32, seed=1)
+        assert len(batch) == 8
+        assert all(len(ids) == 32 for ids in batch)
+
+    def test_sample_concatenates_for_long_inputs(self, workload):
+        batch = workload.sample_batch(2, 600, seed=1)
+        assert all(len(ids) == 600 for ids in batch)
+
+    def test_sampling_seeded(self, workload):
+        assert workload.sample_batch(4, 16, seed=5) == \
+            workload.sample_batch(4, 16, seed=5)
+        assert workload.sample_batch(4, 16, seed=5) != \
+            workload.sample_batch(4, 16, seed=6)
+
+    def test_empty_pool_rejected(self):
+        tok = train_bpe("tiny corpus of words " * 5, vocab_size=300)
+        with pytest.raises(WorkloadError, match="empty"):
+            PromptPool.from_corpus("short text", tok, min_tokens=256)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_workload("c4")
+
+    def test_longbench_builds(self):
+        wl = build_workload("longbench")
+        assert wl.name == "longbench"
+        assert len(wl.pool) >= 10

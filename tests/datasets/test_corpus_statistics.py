@@ -1,0 +1,60 @@
+"""Statistical properties of the synthetic corpora.
+
+The workloads stand in for WikiText2/LongBench, so their *statistics*
+are part of the substitution contract: Zipfian unigrams, reproducible
+sampling, and LongBench-like length profiles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import MarkovTextGenerator, ZipfVocabulary
+from repro.datasets.wikitext import wikitext2_like_corpus
+
+
+class TestZipfLaw:
+    def test_sampled_frequencies_follow_power_law(self):
+        """Rank-frequency slope of generated text is near the configured
+        exponent (within sampling tolerance)."""
+        vocab = ZipfVocabulary(size=500, exponent=1.07, seed=3)
+        gen = MarkovTextGenerator(vocab, chain_weight=0.0, seed=4)  # pure unigram
+        words = " ".join(gen.sentence(20, 20) for _ in range(400)).lower()
+        tokens = [w.strip(".").lower() for w in words.split()]
+        counts = {}
+        for t in tokens:
+            counts[t] = counts.get(t, 0) + 1
+        freqs = np.array(sorted(counts.values(), reverse=True), dtype=float)
+        top = freqs[:50]
+        ranks = np.arange(1, top.size + 1)
+        slope, _ = np.polyfit(np.log(ranks), np.log(top), 1)
+        assert -1.6 < slope < -0.6  # near the Zipf exponent of -1.07
+
+    def test_probabilities_normalised_and_monotone(self):
+        vocab = ZipfVocabulary(size=300, seed=0)
+        assert vocab.probs.sum() == pytest.approx(1.0)
+        assert (np.diff(vocab.probs) <= 1e-12).all()
+
+
+class TestCorpusShape:
+    def test_wikitext_paragraph_lengths_span_the_pool_threshold(self):
+        """The corpus must produce both short paragraphs (excluded from
+        the pool) and >=256-token ones (included), like WikiText2."""
+        corpus = wikitext2_like_corpus(n_articles=20, seed=11)
+        paras = [p for p in corpus.split("\n\n") if p and not p.startswith("=")]
+        word_counts = [len(p.split()) for p in paras]
+        assert min(word_counts) < 120
+        assert max(word_counts) > 200
+
+    def test_markov_chain_raises_bigram_consistency(self):
+        """With a strong chain weight the same bigrams recur far more
+        often than under unigram sampling."""
+
+        def distinct_bigram_fraction(chain_weight, seed=9):
+            vocab = ZipfVocabulary(size=400, seed=seed)
+            gen = MarkovTextGenerator(vocab, chain_weight=chain_weight,
+                                      seed=seed + 1)
+            words = " ".join(gen.sentence(18, 18) for _ in range(150)).split()
+            bigrams = list(zip(words[:-1], words[1:]))
+            return len(set(bigrams)) / len(bigrams)
+
+        assert distinct_bigram_fraction(0.9) < distinct_bigram_fraction(0.0)

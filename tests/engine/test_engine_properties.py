@@ -1,0 +1,100 @@
+"""Property-based invariants of the cost model.
+
+These encode the physics the paper's trends rely on: costs are monotone
+in work, frequencies act in the right direction, and throughput behaves
+sub-linearly in batch size.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.kernels import EngineCostParams, StepTimer
+from repro.hardware.jetson import orin_agx_64gb
+from repro.models.zoo import llama31_8b, phi2
+from repro.quant.dtypes import Precision
+
+ARCHS = {"llama": llama31_8b(), "phi2": phi2()}
+
+
+def make_timer(arch_name="llama", precision=Precision.FP16, device=None):
+    return StepTimer(ARCHS[arch_name], device or orin_agx_64gb(), precision,
+                     EngineCostParams())
+
+
+@given(
+    bs=st.integers(min_value=1, max_value=256),
+    context=st.integers(min_value=1, max_value=4096),
+    arch=st.sampled_from(["llama", "phi2"]),
+    precision=st.sampled_from([Precision.FP16, Precision.INT8, Precision.INT4]),
+)
+@settings(max_examples=120, deadline=None)
+def test_step_cost_always_positive_and_consistent(bs, context, arch, precision):
+    cost = make_timer(arch, precision).decode_step(bs, context)
+    assert cost.seconds > 0
+    assert cost.t_mem > 0 and cost.t_comp > 0
+    assert 0 <= cost.gpu_compute_frac <= cost.gpu_busy_frac <= 1
+    assert 0 <= cost.mem_bw_frac <= 1
+    assert cost.seconds >= max(cost.t_mem, cost.t_comp)
+
+
+@given(
+    bs=st.integers(min_value=1, max_value=128),
+    c1=st.integers(min_value=1, max_value=2000),
+    c2=st.integers(min_value=1, max_value=2000),
+)
+@settings(max_examples=80, deadline=None)
+def test_cost_monotone_in_context(bs, c1, c2):
+    timer = make_timer()
+    lo, hi = sorted((c1, c2))
+    assert timer.decode_step(bs, lo).seconds <= timer.decode_step(bs, hi).seconds
+
+
+@given(
+    b1=st.integers(min_value=1, max_value=256),
+    b2=st.integers(min_value=1, max_value=256),
+    context=st.integers(min_value=1, max_value=1024),
+)
+@settings(max_examples=80, deadline=None)
+def test_cost_monotone_in_batch_and_throughput_sublinear(b1, b2, context):
+    timer = make_timer()
+    lo, hi = sorted((b1, b2))
+    t_lo = timer.decode_step(lo, context).seconds
+    t_hi = timer.decode_step(hi, context).seconds
+    assert t_lo <= t_hi
+    # Per-token cost never increases with batch (weights amortise).
+    assert t_hi / hi <= t_lo / lo * 1.0001
+
+
+@given(ratio=st.floats(min_value=0.15, max_value=1.0))
+@settings(max_examples=40, deadline=None)
+def test_memory_clock_monotone(ratio):
+    device = orin_agx_64gb()
+    timer = StepTimer(ARCHS["llama"], device, Precision.FP16, EngineCostParams())
+    base = timer.decode_step(32, 64).seconds
+    device.memory.set_freq(device.memory.max_freq_hz * ratio)
+    slowed = timer.decode_step(32, 64).seconds
+    assert slowed >= base * 0.999
+
+
+@given(ratio=st.floats(min_value=0.1, max_value=1.0))
+@settings(max_examples=40, deadline=None)
+def test_gpu_clock_monotone(ratio):
+    device = orin_agx_64gb()
+    timer = StepTimer(ARCHS["llama"], device, Precision.FP16, EngineCostParams())
+    base = timer.decode_step(128, 64).seconds
+    device.gpu.set_freq(
+        max(device.gpu.min_freq_hz, device.gpu.max_freq_hz * ratio)
+    )
+    assert timer.decode_step(128, 64).seconds >= base * 0.999
+
+
+@given(
+    bs=st.integers(min_value=1, max_value=64),
+    prompt=st.integers(min_value=1, max_value=512),
+)
+@settings(max_examples=60, deadline=None)
+def test_prefill_positive_and_monotone(bs, prompt):
+    timer = make_timer()
+    c = timer.prefill(bs, prompt)
+    assert c.seconds > 0
+    assert timer.prefill(bs, prompt + 1).seconds >= c.seconds

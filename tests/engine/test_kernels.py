@@ -1,0 +1,121 @@
+"""Per-step cost model."""
+
+import pytest
+
+from repro.engine import EngineCostParams, StepTimer
+from repro.errors import ConfigError
+from repro.models import get_model
+from repro.power.modes import apply_power_mode, get_power_mode
+from repro.quant.dtypes import Precision
+
+
+@pytest.fixture
+def timer(orin):
+    return StepTimer(get_model("llama"), orin, Precision.FP16, EngineCostParams())
+
+
+class TestDecodeStep:
+    def test_cost_fields_consistent(self, timer):
+        c = timer.decode_step(32, 64)
+        assert c.seconds == pytest.approx(
+            (c.t_mem**2 + c.t_comp**2) ** 0.5 + c.t_kernel_floor + c.t_host,
+            rel=1e-6,
+        )
+        assert 0 <= c.gpu_compute_frac <= c.gpu_busy_frac <= 1.0
+        assert 0 <= c.mem_bw_frac <= 1.0
+
+    def test_longer_context_costs_more(self, timer):
+        assert timer.decode_step(32, 512).seconds > timer.decode_step(32, 64).seconds
+
+    def test_larger_batch_costs_more_per_step_but_less_per_token(self, timer):
+        c1 = timer.decode_step(1, 64)
+        c64 = timer.decode_step(64, 64)
+        assert c64.seconds > c1.seconds
+        assert c64.seconds / 64 < c1.seconds
+
+    def test_decode_is_memory_bound_at_small_batch(self, timer):
+        c = timer.decode_step(1, 64)
+        assert c.t_mem > c.t_comp
+
+    def test_concat_bytes_add_memory_time(self, timer):
+        base = timer.decode_step(32, 64, concat_bytes=0.0)
+        churn = timer.decode_step(32, 64, concat_bytes=2e9)
+        assert churn.t_mem > base.t_mem
+
+    def test_gpu_downclock_slows_compute_side(self, orin):
+        t1 = StepTimer(get_model("mistral"), orin, Precision.FP16)
+        big_batch = t1.decode_step(128, 64).seconds
+        apply_power_mode(orin, get_power_mode("B"))  # GPU 400 MHz
+        slow = StepTimer(get_model("mistral"), orin, Precision.FP16)
+        assert slow.decode_step(128, 64).seconds > 1.5 * big_batch
+
+    def test_mem_downclock_slows_everything(self, orin):
+        t = StepTimer(get_model("llama"), orin, Precision.FP16)
+        base = t.decode_step(32, 64).seconds
+        apply_power_mode(orin, get_power_mode("H"))  # mem 665 MHz
+        assert t.decode_step(32, 64).seconds > 3 * base
+
+    def test_cpu_downclock_slows_host_side_only(self, orin):
+        t = StepTimer(get_model("llama"), orin, Precision.FP16)
+        base = t.decode_step(32, 64)
+        apply_power_mode(orin, get_power_mode("D"))  # CPU 1.2 GHz
+        slow = t.decode_step(32, 64)
+        assert slow.t_host > 1.5 * base.t_host
+        assert slow.t_mem == pytest.approx(base.t_mem)
+
+    def test_core_count_has_no_effect(self, orin):
+        """PM-E/F: the generate loop is serial."""
+        t = StepTimer(get_model("llama"), orin, Precision.FP16)
+        base = t.decode_step(32, 64).seconds
+        apply_power_mode(orin, get_power_mode("F"))  # 4 cores
+        # rel tolerance: mode F also nudges the CPU clock from the
+        # hardware max 2.2014 GHz to the nominal 2.2 GHz.
+        assert t.decode_step(32, 64).seconds == pytest.approx(base, rel=1e-3)
+
+
+class TestQuantizationCosts:
+    def test_int8_slower_than_fp16_on_edge(self, orin):
+        fp16 = StepTimer(get_model("llama"), orin, Precision.FP16)
+        int8 = StepTimer(get_model("llama"), orin, Precision.INT8)
+        assert int8.decode_step(32, 64).seconds > 1.2 * fp16.decode_step(32, 64).seconds
+
+    def test_int4_slower_than_int8_on_edge(self, orin):
+        int8 = StepTimer(get_model("llama"), orin, Precision.INT8)
+        int4 = StepTimer(get_model("llama"), orin, Precision.INT4)
+        assert int4.decode_step(32, 64).seconds > int8.decode_step(32, 64).seconds
+
+    def test_int8_faster_than_fp16_for_big_models_on_a100(self, a100):
+        """The §3.3 crossover: native INT8 GEMM wins for large models."""
+        arch = get_model("mistral")  # 24B > 13B threshold
+        fp16 = StepTimer(arch, a100, Precision.FP16)
+        int8 = StepTimer(arch, a100, Precision.INT8)
+        assert int8.decode_step(16, 64).seconds < fp16.decode_step(16, 64).seconds
+
+    def test_int8_not_faster_for_small_models_on_a100(self, a100):
+        arch = get_model("phi2")
+        fp16 = StepTimer(arch, a100, Precision.FP16)
+        int8 = StepTimer(arch, a100, Precision.INT8)
+        assert int8.decode_step(1, 64).seconds >= 0.95 * fp16.decode_step(1, 64).seconds
+
+
+class TestPrefill:
+    def test_prefill_is_compute_heavy(self, timer):
+        c = timer.prefill(32, 256)
+        assert c.t_comp > c.t_mem
+
+    def test_prefill_scales_with_prompt(self, timer):
+        assert timer.prefill(32, 256).seconds > timer.prefill(32, 32).seconds
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EngineCostParams(overlap_p=0.5)
+        with pytest.raises(ConfigError):
+            EngineCostParams(kernel_floor_s=-1)
+        with pytest.raises(ConfigError):
+            EngineCostParams(bw_scale=0)
+
+    def test_with_override(self):
+        p = EngineCostParams().with_(bw_scale=0.9)
+        assert p.bw_scale == 0.9

@@ -1,0 +1,67 @@
+"""Request/result dataclasses and the error hierarchy."""
+
+import pytest
+
+from repro.engine.request import BatchRequest, BatchResult, GenerationSpec
+from repro.errors import (
+    ExperimentError,
+    OutOfMemoryError,
+    QuantizationError,
+    ReproError,
+)
+
+
+class TestGenerationSpec:
+    def test_totals(self):
+        gen = GenerationSpec(32, 64)
+        assert gen.total_tokens == 96
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            GenerationSpec(0, 64)
+        with pytest.raises(ExperimentError):
+            GenerationSpec(32, 0)
+
+
+class TestBatchRequest:
+    def test_total_tokens(self):
+        req = BatchRequest(batch_size=4, gen=GenerationSpec(8, 8))
+        assert req.total_tokens == 64
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            BatchRequest(batch_size=0, gen=GenerationSpec(1, 1))
+
+
+class TestBatchResult:
+    def test_throughput_definition(self):
+        req = BatchRequest(batch_size=2, gen=GenerationSpec(16, 16))
+        res = BatchResult(request=req, latency_s=4.0, prefill_s=1.0,
+                          decode_s=3.0, step_seconds=[0.1] * 16)
+        assert res.throughput_tok_s == pytest.approx(64 / 4.0)
+        assert res.time_per_output_token_s == pytest.approx(0.1)
+
+    def test_oom_result_reports_zero(self):
+        req = BatchRequest(batch_size=2, gen=GenerationSpec(16, 16))
+        res = BatchResult(request=req, latency_s=1.0, prefill_s=0, decode_s=0,
+                          oom=True)
+        assert res.throughput_tok_s == 0.0
+        assert res.time_per_output_token_s is None
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (OutOfMemoryError(1, 0), QuantizationError("x"),
+                    ExperimentError("y")):
+            assert isinstance(exc, ReproError)
+
+    def test_oom_message_carries_sizes(self):
+        exc = OutOfMemoryError(requested_bytes=2 * 2**30,
+                               available_bytes=2**30, context="weights")
+        assert "2.00 GiB" in str(exc)
+        assert "weights" in str(exc)
+        assert exc.requested_bytes == 2 * 2**30
+
+    def test_oom_is_catchable_as_reproerror(self):
+        with pytest.raises(ReproError):
+            raise OutOfMemoryError(10, 5)

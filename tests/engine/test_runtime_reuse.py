@@ -1,0 +1,32 @@
+"""Engine reuse semantics: peaks are per-run, not cumulative."""
+
+import pytest
+
+from repro.engine import GenerationSpec, ServingEngine
+from repro.hardware import get_device
+from repro.models import get_model
+from repro.quant.dtypes import Precision
+
+
+def test_peaks_reset_between_runs(orin):
+    eng = ServingEngine(orin, get_model("phi2"), Precision.FP16)
+    big = eng.run(batch_size=64, gen=GenerationSpec(16, 16), n_runs=1)
+    small = eng.run(batch_size=1, gen=GenerationSpec(16, 16), n_runs=1)
+    assert small.incremental_gb < 0.5 * big.incremental_gb
+
+
+def test_repeated_identical_runs_are_identical(orin):
+    eng = ServingEngine(orin, get_model("phi2"), Precision.FP16)
+    a = eng.run(batch_size=8, gen=GenerationSpec(8, 16), n_runs=2)
+    b = eng.run(batch_size=8, gen=GenerationSpec(8, 16), n_runs=2)
+    assert a.mean_latency_s == pytest.approx(b.mean_latency_s)
+    assert a.energy_j == pytest.approx(b.energy_j, rel=0.01)
+    assert a.incremental_gb == pytest.approx(b.incremental_gb, rel=0.05)
+
+
+def test_model_bytes_survive_reuse(orin):
+    eng = ServingEngine(orin, get_model("phi2"), Precision.FP16)
+    eng.run(batch_size=2, gen=GenerationSpec(4, 4), n_runs=1)
+    first = eng.tracker.model_bytes
+    eng.run(batch_size=4, gen=GenerationSpec(4, 4), n_runs=1)
+    assert eng.tracker.model_bytes == first

@@ -1,0 +1,82 @@
+"""Phase-split (Splitwise-style) serving simulation."""
+
+import pytest
+
+from repro.engine.request import GenerationSpec
+from repro.engine.splitwise import (
+    simulate_phase_split,
+    split_break_even_prompt_tokens,
+)
+from repro.errors import ExperimentError
+from repro.hardware import get_device
+from repro.models import get_model
+from repro.quant.dtypes import Precision
+
+
+def split(gen, link=10e9 / 8, prefill_dev="a100-sxm-80gb",
+          decode_dev="jetson-orin-agx-64gb", model="llama"):
+    return simulate_phase_split(
+        get_device(prefill_dev), get_device(decode_dev), get_model(model),
+        Precision.FP16, batch_size=32, gen=gen, link_bytes_per_s=link,
+    )
+
+
+class TestPhaseSplit:
+    def test_stage_accounting(self):
+        res = split(GenerationSpec(256, 64))
+        assert res.split_latency_s == pytest.approx(
+            res.prefill_stage_s + res.kv_transfer_s + res.decode_stage_s
+        )
+        assert res.split_batch_s == pytest.approx(
+            max(res.prefill_stage_s, res.kv_transfer_s, res.decode_stage_s)
+        )
+        assert res.speedup == pytest.approx(
+            res.collocated_batch_s / res.split_batch_s
+        )
+
+    def test_fast_prefill_device_speeds_up_long_prompts(self):
+        """Long prompt + short generation: offloading prefill to an A100
+        relieves the edge box of its compute-bound phase."""
+        res = split(GenerationSpec(1024, 32))
+        assert res.speedup > 1.1
+        assert res.prefill_stage_s < res.decode_stage_s
+
+    def test_short_prompts_do_not_benefit(self):
+        """Decode-dominated workloads leave nothing to offload."""
+        res = split(GenerationSpec(32, 256))
+        assert res.speedup < 1.15
+
+    def test_slow_link_erases_the_win(self):
+        fast = split(GenerationSpec(1024, 32), link=10e9 / 8)
+        slow = split(GenerationSpec(1024, 32), link=100e6 / 8)  # 100 Mb
+        assert slow.kv_transfer_s > 10 * fast.kv_transfer_s
+        assert slow.speedup < fast.speedup
+
+    def test_symmetric_devices_never_lose(self):
+        """Same device on both sides: pipelining can only help
+        throughput (period = max stage <= sum of stages)."""
+        res = split(GenerationSpec(256, 64),
+                    prefill_dev="jetson-orin-agx-64gb")
+        assert res.speedup >= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            split(GenerationSpec(64, 64), link=0)
+
+
+class TestBreakEven:
+    def test_break_even_exists_with_fast_link(self):
+        tokens = split_break_even_prompt_tokens(
+            get_device("a100-sxm-80gb"), get_device("jetson-orin-agx-64gb"),
+            get_model("llama"), Precision.FP16, output_tokens=32,
+        )
+        assert tokens is not None
+        assert 64 <= tokens <= 8192
+
+    def test_no_break_even_for_generation_heavy_work(self):
+        tokens = split_break_even_prompt_tokens(
+            get_device("a100-sxm-80gb"), get_device("jetson-orin-agx-64gb"),
+            get_model("llama"), Precision.FP16, output_tokens=2048,
+            max_prompt=512,
+        )
+        assert tokens is None

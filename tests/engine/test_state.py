@@ -1,0 +1,22 @@
+"""Engine state handoff to the sampler."""
+
+from repro.engine.state import EngineState
+from repro.power.model import ComponentUtilization
+
+
+def test_starts_idle():
+    s = EngineState()
+    assert s.phase == "idle"
+    assert s.util.gpu_busy == 0.0
+
+
+def test_set_and_reset():
+    s = EngineState()
+    util = ComponentUtilization(gpu_compute=0.3, gpu_busy=0.8, mem_bw=0.5,
+                                cpu_cores_active=2.0)
+    s.set("decode", util)
+    assert s.phase == "decode"
+    assert s.util.mem_bw == 0.5
+    s.set_idle()
+    assert s.phase == "idle"
+    assert s.util.gpu_busy == 0.0

@@ -1,0 +1,135 @@
+"""CPU, GPU and memory component models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import CpuCluster, Gpu, SharedMemory
+from repro.quant.dtypes import Precision
+from repro.units import gb_per_s, ghz, gib, mhz, tflops
+
+
+def make_cpu(**kw):
+    defaults = dict(name="test-cpu", total_cores=12, max_freq_hz=ghz(2.2))
+    defaults.update(kw)
+    return CpuCluster(**defaults)
+
+
+def make_gpu(**kw):
+    defaults = dict(
+        name="test-gpu",
+        cuda_cores=2048,
+        max_freq_hz=mhz(1301),
+        peak_flops={Precision.FP32: tflops(5.33), Precision.FP16: tflops(10.65)},
+    )
+    defaults.update(kw)
+    return Gpu(**defaults)
+
+
+def make_mem(**kw):
+    defaults = dict(
+        capacity_bytes=gib(64), max_freq_hz=mhz(3199),
+        peak_bandwidth=gb_per_s(204.8),
+    )
+    defaults.update(kw)
+    return SharedMemory(**defaults)
+
+
+class TestCpu:
+    def test_defaults_to_max_operating_point(self):
+        cpu = make_cpu()
+        assert cpu.freq_hz == cpu.max_freq_hz
+        assert cpu.online_cores == cpu.total_cores
+
+    def test_set_freq_validates_range(self):
+        cpu = make_cpu()
+        cpu.set_freq(ghz(1.2))
+        assert cpu.freq_ratio == pytest.approx(1.2 / 2.2)
+        with pytest.raises(ConfigError):
+            cpu.set_freq(ghz(5.0))
+        with pytest.raises(ConfigError):
+            cpu.set_freq(1.0)
+
+    def test_set_online_cores_validates(self):
+        cpu = make_cpu()
+        cpu.set_online_cores(4)
+        assert cpu.online_cores == 4
+        with pytest.raises(ConfigError):
+            cpu.set_online_cores(0)
+        with pytest.raises(ConfigError):
+            cpu.set_online_cores(13)
+
+    def test_serial_work_scales_inverse_with_freq(self):
+        cpu = make_cpu()
+        t_full = cpu.time_for_serial_work(1e9)
+        cpu.set_freq(ghz(1.1))
+        assert cpu.time_for_serial_work(1e9) == pytest.approx(2 * t_full)
+
+    def test_parallel_work_obeys_amdahl(self):
+        cpu = make_cpu()
+        serial = cpu.time_for_parallel_work(1e9, parallel_fraction=0.0)
+        perfect = cpu.time_for_parallel_work(1e9, parallel_fraction=1.0)
+        assert perfect == pytest.approx(serial / 12)
+        half = cpu.time_for_parallel_work(1e9, parallel_fraction=0.5)
+        assert perfect < half < serial
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ConfigError):
+            make_cpu(total_cores=0)
+        with pytest.raises(ConfigError):
+            make_cpu(max_freq_hz=-1)
+
+
+class TestGpu:
+    def test_effective_flops_scale_with_clock(self):
+        gpu = make_gpu()
+        full = gpu.effective_flops(Precision.FP16)
+        gpu.set_freq(mhz(650.5))
+        assert gpu.effective_flops(Precision.FP16) == pytest.approx(full / 2)
+
+    def test_quantized_precisions_compute_in_fp16(self):
+        gpu = make_gpu()
+        assert gpu.effective_flops(Precision.INT8) == gpu.effective_flops(Precision.FP16)
+        assert gpu.effective_flops(Precision.INT4) == gpu.effective_flops(Precision.FP16)
+
+    def test_fp32_slower_than_fp16(self):
+        gpu = make_gpu()
+        assert gpu.effective_flops(Precision.FP32) < gpu.effective_flops(Precision.FP16)
+
+    def test_launch_overhead(self):
+        gpu = make_gpu(kernel_launch_s=1e-5)
+        assert gpu.launch_overhead(100) == pytest.approx(1e-3)
+        with pytest.raises(ConfigError):
+            gpu.launch_overhead(-1)
+
+    def test_requires_fp16_entry(self):
+        with pytest.raises(ConfigError):
+            make_gpu(peak_flops={Precision.FP32: tflops(5.0)})
+
+
+class TestMemory:
+    def test_bandwidth_at_max_clock_uses_efficiency(self):
+        mem = make_mem(streaming_efficiency=0.78)
+        assert mem.streaming_bandwidth() == pytest.approx(204.8e9 * 0.78)
+
+    def test_low_clock_bandwidth_is_sublinear(self):
+        mem = make_mem()
+        full = mem.streaming_bandwidth()
+        mem.set_freq(mhz(665))
+        ratio = mem.streaming_bandwidth() / full
+        linear = 665 / 3199
+        assert ratio < linear  # latency effects bite at low clocks
+        assert ratio > 0.3 * linear
+
+    def test_usable_bytes_excludes_reservation(self):
+        mem = make_mem(reserved_bytes=gib(4))
+        assert mem.usable_bytes == gib(60)
+
+    def test_transfer_time(self):
+        mem = make_mem(streaming_efficiency=0.5)
+        assert mem.transfer_time(102.4e9) == pytest.approx(1.0)
+        with pytest.raises(ConfigError):
+            mem.transfer_time(-1)
+
+    def test_strided_slower_than_streaming(self):
+        mem = make_mem()
+        assert mem.strided_bandwidth() < mem.streaming_bandwidth()

@@ -1,0 +1,95 @@
+"""Device presets, registry, thermal model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import (
+    ThermalModel,
+    a100_sxm_80gb,
+    device_registry,
+    get_device,
+    orin_agx_32gb,
+    orin_agx_64gb,
+    xavier_agx_32gb,
+)
+from repro.units import gib
+
+
+class TestPresets:
+    def test_orin_64_matches_paper_specs(self):
+        dev = orin_agx_64gb()
+        assert dev.cpu.total_cores == 12
+        assert dev.gpu.cuda_cores == 2048
+        assert round(dev.gpu.max_freq_hz / 1e6) == 1301
+        assert dev.memory.capacity_bytes == gib(64)
+        assert dev.memory.peak_bandwidth == pytest.approx(204.8e9)
+        assert dev.unified_memory
+        assert not dev.gpu.int8_tensor_core_gemm
+
+    def test_a100_has_native_int8_gemm_and_discrete_memory(self):
+        dev = a100_sxm_80gb()
+        assert dev.gpu.int8_tensor_core_gemm
+        assert not dev.unified_memory
+        assert dev.memory.peak_bandwidth > 9 * orin_agx_64gb().memory.peak_bandwidth
+
+    def test_smaller_jetsons_are_strictly_weaker(self):
+        big, small, xavier = orin_agx_64gb(), orin_agx_32gb(), xavier_agx_32gb()
+        assert small.memory.capacity_bytes < big.memory.capacity_bytes
+        assert small.gpu.cuda_cores < big.gpu.cuda_cores
+        assert xavier.gpu.cuda_cores < small.gpu.cuda_cores
+
+    def test_registry_returns_fresh_instances(self):
+        d1 = get_device("jetson-orin-agx-64gb")
+        d2 = get_device("jetson-orin-agx-64gb")
+        assert d1 is not d2
+        d1.gpu.set_freq(800e6)
+        assert d2.gpu.freq_hz != d1.gpu.freq_hz
+
+    def test_registry_contents(self):
+        names = set(device_registry())
+        assert {"jetson-orin-agx-64gb", "jetson-orin-agx-32gb",
+                "jetson-xavier-agx-32gb", "a100-sxm-80gb"} <= names
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ConfigError, match="unknown device"):
+            get_device("rtx-5090")
+
+    def test_reset_to_max(self):
+        dev = orin_agx_64gb()
+        dev.gpu.set_freq(400e6)
+        dev.cpu.set_online_cores(4)
+        dev.memory.set_freq(665e6)
+        dev.reset_to_max()
+        snap = dev.snapshot()
+        assert snap["gpu_freq_hz"] == dev.gpu.max_freq_hz
+        assert snap["cpu_online_cores"] == 12
+        assert snap["mem_freq_hz"] == dev.memory.max_freq_hz
+
+
+class TestThermal:
+    def test_steady_state_temperature(self):
+        th = ThermalModel(ambient_c=25.0, r_thermal_c_per_w=1.0)
+        assert th.steady_state_c(40.0) == pytest.approx(65.0)
+
+    def test_advance_approaches_steady_state(self):
+        th = ThermalModel(tau_s=10.0)
+        for _ in range(100):
+            th.advance(power_w=50.0, dt_s=5.0)
+        assert th.temp_c == pytest.approx(th.steady_state_c(50.0), abs=0.5)
+
+    def test_throttle_hysteresis(self):
+        th = ThermalModel(tau_s=1.0, throttle_temp_c=80.0, resume_temp_c=70.0)
+        # Heat hard: should throttle.
+        for _ in range(50):
+            th.advance(power_w=60.0, dt_s=1.0)
+        assert th.throttled
+        assert th.freq_multiplier < 1.0
+        # Cool below resume point: should recover.
+        for _ in range(50):
+            th.advance(power_w=5.0, dt_s=1.0)
+        assert not th.throttled
+        assert th.freq_multiplier == 1.0
+
+    def test_invalid_hysteresis_rejected(self):
+        with pytest.raises(ConfigError):
+            ThermalModel(throttle_temp_c=70.0, resume_temp_c=80.0)

@@ -1,0 +1,44 @@
+"""The DES executor and the closed-form predictor must agree.
+
+``repro.calibration.fitting.predict_latency`` sums the same cost model
+the executor advances the simulation clock with; if they drift apart,
+calibration would be fitting a different machine than the one the
+experiments run on.
+"""
+
+import pytest
+
+from repro.calibration.constants import CALIBRATED_COST_PARAMS
+from repro.calibration.fitting import predict_latency
+from repro.core import ExperimentSpec, run_experiment
+from repro.core.experiment import default_precision_for
+from repro.engine.request import GenerationSpec
+
+
+@pytest.mark.parametrize("model,bs,inp,out", [
+    ("MS-Phi2", 1, 32, 64),
+    ("MS-Phi2", 32, 32, 64),
+    ("Llama3", 8, 32, 64),
+    ("Llama3", 32, 64, 192),
+    ("Mistral-Base", 4, 32, 64),
+    ("Deepseek-Qwen", 2, 32, 64),
+])
+def test_des_matches_closed_form(model, bs, inp, out):
+    closed = predict_latency(CALIBRATED_COST_PARAMS, model, bs, inp, out)
+    spec = ExperimentSpec(
+        model=model,
+        precision=default_precision_for(model),
+        batch_size=bs,
+        gen=GenerationSpec(inp, out),
+        n_runs=1,
+    )
+    measured = run_experiment(spec).mean_latency_s
+    assert measured == pytest.approx(closed, rel=0.01)
+
+
+def test_strided_prediction_close_to_exact():
+    exact = predict_latency(CALIBRATED_COST_PARAMS, "Llama3", 32, 256, 768,
+                            stride=1)
+    coarse = predict_latency(CALIBRATED_COST_PARAMS, "Llama3", 32, 256, 768,
+                             stride=8)
+    assert coarse == pytest.approx(exact, rel=0.005)

@@ -1,0 +1,133 @@
+"""Caching allocator: rounding, pooling, reuse, reclaim, OOM."""
+
+import pytest
+
+from repro.errors import AllocationError, OutOfMemoryError
+from repro.memsys.allocator import (
+    LARGE_SEGMENT_MIN,
+    ROUND_SMALL,
+    SMALL_SEGMENT,
+    CachingAllocator,
+)
+from repro.units import gib, mib
+
+
+def test_requests_round_to_512():
+    a = CachingAllocator(gib(1))
+    h = a.alloc(100)
+    assert h.rounded == ROUND_SMALL
+    h2 = a.alloc(513)
+    assert h2.rounded == 1024
+
+
+def test_small_allocations_pool_into_2mib_segments():
+    a = CachingAllocator(gib(1))
+    for _ in range(8):
+        a.alloc(1024)
+    assert a.reserved_bytes == SMALL_SEGMENT  # all share one segment
+
+
+def test_large_allocation_gets_20mib_segment_min():
+    a = CachingAllocator(gib(1))
+    a.alloc(mib(5))
+    assert a.reserved_bytes == LARGE_SEGMENT_MIN
+
+
+def test_free_and_reuse_same_size():
+    # gc disabled: freeing must cache the block, not return the segment.
+    a = CachingAllocator(gib(1), gc_threshold=None)
+    h = a.alloc(mib(5))
+    a.free(h)
+    a.alloc(mib(5))
+    assert a.stats.n_segment_allocs == 1  # reused cached block
+
+
+def test_gc_returns_fully_freed_segments():
+    a = CachingAllocator(gib(1), gc_threshold=0.5)
+    h = a.alloc(mib(5))
+    a.free(h)
+    assert a.reserved_bytes == 0
+    assert a.stats.n_reclaims == 1
+
+
+def test_growing_stream_reuses_coalesced_space_within_pool():
+    """A DynamicCache-style growing stream under 20 MiB stays in a
+    bounded number of segments thanks to coalescing."""
+    a = CachingAllocator(gib(4), gc_threshold=None)
+    h = a.alloc(mib(5))
+    for step in range(1, 120):
+        h = a.realloc_grow(h, mib(5) + step * 65536)
+    # Live is ~12.5 MiB; reserved must stay far below sum-of-all-steps.
+    assert a.reserved_bytes < mib(80)
+
+
+def test_oversize_stream_accumulates_then_reclaims_under_pressure():
+    a = CachingAllocator(mib(200), gc_threshold=None)
+    h = a.alloc(mib(30))
+    for step in range(1, 31):
+        # Each step crosses a 2 MiB segment-rounding boundary, so no
+        # cached block ever fits and dead segments pile up until the
+        # allocator hits capacity and reclaims them.
+        h = a.realloc_grow(h, mib(30) + step * mib(2))
+    assert a.allocated_bytes < mib(95)
+    assert a.stats.n_oom_retries >= 1
+    assert a.stats.n_reclaims >= 1
+
+
+def test_gc_threshold_bounds_cached_fraction():
+    a = CachingAllocator(gib(8), gc_threshold=0.5)
+    h = a.alloc(mib(30))
+    for step in range(1, 60):
+        h = a.realloc_grow(h, mib(30) + step * mib(1))
+    assert a.reserved_bytes <= 2.3 * a.allocated_bytes + SMALL_SEGMENT
+
+
+def test_oom_raises_with_context():
+    a = CachingAllocator(mib(64))
+    a.alloc(mib(40))
+    with pytest.raises(OutOfMemoryError) as ei:
+        a.alloc(mib(40))
+    assert ei.value.requested_bytes >= mib(40)
+    assert ei.value.available_bytes <= mib(24)
+
+
+def test_oom_after_reclaim_retry():
+    a = CachingAllocator(mib(64), gc_threshold=None)
+    h = a.alloc(mib(30))
+    a.free(h)  # cached, not returned
+    a.alloc(mib(50))  # must reclaim the free segment to fit
+    assert a.stats.n_reclaims >= 1
+
+
+def test_double_free_rejected():
+    a = CachingAllocator(gib(1))
+    h = a.alloc(4096)
+    a.free(h)
+    with pytest.raises(AllocationError):
+        a.free(h)
+
+
+def test_zero_and_negative_sizes_rejected():
+    a = CachingAllocator(gib(1))
+    with pytest.raises(AllocationError):
+        a.alloc(0)
+    with pytest.raises(AllocationError):
+        a.alloc(-5)
+
+
+def test_peak_tracking_and_reset():
+    a = CachingAllocator(gib(1))
+    h = a.alloc(mib(100))
+    a.free(h)
+    assert a.stats.peak_allocated >= mib(100)
+    a.reset_peaks()
+    assert a.stats.peak_allocated == a.allocated_bytes == 0
+
+
+def test_live_allocations_listing():
+    a = CachingAllocator(gib(1))
+    h1 = a.alloc(1024, tag="x")
+    a.alloc(2048, tag="y")
+    assert {al.tag for al in a.live_allocations()} == {"x", "y"}
+    a.free(h1)
+    assert {al.tag for al in a.live_allocations()} == {"y"}

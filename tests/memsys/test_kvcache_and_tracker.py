@@ -1,0 +1,134 @@
+"""KV cache manager and memory tracker."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsys import CachingAllocator, KVCache, KVCacheSpec, MemoryTracker
+from repro.units import gib
+
+
+@pytest.fixture
+def spec():
+    # Llama-3.1-8B geometry.
+    return KVCacheSpec(n_layers=32, kv_heads=8, head_dim=128, dtype_bytes=2)
+
+
+@pytest.fixture
+def allocator():
+    return CachingAllocator(gib(32))
+
+
+class TestSpec:
+    def test_bytes_per_token_per_layer(self, spec):
+        assert spec.bytes_per_token_per_layer == 2 * 8 * 128 * 2
+
+    def test_totals_scale_linearly(self, spec):
+        one = spec.bytes_total(1, 1)
+        assert spec.bytes_total(32, 96) == one * 32 * 96
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            KVCacheSpec(n_layers=0, kv_heads=8, head_dim=128)
+
+
+class TestDynamicCache:
+    def test_prefill_allocates_all_layers(self, spec, allocator):
+        kv = KVCache(spec, allocator, batch_size=4)
+        kv.prefill(32)
+        assert kv.seq_len == 32
+        assert allocator.allocated_bytes >= spec.bytes_total(4, 32)
+        tags = {a.tag for a in allocator.live_allocations()}
+        assert "kv.k.L0" in tags and "kv.v.L31" in tags
+
+    def test_append_grows_by_one_token(self, spec, allocator):
+        kv = KVCache(spec, allocator, batch_size=4)
+        kv.prefill(32)
+        before = kv.live_bytes
+        kv.append_token()
+        assert kv.seq_len == 33
+        assert kv.live_bytes - before == spec.bytes_total(4, 1)
+
+    def test_concat_traffic_reads_old_writes_new(self, spec, allocator):
+        kv = KVCache(spec, allocator, batch_size=2)
+        kv.prefill(10)
+        traffic = kv.concat_traffic_bytes()
+        assert traffic == spec.bytes_total(2, 10) + spec.bytes_total(2, 11)
+
+    def test_release_frees_everything(self, spec, allocator):
+        kv = KVCache(spec, allocator, batch_size=2)
+        kv.prefill(16)
+        kv.append_token()
+        kv.release()
+        assert allocator.allocated_bytes == 0
+        assert kv.seq_len == 0
+
+    def test_misuse_rejected(self, spec, allocator):
+        kv = KVCache(spec, allocator, batch_size=2)
+        with pytest.raises(ConfigError):
+            kv.append_token()  # before prefill
+        kv.prefill(8)
+        with pytest.raises(ConfigError):
+            kv.prefill(8)  # double prefill
+
+
+class TestStaticCache:
+    def test_allocates_max_len_up_front(self, spec, allocator):
+        kv = KVCache(spec, allocator, batch_size=2, mode="static", max_seq_len=96)
+        kv.prefill(32)
+        assert kv.live_bytes == spec.bytes_total(2, 96)
+        used_before = allocator.allocated_bytes
+        for _ in range(64):
+            kv.append_token()
+        assert allocator.allocated_bytes == used_before  # no churn
+        assert kv.concat_traffic_bytes() == 0
+
+    def test_overflow_rejected(self, spec, allocator):
+        kv = KVCache(spec, allocator, batch_size=1, mode="static", max_seq_len=4)
+        kv.prefill(4)
+        with pytest.raises(ConfigError):
+            kv.append_token()
+
+    def test_static_needs_max_len(self, spec, allocator):
+        with pytest.raises(ConfigError):
+            KVCache(spec, allocator, batch_size=1, mode="static")
+
+
+class TestDynamicVsStaticOverhead:
+    def test_dynamic_reserves_more_than_static(self, spec):
+        """The churn overhead the paper measures: DynamicCache holds more
+        device memory than a preallocated cache of the same final size."""
+
+        def peak(mode):
+            alloc = CachingAllocator(gib(32))
+            kv = KVCache(spec, alloc, batch_size=32, mode=mode, max_seq_len=512)
+            kv.prefill(128)
+            for _ in range(384):
+                kv.append_token()
+            return alloc.stats.peak_reserved
+
+        assert peak("dynamic") > peak("static")
+
+
+class TestTracker:
+    def test_milestones(self, allocator):
+        tr = MemoryTracker(allocator, base_system_bytes=gib(4))
+        tr.mark_baseline()
+        weights = allocator.alloc(gib(2))
+        tr.mark_model_loaded()
+        big = allocator.alloc(gib(1))
+        allocator.free(big)
+        tr.finish()
+        assert tr.model_bytes == pytest.approx(gib(2), rel=0.02)
+        assert tr.incremental_peak_bytes == pytest.approx(gib(1), rel=0.05)
+        assert tr.total_peak_bytes == pytest.approx(gib(3), rel=0.05)
+        allocator.free(weights)
+
+    def test_order_enforced(self, allocator):
+        tr = MemoryTracker(allocator)
+        with pytest.raises(ConfigError):
+            tr.mark_model_loaded()
+        tr.mark_baseline()
+        with pytest.raises(ConfigError):
+            tr.finish()
+        with pytest.raises(ConfigError):
+            _ = tr.model_bytes

@@ -1,0 +1,111 @@
+"""Architecture descriptions, parameter accounting and the model zoo."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models import (
+    PAPER_MODELS,
+    deepseek_r1_qwen_32b,
+    get_model,
+    list_models,
+    llama31_8b,
+    mistral_small_24b,
+    phi2,
+)
+from repro.models.architecture import TransformerArchitecture
+
+
+class TestParamCounts:
+    """Parameter counts must match the published model cards."""
+
+    def test_phi2_params(self):
+        assert phi2().n_params_billions == pytest.approx(2.78, abs=0.05)
+
+    def test_llama31_params(self):
+        assert llama31_8b().n_params_billions == pytest.approx(8.03, abs=0.08)
+
+    def test_mistral_params(self):
+        assert mistral_small_24b().n_params_billions == pytest.approx(23.6, abs=0.3)
+
+    def test_deepseek_params(self):
+        assert deepseek_r1_qwen_32b().n_params_billions == pytest.approx(32.8, abs=0.4)
+
+    def test_breakdown_sums_to_total(self):
+        for arch in PAPER_MODELS.values():
+            pb = arch.param_breakdown()
+            assert pb.total == (pb.embedding + pb.lm_head + pb.linear
+                                + pb.norm + pb.bias)
+            assert pb.non_linear == pb.total - pb.linear
+            assert pb.linear > 0.8 * pb.total  # linears dominate LLMs
+
+    def test_untied_models_have_lm_head(self):
+        for arch in PAPER_MODELS.values():
+            pb = arch.param_breakdown()
+            assert pb.lm_head == pb.embedding
+
+
+class TestDerivedShapes:
+    def test_gqa_ratios(self):
+        assert phi2().gqa_ratio == 1  # MHA
+        assert llama31_8b().gqa_ratio == 4
+        assert mistral_small_24b().gqa_ratio == 4
+        assert deepseek_r1_qwen_32b().gqa_ratio == 5
+
+    def test_kv_cache_spec_geometry(self):
+        spec = llama31_8b().kv_cache_spec()
+        assert spec.n_layers == 32
+        assert spec.kv_heads == 8
+        assert spec.bytes_per_token_per_layer == 2 * 8 * 128 * 2
+
+    def test_kernels_per_step_scales_with_layers(self):
+        assert deepseek_r1_qwen_32b().kernels_per_step > llama31_8b().kernels_per_step
+
+    def test_attention_impls(self):
+        assert phi2().attention_impl == "eager"
+        assert llama31_8b().attention_impl == "sdpa"
+
+
+class TestValidation:
+    def test_heads_must_divide(self):
+        with pytest.raises(ModelError, match="multiple"):
+            TransformerArchitecture(
+                name="bad", hf_id="x", vocab_size=100, hidden_size=64,
+                n_layers=1, n_heads=5, n_kv_heads=2, head_dim=8,
+                intermediate_size=128,
+            )
+
+    def test_positive_dimensions(self):
+        with pytest.raises(ModelError):
+            TransformerArchitecture(
+                name="bad", hf_id="x", vocab_size=0, hidden_size=64,
+                n_layers=1, n_heads=2, n_kv_heads=2, head_dim=8,
+                intermediate_size=128,
+            )
+
+    def test_partial_rotary_range(self):
+        with pytest.raises(ModelError):
+            TransformerArchitecture(
+                name="bad", hf_id="x", vocab_size=10, hidden_size=64,
+                n_layers=1, n_heads=2, n_kv_heads=2, head_dim=8,
+                intermediate_size=128, partial_rotary_factor=1.5,
+            )
+
+
+class TestZoo:
+    def test_paper_models_in_order(self):
+        assert list(PAPER_MODELS) == ["MS-Phi2", "Llama3", "Mistral-Base",
+                                      "Deepseek-Qwen"]
+
+    def test_aliases_resolve(self):
+        assert get_model("llama").name == "Llama3"
+        assert get_model("DeepQ").name == "Deepseek-Qwen"
+        assert get_model("phi-2").name == "MS-Phi2"
+        assert get_model("MISTRAL").name == "Mistral-Base"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ModelError, match="unknown model"):
+            get_model("gpt-5")
+
+    def test_list_models_covers_comparators(self):
+        names = list_models()
+        assert "Pythia-1.4B" in names and "Pythia-410M" in names

@@ -1,0 +1,86 @@
+"""FLOPs/byte analytics and the Table-1 footprints."""
+
+import pytest
+
+from repro.calibration import paperdata
+from repro.errors import ModelError
+from repro.models import (
+    PAPER_MODELS,
+    decode_step_counts,
+    footprint_table,
+    get_model,
+    prefill_counts,
+    weight_bytes,
+)
+from repro.models.footprint import weight_gb
+from repro.quant.dtypes import Precision
+
+
+class TestFootprint:
+    @pytest.mark.parametrize("model", list(paperdata.TABLE1_FOOTPRINT))
+    @pytest.mark.parametrize("prec", ["fp32", "fp16", "int8", "int4"])
+    def test_matches_paper_table1_within_5pct(self, model, prec):
+        paper_gb = paperdata.TABLE1_FOOTPRINT[model][prec]
+        ours = weight_gb(PAPER_MODELS[model], Precision.parse(prec))
+        # The paper's red 'estimate' cells (Deepseek FP32/FP16) were
+        # extrapolated by the authors and deviate a little more.
+        tol = 0.06 if model != "Deepseek-Qwen" or prec in ("int8", "int4") else 0.08
+        assert ours == pytest.approx(paper_gb, rel=tol)
+
+    def test_precision_ordering(self):
+        arch = get_model("llama")
+        sizes = [weight_bytes(arch, p) for p in
+                 (Precision.FP32, Precision.FP16, Precision.INT8, Precision.INT4)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_footprint_table_shape(self):
+        rows = footprint_table(PAPER_MODELS.values())
+        assert len(rows) == 4
+        assert {"model", "params_b", "fp32_gb", "int4_gb"} <= set(rows[0])
+
+
+class TestPhaseCounts:
+    def test_decode_flops_scale_with_batch(self):
+        arch = get_model("llama")
+        w = weight_bytes(arch, Precision.FP16)
+        c1 = decode_step_counts(arch, 1, 64, w)
+        c32 = decode_step_counts(arch, 32, 64, w)
+        assert c32.flops == pytest.approx(32 * c1.flops, rel=1e-6)
+        # Weights are read once regardless of batch size.
+        assert c32.weight_bytes_read == c1.weight_bytes_read
+
+    def test_decode_kv_read_scales_with_context(self):
+        arch = get_model("llama")
+        w = weight_bytes(arch, Precision.FP16)
+        c = decode_step_counts(arch, 8, 100, w)
+        c2 = decode_step_counts(arch, 8, 200, w)
+        assert c2.kv_bytes_read == pytest.approx(2 * c.kv_bytes_read)
+
+    def test_gqa_expansion_traffic(self):
+        llama = get_model("llama")  # gqa 4
+        phi = get_model("phi2")  # MHA
+        w = weight_bytes(llama, Precision.FP16)
+        c = decode_step_counts(llama, 8, 128, w)
+        assert c.kv_expand_bytes == pytest.approx(2 * 3 * c.kv_bytes_read)
+        cp = decode_step_counts(phi, 8, 128, weight_bytes(phi, Precision.FP16))
+        assert cp.kv_expand_bytes == 0.0
+
+    def test_prefill_flops_scale_with_prompt_tokens(self):
+        arch = get_model("phi2")
+        w = weight_bytes(arch, Precision.FP16)
+        c32 = prefill_counts(arch, 4, 32, w)
+        c64 = prefill_counts(arch, 4, 64, w)
+        assert c64.flops > 1.9 * c32.flops  # superlinear (attention term)
+
+    def test_decode_flops_are_roughly_2P_per_token(self):
+        arch = get_model("llama")
+        w = weight_bytes(arch, Precision.FP16)
+        c = decode_step_counts(arch, 1, 1, w)
+        assert c.flops == pytest.approx(2 * arch.n_params, rel=0.15)
+
+    def test_validation(self):
+        arch = get_model("llama")
+        with pytest.raises(ModelError):
+            decode_step_counts(arch, 0, 64, 1e9)
+        with pytest.raises(ModelError):
+            prefill_counts(arch, 1, 0, 1e9)

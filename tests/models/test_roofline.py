@@ -1,0 +1,65 @@
+"""Roofline analytics."""
+
+import pytest
+
+from repro.models import get_model
+from repro.models.roofline import (
+    batch_size_to_saturate,
+    decode_roofline,
+    prefill_roofline,
+    roofline_sweep,
+)
+from repro.quant.dtypes import Precision
+
+
+class TestDecodeRoofline:
+    def test_small_batch_decode_is_memory_bound(self, orin):
+        """The paper's central mechanism ([11], §3.2)."""
+        for model in ("phi2", "llama", "mistral"):
+            pt = decode_roofline(get_model(model), orin, Precision.FP16, 1, 64)
+            assert pt.bound == "memory"
+            assert pt.intensity_ratio < 0.1  # deeply memory-bound
+
+    def test_intensity_grows_with_batch(self, orin):
+        pts = roofline_sweep(get_model("llama"), orin, Precision.FP16)
+        intensities = [p.arithmetic_intensity for p in pts]
+        assert intensities == sorted(intensities)
+
+    def test_attainable_throughput_saturates(self, orin):
+        """Tokens/s grow ~linearly while memory-bound, then flatten."""
+        pts = roofline_sweep(get_model("llama"), orin, Precision.FP16,
+                             batch_sizes=(1, 2, 4, 512, 1024))
+        tps = [p.attainable_tokens_per_s for p in pts]
+        small_gain = tps[1] / tps[0]
+        big_gain = tps[4] / tps[3]
+        assert small_gain > 1.9  # near-linear at the start
+        assert big_gain < 1.3    # saturated at the end
+
+    def test_saturation_batch_is_reasonable_for_orin(self, orin):
+        bs = batch_size_to_saturate(get_model("llama"), orin, Precision.FP16)
+        assert 32 <= bs <= 1024
+
+    def test_a100_needs_bigger_batches_to_saturate(self, orin, a100):
+        small = batch_size_to_saturate(get_model("llama"), orin, Precision.FP16)
+        big = batch_size_to_saturate(get_model("llama"), a100, Precision.FP16)
+        assert big > small  # higher balance point on the datacenter part
+
+    def test_long_context_lowers_intensity(self, orin):
+        short = decode_roofline(get_model("llama"), orin, Precision.FP16, 32, 64)
+        long = decode_roofline(get_model("llama"), orin, Precision.FP16, 32, 2048)
+        assert long.arithmetic_intensity < short.arithmetic_intensity
+
+
+class TestPrefillRoofline:
+    def test_prefill_is_compute_bound_at_modest_prompts(self, orin):
+        pt = prefill_roofline(get_model("llama"), orin, Precision.FP16, 32, 256)
+        assert pt.bound == "compute"
+
+    def test_prefill_vs_decode_split(self, orin):
+        """The Splitwise observation: the two phases sit on opposite
+        sides of the balance point."""
+        arch = get_model("mistral")
+        pre = prefill_roofline(arch, orin, Precision.FP16, 32, 256)
+        dec = decode_roofline(arch, orin, Precision.FP16, 32, 256)
+        assert pre.arithmetic_intensity > pre.device_balance
+        assert dec.arithmetic_intensity < dec.device_balance

@@ -1,0 +1,167 @@
+"""Numpy NN building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn import LayerNorm, Linear, RMSNorm
+from repro.nn.attention import (
+    AttentionCache,
+    apply_rope,
+    causal_attention,
+    rope_frequencies,
+)
+from repro.nn.layers import gelu, silu
+from repro.quant.dtypes import Precision
+
+
+class TestLinear:
+    def test_matches_manual_matmul(self, rng):
+        w = rng.standard_normal((8, 16)).astype(np.float32)
+        b = rng.standard_normal(8).astype(np.float32)
+        x = rng.standard_normal((3, 16)).astype(np.float32)
+        lin = Linear(w, b)
+        assert np.allclose(lin(x), x @ w.T + b, atol=1e-5)
+
+    def test_batched_leading_dims(self, rng):
+        w = rng.standard_normal((8, 16)).astype(np.float32)
+        x = rng.standard_normal((2, 5, 16)).astype(np.float32)
+        assert Linear(w)(x).shape == (2, 5, 8)
+
+    def test_precision_variants_error_ordering(self, rng):
+        w = (rng.standard_normal((32, 64)) * 0.05).astype(np.float32)
+        x = rng.standard_normal((10, 64)).astype(np.float32)
+        ref = Linear(w)(x)
+        errs = {}
+        for p in (Precision.FP16, Precision.INT8, Precision.INT4):
+            out = Linear(w, precision=p)(x)
+            errs[p] = np.linalg.norm(out - ref) / np.linalg.norm(ref)
+        assert errs[Precision.FP16] < errs[Precision.INT8] < errs[Precision.INT4]
+        assert errs[Precision.INT4] < 0.5
+
+    def test_param_count(self, rng):
+        w = rng.standard_normal((8, 16)).astype(np.float32)
+        assert Linear(w).n_params == 128
+        assert Linear(w, np.zeros(8, np.float32)).n_params == 136
+
+    def test_validation(self, rng):
+        with pytest.raises(ModelError):
+            Linear(np.ones(4))
+        with pytest.raises(ModelError):
+            Linear(np.ones((4, 4), np.float32), bias=np.ones(5, np.float32))
+
+
+class TestNorms:
+    def test_rmsnorm_unit_scale(self, rng):
+        x = rng.standard_normal((4, 64)).astype(np.float32) * 7
+        out = RMSNorm(np.ones(64, np.float32))(x)
+        rms = np.sqrt((out**2).mean(axis=-1))
+        assert np.allclose(rms, 1.0, atol=1e-3)
+
+    def test_layernorm_zero_mean_unit_var(self, rng):
+        x = rng.standard_normal((4, 64)).astype(np.float32) * 3 + 5
+        out = LayerNorm(np.ones(64, np.float32), np.zeros(64, np.float32))(x)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        assert np.allclose(out.var(axis=-1), 1.0, atol=1e-2)
+
+    def test_activations(self):
+        assert gelu(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert silu(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-3)
+        x = np.linspace(-3, 3, 50)
+        assert (np.diff(silu(x) - silu(x - 1)) >= -1).all()
+
+
+class TestRope:
+    def test_rotation_preserves_norm(self, rng):
+        x = rng.standard_normal((1, 2, 6, 16)).astype(np.float32)
+        inv = rope_frequencies(16, 16)
+        out = apply_rope(x, np.arange(6), inv, 16)
+        assert np.allclose(np.linalg.norm(out, axis=-1),
+                           np.linalg.norm(x, axis=-1), atol=1e-4)
+
+    def test_position_zero_is_identity(self, rng):
+        x = rng.standard_normal((1, 1, 1, 8)).astype(np.float32)
+        inv = rope_frequencies(8, 8)
+        assert np.allclose(apply_rope(x, np.array([0]), inv, 8), x, atol=1e-6)
+
+    def test_partial_rotary_leaves_tail_unrotated(self, rng):
+        x = rng.standard_normal((1, 1, 4, 16)).astype(np.float32)
+        inv = rope_frequencies(16, 8)
+        out = apply_rope(x, np.arange(4), inv, 8)
+        assert np.allclose(out[..., 8:], x[..., 8:])
+        assert not np.allclose(out[..., :8], x[..., :8])
+
+    def test_relative_position_property(self, rng):
+        """RoPE attention scores depend only on relative position."""
+        q = rng.standard_normal((1, 1, 1, 16)).astype(np.float32)
+        k = rng.standard_normal((1, 1, 1, 16)).astype(np.float32)
+        inv = rope_frequencies(16, 16)
+
+        def score(pq, pk):
+            qr = apply_rope(q, np.array([pq]), inv, 16)
+            kr = apply_rope(k, np.array([pk]), inv, 16)
+            return float((qr * kr).sum())
+
+        assert score(5, 3) == pytest.approx(score(9, 7), abs=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            rope_frequencies(16, 7)  # odd
+        with pytest.raises(ModelError):
+            rope_frequencies(8, 16)  # too large
+
+
+class TestCausalAttention:
+    def test_uniform_attention_averages_visible_values(self):
+        b, h, t, d = 1, 1, 4, 2
+        q = np.zeros((b, h, t, d), np.float32)  # uniform scores
+        k = np.zeros((b, h, t, d), np.float32)
+        v = np.arange(t, dtype=np.float32).reshape(1, 1, t, 1).repeat(d, -1)
+        out = causal_attention(q, k, v, n_query_groups=1)
+        # Row i averages values 0..i.
+        expected = np.array([np.arange(i + 1).mean() for i in range(t)])
+        assert np.allclose(out[0, 0, :, 0], expected, atol=1e-5)
+
+    def test_gqa_matches_repeated_mha(self, rng):
+        b, hq, hkv, t, d = 2, 4, 2, 5, 8
+        q = rng.standard_normal((b, hq, t, d)).astype(np.float32)
+        k = rng.standard_normal((b, hkv, t, d)).astype(np.float32)
+        v = rng.standard_normal((b, hkv, t, d)).astype(np.float32)
+        gqa = causal_attention(q, k, v, n_query_groups=2)
+        mha = causal_attention(q, np.repeat(k, 2, 1), np.repeat(v, 2, 1),
+                               n_query_groups=1)
+        assert np.allclose(gqa, mha, atol=1e-5)
+
+    def test_future_positions_are_masked(self, rng):
+        b, h, t, d = 1, 1, 6, 4
+        q = rng.standard_normal((b, h, t, d)).astype(np.float32)
+        k = rng.standard_normal((b, h, t, d)).astype(np.float32)
+        v = rng.standard_normal((b, h, t, d)).astype(np.float32)
+        out1 = causal_attention(q[:, :, :3], k[:, :, :3], v[:, :, :3], 1)
+        out2 = causal_attention(q, k, v, 1)
+        # First 3 outputs identical: they can't see positions 3..5.
+        assert np.allclose(out1, out2[:, :, :3], atol=1e-5)
+
+    def test_decode_geometry_with_past(self, rng):
+        q = rng.standard_normal((1, 2, 1, 4)).astype(np.float32)
+        k = rng.standard_normal((1, 2, 8, 4)).astype(np.float32)
+        v = rng.standard_normal((1, 2, 8, 4)).astype(np.float32)
+        out = causal_attention(q, k, v, 1, past_len=7)
+        assert out.shape == (1, 2, 1, 4)
+        with pytest.raises(ModelError):
+            causal_attention(q, k, v, 1, past_len=3)  # geometry mismatch
+
+
+class TestCache:
+    def test_update_concatenates_along_time(self, rng):
+        cache = AttentionCache()
+        k1 = rng.standard_normal((1, 2, 3, 4)).astype(np.float32)
+        v1 = rng.standard_normal((1, 2, 3, 4)).astype(np.float32)
+        cache.update(0, k1, v1)
+        k2 = rng.standard_normal((1, 2, 1, 4)).astype(np.float32)
+        v2 = rng.standard_normal((1, 2, 1, 4)).astype(np.float32)
+        kf, vf = cache.update(0, k2, v2)
+        assert kf.shape == (1, 2, 4, 4)
+        assert cache.seq_len == 4
+        assert np.allclose(kf[:, :, :3], k1)

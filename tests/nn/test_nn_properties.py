@@ -1,0 +1,85 @@
+"""Property-based invariants of the numpy NN stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.architecture import TransformerArchitecture
+from repro.nn import NumpyTransformer
+from repro.nn.attention import causal_attention
+
+SEEDS = st.integers(min_value=0, max_value=2**16)
+
+
+@given(
+    seed=SEEDS,
+    b=st.integers(1, 3),
+    h=st.integers(1, 4),
+    t=st.integers(1, 8),
+    d=st.sampled_from([4, 8]),
+)
+@settings(max_examples=60, deadline=None)
+def test_attention_output_in_value_hull(seed, b, h, t, d):
+    """Attention weights are row-stochastic, so each output coordinate
+    lies within the min/max of the visible values."""
+    rng = np.random.default_rng(seed)
+    q = rng.standard_normal((b, h, t, d)).astype(np.float32)
+    k = rng.standard_normal((b, h, t, d)).astype(np.float32)
+    v = rng.standard_normal((b, h, t, d)).astype(np.float32)
+    out = causal_attention(q, k, v, n_query_groups=1)
+    for i in range(t):
+        visible = v[:, :, : i + 1, :]
+        assert (out[:, :, i, :] <= visible.max(axis=2) + 1e-5).all()
+        assert (out[:, :, i, :] >= visible.min(axis=2) - 1e-5).all()
+
+
+@given(seed=SEEDS)
+@settings(max_examples=25, deadline=None)
+def test_batch_permutation_equivariance(seed):
+    """Reordering the batch reorders the logits and nothing else."""
+    arch = TransformerArchitecture(
+        name="perm", hf_id="t", vocab_size=64, hidden_size=32,
+        n_layers=2, n_heads=2, n_kv_heads=2, head_dim=16,
+        intermediate_size=64,
+    )
+    model = NumpyTransformer(arch, seed=1)
+    rng = np.random.default_rng(seed)
+    toks = rng.integers(0, 64, size=(4, 6))
+    perm = rng.permutation(4)
+    out = model.forward(toks)
+    out_perm = model.forward(toks[perm])
+    assert np.allclose(out[perm], out_perm, atol=1e-5)
+
+
+@given(seed=SEEDS, extra=st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_prefix_logits_independent_of_suffix_length(seed, extra):
+    """Causality, property-tested: any suffix leaves prefix logits
+    untouched."""
+    arch = TransformerArchitecture(
+        name="causal", hf_id="t", vocab_size=64, hidden_size=32,
+        n_layers=2, n_heads=2, n_kv_heads=1, head_dim=16,
+        intermediate_size=64,
+    )
+    model = NumpyTransformer(arch, seed=2)
+    rng = np.random.default_rng(seed)
+    prefix = rng.integers(0, 64, size=(1, 5))
+    suffix = rng.integers(0, 64, size=(1, extra))
+    full = np.concatenate([prefix, suffix], axis=1)
+    assert np.allclose(
+        model.forward(prefix), model.forward(full)[:, :5], atol=1e-5
+    )
+
+
+@given(seed=SEEDS, scale=st.floats(0.25, 4.0))
+@settings(max_examples=25, deadline=None)
+def test_rmsnorm_scale_invariance_propagates(seed, scale):
+    """RMSNorm models are invariant to scaling the embedding stream of a
+    single layer's input; verify at the norm level."""
+    from repro.nn import RMSNorm
+
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((3, 32)).astype(np.float32) + 0.1
+    norm = RMSNorm(np.ones(32, np.float32))
+    # The eps term breaks exact invariance; allow a small mixed tolerance.
+    assert np.allclose(norm(x), norm(x * scale), atol=1e-3, rtol=1e-3)

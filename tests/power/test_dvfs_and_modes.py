@@ -1,0 +1,103 @@
+"""DVFS curves and power-mode definitions."""
+
+import pytest
+
+from repro.errors import PowerModeError
+from repro.hardware import get_device
+from repro.power import (
+    DvfsCurve,
+    PAPER_POWER_MODES,
+    apply_power_mode,
+    get_power_mode,
+    parse_nvpmodel_conf,
+    render_nvpmodel_conf,
+)
+
+
+class TestDvfs:
+    def test_voltage_clamps_at_range_ends(self):
+        c = DvfsCurve(f_min_hz=100e6, f_max_hz=1000e6, v_min=0.6, v_max=1.0)
+        assert c.voltage(50e6) == 0.6
+        assert c.voltage(2000e6) == 1.0
+        assert c.voltage(550e6) == pytest.approx(0.8)
+
+    def test_dynamic_power_ratio_is_1_at_max(self):
+        c = DvfsCurve(f_min_hz=100e6, f_max_hz=1000e6)
+        assert c.dynamic_power_ratio(1000e6) == pytest.approx(1.0)
+
+    def test_half_clock_saves_more_than_half_power(self):
+        c = DvfsCurve(f_min_hz=100e6, f_max_hz=1000e6)
+        assert c.dynamic_power_ratio(500e6) < 0.5
+
+    def test_monotone_in_frequency(self):
+        c = DvfsCurve(f_min_hz=100e6, f_max_hz=1000e6)
+        freqs = [100e6, 300e6, 500e6, 700e6, 900e6, 1000e6]
+        ratios = [c.dynamic_power_ratio(f) for f in freqs]
+        assert ratios == sorted(ratios)
+
+
+class TestModes:
+    def test_paper_table2_complete(self):
+        assert list(PAPER_POWER_MODES) == ["MAXN", "A", "B", "C", "D",
+                                           "E", "F", "G", "H"]
+
+    def test_table2_rows_match_paper(self):
+        rows = {m.name: m.as_row() for m in PAPER_POWER_MODES.values()}
+        assert rows["MAXN"]["gpu_freq_mhz"] == 1301
+        assert rows["A"]["gpu_freq_mhz"] == 800
+        assert rows["B"]["gpu_freq_mhz"] == 400
+        assert rows["C"]["cpu_freq_ghz"] == 1.7
+        assert rows["D"]["cpu_freq_ghz"] == 1.2
+        assert rows["E"]["cpu_cores_online"] == 8
+        assert rows["F"]["cpu_cores_online"] == 4
+        assert rows["G"]["mem_freq_mhz"] == 2133
+        assert rows["H"]["mem_freq_mhz"] == 665
+
+    def test_each_custom_mode_varies_one_dimension(self):
+        maxn = PAPER_POWER_MODES["MAXN"]
+        for name, mode in PAPER_POWER_MODES.items():
+            if name == "MAXN":
+                continue
+            diffs = sum([
+                mode.gpu_freq_hz != maxn.gpu_freq_hz,
+                mode.cpu_freq_hz != maxn.cpu_freq_hz,
+                mode.cpu_online_cores != maxn.cpu_online_cores,
+                mode.mem_freq_hz != maxn.mem_freq_hz,
+            ])
+            assert diffs == 1, f"mode {name} varies {diffs} dimensions"
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_power_mode("maxn").name == "MAXN"
+        assert get_power_mode(" h ").name == "H"
+        with pytest.raises(PowerModeError):
+            get_power_mode("Z")
+
+    def test_apply_mode_mutates_device(self):
+        dev = get_device("jetson-orin-agx-64gb")
+        apply_power_mode(dev, get_power_mode("H"))
+        assert dev.memory.freq_hz == pytest.approx(665e6)
+        assert dev.gpu.freq_hz == pytest.approx(1301e6)
+
+    def test_apply_infeasible_mode_rejected(self):
+        dev = get_device("jetson-orin-agx-32gb")  # only 8 CPU cores
+        with pytest.raises(PowerModeError, match="cannot apply"):
+            apply_power_mode(dev, get_power_mode("MAXN"))  # wants 12 cores
+
+    def test_nvpmodel_roundtrip(self):
+        modes = list(PAPER_POWER_MODES.values())
+        text = render_nvpmodel_conf(modes)
+        parsed = parse_nvpmodel_conf(text)
+        assert [m.name for m in parsed] == [m.name for m in modes]
+        for a, b in zip(parsed, modes):
+            assert a.cpu_online_cores == b.cpu_online_cores
+            assert a.gpu_freq_hz == pytest.approx(b.gpu_freq_hz)
+            assert a.mem_freq_hz == pytest.approx(b.mem_freq_hz)
+            assert a.cpu_freq_hz == pytest.approx(b.cpu_freq_hz, rel=1e-3)
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(PowerModeError):
+            parse_nvpmodel_conf("CPU_ONLINE CORES 4\n")  # no header
+        with pytest.raises(PowerModeError):
+            parse_nvpmodel_conf("< POWER_MODEL ID=0 NAME=X >\nBADLINE\n")
+        with pytest.raises(PowerModeError):
+            parse_nvpmodel_conf("< POWER_MODEL ID=0 NAME=X >\nCPU_FREQ MAX abc\n")

@@ -1,0 +1,79 @@
+"""Property-based invariants of the power stack."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.jetson import orin_agx_64gb
+from repro.power import ComponentUtilization, DvfsCurve, PowerModel
+
+util_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def utilizations(draw):
+    compute = draw(util_floats)
+    busy = draw(st.floats(min_value=compute, max_value=1.0, allow_nan=False))
+    return ComponentUtilization(
+        gpu_compute=compute,
+        gpu_busy=busy,
+        mem_bw=draw(util_floats),
+        cpu_cores_active=draw(st.floats(min_value=0.0, max_value=12.0,
+                                        allow_nan=False)),
+    )
+
+
+@given(util=utilizations())
+@settings(max_examples=100, deadline=None)
+def test_power_bounded_and_above_idle(util):
+    device = orin_agx_64gb()
+    model = PowerModel()
+    p = model.power_w(device, util)
+    idle = model.power_w(device, ComponentUtilization.idle())
+    assert idle <= p <= device.max_power_w * 1.4
+    parts = model.breakdown(device, util)
+    assert all(v >= 0 for v in parts.values())
+
+
+@given(util=utilizations(), u2=utilizations())
+@settings(max_examples=80, deadline=None)
+def test_power_monotone_in_utilization(util, u2):
+    """Pointwise-greater utilization never draws less power."""
+    device = orin_agx_64gb()
+    model = PowerModel()
+    hi = ComponentUtilization(
+        gpu_compute=max(util.gpu_compute, u2.gpu_compute),
+        gpu_busy=max(util.gpu_busy, u2.gpu_busy),
+        mem_bw=max(util.mem_bw, u2.mem_bw),
+        cpu_cores_active=max(util.cpu_cores_active, u2.cpu_cores_active),
+    )
+    # The stall share is busy - compute; taking pointwise maxima can only
+    # grow each term when compute weight exceeds stall weight, which the
+    # defaults guarantee.
+    assert model.power_w(device, hi) >= model.power_w(device, util) - 1e-9
+
+
+@given(
+    f1=st.floats(min_value=115e6, max_value=1301e6),
+    f2=st.floats(min_value=115e6, max_value=1301e6),
+)
+@settings(max_examples=80, deadline=None)
+def test_dvfs_power_superlinear_in_frequency(f1, f2):
+    """Between any two clocks, the dynamic-power ratio is at least the
+    frequency ratio (V falls with f, so power falls faster)."""
+    curve = DvfsCurve(f_min_hz=114.75e6, f_max_hz=1301e6)
+    lo, hi = sorted((f1, f2))
+    if hi - lo < 1e6:
+        return
+    ratio = curve.dynamic_power_ratio(lo) / curve.dynamic_power_ratio(hi)
+    assert ratio <= lo / hi * 1.0001 + 1e-9 or ratio <= 1.0
+    assert curve.dynamic_power_ratio(lo) <= curve.dynamic_power_ratio(hi) + 1e-12
+
+
+@given(freq=st.floats(min_value=204e6, max_value=3199e6))
+@settings(max_examples=60, deadline=None)
+def test_memory_bandwidth_monotone_in_clock(freq):
+    device = orin_agx_64gb()
+    device.memory.set_freq(freq)
+    low = device.memory.streaming_bandwidth()
+    device.memory.set_freq(device.memory.max_freq_hz)
+    assert low <= device.memory.streaming_bandwidth() + 1e-6

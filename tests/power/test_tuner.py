@@ -1,0 +1,102 @@
+"""Power-mode auto-tuner."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.models import get_model
+from repro.power.modes import get_power_mode
+from repro.power.tuner import (
+    TunedPoint,
+    best_energy_within_slowdown,
+    best_under_power_cap,
+    evaluate_mode,
+    pareto_frontier,
+    sweep_operating_points,
+)
+from repro.quant.dtypes import Precision
+
+
+@pytest.fixture(scope="module")
+def points():
+    from repro.hardware import get_device
+
+    return sweep_operating_points(
+        get_device("jetson-orin-agx-64gb"), get_model("llama"), Precision.FP16,
+        gpu_freqs_mhz=(1301, 800, 400),
+        cpu_freqs_ghz=(2.2, 1.2),
+        mem_freqs_mhz=(3199, 2133, 665),
+    )
+
+
+class TestEvaluate:
+    def test_maxn_is_fastest_grid_point(self, points, orin):
+        maxn = evaluate_mode(orin, get_model("llama"), Precision.FP16,
+                             get_power_mode("MAXN"))
+        assert maxn.latency_s <= min(p.latency_s for p in points) * 1.001
+
+    def test_mode_h_matches_sweep_grid_point(self, points, orin):
+        h = evaluate_mode(orin, get_model("llama"), Precision.FP16,
+                          get_power_mode("H"))
+        grid_h = next(p for p in points if p.mode.name == "g1301-c2.2-m665")
+        assert h.latency_s == pytest.approx(grid_h.latency_s, rel=1e-6)
+
+    def test_device_restored_after_sweep(self, orin):
+        sweep_operating_points(orin, get_model("phi2"), Precision.FP16,
+                               gpu_freqs_mhz=(400,), cpu_freqs_ghz=(1.2,),
+                               mem_freqs_mhz=(665,))
+        assert orin.gpu.freq_hz == orin.gpu.max_freq_hz
+
+
+class TestPareto:
+    def test_frontier_is_nondominated_and_sorted(self, points):
+        frontier = pareto_frontier(points)
+        assert 1 <= len(frontier) <= len(points)
+        lats = [p.latency_s for p in frontier]
+        assert lats == sorted(lats)
+        for a in frontier:
+            assert not any(b.dominates(a) for b in points)
+
+    def test_frontier_contains_both_extremes(self, points):
+        frontier = pareto_frontier(points)
+        fastest = min(points, key=lambda p: p.latency_s)
+        coolest = min(points, key=lambda p: p.power_w)
+        assert any(p.mode.name == fastest.mode.name for p in frontier)
+        assert any(p.mode.name == coolest.mode.name for p in frontier)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            pareto_frontier([])
+
+
+class TestConstraints:
+    def test_power_cap_respected(self, points):
+        cap = 30.0
+        best = best_under_power_cap(points, cap)
+        assert best is not None
+        assert best.power_w <= cap
+        # It is the fastest among compliant points.
+        for p in points:
+            if p.power_w <= cap:
+                assert best.latency_s <= p.latency_s
+
+    def test_impossible_cap_returns_none(self, points):
+        assert best_under_power_cap(points, 1.0) is None
+
+    def test_energy_within_slowdown(self, points):
+        fastest = min(points, key=lambda p: p.latency_s)
+        best = best_energy_within_slowdown(points, 1.5)
+        assert best is not None
+        assert best.latency_s <= 1.5 * fastest.latency_s
+        assert best.energy_j <= fastest.energy_j
+
+    def test_slowdown_validation(self, points):
+        with pytest.raises(ExperimentError):
+            best_energy_within_slowdown(points, 0.5)
+
+    def test_dominates_semantics(self):
+        a = TunedPoint(None, 1.0, 10.0, 10.0)
+        b = TunedPoint(None, 2.0, 10.0, 20.0)
+        c = TunedPoint(None, 0.5, 20.0, 10.0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(c) and not c.dominates(a)

@@ -1,0 +1,114 @@
+"""Quantization error measurement and the kernel overhead model."""
+
+import pytest
+
+from repro.errors import QuantizationError
+from repro.models import PAPER_MODELS, get_model
+from repro.quant import Precision, QuantKernelModel, measure_quant_error, perplexity_delta
+from repro.quant.error import outlier_column_fraction
+
+
+class TestErrorMeasurement:
+    def test_error_ordering_fp16_int8_int4(self):
+        arch = get_model("llama")
+        errs = {
+            p: measure_quant_error(arch, p, seed=7, n_tokens=64).rel_matmul_error
+            for p in (Precision.FP32, Precision.FP16, Precision.INT8, Precision.INT4)
+        }
+        assert errs[Precision.FP32] == 0.0
+        assert errs[Precision.FP16] < errs[Precision.INT8] < errs[Precision.INT4]
+
+    def test_int8_error_shrinks_with_model_scale(self):
+        """Bigger models: more outliers handled in FP16, cleaner bulk."""
+        e = {
+            name: measure_quant_error(arch, Precision.INT8, seed=3,
+                                      n_tokens=64).rel_matmul_error
+            for name, arch in PAPER_MODELS.items()
+        }
+        assert e["Mistral-Base"] < e["MS-Phi2"]
+        assert e["Deepseek-Qwen"] < e["MS-Phi2"]
+
+    def test_outlier_fraction_grows_with_scale(self):
+        fracs = [outlier_column_fraction(a) for a in PAPER_MODELS.values()]
+        assert fracs == sorted(fracs)
+        assert all(0.0 < f < 0.01 for f in fracs)
+
+    def test_deterministic_under_seed(self):
+        arch = get_model("phi2")
+        a = measure_quant_error(arch, Precision.INT4, seed=5, n_tokens=32)
+        b = measure_quant_error(arch, Precision.INT4, seed=5, n_tokens=32)
+        assert a.rel_matmul_error == b.rel_matmul_error
+
+    def test_perplexity_delta_math(self):
+        assert perplexity_delta(6.0, 0.0, 1.0) == pytest.approx(6.0)
+        assert perplexity_delta(6.0, 0.1, 2.0) > 6.0
+        with pytest.raises(QuantizationError):
+            perplexity_delta(-1.0, 0.1, 1.0)
+        with pytest.raises(QuantizationError):
+            perplexity_delta(6.0, -0.1, 1.0)
+
+
+class TestKernelOverheads:
+    @pytest.fixture
+    def model(self):
+        return QuantKernelModel()
+
+    def test_fallback_selection(self, model, orin, a100):
+        assert model.uses_fallback(orin.gpu, Precision.INT8)
+        assert not model.uses_fallback(a100.gpu, Precision.INT8)
+        # 4-bit always dequantizes, even on A100.
+        assert model.uses_fallback(a100.gpu, Precision.INT4)
+        assert not model.uses_fallback(orin.gpu, Precision.FP16)
+
+    def test_dequant_cost_scales_with_params_on_edge(self, model, orin):
+        small = model.dequant_seconds(get_model("phi2"), orin.gpu, Precision.INT8)
+        big = model.dequant_seconds(get_model("deepq"), orin.gpu, Precision.INT8)
+        assert big > 10 * small
+        assert model.dequant_seconds(get_model("phi2"), orin.gpu, Precision.FP16) == 0
+
+    def test_no_weight_dequant_on_a100_int8(self, model, a100):
+        assert model.dequant_seconds(get_model("deepq"), a100.gpu, Precision.INT8) == 0.0
+        # Instead there is a per-token activation cost.
+        act = model.activation_overhead_seconds(get_model("deepq"), a100.gpu,
+                                                Precision.INT8, n_tokens=32)
+        assert act > 0
+
+    def test_int8_gemm_speedup_only_native(self, model, orin, a100):
+        assert model.math_rate_multiplier(a100.gpu, Precision.INT8) == 2.0
+        assert model.math_rate_multiplier(orin.gpu, Precision.INT8) == 1.0
+
+    def test_gpu_util_caps_match_paper(self, model):
+        assert model.gpu_utilization(Precision.INT8) == pytest.approx(0.60)
+        assert model.gpu_utilization(Precision.INT4) == pytest.approx(1.00)
+
+    def test_dequant_alu_split(self, model):
+        assert model.dequant_alu_fraction(Precision.INT4) > \
+            model.dequant_alu_fraction(Precision.INT8)
+        assert model.dequant_alu_fraction(Precision.FP16) == 0.0
+
+    def test_dequant_scales_inverse_with_gpu_clock(self, model, orin):
+        arch = get_model("llama")
+        full = model.dequant_seconds(arch, orin.gpu, Precision.INT8)
+        orin.gpu.set_freq(orin.gpu.max_freq_hz / 2)
+        assert model.dequant_seconds(arch, orin.gpu, Precision.INT8) == \
+            pytest.approx(2 * full)
+
+    def test_validation(self):
+        with pytest.raises(QuantizationError):
+            QuantKernelModel(int8_cycles_per_param=-1)
+
+
+class TestPrecisionParsing:
+    def test_parse_roundtrip(self):
+        for p in Precision:
+            assert Precision.parse(p.value) is p
+            assert Precision.parse(p.value.upper()) is p
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(QuantizationError, match="unknown precision"):
+            Precision.parse("fp8")
+
+    def test_quantized_flags(self):
+        assert Precision.INT8.is_quantized and Precision.INT4.is_quantized
+        assert not Precision.FP16.is_quantized
+        assert Precision.FP32.bits == 32 and Precision.INT4.bits == 4

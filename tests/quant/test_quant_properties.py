@@ -1,0 +1,70 @@
+"""Property-based quantization invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quant import (
+    absmax_dequantize_int8,
+    absmax_quantize_int8,
+    blockwise_dequantize,
+    blockwise_quantize,
+)
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0,
+                          allow_nan=False, allow_infinity=False, width=32)
+
+
+@given(w=arrays(np.float32, st.tuples(st.integers(1, 20), st.integers(1, 40)),
+                elements=finite_floats))
+@settings(max_examples=60, deadline=None)
+def test_absmax_roundtrip_error_within_half_step(w):
+    q, scales = absmax_quantize_int8(w)
+    back = absmax_dequantize_int8(q, scales)
+    bound = np.broadcast_to(scales, w.shape) * 0.5 + 1e-6
+    assert np.all(np.abs(back - w) <= bound + 1e-4 * np.abs(w))
+
+
+@given(w=arrays(np.float32, st.tuples(st.integers(1, 20), st.integers(1, 40)),
+                elements=finite_floats))
+@settings(max_examples=60, deadline=None)
+def test_absmax_idempotent(w):
+    """Quantizing an already-quantized tensor is lossless."""
+    q1, s1 = absmax_quantize_int8(w)
+    w1 = absmax_dequantize_int8(q1, s1)
+    q2, s2 = absmax_quantize_int8(w1)
+    w2 = absmax_dequantize_int8(q2, s2)
+    assert np.allclose(w1, w2, atol=1e-5, rtol=1e-4)
+
+
+@given(
+    w=arrays(np.float32, st.integers(1, 400), elements=finite_floats),
+    block=st.sampled_from([16, 64, 128]),
+    scheme=st.sampled_from(["nf4", "int4"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_blockwise_roundtrip_preserves_shape_and_sign_of_extremes(w, block, scheme):
+    q = blockwise_quantize(w, block_size=block, scheme=scheme)
+    back = blockwise_dequantize(q)
+    assert back.shape == w.shape
+    # The absolute maximum of each tensor survives with its sign (it maps
+    # to a codebook endpoint).
+    if np.abs(w).max() > 0:
+        i = int(np.abs(w).argmax())
+        assert np.sign(back.flat[i]) == np.sign(w.flat[i])
+        assert np.abs(back.flat[i]) <= np.abs(w.flat[i]) + 1e-6
+
+
+@given(
+    w=arrays(np.float32, st.integers(64, 256), elements=finite_floats),
+)
+@settings(max_examples=40, deadline=None)
+def test_blockwise_error_never_exceeds_blockwise_absmax(w):
+    q = blockwise_quantize(w, block_size=64, scheme="nf4")
+    back = blockwise_dequantize(q)
+    # Worst case error per element < absmax of its block (coarse bound).
+    pad = (-w.size) % 64
+    wp = np.concatenate([w, np.zeros(pad, np.float32)]).reshape(-1, 64)
+    bound = np.abs(wp).max(axis=1, keepdims=True).repeat(64, axis=1).reshape(-1)[: w.size]
+    assert np.all(np.abs(back - w) <= bound + 1e-6)

@@ -1,0 +1,37 @@
+"""Programmatic artifact regeneration facade."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.reporting.paper import artifacts, regenerate
+
+
+def test_registry_covers_every_paper_artifact():
+    ids = artifacts()
+    for t in ("table1", "table2", "table3", "table4", "table5", "table6",
+              "table7"):
+        assert t in ids
+    for f in (f"fig{i}" for i in range(1, 12)):
+        assert f in ids
+
+
+def test_analytic_artifacts_regenerate():
+    t1 = regenerate("table1")
+    assert len(t1) == 4 and "fp16_gb" in t1[0]
+    t2 = regenerate("table2")
+    assert [r["mode"] for r in t2][0] == "MAXN"
+    t3 = regenerate("table3")
+    assert len(t3) == 4
+
+
+def test_simulated_artifact_regenerates():
+    rows = regenerate("fig5", n_runs=1)
+    assert len(rows) == 4 * 9  # four models x nine power modes
+    assert {"power_mode", "latency_s", "power_w"} <= set(rows[0])
+
+
+def test_unknown_artifact_rejected():
+    with pytest.raises(ExperimentError, match="unknown artifact"):
+        regenerate("fig99")
+    with pytest.raises(ExperimentError):
+        regenerate("table1", n_runs=0)

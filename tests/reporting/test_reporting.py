@@ -1,0 +1,120 @@
+"""Tables, figures, export, comparisons."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.reporting import (
+    ascii_bars,
+    ascii_lines,
+    compare_rows,
+    deviation_summary,
+    format_table,
+    markdown_table,
+    write_csv,
+    write_json,
+)
+
+ROWS = [
+    {"model": "A", "lat": 1.5, "oom": False},
+    {"model": "B", "lat": None, "oom": True},
+]
+
+
+class TestTables:
+    def test_format_table_aligns_and_marks_oom(self):
+        out = format_table(ROWS, title="perf")
+        lines = out.splitlines()
+        assert lines[0] == "perf"
+        assert "OOM" in out
+        assert "1.50" in out
+
+    def test_column_selection_and_order(self):
+        out = format_table(ROWS, columns=["lat", "model"])
+        assert out.splitlines()[0].startswith("lat")
+
+    def test_markdown_table(self):
+        md = markdown_table(ROWS)
+        assert md.startswith("| model | lat | oom |")
+        assert "| B | OOM | yes |" in md
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            format_table([])
+
+
+class TestFigures:
+    def test_lines_renders_all_series(self):
+        out = ascii_lines(
+            {"tp": [10, 20, None, 40], "lat": [1, 2, 3, 4]},
+            x_labels=["1", "2", "4", "8"], title="fig",
+        )
+        assert "fig" in out and "legend:" in out
+        assert "o=tp" in out and "x=lat" in out
+
+    def test_log_scale(self):
+        out = ascii_lines({"s": [1, 10, 100]}, ["a", "b", "c"], log_y=True)
+        assert "(log y)" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_lines({"s": [1, 2]}, ["a"])
+
+    def test_bars_with_oom(self):
+        out = ascii_bars({"MAXN": 10.0, "H": None}, unit="W")
+        assert "OOM" in out and "10W" in out.replace(" ", "")
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_lines({"s": [None]}, ["a"])
+
+
+class TestExport:
+    def test_csv_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ROWS)
+        text = path.read_text()
+        assert text.splitlines()[0] == "model,lat,oom"
+        assert "A,1.5,False" in text
+
+    def test_json_writes_pretty(self, tmp_path):
+        path = write_json(tmp_path / "deep/out.json", {"x": [1, 2]})
+        assert json.loads(path.read_text()) == {"x": [1, 2]}
+
+    def test_empty_csv_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_csv(tmp_path / "x.csv", [])
+
+
+class TestCompare:
+    PAPER = [
+        {"model": "A", "bs": 1, "lat": 10.0},
+        {"model": "A", "bs": 2, "lat": None},
+    ]
+    OURS = [
+        {"model": "A", "bs": 1, "lat": 11.0},
+        {"model": "A", "bs": 2, "lat": None},
+    ]
+
+    def test_compare_computes_relative_deviation(self):
+        rows = compare_rows(self.PAPER, self.OURS, ["model", "bs"], ["lat"])
+        assert rows[0]["lat_dev"] == pytest.approx(0.1)
+        assert rows[0]["match"] is True
+
+    def test_oom_agreement_flag(self):
+        rows = compare_rows(self.PAPER, self.OURS, ["model", "bs"], ["lat"])
+        assert rows[1]["lat_dev"] is None
+        assert rows[1]["match"] is True
+        ours_bad = [dict(self.OURS[0]), {"model": "A", "bs": 2, "lat": 5.0}]
+        rows = compare_rows(self.PAPER, ours_bad, ["model", "bs"], ["lat"])
+        assert rows[1]["match"] is False
+
+    def test_summary_stats(self):
+        rows = compare_rows(self.PAPER, self.OURS, ["model", "bs"], ["lat"])
+        summary = deviation_summary(rows, ["lat"])
+        assert summary["lat"]["median_abs_dev"] == pytest.approx(0.1)
+        assert summary["lat"]["n"] == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            compare_rows([], [], ["k"], ["v"])

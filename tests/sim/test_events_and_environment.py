@@ -1,0 +1,238 @@
+"""DES kernel: events, timeouts, processes, conditions."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Event, Interrupt, Timeout
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(5.0)
+
+    env.process(proc())
+    env.run()
+    assert env.now == pytest.approx(5.0)
+
+
+def test_events_fire_in_timestamp_order():
+    env = Environment()
+    order = []
+
+    def proc(delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(3.0, "c"))
+    env.process(proc(1.0, "a"))
+    env.process(proc(2.0, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_creation_order():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("x", "y", "z"):
+        env.process(proc(tag))
+    env.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_process_return_value_via_run_until():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2.0)
+        return 42
+
+    p = env.process(proc())
+    assert env.run(until=p) == 42
+
+
+def test_yield_from_subprocess_composition():
+    env = Environment()
+
+    def inner():
+        yield env.timeout(1.0)
+        return "inner-done"
+
+    def outer():
+        val = yield from inner()
+        yield env.timeout(1.0)
+        return val + "/outer-done"
+
+    p = env.process(outer())
+    assert env.run(until=p) == "inner-done/outer-done"
+    assert env.now == pytest.approx(2.0)
+
+
+def test_event_succeed_delivers_value():
+    env = Environment()
+    ev = env.event()
+    got = []
+
+    def waiter():
+        got.append((yield ev))
+
+    env.process(waiter())
+
+    def trigger():
+        yield env.timeout(1.0)
+        ev.succeed("payload")
+
+    env.process(trigger())
+    env.run()
+    assert got == ["payload"]
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+
+    def waiter():
+        with pytest.raises(ValueError, match="boom"):
+            yield ev
+        return "handled"
+
+    p = env.process(waiter())
+    ev.fail(ValueError("boom"))
+    assert env.run(until=p) == "handled"
+
+
+def test_failed_process_propagates_through_run_until():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise RuntimeError("exploded")
+
+    p = env.process(bad())
+    with pytest.raises(RuntimeError, match="exploded"):
+        env.run(until=p)
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Timeout(env, -1.0)
+
+
+def test_run_until_time_advances_clock_even_when_idle():
+    env = Environment()
+    env.run(until=100.0)
+    assert env.now == pytest.approx(100.0)
+
+
+def test_allof_collects_all_values():
+    env = Environment()
+    t1, t2 = env.timeout(1.0, "a"), env.timeout(2.0, "b")
+    cond = AllOf(env, [t1, t2])
+    results = []
+
+    def waiter():
+        results.append((yield cond))
+
+    env.process(waiter())
+    env.run()
+    assert results == [{0: "a", 1: "b"}]
+    assert env.now == pytest.approx(2.0)
+
+
+def test_anyof_fires_on_first():
+    env = Environment()
+    t1, t2 = env.timeout(5.0, "slow"), env.timeout(1.0, "fast")
+    cond = AnyOf(env, [t1, t2])
+    results = []
+
+    def waiter():
+        results.append((yield cond))
+
+    env.process(waiter())
+    env.run(until=1.5)
+    assert results == [{1: "fast"}]
+
+
+def test_empty_allof_fires_immediately():
+    env = Environment()
+    cond = AllOf(env, [])
+    assert cond.triggered
+
+
+def test_interrupt_is_catchable_and_process_continues():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            log.append(("interrupted", exc.cause, env.now))
+        yield env.timeout(1.0)
+        log.append(("resumed", env.now))
+
+    p = env.process(sleeper())
+
+    def interrupter():
+        yield env.timeout(2.0)
+        p.interrupt(cause="hurry")
+
+    env.process(interrupter())
+    env.run()
+    assert log == [("interrupted", "hurry", 2.0), ("resumed", 3.0)]
+
+
+def test_uncaught_interrupt_fails_process():
+    env = Environment()
+
+    def sleeper():
+        yield env.timeout(100.0)
+
+    p = env.process(sleeper())
+
+    def interrupter():
+        yield env.timeout(1.0)
+        p.interrupt()
+
+    env.process(interrupter())
+    with pytest.raises(Interrupt):
+        env.run(until=p)
+
+
+def test_yield_non_event_is_an_error():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_step_on_empty_heap_is_an_error():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(7.0)
+    assert env.peek() == pytest.approx(7.0)

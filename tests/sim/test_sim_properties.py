@@ -1,0 +1,62 @@
+"""Property-based tests of DES invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=40))
+@settings(max_examples=60)
+def test_completion_times_are_sorted_regardless_of_creation_order(delays):
+    """Events complete in timestamp order for arbitrary delay sets."""
+    env = Environment()
+    completions = []
+
+    def proc(d):
+        yield env.timeout(d)
+        completions.append(env.now)
+
+    for d in delays:
+        env.process(proc(d))
+    env.run()
+    assert completions == sorted(completions)
+    assert env.now == max(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e3,
+                                 allow_nan=False), min_size=1, max_size=20))
+@settings(max_examples=40)
+def test_sequential_process_time_is_sum_of_delays(delays):
+    env = Environment()
+
+    def proc():
+        for d in delays:
+            yield env.timeout(d)
+        return env.now
+
+    p = env.process(proc())
+    total = env.run(until=p)
+    assert abs(total - sum(delays)) <= 1e-6 * max(1.0, sum(delays))
+
+
+@given(n=st.integers(min_value=1, max_value=50))
+@settings(max_examples=30)
+def test_determinism_same_seed_same_schedule(n):
+    """Two identical simulations produce identical event orders."""
+
+    def run_once():
+        env = Environment()
+        order = []
+
+        def proc(tag, d):
+            yield env.timeout(d)
+            order.append(tag)
+
+        for i in range(n):
+            env.process(proc(i, (i * 7919) % 13))
+        env.run()
+        return order
+
+    assert run_once() == run_once()

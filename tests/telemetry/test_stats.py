@@ -1,0 +1,60 @@
+"""Derived efficiency statistics."""
+
+import pytest
+
+from repro.engine import GenerationSpec, ServingEngine
+from repro.errors import ConfigError
+from repro.hardware import get_device
+from repro.models import get_model
+from repro.quant.dtypes import Precision
+from repro.telemetry.stats import (
+    efficiency_row,
+    energy_delay_product,
+    energy_per_token_j,
+    step_latency_percentiles,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    eng = ServingEngine(get_device("jetson-orin-agx-64gb"), get_model("phi2"),
+                        Precision.FP16)
+    return eng.run(batch_size=8, gen=GenerationSpec(8, 16), n_runs=2)
+
+
+def test_energy_per_token_positive_and_consistent(result):
+    ept = energy_per_token_j(result)
+    assert ept > 0
+    total_tokens = sum(b.request.total_tokens for b in result.batches)
+    assert ept == pytest.approx(result.energy_j / total_tokens)
+
+
+def test_edp_combines_energy_and_latency(result):
+    assert energy_delay_product(result) == pytest.approx(
+        result.energy_j * result.mean_latency_s
+    )
+
+
+def test_percentiles_ordered(result):
+    pcts = step_latency_percentiles(result)
+    assert pcts["p50"] <= pcts["p95"] <= pcts["p99"]
+    assert pcts["p50"] > 0
+
+
+def test_efficiency_row_fields(result):
+    row = efficiency_row(result)
+    assert row["model"] == "MS-Phi2"
+    assert row["tokens_per_joule"] > 0
+    assert {"p50", "p95", "p99", "edp_js"} <= set(row)
+
+
+def test_oom_result_rejected():
+    from repro.engine.runtime import RunResult
+
+    oom = RunResult(model="x", device="d", precision=Precision.FP16,
+                    batch_size=1, gen=GenerationSpec(1, 1),
+                    power_mode="MAXN", oom=True)
+    with pytest.raises(ConfigError):
+        energy_per_token_j(oom)
+    with pytest.raises(ConfigError):
+        energy_delay_product(oom)

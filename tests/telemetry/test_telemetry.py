@@ -1,0 +1,118 @@
+"""Power sampler, energy integration, metric definitions."""
+
+import pytest
+
+from repro.engine.state import EngineState
+from repro.errors import ConfigError
+from repro.power import ComponentUtilization, PowerModel
+from repro.sim import Environment
+from repro.telemetry import (
+    PowerSample,
+    PowerSampler,
+    latency_seconds,
+    median_power_w,
+    throughput_tokens_per_s,
+    trapezoid_energy_j,
+)
+
+
+def make_sampler(orin, period=2.0):
+    env = Environment()
+    state = EngineState()
+    sampler = PowerSampler(env, orin, PowerModel(), state, period_s=period)
+    return env, state, sampler
+
+
+class TestSampler:
+    def test_samples_every_period(self, orin):
+        env, state, sampler = make_sampler(orin)
+        sampler.start()
+
+        def workload():
+            state.set("decode", ComponentUtilization(
+                gpu_compute=0.5, gpu_busy=0.9, mem_bw=0.7, cpu_cores_active=2))
+            yield env.timeout(10.5)
+            sampler.stop()
+            state.set_idle()
+
+        env.process(workload())
+        env.run(until=12.0)
+        times = [s.time_s for s in sampler.samples]
+        assert times == [0.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_samples_reflect_live_state(self, orin):
+        env, state, sampler = make_sampler(orin)
+        sampler.start()
+
+        def workload():
+            yield env.timeout(3.0)  # idle for 3s
+            state.set("decode", ComponentUtilization(
+                gpu_compute=0.8, gpu_busy=0.95, mem_bw=0.8, cpu_cores_active=3))
+            yield env.timeout(5.0)
+            sampler.stop()
+
+        env.process(workload())
+        env.run()
+        idle = [s.power_w for s in sampler.samples if s.phase == "idle"]
+        busy = [s.power_w for s in sampler.samples if s.phase == "decode"]
+        assert busy and idle
+        assert min(busy) > max(idle) + 10
+
+    def test_invalid_period(self, orin):
+        env = Environment()
+        with pytest.raises(ConfigError):
+            PowerSampler(env, orin, PowerModel(), EngineState(), period_s=0)
+
+    def test_start_is_idempotent(self, orin):
+        env, _, sampler = make_sampler(orin)
+        sampler.start()
+        sampler.start()
+        env.run(until=4.0)
+        assert [s.time_s for s in sampler.samples].count(0.0) == 1
+
+
+class TestEnergy:
+    def test_constant_power_integrates_exactly(self):
+        samples = [PowerSample(t, 30.0, "decode") for t in (0.0, 2.0, 4.0)]
+        assert trapezoid_energy_j(samples) == pytest.approx(120.0)
+
+    def test_ramp_integrates_as_trapezoid(self):
+        samples = [PowerSample(0.0, 0.0, "x"), PowerSample(4.0, 40.0, "x")]
+        assert trapezoid_energy_j(samples) == pytest.approx(80.0)
+
+    def test_single_sample_zero_energy(self):
+        assert trapezoid_energy_j([PowerSample(0.0, 30.0, "x")]) == 0.0
+
+    def test_empty_or_unordered_rejected(self):
+        with pytest.raises(ConfigError):
+            trapezoid_energy_j([])
+        with pytest.raises(ConfigError):
+            trapezoid_energy_j([PowerSample(2.0, 1.0, "x"),
+                                PowerSample(0.0, 1.0, "x")])
+
+    def test_median_excludes_idle_when_asked(self):
+        samples = [PowerSample(0, 10.0, "idle"), PowerSample(2, 40.0, "decode"),
+                   PowerSample(4, 42.0, "decode")]
+        assert median_power_w(samples) == pytest.approx(41.0)
+        assert median_power_w(samples, active_only=False) == pytest.approx(40.0)
+
+    def test_median_falls_back_to_all_idle(self):
+        samples = [PowerSample(0, 10.0, "idle"), PowerSample(2, 12.0, "idle")]
+        assert median_power_w(samples) == pytest.approx(11.0)
+
+
+class TestMetrics:
+    def test_throughput_counts_input_and_output(self):
+        tp = throughput_tokens_per_s([32, 32], [64, 64], batch_latency_s=2.0)
+        assert tp == pytest.approx(96.0)
+
+    def test_throughput_validation(self):
+        with pytest.raises(ConfigError):
+            throughput_tokens_per_s([1], [1], 0.0)
+        with pytest.raises(ConfigError):
+            throughput_tokens_per_s([1, 2], [1], 1.0)
+
+    def test_latency_sum(self):
+        assert latency_seconds([0.1, 0.2], prefill_s=0.05) == pytest.approx(0.35)
+        with pytest.raises(ConfigError):
+            latency_seconds([-0.1])

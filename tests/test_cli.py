@@ -1,0 +1,61 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_footprint_prints_table1(capsys):
+    assert main(["footprint"]) == 0
+    out = capsys.readouterr().out
+    assert "MS-Phi2" in out and "Deepseek-Qwen" in out
+    assert "47.1" in out  # Mistral FP16
+
+
+def test_models_listing(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    assert "meta-llama/Llama-3.1-8B" in out
+
+
+def test_devices_listing(capsys):
+    assert main(["devices"]) == 0
+    out = capsys.readouterr().out
+    assert "jetson-orin-agx-64gb" in out and "a100-sxm-80gb" in out
+
+
+def test_run_single_config(capsys):
+    rc = main(["run", "--model", "phi2", "--batch-size", "2",
+               "--input-tokens", "4", "--output-tokens", "8", "--runs", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "MS-Phi2" in out and "fp16" in out
+
+
+def test_run_oom_exit_code(capsys):
+    rc = main(["run", "--model", "deepq", "--precision", "fp16",
+               "--runs", "1", "--batch-size", "1",
+               "--input-tokens", "2", "--output-tokens", "2"])
+    assert rc == 2  # OOM signalled distinctly
+
+
+def test_run_bad_precision_is_clean_error(capsys):
+    rc = main(["run", "--precision", "fp8"])
+    assert rc == 1
+    assert "unknown precision" in capsys.readouterr().err
+
+
+def test_sweep_quant_with_csv(tmp_path, capsys):
+    csv = tmp_path / "quant.csv"
+    rc = main(["sweep", "quant", "--model", "phi2", "--runs", "1",
+               "--csv", str(csv)])
+    assert rc == 0
+    assert csv.exists()
+    text = csv.read_text()
+    assert "fp32" in text and "int4" in text
+
+
+def test_perplexity_table(capsys):
+    assert main(["perplexity"]) == 0
+    out = capsys.readouterr().out
+    assert "OOM" in out  # Deepseek fp32/fp16 cells

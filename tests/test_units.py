@@ -1,0 +1,39 @@
+"""Unit conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_binary_byte_units_roundtrip():
+    assert units.gib(1) == 2**30
+    assert units.mib(3) == 3 * 2**20
+    assert units.kib(2) == 2048
+    assert units.to_gib(units.gib(7.5)) == pytest.approx(7.5)
+    assert units.to_mib(units.mib(1.25)) == pytest.approx(1.25)
+
+
+def test_frequency_units():
+    assert units.mhz(1301) == pytest.approx(1.301e9)
+    assert units.ghz(2.2) == pytest.approx(2.2e9)
+    assert units.to_mhz(units.mhz(665)) == pytest.approx(665)
+
+
+def test_bandwidth_and_flops_are_decimal():
+    assert units.gb_per_s(204.8) == pytest.approx(204.8e9)
+    assert units.to_gb_per_s(1e9) == pytest.approx(1.0)
+    assert units.tflops(5.33) == pytest.approx(5.33e12)
+    assert units.to_tflops(1e12) == pytest.approx(1.0)
+
+
+def test_fmt_bytes_picks_sensible_unit():
+    assert units.fmt_bytes(units.gib(5.6)) == "5.60 GiB"
+    assert units.fmt_bytes(units.mib(2)) == "2.00 MiB"
+    assert units.fmt_bytes(units.kib(1)) == "1.00 KiB"
+    assert units.fmt_bytes(17) == "17 B"
+
+
+def test_fmt_duration_scales():
+    assert units.fmt_duration(12.85) == "12.85 s"
+    assert units.fmt_duration(0.00373) == "3.73 ms"
+    assert units.fmt_duration(9e-6) == "9.0 us"

@@ -1,0 +1,95 @@
+"""BPE tokenizer: training, encoding, round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TokenizerError
+from repro.tokenizer import BpeTokenizer, Vocab, train_bpe
+
+CORPUS = (
+    "the quick brown fox jumps over the lazy dog "
+    "the quick brown fox likes the lazy dog "
+    "a lazy dog sleeps while the quick fox runs "
+) * 20
+
+
+@pytest.fixture(scope="module")
+def tok():
+    return train_bpe(CORPUS, vocab_size=320)
+
+
+class TestTraining:
+    def test_vocab_contains_specials_and_bytes(self, tok):
+        assert tok.vocab_size > 260
+        assert tok.vocab.pad_id == 0 and tok.vocab.unk_id == 3
+
+    def test_frequent_words_become_single_tokens(self, tok):
+        # "the" appears constantly; with leading space it should merge.
+        ids = tok.encode("the the the")
+        assert len(ids) <= 4
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(TokenizerError):
+            train_bpe("")
+
+    def test_vocab_size_must_exceed_alphabet(self):
+        with pytest.raises(TokenizerError):
+            train_bpe("hello", vocab_size=100)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_on_training_text(self, tok):
+        text = "the quick brown fox"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_roundtrip_on_unseen_text(self, tok):
+        text = "zxqv unseen words 123!"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_bos_eos_flags(self, tok):
+        ids = tok.encode("fox", add_bos=True, add_eos=True)
+        assert ids[0] == tok.vocab.bos_id
+        assert ids[-1] == tok.vocab.eos_id
+        assert tok.decode(ids) == "fox"
+
+    def test_count_tokens_consistent(self, tok):
+        text = "the lazy dog sleeps"
+        assert tok.count_tokens(text) == len(tok.encode(text))
+
+    def test_compression_on_in_domain_text(self, tok):
+        """Trained merges must beat raw bytes substantially."""
+        text = "the quick brown fox jumps over the lazy dog"
+        assert len(tok.encode(text)) < 0.5 * len(text.encode())
+
+
+@given(st.text(alphabet=st.characters(codec="utf-8"), max_size=120))
+@settings(max_examples=80, deadline=None)
+def test_roundtrip_is_lossless_for_space_normalised_text(text):
+    tok = train_bpe(CORPUS, vocab_size=300)
+    # The tokenizer normalises word separation to single spaces.
+    normalised = " ".join(text.split(" "))
+    assert tok.decode(tok.encode(normalised)) == normalised
+
+
+class TestVocab:
+    def test_add_is_idempotent(self):
+        v = Vocab()
+        i1 = v.add(b"foo")
+        i2 = v.add(b"foo")
+        assert i1 == i2
+
+    def test_lookup_errors(self):
+        v = Vocab()
+        with pytest.raises(TokenizerError):
+            v.id_of(b"missing")
+        with pytest.raises(TokenizerError):
+            v.token_of(10_000)
+        with pytest.raises(TokenizerError):
+            v.add("not-bytes")  # type: ignore[arg-type]
+
+    def test_contains_and_len(self):
+        v = Vocab()
+        n = len(v)
+        v.add(b"tok")
+        assert b"tok" in v and len(v) == n + 1
