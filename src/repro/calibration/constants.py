@@ -86,11 +86,19 @@ PPL_ANCHOR_PRECISION: Dict[str, str] = {
 # P is shared; s_model is fitted per model from Table 3's INT4 row with the
 # measured errors of repro.quant.error (regenerate with
 # examples/recalibrate.py).  The INT8 row is then a prediction.
+#
+# Provenance: refit 2026-08-06 by fit_ppl_sensitivity(seed=0) after
+# measure_quant_error switched its per-model RNG stream from the salted
+# builtin hash() to crc32 — the old frozen values were sampled under one
+# particular PYTHONHASHSEED and could never be reproduced in another
+# process.  The crc32 stream is process-independent, so these values are
+# exactly what the fitter returns today (rounded to 4 significant digits,
+# well inside the test's 5% drift tolerance).
 # ---------------------------------------------------------------------------
 PPL_ERROR_EXPONENT = 0.75
 PPL_SENSITIVITY: Dict[str, float] = {
-    "MS-Phi2": 0.2518,
-    "Llama3": 0.2855,
-    "Mistral-Base": 0.1490,
+    "MS-Phi2": 0.2596,
+    "Llama3": 0.2903,
+    "Mistral-Base": 0.1476,
     "Deepseek-Qwen": 0.1279,
 }

@@ -97,6 +97,57 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import (
+        AutoscalerConfig,
+        EdgeCluster,
+        NodeSpec,
+        PowerModeAutoscaler,
+        SLOSpec,
+        bursty_workload,
+        diurnal_workload,
+        multi_tenant_workload,
+        poisson_workload,
+    )
+    from repro.reporting import format_table, write_csv
+
+    devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+    specs = [NodeSpec(d, max_batch=args.max_batch) for d in devices]
+    slo = SLOSpec(ttft_s=args.ttft_slo, tpot_s=args.tpot_slo)
+    cluster = EdgeCluster.build(
+        specs, model=args.model, precision=args.precision,
+        policy=args.policy, slo=slo,
+    )
+    if args.autoscale:
+        cluster.attach_autoscaler(
+            PowerModeAutoscaler(cluster.env, cluster.nodes, AutoscalerConfig())
+        )
+
+    kw = dict(input_tokens=args.input_tokens, output_tokens=args.output_tokens,
+              seed=args.seed)
+    if args.trace == "poisson":
+        reqs = poisson_workload(args.rate, args.requests, **kw)
+    elif args.trace == "bursty":
+        reqs = bursty_workload(args.rate, 4.0 * args.rate, args.requests, **kw)
+    elif args.trace == "diurnal":
+        reqs = diurnal_workload(args.rate, args.requests, **kw)
+    else:  # multi-tenant draws shapes from its tenant profiles
+        reqs = multi_tenant_workload(args.rate, args.requests, seed=args.seed)
+
+    report = cluster.run(reqs)
+    print(format_table([report.as_row()],
+                       title=f"cluster serving — {len(devices)} nodes, "
+                             f"{args.trace} trace @ {args.rate} req/s"))
+    print(format_table(report.node_rows, title="per node"))
+    if len(report.tenants) > 1:
+        print(format_table([t.as_row() for t in report.tenants],
+                           title="per tenant"))
+    if args.csv:
+        path = write_csv(args.csv, [report.as_row()])
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_perplexity(args: argparse.Namespace) -> int:
     from repro.hardware import get_device
     from repro.perplexity import perplexity_table
@@ -139,6 +190,30 @@ def build_parser() -> argparse.ArgumentParser:
     ppl = sub.add_parser("perplexity", help="Table 3: perplexity by precision")
     ppl.add_argument("--device", default="jetson-orin-agx-64gb")
 
+    clu = sub.add_parser("cluster",
+                         help="multi-device serving: trace -> router -> fleet")
+    clu.add_argument("--devices",
+                     default="jetson-orin-agx-64gb,jetson-orin-agx-32gb",
+                     help="comma-separated device presets (one node each)")
+    clu.add_argument("--model", default="llama")
+    clu.add_argument("--precision", default="fp16")
+    clu.add_argument("--policy", default="jsq",
+                     help="round-robin|jsq|least-kv|energy-aware|splitwise")
+    clu.add_argument("--trace", default="poisson",
+                     choices=["poisson", "bursty", "diurnal", "multi-tenant"])
+    clu.add_argument("--rate", type=float, default=2.0,
+                     help="mean arrival rate (req/s; bursty: calm rate)")
+    clu.add_argument("--requests", type=int, default=100)
+    clu.add_argument("--input-tokens", type=int, default=64)
+    clu.add_argument("--output-tokens", type=int, default=64)
+    clu.add_argument("--max-batch", type=int, default=8)
+    clu.add_argument("--ttft-slo", type=float, default=10.0)
+    clu.add_argument("--tpot-slo", type=float, default=1.0)
+    clu.add_argument("--autoscale", action="store_true",
+                     help="enable the power-mode autoscaler")
+    clu.add_argument("--seed", type=int, default=0)
+    clu.add_argument("--csv", default=None, help="also write the report row")
+
     return parser
 
 
@@ -149,6 +224,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "perplexity": _cmd_perplexity,
+    "cluster": _cmd_cluster,
 }
 
 

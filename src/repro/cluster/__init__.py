@@ -1,0 +1,92 @@
+"""Multi-device edge serving: workload traces, routing, SLOs, autoscaling.
+
+The paper characterises one Jetson under offline sweeps; this package
+scales the same calibrated cost/power models out to a *fleet*.  N
+simulated devices (any mix of :mod:`repro.hardware` presets, each with
+its own power mode and serving loop) share one discrete-event clock; a
+workload layer generates request traces, a router places each arrival,
+and the SLO layer scores the outcome — latency percentiles, goodput
+under deadline, per-tenant fairness and fleet joules per token
+integrated from the telemetry traces.
+
+Modules
+-------
+- :mod:`repro.cluster.workload` — Poisson/bursty/diurnal/multi-tenant
+  trace generators (the single-device schedulers share this API).
+- :mod:`repro.cluster.router` — round-robin, join-shortest-queue,
+  least-KV-pressure, energy-aware and Splitwise-style disaggregated
+  routing policies.
+- :mod:`repro.cluster.node` — one device + engine loop + energy meter.
+- :mod:`repro.cluster.cluster` — the orchestrator.
+- :mod:`repro.cluster.slo` — deadlines, percentiles, fairness, J/token.
+- :mod:`repro.cluster.autoscale` — power-mode control loop.
+"""
+
+from repro.cluster.autoscale import (
+    AutoscalerConfig,
+    ModeSwitch,
+    PowerModeAutoscaler,
+    clamp_mode_to_device,
+)
+from repro.cluster.cluster import EdgeCluster, NodeSpec
+from repro.cluster.node import ClusterNode
+from repro.cluster.router import (
+    EnergyAwareRouter,
+    JoinShortestQueueRouter,
+    LeastKVPressureRouter,
+    RoundRobinRouter,
+    Router,
+    SplitwiseRouter,
+    get_router,
+    list_policies,
+)
+from repro.cluster.slo import (
+    ClusterReport,
+    SLOSpec,
+    TenantReport,
+    build_report,
+    jains_index,
+    max_min_share,
+    percentile,
+)
+from repro.cluster.workload import (
+    ClusterRequest,
+    TenantProfile,
+    as_cluster_requests,
+    bursty_workload,
+    diurnal_workload,
+    multi_tenant_workload,
+    poisson_workload,
+)
+
+__all__ = [
+    "AutoscalerConfig",
+    "ClusterNode",
+    "ClusterReport",
+    "ClusterRequest",
+    "EdgeCluster",
+    "EnergyAwareRouter",
+    "JoinShortestQueueRouter",
+    "LeastKVPressureRouter",
+    "ModeSwitch",
+    "NodeSpec",
+    "PowerModeAutoscaler",
+    "RoundRobinRouter",
+    "Router",
+    "SLOSpec",
+    "SplitwiseRouter",
+    "TenantProfile",
+    "TenantReport",
+    "as_cluster_requests",
+    "build_report",
+    "bursty_workload",
+    "clamp_mode_to_device",
+    "diurnal_workload",
+    "get_router",
+    "jains_index",
+    "list_policies",
+    "max_min_share",
+    "multi_tenant_workload",
+    "percentile",
+    "poisson_workload",
+]

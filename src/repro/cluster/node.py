@@ -1,0 +1,275 @@
+"""One serving node: a device, its engine loop, queue and energy meter.
+
+A :class:`ClusterNode` wraps an :class:`~repro.hardware.device.EdgeDevice`
+with a continuous-batching serving loop (iteration-level scheduling, the
+same discipline as
+:class:`~repro.engine.scheduler.ContinuousBatchScheduler`) running as a
+process on a *shared* simulation environment, so many nodes coexist on
+one clock.  Each node owns:
+
+- an admission queue with a depth cap (back-pressure) and a KV-budget
+  check (requests whose full KV footprint can never fit are refused
+  outright — the OOM-driven rejection path);
+- an :class:`~repro.engine.state.EngineState` + jtop-style
+  :class:`~repro.telemetry.sampler.PowerSampler`, so fleet energy is
+  integrated from sampled traces exactly like the paper's methodology;
+- exact per-step energy accounting used to attribute joules to the
+  individual tokens each step produced.
+
+Nodes can serve both phases (default), or only prefill / only decode
+for the Splitwise-style disaggregated routing policy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.cluster.workload import ClusterRequest
+from repro.engine.kernels import EngineCostParams, StepCost, StepTimer
+from repro.engine.state import EngineState
+from repro.errors import ConfigError
+from repro.hardware.device import EdgeDevice
+from repro.models.architecture import TransformerArchitecture
+from repro.models.footprint import weight_bytes
+from repro.power.model import ComponentUtilization, PowerModel
+from repro.power.modes import apply_power_mode, get_power_mode
+from repro.quant.dtypes import Precision
+from repro.sim.environment import Environment
+from repro.telemetry.sampler import PowerSampler
+
+
+def _util_of(cost: StepCost) -> ComponentUtilization:
+    return ComponentUtilization(
+        gpu_compute=cost.gpu_compute_frac,
+        gpu_busy=cost.gpu_busy_frac,
+        mem_bw=cost.mem_bw_frac,
+        cpu_cores_active=cost.cpu_cores_active,
+    )
+
+
+class ClusterNode:
+    """A single device serving requests on the shared cluster clock.
+
+    Parameters
+    ----------
+    env:
+        The shared simulation environment.
+    node_id:
+        Stable index within the cluster (used for deterministic
+        tie-breaking by routers).
+    device:
+        The hardware preset instance (owned by this node; power modes
+        mutate it).
+    arch / precision:
+        Model served by this node (every node holds a full replica).
+    power_mode:
+        Optional nvpmodel-style mode name applied at construction.
+    role:
+        ``"both"`` (default), ``"prefill"`` or ``"decode"`` — the
+        latter two implement the Splitwise-style split.
+    max_batch / max_queue:
+        Concurrency cap of the running batch and depth cap of the
+        admission queue (``submit`` refuses above it).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: int,
+        device: EdgeDevice,
+        arch: TransformerArchitecture,
+        precision: Precision,
+        power_mode: Optional[str] = None,
+        role: str = "both",
+        max_batch: int = 8,
+        max_queue: int = 256,
+        params: Optional[EngineCostParams] = None,
+        power_model: Optional[PowerModel] = None,
+        kv_budget_bytes: Optional[int] = None,
+        sample_period_s: float = 1.0,
+    ):
+        if max_batch < 1 or max_queue < 1:
+            raise ConfigError("max_batch and max_queue must be >= 1")
+        if role not in ("both", "prefill", "decode"):
+            raise ConfigError(f"unknown node role {role!r}")
+        self.env = env
+        self.node_id = node_id
+        self.device = device
+        self.arch = arch
+        self.precision = precision
+        self.role = role
+        self.max_batch = max_batch
+        self.max_queue = max_queue
+        if power_mode is not None:
+            apply_power_mode(device, get_power_mode(power_mode))
+        self.timer = StepTimer(arch, device, precision, params)
+        self.power_model = power_model or PowerModel()
+        if kv_budget_bytes is None:
+            kv_budget_bytes = int(
+                device.memory.usable_bytes
+                - weight_bytes(arch, precision)
+                - 1e9  # workspace
+            )
+        if kv_budget_bytes <= 0:
+            raise ConfigError(
+                f"model leaves no KV budget on node {node_id} ({device.name})"
+            )
+        self.kv_budget = kv_budget_bytes
+        self._kv_per_token = (
+            arch.kv_cache_spec().bytes_per_token_per_layer * arch.n_layers
+        )
+
+        self.queue: List[ClusterRequest] = []
+        self.active: List[ClusterRequest] = []
+        self.completed: List[ClusterRequest] = []
+        #: Called when a prefill-role node finishes a prompt (set by the
+        #: cluster to start the KV transfer to a decode node).
+        self.on_prefill_done: Optional[Callable[[ClusterRequest], None]] = None
+        #: Called when a request finishes decoding.
+        self.on_complete: Optional[Callable[[ClusterRequest], None]] = None
+
+        self.state = EngineState()
+        self.sampler = PowerSampler(env, device, self.power_model, self.state,
+                                    period_s=sample_period_s)
+        #: Exact step-accounted busy energy (J) and busy wall time (s).
+        self.busy_energy_j = 0.0
+        self.busy_seconds = 0.0
+        #: Decode tokens this node produced (each token exactly once).
+        self.served_tokens = 0
+        #: Prompt tokens this node prefilled.
+        self.prefilled_tokens = 0
+        self.last_busy_s = 0.0
+
+        self._wake = None
+        self._proc = env.process(self._serve_loop(), name=f"node-{node_id}")
+
+    # -- capacity ----------------------------------------------------------
+    def kv_bytes(self, tokens: int) -> int:
+        return tokens * self._kv_per_token
+
+    def _kv_need(self, r: ClusterRequest) -> int:
+        if self.role == "prefill":
+            return self.kv_bytes(r.input_tokens)
+        return self.kv_bytes(r.input_tokens + r.output_tokens)
+
+    @property
+    def kv_in_use(self) -> int:
+        return sum(self._kv_need(r) for r in self.active)
+
+    @property
+    def kv_pressure(self) -> float:
+        """Committed KV (running + queued) over budget; can exceed 1."""
+        queued = sum(self._kv_need(r) for r in self.queue)
+        return (self.kv_in_use + queued) / self.kv_budget
+
+    @property
+    def depth(self) -> int:
+        """Outstanding work: queued plus running requests."""
+        return len(self.queue) + len(self.active)
+
+    def fits(self, r: ClusterRequest) -> bool:
+        """Could this request *ever* run here (empty node)?"""
+        return self._kv_need(r) <= self.kv_budget
+
+    def accepts(self, r: ClusterRequest) -> bool:
+        """Admission control: room in the queue and a feasible footprint."""
+        return len(self.queue) < self.max_queue and self.fits(r)
+
+    def submit(self, r: ClusterRequest) -> bool:
+        """Enqueue a request; returns False if admission refuses it."""
+        if not self.accepts(r):
+            return False
+        r.node_id = self.node_id
+        self.queue.append(r)
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed(None)
+        return True
+
+    # -- energy ------------------------------------------------------------
+    def predicted_j_per_token(self, batch_size: int = 4,
+                              context: int = 256) -> float:
+        """Marginal decode energy per token at the *current* operating
+        point — the signal the energy-aware router ranks nodes by."""
+        bs = max(1, min(batch_size, self.max_batch))
+        cost = self.timer.decode_step(bs, context,
+                                      concat_bytes=2 * self.kv_bytes(bs * context))
+        watts = self.power_model.power_w(self.device, _util_of(cost))
+        return watts * cost.seconds / bs
+
+    def _account(self, cost: StepCost, phase: str) -> float:
+        """Publish utilization, integrate busy energy; returns step J."""
+        util = _util_of(cost)
+        self.state.set(phase, util)
+        joules = self.power_model.power_w(self.device, util) * cost.seconds
+        self.busy_energy_j += joules
+        self.busy_seconds += cost.seconds
+        return joules
+
+    # -- the serving loop --------------------------------------------------
+    def _admit(self) -> List[ClusterRequest]:
+        admitted = []
+        while (self.queue and len(self.active) < self.max_batch
+               and self.kv_in_use + self._kv_need(self.queue[0]) <= self.kv_budget):
+            r = self.queue.pop(0)
+            self.active.append(r)
+            admitted.append(r)
+        return admitted
+
+    def _serve_loop(self):
+        env = self.env
+        while True:
+            admitted = self._admit()
+            for r in admitted:
+                if self.role == "decode":
+                    continue  # prompt KV arrives via the transfer link
+                cost = self.timer.prefill(1, r.input_tokens)
+                self._account(cost, "prefill")
+                yield env.timeout(cost.seconds)
+                self.last_busy_s = env.now
+                self.prefilled_tokens += r.input_tokens
+                r.prefill_end_s = env.now
+                if self.role == "prefill":
+                    self.active.remove(r)
+                    if self.on_prefill_done is not None:
+                        self.on_prefill_done(r)
+
+            if not self.active:
+                self.state.set_idle()
+                if self.queue:
+                    continue  # re-check admission (head may now fit)
+                self._wake = env.event()
+                yield self._wake
+                self._wake = None
+                continue
+
+            bs = len(self.active)
+            context = max(r.input_tokens + r.generated for r in self.active)
+            concat = 2 * self.kv_bytes(bs * context)
+            cost = self.timer.decode_step(bs, context, concat_bytes=concat)
+            step_j = self._account(cost, "decode")
+            yield env.timeout(cost.seconds)
+            self.last_busy_s = env.now
+            for r in list(self.active):
+                r.generated += 1
+                r.energy_j += step_j / bs
+                self.served_tokens += 1
+                if r.first_token_s is None:
+                    r.first_token_s = env.now
+                if r.generated >= r.output_tokens:
+                    r.finish_s = env.now
+                    self.active.remove(r)
+                    self.completed.append(r)
+                    if self.on_complete is not None:
+                        self.on_complete(r)
+
+    # -- reporting ---------------------------------------------------------
+    def as_row(self) -> dict:
+        return {
+            "node": self.node_id,
+            "device": self.device.name,
+            "served_tokens": self.served_tokens,
+            "prefilled_tokens": self.prefilled_tokens,
+            "completed": len(self.completed),
+            "busy_s": round(self.busy_seconds, 1),
+            "busy_energy_j": round(self.busy_energy_j, 1),
+        }

@@ -1,0 +1,220 @@
+"""SLO accounting: deadlines, goodput, fairness and energy per token.
+
+Follows the serving-systems convention of three per-request deadlines —
+time-to-first-token (TTFT), time-per-output-token (TPOT) and end-to-end
+latency — and reports *goodput under SLO* (completed requests meeting
+every deadline, per second) rather than raw throughput, which TokenPower-
+Bench argues is the honest denominator for energy too.
+
+Fleet energy is integrated from the per-node telemetry traces (trapezoid
+over the jtop-style samples, the paper's §2 methodology), so idle watts
+on over-provisioned nodes are charged to the fleet; per-request joules
+come from the nodes' exact step accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.node import ClusterNode
+from repro.cluster.workload import ClusterRequest
+from repro.errors import ConfigError
+from repro.telemetry.energy import trapezoid_energy_j
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Per-request deadlines; ``None`` disables a dimension."""
+
+    ttft_s: Optional[float] = 10.0
+    tpot_s: Optional[float] = 1.0
+    e2e_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("ttft_s", "tpot_s", "e2e_s"):
+            v = getattr(self, name)
+            if v is not None and v <= 0:
+                raise ConfigError(f"{name} deadline must be positive")
+
+    def met(self, r: ClusterRequest) -> bool:
+        """True iff the completed request meets every enabled deadline."""
+        if r.finish_s is None:
+            return False
+        if self.ttft_s is not None and (r.ttft_s is None or r.ttft_s > self.ttft_s):
+            return False
+        if self.tpot_s is not None and r.tpot_s is not None and r.tpot_s > self.tpot_s:
+            return False
+        if self.e2e_s is not None and r.latency_s > self.e2e_s:
+            return False
+        return True
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Percentile with an empty-safe zero (reports over empty sets)."""
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def jains_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1 = perfectly equal, 1/n = maximally unfair."""
+    v = np.asarray(list(values), dtype=float)
+    if v.size == 0:
+        return 1.0
+    denom = v.size * float((v * v).sum())
+    if denom == 0:
+        return 1.0
+    return float(v.sum()) ** 2 / denom
+
+
+def max_min_share(values: Sequence[float]) -> float:
+    """min/max ratio of the per-tenant allocations (1 = equal)."""
+    v = [float(x) for x in values]
+    if not v or max(v) == 0:
+        return 1.0
+    return min(v) / max(v)
+
+
+@dataclass
+class TenantReport:
+    """Served volume and SLO outcome for one tenant."""
+
+    tenant: str
+    injected: int = 0
+    completed: int = 0
+    rejected: int = 0
+    served_tokens: int = 0
+    slo_met: int = 0
+    p99_ttft_s: float = 0.0
+
+    def as_row(self) -> Dict:
+        return {
+            "tenant": self.tenant,
+            "injected": self.injected,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "served_tokens": self.served_tokens,
+            "slo_met": self.slo_met,
+            "p99_ttft_s": round(self.p99_ttft_s, 2),
+        }
+
+
+@dataclass
+class ClusterReport:
+    """Aggregate outcome of one cluster serving run."""
+
+    policy: str
+    n_requests: int
+    completed: int
+    rejected: int
+    makespan_s: float
+    p50_ttft_s: float
+    p99_ttft_s: float
+    p50_e2e_s: float
+    p99_e2e_s: float
+    mean_tpot_s: float
+    throughput_tok_s: float
+    #: Fraction of *injected* requests completed within every deadline.
+    slo_attainment: float
+    #: SLO-meeting completions per second.
+    goodput_rps: float
+    #: Trapezoid-integrated fleet energy (telemetry traces, idle included).
+    fleet_energy_j: float
+    #: Fleet J per generated token.
+    j_per_token: float
+    #: Exact step-accounted busy energy across nodes.
+    busy_energy_j: float
+    jains_index: float
+    max_min_share: float
+    tenants: List[TenantReport] = field(default_factory=list)
+    node_rows: List[Dict] = field(default_factory=list)
+    requests: List[ClusterRequest] = field(default_factory=list)
+
+    def as_row(self) -> Dict:
+        return {
+            "policy": self.policy,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "p50_ttft_s": round(self.p50_ttft_s, 2),
+            "p99_ttft_s": round(self.p99_ttft_s, 2),
+            "p99_e2e_s": round(self.p99_e2e_s, 2),
+            "throughput_tok_s": round(self.throughput_tok_s, 1),
+            "slo_attainment": round(self.slo_attainment, 3),
+            "goodput_rps": round(self.goodput_rps, 3),
+            "fleet_energy_j": round(self.fleet_energy_j, 1),
+            "j_per_token": round(self.j_per_token, 3),
+            "jain": round(self.jains_index, 3),
+        }
+
+
+def build_report(
+    policy: str,
+    requests: Sequence[ClusterRequest],
+    nodes: Sequence[ClusterNode],
+    slo: SLOSpec,
+    makespan_s: float,
+) -> ClusterReport:
+    """Fold per-request outcomes and node telemetry into one report."""
+    done = [r for r in requests if r.finish_s is not None]
+    rejected = [r for r in requests if r.rejected]
+    ttfts = [r.ttft_s for r in done if r.ttft_s is not None]
+    e2es = [r.latency_s for r in done]
+    tpots = [r.tpot_s for r in done if r.tpot_s is not None]
+    met = [r for r in done if slo.met(r)]
+    span = max(makespan_s, 1e-9)
+
+    served_tokens = sum(n.served_tokens for n in nodes)
+    fleet_j = 0.0
+    for n in nodes:
+        if len(n.sampler.samples) >= 2:
+            fleet_j += trapezoid_energy_j(n.sampler.samples)
+
+    tenants: Dict[str, TenantReport] = {}
+    tenant_ttfts: Dict[str, List[float]] = {}
+    for r in requests:
+        name = getattr(r, "tenant", "tenant0")
+        t = tenants.setdefault(name, TenantReport(tenant=name))
+        t.injected += 1
+        if r.rejected:
+            t.rejected += 1
+        if r.finish_s is not None:
+            t.completed += 1
+            t.served_tokens += r.generated
+            if slo.met(r):
+                t.slo_met += 1
+            if r.ttft_s is not None:
+                tenant_ttfts.setdefault(name, []).append(r.ttft_s)
+    for name, t in tenants.items():
+        t.p99_ttft_s = percentile(tenant_ttfts.get(name, []), 99)
+
+    # Fairness over per-tenant *service rates* normalised by demand:
+    # share = completed/injected, so a tenant whose whole traffic is
+    # rejected drags the index down even if it is small.
+    shares = [t.completed / t.injected for t in tenants.values() if t.injected]
+
+    return ClusterReport(
+        policy=policy,
+        n_requests=len(requests),
+        completed=len(done),
+        rejected=len(rejected),
+        makespan_s=makespan_s,
+        p50_ttft_s=percentile(ttfts, 50),
+        p99_ttft_s=percentile(ttfts, 99),
+        p50_e2e_s=percentile(e2es, 50),
+        p99_e2e_s=percentile(e2es, 99),
+        mean_tpot_s=float(np.mean(tpots)) if tpots else 0.0,
+        throughput_tok_s=served_tokens / span,
+        slo_attainment=len(met) / max(len(requests), 1),
+        goodput_rps=len(met) / span,
+        fleet_energy_j=fleet_j,
+        j_per_token=fleet_j / max(served_tokens, 1),
+        busy_energy_j=sum(n.busy_energy_j for n in nodes),
+        jains_index=jains_index(shares),
+        max_min_share=max_min_share(shares),
+        tenants=sorted(tenants.values(), key=lambda t: t.tenant),
+        node_rows=[n.as_row() for n in nodes],
+        requests=list(requests),
+    )

@@ -1,0 +1,290 @@
+"""Request-trace generators for single-device and cluster serving.
+
+The engine's original inline helper only produced fixed-shape Poisson
+arrivals; real edge deployments see anything but.  This module is the
+single workload API both the single-device schedulers and the cluster
+layer draw from:
+
+- :func:`poisson_workload` — the original memoryless stream (moved here
+  from ``repro.engine.scheduler``, which re-exports it).
+- :func:`bursty_workload` — a two-state Markov-modulated Poisson
+  process (MMPP-2): calm and burst phases with exponential sojourns,
+  the standard parsimonious model of flash-crowd traffic.
+- :func:`diurnal_workload` — a sinusoidal day/night rate profile
+  sampled by thinning (non-homogeneous Poisson).
+- :func:`multi_tenant_workload` — a weighted mix of tenants, each with
+  its own prompt/output-length profile (optionally estimated from the
+  prompt pools in :mod:`repro.datasets`).
+
+Every generator is deterministic under its ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.scheduler import ServeRequest
+from repro.errors import ExperimentError, WorkloadError
+
+
+@dataclass
+class ClusterRequest(ServeRequest):
+    """A :class:`ServeRequest` with multi-tenant and routing bookkeeping."""
+
+    tenant: str = "tenant0"
+    #: Node the router placed the request on (set by the cluster).
+    node_id: Optional[int] = None
+    #: True once admission control gave up on the request.
+    rejected: bool = False
+    #: Placement attempts that found no node with capacity.
+    retries: int = 0
+    #: Busy energy attributed to this request's tokens (J).
+    energy_j: float = 0.0
+    #: Simulated time the prefill finished (set by prefill/decode split).
+    prefill_end_s: Optional[float] = None
+
+
+def poisson_workload(
+    rate_per_s: float,
+    n_requests: int,
+    input_tokens: int = 32,
+    output_tokens: int = 64,
+    seed: int = 0,
+) -> List[ServeRequest]:
+    """Seeded Poisson arrival stream with fixed-shape requests."""
+    if rate_per_s <= 0 or n_requests < 1:
+        raise ExperimentError("need positive rate and >= 1 request")
+    rng = np.random.default_rng(seed)
+    t = 0.0
+    out = []
+    for i in range(n_requests):
+        t += float(rng.exponential(1.0 / rate_per_s))
+        out.append(ServeRequest(req_id=i, arrival_s=t,
+                                input_tokens=input_tokens,
+                                output_tokens=output_tokens))
+    return out
+
+
+def bursty_workload(
+    rate_calm_per_s: float,
+    rate_burst_per_s: float,
+    n_requests: int,
+    input_tokens: int = 32,
+    output_tokens: int = 64,
+    mean_calm_s: float = 30.0,
+    mean_burst_s: float = 10.0,
+    seed: int = 0,
+) -> List[ClusterRequest]:
+    """Two-state MMPP: calm/burst phases with exponential sojourns.
+
+    The process alternates between a calm state (arrival rate
+    ``rate_calm_per_s``) and a burst state (``rate_burst_per_s``); the
+    time spent in each state is exponential with the given means.
+    """
+    if min(rate_calm_per_s, rate_burst_per_s) <= 0 or n_requests < 1:
+        raise WorkloadError("need positive rates and >= 1 request")
+    if rate_burst_per_s < rate_calm_per_s:
+        raise WorkloadError("burst rate must be >= calm rate")
+    if min(mean_calm_s, mean_burst_s) <= 0:
+        raise WorkloadError("state sojourn means must be positive")
+    rng = np.random.default_rng(seed)
+    t = 0.0
+    burst = False
+    state_end = float(rng.exponential(mean_calm_s))
+    out: List[ClusterRequest] = []
+    while len(out) < n_requests:
+        rate = rate_burst_per_s if burst else rate_calm_per_s
+        gap = float(rng.exponential(1.0 / rate))
+        if t + gap >= state_end:
+            # Memoryless: restart the draw from the state boundary.
+            t = state_end
+            burst = not burst
+            state_end = t + float(
+                rng.exponential(mean_burst_s if burst else mean_calm_s)
+            )
+            continue
+        t += gap
+        out.append(ClusterRequest(req_id=len(out), arrival_s=t,
+                                  input_tokens=input_tokens,
+                                  output_tokens=output_tokens))
+    return out
+
+
+def diurnal_workload(
+    mean_rate_per_s: float,
+    n_requests: int,
+    period_s: float = 240.0,
+    swing: float = 0.8,
+    input_tokens: int = 32,
+    output_tokens: int = 64,
+    seed: int = 0,
+) -> List[ClusterRequest]:
+    """Sinusoidal day/night rate profile, sampled by thinning.
+
+    The instantaneous rate is
+    ``mean * (1 + swing * sin(2*pi*t/period))``; ``swing`` in [0, 1)
+    controls how deep the troughs go.  ``period_s`` is compressed from
+    24 h to something a simulation can cover.
+    """
+    if mean_rate_per_s <= 0 or n_requests < 1:
+        raise WorkloadError("need a positive mean rate and >= 1 request")
+    if not 0.0 <= swing < 1.0:
+        raise WorkloadError("swing must be in [0, 1)")
+    if period_s <= 0:
+        raise WorkloadError("period must be positive")
+    rng = np.random.default_rng(seed)
+    rate_max = mean_rate_per_s * (1.0 + swing)
+    t = 0.0
+    out: List[ClusterRequest] = []
+    while len(out) < n_requests:
+        t += float(rng.exponential(1.0 / rate_max))
+        rate_t = mean_rate_per_s * (
+            1.0 + swing * math.sin(2.0 * math.pi * t / period_s)
+        )
+        if float(rng.uniform()) * rate_max <= rate_t:
+            out.append(ClusterRequest(req_id=len(out), arrival_s=t,
+                                      input_tokens=input_tokens,
+                                      output_tokens=output_tokens))
+    return out
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One tenant's share of traffic and request-shape distribution.
+
+    Lengths are drawn from independent lognormals (the shape reported
+    for production LLM traces) parameterised by mean and coefficient of
+    variation, then clamped to ``[min_tokens, max_tokens]``.
+    """
+
+    name: str
+    weight: float = 1.0
+    mean_input_tokens: float = 64.0
+    mean_output_tokens: float = 64.0
+    cv_input: float = 0.5
+    cv_output: float = 0.5
+    min_tokens: int = 4
+    max_tokens: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise WorkloadError(f"tenant {self.name!r} needs a positive weight")
+        if min(self.mean_input_tokens, self.mean_output_tokens) < 1:
+            raise WorkloadError(f"tenant {self.name!r} mean lengths must be >= 1")
+        if min(self.cv_input, self.cv_output) < 0:
+            raise WorkloadError(f"tenant {self.name!r} CVs must be >= 0")
+        if not 1 <= self.min_tokens <= self.max_tokens:
+            raise WorkloadError(f"tenant {self.name!r} has an empty length range")
+
+    @classmethod
+    def from_dataset(
+        cls,
+        name: str,
+        dataset: str,
+        weight: float = 1.0,
+        mean_output_tokens: float = 64.0,
+        seed: int = 0,
+    ) -> "TenantProfile":
+        """Estimate the prompt-length profile from a repro.datasets pool.
+
+        Builds the named workload (``"wikitext2"`` or ``"longbench"``)
+        and fits the lognormal input profile to its pooled prompt
+        lengths — an offline stand-in for "replay this dataset's
+        prompts".
+        """
+        from repro.datasets import build_workload
+
+        pool = build_workload(dataset, seed=seed).pool
+        lengths = np.array([p.n_tokens for p in pool.prompts], dtype=float)
+        mean = float(lengths.mean())
+        cv = float(lengths.std() / mean) if mean > 0 else 0.0
+        return cls(name=name, weight=weight,
+                   mean_input_tokens=mean,
+                   mean_output_tokens=mean_output_tokens,
+                   cv_input=cv,
+                   max_tokens=int(lengths.max() * 2))
+
+    def _draw(self, rng: np.random.Generator, mean: float, cv: float) -> int:
+        if cv <= 0:
+            n = mean
+        else:
+            sigma = math.sqrt(math.log(1.0 + cv * cv))
+            mu = math.log(mean) - 0.5 * sigma * sigma
+            n = float(rng.lognormal(mu, sigma))
+        return int(min(max(round(n), self.min_tokens), self.max_tokens))
+
+    def sample_shape(self, rng: np.random.Generator) -> tuple:
+        """(input_tokens, output_tokens) for one request."""
+        return (
+            self._draw(rng, self.mean_input_tokens, self.cv_input),
+            self._draw(rng, self.mean_output_tokens, self.cv_output),
+        )
+
+
+#: A small default mix: chat (short in/medium out), summarisation
+#: (long in/short out) and batch analytics (long both ways).
+DEFAULT_TENANTS = (
+    TenantProfile("chat", weight=6.0, mean_input_tokens=48,
+                  mean_output_tokens=96, cv_input=0.6, cv_output=0.7),
+    TenantProfile("summarize", weight=3.0, mean_input_tokens=512,
+                  mean_output_tokens=48, cv_input=0.4, cv_output=0.4),
+    TenantProfile("analytics", weight=1.0, mean_input_tokens=768,
+                  mean_output_tokens=192, cv_input=0.3, cv_output=0.3),
+)
+
+
+def multi_tenant_workload(
+    rate_per_s: float,
+    n_requests: int,
+    tenants: Sequence[TenantProfile] = DEFAULT_TENANTS,
+    arrivals: str = "poisson",
+    seed: int = 0,
+    **arrival_kwargs,
+) -> List[ClusterRequest]:
+    """Weighted tenant mix over a Poisson or bursty arrival process.
+
+    ``arrivals`` selects the base process (``"poisson"`` or
+    ``"bursty"``); extra keyword arguments are forwarded to it (for
+    bursty, ``rate_per_s`` is the calm rate and ``rate_burst_per_s``
+    defaults to 4x calm).
+    """
+    if not tenants:
+        raise WorkloadError("need at least one tenant profile")
+    if arrivals == "poisson":
+        base = poisson_workload(rate_per_s, n_requests, seed=seed,
+                                **arrival_kwargs)
+    elif arrivals == "bursty":
+        arrival_kwargs.setdefault("rate_burst_per_s", 4.0 * rate_per_s)
+        base = bursty_workload(rate_per_s, n_requests=n_requests, seed=seed,
+                               **arrival_kwargs)
+    else:
+        raise WorkloadError(f"unknown arrival process {arrivals!r}")
+
+    rng = np.random.default_rng(seed + 1)
+    weights = np.array([t.weight for t in tenants], dtype=float)
+    weights /= weights.sum()
+    out: List[ClusterRequest] = []
+    for r in base:
+        tenant = tenants[int(rng.choice(len(tenants), p=weights))]
+        inp, outp = tenant.sample_shape(rng)
+        out.append(ClusterRequest(req_id=r.req_id, arrival_s=r.arrival_s,
+                                  input_tokens=inp, output_tokens=outp,
+                                  tenant=tenant.name))
+    return out
+
+
+def as_cluster_requests(requests: Sequence[ServeRequest]) -> List[ClusterRequest]:
+    """Upgrade plain engine requests to cluster requests (shared shapes)."""
+    out = []
+    for r in requests:
+        if isinstance(r, ClusterRequest):
+            out.append(r)
+        else:
+            out.append(ClusterRequest(req_id=r.req_id, arrival_s=r.arrival_s,
+                                      input_tokens=r.input_tokens,
+                                      output_tokens=r.output_tokens))
+    return out

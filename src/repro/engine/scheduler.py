@@ -67,25 +67,14 @@ class ServeRequest:
         return (self.finish_s - self.first_token_s) / (self.output_tokens - 1)
 
 
-def poisson_workload(
-    rate_per_s: float,
-    n_requests: int,
-    input_tokens: int = 32,
-    output_tokens: int = 64,
-    seed: int = 0,
-) -> List[ServeRequest]:
-    """Seeded Poisson arrival stream with fixed-shape requests."""
-    if rate_per_s <= 0 or n_requests < 1:
-        raise ExperimentError("need positive rate and >= 1 request")
-    rng = np.random.default_rng(seed)
-    t = 0.0
-    out = []
-    for i in range(n_requests):
-        t += float(rng.exponential(1.0 / rate_per_s))
-        out.append(ServeRequest(req_id=i, arrival_s=t,
-                                input_tokens=input_tokens,
-                                output_tokens=output_tokens))
-    return out
+def __getattr__(name: str):
+    # poisson_workload moved to repro.cluster.workload (the shared
+    # workload API); re-exported lazily to avoid an import cycle.
+    if name == "poisson_workload":
+        from repro.cluster.workload import poisson_workload
+
+        return poisson_workload
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass

@@ -4,7 +4,11 @@ import copy
 
 import pytest
 
-from repro.engine.scheduler import ContinuousBatchScheduler, poisson_workload
+from repro.engine.scheduler import (
+    ContinuousBatchScheduler,
+    ServeRequest,
+    poisson_workload,
+)
 from repro.hardware import get_device
 from repro.models import get_model
 from repro.quant.dtypes import Precision
@@ -65,3 +69,98 @@ def test_preemption_path_still_completes_everything():
     for r in report.requests:
         assert r.finish_s is not None
         assert r.ttft_s >= 0
+
+
+def _bytes_per_block(block_tokens: int = 16) -> int:
+    spec = get_model("llama").kv_cache_spec()
+    return spec.bytes_per_token_per_layer * spec.n_layers * block_tokens
+
+
+class TestAdmissionBoundary:
+    """Block-granular admission: exact fit admits, one block over rejects."""
+
+    def _cache(self, n_blocks: int, block_tokens: int = 16):
+        from repro.memsys.allocator import CachingAllocator
+        from repro.memsys.paged import PagedKVCache
+
+        spec = get_model("llama").kv_cache_spec()
+        pool = n_blocks * _bytes_per_block(block_tokens)
+        return PagedKVCache(spec, CachingAllocator(pool + 32 * 2**20), pool,
+                            block_tokens=block_tokens)
+
+    def test_admit_exactly_at_capacity(self):
+        cache = self._cache(n_blocks=4)
+        assert cache.can_admit(4 * 16)
+        cache.add_sequence(0, 4 * 16)
+        assert cache.free_blocks == 0
+
+    def test_reject_one_token_over_block_capacity(self):
+        cache = self._cache(n_blocks=4)
+        # 65 tokens round up to a fifth block: one block over the pool.
+        assert not cache.can_admit(4 * 16 + 1)
+        from repro.errors import OutOfMemoryError
+
+        with pytest.raises(OutOfMemoryError):
+            cache.add_sequence(0, 4 * 16 + 1)
+        # The failed admission must not leak blocks.
+        assert cache.free_blocks == 4
+        cache.add_sequence(1, 4 * 16)
+
+    def test_scheduler_serves_request_that_exactly_fills_pool(self):
+        # Final sequence length 16 + 48 = 64 tokens = exactly 4 blocks.
+        budget = 4 * _bytes_per_block()
+        reqs = [ServeRequest(req_id=0, arrival_s=0.0, input_tokens=16,
+                             output_tokens=48)]
+        report = sched(paged=True, budget=budget, max_batch=1).serve(reqs)
+        assert report.requests[0].finish_s is not None
+        assert report.requests[0].generated == 48
+
+
+class TestPreemption:
+    """preempt_youngest: the youngest sequence is evicted and recomputed."""
+
+    def _three_requests(self):
+        # Three identical 16-in/32-out sequences; r2 arrives a beat
+        # late.  A 7-block pool admits all three prompts, but when r0
+        # and r1 cross the 33-token block boundary in the same decode
+        # iteration the pool is dry and r2 — the youngest — is evicted.
+        # After r0/r1 finish, r2 re-runs from scratch (3 blocks <= 7).
+        return [
+            ServeRequest(req_id=0, arrival_s=0.0, input_tokens=16,
+                         output_tokens=32),
+            ServeRequest(req_id=1, arrival_s=0.0, input_tokens=16,
+                         output_tokens=32),
+            ServeRequest(req_id=2, arrival_s=0.1, input_tokens=16,
+                         output_tokens=32),
+        ]
+
+    def test_youngest_is_preempted_and_still_completes(self):
+        tight = sched(paged=True, budget=7 * _bytes_per_block(),
+                      max_batch=3).serve(self._three_requests())
+        r0, r1, r2 = tight.requests
+        assert all(r.generated == 32 for r in tight.requests)
+        # r2 has the same service demand and arrived only 0.1 s late;
+        # it finishes a full re-run after the others only because it
+        # was evicted and recomputed from scratch.
+        assert r2.finish_s > r0.finish_s + 1.0
+        assert r2.finish_s > r1.finish_s + 1.0
+
+    def test_preemption_recompute_costs_time(self):
+        tight = sched(paged=True, budget=7 * _bytes_per_block(),
+                      max_batch=3).serve(self._three_requests())
+        ample = sched(paged=True, budget=64 * _bytes_per_block(),
+                      max_batch=3).serve(self._three_requests())
+        assert all(r.finish_s is not None for r in ample.requests)
+        # Recompute-style preemption re-pays r2's prefill and decode.
+        assert tight.makespan_s > ample.makespan_s
+
+    def test_unpreemptable_oom_raises(self):
+        from repro.errors import OutOfMemoryError
+
+        # A single sequence outgrowing the whole pool has no victim to
+        # evict: the scheduler must surface the OOM, not loop.
+        reqs = [ServeRequest(req_id=0, arrival_s=0.0, input_tokens=16,
+                             output_tokens=256)]
+        with pytest.raises(OutOfMemoryError):
+            sched(paged=True, budget=2 * _bytes_per_block(),
+                  max_batch=1).serve(reqs)
