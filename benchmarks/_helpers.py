@@ -2,11 +2,30 @@
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.calibration import paperdata
+from repro.core.cache import ResultCache
 from repro.core.sweeps import batch_size_sweep, seq_len_sweep
 from repro.reporting import ascii_lines, compare_rows, deviation_summary, format_table
+
+#: On-disk result cache shared by every bench in (and across) sessions.
+#: The batch/seqlen sweeps overlap between tables (e.g. Table 4 and
+#: Fig 1 consume the same grid), so later benches replay earlier work
+#: from disk.  Content-addressed keys make stale hits impossible; set
+#: ``REPRO_BENCH_CACHE=0`` to force recomputation.
+_CACHE_DIR = Path(__file__).parent / ".cache"
+
+
+def bench_cache() -> Optional[ResultCache]:
+    if os.environ.get("REPRO_BENCH_CACHE", "1") == "0":
+        return None
+    return ResultCache(_CACHE_DIR)
+
+
+_shared_cache = bench_cache()
 
 
 def paper_perf_rows(table: Dict, x_name: str) -> List[Dict]:
@@ -75,7 +94,7 @@ def run_batch_sweep(workload: str, n_runs: int,
     out = []
     for m in models:
         res = batch_size_sweep(m, batch_sizes=batch_sizes, workload=workload,
-                               n_runs=n_runs)
+                               n_runs=n_runs, cache=_shared_cache)
         out.extend(sweep_rows(res, "batch_size", lambda r: r.batch_size))
     return out
 
@@ -86,7 +105,7 @@ def run_seqlen_sweep(workload: str, n_runs: int,
     out = []
     for m in models:
         res = seq_len_sweep(m, seq_lengths=seq_lengths, workload=workload,
-                            n_runs=n_runs)
+                            n_runs=n_runs, cache=_shared_cache)
         out.extend(sweep_rows(res, "seq_len", lambda r: r.gen.total_tokens))
     return out
 

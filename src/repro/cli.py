@@ -9,6 +9,8 @@ map onto the paper's experiments:
 - ``repro sweep batch|seqlen|quant|powermode --model llama`` — one of
   the §3 sweeps.
 - ``repro perplexity`` — Table 3.
+- ``repro study --jobs -1 --cache`` — the entire paper in one go, with
+  process fan-out and the on-disk result cache.
 - ``repro devices`` / ``repro models`` — list presets.
 """
 
@@ -148,6 +150,55 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_study(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.cache import ResultCache, default_cache_dir
+    from repro.core.study import run_full_study
+    from repro.reporting import format_table
+
+    cache = None
+    if args.cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    models = ([m.strip() for m in args.models.split(",") if m.strip()]
+              if args.models else None)
+
+    t0 = time.perf_counter()
+    results = run_full_study(
+        models=models,
+        n_runs=args.runs,
+        include_power_energy=not args.no_power_energy,
+        progress=not args.quiet,
+        jobs=args.jobs,
+        cache=cache,
+        fast_forward=not args.no_fast_forward,
+    )
+    elapsed = time.perf_counter() - t0
+
+    print(format_table(results.table1_footprints,
+                       title="Table 1: weights per precision (GB)"))
+    print(format_table(results.table3_perplexity,
+                       title="Table 3: perplexity by precision"))
+    for model, by_wl in results.batch_sweeps.items():
+        for wl, runs in by_wl.items():
+            print(format_table([r.as_row() for r in runs],
+                               title=f"batch-size sweep — {model} / {wl}"))
+    n_configs = sum(
+        len(runs)
+        for group in (results.batch_sweeps, results.seqlen_sweeps)
+        for by_wl in group.values() for runs in by_wl.values()
+    ) + sum(len(r) for r in results.quant_sweeps.values()) \
+      + sum(len(r) for r in results.power_mode_sweeps.values()) \
+      + sum(len(runs) for by_prec in results.power_energy_sweeps.values()
+            for runs in by_prec.values())
+    line = f"{n_configs} configurations in {elapsed:.2f}s (jobs={args.jobs or 1})"
+    if cache is not None:
+        s = cache.stats
+        line += f"; cache: {s.hits} hits / {s.misses} misses -> {cache.root}"
+    print(line)
+    return 0
+
+
 def _cmd_perplexity(args: argparse.Namespace) -> int:
     from repro.hardware import get_device
     from repro.perplexity import perplexity_table
@@ -190,6 +241,26 @@ def build_parser() -> argparse.ArgumentParser:
     ppl = sub.add_parser("perplexity", help="Table 3: perplexity by precision")
     ppl.add_argument("--device", default="jetson-orin-agx-64gb")
 
+    study = sub.add_parser("study", help="run the paper's full experiment matrix")
+    study.add_argument("--models", default=None,
+                       help="comma-separated model names (default: all four)")
+    study.add_argument("--runs", type=int, default=5,
+                       help="measured runs per configuration (paper: 5)")
+    study.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (-1 = all cores; default serial)")
+    study.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="reuse/populate the on-disk result cache")
+    study.add_argument("--cache-dir", default=None,
+                       help="cache directory (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro-edge-llm)")
+    study.add_argument("--no-power-energy", action="store_true",
+                       help="skip the §3.3 power/energy batch grids")
+    study.add_argument("--no-fast-forward", action="store_true",
+                       help="step decode token-by-token (debugging)")
+    study.add_argument("--quiet", action="store_true",
+                       help="suppress per-sweep progress lines")
+
     clu = sub.add_parser("cluster",
                          help="multi-device serving: trace -> router -> fleet")
     clu.add_argument("--devices",
@@ -224,6 +295,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "perplexity": _cmd_perplexity,
+    "study": _cmd_study,
     "cluster": _cmd_cluster,
 }
 

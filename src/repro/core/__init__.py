@@ -4,12 +4,24 @@
   :func:`run_experiment` (one configuration, paper protocol: warm-up +
   5 measured runs, OOM-safe).
 - :mod:`repro.core.sweeps` — the four §3 sweeps: batch size, sequence
-  length, quantization, power modes.
+  length, quantization, power modes (each with a ``*_sweep_specs``
+  grid builder).
 - :mod:`repro.core.study` — run the entire paper and collect every
-  table/figure's data in one call.
+  table/figure's data in one call (``jobs=N`` for process fan-out).
+- :mod:`repro.core.cache` — content-addressed on-disk result cache.
+- :mod:`repro.core.parallel` — deterministic process-pool spec runner.
 """
 
+from repro.core.cache import (
+    COST_MODEL_VERSION,
+    CacheStats,
+    ResultCache,
+    get_default_cache,
+    set_default_cache,
+    spec_fingerprint,
+)
 from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.parallel import run_specs
 from repro.core.sweeps import (
     batch_size_sweep,
     power_mode_sweep,
@@ -19,12 +31,19 @@ from repro.core.sweeps import (
 from repro.core.study import FullStudyResults, run_full_study
 
 __all__ = [
+    "COST_MODEL_VERSION",
+    "CacheStats",
     "ExperimentSpec",
     "FullStudyResults",
+    "ResultCache",
     "batch_size_sweep",
+    "get_default_cache",
     "power_mode_sweep",
     "quantization_sweep",
     "run_experiment",
     "run_full_study",
+    "run_specs",
     "seq_len_sweep",
+    "set_default_cache",
+    "spec_fingerprint",
 ]

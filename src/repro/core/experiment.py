@@ -54,29 +54,60 @@ def default_precision_for(model_name: str) -> Precision:
 def run_experiment(
     spec: ExperimentSpec,
     params: Optional[EngineCostParams] = None,
+    cache=None,
+    fast_forward: bool = True,
 ) -> RunResult:
-    """Execute one spec; OOM (at load or mid-run) yields ``oom=True``."""
+    """Execute one spec; OOM (at load or mid-run) yields ``oom=True``.
+
+    When ``cache`` is a :class:`~repro.core.cache.ResultCache` (or one is
+    installed process-wide via
+    :func:`~repro.core.cache.set_default_cache` / ``REPRO_CACHE_DIR``),
+    the result is looked up by content address before simulating and
+    stored after.  The cache key covers the spec, the effective cost
+    constants, and the cost-model version, so stale hits are impossible
+    without a hash collision.
+    """
+    from repro.calibration.constants import CALIBRATED_COST_PARAMS
+    from repro.core.cache import get_default_cache
+
+    if cache is None:
+        cache = get_default_cache()
+    # The engine falls back to the calibrated constants when params is
+    # None; the cache key must hash the constants actually in effect.
+    effective_params = params or CALIBRATED_COST_PARAMS
+    if cache is not None:
+        hit = cache.get(spec, effective_params)
+        if hit is not None:
+            return hit
+
     arch = get_model(spec.model)
     device = get_device(spec.device)
     mode = get_power_mode(spec.power_mode)
     try:
         engine = ServingEngine(device, arch, spec.precision, params=params,
-                               kv_mode=spec.kv_mode)
+                               kv_mode=spec.kv_mode,
+                               fast_forward=fast_forward)
     except OutOfMemoryError:
         # The model itself does not fit (e.g. FP32 Mistral on 64GB).
-        return RunResult(
+        result = RunResult(
             model=arch.name,
             device=device.name,
             precision=spec.precision,
             batch_size=spec.batch_size,
             gen=spec.gen,
             power_mode=spec.power_mode,
+            workload=spec.workload,
             oom=True,
         )
-    return engine.run(
-        batch_size=spec.batch_size,
-        gen=spec.gen,
-        n_runs=spec.n_runs,
-        warmup=spec.warmup,
-        power_mode=mode,
-    )
+    else:
+        result = engine.run(
+            batch_size=spec.batch_size,
+            gen=spec.gen,
+            n_runs=spec.n_runs,
+            warmup=spec.warmup,
+            power_mode=mode,
+        )
+        result.workload = spec.workload
+    if cache is not None:
+        cache.put(spec, effective_params, result)
+    return result

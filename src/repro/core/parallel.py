@@ -1,0 +1,110 @@
+"""Process-pool fan-out over independent experiment specs.
+
+Every :class:`~repro.core.experiment.ExperimentSpec` is a closed world —
+its own simulated device, allocator, and event loop — so a sweep is an
+embarrassingly parallel map.  :func:`run_specs` executes one, either
+serially or across a :class:`~concurrent.futures.ProcessPoolExecutor`,
+with three guarantees:
+
+- **Deterministic ordering**: results come back in spec order
+  regardless of worker scheduling (``Executor.map`` semantics).
+- **Determinism per worker**: workers re-seed the stdlib and numpy
+  global RNGs on startup; the simulator itself never consumes global
+  RNG state (every stochastic component derives its stream from
+  explicit seeds), so serial and parallel runs are bit-identical —
+  asserted by ``tests/engine/test_fast_forward.py``.
+- **Shared cache**: when a :class:`~repro.core.cache.ResultCache` is
+  given, workers consult and fill the same on-disk store (atomic
+  writes; no locking needed).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence
+
+from repro.core.experiment import ExperimentSpec
+from repro.engine.kernels import EngineCostParams
+from repro.engine.runtime import RunResult
+
+
+def _worker_init() -> None:  # pragma: no cover - runs in child processes
+    """Pin child-process global RNG state for reproducibility."""
+    import random
+
+    random.seed(0)
+    try:
+        import numpy as np
+
+        np.random.seed(0)
+    except ImportError:
+        pass
+
+
+def _run_one(args):
+    """Module-level worker target (must be picklable).
+
+    Returns ``(result, (hits, misses, puts))`` so the parent can fold
+    worker-side cache activity back into its own
+    :class:`~repro.core.cache.CacheStats`.
+    """
+    spec, params, cache_root, cache_version, fast_forward = args
+    from repro.core.cache import ResultCache
+    from repro.core.experiment import run_experiment
+
+    cache = (ResultCache(cache_root, version=cache_version)
+             if cache_root is not None else None)
+    result = run_experiment(spec, params=params, cache=cache,
+                            fast_forward=fast_forward)
+    stats = ((cache.stats.hits, cache.stats.misses, cache.stats.puts)
+             if cache is not None else (0, 0, 0))
+    return result, stats
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: None/0/1 -> serial, -1 -> all cores."""
+    if jobs is None or jobs == 0:
+        return 1
+    if jobs < 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def run_specs(
+    specs: Sequence[ExperimentSpec],
+    params: Optional[EngineCostParams] = None,
+    jobs: Optional[int] = None,
+    cache=None,
+    fast_forward: bool = True,
+) -> List[RunResult]:
+    """Run every spec; returns results in spec order.
+
+    ``jobs <= 1`` runs serially in-process (and still uses ``cache``).
+    ``jobs > 1`` fans out over a process pool; ``jobs = -1`` uses every
+    core.  Serial and parallel runs return identical results in
+    identical order.
+    """
+    from repro.core.experiment import run_experiment
+
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs <= 1 or len(specs) <= 1:
+        return [run_experiment(s, params=params, cache=cache,
+                               fast_forward=fast_forward) for s in specs]
+
+    cache_root = str(cache.root) if cache is not None else None
+    cache_version = cache.version if cache is not None else None
+    payload = [(s, params, cache_root, cache_version, fast_forward)
+               for s in specs]
+    chunksize = max(1, len(specs) // (n_jobs * 4))
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(specs)),
+                             initializer=_worker_init) as pool:
+        pairs = list(pool.map(_run_one, payload, chunksize=chunksize))
+    results = [r for r, _ in pairs]
+    if cache is not None:
+        # Fold worker-side cache activity back into the parent's stats.
+        for _, (hits, misses, puts) in pairs:
+            cache.stats.hits += hits
+            cache.stats.misses += misses
+            cache.stats.puts += puts
+    return results

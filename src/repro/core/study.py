@@ -3,15 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.calibration import paperdata
+from repro.core.experiment import ExperimentSpec
+from repro.core.parallel import run_specs
 from repro.core.sweeps import (
-    batch_quant_power_sweep,
-    batch_size_sweep,
-    power_mode_sweep,
-    quantization_sweep,
-    seq_len_sweep,
+    batch_quant_power_sweep_specs,
+    batch_size_sweep_specs,
+    power_mode_sweep_specs,
+    quantization_sweep_specs,
+    seq_len_sweep_specs,
 )
 from repro.engine.kernels import EngineCostParams
 from repro.engine.runtime import RunResult
@@ -37,18 +38,61 @@ class FullStudyResults:
     )
 
 
+#: (slot, model, sub-key) — addresses where one spec's result lands in
+#: :class:`FullStudyResults`.  sub-key is a workload name, a Precision,
+#: or None depending on the slot.
+_Slot = Tuple[str, str, object]
+
+
+def _build_plan(
+    models: List[str], n_runs: int, include_power_energy: bool
+) -> List[Tuple[_Slot, ExperimentSpec]]:
+    """Flatten every sweep of every model into one ordered spec list.
+
+    The order is exactly the order the pre-fan-out serial loop issued
+    experiments in, so a serial replay of the plan touches configurations
+    in the historical order (and progress output stays comparable).
+    """
+    plan: List[Tuple[_Slot, ExperimentSpec]] = []
+    for model in models:
+        for wl in ("wikitext2", "longbench"):
+            for spec in batch_size_sweep_specs(model, workload=wl, n_runs=n_runs):
+                plan.append((("batch", model, wl), spec))
+        for wl in ("wikitext2", "longbench"):
+            for spec in seq_len_sweep_specs(model, workload=wl, n_runs=n_runs):
+                plan.append((("seqlen", model, wl), spec))
+        for spec in quantization_sweep_specs(model, n_runs=n_runs):
+            plan.append((("quant", model, None), spec))
+        for spec in power_mode_sweep_specs(model, n_runs=n_runs):
+            plan.append((("power_mode", model, None), spec))
+        if include_power_energy:
+            grid = batch_quant_power_sweep_specs(model, n_runs=n_runs)
+            for prec, specs in grid.items():
+                for spec in specs:
+                    plan.append((("power_energy", model, prec), spec))
+    return plan
+
+
 def run_full_study(
     models: Optional[List[str]] = None,
     n_runs: int = 5,
     params: Optional[EngineCostParams] = None,
     include_power_energy: bool = True,
     progress: bool = False,
+    jobs: Optional[int] = None,
+    cache=None,
+    fast_forward: bool = True,
 ) -> FullStudyResults:
     """Reproduce every experiment of the paper on the simulated board.
 
     ``n_runs`` follows the paper's protocol (5); lower it for quick
     smoke runs.  With the default model set this covers Tables 1 and 3
     analytically and runs ~290 simulated configurations for the sweeps.
+
+    ``jobs`` fans the configurations out over a process pool
+    (``-1`` = all cores); results are identical to a serial run, in the
+    same order.  ``cache`` (a :class:`~repro.core.cache.ResultCache`)
+    skips configurations whose results are already on disk.
     """
     models = models or list(PAPER_MODELS)
     results = FullStudyResults()
@@ -62,28 +106,25 @@ def run_full_study(
         if progress:  # pragma: no cover - cosmetic
             print(msg, flush=True)
 
-    for model in models:
-        log(f"[study] batch-size sweep: {model}")
-        results.batch_sweeps[model] = {
-            wl: batch_size_sweep(model, workload=wl, n_runs=n_runs, params=params)
-            for wl in ("wikitext2", "longbench")
-        }
-        log(f"[study] sequence-length sweep: {model}")
-        results.seqlen_sweeps[model] = {
-            wl: seq_len_sweep(model, workload=wl, n_runs=n_runs, params=params)
-            for wl in ("wikitext2", "longbench")
-        }
-        log(f"[study] quantization sweep: {model}")
-        results.quant_sweeps[model] = quantization_sweep(
-            model, n_runs=n_runs, params=params
-        )
-        log(f"[study] power-mode sweep: {model}")
-        results.power_mode_sweeps[model] = power_mode_sweep(
-            model, n_runs=n_runs, params=params
-        )
-        if include_power_energy:
-            log(f"[study] power/energy x batch x precision: {model}")
-            results.power_energy_sweeps[model] = batch_quant_power_sweep(
-                model, n_runs=n_runs, params=params
-            )
+    plan = _build_plan(models, n_runs, include_power_energy)
+    log(f"[study] {len(plan)} configurations across {len(models)} model(s), "
+        f"jobs={jobs or 1}")
+    runs = run_specs([spec for _, spec in plan], params=params, jobs=jobs,
+                     cache=cache, fast_forward=fast_forward)
+
+    # Reassemble in plan order: append order within each slot list equals
+    # the order the specs were planned, which equals serial sweep order.
+    for (slot, model, sub), result in zip((s for s, _ in plan), runs):
+        if slot == "batch":
+            results.batch_sweeps.setdefault(model, {}).setdefault(sub, []).append(result)
+        elif slot == "seqlen":
+            results.seqlen_sweeps.setdefault(model, {}).setdefault(sub, []).append(result)
+        elif slot == "quant":
+            results.quant_sweeps.setdefault(model, []).append(result)
+        elif slot == "power_mode":
+            results.power_mode_sweeps.setdefault(model, []).append(result)
+        elif slot == "power_energy":
+            results.power_energy_sweeps.setdefault(model, {}).setdefault(sub, []).append(result)
+    if cache is not None:
+        log(f"[study] cache: {cache.stats.as_row()}")
     return results

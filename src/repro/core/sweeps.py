@@ -1,8 +1,15 @@
-"""The paper's four experiment sweeps (§3.1-§3.4)."""
+"""The paper's four experiment sweeps (§3.1-§3.4).
+
+Each sweep is split into a pure ``*_sweep_specs`` builder (the grid of
+:class:`~repro.core.experiment.ExperimentSpec` points, in paper order)
+and a thin runner that executes the specs.  The builders let the study
+harness collect every spec of every sweep into one flat plan and fan it
+out across processes (:mod:`repro.core.parallel`) while reassembling
+results in exactly the order the serial runners would produce.
+"""
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.calibration import paperdata
@@ -26,24 +33,65 @@ def _gen_for_seqlen(seq_len: int) -> GenerationSpec:
     return GenerationSpec(*split)
 
 
+def _run_all(specs: Sequence[ExperimentSpec],
+             params: Optional[EngineCostParams],
+             cache) -> List[RunResult]:
+    return [run_experiment(s, params=params, cache=cache) for s in specs]
+
+
+# -- §3.1: batch size ---------------------------------------------------------
+
+def batch_size_sweep_specs(
+    model: str,
+    batch_sizes: Sequence[int] = paperdata.BATCH_SIZES,
+    precision: Optional[Precision] = None,
+    workload: str = "wikitext2",
+    **spec_kwargs,
+) -> List[ExperimentSpec]:
+    """The spec grid of :func:`batch_size_sweep`, in sweep order."""
+    precision = precision or default_precision_for(model)
+    return [
+        ExperimentSpec(
+            model=model, precision=precision, batch_size=bs,
+            gen=DEFAULT_GEN, workload=workload, **spec_kwargs,
+        )
+        for bs in batch_sizes
+    ]
+
+
 def batch_size_sweep(
     model: str,
     batch_sizes: Sequence[int] = paperdata.BATCH_SIZES,
     precision: Optional[Precision] = None,
     workload: str = "wikitext2",
     params: Optional[EngineCostParams] = None,
+    cache=None,
     **spec_kwargs,
 ) -> List[RunResult]:
     """§3.1 / Fig 1/6/7, Tables 4-5: vary batch size at sl=96, MAXN."""
+    specs = batch_size_sweep_specs(model, batch_sizes, precision,
+                                   workload, **spec_kwargs)
+    return _run_all(specs, params, cache)
+
+
+# -- §3.2: sequence length ----------------------------------------------------
+
+def seq_len_sweep_specs(
+    model: str,
+    seq_lengths: Sequence[int] = paperdata.SEQ_LENGTHS,
+    precision: Optional[Precision] = None,
+    workload: str = "longbench",
+    **spec_kwargs,
+) -> List[ExperimentSpec]:
+    """The spec grid of :func:`seq_len_sweep`, in sweep order."""
     precision = precision or default_precision_for(model)
-    out: List[RunResult] = []
-    for bs in batch_sizes:
-        spec = ExperimentSpec(
-            model=model, precision=precision, batch_size=bs,
-            gen=DEFAULT_GEN, workload=workload, **spec_kwargs,
+    return [
+        ExperimentSpec(
+            model=model, precision=precision, batch_size=32,
+            gen=_gen_for_seqlen(sl), workload=workload, **spec_kwargs,
         )
-        out.append(run_experiment(spec, params=params))
-    return out
+        for sl in seq_lengths
+    ]
 
 
 def seq_len_sweep(
@@ -52,18 +100,32 @@ def seq_len_sweep(
     precision: Optional[Precision] = None,
     workload: str = "longbench",
     params: Optional[EngineCostParams] = None,
+    cache=None,
     **spec_kwargs,
 ) -> List[RunResult]:
     """§3.2 / Fig 2/8/9, Tables 6-7: vary sequence length at bs=32."""
-    precision = precision or default_precision_for(model)
-    out: List[RunResult] = []
-    for sl in seq_lengths:
-        spec = ExperimentSpec(
-            model=model, precision=precision, batch_size=32,
-            gen=_gen_for_seqlen(sl), workload=workload, **spec_kwargs,
+    specs = seq_len_sweep_specs(model, seq_lengths, precision,
+                                workload, **spec_kwargs)
+    return _run_all(specs, params, cache)
+
+
+# -- §3.3: quantization -------------------------------------------------------
+
+def quantization_sweep_specs(
+    model: str,
+    precisions: Iterable[Precision] = PRECISION_ORDER,
+    batch_size: int = 32,
+    gen: GenerationSpec = DEFAULT_GEN,
+    **spec_kwargs,
+) -> List[ExperimentSpec]:
+    """The spec grid of :func:`quantization_sweep`, in sweep order."""
+    return [
+        ExperimentSpec(
+            model=model, precision=prec, batch_size=batch_size,
+            gen=gen, **spec_kwargs,
         )
-        out.append(run_experiment(spec, params=params))
-    return out
+        for prec in precisions
+    ]
 
 
 def quantization_sweep(
@@ -72,21 +134,36 @@ def quantization_sweep(
     batch_size: int = 32,
     gen: GenerationSpec = DEFAULT_GEN,
     params: Optional[EngineCostParams] = None,
+    cache=None,
     **spec_kwargs,
 ) -> List[RunResult]:
     """§3.3 / Fig 3/11: FP32->INT4 at bs=32, sl=96 (OOM cells included)."""
-    out: List[RunResult] = []
-    for prec in precisions:
-        spec = ExperimentSpec(
-            model=model, precision=prec, batch_size=batch_size,
-            gen=gen, **spec_kwargs,
-        )
-        out.append(run_experiment(spec, params=params))
-    return out
+    specs = quantization_sweep_specs(model, precisions, batch_size,
+                                     gen, **spec_kwargs)
+    return _run_all(specs, params, cache)
 
 
 #: Paper Table 2 mode names, in paper order.
 POWER_MODES = ("MAXN", "A", "B", "C", "D", "E", "F", "G", "H")
+
+
+# -- §3.4: power modes --------------------------------------------------------
+
+def power_mode_sweep_specs(
+    model: str,
+    modes: Sequence[str] = POWER_MODES,
+    precision: Optional[Precision] = None,
+    **spec_kwargs,
+) -> List[ExperimentSpec]:
+    """The spec grid of :func:`power_mode_sweep`, in sweep order."""
+    precision = precision or default_precision_for(model)
+    return [
+        ExperimentSpec(
+            model=model, precision=precision, batch_size=32,
+            gen=DEFAULT_GEN, power_mode=mode, **spec_kwargs,
+        )
+        for mode in modes
+    ]
 
 
 def power_mode_sweep(
@@ -94,18 +171,33 @@ def power_mode_sweep(
     modes: Sequence[str] = POWER_MODES,
     precision: Optional[Precision] = None,
     params: Optional[EngineCostParams] = None,
+    cache=None,
     **spec_kwargs,
 ) -> List[RunResult]:
     """§3.4 / Fig 5: the nine power modes at bs=32, sl=96."""
-    precision = precision or default_precision_for(model)
-    out: List[RunResult] = []
-    for mode in modes:
-        spec = ExperimentSpec(
-            model=model, precision=precision, batch_size=32,
-            gen=DEFAULT_GEN, power_mode=mode, **spec_kwargs,
-        )
-        out.append(run_experiment(spec, params=params))
-    return out
+    specs = power_mode_sweep_specs(model, modes, precision, **spec_kwargs)
+    return _run_all(specs, params, cache)
+
+
+# -- §3.3: power/energy across batch sizes ------------------------------------
+
+def batch_quant_power_sweep_specs(
+    model: str,
+    precisions: Iterable[Precision] = (Precision.FP16, Precision.INT8, Precision.INT4),
+    batch_sizes: Sequence[int] = paperdata.BATCH_SIZES,
+    **spec_kwargs,
+) -> Dict[Precision, List[ExperimentSpec]]:
+    """The spec grid of :func:`batch_quant_power_sweep`, in sweep order."""
+    return {
+        prec: [
+            ExperimentSpec(
+                model=model, precision=prec, batch_size=bs,
+                gen=DEFAULT_GEN, **spec_kwargs,
+            )
+            for bs in batch_sizes
+        ]
+        for prec in precisions
+    }
 
 
 def batch_quant_power_sweep(
@@ -113,17 +205,11 @@ def batch_quant_power_sweep(
     precisions: Iterable[Precision] = (Precision.FP16, Precision.INT8, Precision.INT4),
     batch_sizes: Sequence[int] = paperdata.BATCH_SIZES,
     params: Optional[EngineCostParams] = None,
+    cache=None,
     **spec_kwargs,
 ) -> Dict[Precision, List[RunResult]]:
     """§3.3 / Fig 4/10: power & energy across batch sizes per precision."""
-    out: Dict[Precision, List[RunResult]] = {}
-    for prec in precisions:
-        runs: List[RunResult] = []
-        for bs in batch_sizes:
-            spec = ExperimentSpec(
-                model=model, precision=prec, batch_size=bs,
-                gen=DEFAULT_GEN, **spec_kwargs,
-            )
-            runs.append(run_experiment(spec, params=params))
-        out[prec] = runs
-    return out
+    grid = batch_quant_power_sweep_specs(model, precisions, batch_sizes,
+                                         **spec_kwargs)
+    return {prec: _run_all(specs, params, cache)
+            for prec, specs in grid.items()}

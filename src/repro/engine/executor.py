@@ -44,6 +44,21 @@ class BatchExecutor:
     kv_mode:
         ``"dynamic"`` (HF DynamicCache, the paper's setup) or
         ``"static"`` (pre-allocated; ablation).
+    fast_forward:
+        If True (default), decode steps are collapsed: instead of one
+        simulated event per generated token, steps are advanced in plain
+        Python up to the next scheduled simulation event (power-sampler
+        tick, end of batch) and a single absolute-time timeout covers
+        the whole stretch.  Timestamps are accumulated in the same float
+        order as the step-by-step path and scheduled via
+        :meth:`~repro.sim.environment.Environment.timeout_at`, so every
+        observable — latencies, sampler readings, energy, memory peaks —
+        is bit-identical to ``fast_forward=False`` (property-tested in
+        ``tests/engine/test_fast_forward.py``).  Disable when another
+        process may interrupt this one mid-batch: fast-forward commits
+        KV/allocator state ahead of the simulated clock within a
+        stretch, which is only safe while no other process can observe
+        or preempt the executor between events.
     eager_score_buffers:
         If True (legacy eager-attention models, i.e. Phi-2), hold
         per-layer full-context score buffers whose footprint grows
@@ -60,6 +75,7 @@ class BatchExecutor:
         kv_mode: str = "dynamic",
         eager_score_buffers: Optional[bool] = None,
         workspace_bytes: int = 0,
+        fast_forward: bool = True,
     ):
         self.timer = timer
         self.allocator = allocator
@@ -69,6 +85,7 @@ class BatchExecutor:
             eager_score_buffers = arch.attention_impl == "eager"
         self.eager_score_buffers = eager_score_buffers
         self.workspace_bytes = int(workspace_bytes)
+        self.fast_forward = fast_forward
 
     # -- memory helpers ------------------------------------------------------
     def _eager_bytes(self, batch_size: int, context: int) -> int:
@@ -132,25 +149,73 @@ class BatchExecutor:
                 trace.record(env.now, "prefill", seconds=cost.seconds, batch=bs)
 
             # ---- decode ----
-            for _ in range(gen.output_tokens):
-                context = kv.seq_len
-                concat = kv.concat_traffic_bytes()
-                kv.append_token()
-                if self.eager_score_buffers:
-                    assert eager_buf is not None
-                    # Free-then-alloc: the runtime reuses the buffer in
-                    # place when it can; only the footprint grows.  Clear
-                    # the reference first so an OOM here cannot cause a
-                    # double free in the cleanup path.
-                    buf, eager_buf = eager_buf, None
-                    self.allocator.free(buf)
-                    eager_buf = self.allocator.alloc(
-                        self._eager_bytes(bs, kv.seq_len), tag="eager-scores"
-                    )
-                cost = self.timer.decode_step(bs, context, concat_bytes=concat)
-                state.set("decode", _util_of(cost))
-                yield env.timeout(cost.seconds)
-                result.step_seconds.append(cost.seconds)
+            if self.fast_forward:
+                # Collapse decode steps between scheduled events: advance
+                # KV/allocator state and accumulate step times in plain
+                # Python, then yield one absolute-time timeout per
+                # stretch.  The stretch ends at the step whose interval
+                # contains the next heap event (a power-sampler tick), so
+                # the sampler always reads the utilization of the step in
+                # progress at its tick — exactly as step-by-step would.
+                # Timestamps accumulate left-to-right from env.now, the
+                # same float-addition order the per-token path produces.
+                remaining = gen.output_tokens
+                while remaining:
+                    horizon = env.peek()
+                    t = env.now
+                    cost = None
+                    pending_oom: Optional[OutOfMemoryError] = None
+                    while remaining:
+                        try:
+                            context = kv.seq_len
+                            concat = kv.concat_traffic_bytes()
+                            kv.append_token()
+                            if self.eager_score_buffers:
+                                assert eager_buf is not None
+                                buf, eager_buf = eager_buf, None
+                                self.allocator.free(buf)
+                                eager_buf = self.allocator.alloc(
+                                    self._eager_bytes(bs, kv.seq_len),
+                                    tag="eager-scores",
+                                )
+                        except OutOfMemoryError as exc:
+                            # Surface the OOM only after simulated time
+                            # has caught up with the completed steps, so
+                            # the recorded latency matches step-by-step.
+                            pending_oom = exc
+                            break
+                        cost = self.timer.decode_step(bs, context,
+                                                      concat_bytes=concat)
+                        t = t + cost.seconds
+                        result.step_seconds.append(cost.seconds)
+                        remaining -= 1
+                        if t >= horizon:
+                            break
+                    if cost is not None:
+                        state.set("decode", _util_of(cost))
+                        yield env.timeout_at(t)
+                    if pending_oom is not None:
+                        raise pending_oom
+            else:
+                for _ in range(gen.output_tokens):
+                    context = kv.seq_len
+                    concat = kv.concat_traffic_bytes()
+                    kv.append_token()
+                    if self.eager_score_buffers:
+                        assert eager_buf is not None
+                        # Free-then-alloc: the runtime reuses the buffer in
+                        # place when it can; only the footprint grows.  Clear
+                        # the reference first so an OOM here cannot cause a
+                        # double free in the cleanup path.
+                        buf, eager_buf = eager_buf, None
+                        self.allocator.free(buf)
+                        eager_buf = self.allocator.alloc(
+                            self._eager_bytes(bs, kv.seq_len), tag="eager-scores"
+                        )
+                    cost = self.timer.decode_step(bs, context, concat_bytes=concat)
+                    state.set("decode", _util_of(cost))
+                    yield env.timeout(cost.seconds)
+                    result.step_seconds.append(cost.seconds)
             result.decode_s = sum(result.step_seconds)
             result.latency_s = env.now - start
         except OutOfMemoryError:

@@ -103,7 +103,18 @@ class StepCost:
 
 
 class StepTimer:
-    """Computes :class:`StepCost` for a (model, device, precision) triple."""
+    """Computes :class:`StepCost` for a (model, device, precision) triple.
+
+    Step costs are memoized per (phase, batch, context, concat-traffic,
+    device operating point): the cost model is a pure function of those
+    inputs, and the measurement protocol replays identical batches
+    ``warmup + n_runs`` times, so all but the first batch resolve every
+    step from the memo.  The operating point token captures the clock
+    and core state that :func:`~repro.power.modes.apply_power_mode`
+    mutates, so a timer reused across power modes never returns a stale
+    cost.  The underlying FLOP/byte counts are additionally shared
+    across timers via ``functools.lru_cache`` in :mod:`repro.models.flops`.
+    """
 
     def __init__(
         self,
@@ -117,6 +128,37 @@ class StepTimer:
         self.precision = precision
         self.params = params or EngineCostParams()
         self.weight_bytes = weight_bytes(arch, precision)
+        self._memo: dict = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    def _operating_point(self) -> tuple:
+        """Everything :meth:`_combine` reads from mutable device state."""
+        dev = self.device
+        return (dev.gpu.freq_hz, dev.memory.freq_hz,
+                dev.cpu.freq_hz, dev.cpu.online_cores)
+
+    def _memoized(self, is_prefill: bool, batch_size: int, n_ctx: int,
+                  concat_bytes: float) -> StepCost:
+        key = (is_prefill, batch_size, n_ctx, concat_bytes,
+               self._operating_point())
+        cost = self._memo.get(key)
+        if cost is not None:
+            self.memo_hits += 1
+            return cost
+        self.memo_misses += 1
+        if is_prefill:
+            counts = prefill_counts(self.arch, batch_size, n_ctx,
+                                    self.weight_bytes)
+            cost = self._combine(counts, batch_size * n_ctx,
+                                 concat_bytes=0.0, is_prefill=True)
+        else:
+            counts = decode_step_counts(self.arch, batch_size, n_ctx,
+                                        self.weight_bytes)
+            cost = self._combine(counts, batch_size,
+                                 concat_bytes=concat_bytes, is_prefill=False)
+        self._memo[key] = cost
+        return cost
 
     # -- internals -----------------------------------------------------------
     def _combine(self, counts: PhaseCounts, n_tokens: int,
@@ -209,19 +251,9 @@ class StepTimer:
     # -- public --------------------------------------------------------------
     def prefill(self, batch_size: int, prompt_tokens: int) -> StepCost:
         """Cost of ingesting the prompt for the whole batch."""
-        counts = prefill_counts(
-            self.arch, batch_size, prompt_tokens, self.weight_bytes
-        )
-        return self._combine(
-            counts, batch_size * prompt_tokens, concat_bytes=0.0, is_prefill=True
-        )
+        return self._memoized(True, batch_size, prompt_tokens, 0.0)
 
     def decode_step(self, batch_size: int, context_len: int,
                     concat_bytes: float = 0.0) -> StepCost:
         """Cost of one decode iteration at the given context length."""
-        counts = decode_step_counts(
-            self.arch, batch_size, context_len, self.weight_bytes
-        )
-        return self._combine(
-            counts, batch_size, concat_bytes=concat_bytes, is_prefill=False
-        )
+        return self._memoized(False, batch_size, context_len, concat_bytes)

@@ -52,6 +52,9 @@ class RunResult:
     batch_size: int
     gen: GenerationSpec
     power_mode: str
+    #: Dataset label of the experiment spec ("" when the engine is
+    #: driven directly without a spec).
+    workload: str = ""
     oom: bool = False
     mean_latency_s: float = 0.0
     throughput_tok_s: float = 0.0
@@ -63,9 +66,16 @@ class RunResult:
     batches: List[BatchResult] = field(default_factory=list)
 
     def as_row(self) -> dict:
-        """Flat dict for tables/CSV."""
+        """Flat dict for tables/CSV.
+
+        Includes ``device`` and ``workload`` so rows from mixed-device
+        sweeps (device ladders, cluster fleets) and mixed-dataset runs
+        stay distinguishable in one CSV.
+        """
         return {
             "model": self.model,
+            "device": self.device,
+            "workload": self.workload,
             "precision": self.precision.value,
             "power_mode": self.power_mode,
             "batch_size": self.batch_size,
@@ -97,6 +107,7 @@ class ServingEngine:
         kv_mode: str = "dynamic",
         power_model: Optional[PowerModel] = None,
         sample_period_s: float = 2.0,
+        fast_forward: bool = True,
     ):
         # Imported lazily: calibration constants are themselves expressed
         # as EngineCostParams, so a module-level import would be circular.
@@ -109,6 +120,7 @@ class ServingEngine:
         self.kv_mode = kv_mode
         self.power_model = power_model or PowerModel()
         self.sample_period_s = sample_period_s
+        self.fast_forward = fast_forward
 
         # GC tuning mirrors a caching allocator under moderate pressure:
         # the fraction threshold bounds churn relative to live tensors,
@@ -180,6 +192,7 @@ class ServingEngine:
             self.allocator,
             kv_mode=self.kv_mode,
             workspace_bytes=self._workspace_bytes(batch_size),
+            fast_forward=self.fast_forward,
         )
 
         env = Environment()

@@ -7,7 +7,7 @@ from itertools import count
 from typing import Any, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.sim.events import Event, Interrupt, Timeout
+from repro.sim.events import AbsoluteTimeout, Event, Interrupt, Timeout
 
 ProcessGenerator = Generator[Event, Any, Any]
 
@@ -130,6 +130,10 @@ class Environment:
         """Create an event firing ``delay`` seconds from now."""
         return Timeout(self, delay, value)
 
+    def timeout_at(self, when: float, value: Any = None) -> AbsoluteTimeout:
+        """Create an event firing at absolute sim time ``when`` (>= now)."""
+        return AbsoluteTimeout(self, when, value)
+
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Start a process from a generator; returns its completion event."""
         return Process(self, generator, name=name)
@@ -137,10 +141,23 @@ class Environment:
     # -- scheduling/execution ----------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0) -> None:
         """Put a triggered event on the heap ``delay`` seconds from now."""
+        self.schedule_at(event, self._now + delay)
+
+    def schedule_at(self, event: Event, when: float) -> None:
+        """Put a triggered event on the heap at absolute time ``when``.
+
+        All scheduling funnels through here so every event gets its
+        tie-break counter from the same :func:`itertools.count` — events
+        with equal timestamps always fire in the order they were
+        scheduled, whether they came from relative timeouts, absolute
+        timeouts, or immediate (zero-delay) events.
+        """
         if event._scheduled:
             raise SimulationError("event scheduled twice")
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
         event._scheduled = True
-        heapq.heappush(self._heap, (self._now + delay, next(self._counter), event))
+        heapq.heappush(self._heap, (when, next(self._counter), event))
 
     def step(self) -> None:
         """Process the single next event."""

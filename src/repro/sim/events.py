@@ -123,6 +123,34 @@ class Timeout(Event):
         super()._run_callbacks()
 
 
+class AbsoluteTimeout(Event):
+    """An event that fires at an *absolute* simulated time.
+
+    ``env.timeout(delay)`` schedules at ``now + delay``, which re-rounds
+    in floating point.  Fast-forward paths that must land on a timestamp
+    computed elsewhere (e.g. the exact float the step-by-step path would
+    have reached) use this to schedule at that timestamp bit-for-bit.
+    """
+
+    __slots__ = ("at", "_fire_value")
+
+    def __init__(self, env: "Environment", when: float, value: Any = None):
+        when = float(when)
+        if when < env.now:
+            raise SimulationError(
+                f"absolute timeout at {when!r} is before current time {env.now!r}"
+            )
+        super().__init__(env)
+        self.at = when
+        self._fire_value = value
+        env.schedule_at(self, when)
+
+    def _run_callbacks(self) -> None:
+        if self._value is PENDING:
+            self._value = self._fire_value
+        super()._run_callbacks()
+
+
 class _Condition(Event):
     """Base for AllOf/AnyOf: waits on a set of child events."""
 

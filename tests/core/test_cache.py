@@ -1,0 +1,141 @@
+"""Content-addressed result cache: keys, roundtrips, invalidation."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.calibration.constants import CALIBRATED_COST_PARAMS
+from repro.core.cache import (
+    COST_MODEL_VERSION,
+    CACHE_DIR_ENV,
+    ResultCache,
+    get_default_cache,
+    set_default_cache,
+    spec_fingerprint,
+)
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.quant.dtypes import Precision
+
+SPEC = ExperimentSpec(model="MS-Phi2", batch_size=2, n_runs=1)
+PARAMS = CALIBRATED_COST_PARAMS
+
+
+def test_fingerprint_is_stable_and_spec_sensitive():
+    a = spec_fingerprint(SPEC, PARAMS)
+    assert a == spec_fingerprint(SPEC, PARAMS)
+    assert len(a) == 64 and int(a, 16) >= 0
+    # Every spec field participates in the key.
+    variants = [
+        ExperimentSpec(model="Llama3", batch_size=2, n_runs=1),
+        ExperimentSpec(model="MS-Phi2", batch_size=4, n_runs=1),
+        ExperimentSpec(model="MS-Phi2", batch_size=2, n_runs=2),
+        ExperimentSpec(model="MS-Phi2", batch_size=2, n_runs=1,
+                       precision=Precision.INT8),
+        ExperimentSpec(model="MS-Phi2", batch_size=2, n_runs=1,
+                       power_mode="H"),
+        ExperimentSpec(model="MS-Phi2", batch_size=2, n_runs=1,
+                       workload="longbench"),
+        ExperimentSpec(model="MS-Phi2", batch_size=2, n_runs=1,
+                       kv_mode="static"),
+    ]
+    keys = {spec_fingerprint(s, PARAMS) for s in variants}
+    assert len(keys) == len(variants) and a not in keys
+
+
+def test_fingerprint_invalidates_on_params_and_version():
+    base = spec_fingerprint(SPEC, PARAMS)
+    assert spec_fingerprint(SPEC, PARAMS.with_(bw_scale=0.9)) != base
+    assert spec_fingerprint(SPEC, PARAMS, version="other") != base
+
+
+def test_roundtrip_and_stats(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get(SPEC, PARAMS) is None
+    assert cache.stats.misses == 1 and cache.stats.hits == 0
+
+    result = run_experiment(SPEC)
+    cache.put(SPEC, PARAMS, result)
+    assert len(cache) == 1 and cache.stats.puts == 1
+
+    got = cache.get(SPEC, PARAMS)
+    assert got is not None and cache.stats.hits == 1
+    assert got.as_row() == result.as_row()
+    assert got.mean_latency_s == result.mean_latency_s
+    assert got.energy_j == result.energy_j
+    assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, PARAMS, run_experiment(SPEC))
+    path = cache._path_for(cache.key_for(SPEC, PARAMS))
+    path.write_bytes(b"not a pickle")
+    assert cache.get(SPEC, PARAMS) is None
+
+
+def test_clear_removes_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, PARAMS, run_experiment(SPEC))
+    assert cache.clear() == 1
+    assert len(cache) == 0
+
+
+def test_run_experiment_uses_and_fills_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    first = run_experiment(SPEC, cache=cache)
+    assert cache.stats.misses == 1 and cache.stats.puts == 1
+    second = run_experiment(SPEC, cache=cache)
+    assert cache.stats.hits == 1
+    assert second.as_row() == first.as_row()
+    assert second.workload == SPEC.workload
+
+
+def test_different_params_never_hit_stale_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_experiment(SPEC, cache=cache)
+    other = PARAMS.with_(host_step_s=PARAMS.host_step_s * 2)
+    res = run_experiment(SPEC, params=other, cache=cache)
+    assert cache.stats.hits == 0 and cache.stats.misses == 2
+    baseline = run_experiment(SPEC)
+    assert res.mean_latency_s > baseline.mean_latency_s
+
+    # A version bump orphans every existing entry too.
+    stale = ResultCache(tmp_path, version=COST_MODEL_VERSION + ".bump")
+    assert stale.get(SPEC, PARAMS) is None
+
+
+def test_default_cache_resolution(tmp_path, monkeypatch):
+    set_default_cache(None)
+    try:
+        assert get_default_cache() is None
+        installed = ResultCache(tmp_path)
+        set_default_cache(installed)
+        assert get_default_cache() is installed
+        # run_experiment picks the default up without an explicit cache.
+        run_experiment(SPEC)
+        assert installed.stats.puts == 1
+    finally:
+        set_default_cache(None)
+
+
+def test_env_var_enables_default_cache(tmp_path, monkeypatch):
+    import repro.core.cache as cache_mod
+
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "envcache"))
+    monkeypatch.setattr(cache_mod, "_default_cache", None)
+    monkeypatch.setattr(cache_mod, "_default_resolved", False)
+    try:
+        cache = get_default_cache()
+        assert cache is not None
+        assert cache.root == tmp_path / "envcache"
+    finally:
+        set_default_cache(None)
+
+
+def test_cached_result_pickles_standalone(tmp_path):
+    # Workers exchange RunResults across process boundaries.
+    result = run_experiment(SPEC)
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone.as_row() == result.as_row()

@@ -1,0 +1,150 @@
+"""Decode fast-forward must be observationally invisible.
+
+The fast path collapses per-token decode events into one absolute-time
+timeout per inter-event stretch.  Its contract is *bit-identical*
+results: every latency, per-step duration, power sample, energy
+integral, and memory milestone must match the step-by-step execution —
+not approximately, exactly, because timestamps are accumulated in the
+same float-addition order and scheduled at absolute times.
+
+The suite runs both paths across precisions, power modes, batch sizes,
+generation lengths, sampler-period edge cases, and an OOM
+configuration, and also asserts serial == parallel for the process
+fan-out of :mod:`repro.core.parallel`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.parallel import run_specs
+from repro.engine.request import GenerationSpec
+from repro.engine.runtime import RunResult, ServingEngine
+from repro.hardware.device import get_device
+from repro.models.zoo import get_model
+from repro.power.modes import get_power_mode
+from repro.quant.dtypes import Precision
+
+
+def _run(fast_forward: bool, *, model="MS-Phi2", precision=Precision.FP16,
+         batch_size=4, gen=GenerationSpec(16, 48), power_mode="MAXN",
+         n_runs=2, sample_period_s=2.0) -> RunResult:
+    engine = ServingEngine(
+        get_device("jetson-orin-agx-64gb"), get_model(model), precision,
+        sample_period_s=sample_period_s, fast_forward=fast_forward,
+    )
+    return engine.run(batch_size=batch_size, gen=gen, n_runs=n_runs,
+                      power_mode=get_power_mode(power_mode))
+
+
+def assert_identical(a: RunResult, b: RunResult) -> None:
+    """Every observable equal — floats bit-for-bit, not approximately."""
+    assert a.oom == b.oom
+    assert a.mean_latency_s == b.mean_latency_s
+    assert a.throughput_tok_s == b.throughput_tok_s
+    assert a.median_power_w == b.median_power_w
+    assert a.energy_j == b.energy_j
+    assert a.model_gb == b.model_gb
+    assert a.incremental_gb == b.incremental_gb
+    assert a.total_gb == b.total_gb
+    assert len(a.batches) == len(b.batches)
+    for ba, bb in zip(a.batches, b.batches):
+        assert ba.oom == bb.oom
+        assert ba.latency_s == bb.latency_s
+        assert ba.prefill_s == bb.prefill_s
+        assert ba.decode_s == bb.decode_s
+        assert ba.step_seconds == bb.step_seconds
+
+
+CONFIGS = [
+    pytest.param({}, id="default"),
+    pytest.param({"model": "Llama3"}, id="llama"),
+    pytest.param({"precision": Precision.INT8}, id="int8"),
+    pytest.param({"precision": Precision.INT4}, id="int4"),
+    pytest.param({"power_mode": "H"}, id="powermode-H"),
+    pytest.param({"power_mode": "E"}, id="powermode-E"),
+    pytest.param({"batch_size": 128}, id="big-batch"),
+    pytest.param({"gen": GenerationSpec(128, 384)}, id="long-gen"),
+    pytest.param({"gen": GenerationSpec(1, 1)}, id="one-token"),
+    # Sampler-period edges: ticks denser than steps (many events inside
+    # one decode stretch) and a period that lands mid-step repeatedly.
+    pytest.param({"sample_period_s": 0.013}, id="dense-sampler"),
+    pytest.param({"sample_period_s": 0.0503, "gen": GenerationSpec(8, 96)},
+                 id="odd-sampler"),
+]
+
+
+@pytest.mark.parametrize("overrides", CONFIGS)
+def test_fast_forward_is_bit_identical(overrides):
+    slow = _run(False, **overrides)
+    fast = _run(True, **overrides)
+    assert_identical(slow, fast)
+
+
+def test_fast_forward_identical_under_oom():
+    # Phi-2's eager score buffers blow up with context: bs=32 at
+    # sl=1024 OOMs mid-decode on the 64 GB board (the paper's OOM cell).
+    over = dict(model="MS-Phi2", batch_size=32, gen=GenerationSpec(256, 768))
+    slow = _run(False, **over)
+    fast = _run(True, **over)
+    assert slow.oom, "expected this configuration to OOM"
+    assert_identical(slow, fast)
+
+
+def test_fast_forward_runs_fewer_events():
+    """The fast path must actually collapse events, not just match."""
+    from repro.engine.executor import BatchExecutor
+    from repro.engine.state import EngineState
+    from repro.memsys.allocator import CachingAllocator
+    from repro.engine.kernels import StepTimer
+    from repro.engine.request import BatchRequest
+    from repro.sim.environment import Environment
+
+    def count_yields(fast_forward):
+        env = Environment()
+        timer = StepTimer(get_model("Llama3"),
+                          get_device("jetson-orin-agx-64gb"), Precision.FP16)
+        ex = BatchExecutor(timer, CachingAllocator(int(60e9)),
+                           fast_forward=fast_forward)
+        gen = ex.run(env, BatchRequest(batch_size=2, gen=GenerationSpec(8, 64)),
+                     EngineState())
+        n = 0
+        try:
+            ev = next(gen)
+            while True:
+                n += 1
+                env.run(until=ev)
+                ev = gen.send(ev._value)
+        except StopIteration:
+            pass
+        return n
+
+    slow, fast = count_yields(False), count_yields(True)
+    assert slow == 1 + 64  # prefill + one event per decode step
+    # No sampler in this env, so the whole decode collapses to one event.
+    assert fast == 2
+
+
+def test_run_experiment_fast_forward_flag_matches():
+    spec = ExperimentSpec(model="Mistral-Base", precision=Precision.INT4,
+                          batch_size=8, n_runs=2)
+    assert_identical(run_experiment(spec, fast_forward=False),
+                     run_experiment(spec, fast_forward=True))
+
+
+def test_serial_vs_parallel_study_identical():
+    specs = [
+        ExperimentSpec(model="MS-Phi2", batch_size=2, n_runs=1),
+        ExperimentSpec(model="MS-Phi2", batch_size=4, n_runs=1),
+        ExperimentSpec(model="Llama3", precision=Precision.INT8,
+                       batch_size=2, n_runs=1),
+        ExperimentSpec(model="MS-Phi2", power_mode="H", batch_size=2,
+                       n_runs=1),
+    ]
+    serial = run_specs(specs, jobs=1)
+    parallel = run_specs(specs, jobs=2)
+    assert [r.model for r in parallel] == [r.model for r in serial]
+    for a, b in zip(serial, parallel):
+        assert_identical(a, b)
+        assert a.as_row() == b.as_row()

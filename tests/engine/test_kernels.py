@@ -119,3 +119,47 @@ class TestParams:
     def test_with_override(self):
         p = EngineCostParams().with_(bw_scale=0.9)
         assert p.bw_scale == 0.9
+
+
+class TestStepCostMemoization:
+    def test_repeat_queries_hit_the_memo(self, timer):
+        a = timer.decode_step(32, 64, concat_bytes=1024.0)
+        misses = timer.memo_misses
+        b = timer.decode_step(32, 64, concat_bytes=1024.0)
+        assert b is a  # memoized object, not a recomputation
+        assert timer.memo_misses == misses and timer.memo_hits >= 1
+        timer.prefill(32, 64)
+        p_misses = timer.memo_misses
+        timer.prefill(32, 64)
+        assert timer.memo_misses == p_misses
+
+    def test_distinct_inputs_miss(self, timer):
+        timer.decode_step(32, 64)
+        misses = timer.memo_misses
+        timer.decode_step(32, 65)
+        timer.decode_step(16, 64)
+        timer.decode_step(32, 64, concat_bytes=8.0)
+        assert timer.memo_misses == misses + 3
+
+    def test_power_mode_change_invalidates(self, timer):
+        # Start from applied MAXN: the preset device boots with a
+        # slightly different CPU clock than Table 2's nominal 2.2 GHz.
+        apply_power_mode(timer.device, get_power_mode("MAXN"))
+        maxn = timer.decode_step(32, 64)
+        apply_power_mode(timer.device, get_power_mode("H"))
+        throttled = timer.decode_step(32, 64)
+        assert throttled.seconds > maxn.seconds
+        # Back to MAXN must reproduce the original cost (from the memo,
+        # keyed by operating point — not a stale throttled entry).
+        apply_power_mode(timer.device, get_power_mode("MAXN"))
+        again = timer.decode_step(32, 64)
+        assert again.seconds == maxn.seconds
+
+    def test_memoized_costs_equal_fresh_timer(self, orin):
+        warm = StepTimer(get_model("llama"), orin, Precision.FP16,
+                         EngineCostParams())
+        for _ in range(3):
+            warm.decode_step(8, 40)
+        fresh = StepTimer(get_model("llama"), orin, Precision.FP16,
+                          EngineCostParams())
+        assert warm.decode_step(8, 40) == fresh.decode_step(8, 40)

@@ -140,3 +140,27 @@ class TestLLMInt8:
             LLMInt8Linear(np.ones(4))
         with pytest.raises(QuantizationError):
             llm_int8_decompose(np.ones((2, 2)), threshold=0.0)
+
+
+class TestInt8BlasAccumulation:
+    """The float64-GEMM INT8 accumulate must equal int32 bit-for-bit."""
+
+    def test_float64_gemm_equals_int32_accumulator(self, rng):
+        for rows, inner, cols in [(7, 64, 5), (32, 2560, 16), (3, 8192, 2)]:
+            aq = rng.integers(-127, 128, size=(rows, inner), dtype=np.int8)
+            wq = rng.integers(-127, 128, size=(cols, inner), dtype=np.int8)
+            via_f64 = aq.astype(np.float64) @ wq.astype(np.float64).T
+            via_i32 = aq.astype(np.int32) @ wq.astype(np.int32).T
+            assert via_f64.dtype == np.float64
+            assert np.array_equal(via_f64, via_i32.astype(np.float64))
+
+    def test_worst_case_magnitudes_stay_exact(self):
+        # All-|127| inputs maximize every partial product; the sum
+        # 127*127*inner is still far below 2^53, so float64 stays exact.
+        inner = 65536
+        aq = np.full((2, inner), 127, dtype=np.int8)
+        wq = np.full((3, inner), -127, dtype=np.int8)
+        via_f64 = aq.astype(np.float64) @ wq.astype(np.float64).T
+        expected = float(127 * -127 * inner)
+        assert np.all(via_f64 == expected)
+        assert via_f64[0, 0] == np.int64(127) * -127 * inner

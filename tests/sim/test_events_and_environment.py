@@ -236,3 +236,105 @@ def test_peek_reports_next_event_time():
     assert env.peek() == float("inf")
     env.timeout(7.0)
     assert env.peek() == pytest.approx(7.0)
+
+
+# -- absolute timeouts and equal-time ordering -------------------------------
+#
+# Every scheduling path (timeout, timeout_at, schedule, schedule_at,
+# succeed/fail) must draw its tie-break counter from the same
+# itertools.count, so events landing on the same timestamp fire in
+# exactly the order they were scheduled — regardless of which API
+# scheduled them.  The decode fast-forward depends on this: a sampler
+# tick and a collapsed-decode timeout at the same instant must fire in
+# schedule order, as their step-by-step counterparts would.
+
+
+def test_timeout_at_advances_clock_to_absolute_time():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2.0)
+        yield env.timeout_at(7.0, value="x")
+
+    env.process(proc())
+    env.run()
+    assert env.now == 7.0
+
+
+def test_timeout_at_delivers_value():
+    env = Environment()
+    got = []
+
+    def proc():
+        got.append((yield env.timeout_at(1.5, value="payload")))
+
+    env.process(proc())
+    env.run()
+    assert got == ["payload"]
+
+
+def test_timeout_at_in_the_past_rejected():
+    env = Environment()
+    env.run(until=5.0)
+    with pytest.raises(SimulationError):
+        env.timeout_at(4.0)
+
+
+def test_equal_time_relative_vs_absolute_fires_in_schedule_order():
+    env = Environment()
+    order = []
+
+    def rel(tag):
+        yield env.timeout(3.0)
+        order.append(tag)
+
+    def abs_(tag):
+        yield env.timeout_at(3.0, value=None)
+        order.append(tag)
+
+    env.process(rel("rel-first"))
+    env.process(abs_("abs-second"))
+    env.process(rel("rel-third"))
+    env.run()
+    assert order == ["rel-first", "abs-second", "rel-third"]
+
+
+def test_equal_time_ordering_survives_interleaved_apis():
+    env = Environment()
+    order = []
+
+    def waiter(ev, tag):
+        yield ev
+        order.append(tag)
+
+    def watch(ev, tag):
+        ev.callbacks.append(lambda _e: order.append(tag))
+        return ev
+
+    # Interleave the four scheduling surfaces, all at t=2.0.
+    env.process(waiter(env.timeout_at(2.0), "at-a"))
+    env.process(waiter(env.timeout(2.0), "rel-b"))
+    env.process(waiter(env.timeout_at(2.0), "at-c"))
+    ev = Event(env)
+    ev._value = None  # pre-assign: bare events fire with their value
+    env.schedule_at(ev, 2.0)
+    watch(ev, "sched-d")
+    ev2 = Event(env)
+    ev2._value = None
+    env.schedule(ev2, 2.0)
+    watch(ev2, "sched-e")
+    env.run()
+    assert order == ["at-a", "rel-b", "at-c", "sched-d", "sched-e"]
+
+
+def test_schedule_at_rejects_double_schedule_and_past():
+    env = Environment()
+    ev = Event(env)
+    env.schedule_at(ev, 1.0)
+    with pytest.raises(SimulationError):
+        env.schedule_at(ev, 2.0)
+
+    env2 = Environment()
+    env2.run(until=5.0)
+    with pytest.raises(SimulationError):
+        env2.schedule_at(Event(env2), 3.0)

@@ -59,3 +59,23 @@ def test_perplexity_table(capsys):
     assert main(["perplexity"]) == 0
     out = capsys.readouterr().out
     assert "OOM" in out  # Deepseek fp32/fp16 cells
+
+
+def test_study_smoke_with_cache(tmp_path, capsys):
+    args = ["study", "--models", "MS-Phi2", "--runs", "1",
+            "--no-power-energy", "--quiet",
+            "--cache", "--cache-dir", str(tmp_path / "cache")]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "batch-size sweep — MS-Phi2" in out
+    assert "cache:" in out
+    # Second invocation replays everything from the cache.
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "0 misses" in out
+
+
+def test_study_rejects_unknown_model(capsys):
+    assert main(["study", "--models", "not-a-model", "--runs", "1",
+                 "--quiet"]) == 1
+    assert "error:" in capsys.readouterr().err
