@@ -150,6 +150,53 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import ChaosSpec, FaultScheduleSpec, run_chaos
+    from repro.reporting import format_table, write_csv
+
+    devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+    spec = ChaosSpec(
+        devices=tuple(devices),
+        model=args.model,
+        precision=args.precision,
+        policy=args.policy,
+        rate_per_s=args.rate,
+        n_requests=args.requests,
+        input_tokens=args.input_tokens,
+        output_tokens=args.output_tokens,
+        workload_seed=args.seed,
+        faults=FaultScheduleSpec(
+            seed=args.seed,
+            horizon_s=args.horizon,
+            n_nodes=len(devices),
+            crash_rate_per_min=args.crash_rate,
+            crash_downtime_s=args.crash_downtime,
+            brownout_rate_per_min=args.brownout_rate,
+            oom_rate_per_min=args.oom_rate,
+            straggler_rate_per_min=args.straggler_rate,
+            thermal_rate_per_min=args.thermal_rate,
+        ),
+        enable_fallback=args.fallback,
+    )
+    report = run_chaos(spec)
+    # Output is a pure function of the spec (no wall clock, no paths),
+    # so two invocations with one seed are byte-identical — diffable.
+    print(format_table([report.as_row()],
+                       title=f"chaos — seed {spec.faults.seed}, "
+                             f"{len(devices)} nodes"))
+    print(format_table(report.faulted.node_rows, title="per node (faulted)"))
+    if args.show_trace:
+        print("injected fault trace (+ applied, - skipped):")
+        for line in report.trace_lines():
+            print(f"  {line}")
+    print(f"cache_key={report.cache_key}")
+    print(f"schedule={report.schedule_fingerprint}")
+    if args.csv:
+        path = write_csv(args.csv, [report.as_row()])
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     import time
 
@@ -285,6 +332,36 @@ def build_parser() -> argparse.ArgumentParser:
     clu.add_argument("--seed", type=int, default=0)
     clu.add_argument("--csv", default=None, help="also write the report row")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injected serving vs fault-free twin (deterministic)")
+    chaos.add_argument("--devices",
+                       default="jetson-orin-agx-64gb,jetson-orin-agx-32gb",
+                       help="comma-separated device presets (one node each)")
+    chaos.add_argument("--model", default="llama")
+    chaos.add_argument("--precision", default="int8")
+    chaos.add_argument("--policy", default="jsq")
+    chaos.add_argument("--rate", type=float, default=2.0)
+    chaos.add_argument("--requests", type=int, default=80)
+    chaos.add_argument("--input-tokens", type=int, default=32)
+    chaos.add_argument("--output-tokens", type=int, default=64)
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seeds both the workload and the fault schedule")
+    chaos.add_argument("--horizon", type=float, default=60.0,
+                       help="fault-schedule horizon (s)")
+    chaos.add_argument("--crash-rate", type=float, default=1.0,
+                       help="crashes per node per minute")
+    chaos.add_argument("--crash-downtime", type=float, default=8.0)
+    chaos.add_argument("--brownout-rate", type=float, default=0.0)
+    chaos.add_argument("--oom-rate", type=float, default=0.0)
+    chaos.add_argument("--straggler-rate", type=float, default=0.0)
+    chaos.add_argument("--thermal-rate", type=float, default=0.0)
+    chaos.add_argument("--fallback", action="store_true",
+                       help="enable INT8->INT4 precision fallback")
+    chaos.add_argument("--show-trace", action="store_true",
+                       help="print the applied-fault transcript")
+    chaos.add_argument("--csv", default=None, help="also write the report row")
+
     return parser
 
 
@@ -297,6 +374,7 @@ _COMMANDS = {
     "perplexity": _cmd_perplexity,
     "study": _cmd_study,
     "cluster": _cmd_cluster,
+    "chaos": _cmd_chaos,
 }
 
 

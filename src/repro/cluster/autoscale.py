@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.cluster.node import ClusterNode
 from repro.errors import ConfigError
 from repro.hardware.device import EdgeDevice
-from repro.power.modes import PAPER_POWER_MODES, PowerMode, apply_power_mode
+from repro.power.modes import PAPER_POWER_MODES, PowerMode
 from repro.sim.environment import Environment
 
 
@@ -126,7 +126,10 @@ class PowerModeAutoscaler:
 
     def _set_rung(self, node: ClusterNode, rung: int, reason: str) -> None:
         mode = clamp_mode_to_device(self._modes[rung], node.device)
-        apply_power_mode(node.device, mode)
+        # Route through the node, not apply_power_mode directly: the
+        # thermal governor rebases its throttle on the new clocks, so a
+        # throttled node stays throttled relative to the new rung.
+        node.apply_mode(mode)
         self._rung[node.node_id] = rung
         self._idle_periods[node.node_id] = 0
         self.history.append(
@@ -136,6 +139,8 @@ class PowerModeAutoscaler:
     def _control_step(self) -> None:
         cfg = self.config
         for node in self.nodes:
+            if not node.healthy:
+                continue  # a down board takes no nvpmodel commands
             rung = self._rung[node.node_id]
             depth = node.depth
             if depth >= cfg.up_depth and rung < len(self._modes) - 1:

@@ -26,6 +26,7 @@ from repro.cluster.workload import ClusterRequest, as_cluster_requests
 from repro.engine.kernels import EngineCostParams
 from repro.engine.scheduler import ServeRequest
 from repro.errors import ConfigError, ExperimentError
+from repro.faults.recovery import RetryBudget, RetryPolicy
 from repro.hardware import get_device
 from repro.models import get_model
 from repro.models.architecture import TransformerArchitecture
@@ -59,6 +60,7 @@ class EdgeCluster:
         slo: Optional[SLOSpec] = None,
         max_retries: int = 2,
         retry_backoff_s: float = 0.25,
+        retry: Optional[RetryPolicy] = None,
     ):
         if not nodes:
             raise ConfigError("cluster needs at least one node")
@@ -68,9 +70,16 @@ class EdgeCluster:
         self.router = router
         self.env = env
         self.slo = slo or SLOSpec()
-        self.max_retries = max_retries
-        self.retry_backoff_s = retry_backoff_s
-        self._autoscaler = None
+        #: Full policy; the legacy (max_retries, retry_backoff_s) pair
+        #: seeds one with an uncapped-at-that-base exponential schedule.
+        self.retry = retry or RetryPolicy(max_retries=max_retries,
+                                          base_backoff_s=retry_backoff_s)
+        self.max_retries = self.retry.max_retries
+        self.retry_backoff_s = self.retry.base_backoff_s
+        self._retry_budget = RetryBudget(self.retry.retry_budget)
+        #: start/stop-style controllers run alongside serving
+        #: (autoscaler, fault injector, precision fallback, ...).
+        self._services: List = []
         router.assign_roles(self.nodes)
 
     @classmethod
@@ -84,6 +93,7 @@ class EdgeCluster:
         params: Optional[EngineCostParams] = None,
         power_model: Optional[PowerModel] = None,
         sample_period_s: float = 1.0,
+        retry: Optional[RetryPolicy] = None,
         **router_kwargs,
     ) -> "EdgeCluster":
         """Instantiate devices from presets and wire the fleet together."""
@@ -102,11 +112,22 @@ class EdgeCluster:
             )
             for i, s in enumerate(specs)
         ]
-        return cls(nodes, get_router(policy, **router_kwargs), env, slo=slo)
+        return cls(nodes, get_router(policy, **router_kwargs), env, slo=slo,
+                   retry=retry)
 
     def attach_autoscaler(self, autoscaler) -> None:
         """Register a power-mode autoscaler (started when ``run`` begins)."""
-        self._autoscaler = autoscaler
+        self.attach_service(autoscaler)
+
+    def attach_injector(self, injector) -> None:
+        """Register a fault injector (started when ``run`` begins)."""
+        self.attach_service(injector)
+
+    def attach_service(self, service) -> None:
+        """Register any start/stop controller to run alongside serving."""
+        if not (hasattr(service, "start") and hasattr(service, "stop")):
+            raise ConfigError("services need start()/stop()")
+        self._services.append(service)
 
     # -- serving -----------------------------------------------------------
     def _place(self, r: ClusterRequest):
@@ -145,6 +166,7 @@ class EdgeCluster:
         self._n_injected = len(reqs)
         self._finished = 0
         self._done = env.event()
+        self._retry_budget = RetryBudget(self.retry.retry_budget)
 
         def on_complete(r: ClusterRequest) -> None:
             self._finished += 1
@@ -157,6 +179,7 @@ class EdgeCluster:
         for n in self.nodes:
             n.on_complete = on_complete
             n.on_prefill_done = on_prefill_done
+            n.on_crash = self._requeue_orphans
             n.sampler.start()
 
         def injector():
@@ -168,23 +191,51 @@ class EdgeCluster:
                             name=f"admit-{r.req_id}")
 
         env.process(injector(), name="injector")
-        if self._autoscaler is not None:
-            self._autoscaler.start()
+        for svc in self._services:
+            svc.start()
         env.run(until=self._done)
         for n in self.nodes:
             n.sampler.stop()
-        if self._autoscaler is not None:
-            self._autoscaler.stop()
+        for svc in self._services:
+            svc.stop()
         return build_report(self.router.name, reqs, self.nodes, self.slo,
                             makespan_s=env.now)
 
+    def _requeue_orphans(self, orphans: List[ClusterRequest]) -> None:
+        """Crash handler: re-place the dead node's outstanding work.
+
+        Each orphan's KV state died with the node (``reset_for_replay``
+        already ran for the active ones); it goes back through the
+        normal retry path on the surviving fleet, up to the per-request
+        requeue cap.
+        """
+        for r in orphans:
+            if r.requeues >= self.retry.max_requeues:
+                r.rejected = True
+                self._finished += 1
+                self._check_done()
+                continue
+            r.requeues += 1
+            r.node_id = None
+            self.env.process(self._admit_with_retry(r),
+                             name=f"requeue-{r.req_id}-{r.requeues}")
+
     def _admit_with_retry(self, r: ClusterRequest):
-        """Try placement, backing off between rounds; reject when spent."""
-        for attempt in range(self.max_retries + 1):
+        """Try placement with capped exponential backoff between rounds.
+
+        Backoff retries draw on the fleet-wide
+        :class:`~repro.faults.recovery.RetryBudget`; once it is spent,
+        failed placements reject immediately (fail fast beats retry
+        amplification when the whole fleet is browned out).
+        """
+        for attempt in range(self.retry.max_retries + 1):
             if self._place(r) is not None:
                 return
-            if attempt < self.max_retries:
-                yield self.env.timeout(self.retry_backoff_s)
+            if attempt >= self.retry.max_retries:
+                break
+            if not self._retry_budget.take():
+                break
+            yield self.env.timeout(self.retry.delay_s(attempt))
         r.rejected = True
         self._finished += 1
         self._check_done()

@@ -14,14 +14,26 @@ one clock.  Each node owns:
   :class:`~repro.telemetry.sampler.PowerSampler`, so fleet energy is
   integrated from sampled traces exactly like the paper's methodology;
 - exact per-step energy accounting used to attribute joules to the
-  individual tokens each step produced.
+  individual tokens each step produced;
+- a lumped-RC :class:`~repro.hardware.thermal.ThermalModel` advanced by
+  the *dissipated* step power, so thermal throttling emerges from the
+  workload (a sustained MAXN batch heats the junction; the throttle
+  multiplier then feeds back into the next step's clocks) instead of
+  being scripted.
 
 Nodes can serve both phases (default), or only prefill / only decode
 for the Splitwise-style disaggregated routing policy.
+
+Fault surface (driven by :mod:`repro.faults`): :meth:`crash` /
+:meth:`restart` model a node death with KV-state loss, ``kv_shrink``
+models transient OOM pressure, ``slowdown`` models straggler
+interference, and :meth:`set_precision` is the graceful-degradation
+hook.  All of it is deterministic on the shared clock.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.cluster.workload import ClusterRequest
@@ -29,13 +41,18 @@ from repro.engine.kernels import EngineCostParams, StepCost, StepTimer
 from repro.engine.state import EngineState
 from repro.errors import ConfigError
 from repro.hardware.device import EdgeDevice
+from repro.hardware.thermal import ThermalModel
 from repro.models.architecture import TransformerArchitecture
 from repro.models.footprint import weight_bytes
 from repro.power.model import ComponentUtilization, PowerModel
-from repro.power.modes import apply_power_mode, get_power_mode
+from repro.power.modes import PowerMode, apply_power_mode, get_power_mode
 from repro.quant.dtypes import Precision
 from repro.sim.environment import Environment
+from repro.sim.events import Interrupt
 from repro.telemetry.sampler import PowerSampler
+
+#: Workspace bytes reserved out of the KV budget (CUDA context, temps).
+_WORKSPACE_BYTES = int(1e9)
 
 
 def _util_of(cost: StepCost) -> ComponentUtilization:
@@ -45,6 +62,20 @@ def _util_of(cost: StepCost) -> ComponentUtilization:
         mem_bw=cost.mem_bw_frac,
         cpu_cores_active=cost.cpu_cores_active,
     )
+
+
+@dataclass
+class CrashEpisode:
+    """One down interval of a node (``up_s`` is None while still down)."""
+
+    down_s: float
+    up_s: Optional[float] = None
+
+    @property
+    def repair_s(self) -> Optional[float]:
+        if self.up_s is None:
+            return None
+        return self.up_s - self.down_s
 
 
 class ClusterNode:
@@ -70,6 +101,11 @@ class ClusterNode:
     max_batch / max_queue:
         Concurrency cap of the running batch and depth cap of the
         admission queue (``submit`` refuses above it).
+    thermal:
+        Thermal RC model advanced by dissipated power each step
+        (default: a stock :class:`ThermalModel`).  Throttling applies
+        the model's frequency multiplier to the GPU clock on top of
+        whatever power mode is active.
     """
 
     def __init__(
@@ -87,6 +123,7 @@ class ClusterNode:
         power_model: Optional[PowerModel] = None,
         kv_budget_bytes: Optional[int] = None,
         sample_period_s: float = 1.0,
+        thermal: Optional[ThermalModel] = None,
     ):
         if max_batch < 1 or max_queue < 1:
             raise ConfigError("max_batch and max_queue must be >= 1")
@@ -100,21 +137,26 @@ class ClusterNode:
         self.role = role
         self.max_batch = max_batch
         self.max_queue = max_queue
+        self._params = params
         if power_mode is not None:
             apply_power_mode(device, get_power_mode(power_mode))
         self.timer = StepTimer(arch, device, precision, params)
         self.power_model = power_model or PowerModel()
+        self._explicit_kv_budget = kv_budget_bytes is not None
         if kv_budget_bytes is None:
             kv_budget_bytes = int(
                 device.memory.usable_bytes
                 - weight_bytes(arch, precision)
-                - 1e9  # workspace
+                - _WORKSPACE_BYTES
             )
         if kv_budget_bytes <= 0:
             raise ConfigError(
                 f"model leaves no KV budget on node {node_id} ({device.name})"
             )
-        self.kv_budget = kv_budget_bytes
+        self._kv_budget_base = kv_budget_bytes
+        #: Fraction of the nominal KV budget currently usable (< 1 under
+        #: injected OOM pressure).
+        self.kv_shrink = 1.0
         self._kv_per_token = (
             arch.kv_cache_spec().bytes_per_token_per_layer * arch.n_layers
         )
@@ -127,6 +169,10 @@ class ClusterNode:
         self.on_prefill_done: Optional[Callable[[ClusterRequest], None]] = None
         #: Called when a request finishes decoding.
         self.on_complete: Optional[Callable[[ClusterRequest], None]] = None
+        #: Called with the orphaned requests when the node crashes (set
+        #: by the cluster to requeue them elsewhere).
+        self.on_crash: Optional[
+            Callable[[List[ClusterRequest]], None]] = None
 
         self.state = EngineState()
         self.sampler = PowerSampler(env, device, self.power_model, self.state,
@@ -134,16 +180,39 @@ class ClusterNode:
         #: Exact step-accounted busy energy (J) and busy wall time (s).
         self.busy_energy_j = 0.0
         self.busy_seconds = 0.0
-        #: Decode tokens this node produced (each token exactly once).
+        #: Decode tokens this node produced (each token exactly once per
+        #: *production*; replays after KV loss produce tokens again).
         self.served_tokens = 0
-        #: Prompt tokens this node prefilled.
+        #: Prompt tokens this node prefilled (replayed prefills count).
         self.prefilled_tokens = 0
         self.last_busy_s = 0.0
 
+        # -- fault/resilience state ----------------------------------------
+        #: False while crashed; admission refuses and routers skip.
+        self.healthy = True
+        #: Wall-time multiplier on engine steps (straggler interference).
+        self.slowdown = 1.0
+        #: Down intervals, for availability / MTTR accounting.
+        self.crash_log: List[CrashEpisode] = []
+        #: (time, throttled) transitions of the thermal governor.
+        self.throttle_log: List[tuple] = []
+        self.thermal = thermal if thermal is not None else ThermalModel()
+        self._thermal_clock = env.now
+        #: GPU clock the active power mode asks for; the thermal
+        #: governor multiplies *this*, so throttling composes with
+        #: nvpmodel changes instead of fighting them.
+        self._base_gpu_hz = device.gpu.freq_hz
+
         self._wake = None
+        self._restart_ev = None
         self._proc = env.process(self._serve_loop(), name=f"node-{node_id}")
 
     # -- capacity ----------------------------------------------------------
+    @property
+    def kv_budget(self) -> int:
+        """Usable KV bytes right now (nominal budget x pressure shrink)."""
+        return int(self._kv_budget_base * self.kv_shrink)
+
     def kv_bytes(self, tokens: int) -> int:
         return tokens * self._kv_per_token
 
@@ -168,12 +237,13 @@ class ClusterNode:
         return len(self.queue) + len(self.active)
 
     def fits(self, r: ClusterRequest) -> bool:
-        """Could this request *ever* run here (empty node)?"""
+        """Could this request *ever* run here (empty node, current budget)?"""
         return self._kv_need(r) <= self.kv_budget
 
     def accepts(self, r: ClusterRequest) -> bool:
-        """Admission control: room in the queue and a feasible footprint."""
-        return len(self.queue) < self.max_queue and self.fits(r)
+        """Admission control: healthy, room in the queue, feasible footprint."""
+        return (self.healthy and len(self.queue) < self.max_queue
+                and self.fits(r))
 
     def submit(self, r: ClusterRequest) -> bool:
         """Enqueue a request; returns False if admission refuses it."""
@@ -181,9 +251,161 @@ class ClusterNode:
             return False
         r.node_id = self.node_id
         self.queue.append(r)
+        self._notify()
+        return True
+
+    def _notify(self) -> None:
         if self._wake is not None and not self._wake.triggered:
             self._wake.succeed(None)
-        return True
+
+    # -- operating point ---------------------------------------------------
+    def apply_mode(self, mode: PowerMode) -> None:
+        """Apply a power mode and rebase the thermal governor on it.
+
+        All mode changes (autoscaler rungs, brownout downshifts) should
+        come through here rather than mutating the device directly:
+        the throttle multiplier is re-derived against the new base
+        clock, so a throttled node switching modes stays throttled
+        relative to the *new* mode.
+        """
+        apply_power_mode(self.device, mode)
+        self._base_gpu_hz = self.device.gpu.freq_hz
+        self._apply_throttle()
+
+    def current_mode_snapshot(self) -> PowerMode:
+        """The operating point as an (anonymous) PowerMode, for restore."""
+        dev = self.device
+        return PowerMode(
+            name=f"node{self.node_id}-snapshot",
+            gpu_freq_hz=self._base_gpu_hz,
+            cpu_freq_hz=dev.cpu.freq_hz,
+            cpu_online_cores=dev.cpu.online_cores,
+            mem_freq_hz=dev.memory.freq_hz,
+        )
+
+    def _apply_throttle(self) -> None:
+        gpu = self.device.gpu
+        target = self._base_gpu_hz * self.thermal.freq_multiplier
+        target = min(max(target, gpu.min_freq_hz), gpu.max_freq_hz)
+        if gpu.freq_hz != target:
+            gpu.set_freq(target)
+
+    def _idle_watts(self) -> float:
+        return self.power_model.power_w(self.device,
+                                        ComponentUtilization.idle())
+
+    def _advance_thermal(self, watts: float, seconds: float) -> None:
+        """Advance the RC node: idle gap since last step, then this step."""
+        was_throttled = self.thermal.throttled
+        gap = self.env.now - self._thermal_clock
+        if gap > 0:
+            self.thermal.advance(self._idle_watts(), gap)
+        self.thermal.advance(watts, seconds)
+        self._thermal_clock = self.env.now + seconds
+        if self.thermal.throttled != was_throttled:
+            self.throttle_log.append((self.env.now, self.thermal.throttled))
+        self._apply_throttle()
+
+    # -- faults ------------------------------------------------------------
+    def crash(self) -> List[ClusterRequest]:
+        """Kill the node: KV state is lost, outstanding work orphans.
+
+        Active requests lose their generated tokens (``reset_for_replay``
+        — the re-prefill bill lands on whichever node takes them next);
+        queued ones had no state to lose.  Returns the orphans, and
+        also hands them to ``on_crash`` if the cluster registered one.
+        """
+        if not self.healthy:
+            return []
+        self.healthy = False
+        orphans = list(self.active) + list(self.queue)
+        for r in self.active:
+            r.reset_for_replay()
+        self.active.clear()
+        self.queue.clear()
+        self.state.set_idle()
+        self._wake = None
+        self.crash_log.append(CrashEpisode(down_s=self.env.now))
+        self._proc.interrupt("crash")
+        if self.on_crash is not None and orphans:
+            self.on_crash(orphans)
+        return orphans
+
+    def restart(self) -> None:
+        """Bring the node back: cold board, empty queue, ambient junction."""
+        if self.healthy:
+            return
+        self.healthy = True
+        self.crash_log[-1].up_s = self.env.now
+        self.thermal.temp_c = self.thermal.ambient_c
+        self.thermal.throttled = False
+        self._thermal_clock = self.env.now
+        self._apply_throttle()
+        if self._restart_ev is not None and not self._restart_ev.triggered:
+            self._restart_ev.succeed(None)
+
+    def set_kv_shrink(self, factor: float) -> List[ClusterRequest]:
+        """Scale the usable KV budget (transient OOM pressure).
+
+        Shrinking below the running batch's footprint evicts the
+        youngest active requests (recompute-style, same victim rule as
+        the single-node scheduler) back to the *head* of this node's
+        queue; they re-prefill once the pressure lifts.  Returns the
+        evicted requests.
+        """
+        if factor <= 0:
+            raise ConfigError("kv_shrink must be positive")
+        grew = factor > self.kv_shrink
+        self.kv_shrink = factor
+        evicted: List[ClusterRequest] = []
+        while self.active and self.kv_in_use > self.kv_budget:
+            victim = max(self.active,
+                         key=lambda a: (a.arrival_s, self.active.index(a)))
+            self.active.remove(victim)
+            victim.reset_for_replay()
+            evicted.append(victim)
+        if evicted:
+            # Evictions re-enter at the queue head (they were already
+            # admitted once); the depth cap only gates *new* arrivals.
+            self.queue[0:0] = evicted
+        if grew:
+            self._notify()  # headroom returned: head may fit now
+        return evicted
+
+    def set_precision(self, precision: Precision) -> None:
+        """Swap the served precision (graceful degradation).
+
+        Rebuilds the step timer and, unless the KV budget was pinned
+        explicitly at construction, re-derives it from the new weight
+        footprint — degrading INT8 -> INT4 roughly halves weight bytes,
+        so the budget *grows* and queued work may become admissible.
+        """
+        if precision is self.precision:
+            return
+        self.precision = precision
+        self.timer = StepTimer(self.arch, self.device, precision, self._params)
+        if not self._explicit_kv_budget:
+            base = int(
+                self.device.memory.usable_bytes
+                - weight_bytes(self.arch, precision)
+                - _WORKSPACE_BYTES
+            )
+            if base <= 0:
+                raise ConfigError(
+                    f"precision {precision.value} leaves no KV budget on "
+                    f"node {self.node_id}"
+                )
+            self._kv_budget_base = base
+        self._notify()
+
+    @property
+    def downtime_s(self) -> float:
+        """Total down wall-time so far (open episode counts to now)."""
+        total = 0.0
+        for ep in self.crash_log:
+            up = ep.up_s if ep.up_s is not None else self.env.now
+            total += up - ep.down_s
+        return total
 
     # -- energy ------------------------------------------------------------
     def predicted_j_per_token(self, batch_size: int = 4,
@@ -196,14 +418,23 @@ class ClusterNode:
         watts = self.power_model.power_w(self.device, _util_of(cost))
         return watts * cost.seconds / bs
 
-    def _account(self, cost: StepCost, phase: str) -> float:
-        """Publish utilization, integrate busy energy; returns step J."""
+    def _account(self, cost: StepCost, phase: str) -> tuple:
+        """Publish utilization, integrate busy energy and heat.
+
+        Returns ``(step_joules, step_seconds)`` — seconds include the
+        straggler slowdown, and the joules integrate over that
+        stretched wall time (interference keeps the board powered, it
+        does not pause it).
+        """
         util = _util_of(cost)
         self.state.set(phase, util)
-        joules = self.power_model.power_w(self.device, util) * cost.seconds
+        seconds = cost.seconds * self.slowdown
+        watts = self.power_model.power_w(self.device, util)
+        joules = watts * seconds
         self.busy_energy_j += joules
-        self.busy_seconds += cost.seconds
-        return joules
+        self.busy_seconds += seconds
+        self._advance_thermal(watts, seconds)
+        return joules, seconds
 
     # -- the serving loop --------------------------------------------------
     def _admit(self) -> List[ClusterRequest]:
@@ -218,49 +449,65 @@ class ClusterNode:
     def _serve_loop(self):
         env = self.env
         while True:
-            admitted = self._admit()
-            for r in admitted:
-                if self.role == "decode":
-                    continue  # prompt KV arrives via the transfer link
-                cost = self.timer.prefill(1, r.input_tokens)
-                self._account(cost, "prefill")
-                yield env.timeout(cost.seconds)
-                self.last_busy_s = env.now
-                self.prefilled_tokens += r.input_tokens
-                r.prefill_end_s = env.now
-                if self.role == "prefill":
-                    self.active.remove(r)
-                    if self.on_prefill_done is not None:
-                        self.on_prefill_done(r)
-
-            if not self.active:
-                self.state.set_idle()
-                if self.queue:
-                    continue  # re-check admission (head may now fit)
-                self._wake = env.event()
-                yield self._wake
-                self._wake = None
+            if not self.healthy:
+                self._restart_ev = env.event()
+                try:
+                    yield self._restart_ev
+                except Interrupt:  # pragma: no cover - crash while down
+                    pass
+                self._restart_ev = None
                 continue
+            try:
+                admitted = self._admit()
+                for r in admitted:
+                    if self.role == "decode":
+                        continue  # prompt KV arrives via the transfer link
+                    cost = self.timer.prefill(1, r.input_tokens)
+                    _, dur = self._account(cost, "prefill")
+                    yield env.timeout(dur)
+                    self.last_busy_s = env.now
+                    self.prefilled_tokens += r.input_tokens
+                    r.prefill_end_s = env.now
+                    if self.role == "prefill":
+                        self.active.remove(r)
+                        if self.on_prefill_done is not None:
+                            self.on_prefill_done(r)
 
-            bs = len(self.active)
-            context = max(r.input_tokens + r.generated for r in self.active)
-            concat = 2 * self.kv_bytes(bs * context)
-            cost = self.timer.decode_step(bs, context, concat_bytes=concat)
-            step_j = self._account(cost, "decode")
-            yield env.timeout(cost.seconds)
-            self.last_busy_s = env.now
-            for r in list(self.active):
-                r.generated += 1
-                r.energy_j += step_j / bs
-                self.served_tokens += 1
-                if r.first_token_s is None:
-                    r.first_token_s = env.now
-                if r.generated >= r.output_tokens:
-                    r.finish_s = env.now
-                    self.active.remove(r)
-                    self.completed.append(r)
-                    if self.on_complete is not None:
-                        self.on_complete(r)
+                if not self.active:
+                    self.state.set_idle()
+                    if (self.queue and self._kv_need(self.queue[0])
+                            <= self.kv_budget):
+                        continue  # re-check admission (head now fits)
+                    # Empty, or head-of-line blocked by shrunk KV budget:
+                    # sleep until a submit/restore/degrade wakes us.
+                    self._wake = env.event()
+                    yield self._wake
+                    self._wake = None
+                    continue
+
+                bs = len(self.active)
+                context = max(r.input_tokens + r.generated for r in self.active)
+                concat = 2 * self.kv_bytes(bs * context)
+                cost = self.timer.decode_step(bs, context, concat_bytes=concat)
+                step_j, dur = self._account(cost, "decode")
+                yield env.timeout(dur)
+                self.last_busy_s = env.now
+                # Requests evicted mid-step (OOM pressure) left `active`
+                # and get no token from this step.
+                for r in list(self.active):
+                    r.generated += 1
+                    r.energy_j += step_j / bs
+                    self.served_tokens += 1
+                    if r.first_token_s is None:
+                        r.first_token_s = env.now
+                    if r.generated >= r.output_tokens:
+                        r.finish_s = env.now
+                        self.active.remove(r)
+                        self.completed.append(r)
+                        if self.on_complete is not None:
+                            self.on_complete(r)
+            except Interrupt:
+                continue  # crashed mid-step: loop re-checks health
 
     # -- reporting ---------------------------------------------------------
     def as_row(self) -> dict:
@@ -272,4 +519,8 @@ class ClusterNode:
             "completed": len(self.completed),
             "busy_s": round(self.busy_seconds, 1),
             "busy_energy_j": round(self.busy_energy_j, 1),
+            "downtime_s": round(self.downtime_s, 1),
+            "crashes": len(self.crash_log),
+            "temp_c": round(self.thermal.temp_c, 1),
+            "precision": self.precision.value,
         }

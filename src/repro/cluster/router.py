@@ -46,6 +46,13 @@ class Router:
     @staticmethod
     def eligible(request: ClusterRequest,
                  nodes: Sequence[ClusterNode]) -> List[ClusterNode]:
+        """Nodes that will take the request right now.
+
+        ``accepts`` already folds in the health check, so crashed nodes
+        are ejected from every policy's candidate set here and readmit
+        themselves the moment ``restart`` flips them healthy — no
+        routing-table state to reconcile.
+        """
         return [n for n in nodes if n.accepts(request)]
 
 
@@ -203,7 +210,17 @@ def list_policies() -> List[str]:
 
 
 def get_router(name: str, **kwargs) -> Router:
-    """Instantiate a routing policy by name."""
+    """Instantiate a routing policy by name.
+
+    Raises :class:`~repro.errors.ConfigError` (never ``KeyError`` /
+    ``AttributeError``) on unknown or non-string names, listing the
+    valid policies in the message.
+    """
+    if not isinstance(name, str):
+        raise ConfigError(
+            f"routing policy must be a string, got {type(name).__name__}; "
+            f"known: {', '.join(list_policies())}"
+        )
     cls = _ROUTERS.get(name.strip().lower())
     if cls is None:
         raise ConfigError(

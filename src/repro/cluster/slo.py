@@ -129,6 +129,18 @@ class ClusterReport:
     busy_energy_j: float
     jains_index: float
     max_min_share: float
+    #: Fraction of fleet node-seconds the nodes were up.  Computed as
+    #: ``1 - downtime / (n_nodes * makespan)`` from the nodes' crash
+    #: logs, so a fault-free run reports exactly 1.0 (no float drift).
+    availability: float = 1.0
+    #: Mean time to repair over *completed* crash episodes (0 if none).
+    mttr_s: float = 0.0
+    #: Fleet-wide placement retries (failed routing rounds).
+    retries: int = 0
+    #: Fleet-wide crash-driven re-placements.
+    requeues: int = 0
+    #: Decode tokens produced then thrown away (preemption / KV loss).
+    lost_tokens: int = 0
     tenants: List[TenantReport] = field(default_factory=list)
     node_rows: List[Dict] = field(default_factory=list)
     requests: List[ClusterRequest] = field(default_factory=list)
@@ -147,6 +159,12 @@ class ClusterReport:
             "fleet_energy_j": round(self.fleet_energy_j, 1),
             "j_per_token": round(self.j_per_token, 3),
             "jain": round(self.jains_index, 3),
+            # Resilience columns are always present, so chaos and
+            # fault-free CSVs stay schema-compatible.
+            "availability": round(self.availability, 4),
+            "mttr_s": round(self.mttr_s, 2),
+            "retries": self.retries,
+            "requeues": self.requeues,
         }
 
 
@@ -195,6 +213,14 @@ def build_report(
     # rejected drags the index down even if it is small.
     shares = [t.completed / t.injected for t in tenants.values() if t.injected]
 
+    # Resilience: availability over fleet node-seconds from the crash
+    # logs.  Integer-zero downtime divides out to exactly 1.0 on the
+    # fault-free path (the schema-compatibility invariant).
+    downtime = sum(n.downtime_s for n in nodes)
+    availability = (1.0 if downtime == 0
+                    else 1.0 - downtime / (len(nodes) * span))
+    repairs = [ep.repair_s for n in nodes for ep in n.crash_log
+               if ep.repair_s is not None]
     return ClusterReport(
         policy=policy,
         n_requests=len(requests),
@@ -214,6 +240,11 @@ def build_report(
         busy_energy_j=sum(n.busy_energy_j for n in nodes),
         jains_index=jains_index(shares),
         max_min_share=max_min_share(shares),
+        availability=availability,
+        mttr_s=float(np.mean(repairs)) if repairs else 0.0,
+        retries=sum(r.retries for r in requests),
+        requeues=sum(getattr(r, "requeues", 0) for r in requests),
+        lost_tokens=sum(r.lost_tokens for r in requests),
         tenants=sorted(tenants.values(), key=lambda t: t.tenant),
         node_rows=[n.as_row() for n in nodes],
         requests=list(requests),

@@ -42,6 +42,8 @@ class ClusterRequest(ServeRequest):
     rejected: bool = False
     #: Placement attempts that found no node with capacity.
     retries: int = 0
+    #: Times the request was re-placed after losing its node (crash).
+    requeues: int = 0
     #: Busy energy attributed to this request's tokens (J).
     energy_j: float = 0.0
     #: Simulated time the prefill finished (set by prefill/decode split).

@@ -90,7 +90,20 @@ def spec_fingerprint(spec, params: EngineCostParams,
         "params": _canonical_params(params),
         "cost_model_version": version,
     }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return payload_fingerprint(payload)
+
+
+def payload_fingerprint(payload: dict) -> str:
+    """SHA-256 of a canonical-JSON payload (shared key machinery).
+
+    Everything content-addressed in this codebase — experiment results
+    here, fault schedules in :mod:`repro.faults.schedule` — funnels
+    through this one canonicalisation (sorted keys, no whitespace,
+    ``str()`` for non-JSON leaves) so keys are comparable and collision
+    semantics are uniform.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 

@@ -45,6 +45,25 @@ class ServeRequest:
     first_token_s: Optional[float] = None
     finish_s: Optional[float] = None
     generated: int = 0
+    #: Decode tokens thrown away by preemption or KV-state loss; each
+    #: one was produced (and billed) once already and must be redone.
+    lost_tokens: int = 0
+    #: How many times this request restarted from scratch.
+    replays: int = 0
+
+    def reset_for_replay(self) -> None:
+        """Drop in-flight state after preemption / KV loss.
+
+        The recompute-style discipline: generated tokens are discarded
+        (counted in ``lost_tokens``), the request re-prefills wherever
+        it lands next, and the first-token clock keeps its *original*
+        value if a token was already streamed — the client saw it.
+        """
+        if self.generated:
+            self.lost_tokens += self.generated
+            self.replays += 1
+        self.generated = 0
+        self.finish_s = None
 
     @property
     def ttft_s(self) -> Optional[float]:
@@ -327,7 +346,7 @@ class ContinuousBatchScheduler(_SchedulerBase):
                                  key=lambda a: (a.arrival_s, active.index(a)))
                     paged_cache.release_sequence(victim.req_id)
                     active.remove(victim)
-                    victim.generated = 0
+                    victim.reset_for_replay()
                     parked.append(victim)
                     return True
 

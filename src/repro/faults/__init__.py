@@ -1,0 +1,59 @@
+"""repro.faults — deterministic fault injection + resilience.
+
+Seeded fault schedules (:mod:`~repro.faults.schedule`), a replayable
+injector over the shared DES (:mod:`~repro.faults.inject`), the
+resilience policies that answer the faults
+(:mod:`~repro.faults.recovery`), and baseline-paired chaos experiments
+(:mod:`~repro.faults.report`).
+
+Everything is exported lazily: the cluster layer imports
+``repro.faults.recovery`` while :mod:`repro.faults.inject` and
+:mod:`repro.faults.report` import the cluster layer back, so an eager
+``__init__`` would be a cycle.  ``from repro.faults import X`` still
+works for every public name.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import List
+
+_EXPORTS = {
+    # schedule
+    "FAULT_MODEL_VERSION": "schedule",
+    "CLASS_ORDER": "schedule",
+    "FaultClass": "schedule",
+    "FaultEpisode": "schedule",
+    "FaultEvent": "schedule",
+    "FaultSchedule": "schedule",
+    "FaultScheduleSpec": "schedule",
+    "generate_schedule": "schedule",
+    "schedule_from_episodes": "schedule",
+    # inject
+    "AppliedFault": "inject",
+    "FaultInjector": "inject",
+    # recovery
+    "DEFAULT_LADDER": "recovery",
+    "Degradation": "recovery",
+    "FallbackConfig": "recovery",
+    "PrecisionFallback": "recovery",
+    "RetryBudget": "recovery",
+    "RetryPolicy": "recovery",
+    # report
+    "ChaosReport": "report",
+    "ChaosSpec": "report",
+    "run_chaos": "report",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(f"{__name__}.{module}"), name)
+
+
+def __dir__() -> List[str]:
+    return __all__

@@ -1,0 +1,185 @@
+"""Resilience mechanisms that answer the injected faults.
+
+Three layers, smallest hammer first:
+
+- :class:`RetryPolicy` / :class:`RetryBudget` — placement retry with
+  capped exponential backoff and a fleet-wide retry budget, so a
+  brown-out fleet degrades to fast rejection instead of melting under
+  retry amplification (the classic metastable-failure trap).
+- requeue-on-crash — orphaned requests (their KV state died with the
+  node) are reset for replay and re-placed through the same retry
+  path, with a per-request requeue cap.  The re-prefill cost is real
+  and accounted: the serving node pays the prompt again, and the
+  request's ``lost_tokens`` / ``replays`` counters feed the chaos
+  report's amplification metrics.
+- :class:`PrecisionFallback` — graceful degradation: a node whose KV
+  pressure stays above threshold for ``patience`` consecutive control
+  periods steps its weights down the precision ladder (INT8 -> INT4 by
+  default), shrinking the weight footprint and growing the KV budget.
+  One-way per run: re-quantising upward mid-serve is not a thing real
+  deployments do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.quant.dtypes import Precision
+from repro.sim.environment import Environment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.node import ClusterNode
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with bounded total retry volume."""
+
+    #: Placement rounds after the first attempt (per admission pass).
+    max_retries: int = 2
+    #: First backoff; round ``k`` waits ``min(cap, base * 2**k)``.
+    base_backoff_s: float = 0.25
+    cap_backoff_s: float = 4.0
+    #: Times one request may be re-placed after losing its node.
+    max_requeues: int = 3
+    #: Fleet-wide cap on backoff retries per run (None = unlimited).
+    #: When spent, failed placements reject immediately (fail fast).
+    retry_budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0 or self.max_requeues < 0:
+            raise ConfigError("retry and requeue caps must be >= 0")
+        if self.base_backoff_s <= 0 or self.cap_backoff_s < self.base_backoff_s:
+            raise ConfigError(
+                "need 0 < base_backoff_s <= cap_backoff_s"
+            )
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ConfigError("retry_budget must be >= 0 or None")
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before re-placing after failed attempt ``attempt``."""
+        return min(self.cap_backoff_s, self.base_backoff_s * (2.0 ** attempt))
+
+
+class RetryBudget:
+    """Mutable per-run counter drawn down by every backoff retry."""
+
+    def __init__(self, limit: Optional[int]):
+        self.limit = limit
+        self.spent = 0
+
+    def take(self) -> bool:
+        """Consume one retry; False once the budget is exhausted."""
+        if self.limit is not None and self.spent >= self.limit:
+            return False
+        self.spent += 1
+        return True
+
+    @property
+    def exhausted(self) -> bool:
+        return self.limit is not None and self.spent >= self.limit
+
+
+#: Default degradation ladder.  Only quantized formats degrade: dropping
+#: FP16 to INT8 mid-run would *slow the node down* on the edge (the
+#: paper's Fig 3/11 finding) while saving little KV headroom.
+DEFAULT_LADDER: Mapping[Precision, Precision] = {
+    Precision.INT8: Precision.INT4,
+}
+
+
+@dataclass(frozen=True)
+class FallbackConfig:
+    """Control-loop tuning for :class:`PrecisionFallback`."""
+
+    #: KV pressure (committed / budget) that counts as sustained.
+    pressure_threshold: float = 0.95
+    #: Consecutive hot control periods before degrading one rung.
+    patience: int = 3
+    period_s: float = 2.0
+    ladder: Mapping[Precision, Precision] = field(
+        default_factory=lambda: dict(DEFAULT_LADDER)
+    )
+
+    def __post_init__(self) -> None:
+        if self.pressure_threshold <= 0:
+            raise ConfigError("pressure_threshold must be positive")
+        if self.patience < 1:
+            raise ConfigError("patience must be >= 1")
+        if self.period_s <= 0:
+            raise ConfigError("control period must be positive")
+        for src, dst in self.ladder.items():
+            if src is dst:
+                raise ConfigError(f"ladder maps {src.value} to itself")
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """One precision downshift, for the audit trail."""
+
+    time_s: float
+    node_id: int
+    from_precision: str
+    to_precision: str
+    pressure: float
+
+
+class PrecisionFallback:
+    """Periodic per-node precision-degradation controller.
+
+    Same lifecycle contract as
+    :class:`~repro.cluster.autoscale.PowerModeAutoscaler` (``start`` /
+    ``stop``; attach via ``EdgeCluster.attach_service``).
+    """
+
+    def __init__(self, env: Environment, nodes: Sequence["ClusterNode"],
+                 config: Optional[FallbackConfig] = None):
+        if not nodes:
+            raise ConfigError("precision fallback needs at least one node")
+        self.env = env
+        self.nodes = list(nodes)
+        self.config = config or FallbackConfig()
+        self._hot_periods: Dict[int, int] = {n.node_id: 0 for n in self.nodes}
+        self.history: List[Degradation] = []
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.env.process(self._run(), name="precision-fallback")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _control_step(self) -> None:
+        cfg = self.config
+        for node in self.nodes:
+            if not node.healthy:
+                self._hot_periods[node.node_id] = 0
+                continue
+            pressure = node.kv_pressure
+            if pressure < cfg.pressure_threshold:
+                self._hot_periods[node.node_id] = 0
+                continue
+            self._hot_periods[node.node_id] += 1
+            target = cfg.ladder.get(node.precision)
+            if target is None:
+                continue  # bottom of the ladder (or not degradable)
+            if self._hot_periods[node.node_id] >= cfg.patience:
+                before = node.precision
+                node.set_precision(target)
+                self._hot_periods[node.node_id] = 0
+                self.history.append(Degradation(
+                    self.env.now, node.node_id,
+                    before.value, target.value, pressure,
+                ))
+
+    def _run(self):
+        while self._running:
+            yield self.env.timeout(self.config.period_s)
+            if not self._running:
+                break
+            self._control_step()

@@ -1,0 +1,223 @@
+"""Chaos experiments: a faulted run against its fault-free twin.
+
+:func:`run_chaos` executes one scenario twice on identical fleets and
+identical (regenerated-from-seed) workloads — once clean, once with the
+seeded fault schedule injected — and folds the pair into a
+:class:`ChaosReport`:
+
+- **availability** — up node-seconds over fleet node-seconds (exactly
+  1.0 on the clean twin, by construction);
+- **MTTR** — mean repair time over completed crash episodes;
+- **goodput ratio** — SLO-meeting completions per second under fault,
+  relative to the fault-free baseline (the honest "how much service did
+  the chaos cost" number);
+- **retry amplification** — placement attempts per injected request
+  (1.0 when every request lands first try);
+- **per-fault-class energy overhead** — the faulted run's extra fleet
+  joules, attributed to classes proportionally to their active
+  node-seconds (classes overlap; proportional split is the defensible
+  default).
+
+Everything in the report is a deterministic function of the
+:class:`ChaosSpec` — no wall-clock, no global RNG — so
+:meth:`ChaosSpec.cache_key` content-addresses the whole experiment
+through the same SHA-256 machinery as the result cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import EdgeCluster, NodeSpec
+from repro.cluster.slo import ClusterReport, SLOSpec
+from repro.cluster.workload import poisson_workload
+from repro.core.cache import COST_MODEL_VERSION, payload_fingerprint
+from repro.errors import ConfigError
+
+from repro.faults.inject import FaultInjector
+from repro.faults.recovery import (FallbackConfig, PrecisionFallback,
+                                   RetryPolicy)
+from repro.faults.schedule import (CLASS_ORDER, FAULT_MODEL_VERSION,
+                                   FaultSchedule, FaultScheduleSpec,
+                                   generate_schedule)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One chaos experiment: fleet + workload + fault schedule."""
+
+    devices: Tuple[str, ...] = ("jetson-orin-agx-64gb",
+                                "jetson-orin-agx-64gb")
+    model: str = "llama"
+    precision: str = "int8"
+    policy: str = "jsq"
+    max_batch: int = 8
+    max_queue: int = 256
+
+    rate_per_s: float = 2.0
+    n_requests: int = 80
+    input_tokens: int = 32
+    output_tokens: int = 64
+    workload_seed: int = 0
+
+    faults: FaultScheduleSpec = field(default_factory=FaultScheduleSpec)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Attach the INT8->INT4 precision-fallback controller to both twins.
+    enable_fallback: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ConfigError("chaos spec needs at least one device")
+        if self.faults.n_nodes > len(self.devices):
+            raise ConfigError(
+                f"fault schedule targets {self.faults.n_nodes} nodes but "
+                f"the fleet has {len(self.devices)}"
+            )
+        if self.rate_per_s <= 0 or self.n_requests < 1:
+            raise ConfigError("need a positive rate and >= 1 request")
+
+    def cache_key(self) -> str:
+        """Content address of the full experiment (spec + model versions)."""
+        return payload_fingerprint({
+            "chaos_spec": dataclasses.asdict(self),
+            "cost_model_version": COST_MODEL_VERSION,
+            "fault_model_version": FAULT_MODEL_VERSION,
+        })
+
+
+@dataclass
+class ChaosReport:
+    """The faulted/fault-free pair, folded into resilience metrics."""
+
+    spec: ChaosSpec
+    cache_key: str
+    schedule_fingerprint: str
+    n_episodes: Dict[str, int]
+    injected_trace: List[tuple]
+    baseline: ClusterReport
+    faulted: ClusterReport
+    availability: float
+    mttr_s: float
+    retries: int
+    requeues: int
+    lost_tokens: int
+    retry_amplification: float
+    goodput_ratio: float
+    energy_overhead_j: float
+    energy_overhead_by_class: Dict[str, float]
+
+    def as_row(self) -> Dict:
+        """Flat summary row (deterministic: rounded, insertion-ordered)."""
+        row = {
+            "seed": self.spec.faults.seed,
+            "cache_key": self.cache_key[:16],
+            "schedule": self.schedule_fingerprint[:16],
+            "episodes": sum(self.n_episodes.values()),
+            "availability": round(self.availability, 4),
+            "mttr_s": round(self.mttr_s, 2),
+            "retries": self.retries,
+            "requeues": self.requeues,
+            "lost_tokens": self.lost_tokens,
+            "retry_amp": round(self.retry_amplification, 3),
+            "goodput_ratio": round(self.goodput_ratio, 3),
+            "baseline_goodput_rps": round(self.baseline.goodput_rps, 3),
+            "faulted_goodput_rps": round(self.faulted.goodput_rps, 3),
+            "energy_overhead_j": round(self.energy_overhead_j, 1),
+        }
+        # Every class column is always present (0.0 when the class drew
+        # no episodes), so rows across scenarios share one schema.
+        for cls in CLASS_ORDER:
+            row[f"overhead_{cls.value}_j"] = round(
+                self.energy_overhead_by_class.get(cls.value, 0.0), 1)
+        return row
+
+    def trace_lines(self) -> List[str]:
+        """The applied-fault transcript, one canonical line per edge."""
+        out = []
+        for (t, node, fault, action, applied, detail) in self.injected_trace:
+            mark = "+" if applied else "-"
+            line = f"{t:10.3f}s {mark} node{node} {fault}.{action}"
+            if detail:
+                line += f" ({detail})"
+            out.append(line)
+        return out
+
+
+def _build_cluster(spec: ChaosSpec) -> EdgeCluster:
+    return EdgeCluster.build(
+        [NodeSpec(d, max_batch=spec.max_batch, max_queue=spec.max_queue)
+         for d in spec.devices],
+        model=spec.model, precision=spec.precision, policy=spec.policy,
+        retry=spec.retry,
+    )
+
+
+def _workload(spec: ChaosSpec):
+    return poisson_workload(spec.rate_per_s, spec.n_requests,
+                            input_tokens=spec.input_tokens,
+                            output_tokens=spec.output_tokens,
+                            seed=spec.workload_seed)
+
+
+def run_chaos(spec: ChaosSpec,
+              slo: Optional[SLOSpec] = None) -> ChaosReport:
+    """Run the fault-free twin, then the faulted run; fold the pair."""
+    schedule: FaultSchedule = generate_schedule(spec.faults)
+
+    baseline_cluster = _build_cluster(spec)
+    if slo is not None:
+        baseline_cluster.slo = slo
+    if spec.enable_fallback:
+        baseline_cluster.attach_service(PrecisionFallback(
+            baseline_cluster.env, baseline_cluster.nodes, FallbackConfig()))
+    baseline = baseline_cluster.run(_workload(spec))
+
+    faulted_cluster = _build_cluster(spec)
+    if slo is not None:
+        faulted_cluster.slo = slo
+    injector = FaultInjector(faulted_cluster.env, faulted_cluster.nodes,
+                             schedule)
+    faulted_cluster.attach_injector(injector)
+    if spec.enable_fallback:
+        faulted_cluster.attach_service(PrecisionFallback(
+            faulted_cluster.env, faulted_cluster.nodes, FallbackConfig()))
+    faulted = faulted_cluster.run(_workload(spec))
+
+    n = spec.n_requests
+    amplification = (n + faulted.retries + faulted.requeues) / n
+    goodput_ratio = (faulted.goodput_rps / baseline.goodput_rps
+                     if baseline.goodput_rps > 0 else 0.0)
+
+    overhead_j = faulted.fleet_energy_j - baseline.fleet_energy_j
+    active = injector.class_active_seconds(until_s=faulted.makespan_s)
+    total_active = sum(active.values())
+    by_class = {
+        cls.value: (overhead_j * active.get(cls.value, 0.0) / total_active
+                    if total_active > 0 else 0.0)
+        for cls in CLASS_ORDER
+    }
+
+    episodes: Dict[str, int] = {}
+    for ep in schedule.episodes:
+        episodes[ep.fault.value] = episodes.get(ep.fault.value, 0) + 1
+
+    return ChaosReport(
+        spec=spec,
+        cache_key=spec.cache_key(),
+        schedule_fingerprint=schedule.fingerprint(),
+        n_episodes=episodes,
+        injected_trace=injector.applied_trace(),
+        baseline=baseline,
+        faulted=faulted,
+        availability=faulted.availability,
+        mttr_s=faulted.mttr_s,
+        retries=faulted.retries,
+        requeues=faulted.requeues,
+        lost_tokens=faulted.lost_tokens,
+        retry_amplification=amplification,
+        goodput_ratio=goodput_ratio,
+        energy_overhead_j=overhead_j,
+        energy_overhead_by_class=by_class,
+    )

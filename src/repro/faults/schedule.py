@@ -1,0 +1,292 @@
+"""Seeded, deterministic fault schedules for chaos runs.
+
+A schedule is a pure function of its :class:`FaultScheduleSpec`: every
+episode's onset, duration and magnitude is drawn from per-(node, class)
+``numpy`` substreams seeded as ``[seed, node_id, class_index]``, so
+
+- the same seed always yields a bit-identical event list (the
+  acceptance bar for ``repro chaos --seed N``),
+- adding a fault class or a node never perturbs the other streams
+  (substreams are independent, not one shared cursor), and
+- the schedule is *cache-keyable*: :meth:`FaultSchedule.fingerprint`
+  content-addresses the spec through the same SHA-256 machinery as
+  :func:`repro.core.cache.spec_fingerprint`, so chaos results can live
+  in the on-disk result cache next to fault-free runs.
+
+Episodes of one class never overlap on one node (the next onset is
+drawn from the previous episode's end), which keeps begin/end pairing
+trivially well-formed for the injector.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Bump when schedule-generation semantics change in a way the spec
+#: fields cannot see; every bump invalidates cached chaos fingerprints.
+FAULT_MODEL_VERSION = "2026.08-faults-1"
+
+
+class FaultClass(str, Enum):
+    """The failure modes an edge fleet actually lives with."""
+
+    #: Node process dies; KV state is lost, the board reboots.
+    CRASH = "crash"
+    #: Supply sag forces an nvpmodel downshift for the episode.
+    BROWNOUT = "brownout"
+    #: Co-located workload squeezes the KV headroom (transient OOM).
+    OOM = "oom"
+    #: Background interference stretches every engine step.
+    STRAGGLER = "straggler"
+    #: Heat wave / cooling loss raises ambient; throttling then
+    #: *emerges* from the node's RC thermal model, it is not scripted.
+    THERMAL = "thermal"
+
+
+#: Fixed substream order — append only, never reorder (reordering would
+#: silently change every schedule drawn from an existing seed).
+CLASS_ORDER: Tuple[FaultClass, ...] = (
+    FaultClass.CRASH,
+    FaultClass.BROWNOUT,
+    FaultClass.OOM,
+    FaultClass.STRAGGLER,
+    FaultClass.THERMAL,
+)
+
+
+@dataclass(frozen=True)
+class FaultScheduleSpec:
+    """Declarative chaos intensity; rates are per node, per minute."""
+
+    seed: int = 0
+    horizon_s: float = 120.0
+    n_nodes: int = 2
+    #: Minimum episode length (exponential draws are clipped up to it).
+    min_duration_s: float = 1.0
+
+    crash_rate_per_min: float = 0.0
+    crash_downtime_s: float = 10.0
+
+    brownout_rate_per_min: float = 0.0
+    brownout_duration_s: float = 15.0
+    #: nvpmodel mode forced while browned out (paper Table 2 names).
+    brownout_mode: str = "H"
+
+    oom_rate_per_min: float = 0.0
+    oom_duration_s: float = 15.0
+    #: Fraction of the nominal KV budget that survives the pressure.
+    oom_shrink: float = 0.35
+
+    straggler_rate_per_min: float = 0.0
+    straggler_duration_s: float = 10.0
+    #: Multiplier on engine-step wall time while interfered with.
+    straggler_slowdown: float = 2.5
+
+    thermal_rate_per_min: float = 0.0
+    thermal_duration_s: float = 45.0
+    thermal_ambient_delta_c: float = 25.0
+
+    def __post_init__(self) -> None:
+        from repro.power.modes import PAPER_POWER_MODES
+
+        if self.horizon_s <= 0:
+            raise ConfigError("fault horizon must be positive")
+        if self.n_nodes < 1:
+            raise ConfigError("fault schedule needs >= 1 node")
+        if self.min_duration_s <= 0:
+            raise ConfigError("min_duration_s must be positive")
+        for cls in CLASS_ORDER:
+            if self.rate_of(cls) < 0:
+                raise ConfigError(f"{cls.value} rate must be >= 0")
+            if self.mean_duration_of(cls) <= 0:
+                raise ConfigError(f"{cls.value} duration must be positive")
+        if not 0.0 < self.oom_shrink <= 1.0:
+            raise ConfigError("oom_shrink must be in (0, 1]")
+        if self.straggler_slowdown < 1.0:
+            raise ConfigError("straggler_slowdown must be >= 1")
+        if self.thermal_ambient_delta_c <= 0:
+            raise ConfigError("thermal_ambient_delta_c must be positive")
+        if self.brownout_mode.strip().upper() not in PAPER_POWER_MODES:
+            known = ", ".join(PAPER_POWER_MODES)
+            raise ConfigError(
+                f"unknown brownout mode {self.brownout_mode!r}; known: {known}"
+            )
+
+    # -- per-class views ---------------------------------------------------
+    def rate_of(self, cls: FaultClass) -> float:
+        return getattr(self, f"{cls.value}_rate_per_min")
+
+    def mean_duration_of(self, cls: FaultClass) -> float:
+        if cls is FaultClass.CRASH:
+            return self.crash_downtime_s
+        return getattr(self, f"{cls.value}_duration_s")
+
+    def magnitude_of(self, cls: FaultClass) -> float:
+        """The class's scalar knob (what ``FaultEvent.magnitude`` carries)."""
+        return {
+            FaultClass.CRASH: self.crash_downtime_s,
+            FaultClass.BROWNOUT: 0.0,  # mode name rides on the spec
+            FaultClass.OOM: self.oom_shrink,
+            FaultClass.STRAGGLER: self.straggler_slowdown,
+            FaultClass.THERMAL: self.thermal_ambient_delta_c,
+        }[cls]
+
+
+@dataclass(frozen=True)
+class FaultEpisode:
+    """One contiguous fault interval on one node."""
+
+    episode_id: int
+    node_id: int
+    fault: FaultClass
+    start_s: float
+    duration_s: float
+    magnitude: float
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A begin or end edge of one episode, as the injector sees it."""
+
+    time_s: float
+    node_id: int
+    fault: FaultClass
+    action: str  # "begin" | "end"
+    magnitude: float
+    episode_id: int
+
+    def as_tuple(self) -> tuple:
+        """Canonical trace row (what determinism tests compare)."""
+        return (round(self.time_s, 9), self.node_id, self.fault.value,
+                self.action, self.magnitude, self.episode_id)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Spec + the fully materialised, time-sorted event list."""
+
+    spec: FaultScheduleSpec
+    episodes: Tuple[FaultEpisode, ...]
+    events: Tuple[FaultEvent, ...]
+
+    def fingerprint(self) -> str:
+        """Content address of this schedule (cache key component).
+
+        Hashes the spec *and* the materialised episode list through the
+        same SHA-256 canonical-JSON path as
+        :func:`repro.core.cache.spec_fingerprint`.  For generated
+        schedules the episodes are a pure function of the spec, so the
+        digest doubles as a regression tripwire on the stream
+        semantics; for hand-written schedules it is the only thing that
+        distinguishes them.
+        """
+        from repro.core.cache import payload_fingerprint
+
+        return payload_fingerprint({
+            "fault_spec": dataclasses.asdict(self.spec),
+            "episodes": [
+                (e.episode_id, e.node_id, e.fault.value,
+                 e.start_s, e.duration_s, e.magnitude)
+                for e in self.episodes
+            ],
+            "fault_model_version": FAULT_MODEL_VERSION,
+        })
+
+    def trace(self) -> List[tuple]:
+        """The canonical event trace (list of tuples)."""
+        return [ev.as_tuple() for ev in self.events]
+
+    def episodes_of(self, cls: FaultClass) -> List[FaultEpisode]:
+        return [e for e in self.episodes if e.fault is cls]
+
+
+def generate_schedule(spec: FaultScheduleSpec) -> FaultSchedule:
+    """Materialise the seeded schedule described by ``spec``.
+
+    Per (node, class): onset gaps are exponential with mean
+    ``60 / rate_per_min`` seconds, durations exponential with the
+    class's mean (clipped up to ``min_duration_s``), and consecutive
+    episodes chain end-to-start so they never overlap.
+    """
+    episodes: List[FaultEpisode] = []
+    eid = 0
+    for node in range(spec.n_nodes):
+        for cls_idx, cls in enumerate(CLASS_ORDER):
+            rate = spec.rate_of(cls)
+            if rate <= 0:
+                continue
+            rng = np.random.default_rng([spec.seed, node, cls_idx])
+            mean_gap = 60.0 / rate
+            mean_dur = spec.mean_duration_of(cls)
+            t = float(rng.exponential(mean_gap))
+            while t < spec.horizon_s:
+                dur = max(spec.min_duration_s, float(rng.exponential(mean_dur)))
+                episodes.append(FaultEpisode(
+                    episode_id=eid, node_id=node, fault=cls,
+                    start_s=t, duration_s=dur,
+                    magnitude=spec.magnitude_of(cls),
+                ))
+                eid += 1
+                t = t + dur + float(rng.exponential(mean_gap))
+
+    events: List[FaultEvent] = []
+    for ep in episodes:
+        events.append(FaultEvent(ep.start_s, ep.node_id, ep.fault, "begin",
+                                 ep.magnitude, ep.episode_id))
+        events.append(FaultEvent(ep.end_s, ep.node_id, ep.fault, "end",
+                                 ep.magnitude, ep.episode_id))
+    # Ends sort before begins at equal timestamps so back-to-back
+    # episodes on one node tear down before the next one applies.
+    events.sort(key=lambda ev: (ev.time_s, 0 if ev.action == "end" else 1,
+                                ev.node_id, ev.fault.value, ev.episode_id))
+    return FaultSchedule(spec=spec, episodes=tuple(episodes),
+                         events=tuple(events))
+
+
+def schedule_from_episodes(
+    episodes: Sequence[FaultEpisode],
+    spec: Optional[FaultScheduleSpec] = None,
+) -> FaultSchedule:
+    """Build a schedule from hand-written episodes (tests, what-ifs).
+
+    ``spec`` defaults to a zero-rate spec sized to the episodes; the
+    fingerprint then covers the explicit episode list instead of the
+    (empty) generative spec.
+    """
+    if spec is None:
+        n_nodes = 1 + max((e.node_id for e in episodes), default=0)
+        horizon = max((e.end_s for e in episodes), default=1.0)
+        spec = FaultScheduleSpec(n_nodes=n_nodes,
+                                 horizon_s=max(horizon, 1e-9))
+    for ep in episodes:
+        if ep.start_s < 0 or ep.duration_s <= 0:
+            raise ConfigError("episodes need start >= 0 and duration > 0")
+        if not 0 <= ep.node_id < spec.n_nodes:
+            raise ConfigError(f"episode node {ep.node_id} outside fleet")
+    generated = generate_schedule(spec)
+    if generated.episodes:
+        raise ConfigError(
+            "schedule_from_episodes needs a zero-rate spec "
+            "(explicit episodes would collide with generated ones)"
+        )
+    events: List[FaultEvent] = []
+    for ep in episodes:
+        events.append(FaultEvent(ep.start_s, ep.node_id, ep.fault, "begin",
+                                 ep.magnitude, ep.episode_id))
+        events.append(FaultEvent(ep.end_s, ep.node_id, ep.fault, "end",
+                                 ep.magnitude, ep.episode_id))
+    events.sort(key=lambda ev: (ev.time_s, 0 if ev.action == "end" else 1,
+                                ev.node_id, ev.fault.value, ev.episode_id))
+    return FaultSchedule(spec=spec, episodes=tuple(episodes),
+                         events=tuple(events))

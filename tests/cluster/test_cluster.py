@@ -135,6 +135,27 @@ class TestReports:
         assert loose.slo_attainment == 1.0
 
 
+class TestFaultFreeResilience:
+    """The fault-free path must report perfect resilience numbers —
+    exactly, so chaos CSVs diff cleanly against clean baselines."""
+
+    @pytest.mark.parametrize("policy", list_policies())
+    def test_availability_is_exactly_one(self, policy):
+        _, rep = serve(policy)
+        assert rep.availability == 1.0  # == on purpose: no float drift
+        assert rep.mttr_s == 0.0
+        assert rep.requeues == 0
+        assert rep.lost_tokens == 0
+
+    def test_resilience_columns_always_present(self):
+        _, rep = serve("jsq")
+        row = rep.as_row()
+        assert row["availability"] == 1.0
+        assert row["mttr_s"] == 0.0
+        assert row["retries"] >= 0
+        assert row["requeues"] == 0
+
+
 class TestAutoscaler:
     def test_scales_up_under_load_and_down_when_calm(self):
         cluster = EdgeCluster.build(list(FLEET), model="llama",

@@ -32,9 +32,19 @@ class TestRegistry:
             "energy-aware", "jsq", "least-kv", "round-robin", "splitwise",
         ]
 
-    def test_unknown_policy_raises(self):
-        with pytest.raises(ConfigError):
+    def test_unknown_policy_raises_config_error_listing_policies(self):
+        with pytest.raises(ConfigError) as exc:
             get_router("fifo")
+        msg = str(exc.value)
+        assert "fifo" in msg
+        for policy in list_policies():
+            assert policy in msg
+
+    def test_non_string_policy_is_config_error_not_attribute_error(self):
+        with pytest.raises(ConfigError):
+            get_router(None)
+        with pytest.raises(ConfigError):
+            get_router(42)
 
 
 class TestNodeAdmission:

@@ -1,0 +1,258 @@
+"""Resilience mechanisms: crash recovery, retries, OOM pressure, fallback."""
+
+import pytest
+
+from repro.cluster import ClusterRequest, EdgeCluster, NodeSpec, SLOSpec
+from repro.cluster.node import ClusterNode
+from repro.cluster.workload import poisson_workload
+from repro.errors import ConfigError
+from repro.faults import (
+    ChaosSpec,
+    FallbackConfig,
+    FaultClass,
+    FaultEpisode,
+    FaultInjector,
+    FaultScheduleSpec,
+    PrecisionFallback,
+    RetryBudget,
+    RetryPolicy,
+    run_chaos,
+    schedule_from_episodes,
+)
+from repro.hardware import get_device
+from repro.models import get_model
+from repro.quant.dtypes import Precision
+from repro.sim.environment import Environment
+
+ORIN64 = "jetson-orin-agx-64gb"
+
+
+def make_node(env, node_id, precision=Precision.FP16, **kw):
+    return ClusterNode(env, node_id, get_device(ORIN64), get_model("llama"),
+                       precision, **kw)
+
+
+def req(req_id=0, inp=32, out=32, arrival=0.0):
+    return ClusterRequest(req_id=req_id, arrival_s=arrival,
+                          input_tokens=inp, output_tokens=out)
+
+
+def crash_cluster(down_s=10.0, start_s=2.0, n_requests=30, rate=4.0):
+    """Two-node fleet with a scripted node-0 crash; returns (report, sched)."""
+    cluster = EdgeCluster.build([NodeSpec(ORIN64), NodeSpec(ORIN64)],
+                                policy="jsq")
+    sched = schedule_from_episodes([
+        FaultEpisode(0, 0, FaultClass.CRASH, start_s, down_s, down_s),
+    ])
+    cluster.attach_injector(FaultInjector(cluster.env, cluster.nodes, sched))
+    report = cluster.run(poisson_workload(rate, n_requests, seed=1))
+    return report, cluster
+
+
+class TestRetryPolicy:
+    def test_backoff_is_capped_exponential(self):
+        p = RetryPolicy(base_backoff_s=0.25, cap_backoff_s=1.0)
+        assert [p.delay_s(k) for k in range(4)] == [0.25, 0.5, 1.0, 1.0]
+
+    def test_budget_exhausts(self):
+        b = RetryBudget(2)
+        assert b.take() and b.take() and not b.take()
+        assert b.exhausted and b.spent == 2
+
+    def test_unlimited_budget(self):
+        b = RetryBudget(None)
+        assert all(b.take() for _ in range(100)) and not b.exhausted
+
+    @pytest.mark.parametrize("bad", [
+        dict(max_retries=-1),
+        dict(base_backoff_s=0.0),
+        dict(base_backoff_s=2.0, cap_backoff_s=1.0),
+        dict(retry_budget=-1),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**bad)
+
+
+class TestCrashRecovery:
+    def test_crash_orphans_requeue_and_finish(self):
+        report, cluster = crash_cluster()
+        # The crash happened and was repaired.
+        node0 = cluster.nodes[0]
+        assert len(node0.crash_log) == 1
+        assert node0.crash_log[0].repair_s == pytest.approx(10.0)
+        # Orphans were re-placed and the run still completed everything.
+        assert report.requeues > 0
+        assert report.completed + report.rejected == report.n_requests
+        assert report.completed > 0
+
+    def test_availability_below_one_and_consistent(self):
+        report, cluster = crash_cluster(down_s=10.0)
+        expected = 1.0 - 10.0 / (2 * report.makespan_s)
+        assert report.availability < 1.0
+        assert report.availability == pytest.approx(expected, rel=1e-6)
+        assert report.mttr_s == pytest.approx(10.0)
+
+    def test_kv_loss_is_billed_as_lost_tokens(self):
+        report, _ = crash_cluster(start_s=4.0, rate=6.0)
+        replayed = [r for r in report.requests if r.replays > 0]
+        if replayed:  # mid-decode victims existed at the crash instant
+            assert all(r.lost_tokens > 0 for r in replayed)
+            assert report.lost_tokens == sum(r.lost_tokens
+                                             for r in report.requests)
+
+    def test_resilience_columns_in_row(self):
+        report, _ = crash_cluster()
+        row = report.as_row()
+        for col in ("availability", "mttr_s", "retries", "requeues"):
+            assert col in row
+
+    def test_crashed_node_is_ejected_then_readmitted(self):
+        env = Environment()
+        node = make_node(env, 0)
+        node.crash()
+        assert not node.accepts(req())
+        assert not node.submit(req())
+        node.restart()
+        assert node.accepts(req())
+
+
+class TestRequeueCap:
+    def test_requeues_capped_then_rejected(self):
+        """A single node that dies with work and never comes back forces
+        rejection through the requeue cap rather than an infinite loop."""
+        cluster = EdgeCluster.build(
+            [NodeSpec(ORIN64)], policy="round-robin",
+            retry=RetryPolicy(max_retries=0, max_requeues=1),
+        )
+        sched = schedule_from_episodes([
+            FaultEpisode(0, 0, FaultClass.CRASH, 1.0, 10_000.0, 10_000.0),
+        ])
+        cluster.attach_injector(
+            FaultInjector(cluster.env, cluster.nodes, sched))
+        report = cluster.run(poisson_workload(5.0, 10, seed=0,
+                                              output_tokens=256))
+        assert report.completed + report.rejected == 10
+        assert report.rejected > 0
+        assert all(r.requeues <= 1 for r in report.requests)
+
+
+class TestRetryBudgetFleetWide:
+    def test_spent_budget_fails_fast(self):
+        cluster = EdgeCluster.build(
+            [NodeSpec(ORIN64, max_queue=1)], policy="jsq",
+            retry=RetryPolicy(max_retries=3, retry_budget=0),
+        )
+        report = cluster.run(poisson_workload(50.0, 40, seed=0,
+                                              output_tokens=128))
+        # With zero budget no placement ever backs off: every failed
+        # first attempt rejects immediately.
+        assert all(r.retries <= 1 for r in report.requests)
+        assert cluster._retry_budget.spent == 0
+
+
+class TestOOMPressure:
+    def test_shrink_evicts_and_recovery_completes(self):
+        env = Environment()
+        node = make_node(env, 0, max_batch=4)
+        reqs = [req(i, inp=256, out=32) for i in range(4)]
+        for r in reqs:
+            assert node.submit(r)
+        env.run(until=5.0)
+        evicted = node.set_kv_shrink(0.001)
+        assert evicted, "shrinking below the working set must evict"
+        assert all(r.generated == 0 for r in evicted)
+        assert node.kv_budget < node._kv_budget_base
+        # Pressure lifts; everything replays to completion.
+        node.set_kv_shrink(1.0)
+        env.run(until=2_000.0)
+        assert all(r.finish_s is not None for r in reqs)
+
+    def test_shrink_validation(self):
+        env = Environment()
+        node = make_node(env, 0)
+        with pytest.raises(ConfigError):
+            node.set_kv_shrink(0.0)
+
+
+class TestStraggler:
+    def test_slowdown_stretches_wall_time(self):
+        def run_once(slowdown):
+            env = Environment()
+            node = make_node(env, 0)
+            node.slowdown = slowdown
+            r = req(0, inp=64, out=64)
+            node.submit(r)
+            env.run(until=10_000.0)
+            return r.finish_s
+
+        assert run_once(3.0) == pytest.approx(3.0 * run_once(1.0))
+
+
+class TestPrecisionFallback:
+    def _pressured_node(self, env):
+        node = make_node(env, 0, precision=Precision.INT8, max_batch=2,
+                         max_queue=256)
+        for i in range(220):
+            node.submit(req(i, inp=1024, out=512))
+        return node
+
+    def test_sustained_pressure_degrades_to_int4(self):
+        env = Environment()
+        node = self._pressured_node(env)
+        assert node.kv_pressure > 0.5
+        fb = PrecisionFallback(env, [node], FallbackConfig(
+            pressure_threshold=0.5, patience=2, period_s=0.5))
+        budget_before = node.kv_budget
+        fb.start()
+        env.run(until=30.0)
+        assert node.precision is Precision.INT4
+        assert node.kv_budget > budget_before  # smaller weights, more KV
+        assert fb.history and fb.history[0].from_precision == "int8"
+        assert fb.history[0].to_precision == "int4"
+
+    def test_fp16_never_degrades_by_default(self):
+        env = Environment()
+        node = make_node(env, 0, precision=Precision.FP16, max_batch=2,
+                         max_queue=256)
+        for i in range(120):
+            node.submit(req(i, inp=1024, out=512))
+        fb = PrecisionFallback(env, [node], FallbackConfig(
+            pressure_threshold=0.1, patience=1, period_s=0.5))
+        fb.start()
+        env.run(until=10.0)
+        assert node.precision is Precision.FP16
+        assert not fb.history
+
+    def test_patience_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            FallbackConfig(patience=0)
+
+
+class TestChaosEndToEnd:
+    SPEC = ChaosSpec(
+        faults=FaultScheduleSpec(seed=5, horizon_s=30.0, n_nodes=2,
+                                 crash_rate_per_min=2.0, crash_downtime_s=5.0,
+                                 straggler_rate_per_min=1.0),
+        n_requests=24, rate_per_s=2.0,
+    )
+
+    def test_report_is_reproducible(self):
+        a, b = run_chaos(self.SPEC), run_chaos(self.SPEC)
+        assert a.as_row() == b.as_row()
+        assert a.injected_trace == b.injected_trace
+        assert a.cache_key == b.cache_key
+
+    def test_fault_free_twin_is_perfect(self):
+        r = run_chaos(self.SPEC)
+        assert r.baseline.availability == 1.0  # exact, no float drift
+        assert r.baseline.mttr_s == 0.0
+        assert r.baseline.requeues == 0
+
+    def test_faulted_run_shows_degradation(self):
+        r = run_chaos(self.SPEC)
+        assert r.availability < 1.0
+        assert r.mttr_s > 0.0
+        assert r.retry_amplification >= 1.0
+        nonzero = {c for c, j in r.energy_overhead_by_class.items() if j}
+        assert nonzero <= {"crash", "straggler"}  # only scheduled classes

@@ -1,0 +1,159 @@
+"""Deterministic fault schedules: seeding, independence, fingerprints."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    CLASS_ORDER,
+    ChaosSpec,
+    FaultClass,
+    FaultEpisode,
+    FaultScheduleSpec,
+    generate_schedule,
+    schedule_from_episodes,
+)
+
+#: Three fault classes with non-trivial rates (the property-test matrix).
+ACTIVE = dict(crash_rate_per_min=1.5, oom_rate_per_min=1.0,
+              straggler_rate_per_min=2.0)
+
+
+def spec(seed=0, **kw):
+    base = dict(seed=seed, horizon_s=90.0, n_nodes=3, **ACTIVE)
+    base.update(kw)
+    return FaultScheduleSpec(**base)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [0, 1, 17, 123456])
+    def test_same_seed_identical_trace(self, seed):
+        a, b = generate_schedule(spec(seed)), generate_schedule(spec(seed))
+        assert a.trace() == b.trace()
+        assert a.episodes == b.episodes
+
+    @pytest.mark.parametrize("seed", [0, 1, 17])
+    def test_same_seed_identical_fingerprint(self, seed):
+        assert (generate_schedule(spec(seed)).fingerprint()
+                == generate_schedule(spec(seed)).fingerprint())
+
+    def test_different_seed_different_trace(self):
+        traces = {tuple(generate_schedule(spec(s)).trace()) for s in range(6)}
+        assert len(traces) == 6
+
+    def test_different_seed_different_fingerprint(self):
+        fps = {generate_schedule(spec(s)).fingerprint() for s in range(6)}
+        assert len(fps) == 6
+
+    def test_chaos_cache_key_tracks_seed(self):
+        """The cache key is stable per seed and distinct across seeds."""
+        k = ChaosSpec(faults=spec(3, n_nodes=2)).cache_key()
+        assert k == ChaosSpec(faults=spec(3, n_nodes=2)).cache_key()
+        assert k != ChaosSpec(faults=spec(4, n_nodes=2)).cache_key()
+
+    def test_cache_key_sees_workload_too(self):
+        fs = spec(0, n_nodes=2)
+        assert (ChaosSpec(faults=fs, workload_seed=0).cache_key()
+                != ChaosSpec(faults=fs, workload_seed=1).cache_key())
+
+
+class TestStreamIndependence:
+    @staticmethod
+    def _key(e):
+        # Episode ids are a global counter, so they shift when streams
+        # are added; the *draws* are what independence is about.
+        return (e.node_id, e.fault, e.start_s, e.duration_s, e.magnitude)
+
+    def test_adding_a_class_leaves_other_streams_alone(self):
+        """Per-(node, class) substreams: enabling thermal episodes must
+        not move a single crash/oom/straggler episode."""
+        base = generate_schedule(spec(7))
+        more = generate_schedule(spec(7, thermal_rate_per_min=1.0))
+        for cls in (FaultClass.CRASH, FaultClass.OOM, FaultClass.STRAGGLER):
+            assert ([self._key(e) for e in base.episodes_of(cls)]
+                    == [self._key(e) for e in more.episodes_of(cls)])
+        assert more.episodes_of(FaultClass.THERMAL)
+
+    def test_adding_a_node_leaves_existing_nodes_alone(self):
+        small = generate_schedule(spec(7, n_nodes=2))
+        big = generate_schedule(spec(7, n_nodes=3))
+        for cls in CLASS_ORDER:
+            assert ([self._key(e) for e in small.episodes_of(cls)]
+                    == [self._key(e) for e in big.episodes_of(cls)
+                        if e.node_id < 2])
+
+
+class TestWellFormed:
+    def test_episodes_never_overlap_per_node_and_class(self):
+        sched = generate_schedule(spec(11, horizon_s=300.0))
+        for node in range(3):
+            for cls in CLASS_ORDER:
+                eps = sorted((e for e in sched.episodes_of(cls)
+                              if e.node_id == node), key=lambda e: e.start_s)
+                for a, b in zip(eps, eps[1:]):
+                    assert a.end_s <= b.start_s
+
+    def test_events_sorted_and_paired(self):
+        sched = generate_schedule(spec(2))
+        times = [e.time_s for e in sched.events]
+        assert times == sorted(times)
+        begins = {e.episode_id for e in sched.events if e.action == "begin"}
+        ends = {e.episode_id for e in sched.events if e.action == "end"}
+        assert begins == ends == {e.episode_id for e in sched.episodes}
+
+    def test_min_duration_clips(self):
+        sched = generate_schedule(spec(5, min_duration_s=3.0))
+        assert all(e.duration_s >= 3.0 for e in sched.episodes)
+
+    def test_zero_rates_empty_schedule(self):
+        sched = generate_schedule(FaultScheduleSpec(seed=1))
+        assert sched.episodes == () and sched.events == ()
+
+
+class TestHandWritten:
+    def test_from_episodes_roundtrip(self):
+        eps = [FaultEpisode(0, 0, FaultClass.CRASH, 5.0, 10.0, 10.0),
+               FaultEpisode(1, 1, FaultClass.STRAGGLER, 2.0, 4.0, 2.5)]
+        sched = schedule_from_episodes(eps)
+        assert sched.episodes == tuple(eps)
+        assert len(sched.events) == 4
+        # straggler.begin(2) < crash.begin(5) < straggler.end(6) < crash.end(15)
+        assert [e.action for e in sched.events] == [
+            "begin", "begin", "end", "end"]
+
+    def test_from_episodes_distinct_fingerprints(self):
+        a = schedule_from_episodes(
+            [FaultEpisode(0, 0, FaultClass.CRASH, 5.0, 10.0, 10.0)])
+        b = schedule_from_episodes(
+            [FaultEpisode(0, 0, FaultClass.CRASH, 6.0, 10.0, 10.0)])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_from_episodes_rejects_generative_spec(self):
+        with pytest.raises(ConfigError):
+            schedule_from_episodes(
+                [FaultEpisode(0, 0, FaultClass.CRASH, 5.0, 10.0, 10.0)],
+                spec=spec(0),
+            )
+
+    def test_from_episodes_rejects_out_of_fleet_node(self):
+        with pytest.raises(ConfigError):
+            schedule_from_episodes(
+                [FaultEpisode(0, 9, FaultClass.CRASH, 5.0, 10.0, 10.0)],
+                spec=FaultScheduleSpec(n_nodes=2),
+            )
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("bad", [
+        dict(horizon_s=0.0),
+        dict(n_nodes=0),
+        dict(crash_rate_per_min=-1.0),
+        dict(oom_shrink=0.0),
+        dict(oom_shrink=1.5),
+        dict(straggler_slowdown=0.5),
+        dict(thermal_ambient_delta_c=-5.0),
+        dict(brownout_mode="NOPE"),
+        dict(min_duration_s=0.0),
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigError):
+            FaultScheduleSpec(**bad)

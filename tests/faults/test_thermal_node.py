@@ -1,0 +1,121 @@
+"""Thermal wiring in ClusterNode: throttling emerges from dissipation."""
+
+import pytest
+
+from repro.cluster import ClusterRequest
+from repro.cluster.node import ClusterNode
+from repro.hardware import get_device
+from repro.hardware.thermal import ThermalModel
+from repro.models import get_model
+from repro.quant.dtypes import Precision
+from repro.sim.environment import Environment
+
+ORIN64 = "jetson-orin-agx-64gb"
+
+
+def hot_thermal():
+    """An aggressive RC model: a MAXN decode stream saturates past the
+    throttle point within seconds (real boards take minutes; the test
+    compresses tau and the thermal resistance, not the mechanism)."""
+    return ThermalModel(tau_s=5.0, r_thermal_c_per_w=2.0,
+                        throttle_temp_c=60.0, resume_temp_c=50.0)
+
+
+def make_node(env, thermal, **kw):
+    return ClusterNode(env, 0, get_device(ORIN64), get_model("llama"),
+                       Precision.FP16, power_mode="MAXN", thermal=thermal,
+                       **kw)
+
+
+def req(req_id, out=256, arrival=0.0):
+    return ClusterRequest(req_id=req_id, arrival_s=arrival,
+                          input_tokens=64, output_tokens=out)
+
+
+class TestEmergentThrottle:
+    def test_sustained_maxn_throttles_and_recovers(self):
+        env = Environment()
+        node = make_node(env, hot_thermal(), max_batch=8)
+        base_hz = node.device.gpu.freq_hz
+        for i in range(8):
+            node.submit(req(i, out=512))
+        env.run(until=2_000.0)
+
+        # Phase 1: sustained load crossed the throttle point and the
+        # governor actually stepped the GPU clock down.
+        assert any(on for _, on in node.throttle_log), \
+            "sustained MAXN load never throttled"
+        assert node.thermal.temp_c > node.thermal.resume_temp_c
+        assert all(r.finish_s is not None for r in
+                   node.completed), "workload did not drain"
+
+        # Phase 2: a long idle gap cools the junction; the next step's
+        # accounting advances the RC node over the gap at idle watts and
+        # the governor restores the base clock.
+        assert node.thermal.throttled
+        late = req(99, out=4, arrival=env.now + 300.0)
+        node.submit(late)
+        env.run(until=env.now + 400.0)
+        assert not node.thermal.throttled, "idle gap did not recover"
+        assert node.device.gpu.freq_hz == pytest.approx(base_hz)
+        transitions = [on for _, on in node.throttle_log]
+        assert True in transitions and False in transitions
+
+    def test_throttle_slows_decode(self):
+        def drain(thermal):
+            env = Environment()
+            node = make_node(env, thermal, max_batch=8)
+            reqs = [req(i, out=512) for i in range(8)]
+            for r in reqs:
+                node.submit(r)
+            env.run(until=5_000.0)
+            assert all(r.finish_s is not None for r in reqs)
+            return max(r.finish_s for r in reqs)
+
+        cool = drain(ThermalModel())  # stock model: never throttles here
+        hot = drain(hot_thermal())
+        assert hot > cool * 1.05
+
+    def test_stock_thermal_model_stays_cool_on_short_runs(self):
+        """Regression guard: the default RC constants must not throttle
+        the short workloads every existing cluster test runs."""
+        env = Environment()
+        node = make_node(env, ThermalModel(), max_batch=8)
+        for i in range(8):
+            node.submit(req(i, out=128))
+        env.run(until=2_000.0)
+        assert node.throttle_log == []
+        assert node.device.gpu.freq_hz == node._base_gpu_hz
+
+
+class TestModeComposition:
+    def test_apply_mode_rebases_throttle(self):
+        """A throttled node switching nvpmodel rungs stays throttled
+        relative to the *new* base clock."""
+        from repro.power.modes import get_power_mode
+
+        env = Environment()
+        node = make_node(env, hot_thermal(), max_batch=8)
+        for i in range(8):
+            node.submit(req(i, out=512))
+        env.run(until=2_000.0)
+        assert node.thermal.throttled
+        node.apply_mode(get_power_mode("A"))  # 0.8 GHz rung
+        expected = max(node._base_gpu_hz * node.thermal.throttle_freq_ratio,
+                       node.device.gpu.min_freq_hz)
+        assert node.device.gpu.freq_hz == pytest.approx(expected)
+        assert node._base_gpu_hz == pytest.approx(
+            get_power_mode("A").gpu_freq_hz)
+
+    def test_restart_resets_junction(self):
+        env = Environment()
+        node = make_node(env, hot_thermal(), max_batch=8)
+        for i in range(8):
+            node.submit(req(i, out=512))
+        env.run(until=2_000.0)
+        assert node.thermal.throttled
+        node.crash()
+        node.restart()
+        assert not node.thermal.throttled
+        assert node.thermal.temp_c == node.thermal.ambient_c
+        assert node.device.gpu.freq_hz == node._base_gpu_hz

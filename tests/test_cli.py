@@ -79,3 +79,26 @@ def test_study_rejects_unknown_model(capsys):
     assert main(["study", "--models", "not-a-model", "--runs", "1",
                  "--quiet"]) == 1
     assert "error:" in capsys.readouterr().err
+
+
+CHAOS_ARGS = ["chaos", "--seed", "5", "--requests", "16", "--horizon", "20",
+              "--crash-rate", "2.0", "--crash-downtime", "5",
+              "--rate", "3.0", "--show-trace"]
+
+
+def test_chaos_bit_reproducible(capsys):
+    assert main(CHAOS_ARGS) == 0
+    first = capsys.readouterr().out
+    assert main(CHAOS_ARGS) == 0
+    second = capsys.readouterr().out
+    assert first == second  # byte-identical, the acceptance bar
+    assert "availability" in first and "cache_key=" in first
+    assert "crash.begin" in first
+
+
+def test_chaos_writes_csv(tmp_path, capsys):
+    csv = tmp_path / "chaos.csv"
+    assert main(["chaos", "--seed", "1", "--requests", "8", "--horizon", "10",
+                 "--crash-rate", "1.0", "--csv", str(csv)]) == 0
+    body = csv.read_text()
+    assert "availability" in body and "retry_amp" in body
