@@ -7,6 +7,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.calibration import paperdata
+from repro.core import ExperimentSpec
 from repro.core.cache import ResultCache
 from repro.core.sweeps import batch_size_sweep, seq_len_sweep
 from repro.reporting import ascii_lines, compare_rows, deviation_summary, format_table
@@ -93,8 +94,9 @@ def run_batch_sweep(workload: str, n_runs: int,
                     batch_sizes=paperdata.BATCH_SIZES) -> List[Dict]:
     out = []
     for m in models:
-        res = batch_size_sweep(m, batch_sizes=batch_sizes, workload=workload,
-                               n_runs=n_runs, cache=_shared_cache)
+        spec = ExperimentSpec.for_model(m, workload=workload, n_runs=n_runs)
+        res = batch_size_sweep(spec, batch_sizes=batch_sizes,
+                               cache=_shared_cache)
         out.extend(sweep_rows(res, "batch_size", lambda r: r.batch_size))
     return out
 
@@ -104,8 +106,9 @@ def run_seqlen_sweep(workload: str, n_runs: int,
                      seq_lengths=paperdata.SEQ_LENGTHS) -> List[Dict]:
     out = []
     for m in models:
-        res = seq_len_sweep(m, seq_lengths=seq_lengths, workload=workload,
-                            n_runs=n_runs, cache=_shared_cache)
+        spec = ExperimentSpec.for_model(m, workload=workload, n_runs=n_runs)
+        res = seq_len_sweep(spec, seq_lengths=seq_lengths,
+                            cache=_shared_cache)
         out.extend(sweep_rows(res, "seq_len", lambda r: r.gen.total_tokens))
     return out
 

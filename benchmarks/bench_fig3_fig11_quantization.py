@@ -10,6 +10,7 @@ Mistral's INT8 penalty is the mildest of the FP16-capable models.
 from conftest import N_RUNS
 from _helpers import sweep_rows
 
+from repro.core import ExperimentSpec
 from repro.core.sweeps import quantization_sweep
 from repro.quant.dtypes import Precision
 from repro.reporting import ascii_bars, format_table
@@ -20,7 +21,7 @@ MODELS = ("phi2", "llama", "mistral", "deepq")
 def _build():
     rows = []
     for m in MODELS:
-        res = quantization_sweep(m, n_runs=N_RUNS)
+        res = quantization_sweep(ExperimentSpec.for_model(m, n_runs=N_RUNS))
         rows.extend(sweep_rows(res, "precision",
                                lambda r: r.precision.value))
     return rows

@@ -10,6 +10,7 @@ energy ordering is model-dependent but always close.
 from conftest import N_RUNS
 from _helpers import sweep_rows
 
+from repro.core import ExperimentSpec
 from repro.core.sweeps import batch_quant_power_sweep
 from repro.quant.dtypes import Precision
 from repro.reporting import ascii_lines, format_table
@@ -21,7 +22,8 @@ MODELS = ("phi2", "llama", "mistral", "deepq")
 def _build():
     out = {}
     for m in MODELS:
-        out[m] = batch_quant_power_sweep(m, batch_sizes=BATCH_SIZES, n_runs=N_RUNS)
+        out[m] = batch_quant_power_sweep(
+            ExperimentSpec.for_model(m, n_runs=N_RUNS), batch_sizes=BATCH_SIZES)
     return out
 
 

@@ -15,6 +15,7 @@ import pytest
 from conftest import N_RUNS
 from _helpers import sweep_rows
 
+from repro.core import ExperimentSpec
 from repro.core.sweeps import POWER_MODES, power_mode_sweep
 from repro.reporting import ascii_bars, format_table
 
@@ -24,7 +25,7 @@ MODELS = ("phi2", "llama", "mistral", "deepq")
 def _build():
     rows = []
     for m in MODELS:
-        res = power_mode_sweep(m, n_runs=N_RUNS)
+        res = power_mode_sweep(ExperimentSpec.for_model(m, n_runs=N_RUNS))
         rows.extend(sweep_rows(res, "power_mode", lambda r: r.power_mode))
     return rows
 

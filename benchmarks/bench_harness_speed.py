@@ -35,7 +35,8 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.cache import ResultCache  # noqa: E402
-from repro.core.study import FullStudyResults, run_full_study  # noqa: E402
+from repro.core.study import (FullStudyResults, StudySpec,  # noqa: E402
+                              run_full_study)
 from repro.reporting import format_table, write_csv  # noqa: E402
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -72,9 +73,10 @@ def main() -> int:
         kw = dict(models=["MS-Phi2", "Llama3"], n_runs=2,
                   include_power_energy=True)
 
-    def timed(label, **extra):
+    def timed(label, fast_forward=True, **extra):
+        spec = StudySpec.of(fast_forward=fast_forward, **kw)
         t0 = time.perf_counter()
-        res = run_full_study(**kw, **extra)
+        res = run_full_study(spec, **extra)
         dt = time.perf_counter() - t0
         print(f"  {label:14s} {dt:8.2f}s", flush=True)
         return dt, study_rows(res)

@@ -12,12 +12,13 @@ Run:  python examples/power_mode_tuning.py [model]
 
 import sys
 
+from repro.core import ExperimentSpec
 from repro.core.sweeps import POWER_MODES, power_mode_sweep
 from repro.reporting import ascii_bars, format_table
 
 
 def main(model: str = "llama") -> None:
-    runs = power_mode_sweep(model, n_runs=3)
+    runs = power_mode_sweep(ExperimentSpec.for_model(model, n_runs=3))
     maxn = next(r for r in runs if r.power_mode == "MAXN")
 
     rows = []

@@ -13,7 +13,7 @@ Run:  python examples/quantization_planner.py [model] [device]
 
 import sys
 
-from repro.core.sweeps import quantization_sweep
+from repro.core import ExperimentSpec, quantization_sweep
 from repro.models import get_model
 from repro.perplexity.analytical import perplexity_cell
 from repro.hardware import get_device
@@ -26,8 +26,8 @@ def main(model: str = "llama", device: str = "jetson-orin-agx-64gb") -> None:
     dev = get_device(device)
     print(f"planning {arch.name} ({arch.n_params_billions:.1f}B) on {dev.name}\n")
 
-    runs = {r.precision: r for r in
-            quantization_sweep(model, device=device, n_runs=3)}
+    spec = ExperimentSpec.for_model(model, device=device, n_runs=3)
+    runs = {r.precision: r for r in quantization_sweep(spec)}
 
     rows = []
     for prec in PRECISION_ORDER:

@@ -13,7 +13,7 @@ Run:  python examples/reproduce_paper.py [--quick]
 import sys
 from pathlib import Path
 
-from repro.core.study import run_full_study
+from repro.core.study import StudySpec, run_full_study
 from repro.models import footprint_table, PAPER_MODELS
 from repro.reporting import format_table, write_csv
 
@@ -24,7 +24,7 @@ def main(quick: bool = False) -> None:
     n_runs = 1 if quick else 5
     print(f"running the full study (n_runs={n_runs}) — this simulates "
           f"~300 measured configurations...\n")
-    study = run_full_study(n_runs=n_runs, progress=True)
+    study = run_full_study(StudySpec(n_runs=n_runs), progress=True)
     OUT.mkdir(exist_ok=True)
 
     print("\n" + format_table(study.table1_footprints,

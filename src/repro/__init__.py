@@ -7,37 +7,125 @@ Orin AGX 64GB board (CPU/GPU/LPDDR5, power modes), the PyTorch + HF
 serving runtime (prefill/decode roofline, caching allocator, KV cache),
 bitsandbytes quantization, the WikiText2/LongBench workloads and the
 jtop measurement methodology — and re-runs every table and figure of
-the paper against the simulation.
+the paper against the simulation.  On top of the single-board protocol
+it adds multi-node cluster serving, deterministic fault injection and a
+request-scoped observability layer.
 
-Quick start::
+Quick start — one measured configuration, spec-first::
 
-    from repro import ServingEngine, GenerationSpec, get_device, get_model, Precision
+    from repro import ExperimentSpec, run_experiment
 
-    engine = ServingEngine(get_device("jetson-orin-agx-64gb"),
-                           get_model("llama"), Precision.FP16)
-    result = engine.run(batch_size=32, gen=GenerationSpec(32, 64))
-    print(result.as_row())
+    spec = ExperimentSpec.for_model("llama", batch_size=32)
+    print(run_experiment(spec).as_row())
 
-See ``examples/`` for complete scenarios and ``benchmarks/`` for the
-per-table/figure reproductions.
+A paper sweep, the whole study, or a served cluster::
+
+    from repro import (EdgeCluster, NodeSpec, Observer, StudySpec,
+                      batch_size_sweep, poisson_workload, run_full_study,
+                      write_chrome_trace)
+
+    runs = batch_size_sweep(ExperimentSpec.for_model("llama", n_runs=3))
+    study = run_full_study(StudySpec.of(["phi2"], n_runs=1))
+
+    obs = Observer()                           # request-scoped telemetry
+    cluster = EdgeCluster.build([NodeSpec("jetson-orin-agx-64gb")],
+                                model="llama", observer=obs)
+    cluster.run(poisson_workload(2.0, 50))
+    write_chrome_trace("trace.json", obs)      # load in Perfetto
+
+See ``examples/`` for complete scenarios, ``benchmarks/`` for the
+per-table/figure reproductions, and ``docs/mechanisms.md`` for how the
+simulation works.
 """
 
+# The engine must initialise before the cluster package: cluster.workload
+# imports engine.scheduler, whose lazy re-exports point back at cluster.
 from repro.engine import GenerationSpec, RunResult, ServingEngine
+
+from repro.cluster import (
+    ClusterReport,
+    EdgeCluster,
+    NodeSpec,
+    PowerModeAutoscaler,
+    SLOSpec,
+    bursty_workload,
+    diurnal_workload,
+    multi_tenant_workload,
+    poisson_workload,
+)
+from repro.core import (
+    ExperimentSpec,
+    FullStudyResults,
+    ResultCache,
+    StudySpec,
+    batch_quant_power_sweep,
+    batch_size_sweep,
+    default_precision_for,
+    power_mode_sweep,
+    quantization_sweep,
+    run_experiment,
+    run_full_study,
+    run_specs,
+    seq_len_sweep,
+)
 from repro.errors import OutOfMemoryError, ReproError
+from repro.faults import ChaosSpec, FaultSchedule, FaultScheduleSpec, run_chaos
 from repro.hardware import get_device
 from repro.models import get_model
+from repro.obs import (
+    MetricsRegistry,
+    Observer,
+    chrome_trace_json,
+    prometheus_text,
+    write_chrome_trace,
+    write_metrics,
+)
 from repro.quant import Precision
+from repro.reporting import phase_breakdown
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ChaosSpec",
+    "ClusterReport",
+    "EdgeCluster",
+    "ExperimentSpec",
+    "FaultSchedule",
+    "FaultScheduleSpec",
+    "FullStudyResults",
     "GenerationSpec",
+    "MetricsRegistry",
+    "NodeSpec",
+    "Observer",
     "OutOfMemoryError",
+    "PowerModeAutoscaler",
     "Precision",
     "ReproError",
+    "ResultCache",
     "RunResult",
+    "SLOSpec",
     "ServingEngine",
+    "StudySpec",
     "__version__",
+    "batch_quant_power_sweep",
+    "batch_size_sweep",
+    "bursty_workload",
+    "chrome_trace_json",
+    "default_precision_for",
+    "diurnal_workload",
     "get_device",
     "get_model",
+    "multi_tenant_workload",
+    "phase_breakdown",
+    "poisson_workload",
+    "power_mode_sweep",
+    "prometheus_text",
+    "quantization_sweep",
+    "run_chaos",
+    "run_experiment",
+    "run_full_study",
+    "run_specs",
+    "seq_len_sweep",
+    "write_chrome_trace",
+    "write_metrics",
 ]

@@ -11,7 +11,15 @@ map onto the paper's experiments:
 - ``repro perplexity`` — Table 3.
 - ``repro study --jobs -1 --cache`` — the entire paper in one go, with
   process fan-out and the on-disk result cache.
+- ``repro cluster`` / ``repro chaos`` — multi-node serving, with and
+  without fault injection.
 - ``repro devices`` / ``repro models`` — list presets.
+
+``run``, ``sweep``, ``study``, ``cluster`` and ``chaos`` all accept
+``--trace-out FILE`` (Chrome trace-event JSON for Perfetto) and
+``--metrics-out FILE`` (Prometheus text or CSV); either flag also
+prints a span-based per-phase latency breakdown.  Telemetry is
+deterministic: same seed, byte-identical files.
 """
 
 from __future__ import annotations
@@ -21,6 +29,40 @@ import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Chrome trace-event JSON "
+                             "(load in Perfetto / chrome://tracing)")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write the metrics snapshot "
+                             "(.prom/.txt: Prometheus text, else CSV)")
+
+
+def _obs_from_args(args: argparse.Namespace):
+    """An enabled Observer iff any observability output was requested."""
+    if not (args.trace_out or args.metrics_out):
+        return None
+    from repro.obs import Observer
+
+    return Observer()
+
+
+def _finish_obs(args: argparse.Namespace, obs) -> None:
+    """Write the requested exports and print the phase breakdown."""
+    if obs is None:
+        return
+    from repro.obs import write_chrome_trace, write_metrics
+    from repro.reporting import format_table, phase_breakdown
+
+    rows = phase_breakdown(obs)
+    if rows:
+        print(format_table(rows, title="phase breakdown (simulated time)"))
+    if args.trace_out:
+        print(f"wrote {write_chrome_trace(args.trace_out, obs)}")
+    if args.metrics_out:
+        print(f"wrote {write_metrics(args.metrics_out, obs.metrics)}")
 
 
 def _cmd_footprint(args: argparse.Namespace) -> int:
@@ -70,12 +112,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         power_mode=args.power_mode,
         n_runs=args.runs,
     )
-    result = run_experiment(spec)
+    obs = _obs_from_args(args)
+    result = run_experiment(spec, observer=obs)
     print(format_table([result.as_row()]))
+    _finish_obs(args, obs)
     return 2 if result.oom else 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.experiment import ExperimentSpec
     from repro.core.sweeps import (
         batch_size_sweep,
         power_mode_sweep,
@@ -90,12 +135,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "quant": quantization_sweep,
         "powermode": power_mode_sweep,
     }
-    runs = sweeps[args.kind](args.model, n_runs=args.runs, device=args.device)
+    spec = ExperimentSpec.for_model(args.model, device=args.device,
+                                    n_runs=args.runs)
+    obs = _obs_from_args(args)
+    runs = sweeps[args.kind](spec, observer=obs)
     rows = [r.as_row() for r in runs]
     print(format_table(rows, title=f"{args.kind} sweep — {runs[0].model}"))
     if args.csv:
         path = write_csv(args.csv, rows)
         print(f"wrote {path}")
+    _finish_obs(args, obs)
     return 0
 
 
@@ -116,9 +165,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     devices = [d.strip() for d in args.devices.split(",") if d.strip()]
     specs = [NodeSpec(d, max_batch=args.max_batch) for d in devices]
     slo = SLOSpec(ttft_s=args.ttft_slo, tpot_s=args.tpot_slo)
+    obs = _obs_from_args(args)
     cluster = EdgeCluster.build(
         specs, model=args.model, precision=args.precision,
-        policy=args.policy, slo=slo,
+        policy=args.policy, slo=slo, observer=obs,
     )
     if args.autoscale:
         cluster.attach_autoscaler(
@@ -147,6 +197,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     if args.csv:
         path = write_csv(args.csv, [report.as_row()])
         print(f"wrote {path}")
+    _finish_obs(args, obs)
     return 0
 
 
@@ -178,7 +229,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         ),
         enable_fallback=args.fallback,
     )
-    report = run_chaos(spec)
+    obs = _obs_from_args(args)
+    report = run_chaos(spec, observer=obs)
     # Output is a pure function of the spec (no wall clock, no paths),
     # so two invocations with one seed are byte-identical — diffable.
     print(format_table([report.as_row()],
@@ -194,6 +246,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.csv:
         path = write_csv(args.csv, [report.as_row()])
         print(f"wrote {path}")
+    _finish_obs(args, obs)
     return 0
 
 
@@ -201,7 +254,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
     import time
 
     from repro.core.cache import ResultCache, default_cache_dir
-    from repro.core.study import run_full_study
+    from repro.core.study import StudySpec, run_full_study
     from repro.reporting import format_table
 
     cache = None
@@ -209,16 +262,21 @@ def _cmd_study(args: argparse.Namespace) -> int:
         cache = ResultCache(args.cache_dir or default_cache_dir())
     models = ([m.strip() for m in args.models.split(",") if m.strip()]
               if args.models else None)
+    spec = StudySpec.of(
+        models,
+        n_runs=args.runs,
+        include_power_energy=not args.no_power_energy,
+        fast_forward=not args.no_fast_forward,
+    )
+    obs = _obs_from_args(args)
 
     t0 = time.perf_counter()
     results = run_full_study(
-        models=models,
-        n_runs=args.runs,
-        include_power_energy=not args.no_power_energy,
+        spec,
         progress=not args.quiet,
         jobs=args.jobs,
         cache=cache,
-        fast_forward=not args.no_fast_forward,
+        observer=obs,
     )
     elapsed = time.perf_counter() - t0
 
@@ -243,6 +301,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         s = cache.stats
         line += f"; cache: {s.hits} hits / {s.misses} misses -> {cache.root}"
     print(line)
+    _finish_obs(args, obs)
     return 0
 
 
@@ -277,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--output-tokens", type=int, default=64)
     run.add_argument("--power-mode", default="MAXN")
     run.add_argument("--runs", type=int, default=5)
+    _add_obs_args(run)
 
     sweep = sub.add_parser("sweep", help="run one of the paper's sweeps")
     sweep.add_argument("kind", choices=["batch", "seqlen", "quant", "powermode"])
@@ -284,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--device", default="jetson-orin-agx-64gb")
     sweep.add_argument("--runs", type=int, default=2)
     sweep.add_argument("--csv", default=None, help="also write rows to CSV")
+    _add_obs_args(sweep)
 
     ppl = sub.add_parser("perplexity", help="Table 3: perplexity by precision")
     ppl.add_argument("--device", default="jetson-orin-agx-64gb")
@@ -307,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="step decode token-by-token (debugging)")
     study.add_argument("--quiet", action="store_true",
                        help="suppress per-sweep progress lines")
+    _add_obs_args(study)
 
     clu = sub.add_parser("cluster",
                          help="multi-device serving: trace -> router -> fleet")
@@ -331,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable the power-mode autoscaler")
     clu.add_argument("--seed", type=int, default=0)
     clu.add_argument("--csv", default=None, help="also write the report row")
+    _add_obs_args(clu)
 
     chaos = sub.add_parser(
         "chaos",
@@ -361,6 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--show-trace", action="store_true",
                        help="print the applied-fault transcript")
     chaos.add_argument("--csv", default=None, help="also write the report row")
+    _add_obs_args(chaos)
 
     return parser
 

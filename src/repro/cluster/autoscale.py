@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.cluster.node import ClusterNode
 from repro.errors import ConfigError
 from repro.hardware.device import EdgeDevice
+from repro.obs import kinds
 from repro.power.modes import PAPER_POWER_MODES, PowerMode
 from repro.sim.environment import Environment
 
@@ -135,6 +136,12 @@ class PowerModeAutoscaler:
         self.history.append(
             ModeSwitch(self.env.now, node.node_id, mode.name, reason)
         )
+        if node.obs.enabled:
+            node.obs.instant(kinds.AUTOSCALE, cat=kinds.CAT_CLUSTER,
+                             track=node.obs_track, rung=rung, mode=mode.name,
+                             reason=reason)
+            node.obs.metrics.counter(
+                "autoscale_actions_total", node=str(node.node_id)).inc()
 
     def _control_step(self) -> None:
         cfg = self.config

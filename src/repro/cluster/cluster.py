@@ -30,6 +30,8 @@ from repro.faults.recovery import RetryBudget, RetryPolicy
 from repro.hardware import get_device
 from repro.models import get_model
 from repro.models.architecture import TransformerArchitecture
+from repro.obs import kinds
+from repro.obs.span import NO_SPAN, NULL_OBSERVER, Observer
 from repro.power.model import PowerModel
 from repro.quant.dtypes import Precision
 from repro.sim.environment import Environment
@@ -61,6 +63,7 @@ class EdgeCluster:
         max_retries: int = 2,
         retry_backoff_s: float = 0.25,
         retry: Optional[RetryPolicy] = None,
+        observer: Optional[Observer] = None,
     ):
         if not nodes:
             raise ConfigError("cluster needs at least one node")
@@ -80,6 +83,12 @@ class EdgeCluster:
         #: start/stop-style controllers run alongside serving
         #: (autoscaler, fault injector, precision fallback, ...).
         self._services: List = []
+        #: Observability sink shared with every node (request-lifecycle
+        #: spans land on ``req{i}`` tracks, serving spans on ``node{i}``).
+        self.obs = observer if observer is not None else NULL_OBSERVER
+        if self.obs.enabled:
+            self.obs.bind(env)
+            self.obs.set_group("cluster")
         router.assign_roles(self.nodes)
 
     @classmethod
@@ -94,6 +103,7 @@ class EdgeCluster:
         power_model: Optional[PowerModel] = None,
         sample_period_s: float = 1.0,
         retry: Optional[RetryPolicy] = None,
+        observer: Optional[Observer] = None,
         **router_kwargs,
     ) -> "EdgeCluster":
         """Instantiate devices from presets and wire the fleet together."""
@@ -109,11 +119,12 @@ class EdgeCluster:
                 power_mode=s.power_mode, max_batch=s.max_batch,
                 max_queue=s.max_queue, params=params,
                 power_model=shared_power, sample_period_s=sample_period_s,
+                obs=observer,
             )
             for i, s in enumerate(specs)
         ]
         return cls(nodes, get_router(policy, **router_kwargs), env, slo=slo,
-                   retry=retry)
+                   retry=retry, observer=observer)
 
     def attach_autoscaler(self, autoscaler) -> None:
         """Register a power-mode autoscaler (started when ``run`` begins)."""
@@ -134,21 +145,56 @@ class EdgeCluster:
         """One placement round: route, submit, count a retry on failure."""
         node = self.router.choose(r, self.nodes)
         if node is not None and node.submit(r):
+            if self.obs.enabled:
+                self.obs.instant(kinds.ROUTE, cat=kinds.CAT_CLUSTER,
+                                 track=f"req{r.req_id}", parent=r.obs_span,
+                                 node=node.node_id, policy=self.router.name)
             return node
         r.retries += 1
+        if self.obs.enabled:
+            self.obs.instant(kinds.RETRY, cat=kinds.CAT_CLUSTER,
+                             track=f"req{r.req_id}", parent=r.obs_span,
+                             attempt=r.retries)
+            self.obs.metrics.counter("retries_total").inc()
         return None
+
+    def _obs_request_start(self, r: ClusterRequest) -> None:
+        if self.obs.enabled:
+            r.obs_span = self.obs.begin(
+                kinds.REQUEST, cat=kinds.CAT_REQUEST, track=f"req{r.req_id}",
+                req=r.req_id, tenant=r.tenant,
+                input_tokens=r.input_tokens, output_tokens=r.output_tokens)
+
+    def _obs_reject(self, r: ClusterRequest, reason: str) -> None:
+        if self.obs.enabled:
+            self.obs.instant(kinds.REJECT, cat=kinds.CAT_CLUSTER,
+                             track=f"req{r.req_id}", parent=r.obs_span,
+                             reason=reason)
+            self.obs.end(r.obs_span, outcome="rejected", reason=reason)
+            r.obs_span = NO_SPAN
+            self.obs.metrics.counter("requests_rejected_total",
+                                     reason=reason).inc()
 
     def _transfer_then_decode(self, r: ClusterRequest):
         """Splitwise handover: wait out the link, enqueue on a decode node."""
         assert isinstance(self.router, SplitwiseRouter)
         node = self.router.choose_decode(r)
         if node is None:
+            self._obs_reject(r, "no_decode_node")
             r.rejected = True
             self._finished += 1
             self._check_done()
             return
+        transfer_start = self.env.now
         yield self.env.timeout(self.router.transfer_seconds(r, node))
+        if self.obs.enabled:
+            self.obs.complete(
+                kinds.KV_TRANSFER, transfer_start, self.env.now,
+                cat=kinds.CAT_CLUSTER, track=f"req{r.req_id}",
+                parent=r.obs_span, to_node=node.node_id,
+                kv_bytes=node.kv_bytes(r.input_tokens))
         if not node.submit(r):
+            self._obs_reject(r, "decode_refused")
             r.rejected = True
             self._finished += 1
         self._check_done()
@@ -168,7 +214,19 @@ class EdgeCluster:
         self._done = env.event()
         self._retry_budget = RetryBudget(self.retry.retry_budget)
 
+        obs = self.obs
+
         def on_complete(r: ClusterRequest) -> None:
+            if obs.enabled:
+                obs.end(r.obs_span, outcome="ok", node=r.node_id)
+                r.obs_span = NO_SPAN
+                m = obs.metrics
+                m.counter("requests_completed_total").inc()
+                m.counter("tokens_total").inc(r.output_tokens)
+                if r.first_token_s is not None:
+                    m.histogram("ttft_s").observe(r.first_token_s - r.arrival_s)
+                if r.finish_s is not None:
+                    m.histogram("latency_s").observe(r.finish_s - r.arrival_s)
             self._finished += 1
             self._check_done()
 
@@ -187,6 +245,7 @@ class EdgeCluster:
                 delay = r.arrival_s - env.now
                 if delay > 0:
                     yield env.timeout(delay)
+                self._obs_request_start(r)
                 env.process(self._admit_with_retry(r),
                             name=f"admit-{r.req_id}")
 
@@ -198,6 +257,8 @@ class EdgeCluster:
             n.sampler.stop()
         for svc in self._services:
             svc.stop()
+        if obs.enabled:
+            obs.finish_open()
         return build_report(self.router.name, reqs, self.nodes, self.slo,
                             makespan_s=env.now)
 
@@ -211,12 +272,18 @@ class EdgeCluster:
         """
         for r in orphans:
             if r.requeues >= self.retry.max_requeues:
+                self._obs_reject(r, "requeue_cap")
                 r.rejected = True
                 self._finished += 1
                 self._check_done()
                 continue
             r.requeues += 1
             r.node_id = None
+            if self.obs.enabled:
+                self.obs.instant(kinds.REQUEUE, cat=kinds.CAT_CLUSTER,
+                                 track=f"req{r.req_id}", parent=r.obs_span,
+                                 attempt=r.requeues)
+                self.obs.metrics.counter("requeues_total").inc()
             self.env.process(self._admit_with_retry(r),
                              name=f"requeue-{r.req_id}-{r.requeues}")
 
@@ -236,6 +303,7 @@ class EdgeCluster:
             if not self._retry_budget.take():
                 break
             yield self.env.timeout(self.retry.delay_s(attempt))
+        self._obs_reject(r, "admission")
         r.rejected = True
         self._finished += 1
         self._check_done()

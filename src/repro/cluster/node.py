@@ -44,6 +44,8 @@ from repro.hardware.device import EdgeDevice
 from repro.hardware.thermal import ThermalModel
 from repro.models.architecture import TransformerArchitecture
 from repro.models.footprint import weight_bytes
+from repro.obs import kinds
+from repro.obs.span import NO_SPAN, NULL_OBSERVER, Observer
 from repro.power.model import ComponentUtilization, PowerModel
 from repro.power.modes import PowerMode, apply_power_mode, get_power_mode
 from repro.quant.dtypes import Precision
@@ -124,6 +126,7 @@ class ClusterNode:
         kv_budget_bytes: Optional[int] = None,
         sample_period_s: float = 1.0,
         thermal: Optional[ThermalModel] = None,
+        obs: Optional[Observer] = None,
     ):
         if max_batch < 1 or max_queue < 1:
             raise ConfigError("max_batch and max_queue must be >= 1")
@@ -174,9 +177,13 @@ class ClusterNode:
         self.on_crash: Optional[
             Callable[[List[ClusterRequest]], None]] = None
 
+        #: Observability sink (spans/instants on the ``node{i}`` track).
+        self.obs = obs if obs is not None else NULL_OBSERVER
+        self.obs_track = f"node{node_id}"
         self.state = EngineState()
         self.sampler = PowerSampler(env, device, self.power_model, self.state,
-                                    period_s=sample_period_s)
+                                    period_s=sample_period_s, obs=self.obs,
+                                    obs_track=self.obs_track)
         #: Exact step-accounted busy energy (J) and busy wall time (s).
         self.busy_energy_j = 0.0
         self.busy_seconds = 0.0
@@ -251,6 +258,10 @@ class ClusterNode:
             return False
         r.node_id = self.node_id
         self.queue.append(r)
+        if self.obs.enabled:
+            r.queue_span = self.obs.begin(
+                kinds.QUEUE, cat=kinds.CAT_REQUEST, track=f"req{r.req_id}",
+                parent=r.obs_span, node=self.node_id)
         self._notify()
         return True
 
@@ -271,6 +282,10 @@ class ClusterNode:
         apply_power_mode(self.device, mode)
         self._base_gpu_hz = self.device.gpu.freq_hz
         self._apply_throttle()
+        if self.obs.enabled:
+            self.obs.instant(kinds.MODE_CHANGE, cat=kinds.CAT_CLUSTER,
+                             track=self.obs_track, mode=mode.name,
+                             gpu_mhz=round(mode.gpu_freq_hz / 1e6))
 
     def current_mode_snapshot(self) -> PowerMode:
         """The operating point as an (anonymous) PowerMode, for restore."""
@@ -319,6 +334,15 @@ class ClusterNode:
             return []
         self.healthy = False
         orphans = list(self.active) + list(self.queue)
+        if self.obs.enabled:
+            for r in self.active:
+                self.obs.instant(kinds.REPLAY, cat=kinds.CAT_REQUEST,
+                                 track=f"req{r.req_id}", parent=r.obs_span,
+                                 node=self.node_id,
+                                 tokens_lost=r.generated)
+            for r in self.queue:
+                self.obs.end(r.queue_span, outcome="crash")
+                r.queue_span = NO_SPAN
         for r in self.active:
             r.reset_for_replay()
         self.active.clear()
@@ -368,6 +392,17 @@ class ClusterNode:
             # Evictions re-enter at the queue head (they were already
             # admitted once); the depth cap only gates *new* arrivals.
             self.queue[0:0] = evicted
+            if self.obs.enabled:
+                for r in evicted:
+                    r.evicted = True
+                    self.obs.instant(
+                        kinds.EJECT, cat=kinds.CAT_REQUEST,
+                        track=f"req{r.req_id}", parent=r.obs_span,
+                        node=self.node_id, kv_shrink=factor)
+                    r.queue_span = self.obs.begin(
+                        kinds.QUEUE, cat=kinds.CAT_REQUEST,
+                        track=f"req{r.req_id}", parent=r.obs_span,
+                        node=self.node_id, after_eviction=True)
         if grew:
             self._notify()  # headroom returned: head may fit now
         return evicted
@@ -444,7 +479,23 @@ class ClusterNode:
             r = self.queue.pop(0)
             self.active.append(r)
             admitted.append(r)
+            if self.obs.enabled:
+                self._obs_admitted(r)
         return admitted
+
+    def _obs_admitted(self, r: ClusterRequest) -> None:
+        """Close the queue-wait span; note readmissions after eviction."""
+        obs = self.obs
+        start = obs.open_start(r.queue_span)
+        if start is not None:
+            obs.metrics.histogram("queue_wait_s").observe(self.env.now - start)
+        obs.end(r.queue_span, node=self.node_id)
+        r.queue_span = NO_SPAN
+        if r.evicted:
+            r.evicted = False
+            obs.instant(kinds.READMIT, cat=kinds.CAT_REQUEST,
+                        track=f"req{r.req_id}", parent=r.obs_span,
+                        node=self.node_id)
 
     def _serve_loop(self):
         env = self.env
@@ -464,10 +515,16 @@ class ClusterNode:
                         continue  # prompt KV arrives via the transfer link
                     cost = self.timer.prefill(1, r.input_tokens)
                     _, dur = self._account(cost, "prefill")
+                    prefill_start = env.now
                     yield env.timeout(dur)
                     self.last_busy_s = env.now
                     self.prefilled_tokens += r.input_tokens
                     r.prefill_end_s = env.now
+                    if self.obs.enabled:
+                        self.obs.complete(
+                            kinds.PREFILL, prefill_start, env.now,
+                            cat=kinds.CAT_CLUSTER, track=self.obs_track,
+                            req=r.req_id, tokens=r.input_tokens)
                     if self.role == "prefill":
                         self.active.remove(r)
                         if self.on_prefill_done is not None:
@@ -490,8 +547,14 @@ class ClusterNode:
                 concat = 2 * self.kv_bytes(bs * context)
                 cost = self.timer.decode_step(bs, context, concat_bytes=concat)
                 step_j, dur = self._account(cost, "decode")
+                step_start = env.now
                 yield env.timeout(dur)
                 self.last_busy_s = env.now
+                if self.obs.enabled:
+                    self.obs.complete(
+                        kinds.DECODE, step_start, env.now,
+                        cat=kinds.CAT_CLUSTER, track=self.obs_track,
+                        batch=bs, context=context)
                 # Requests evicted mid-step (OOM pressure) left `active`
                 # and get no token from this step.
                 for r in list(self.active):

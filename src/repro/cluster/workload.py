@@ -48,6 +48,13 @@ class ClusterRequest(ServeRequest):
     energy_j: float = 0.0
     #: Simulated time the prefill finished (set by prefill/decode split).
     prefill_end_s: Optional[float] = None
+    #: Open observability span ids (``repro.obs``): the request-lifetime
+    #: span and the current queue-wait span.  ``-1`` (``NO_SPAN``) when
+    #: observability is off or the span is closed.
+    obs_span: int = -1
+    queue_span: int = -1
+    #: Transient: evicted under KV pressure, awaiting re-admission.
+    evicted: bool = False
 
 
 def poisson_workload(

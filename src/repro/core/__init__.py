@@ -20,15 +20,17 @@ from repro.core.cache import (
     set_default_cache,
     spec_fingerprint,
 )
-from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.experiment import (ExperimentSpec, default_precision_for,
+                                   run_experiment)
 from repro.core.parallel import run_specs
 from repro.core.sweeps import (
+    batch_quant_power_sweep,
     batch_size_sweep,
     power_mode_sweep,
     quantization_sweep,
     seq_len_sweep,
 )
-from repro.core.study import FullStudyResults, run_full_study
+from repro.core.study import FullStudyResults, StudySpec, run_full_study
 
 __all__ = [
     "COST_MODEL_VERSION",
@@ -36,7 +38,10 @@ __all__ = [
     "ExperimentSpec",
     "FullStudyResults",
     "ResultCache",
+    "StudySpec",
+    "batch_quant_power_sweep",
     "batch_size_sweep",
+    "default_precision_for",
     "get_default_cache",
     "power_mode_sweep",
     "quantization_sweep",

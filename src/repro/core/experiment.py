@@ -43,6 +43,17 @@ class ExperimentSpec:
         if self.workload not in ("wikitext2", "longbench"):
             raise ExperimentError(f"unknown workload {self.workload!r}")
 
+    @classmethod
+    def for_model(cls, model: str, **overrides) -> "ExperimentSpec":
+        """Spec for one model at the paper's sweep precision.
+
+        The precision default is *model-dependent* (Deepseek-Qwen only
+        fits at INT8), so this is the preferred constructor whenever the
+        caller has not chosen a precision deliberately.
+        """
+        overrides.setdefault("precision", default_precision_for(model))
+        return cls(model=model, **overrides)
+
 
 def default_precision_for(model_name: str) -> Precision:
     """The precision the paper's performance sweeps used for a model."""
@@ -56,6 +67,7 @@ def run_experiment(
     params: Optional[EngineCostParams] = None,
     cache=None,
     fast_forward: bool = True,
+    observer=None,
 ) -> RunResult:
     """Execute one spec; OOM (at load or mid-run) yields ``oom=True``.
 
@@ -66,12 +78,21 @@ def run_experiment(
     stored after.  The cache key covers the spec, the effective cost
     constants, and the cost-model version, so stale hits are impossible
     without a hash collision.
+
+    An enabled ``observer`` (:class:`repro.obs.Observer`) collects
+    spans/metrics for the run — and *bypasses* the cache: a cached hit
+    replays no simulation, so it would produce an empty trace that
+    silently masqueraded as a real one.
     """
     from repro.calibration.constants import CALIBRATED_COST_PARAMS
     from repro.core.cache import get_default_cache
 
-    if cache is None:
+    observing = observer is not None and observer.enabled
+    if cache is None and not observing:
         cache = get_default_cache()
+    if observing:
+        cache = None
+        observer.set_group(f"{spec.model}/{spec.device}")
     # The engine falls back to the calibrated constants when params is
     # None; the cache key must hash the constants actually in effect.
     effective_params = params or CALIBRATED_COST_PARAMS
@@ -86,7 +107,8 @@ def run_experiment(
     try:
         engine = ServingEngine(device, arch, spec.precision, params=params,
                                kv_mode=spec.kv_mode,
-                               fast_forward=fast_forward)
+                               fast_forward=fast_forward,
+                               observer=observer)
     except OutOfMemoryError:
         # The model itself does not fit (e.g. FP32 Mistral on 64GB).
         result = RunResult(

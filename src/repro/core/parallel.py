@@ -77,6 +77,7 @@ def run_specs(
     jobs: Optional[int] = None,
     cache=None,
     fast_forward: bool = True,
+    observer=None,
 ) -> List[RunResult]:
     """Run every spec; returns results in spec order.
 
@@ -84,13 +85,18 @@ def run_specs(
     ``jobs > 1`` fans out over a process pool; ``jobs = -1`` uses every
     core.  Serial and parallel runs return identical results in
     identical order.
+
+    An enabled ``observer`` forces the serial path: span records live in
+    the parent process and cannot be collected across a pool boundary.
     """
     from repro.core.experiment import run_experiment
 
-    n_jobs = resolve_jobs(jobs)
+    observing = observer is not None and observer.enabled
+    n_jobs = 1 if observing else resolve_jobs(jobs)
     if n_jobs <= 1 or len(specs) <= 1:
         return [run_experiment(s, params=params, cache=cache,
-                               fast_forward=fast_forward) for s in specs]
+                               fast_forward=fast_forward, observer=observer)
+                for s in specs]
 
     cache_root = str(cache.root) if cache is not None else None
     cache_version = cache.version if cache is not None else None

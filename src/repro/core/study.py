@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.experiment import ExperimentSpec
+from repro.errors import ExperimentError
 from repro.core.parallel import run_specs
 from repro.core.sweeps import (
     batch_quant_power_sweep_specs,
@@ -21,6 +23,32 @@ from repro.models.footprint import footprint_table
 from repro.models.zoo import PAPER_MODELS
 from repro.perplexity.analytical import perplexity_table
 from repro.quant.dtypes import Precision
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """What to reproduce: the study-level counterpart of ExperimentSpec.
+
+    ``models=None`` means every paper model; ``n_runs`` follows the
+    paper's measurement protocol (5) — lower it for smoke runs.
+    """
+
+    models: Optional[Tuple[str, ...]] = None
+    n_runs: int = 5
+    include_power_energy: bool = True
+    fast_forward: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_runs < 1:
+            raise ExperimentError("study needs n_runs >= 1")
+
+    @classmethod
+    def of(cls, models: Optional[Sequence[str]] = None,
+           **overrides) -> "StudySpec":
+        """Build a spec, normalising any model list to a tuple."""
+        if models is not None:
+            overrides["models"] = tuple(models)
+        return cls(**overrides)
 
 
 @dataclass
@@ -56,45 +84,84 @@ def _build_plan(
     plan: List[Tuple[_Slot, ExperimentSpec]] = []
     for model in models:
         for wl in ("wikitext2", "longbench"):
-            for spec in batch_size_sweep_specs(model, workload=wl, n_runs=n_runs):
+            for spec in batch_size_sweep_specs(
+                    ExperimentSpec.for_model(model, workload=wl,
+                                             n_runs=n_runs)):
                 plan.append((("batch", model, wl), spec))
         for wl in ("wikitext2", "longbench"):
-            for spec in seq_len_sweep_specs(model, workload=wl, n_runs=n_runs):
+            for spec in seq_len_sweep_specs(
+                    ExperimentSpec.for_model(model, workload=wl,
+                                             n_runs=n_runs)):
                 plan.append((("seqlen", model, wl), spec))
-        for spec in quantization_sweep_specs(model, n_runs=n_runs):
+        for spec in quantization_sweep_specs(
+                ExperimentSpec.for_model(model, n_runs=n_runs)):
             plan.append((("quant", model, None), spec))
-        for spec in power_mode_sweep_specs(model, n_runs=n_runs):
+        for spec in power_mode_sweep_specs(
+                ExperimentSpec.for_model(model, n_runs=n_runs)):
             plan.append((("power_mode", model, None), spec))
         if include_power_energy:
-            grid = batch_quant_power_sweep_specs(model, n_runs=n_runs)
+            grid = batch_quant_power_sweep_specs(
+                ExperimentSpec.for_model(model, n_runs=n_runs))
             for prec, specs in grid.items():
                 for spec in specs:
                     plan.append((("power_energy", model, prec), spec))
     return plan
 
 
+#: run_full_study kwargs that configure *what* runs (StudySpec fields,
+#: plus the legacy spelling ``models`` as a list).
+_STUDY_SPEC_KEYS = ("models", "n_runs", "include_power_energy",
+                    "fast_forward")
+
+
 def run_full_study(
-    models: Optional[List[str]] = None,
-    n_runs: int = 5,
+    spec: Optional[StudySpec] = None,
     params: Optional[EngineCostParams] = None,
-    include_power_energy: bool = True,
     progress: bool = False,
     jobs: Optional[int] = None,
     cache=None,
-    fast_forward: bool = True,
+    observer=None,
+    **legacy,
 ) -> FullStudyResults:
     """Reproduce every experiment of the paper on the simulated board.
 
-    ``n_runs`` follows the paper's protocol (5); lower it for quick
-    smoke runs.  With the default model set this covers Tables 1 and 3
-    analytically and runs ~290 simulated configurations for the sweeps.
+    ``spec`` (a :class:`StudySpec`) says *what* to run; the remaining
+    arguments say *how* (cost params, process fan-out, cache, progress,
+    observability).  ``run_full_study()`` bare runs the full paper.
 
     ``jobs`` fans the configurations out over a process pool
     (``-1`` = all cores); results are identical to a serial run, in the
     same order.  ``cache`` (a :class:`~repro.core.cache.ResultCache`)
-    skips configurations whose results are already on disk.
+    skips configurations whose results are already on disk.  An enabled
+    ``observer`` (:class:`repro.obs.Observer`) collects spans for every
+    configuration — and forces the serial, uncached path, since neither
+    a worker process nor a cache hit can produce span records.
+
+    The pre-spec keyword form (``run_full_study(models=[...], n_runs=1)``)
+    still works but emits a :class:`DeprecationWarning`.
     """
-    models = models or list(PAPER_MODELS)
+    if legacy:
+        unknown = set(legacy) - set(_STUDY_SPEC_KEYS)
+        if unknown:
+            raise TypeError(
+                f"run_full_study() got unexpected keyword arguments "
+                f"{sorted(unknown)}")
+        if spec is not None:
+            raise ExperimentError(
+                "run_full_study: pass either a StudySpec or legacy "
+                "keyword arguments, not both")
+        warnings.warn(
+            "run_full_study(models=..., n_runs=...) keywords are "
+            "deprecated; pass a StudySpec (StudySpec.of(models, ...))",
+            DeprecationWarning, stacklevel=2,
+        )
+        spec = StudySpec.of(**legacy)
+    if spec is None:
+        spec = StudySpec()
+    models = list(spec.models) if spec.models is not None else list(PAPER_MODELS)
+    n_runs = spec.n_runs
+    include_power_energy = spec.include_power_energy
+    fast_forward = spec.fast_forward
     results = FullStudyResults()
 
     results.table1_footprints = footprint_table(
@@ -109,8 +176,9 @@ def run_full_study(
     plan = _build_plan(models, n_runs, include_power_energy)
     log(f"[study] {len(plan)} configurations across {len(models)} model(s), "
         f"jobs={jobs or 1}")
-    runs = run_specs([spec for _, spec in plan], params=params, jobs=jobs,
-                     cache=cache, fast_forward=fast_forward)
+    runs = run_specs([s for _, s in plan], params=params, jobs=jobs,
+                     cache=cache, fast_forward=fast_forward,
+                     observer=observer)
 
     # Reassemble in plan order: append order within each slot list equals
     # the order the specs were planned, which equals serial sweep order.

@@ -6,14 +6,28 @@ and a thin runner that executes the specs.  The builders let the study
 harness collect every spec of every sweep into one flat plan and fan it
 out across processes (:mod:`repro.core.parallel`) while reassembling
 results in exactly the order the serial runners would produce.
+
+Every entry point is **spec-first**: the first argument is an
+:class:`~repro.core.experiment.ExperimentSpec` template and each grid
+point is a :func:`dataclasses.replace` of it along the sweep's axis::
+
+    spec = ExperimentSpec.for_model("llama", n_runs=3)
+    runs = batch_size_sweep(spec, batch_sizes=(1, 32, 64))
+
+Passing a bare model name with configuration kwargs (the pre-spec API,
+``batch_size_sweep("llama", n_runs=3)``) still works but emits a
+:class:`DeprecationWarning` pointing at ``ExperimentSpec.for_model``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+import warnings
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.calibration import paperdata
-from repro.core.experiment import ExperimentSpec, default_precision_for, run_experiment
+from repro.core.experiment import (ExperimentSpec, default_precision_for,
+                                   run_experiment)
 from repro.engine.kernels import EngineCostParams
 from repro.engine.request import GenerationSpec
 from repro.engine.runtime import RunResult
@@ -22,6 +36,8 @@ from repro.quant.dtypes import PRECISION_ORDER, Precision
 
 #: The paper's default generation split: sl=96 as 32 input + 64 output.
 DEFAULT_GEN = GenerationSpec(32, 64)
+
+SpecOrModel = Union[ExperimentSpec, str]
 
 
 def _gen_for_seqlen(seq_len: int) -> GenerationSpec:
@@ -33,114 +49,124 @@ def _gen_for_seqlen(seq_len: int) -> GenerationSpec:
     return GenerationSpec(*split)
 
 
+def _base_spec(spec: SpecOrModel, caller: str, legacy: dict) -> ExperimentSpec:
+    """Coerce the first sweep argument to an ExperimentSpec template.
+
+    Spec-first calls pass configuration *on the spec*; mixing a spec
+    with legacy configuration kwargs is ambiguous and refused.  A bare
+    model name takes the old kwargs but is deprecated.
+    """
+    if isinstance(spec, ExperimentSpec):
+        if legacy:
+            raise ExperimentError(
+                f"{caller}: configuration goes on the ExperimentSpec "
+                f"(dataclasses.replace), not keyword arguments "
+                f"{sorted(legacy)}"
+            )
+        return spec
+    warnings.warn(
+        f"{caller}({spec!r}, ...) with a model name is deprecated; pass "
+        f"an ExperimentSpec (ExperimentSpec.for_model({spec!r}, ...))",
+        DeprecationWarning, stacklevel=3,
+    )
+    precision = legacy.pop("precision", None)
+    if precision is None:
+        precision = default_precision_for(spec)
+    return ExperimentSpec(model=spec, precision=precision, **legacy)
+
+
 def _run_all(specs: Sequence[ExperimentSpec],
              params: Optional[EngineCostParams],
-             cache) -> List[RunResult]:
-    return [run_experiment(s, params=params, cache=cache) for s in specs]
+             cache, observer=None) -> List[RunResult]:
+    return [run_experiment(s, params=params, cache=cache, observer=observer)
+            for s in specs]
 
 
 # -- §3.1: batch size ---------------------------------------------------------
 
 def batch_size_sweep_specs(
-    model: str,
+    spec: SpecOrModel,
     batch_sizes: Sequence[int] = paperdata.BATCH_SIZES,
-    precision: Optional[Precision] = None,
-    workload: str = "wikitext2",
-    **spec_kwargs,
+    **legacy,
 ) -> List[ExperimentSpec]:
     """The spec grid of :func:`batch_size_sweep`, in sweep order."""
-    precision = precision or default_precision_for(model)
-    return [
-        ExperimentSpec(
-            model=model, precision=precision, batch_size=bs,
-            gen=DEFAULT_GEN, workload=workload, **spec_kwargs,
-        )
-        for bs in batch_sizes
-    ]
+    base = _base_spec(spec, "batch_size_sweep_specs", legacy)
+    return [replace(base, batch_size=bs) for bs in batch_sizes]
 
 
 def batch_size_sweep(
-    model: str,
+    spec: SpecOrModel,
     batch_sizes: Sequence[int] = paperdata.BATCH_SIZES,
-    precision: Optional[Precision] = None,
-    workload: str = "wikitext2",
     params: Optional[EngineCostParams] = None,
     cache=None,
-    **spec_kwargs,
+    observer=None,
+    **legacy,
 ) -> List[RunResult]:
     """§3.1 / Fig 1/6/7, Tables 4-5: vary batch size at sl=96, MAXN."""
-    specs = batch_size_sweep_specs(model, batch_sizes, precision,
-                                   workload, **spec_kwargs)
-    return _run_all(specs, params, cache)
+    specs = batch_size_sweep_specs(spec, batch_sizes, **legacy)
+    return _run_all(specs, params, cache, observer)
 
 
 # -- §3.2: sequence length ----------------------------------------------------
 
 def seq_len_sweep_specs(
-    model: str,
+    spec: SpecOrModel,
     seq_lengths: Sequence[int] = paperdata.SEQ_LENGTHS,
-    precision: Optional[Precision] = None,
-    workload: str = "longbench",
-    **spec_kwargs,
+    **legacy,
 ) -> List[ExperimentSpec]:
-    """The spec grid of :func:`seq_len_sweep`, in sweep order."""
-    precision = precision or default_precision_for(model)
-    return [
-        ExperimentSpec(
-            model=model, precision=precision, batch_size=32,
-            gen=_gen_for_seqlen(sl), workload=workload, **spec_kwargs,
-        )
-        for sl in seq_lengths
-    ]
+    """The spec grid of :func:`seq_len_sweep`, in sweep order.
+
+    Each point replaces the generation split for its sequence length;
+    the template's batch size (paper default 32) is kept.  The legacy
+    model-name form defaults to the longbench workload, as the paper's
+    §3.2 did.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        legacy.setdefault("workload", "longbench")
+    base = _base_spec(spec, "seq_len_sweep_specs", legacy)
+    return [replace(base, gen=_gen_for_seqlen(sl)) for sl in seq_lengths]
 
 
 def seq_len_sweep(
-    model: str,
+    spec: SpecOrModel,
     seq_lengths: Sequence[int] = paperdata.SEQ_LENGTHS,
-    precision: Optional[Precision] = None,
-    workload: str = "longbench",
     params: Optional[EngineCostParams] = None,
     cache=None,
-    **spec_kwargs,
+    observer=None,
+    **legacy,
 ) -> List[RunResult]:
     """§3.2 / Fig 2/8/9, Tables 6-7: vary sequence length at bs=32."""
-    specs = seq_len_sweep_specs(model, seq_lengths, precision,
-                                workload, **spec_kwargs)
-    return _run_all(specs, params, cache)
+    specs = seq_len_sweep_specs(spec, seq_lengths, **legacy)
+    return _run_all(specs, params, cache, observer)
 
 
 # -- §3.3: quantization -------------------------------------------------------
 
 def quantization_sweep_specs(
-    model: str,
+    spec: SpecOrModel,
     precisions: Iterable[Precision] = PRECISION_ORDER,
-    batch_size: int = 32,
-    gen: GenerationSpec = DEFAULT_GEN,
-    **spec_kwargs,
+    **legacy,
 ) -> List[ExperimentSpec]:
     """The spec grid of :func:`quantization_sweep`, in sweep order."""
-    return [
-        ExperimentSpec(
-            model=model, precision=prec, batch_size=batch_size,
-            gen=gen, **spec_kwargs,
-        )
-        for prec in precisions
-    ]
+    if not isinstance(spec, ExperimentSpec):
+        # Precision is the swept axis; the template value is irrelevant,
+        # so the legacy path needs no per-model default lookup.
+        legacy.setdefault("precision", Precision.FP16)
+    base = _base_spec(spec, "quantization_sweep_specs", legacy)
+    return [replace(base, precision=prec) for prec in precisions]
 
 
 def quantization_sweep(
-    model: str,
+    spec: SpecOrModel,
     precisions: Iterable[Precision] = PRECISION_ORDER,
-    batch_size: int = 32,
-    gen: GenerationSpec = DEFAULT_GEN,
     params: Optional[EngineCostParams] = None,
     cache=None,
-    **spec_kwargs,
+    observer=None,
+    **legacy,
 ) -> List[RunResult]:
     """§3.3 / Fig 3/11: FP32->INT4 at bs=32, sl=96 (OOM cells included)."""
-    specs = quantization_sweep_specs(model, precisions, batch_size,
-                                     gen, **spec_kwargs)
-    return _run_all(specs, params, cache)
+    specs = quantization_sweep_specs(spec, precisions, **legacy)
+    return _run_all(specs, params, cache, observer)
 
 
 #: Paper Table 2 mode names, in paper order.
@@ -150,66 +176,60 @@ POWER_MODES = ("MAXN", "A", "B", "C", "D", "E", "F", "G", "H")
 # -- §3.4: power modes --------------------------------------------------------
 
 def power_mode_sweep_specs(
-    model: str,
+    spec: SpecOrModel,
     modes: Sequence[str] = POWER_MODES,
-    precision: Optional[Precision] = None,
-    **spec_kwargs,
+    **legacy,
 ) -> List[ExperimentSpec]:
     """The spec grid of :func:`power_mode_sweep`, in sweep order."""
-    precision = precision or default_precision_for(model)
-    return [
-        ExperimentSpec(
-            model=model, precision=precision, batch_size=32,
-            gen=DEFAULT_GEN, power_mode=mode, **spec_kwargs,
-        )
-        for mode in modes
-    ]
+    base = _base_spec(spec, "power_mode_sweep_specs", legacy)
+    return [replace(base, power_mode=mode) for mode in modes]
 
 
 def power_mode_sweep(
-    model: str,
+    spec: SpecOrModel,
     modes: Sequence[str] = POWER_MODES,
-    precision: Optional[Precision] = None,
     params: Optional[EngineCostParams] = None,
     cache=None,
-    **spec_kwargs,
+    observer=None,
+    **legacy,
 ) -> List[RunResult]:
     """§3.4 / Fig 5: the nine power modes at bs=32, sl=96."""
-    specs = power_mode_sweep_specs(model, modes, precision, **spec_kwargs)
-    return _run_all(specs, params, cache)
+    specs = power_mode_sweep_specs(spec, modes, **legacy)
+    return _run_all(specs, params, cache, observer)
 
 
 # -- §3.3: power/energy across batch sizes ------------------------------------
 
 def batch_quant_power_sweep_specs(
-    model: str,
-    precisions: Iterable[Precision] = (Precision.FP16, Precision.INT8, Precision.INT4),
+    spec: SpecOrModel,
+    precisions: Iterable[Precision] = (Precision.FP16, Precision.INT8,
+                                       Precision.INT4),
     batch_sizes: Sequence[int] = paperdata.BATCH_SIZES,
-    **spec_kwargs,
+    **legacy,
 ) -> Dict[Precision, List[ExperimentSpec]]:
     """The spec grid of :func:`batch_quant_power_sweep`, in sweep order."""
+    if not isinstance(spec, ExperimentSpec):
+        legacy.setdefault("precision", Precision.FP16)
+    base = _base_spec(spec, "batch_quant_power_sweep_specs", legacy)
     return {
-        prec: [
-            ExperimentSpec(
-                model=model, precision=prec, batch_size=bs,
-                gen=DEFAULT_GEN, **spec_kwargs,
-            )
-            for bs in batch_sizes
-        ]
+        prec: [replace(base, precision=prec, batch_size=bs)
+               for bs in batch_sizes]
         for prec in precisions
     }
 
 
 def batch_quant_power_sweep(
-    model: str,
-    precisions: Iterable[Precision] = (Precision.FP16, Precision.INT8, Precision.INT4),
+    spec: SpecOrModel,
+    precisions: Iterable[Precision] = (Precision.FP16, Precision.INT8,
+                                       Precision.INT4),
     batch_sizes: Sequence[int] = paperdata.BATCH_SIZES,
     params: Optional[EngineCostParams] = None,
     cache=None,
-    **spec_kwargs,
+    observer=None,
+    **legacy,
 ) -> Dict[Precision, List[RunResult]]:
     """§3.3 / Fig 4/10: power & energy across batch sizes per precision."""
-    grid = batch_quant_power_sweep_specs(model, precisions, batch_sizes,
-                                         **spec_kwargs)
-    return {prec: _run_all(specs, params, cache)
+    grid = batch_quant_power_sweep_specs(spec, precisions, batch_sizes,
+                                         **legacy)
+    return {prec: _run_all(specs, params, cache, observer)
             for prec, specs in grid.items()}

@@ -18,6 +18,8 @@ from repro.engine.state import EngineState
 from repro.errors import OutOfMemoryError
 from repro.memsys.allocator import Allocation, CachingAllocator
 from repro.memsys.kvcache import KVCache
+from repro.obs import kinds
+from repro.obs.span import NULL_OBSERVER, Observer
 from repro.power.model import ComponentUtilization
 from repro.sim.environment import Environment
 from repro.sim.tracing import Trace
@@ -106,12 +108,19 @@ class BatchExecutor:
         request: BatchRequest,
         state: EngineState,
         trace: Optional[Trace] = None,
+        obs: Observer = NULL_OBSERVER,
+        track: str = "engine",
     ):
         """Generator process: yields timeouts; returns a BatchResult.
 
         On simulated OOM the result is returned with ``oom=True`` (all
         held memory is released first), mirroring a caught
         ``torch.cuda.OutOfMemoryError``.
+
+        ``obs`` receives one prefill span and one decode span per
+        fast-forward stretch (or per token in step mode), stamped with
+        the same simulated timestamps either path produces — observing
+        a run never perturbs its numbers.
         """
         bs = request.batch_size
         gen = request.gen
@@ -143,10 +152,16 @@ class BatchExecutor:
                 )
             cost = self.timer.prefill(bs, gen.input_tokens)
             state.set("prefill", _util_of(cost))
+            prefill_start = env.now
             yield env.timeout(cost.seconds)
             result.prefill_s = cost.seconds
+            if obs.enabled:
+                obs.complete(kinds.PREFILL, prefill_start, env.now,
+                             cat=kinds.CAT_ENGINE, track=track, batch=bs,
+                             tokens=gen.input_tokens)
             if trace is not None:
-                trace.record(env.now, "prefill", seconds=cost.seconds, batch=bs)
+                trace.record(env.now, kinds.PREFILL,
+                             seconds=cost.seconds, batch=bs)
 
             # ---- decode ----
             if self.fast_forward:
@@ -163,6 +178,8 @@ class BatchExecutor:
                 while remaining:
                     horizon = env.peek()
                     t = env.now
+                    stretch_start = env.now
+                    stretch_tokens = remaining
                     cost = None
                     pending_oom: Optional[OutOfMemoryError] = None
                     while remaining:
@@ -194,6 +211,15 @@ class BatchExecutor:
                     if cost is not None:
                         state.set("decode", _util_of(cost))
                         yield env.timeout_at(t)
+                        if obs.enabled:
+                            # One span per fast-forward stretch: same
+                            # endpoints the per-token path would span,
+                            # so traces stay bit-identical in content.
+                            obs.complete(
+                                kinds.DECODE, stretch_start, env.now,
+                                cat=kinds.CAT_ENGINE, track=track, batch=bs,
+                                tokens=stretch_tokens - remaining,
+                            )
                     if pending_oom is not None:
                         raise pending_oom
             else:
@@ -214,8 +240,13 @@ class BatchExecutor:
                         )
                     cost = self.timer.decode_step(bs, context, concat_bytes=concat)
                     state.set("decode", _util_of(cost))
+                    step_start = env.now
                     yield env.timeout(cost.seconds)
                     result.step_seconds.append(cost.seconds)
+                    if obs.enabled:
+                        obs.complete(kinds.DECODE, step_start, env.now,
+                                     cat=kinds.CAT_ENGINE, track=track,
+                                     batch=bs, tokens=1)
             result.decode_s = sum(result.step_seconds)
             result.latency_s = env.now - start
         except OutOfMemoryError:

@@ -33,6 +33,8 @@ from repro.memsys.allocator import CachingAllocator
 from repro.memsys.tracker import MemoryTracker
 from repro.models.architecture import TransformerArchitecture
 from repro.models.footprint import weight_bytes
+from repro.obs import kinds
+from repro.obs.span import NULL_OBSERVER, Observer
 from repro.power.model import PowerModel
 from repro.power.modes import PowerMode, apply_power_mode
 from repro.quant.dtypes import Precision
@@ -108,6 +110,7 @@ class ServingEngine:
         power_model: Optional[PowerModel] = None,
         sample_period_s: float = 2.0,
         fast_forward: bool = True,
+        observer: Optional[Observer] = None,
     ):
         # Imported lazily: calibration constants are themselves expressed
         # as EngineCostParams, so a module-level import would be circular.
@@ -132,7 +135,11 @@ class ServingEngine:
             dead_cap_bytes=int(2e9),
         )
         self.tracker = MemoryTracker(self.allocator)
-        self.trace = Trace()
+        #: Observability sink: spans/metrics land here when enabled.
+        self.obs = observer if observer is not None else NULL_OBSERVER
+        #: Legacy kind-filtered view; shares the observer when tracing
+        #: is on so span records surface through the old API too.
+        self.trace = Trace(self.obs if self.obs.enabled else None)
         self.timer = StepTimer(arch, device, precision, self.params)
 
         self.tracker.mark_baseline()
@@ -197,8 +204,11 @@ class ServingEngine:
 
         env = Environment()
         state = EngineState()
+        obs = self.obs
+        obs.bind(env)
         sampler = PowerSampler(
-            env, self.device, self.power_model, state, period_s=self.sample_period_s
+            env, self.device, self.power_model, state,
+            period_s=self.sample_period_s, obs=obs, obs_track="engine",
         )
         sampler.start()
 
@@ -209,7 +219,24 @@ class ServingEngine:
             for i in range(warmup + n_runs):
                 if i == warmup:
                     measure_start[0] = env.now
-                res = yield from executor.run(env, request, state, trace=self.trace)
+                batch_span = obs.begin(kinds.BATCH, cat=kinds.CAT_ENGINE,
+                                       track="engine", index=i,
+                                       warmup=i < warmup)
+                res = yield from executor.run(env, request, state,
+                                              obs=obs, track="engine")
+                obs.end(batch_span, oom=res.oom)
+                if obs.enabled:
+                    # TTFT is the prefill phase in the static-batch
+                    # protocol; decode is everything after it.
+                    m = obs.metrics
+                    m.counter("batches_total").inc()
+                    if res.oom:
+                        m.counter("oom_total").inc()
+                    else:
+                        m.histogram("ttft_s").observe(res.prefill_s)
+                        m.histogram("decode_s").observe(res.decode_s)
+                        m.counter("tokens_total").inc(
+                            request.batch_size * gen.output_tokens)
                 if i >= warmup or res.oom:
                     # OOM during warm-up still counts: the configuration
                     # is infeasible, as in the paper's OOM cells.

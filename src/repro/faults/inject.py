@@ -32,6 +32,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.cluster.autoscale import clamp_mode_to_device
 from repro.cluster.node import ClusterNode
 from repro.errors import ConfigError
+from repro.obs import kinds
+from repro.obs.span import NO_SPAN
 from repro.power.modes import PowerMode, get_power_mode
 from repro.sim.environment import Environment
 
@@ -75,6 +77,11 @@ class FaultInjector:
         self.env = env
         self.nodes: Dict[int, ClusterNode] = {n.node_id: n for n in nodes}
         self.schedule = schedule
+        #: Shared observability sink (all cluster nodes carry the same
+        #: observer); fault episodes land on ``node{i}.faults`` tracks.
+        self.obs = next(iter(self.nodes.values())).obs
+        #: (node_id, fault class) -> open episode span id.
+        self._episode_spans: Dict[Tuple[int, str], int] = {}
         #: Deterministic transcript of every edge, applied or skipped.
         self.trace: List[AppliedFault] = []
         #: node_id -> operating point snapshot taken at brownout begin.
@@ -109,6 +116,22 @@ class FaultInjector:
             time_s=self.env.now, node_id=ev.node_id, fault=ev.fault.value,
             action=ev.action, applied=applied, detail=detail,
         ))
+        if not self.obs.enabled:
+            return
+        name = kinds.fault_kind(ev.fault.value)
+        track = f"node{ev.node_id}.faults"
+        key = (ev.node_id, ev.fault.value)
+        if not applied:
+            self.obs.instant(name, cat=kinds.CAT_FAULT, track=track,
+                             action=ev.action, skipped=detail or "moot")
+        elif ev.action == "begin":
+            self._episode_spans[key] = self.obs.begin(
+                name, cat=kinds.CAT_FAULT, track=track,
+                magnitude=ev.magnitude, detail=detail)
+            self.obs.metrics.counter("faults_injected_total",
+                                     fault=ev.fault.value).inc()
+        else:
+            self.obs.end(self._episode_spans.pop(key, NO_SPAN), detail=detail)
 
     def _apply(self, ev: FaultEvent) -> None:
         node = self.nodes.get(ev.node_id)

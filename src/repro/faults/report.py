@@ -145,12 +145,12 @@ class ChaosReport:
         return out
 
 
-def _build_cluster(spec: ChaosSpec) -> EdgeCluster:
+def _build_cluster(spec: ChaosSpec, observer=None) -> EdgeCluster:
     return EdgeCluster.build(
         [NodeSpec(d, max_batch=spec.max_batch, max_queue=spec.max_queue)
          for d in spec.devices],
         model=spec.model, precision=spec.precision, policy=spec.policy,
-        retry=spec.retry,
+        retry=spec.retry, observer=observer,
     )
 
 
@@ -162,8 +162,15 @@ def _workload(spec: ChaosSpec):
 
 
 def run_chaos(spec: ChaosSpec,
-              slo: Optional[SLOSpec] = None) -> ChaosReport:
-    """Run the fault-free twin, then the faulted run; fold the pair."""
+              slo: Optional[SLOSpec] = None,
+              observer=None) -> ChaosReport:
+    """Run the fault-free twin, then the faulted run; fold the pair.
+
+    When an ``observer`` (:class:`repro.obs.Observer`) is given it is
+    attached to the *faulted* twin only — the interesting telemetry is
+    what the chaos did, and the clean twin staying unobserved keeps the
+    baseline comparable with non-chaos cluster runs.
+    """
     schedule: FaultSchedule = generate_schedule(spec.faults)
 
     baseline_cluster = _build_cluster(spec)
@@ -174,7 +181,7 @@ def run_chaos(spec: ChaosSpec,
             baseline_cluster.env, baseline_cluster.nodes, FallbackConfig()))
     baseline = baseline_cluster.run(_workload(spec))
 
-    faulted_cluster = _build_cluster(spec)
+    faulted_cluster = _build_cluster(spec, observer=observer)
     if slo is not None:
         faulted_cluster.slo = slo
     injector = FaultInjector(faulted_cluster.env, faulted_cluster.nodes,

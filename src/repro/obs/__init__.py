@@ -1,0 +1,75 @@
+"""repro.obs — the observability layer.
+
+Request-scoped spans on the simulation clock
+(:mod:`~repro.obs.span`), a deterministic metrics registry
+(:mod:`~repro.obs.metrics`), exporters for Chrome trace-event JSON /
+CSV / Prometheus text (:mod:`~repro.obs.export`) and the shared kind
+constants every subsystem names its telemetry from
+(:mod:`~repro.obs.kinds`).
+
+Quick start::
+
+    from repro import Observer, EdgeCluster, NodeSpec, poisson_workload
+    from repro.obs import write_chrome_trace, write_metrics
+
+    obs = Observer()
+    cluster = EdgeCluster.build([NodeSpec("jetson-orin-agx-64gb")],
+                                model="llama", observer=obs)
+    cluster.run(poisson_workload(2.0, 20))
+    write_chrome_trace("trace.json", obs)    # load in Perfetto
+    write_metrics("metrics.prom", obs.metrics)
+
+Everything is stamped with simulated time only, so exported telemetry
+is byte-identical across repeated seeded runs; pass no observer (or
+:data:`NULL_OBSERVER`) and the whole layer is a no-op.
+"""
+
+from repro.obs import kinds
+from repro.obs.export import (
+    chrome_trace_json,
+    prometheus_text,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+    write_metrics_csv,
+    write_prometheus,
+    write_spans_csv,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.span import (
+    NO_SPAN,
+    NULL_OBSERVER,
+    CounterRecord,
+    InstantRecord,
+    Observer,
+    SpanRecord,
+)
+
+__all__ = [
+    "Counter",
+    "CounterRecord",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "InstantRecord",
+    "MetricsRegistry",
+    "NO_SPAN",
+    "NULL_OBSERVER",
+    "Observer",
+    "SpanRecord",
+    "chrome_trace_json",
+    "kinds",
+    "prometheus_text",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+    "write_metrics_csv",
+    "write_prometheus",
+    "write_spans_csv",
+]

@@ -1,0 +1,191 @@
+"""A deterministic in-process metrics registry.
+
+Prometheus-shaped instruments — counters, gauges, histograms — keyed by
+``(name, sorted labels)`` and kept in first-registration order, so a
+snapshot of the same simulated run is identical across processes and
+repeats (no wall clock, no hash-order dependence anywhere).
+
+The registry is the aggregation half of :mod:`repro.obs`; the span half
+lives in :mod:`repro.obs.span`.  Exporters (:mod:`repro.obs.export`)
+turn a snapshot into CSV rows or Prometheus text exposition.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket bounds (seconds-flavoured, log-ish spaced).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+                   50.0, 100.0, 500.0)
+
+
+def _label_items(labels: Dict[str, object]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def rows(self) -> List[dict]:
+        return [{"metric": self.name, "type": self.kind,
+                 "labels": _fmt_labels(self.labels), "value": self.value}]
+
+
+class Gauge:
+    """Last-written value."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def rows(self) -> List[dict]:
+        return [{"metric": self.name, "type": self.kind,
+                 "labels": _fmt_labels(self.labels), "value": self.value}]
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``; the
+    implicit ``+Inf`` bucket is :attr:`count`.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelItems,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ConfigError("histogram buckets must be sorted and non-empty")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * len(self.bounds)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        i = bisect_left(self.bounds, value)
+        if i < len(self.bounds):
+            self.bucket_counts[i] += 1
+
+    def cumulative(self) -> List[int]:
+        """Counts <= each bound, Prometheus ``le`` style."""
+        out, running = [], 0
+        for c in self.bucket_counts:
+            running += c
+            out.append(running)
+        return out
+
+    def rows(self) -> List[dict]:
+        labels = _fmt_labels(self.labels)
+        rows = [
+            {"metric": f"{self.name}_bucket", "type": self.kind,
+             "labels": _join_labels(labels, f"le={_fmt_float(b)}"),
+             "value": float(c)}
+            for b, c in zip(self.bounds, self.cumulative())
+        ]
+        rows.append({"metric": f"{self.name}_bucket", "type": self.kind,
+                     "labels": _join_labels(labels, "le=+Inf"),
+                     "value": float(self.count)})
+        rows.append({"metric": f"{self.name}_sum", "type": self.kind,
+                     "labels": labels, "value": self.sum})
+        rows.append({"metric": f"{self.name}_count", "type": self.kind,
+                     "labels": labels, "value": float(self.count)})
+        return rows
+
+
+def _fmt_labels(labels: LabelItems) -> str:
+    return ",".join(f"{k}={v}" for k, v in labels)
+
+
+def _join_labels(labels: str, extra: str) -> str:
+    return f"{labels},{extra}" if labels else extra
+
+
+def _fmt_float(v: float) -> str:
+    """Shortest stable rendering (no trailing zeros, no exponent drift)."""
+    s = repr(float(v))
+    return s[:-2] if s.endswith(".0") else s
+
+
+class MetricsRegistry:
+    """Create-or-get instruments; snapshot them as flat rows.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("tokens_total", node="0").inc(64)
+    >>> reg.histogram("ttft_s").observe(0.8)
+    >>> [r["metric"] for r in reg.snapshot_rows()]
+    ['tokens_total', 'ttft_s_bucket', ...]
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelItems], object] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, object], **kw):
+        key = (name, _label_items(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(name, key[1], **kw)
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls):
+            raise ConfigError(
+                f"metric {name!r} already registered as {inst.kind}")
+        return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels) -> Histogram:
+        kw = {"buckets": buckets} if buckets is not None else {}
+        return self._get(Histogram, name, labels, **kw)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def instruments(self) -> List[object]:
+        """All instruments in first-registration order."""
+        return list(self._instruments.values())
+
+    def snapshot_rows(self) -> List[dict]:
+        """Flat, deterministic rows for tables / CSV export."""
+        rows: List[dict] = []
+        for inst in self._instruments.values():
+            rows.extend(inst.rows())
+        return rows
+
+    def clear(self) -> None:
+        self._instruments.clear()

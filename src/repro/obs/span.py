@@ -1,0 +1,308 @@
+"""Request-scoped, hierarchical spans on the simulation clock.
+
+The :class:`Observer` is the single collection point for the
+observability layer: subsystems open/close :class:`SpanRecord` intervals
+(queue wait, prefill, decode stretches, fault episodes), drop
+:class:`InstantRecord` point events (retries, mode changes) and append
+:class:`CounterRecord` series samples (board power), all stamped with
+*simulated* time — never the wall clock — so two seeded runs produce
+identical telemetry, byte for byte.
+
+Layout follows the Chrome trace-event model the exporter targets:
+
+- ``group`` is the process-level lane (one experiment, one cluster);
+- ``track`` is the thread-level lane (``node0``, ``req17``, ``engine``);
+- spans on one track nest through an implicit per-track stack, and a
+  parent can also be pinned explicitly (e.g. fault instants nested
+  under the affected request's span from another track).
+
+Zero cost when disabled: every mutating method starts with one
+``enabled`` check and returns a shared no-op handle, so a run with the
+:data:`NULL_OBSERVER` allocates nothing and records nothing — the
+guarantee the study-harness speed budget relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+Args = Tuple[Tuple[str, Any], ...]
+
+#: Handle returned by recording methods when the observer is disabled.
+NO_SPAN = -1
+
+DEFAULT_GROUP = "main"
+DEFAULT_TRACK = "main"
+
+
+def _args_of(data: Dict[str, Any]) -> Args:
+    return tuple(sorted(data.items()))
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed interval of simulated time."""
+
+    span_id: int
+    parent_id: Optional[int]
+    group: str
+    track: str
+    name: str
+    cat: str
+    start_s: float
+    end_s: float
+    args: Args = ()
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class InstantRecord:
+    """One point event."""
+
+    event_id: int
+    parent_id: Optional[int]
+    group: str
+    track: str
+    name: str
+    cat: str
+    time_s: float
+    args: Args = ()
+
+
+@dataclass(frozen=True)
+class CounterRecord:
+    """One sample of a named series (rendered as a counter track)."""
+
+    group: str
+    track: str
+    name: str
+    time_s: float
+    value: float
+
+
+class _OpenSpan:
+    __slots__ = ("span_id", "parent_id", "group", "track", "name", "cat",
+                 "start_s", "args")
+
+    def __init__(self, span_id, parent_id, group, track, name, cat,
+                 start_s, args):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.group = group
+        self.track = track
+        self.name = name
+        self.cat = cat
+        self.start_s = start_s
+        self.args = args
+
+
+class _SpanContext:
+    """``with obs.span(...):`` support (safe across generator yields)."""
+
+    __slots__ = ("_obs", "_kw", "span_id")
+
+    def __init__(self, obs: "Observer", kw: Dict[str, Any]):
+        self._obs = obs
+        self._kw = kw
+        self.span_id = NO_SPAN
+
+    def __enter__(self) -> "_SpanContext":
+        self.span_id = self._obs.begin(**self._kw)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._obs.end(self.span_id)
+
+
+class _NullSpanContext:
+    __slots__ = ()
+    span_id = NO_SPAN
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_CTX = _NullSpanContext()
+
+
+class Observer:
+    """Collects spans, instants and counter samples for one run (or many).
+
+    Parameters
+    ----------
+    enabled:
+        When False every method is a no-op; use :data:`NULL_OBSERVER`
+        instead of constructing disabled observers.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.spans: List[SpanRecord] = []
+        self.instants: List[InstantRecord] = []
+        self.counters: List[CounterRecord] = []
+        self.metrics = MetricsRegistry()
+        self._ids = count(1)
+        self._open: Dict[int, _OpenSpan] = {}
+        #: (group, track) -> stack of open span ids (implicit parents).
+        self._stacks: Dict[Tuple[str, str], List[int]] = {}
+        self._group = DEFAULT_GROUP
+        self._env = None
+
+    # -- clock / lanes -----------------------------------------------------
+    def bind(self, env) -> None:
+        """Read subsequent implicit timestamps from ``env.now``."""
+        if self.enabled:
+            self._env = env
+
+    def set_group(self, label: str) -> None:
+        """Switch the process-level lane for subsequent records."""
+        if self.enabled:
+            self._group = label
+
+    def _now(self, time_s: Optional[float]) -> float:
+        if time_s is not None:
+            return float(time_s)
+        return float(self._env.now) if self._env is not None else 0.0
+
+    # -- spans -------------------------------------------------------------
+    def begin(self, name: str, cat: str = "", track: str = DEFAULT_TRACK,
+              parent: Optional[int] = None, time_s: Optional[float] = None,
+              **args) -> int:
+        """Open a span; returns its id (:data:`NO_SPAN` when disabled)."""
+        if not self.enabled:
+            return NO_SPAN
+        span_id = next(self._ids)
+        stack = self._stacks.setdefault((self._group, track), [])
+        if parent is None and stack:
+            parent = stack[-1]
+        if parent == NO_SPAN:
+            parent = None
+        self._open[span_id] = _OpenSpan(
+            span_id, parent, self._group, track, name, cat,
+            self._now(time_s), _args_of(args),
+        )
+        stack.append(span_id)
+        return span_id
+
+    def end(self, span_id: int, time_s: Optional[float] = None,
+            **args) -> None:
+        """Close an open span (no-op for :data:`NO_SPAN` / unknown ids)."""
+        if not self.enabled or span_id == NO_SPAN:
+            return
+        open_span = self._open.pop(span_id, None)
+        if open_span is None:
+            return
+        stack = self._stacks.get((open_span.group, open_span.track))
+        if stack and span_id in stack:
+            stack.remove(span_id)
+        merged = open_span.args + _args_of(args) if args else open_span.args
+        self.spans.append(SpanRecord(
+            span_id=span_id, parent_id=open_span.parent_id,
+            group=open_span.group, track=open_span.track,
+            name=open_span.name, cat=open_span.cat,
+            start_s=open_span.start_s, end_s=self._now(time_s), args=merged,
+        ))
+
+    def complete(self, name: str, start_s: float, end_s: float,
+                 cat: str = "", track: str = DEFAULT_TRACK,
+                 parent: Optional[int] = None, **args) -> int:
+        """Record an already-finished interval (fast-forward stretches)."""
+        if not self.enabled:
+            return NO_SPAN
+        span_id = next(self._ids)
+        stack = self._stacks.get((self._group, track))
+        if parent is None and stack:
+            parent = stack[-1]
+        if parent == NO_SPAN:
+            parent = None
+        self.spans.append(SpanRecord(
+            span_id=span_id, parent_id=parent, group=self._group,
+            track=track, name=name, cat=cat, start_s=float(start_s),
+            end_s=float(end_s), args=_args_of(args),
+        ))
+        return span_id
+
+    def span(self, name: str, cat: str = "", track: str = DEFAULT_TRACK,
+             parent: Optional[int] = None, **args):
+        """Context manager form of :meth:`begin` / :meth:`end`."""
+        if not self.enabled:
+            return _NULL_CTX
+        return _SpanContext(self, dict(name=name, cat=cat, track=track,
+                                       parent=parent, **args))
+
+    def finish_open(self, time_s: Optional[float] = None) -> int:
+        """Close every still-open span (run teardown); returns the count."""
+        if not self.enabled or not self._open:
+            return 0
+        closed = 0
+        for span_id in sorted(self._open):
+            self.end(span_id, time_s=time_s, unfinished=True)
+            closed += 1
+        return closed
+
+    # -- point events ------------------------------------------------------
+    def instant(self, name: str, cat: str = "", track: str = DEFAULT_TRACK,
+                parent: Optional[int] = None, time_s: Optional[float] = None,
+                **args) -> int:
+        """Record a point event; returns its id."""
+        if not self.enabled:
+            return NO_SPAN
+        event_id = next(self._ids)
+        stack = self._stacks.get((self._group, track))
+        if parent is None and stack:
+            parent = stack[-1]
+        if parent == NO_SPAN:
+            parent = None
+        self.instants.append(InstantRecord(
+            event_id=event_id, parent_id=parent, group=self._group,
+            track=track, name=name, cat=cat, time_s=self._now(time_s),
+            args=_args_of(args),
+        ))
+        return event_id
+
+    def counter(self, name: str, value: float, track: str = DEFAULT_TRACK,
+                time_s: Optional[float] = None) -> None:
+        """Append one sample to a counter series."""
+        if not self.enabled:
+            return
+        self.counters.append(CounterRecord(
+            group=self._group, track=track, name=name,
+            time_s=self._now(time_s), value=float(value),
+        ))
+
+    # -- introspection -----------------------------------------------------
+    def open_start(self, span_id: int) -> Optional[float]:
+        """Start time of a still-open span (None if unknown/closed)."""
+        open_span = self._open.get(span_id)
+        return None if open_span is None else open_span.start_s
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants) + len(self.counters)
+
+    def spans_named(self, name: str) -> List[SpanRecord]:
+        """Closed spans with the given name, in close order."""
+        return [s for s in self.spans if s.name == name]
+
+    def clear(self) -> None:
+        """Drop all records (open spans included); keep lanes and clock."""
+        self.spans.clear()
+        self.instants.clear()
+        self.counters.clear()
+        self.metrics.clear()
+        self._open.clear()
+        self._stacks.clear()
+
+
+#: Shared disabled observer — the default everywhere observability is
+#: off.  Never record into it; every method checks ``enabled`` first.
+NULL_OBSERVER = Observer(enabled=False)

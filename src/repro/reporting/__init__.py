@@ -8,12 +8,15 @@
 - :mod:`repro.reporting.export` — CSV/JSON writers.
 - :mod:`repro.reporting.compare` — paper-vs-measured comparison tables
   with per-cell relative deviation (feeds EXPERIMENTS.md).
+- :mod:`repro.reporting.breakdown` — per-phase latency attribution from
+  the observability layer's spans.
 """
 
 from repro.reporting.tables import format_table, markdown_table
 from repro.reporting.figures import ascii_bars, ascii_lines
 from repro.reporting.export import write_csv, write_json
 from repro.reporting.compare import compare_rows, deviation_summary
+from repro.reporting.breakdown import phase_breakdown
 
 __all__ = [
     "ascii_bars",
@@ -22,6 +25,7 @@ __all__ = [
     "deviation_summary",
     "format_table",
     "markdown_table",
+    "phase_breakdown",
     "write_csv",
     "write_json",
 ]

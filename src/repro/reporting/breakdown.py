@@ -1,0 +1,50 @@
+"""Span-based per-phase latency breakdown.
+
+Folds an :class:`~repro.obs.Observer`'s closed spans into one row per
+(span name, category): how many spans, how much simulated time they
+cover, and the share of the total covered time.  This is the TTFT-vs-
+decode attribution view the observability layer exists for — e.g. after
+a cluster run it shows directly how much of the request wall time was
+queue wait versus prefill versus decode, and how much chaos (fault
+episodes) overlapped the serving work.
+
+Spans on different tracks overlap in wall time (four nodes decoding at
+once cover 4x the clock), so ``share`` is a share of *span-seconds*,
+not of the makespan.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs.span import Observer
+
+
+def phase_breakdown(obs: Observer) -> List[dict]:
+    """One row per (phase name, category), largest total time first.
+
+    Ties (including zero-duration phases) break by name so the table is
+    deterministic.  Instants contribute a count-only row with zero time.
+    """
+    totals = {}
+    for s in obs.spans:
+        key = (s.name, s.cat)
+        n, t = totals.get(key, (0, 0.0))
+        totals[key] = (n + 1, t + s.duration_s)
+    for i in obs.instants:
+        key = (i.name, i.cat)
+        n, t = totals.get(key, (0, 0.0))
+        totals[key] = (n + 1, t)
+    covered = sum(t for _, t in totals.values())
+    rows = []
+    for (name, cat), (n, t) in sorted(
+            totals.items(), key=lambda kv: (-kv[1][1], kv[0])):
+        rows.append({
+            "phase": name,
+            "cat": cat,
+            "count": n,
+            "total_s": round(t, 3),
+            "mean_s": round(t / n, 4) if n else 0.0,
+            "share": round(t / covered, 3) if covered > 0 else 0.0,
+        })
+    return rows

@@ -33,49 +33,59 @@ def _table3(n_runs: int) -> List[dict]:
 
 
 def _batch_rows(workload: str, n_runs: int) -> List[dict]:
+    from repro.core.experiment import ExperimentSpec
     from repro.core.sweeps import batch_size_sweep
 
     rows: List[dict] = []
     for model in ("phi2", "llama", "mistral", "deepq"):
-        rows.extend(r.as_row() for r in
-                    batch_size_sweep(model, workload=workload, n_runs=n_runs))
+        spec = ExperimentSpec.for_model(model, workload=workload,
+                                        n_runs=n_runs)
+        rows.extend(r.as_row() for r in batch_size_sweep(spec))
     return rows
 
 
 def _seqlen_rows(workload: str, n_runs: int) -> List[dict]:
+    from repro.core.experiment import ExperimentSpec
     from repro.core.sweeps import seq_len_sweep
 
     rows: List[dict] = []
     for model in ("phi2", "llama", "mistral", "deepq"):
-        rows.extend(r.as_row() for r in
-                    seq_len_sweep(model, workload=workload, n_runs=n_runs))
+        spec = ExperimentSpec.for_model(model, workload=workload,
+                                        n_runs=n_runs)
+        rows.extend(r.as_row() for r in seq_len_sweep(spec))
     return rows
 
 
 def _quant_rows(n_runs: int) -> List[dict]:
+    from repro.core.experiment import ExperimentSpec
     from repro.core.sweeps import quantization_sweep
 
     rows: List[dict] = []
     for model in ("phi2", "llama", "mistral", "deepq"):
-        rows.extend(r.as_row() for r in quantization_sweep(model, n_runs=n_runs))
+        spec = ExperimentSpec.for_model(model, n_runs=n_runs)
+        rows.extend(r.as_row() for r in quantization_sweep(spec))
     return rows
 
 
 def _powermode_rows(n_runs: int) -> List[dict]:
+    from repro.core.experiment import ExperimentSpec
     from repro.core.sweeps import power_mode_sweep
 
     rows: List[dict] = []
     for model in ("phi2", "llama", "mistral", "deepq"):
-        rows.extend(r.as_row() for r in power_mode_sweep(model, n_runs=n_runs))
+        spec = ExperimentSpec.for_model(model, n_runs=n_runs)
+        rows.extend(r.as_row() for r in power_mode_sweep(spec))
     return rows
 
 
 def _power_energy_rows(n_runs: int) -> List[dict]:
+    from repro.core.experiment import ExperimentSpec
     from repro.core.sweeps import batch_quant_power_sweep
 
     rows: List[dict] = []
     for model in ("phi2", "llama", "mistral", "deepq"):
-        for prec, results in batch_quant_power_sweep(model, n_runs=n_runs).items():
+        spec = ExperimentSpec.for_model(model, n_runs=n_runs)
+        for prec, results in batch_quant_power_sweep(spec).items():
             for r in results:
                 row = r.as_row()
                 row["precision"] = prec.value

@@ -1,14 +1,30 @@
-"""Lightweight timestamped tracing for simulations.
+"""Legacy trace API — a thin shim over :mod:`repro.obs` spans.
 
-The serving engine and telemetry sampler append :class:`TraceRecord`
-entries; reporting code slices them by kind.  Records are kept in
-insertion order which, by construction of the DES, is time order.
+Historically the engine and telemetry sampler appended flat
+:class:`TraceRecord` entries here and reporting code sliced them by
+kind.  The observability layer (:mod:`repro.obs.span`) replaced that
+buffer with request-scoped spans, instants and counter series; this
+module keeps the old read/write surface working on top of it:
+
+- :meth:`Trace.record` forwards to :meth:`Observer.instant
+  <repro.obs.span.Observer.instant>` under the ``legacy`` category;
+- iteration / :meth:`Trace.by_kind` project the observer's instants
+  *and* closed spans back into time-ordered :class:`TraceRecord` rows
+  (a span contributes one record at its start time, with its duration
+  in the payload), so code slicing by ``"prefill"`` keeps working when
+  the records now come from spans.
+
+New code should use :class:`repro.obs.span.Observer` directly and name
+kinds from :mod:`repro.obs.kinds`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs import kinds
+from repro.obs.span import Observer
 
 
 @dataclass(frozen=True)
@@ -20,7 +36,7 @@ class TraceRecord:
     time:
         Simulation time in seconds.
     kind:
-        Category string, e.g. ``"decode_step"`` or ``"power_sample"``.
+        Category string, e.g. ``"decode"`` or ``"power_w"``.
     data:
         Arbitrary payload.
     """
@@ -31,32 +47,57 @@ class TraceRecord:
 
 
 class Trace:
-    """Append-only trace buffer with kind-based filtering."""
+    """Kind-filtered view over an :class:`~repro.obs.span.Observer`.
 
-    def __init__(self) -> None:
-        self._records: List[TraceRecord] = []
+    Constructed bare it owns a private enabled observer, so the old
+    ``Trace()``-and-``record`` flow still works; constructed over an
+    existing observer it is a read view of that observer's records.
+    """
+
+    def __init__(self, observer: Optional[Observer] = None) -> None:
+        self._obs = observer if observer is not None else Observer()
+
+    @property
+    def observer(self) -> Observer:
+        """The backing observer (for span-aware consumers)."""
+        return self._obs
 
     def record(self, time: float, kind: str, **data: Any) -> None:
         """Append one record at simulation time ``time``."""
-        self._records.append(TraceRecord(time=time, kind=kind, data=data))
+        self._obs.instant(kind, cat=kinds.CAT_LEGACY, track="trace",
+                          time_s=time, **data)
+
+    def _records(self) -> List[TraceRecord]:
+        rows = [
+            (i.time_s, i.event_id,
+             TraceRecord(time=i.time_s, kind=i.name, data=dict(i.args)))
+            for i in self._obs.instants
+        ]
+        for s in self._obs.spans:
+            data = dict(s.args)
+            data["duration_s"] = s.duration_s
+            rows.append((s.start_s, s.span_id,
+                         TraceRecord(time=s.start_s, kind=s.name, data=data)))
+        rows.sort(key=lambda r: (r[0], r[1]))
+        return [r[2] for r in rows]
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._obs.instants) + len(self._obs.spans)
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+        return iter(self._records())
 
     def by_kind(self, kind: str) -> List[TraceRecord]:
         """All records with the given kind, in time order."""
-        return [r for r in self._records if r.kind == kind]
+        return [r for r in self._records() if r.kind == kind]
 
     def kinds(self) -> List[str]:
-        """Distinct kinds, in first-seen order."""
+        """Distinct kinds, in first-seen (time) order."""
         seen: Dict[str, None] = {}
-        for r in self._records:
+        for r in self._records():
             seen.setdefault(r.kind, None)
         return list(seen)
 
     def clear(self) -> None:
         """Drop all records."""
-        self._records.clear()
+        self._obs.clear()

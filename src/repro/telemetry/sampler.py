@@ -8,6 +8,8 @@ from typing import List
 from repro.engine.state import EngineState
 from repro.errors import ConfigError
 from repro.hardware.device import EdgeDevice
+from repro.obs import kinds
+from repro.obs.span import NULL_OBSERVER, Observer
 from repro.power.model import PowerModel
 from repro.sim.environment import Environment
 
@@ -26,7 +28,10 @@ class PowerSampler:
 
     Start with :meth:`start`; the process runs until the environment
     drains or :meth:`stop` is called.  Samples accumulate in
-    :attr:`samples`.
+    :attr:`samples`; when an observer is attached each reading is also
+    published as a :data:`~repro.obs.kinds.POWER_W` counter series on
+    ``obs_track`` (one Perfetto counter lane per sampled board) and
+    folded into the ``power_w`` histogram of the metrics registry.
     """
 
     def __init__(
@@ -36,6 +41,8 @@ class PowerSampler:
         power_model: PowerModel,
         state: EngineState,
         period_s: float = 2.0,
+        obs: Observer = NULL_OBSERVER,
+        obs_track: str = "power",
     ):
         if period_s <= 0:
             raise ConfigError("sampling period must be positive")
@@ -44,6 +51,8 @@ class PowerSampler:
         self.power_model = power_model
         self.state = state
         self.period_s = period_s
+        self.obs = obs
+        self.obs_track = obs_track
         self.samples: List[PowerSample] = []
         self._running = False
 
@@ -63,6 +72,13 @@ class PowerSampler:
         self.samples.append(
             PowerSample(time_s=self.env.now, power_w=watts, phase=self.state.phase)
         )
+        if self.obs.enabled:
+            self.obs.counter(kinds.POWER_W, watts, track=self.obs_track,
+                             time_s=self.env.now)
+            self.obs.metrics.histogram(
+                "power_w", buckets=(5, 10, 15, 20, 25, 30, 40, 50, 60, 80),
+                track=self.obs_track,
+            ).observe(watts)
 
     def _run(self):
         # Sample at t=0 then every period, like a jtop session started

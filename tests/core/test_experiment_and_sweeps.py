@@ -61,28 +61,37 @@ GEN = GenerationSpec(4, 8)
 
 class TestSweeps:
     def test_batch_size_sweep_throughput_monotone(self):
-        runs = batch_size_sweep("phi2", batch_sizes=(1, 4, 16), n_runs=1)
+        spec = ExperimentSpec.for_model("phi2", n_runs=1)
+        runs = batch_size_sweep(spec, batch_sizes=(1, 4, 16))
         tps = [r.throughput_tok_s for r in runs]
         assert tps == sorted(tps)
         lats = [r.mean_latency_s for r in runs]
         assert lats == sorted(lats)
 
     def test_seq_len_sweep_throughput_falls(self):
-        runs = seq_len_sweep("llama", seq_lengths=(128, 256), n_runs=1)
+        spec = ExperimentSpec.for_model("llama", workload="longbench", n_runs=1)
+        runs = seq_len_sweep(spec, seq_lengths=(128, 256))
         assert runs[0].throughput_tok_s > runs[1].throughput_tok_s
 
     def test_quantization_sweep_covers_all_precisions(self):
-        runs = quantization_sweep("phi2", batch_size=2, n_runs=1,
-                                  gen=GEN)
+        spec = ExperimentSpec.for_model("phi2", batch_size=2, n_runs=1, gen=GEN)
+        runs = quantization_sweep(spec)
         assert [r.precision for r in runs] == [
             Precision.FP32, Precision.FP16, Precision.INT8, Precision.INT4
         ]
 
     def test_power_mode_sweep_order_and_names(self):
-        runs = power_mode_sweep("phi2", modes=("MAXN", "H"), n_runs=1)
+        spec = ExperimentSpec.for_model("phi2", n_runs=1)
+        runs = power_mode_sweep(spec, modes=("MAXN", "H"))
         assert [r.power_mode for r in runs] == ["MAXN", "H"]
         assert runs[1].mean_latency_s > runs[0].mean_latency_s
 
     def test_seq_len_sweep_rejects_unknown_length(self):
+        spec = ExperimentSpec.for_model("phi2", workload="longbench", n_runs=1)
         with pytest.raises(ExperimentError):
-            seq_len_sweep("phi2", seq_lengths=(100,), n_runs=1)
+            seq_len_sweep(spec, seq_lengths=(100,))
+
+    def test_sweeps_reject_spec_plus_legacy_kwargs(self):
+        spec = ExperimentSpec.for_model("phi2", n_runs=1)
+        with pytest.raises(ExperimentError):
+            batch_size_sweep(spec, n_runs=2)

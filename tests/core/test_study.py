@@ -2,15 +2,15 @@
 
 import pytest
 
-from repro.core.study import run_full_study
+from repro.core.study import StudySpec, run_full_study
 from repro.quant.dtypes import Precision
 
 
 @pytest.fixture(scope="module")
 def study():
     # One small model, one run per config: fast but exercises every path.
-    return run_full_study(models=["MS-Phi2"], n_runs=1,
-                          include_power_energy=False)
+    return run_full_study(StudySpec.of(models=["MS-Phi2"], n_runs=1,
+                                       include_power_energy=False))
 
 
 def test_analytic_tables_present(study):

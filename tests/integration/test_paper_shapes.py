@@ -24,7 +24,8 @@ N_RUNS = 2  # enough for deterministic sim; paper uses 5
 
 @pytest.fixture(scope="module")
 def llama_batch():
-    return batch_size_sweep("llama", batch_sizes=(1, 32, 128), n_runs=N_RUNS)
+    spec = ExperimentSpec.for_model("llama", n_runs=N_RUNS)
+    return batch_size_sweep(spec, batch_sizes=(1, 32, 128))
 
 
 class TestSection31BatchSize:
@@ -52,21 +53,25 @@ class TestSection31BatchSize:
 class TestSection32SeqLen:
     @pytest.fixture(scope="class")
     def llama_seq(self):
-        return seq_len_sweep("llama", n_runs=N_RUNS)
+        return seq_len_sweep(ExperimentSpec.for_model(
+            "llama", workload="longbench", n_runs=N_RUNS))
 
     def test_throughput_decreases_with_seq_len(self, llama_seq):
         tps = [r.throughput_tok_s for r in llama_seq]
         assert tps == sorted(tps, reverse=True)
 
     def test_phi2_oom_boundary_matches_paper(self):
-        runs = seq_len_sweep("phi2", n_runs=1)
+        runs = seq_len_sweep(ExperimentSpec.for_model(
+            "phi2", workload="longbench", n_runs=1))
         ooms = {r.gen.total_tokens: r.oom for r in runs}
         assert not ooms[128] and not ooms[256]
         assert ooms[512] and ooms[1024]
 
     def test_large_models_survive_sl_1024(self):
         for model in ("mistral", "deepq"):
-            runs = seq_len_sweep(model, seq_lengths=(1024,), n_runs=1)
+            runs = seq_len_sweep(
+                ExperimentSpec.for_model(model, workload="longbench", n_runs=1),
+                seq_lengths=(1024,))
             assert not runs[0].oom
 
     def test_memory_grows_with_seq_len(self, llama_seq):
@@ -78,7 +83,8 @@ class TestSection33Quantization:
     @pytest.fixture(scope="module")
     def quant(self):
         return {
-            m: {r.precision: r for r in quantization_sweep(m, n_runs=N_RUNS)}
+            m: {r.precision: r for r in quantization_sweep(
+                ExperimentSpec.for_model(m, n_runs=N_RUNS))}
             for m in ("phi2", "llama", "mistral", "deepq")
         }
 
@@ -126,7 +132,7 @@ class TestSection33Quantization:
 class TestSection34PowerModes:
     @pytest.fixture(scope="module")
     def modes(self):
-        runs = power_mode_sweep("llama", n_runs=N_RUNS)
+        runs = power_mode_sweep(ExperimentSpec.for_model("llama", n_runs=N_RUNS))
         return {r.power_mode: r for r in runs}
 
     def test_mode_a_cuts_power_with_mild_latency_cost(self, modes):

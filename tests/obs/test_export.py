@@ -1,0 +1,131 @@
+"""Exporter tests: golden Chrome trace, Prometheus text, CSV writers."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Observer,
+    chrome_trace_json,
+    prometheus_text,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+    write_metrics_csv,
+    write_spans_csv,
+)
+
+
+def _tiny_observer() -> Observer:
+    """A handcrafted observer with every record type at fixed times."""
+    obs = Observer()
+    obs.set_group("run")
+    req = obs.begin("request", cat="request", track="req0", time_s=0.0, req=0)
+    obs.complete("decode", 0.25, 1.0, cat="engine", track="node0")
+    obs.end(req, time_s=1.5, outcome="ok")
+    obs.instant("mode_change", cat="cluster", track="node0", time_s=2.0,
+                mode="A")
+    obs.counter("power_w", 30.5, track="node0", time_s=0.5)
+    return obs
+
+
+#: The exact trace-event object the tiny observer must export to.  This
+#: is the contract with Perfetto/chrome://tracing — change it knowingly.
+GOLDEN = {
+    "displayTimeUnit": "ms",
+    "traceEvents": [
+        {"ph": "M", "name": "process_name", "pid": 1,
+         "args": {"name": "run"}},
+        {"ph": "M", "name": "thread_name", "pid": 1, "tid": 1,
+         "args": {"name": "node0"}},
+        {"ph": "M", "name": "thread_name", "pid": 1, "tid": 2,
+         "args": {"name": "req0"}},
+        {"ph": "X", "name": "decode", "cat": "engine", "pid": 1, "tid": 1,
+         "ts": 250000.0, "dur": 750000.0, "args": {"span_id": 2}},
+        {"ph": "X", "name": "request", "cat": "request", "pid": 1, "tid": 2,
+         "ts": 0.0, "dur": 1500000.0,
+         "args": {"req": 0, "outcome": "ok", "span_id": 1}},
+        {"ph": "i", "s": "t", "name": "mode_change", "cat": "cluster",
+         "pid": 1, "tid": 1, "ts": 2000000.0, "args": {"mode": "A"}},
+        {"ph": "C", "name": "power_w", "pid": 1, "tid": 1, "ts": 500000.0,
+         "args": {"node0": 30.5}},
+    ],
+}
+
+
+class TestChromeTrace:
+    def test_golden_object(self):
+        assert to_chrome_trace(_tiny_observer()) == GOLDEN
+
+    def test_golden_bytes(self):
+        expected = json.dumps(GOLDEN, sort_keys=True,
+                              separators=(",", ":")) + "\n"
+        assert chrome_trace_json(_tiny_observer()) == expected
+
+    def test_written_file_round_trips(self, tmp_path):
+        out = write_chrome_trace(tmp_path / "t.json", _tiny_observer())
+        loaded = json.loads(out.read_text())
+        assert loaded == GOLDEN
+        names = [e["name"] for e in loaded["traceEvents"] if e["ph"] == "X"]
+        assert names == ["decode", "request"]
+
+    def test_empty_observer_exports_empty_trace(self):
+        assert to_chrome_trace(Observer()) == {
+            "displayTimeUnit": "ms", "traceEvents": []}
+
+
+class TestSpanCsv:
+    def test_rows_and_header(self, tmp_path):
+        out = write_spans_csv(tmp_path / "spans.csv", _tiny_observer())
+        lines = out.read_text().splitlines()
+        assert lines[0].startswith("span_id,parent_id,group,track,name")
+        assert len(lines) == 3  # header + two closed spans
+        assert ",decode,engine," in lines[1]
+        assert "req=0;outcome=ok" in lines[2]
+
+
+def _tiny_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("requests_total", node="0").inc(3)
+    reg.gauge("queue_depth").set(2)
+    reg.histogram("ttft_s", buckets=(0.5, 1.0)).observe(0.75)
+    return reg
+
+
+class TestPrometheus:
+    def test_text_exposition(self):
+        text = prometheus_text(_tiny_registry())
+        assert text == (
+            "# TYPE requests_total counter\n"
+            'requests_total{node="0"} 3\n'
+            "# TYPE queue_depth gauge\n"
+            "queue_depth 2\n"
+            "# TYPE ttft_s histogram\n"
+            'ttft_s_bucket{le="0.5"} 0\n'
+            'ttft_s_bucket{le="1"} 1\n'
+            'ttft_s_bucket{le="+Inf"} 1\n'
+            "ttft_s_sum 0.75\n"
+            "ttft_s_count 1\n"
+        )
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestWriteMetricsDispatch:
+    @pytest.mark.parametrize("name", ["m.prom", "m.txt"])
+    def test_prometheus_suffixes(self, tmp_path, name):
+        out = write_metrics(tmp_path / name, _tiny_registry())
+        assert out.read_text().startswith("# TYPE requests_total counter")
+
+    def test_csv_fallback(self, tmp_path):
+        out = write_metrics(tmp_path / "m.csv", _tiny_registry())
+        lines = out.read_text().splitlines()
+        assert lines[0] == "metric,type,labels,value"
+        assert "requests_total,counter,node=0,3" in lines
+
+    def test_csv_writer_matches_dispatch(self, tmp_path):
+        a = write_metrics(tmp_path / "a.csv", _tiny_registry())
+        b = write_metrics_csv(tmp_path / "b.csv", _tiny_registry())
+        assert a.read_text() == b.read_text()

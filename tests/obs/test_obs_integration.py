@@ -1,0 +1,165 @@
+"""End-to-end observability guarantees.
+
+The three acceptance properties from the layer's introduction:
+
+- determinism — two same-seed runs export byte-identical telemetry;
+- attribution — engine and cluster runs produce the span hierarchy the
+  latency-breakdown report folds (queue / prefill / decode / faults);
+- zero cost when disabled — running without an observer records nothing
+  and changes no result.
+"""
+
+import pytest
+
+from repro.cluster import EdgeCluster, NodeSpec, poisson_workload
+from repro.core import ExperimentSpec, run_experiment
+from repro.faults import ChaosSpec, FaultScheduleSpec, run_chaos
+from repro.obs import Observer, chrome_trace_json, kinds, prometheus_text
+from repro.reporting import phase_breakdown
+
+FLEET = [
+    NodeSpec("jetson-orin-agx-64gb", max_batch=4),
+    NodeSpec("jetson-xavier-agx-32gb", max_batch=4),
+]
+
+
+def _cluster_run(observer=None, seed=3, n=24):
+    cluster = EdgeCluster.build(list(FLEET), model="llama", precision="fp16",
+                                observer=observer)
+    reqs = poisson_workload(2.0, n, input_tokens=16, output_tokens=16,
+                            seed=seed)
+    return cluster.run(reqs)
+
+
+class TestClusterSpans:
+    @pytest.fixture(scope="class")
+    def observed(self):
+        obs = Observer()
+        report = _cluster_run(observer=obs)
+        return obs, report
+
+    def test_every_request_has_a_request_span(self, observed):
+        obs, report = observed
+        spans = obs.spans_named(kinds.REQUEST)
+        assert len(spans) == report.n_requests
+        assert {s.track for s in spans} == {
+            f"req{r.req_id}" for r in report.requests}
+
+    def test_queue_prefill_decode_hierarchy(self, observed):
+        obs, report = observed
+        req_span = {s.track: s.span_id for s in obs.spans_named(kinds.REQUEST)}
+        for q in obs.spans_named(kinds.QUEUE):
+            assert q.parent_id == req_span[q.track]
+        assert obs.spans_named(kinds.PREFILL)
+        assert obs.spans_named(kinds.DECODE)
+        for s in obs.spans_named(kinds.PREFILL) + obs.spans_named(kinds.DECODE):
+            assert s.track.startswith("node")
+            assert s.duration_s > 0
+
+    def test_completion_metrics_match_report(self, observed):
+        obs, report = observed
+        done = obs.metrics.counter("requests_completed_total")
+        assert done.value == report.completed
+        ttft = obs.metrics.histogram("ttft_s")
+        assert ttft.count == report.completed
+
+    def test_phase_breakdown_covers_the_run(self, observed):
+        obs, _ = observed
+        rows = {r["phase"]: r for r in phase_breakdown(obs)}
+        assert rows[kinds.DECODE]["total_s"] > rows[kinds.PREFILL]["total_s"]
+        assert rows[kinds.REQUEST]["count"] == len(
+            obs.spans_named(kinds.REQUEST))
+        assert sum(r["share"] for r in rows.values() if r["total_s"]) == \
+            pytest.approx(1.0, abs=0.01)
+
+
+class TestDeterminism:
+    def test_cluster_trace_and_metrics_byte_identical(self):
+        exports = []
+        for _ in range(2):
+            obs = Observer()
+            _cluster_run(observer=obs)
+            exports.append((chrome_trace_json(obs),
+                            prometheus_text(obs.metrics)))
+        assert exports[0] == exports[1]
+
+    def test_engine_trace_byte_identical(self):
+        spec = ExperimentSpec.for_model("phi2", batch_size=2, n_runs=1)
+        exports = []
+        for _ in range(2):
+            obs = Observer()
+            run_experiment(spec, observer=obs)
+            exports.append(chrome_trace_json(obs))
+        assert exports[0] == exports[1] and len(exports[0]) > 200
+
+
+class TestZeroCostWhenDisabled:
+    def test_cluster_report_unchanged_by_observer(self):
+        plain = _cluster_run()
+        obs = Observer()
+        observed = _cluster_run(observer=obs)
+        assert [r.__dict__ for r in observed.requests] == \
+            [r.__dict__ for r in plain.requests]
+        assert len(obs) > 0
+
+    def test_engine_rows_unchanged_by_observer(self):
+        spec = ExperimentSpec.for_model("phi2", batch_size=2, n_runs=1)
+        obs = Observer()
+        assert run_experiment(spec, observer=obs).as_row() == \
+            run_experiment(spec).as_row()
+        assert obs.spans_named(kinds.PREFILL)
+        assert obs.spans_named(kinds.DECODE)
+
+    def test_no_observer_records_nothing(self):
+        from repro.obs import NULL_OBSERVER
+
+        before = len(NULL_OBSERVER)
+        _cluster_run()
+        assert len(NULL_OBSERVER) == before == 0
+
+
+#: Dense enough that several episodes of each class land *inside* the
+#: ~30s serving window (sparser schedules fire after the run ends).
+CHAOS = ChaosSpec(
+    n_requests=60,
+    faults=FaultScheduleSpec(
+        horizon_s=30.0,
+        crash_rate_per_min=6.0,
+        brownout_rate_per_min=6.0,
+        straggler_rate_per_min=6.0,
+    ),
+)
+
+
+class TestFaultSpans:
+    @pytest.fixture(scope="class")
+    def chaos(self):
+        obs = Observer()
+        report = run_chaos(CHAOS, observer=obs)
+        return obs, report
+
+    def test_fault_episodes_become_spans(self, chaos):
+        obs, report = chaos
+        episode_spans = [s for s in obs.spans if s.cat == kinds.CAT_FAULT]
+        names = {s.name for s in episode_spans}
+        assert {kinds.fault_kind("crash"), kinds.fault_kind("brownout"),
+                kinds.fault_kind("straggler")} <= names
+        assert len(episode_spans) <= sum(report.n_episodes.values())
+        for s in episode_spans:
+            assert s.track.endswith(".faults")
+            assert s.duration_s > 0
+
+    def test_injected_counter_matches_applied_begins(self, chaos):
+        obs, report = chaos
+        begun = sum(1 for (_, _, _, action, applied, _)
+                    in report.injected_trace if action == "begin" and applied)
+        total = sum(
+            inst.value for inst in obs.metrics.instruments()
+            if inst.name == "faults_injected_total")
+        assert total == begun > 0
+
+    def test_chaos_trace_byte_identical(self, chaos):
+        obs1, _ = chaos
+        obs2 = Observer()
+        run_chaos(CHAOS, observer=obs2)
+        assert chrome_trace_json(obs1) == chrome_trace_json(obs2)

@@ -102,3 +102,47 @@ def test_chaos_writes_csv(tmp_path, capsys):
                  "--crash-rate", "1.0", "--csv", str(csv)]) == 0
     body = csv.read_text()
     assert "availability" in body and "retry_amp" in body
+
+
+CLUSTER_OBS_ARGS = ["cluster", "--requests", "16", "--rate", "3.0",
+                    "--seed", "7", "--output-tokens", "16"]
+
+
+def test_cluster_trace_out_is_byte_identical(tmp_path, capsys):
+    """The PR's acceptance bar: two same-seed runs, identical trace bytes."""
+    t1, t2 = tmp_path / "t1.json", tmp_path / "t2.json"
+    assert main(CLUSTER_OBS_ARGS + ["--trace-out", str(t1)]) == 0
+    assert main(CLUSTER_OBS_ARGS + ["--trace-out", str(t2)]) == 0
+    capsys.readouterr()
+    assert t1.read_bytes() == t2.read_bytes()
+    import json
+    trace = json.loads(t1.read_text())
+    assert any(e["ph"] == "X" and e["name"] == "request"
+               for e in trace["traceEvents"])
+
+
+def test_cluster_obs_prints_breakdown_and_writes_metrics(tmp_path, capsys):
+    prom = tmp_path / "m.prom"
+    assert main(CLUSTER_OBS_ARGS + ["--metrics-out", str(prom)]) == 0
+    out = capsys.readouterr().out
+    assert "phase breakdown" in out
+    text = prom.read_text()
+    assert "# TYPE requests_completed_total counter" in text
+    assert "ttft_s_bucket" in text
+
+
+def test_run_trace_out_covers_engine_phases(tmp_path, capsys):
+    trace = tmp_path / "run.json"
+    assert main(["run", "--model", "phi2", "--batch-size", "2",
+                 "--input-tokens", "4", "--output-tokens", "8", "--runs", "1",
+                 "--trace-out", str(trace)]) == 0
+    capsys.readouterr()
+    import json
+    names = {e["name"] for e in json.loads(trace.read_text())["traceEvents"]}
+    assert {"prefill", "decode", "batch"} <= names
+
+
+def test_obs_flags_off_leave_no_files(tmp_path, capsys):
+    assert main(CLUSTER_OBS_ARGS) == 0
+    assert "phase breakdown" not in capsys.readouterr().out
+    assert list(tmp_path.iterdir()) == []
