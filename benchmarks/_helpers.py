@@ -91,10 +91,12 @@ def perf_report(
 
 def run_batch_sweep(workload: str, n_runs: int,
                     models: Sequence[str] = ("phi2", "llama", "mistral", "deepq"),
-                    batch_sizes=paperdata.BATCH_SIZES) -> List[Dict]:
+                    batch_sizes=paperdata.BATCH_SIZES,
+                    runtime: str = "hf-transformers") -> List[Dict]:
     out = []
     for m in models:
-        spec = ExperimentSpec.for_model(m, workload=workload, n_runs=n_runs)
+        spec = ExperimentSpec.for_model(m, workload=workload, n_runs=n_runs,
+                                        runtime=runtime)
         res = batch_size_sweep(spec, batch_sizes=batch_sizes,
                                cache=_shared_cache)
         out.extend(sweep_rows(res, "batch_size", lambda r: r.batch_size))
@@ -103,10 +105,12 @@ def run_batch_sweep(workload: str, n_runs: int,
 
 def run_seqlen_sweep(workload: str, n_runs: int,
                      models: Sequence[str] = ("phi2", "llama", "mistral", "deepq"),
-                     seq_lengths=paperdata.SEQ_LENGTHS) -> List[Dict]:
+                     seq_lengths=paperdata.SEQ_LENGTHS,
+                     runtime: str = "hf-transformers") -> List[Dict]:
     out = []
     for m in models:
-        spec = ExperimentSpec.for_model(m, workload=workload, n_runs=n_runs)
+        spec = ExperimentSpec.for_model(m, workload=workload, n_runs=n_runs,
+                                        runtime=runtime)
         res = seq_len_sweep(spec, seq_lengths=seq_lengths,
                             cache=_shared_cache)
         out.extend(sweep_rows(res, "seq_len", lambda r: r.gen.total_tokens))

@@ -10,6 +10,7 @@ Each ablation toggles one mechanism and quantifies its contribution:
 
 from conftest import N_RUNS
 
+from repro.backends import get_backend
 from repro.engine import EngineCostParams, GenerationSpec, ServingEngine
 from repro.engine.executor import BatchExecutor
 from repro.engine.kernels import StepTimer
@@ -30,7 +31,8 @@ def test_dynamic_vs_static_kv_cache_memory(benchmark, emit):
         for mode in ("dynamic", "static"):
             eng = ServingEngine(
                 get_device("jetson-orin-agx-64gb"), get_model("llama"),
-                Precision.FP16, kv_mode=mode,
+                Precision.FP16,
+                backend=get_backend("hf-transformers", kv_mode=mode),
             )
             res = eng.run(batch_size=32, gen=GenerationSpec(256, 768),
                           n_runs=N_RUNS)

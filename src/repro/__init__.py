@@ -8,8 +8,10 @@ serving runtime (prefill/decode roofline, caching allocator, KV cache),
 bitsandbytes quantization, the WikiText2/LongBench workloads and the
 jtop measurement methodology — and re-runs every table and figure of
 the paper against the simulation.  On top of the single-board protocol
-it adds multi-node cluster serving, deterministic fault injection and a
-request-scoped observability layer.
+it adds multi-node cluster serving, deterministic fault injection, a
+request-scoped observability layer, and pluggable inference-runtime
+backends (``hf-transformers``, ``gguf``, ``paged``) behind
+:func:`get_backend` / :func:`list_backends`.
 
 Quick start — one measured configuration, spec-first::
 
@@ -42,6 +44,12 @@ simulation works.
 # imports engine.scheduler, whose lazy re-exports point back at cluster.
 from repro.engine import GenerationSpec, RunResult, ServingEngine
 
+from repro.backends import (
+    RuntimeBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from repro.cluster import (
     ClusterReport,
     EdgeCluster,
@@ -66,6 +74,7 @@ from repro.core import (
     run_experiment,
     run_full_study,
     run_specs,
+    runtime_sweep,
     seq_len_sweep,
 )
 from repro.errors import OutOfMemoryError, ReproError
@@ -81,7 +90,7 @@ from repro.obs import (
     write_metrics,
 )
 from repro.quant import Precision
-from repro.reporting import phase_breakdown
+from repro.reporting import phase_breakdown, runtime_comparison
 
 __version__ = "1.1.0"
 
@@ -103,6 +112,7 @@ __all__ = [
     "ReproError",
     "ResultCache",
     "RunResult",
+    "RuntimeBackend",
     "SLOSpec",
     "ServingEngine",
     "StudySpec",
@@ -113,18 +123,23 @@ __all__ = [
     "chrome_trace_json",
     "default_precision_for",
     "diurnal_workload",
+    "get_backend",
     "get_device",
     "get_model",
+    "list_backends",
     "multi_tenant_workload",
     "phase_breakdown",
     "poisson_workload",
     "power_mode_sweep",
     "prometheus_text",
     "quantization_sweep",
+    "register_backend",
     "run_chaos",
     "run_experiment",
     "run_full_study",
     "run_specs",
+    "runtime_comparison",
+    "runtime_sweep",
     "seq_len_sweep",
     "write_chrome_trace",
     "write_metrics",

@@ -1,0 +1,59 @@
+"""Pluggable inference-runtime backends.
+
+The runtime is a first-class, spec-selectable axis of every experiment::
+
+    from repro import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec.for_model("phi2", runtime="gguf")
+    print(run_experiment(spec).as_row())
+
+Three backends ship built in (``repro backends`` lists them):
+
+- ``hf-transformers`` — the paper's measured stack, extracted from the
+  pre-refactor engine and bit-identical to it;
+- ``gguf`` — llama.cpp-style (GGUF k-quant weights, ``n_gpu_layers``
+  CPU/GPU split, static KV, C++ host loop);
+- ``paged`` — vLLM-style (paged KV block pool, admission by free
+  blocks, zero concat traffic).
+
+Concrete backend classes are imported lazily (PEP 562) so this package
+stays importable from low-level modules without cycles; use
+:func:`get_backend`/:func:`list_backends` for normal access.
+"""
+
+from repro.backends.base import RuntimeBackend, resolve_backend
+from repro.backends.registry import (
+    BACKEND_MODEL_VERSION,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+
+__all__ = [
+    "BACKEND_MODEL_VERSION",
+    "GGUFBackend",
+    "GGUFCostParams",
+    "HFTransformersBackend",
+    "PagedBackend",
+    "RuntimeBackend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "resolve_backend",
+]
+
+_LAZY = {
+    "HFTransformersBackend": "repro.backends.hf",
+    "GGUFBackend": "repro.backends.gguf",
+    "GGUFCostParams": "repro.backends.gguf",
+    "PagedBackend": "repro.backends.paged",
+}
+
+
+def __getattr__(name):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)

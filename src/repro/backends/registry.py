@@ -1,0 +1,81 @@
+"""Runtime-backend registry, mirroring the device/model zoos.
+
+``get_backend("gguf", n_gpu_layers=16)`` instantiates a configured
+:class:`~repro.backends.base.RuntimeBackend`; unknown names raise the
+typed :class:`~repro.errors.ConfigError` listing what is available —
+the same shape as :func:`repro.cluster.router.get_router`.
+
+Third-party backends register with the decorator::
+
+    @register_backend
+    class MyBackend(RuntimeBackend):
+        name = "my-runtime"
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.errors import ConfigError
+
+#: Bump when the *semantics* of any backend's cost/memory model change
+#: in a way its configuration payload cannot see (the backend-axis
+#: counterpart of :data:`repro.core.cache.COST_MODEL_VERSION`).  Folded
+#: into every experiment cache key, so a bump invalidates all cached
+#: results across every runtime.
+BACKEND_MODEL_VERSION = "2026.08-backends-1"
+
+_BACKENDS: Dict[str, Type] = {}
+_builtin_loaded = False
+
+
+def register_backend(cls):
+    """Class decorator adding a :class:`RuntimeBackend` to the registry."""
+    name = getattr(cls, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ConfigError(
+            f"backend class {cls.__name__} needs a non-empty string "
+            f"`name` attribute")
+    if name in _BACKENDS and _BACKENDS[name] is not cls:
+        raise ConfigError(f"backend name {name!r} is already registered")
+    _BACKENDS[name] = cls
+    return cls
+
+
+def _ensure_builtin() -> None:
+    """Import the built-in backends exactly once (registration side
+    effect); lazy so `repro.backends.registry` stays import-cycle-free
+    for :mod:`repro.core.cache`."""
+    global _builtin_loaded
+    if _builtin_loaded:
+        return
+    _builtin_loaded = True
+    from repro.backends import gguf, hf, paged  # noqa: F401
+
+
+def list_backends() -> List[str]:
+    """Registered runtime names, sorted."""
+    _ensure_builtin()
+    return sorted(_BACKENDS)
+
+
+def get_backend(name: str, **kwargs):
+    """Instantiate a runtime backend by name.
+
+    Raises :class:`~repro.errors.ConfigError` (never ``KeyError`` /
+    ``AttributeError``) on unknown or non-string names, listing the
+    valid backends in the message.
+    """
+    _ensure_builtin()
+    if not isinstance(name, str):
+        raise ConfigError(
+            f"runtime backend must be a string, got {type(name).__name__}; "
+            f"known: {', '.join(list_backends())}"
+        )
+    cls = _BACKENDS.get(name.strip().lower())
+    if cls is None:
+        raise ConfigError(
+            f"unknown runtime backend {name!r}; "
+            f"known: {', '.join(list_backends())}"
+        )
+    return cls(**kwargs)

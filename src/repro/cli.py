@@ -13,7 +13,13 @@ map onto the paper's experiments:
   process fan-out and the on-disk result cache.
 - ``repro cluster`` / ``repro chaos`` — multi-node serving, with and
   without fault injection.
-- ``repro devices`` / ``repro models`` — list presets.
+- ``repro devices`` / ``repro models`` / ``repro backends`` — list
+  presets and registered inference runtimes.
+
+``run``, ``sweep`` and ``study`` take ``--runtime`` to pick the
+inference-runtime backend (``hf-transformers``, ``gguf``, ``paged``);
+``repro sweep runtime`` runs one configuration on every backend and
+prints the cross-backend comparison table.
 
 ``run``, ``sweep``, ``study``, ``cluster`` and ``chaos`` all accept
 ``--trace-out FILE`` (Chrome trace-event JSON for Perfetto) and
@@ -83,6 +89,15 @@ def _cmd_models(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.backends import get_backend, list_backends
+
+    for name in list_backends():
+        b = get_backend(name)
+        print(f"{name:16s} {b.description}")
+    return 0
+
+
 def _cmd_devices(args: argparse.Namespace) -> int:
     from repro.hardware import device_registry
 
@@ -111,6 +126,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         gen=GenerationSpec(args.input_tokens, args.output_tokens),
         power_mode=args.power_mode,
         n_runs=args.runs,
+        runtime=args.runtime,
     )
     obs = _obs_from_args(args)
     result = run_experiment(spec, observer=obs)
@@ -120,30 +136,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.cache import ResultCache, default_cache_dir
     from repro.core.experiment import ExperimentSpec
     from repro.core.sweeps import (
         batch_size_sweep,
         power_mode_sweep,
         quantization_sweep,
+        runtime_sweep,
         seq_len_sweep,
     )
-    from repro.reporting import format_table, write_csv
+    from repro.reporting import format_table, runtime_comparison, write_csv
 
     sweeps = {
         "batch": batch_size_sweep,
         "seqlen": seq_len_sweep,
         "quant": quantization_sweep,
         "powermode": power_mode_sweep,
+        "runtime": runtime_sweep,
     }
     spec = ExperimentSpec.for_model(args.model, device=args.device,
-                                    n_runs=args.runs)
+                                    n_runs=args.runs, runtime=args.runtime)
+    cache = None
+    if args.cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
     obs = _obs_from_args(args)
-    runs = sweeps[args.kind](spec, observer=obs)
-    rows = [r.as_row() for r in runs]
-    print(format_table(rows, title=f"{args.kind} sweep — {runs[0].model}"))
+    runs = sweeps[args.kind](spec, cache=cache, observer=obs)
+    if args.kind == "runtime":
+        rows = runtime_comparison(runs)
+        print(format_table(rows,
+                           title=f"runtime comparison — {runs[0].model}"))
+    else:
+        rows = [r.as_row() for r in runs]
+        print(format_table(rows, title=f"{args.kind} sweep — {runs[0].model}"))
     if args.csv:
         path = write_csv(args.csv, rows)
         print(f"wrote {path}")
+    if cache is not None:
+        s = cache.stats
+        print(f"cache: {s.hits} hits / {s.misses} misses -> {cache.root}")
     _finish_obs(args, obs)
     return 0
 
@@ -267,6 +297,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         n_runs=args.runs,
         include_power_energy=not args.no_power_energy,
         fast_forward=not args.no_fast_forward,
+        runtime=args.runtime,
     )
     obs = _obs_from_args(args)
 
@@ -325,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("footprint", help="Table 1: weights per precision")
     sub.add_parser("models", help="list model presets")
     sub.add_parser("devices", help="list device presets")
+    sub.add_parser("backends", help="list registered inference runtimes")
 
     run = sub.add_parser("run", help="measure one configuration")
     run.add_argument("--model", default="llama")
@@ -336,13 +368,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--output-tokens", type=int, default=64)
     run.add_argument("--power-mode", default="MAXN")
     run.add_argument("--runs", type=int, default=5)
+    run.add_argument("--runtime", default="hf-transformers",
+                     help="inference runtime backend (see `repro backends`)")
     _add_obs_args(run)
 
     sweep = sub.add_parser("sweep", help="run one of the paper's sweeps")
-    sweep.add_argument("kind", choices=["batch", "seqlen", "quant", "powermode"])
+    sweep.add_argument("kind", choices=["batch", "seqlen", "quant",
+                                        "powermode", "runtime"])
     sweep.add_argument("--model", default="llama")
     sweep.add_argument("--device", default="jetson-orin-agx-64gb")
     sweep.add_argument("--runs", type=int, default=2)
+    sweep.add_argument("--runtime", default="hf-transformers",
+                       help="inference runtime backend; the `runtime` kind "
+                            "sweeps every registered backend instead")
+    sweep.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="reuse/populate the on-disk result cache")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="cache directory (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro-edge-llm)")
     sweep.add_argument("--csv", default=None, help="also write rows to CSV")
     _add_obs_args(sweep)
 
@@ -362,6 +406,9 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--cache-dir", default=None,
                        help="cache directory (default: $REPRO_CACHE_DIR or "
                             "~/.cache/repro-edge-llm)")
+    study.add_argument("--runtime", default="hf-transformers",
+                       help="inference runtime backend for every "
+                            "configuration (see `repro backends`)")
     study.add_argument("--no-power-energy", action="store_true",
                        help="skip the §3.3 power/energy batch grids")
     study.add_argument("--no-fast-forward", action="store_true",
@@ -433,6 +480,7 @@ _COMMANDS = {
     "footprint": _cmd_footprint,
     "models": _cmd_models,
     "devices": _cmd_devices,
+    "backends": _cmd_backends,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "perplexity": _cmd_perplexity,

@@ -45,10 +45,16 @@ class NodeSpec:
     power_mode: Optional[str] = None
     max_batch: int = 8
     max_queue: int = 256
+    #: Inference-runtime backend this node serves with; heterogeneous
+    #: fleets may mix runtimes per node.
+    runtime: str = "hf-transformers"
 
     def __post_init__(self) -> None:
         if self.max_batch < 1 or self.max_queue < 1:
             raise ConfigError("max_batch and max_queue must be >= 1")
+        from repro.backends import get_backend
+
+        get_backend(self.runtime)  # typed ConfigError on unknown names
 
 
 class EdgeCluster:
@@ -119,7 +125,7 @@ class EdgeCluster:
                 power_mode=s.power_mode, max_batch=s.max_batch,
                 max_queue=s.max_queue, params=params,
                 power_model=shared_power, sample_period_s=sample_period_s,
-                obs=observer,
+                obs=observer, backend=s.runtime,
             )
             for i, s in enumerate(specs)
         ]

@@ -36,14 +36,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro.backends.base import resolve_backend
 from repro.cluster.workload import ClusterRequest
-from repro.engine.kernels import EngineCostParams, StepCost, StepTimer
+from repro.engine.kernels import EngineCostParams, StepCost
 from repro.engine.state import EngineState
 from repro.errors import ConfigError
 from repro.hardware.device import EdgeDevice
 from repro.hardware.thermal import ThermalModel
 from repro.models.architecture import TransformerArchitecture
-from repro.models.footprint import weight_bytes
 from repro.obs import kinds
 from repro.obs.span import NO_SPAN, NULL_OBSERVER, Observer
 from repro.power.model import ComponentUtilization, PowerModel
@@ -127,6 +127,7 @@ class ClusterNode:
         sample_period_s: float = 1.0,
         thermal: Optional[ThermalModel] = None,
         obs: Optional[Observer] = None,
+        backend=None,
     ):
         if max_batch < 1 or max_queue < 1:
             raise ConfigError("max_batch and max_queue must be >= 1")
@@ -141,15 +142,18 @@ class ClusterNode:
         self.max_batch = max_batch
         self.max_queue = max_queue
         self._params = params
+        #: Inference-runtime backend (name or instance); nodes of one
+        #: fleet may mix runtimes.
+        self.backend = resolve_backend(backend)
         if power_mode is not None:
             apply_power_mode(device, get_power_mode(power_mode))
-        self.timer = StepTimer(arch, device, precision, params)
+        self.timer = self.backend.make_timer(arch, device, precision, params)
         self.power_model = power_model or PowerModel()
         self._explicit_kv_budget = kv_budget_bytes is not None
         if kv_budget_bytes is None:
             kv_budget_bytes = int(
                 device.memory.usable_bytes
-                - weight_bytes(arch, precision)
+                - self.backend.weight_bytes(arch, precision)
                 - _WORKSPACE_BYTES
             )
         if kv_budget_bytes <= 0:
@@ -224,13 +228,21 @@ class ClusterNode:
         return tokens * self._kv_per_token
 
     def _kv_need(self, r: ClusterRequest) -> int:
-        if self.role == "prefill":
-            return self.kv_bytes(r.input_tokens)
-        return self.kv_bytes(r.input_tokens + r.output_tokens)
+        """KV bytes admission charges ``r`` (backend discipline: hf/gguf
+        reserve the whole lifetime, paged only the prompt's blocks)."""
+        out = 0 if self.role == "prefill" else r.output_tokens
+        return self.backend.request_kv_reservation(
+            r.input_tokens, out, self._kv_per_token)
+
+    def _kv_live(self, r: ClusterRequest) -> int:
+        """KV bytes ``r`` holds right now (grows per token under paged)."""
+        out = 0 if self.role == "prefill" else r.output_tokens
+        return self.backend.live_kv_bytes(
+            r.input_tokens, r.generated, out, self._kv_per_token)
 
     @property
     def kv_in_use(self) -> int:
-        return sum(self._kv_need(r) for r in self.active)
+        return sum(self._kv_live(r) for r in self.active)
 
     @property
     def kv_pressure(self) -> float:
@@ -381,6 +393,26 @@ class ClusterNode:
             raise ConfigError("kv_shrink must be positive")
         grew = factor > self.kv_shrink
         self.kv_shrink = factor
+        evicted = self._evict_over_budget(kv_shrink=factor)
+        if grew:
+            self._notify()  # headroom returned: head may fit now
+        return evicted
+
+    def _evict_over_budget(self, permanent: bool = False,
+                           **obs_fields) -> List[ClusterRequest]:
+        """Evict youngest active requests until KV fits the budget.
+
+        Shared victim rule for both pressure sources: injected shrink
+        faults (transient — pressure lifts, so victims wait at this
+        node's queue head), and paged-runtime pool exhaustion
+        (``permanent=True`` — optimistic admission let live KV outgrow
+        the pool mid-decode, and the pool never grows back).  Under
+        permanent pressure a victim whose *whole-lifetime* footprint
+        exceeds the budget can never finish here no matter how often it
+        re-prefills; requeueing it locally would livelock, so it is
+        handed to the fleet (``on_crash``, whose requeue cap bounds the
+        retries) or marked rejected.
+        """
         evicted: List[ClusterRequest] = []
         while self.active and self.kv_in_use > self.kv_budget:
             victim = max(self.active,
@@ -389,22 +421,38 @@ class ClusterNode:
             victim.reset_for_replay()
             evicted.append(victim)
         if evicted:
-            # Evictions re-enter at the queue head (they were already
-            # admitted once); the depth cap only gates *new* arrivals.
-            self.queue[0:0] = evicted
             if self.obs.enabled:
                 for r in evicted:
                     r.evicted = True
                     self.obs.instant(
                         kinds.EJECT, cat=kinds.CAT_REQUEST,
                         track=f"req{r.req_id}", parent=r.obs_span,
-                        node=self.node_id, kv_shrink=factor)
+                        node=self.node_id, **obs_fields)
+            hopeless: List[ClusterRequest] = []
+            if permanent:
+                out = 0 if self.role == "prefill" else None
+                def lifetime(r):
+                    o = r.output_tokens if out is None else out
+                    return self.backend.live_kv_bytes(
+                        r.input_tokens, o, o, self._kv_per_token)
+                hopeless = [r for r in evicted
+                            if lifetime(r) > self.kv_budget]
+            requeue = [r for r in evicted if r not in hopeless]
+            # Evictions re-enter at the queue head (they were already
+            # admitted once); the depth cap only gates *new* arrivals.
+            self.queue[0:0] = requeue
+            if self.obs.enabled:
+                for r in requeue:
                     r.queue_span = self.obs.begin(
                         kinds.QUEUE, cat=kinds.CAT_REQUEST,
                         track=f"req{r.req_id}", parent=r.obs_span,
                         node=self.node_id, after_eviction=True)
-        if grew:
-            self._notify()  # headroom returned: head may fit now
+            if hopeless:
+                if self.on_crash is not None:
+                    self.on_crash(hopeless)
+                else:
+                    for r in hopeless:
+                        r.rejected = True
         return evicted
 
     def set_precision(self, precision: Precision) -> None:
@@ -418,11 +466,12 @@ class ClusterNode:
         if precision is self.precision:
             return
         self.precision = precision
-        self.timer = StepTimer(self.arch, self.device, precision, self._params)
+        self.timer = self.backend.make_timer(self.arch, self.device,
+                                             precision, self._params)
         if not self._explicit_kv_budget:
             base = int(
                 self.device.memory.usable_bytes
-                - weight_bytes(self.arch, precision)
+                - self.backend.weight_bytes(self.arch, precision)
                 - _WORKSPACE_BYTES
             )
             if base <= 0:
@@ -448,8 +497,8 @@ class ClusterNode:
         """Marginal decode energy per token at the *current* operating
         point — the signal the energy-aware router ranks nodes by."""
         bs = max(1, min(batch_size, self.max_batch))
-        cost = self.timer.decode_step(bs, context,
-                                      concat_bytes=2 * self.kv_bytes(bs * context))
+        concat = self.backend.decode_concat_bytes(self.kv_bytes(bs * context))
+        cost = self.timer.decode_step(bs, context, concat_bytes=concat)
         watts = self.power_model.power_w(self.device, _util_of(cost))
         return watts * cost.seconds / bs
 
@@ -544,7 +593,8 @@ class ClusterNode:
 
                 bs = len(self.active)
                 context = max(r.input_tokens + r.generated for r in self.active)
-                concat = 2 * self.kv_bytes(bs * context)
+                concat = self.backend.decode_concat_bytes(
+                    self.kv_bytes(bs * context))
                 cost = self.timer.decode_step(bs, context, concat_bytes=concat)
                 step_j, dur = self._account(cost, "decode")
                 step_start = env.now
@@ -569,6 +619,13 @@ class ClusterNode:
                         self.completed.append(r)
                         if self.on_complete is not None:
                             self.on_complete(r)
+                # Optimistic (free-block) admission can overcommit: live
+                # KV grew this step and may now exceed the pool —
+                # preempt the youngest (vLLM recompute preemption).
+                if (self.backend.admits_by_free_blocks
+                        and self.kv_in_use > self.kv_budget):
+                    self._evict_over_budget(permanent=True,
+                                            pool_exhausted=True)
             except Interrupt:
                 continue  # crashed mid-step: loop re-checks health
 
@@ -577,6 +634,7 @@ class ClusterNode:
         return {
             "node": self.node_id,
             "device": self.device.name,
+            "runtime": self.backend.name,
             "served_tokens": self.served_tokens,
             "prefilled_tokens": self.prefilled_tokens,
             "completed": len(self.completed),

@@ -5,7 +5,7 @@
   5 measured runs, OOM-safe).
 - :mod:`repro.core.sweeps` — the four §3 sweeps: batch size, sequence
   length, quantization, power modes (each with a ``*_sweep_specs``
-  grid builder).
+  grid builder), plus the cross-backend ``runtime`` sweep.
 - :mod:`repro.core.study` — run the entire paper and collect every
   table/figure's data in one call (``jobs=N`` for process fan-out).
 - :mod:`repro.core.cache` — content-addressed on-disk result cache.
@@ -28,6 +28,7 @@ from repro.core.sweeps import (
     batch_size_sweep,
     power_mode_sweep,
     quantization_sweep,
+    runtime_sweep,
     seq_len_sweep,
 )
 from repro.core.study import FullStudyResults, StudySpec, run_full_study
@@ -48,6 +49,7 @@ __all__ = [
     "run_experiment",
     "run_full_study",
     "run_specs",
+    "runtime_sweep",
     "seq_len_sweep",
     "set_default_cache",
     "spec_fingerprint",

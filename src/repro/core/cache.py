@@ -7,10 +7,12 @@ constants fully determine the :class:`~repro.engine.runtime.RunResult`.
 This module exploits that by addressing results with a SHA-256 digest of
 
 - every field of the spec (model, precision, device, batch, generation
-  split, power mode, workload, run protocol, KV mode),
+  split, power mode, workload, run protocol, KV mode, runtime),
 - every calibration constant in the effective
   :class:`~repro.engine.kernels.EngineCostParams` (including the quant
-  kernel model), and
+  kernel model),
+- the selected runtime backend's configuration payload plus
+  :data:`~repro.backends.registry.BACKEND_MODEL_VERSION`, and
 - :data:`COST_MODEL_VERSION`, a manually-bumped tag for semantic changes
   that the constants alone cannot see.
 
@@ -35,13 +37,14 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
+from repro.backends.registry import BACKEND_MODEL_VERSION
 from repro.engine.kernels import EngineCostParams
 from repro.engine.runtime import RunResult
 
 #: Bump when the *semantics* of the cost/power/memory model change in a
 #: way the calibration constants do not capture (e.g. a new roofline
 #: term).  Every bump invalidates all previously cached results.
-COST_MODEL_VERSION = "2026.08-fastpath-1"
+COST_MODEL_VERSION = "2026.08-runtime-axis-1"
 
 #: Environment variable that, when set, enables the process-default
 #: cache at the given directory.
@@ -73,6 +76,8 @@ def _canonical_params(params: EngineCostParams) -> dict:
 def spec_fingerprint(spec, params: EngineCostParams,
                      version: str = COST_MODEL_VERSION) -> str:
     """SHA-256 content address of one (spec, constants, version) point."""
+    from repro.core.experiment import backend_for_spec
+
     payload = {
         "spec": {
             "model": spec.model,
@@ -86,8 +91,11 @@ def spec_fingerprint(spec, params: EngineCostParams,
             "n_runs": spec.n_runs,
             "warmup": spec.warmup,
             "kv_mode": spec.kv_mode,
+            "runtime": getattr(spec, "runtime", "hf-transformers"),
         },
         "params": _canonical_params(params),
+        "backend": backend_for_spec(spec).config_payload(),
+        "backend_model_version": BACKEND_MODEL_VERSION,
         "cost_model_version": version,
     }
     return payload_fingerprint(payload)

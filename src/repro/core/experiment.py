@@ -36,12 +36,27 @@ class ExperimentSpec:
     n_runs: int = 5
     warmup: int = 1
     kv_mode: str = "dynamic"
+    #: Inference-runtime backend (see :func:`repro.backends.list_backends`).
+    runtime: str = "hf-transformers"
 
     def __post_init__(self) -> None:
         if self.kv_mode not in ("dynamic", "static"):
             raise ExperimentError(f"unknown kv_mode {self.kv_mode!r}")
         if self.workload not in ("wikitext2", "longbench"):
             raise ExperimentError(f"unknown workload {self.workload!r}")
+        # get_backend raises the typed ConfigError (listing valid names)
+        # for unknown runtimes; instantiating also validates its config.
+        backend_for_spec(self)
+        if self.runtime != "hf-transformers" and self.kv_mode != "dynamic":
+            raise ExperimentError(
+                "kv_mode is an hf-transformers concern; the "
+                f"{self.runtime!r} runtime fixes its own KV policy")
+
+    def __setstate__(self, state: dict) -> None:
+        # Specs pickled before the runtime axis existed (cache entries,
+        # worker handoffs) load with the only runtime that existed then.
+        state.setdefault("runtime", "hf-transformers")
+        self.__dict__.update(state)
 
     @classmethod
     def for_model(cls, model: str, **overrides) -> "ExperimentSpec":
@@ -53,6 +68,17 @@ class ExperimentSpec:
         """
         overrides.setdefault("precision", default_precision_for(model))
         return cls(model=model, **overrides)
+
+
+def backend_for_spec(spec: "ExperimentSpec"):
+    """The configured :class:`~repro.backends.base.RuntimeBackend` a spec
+    selects (the hf backend absorbs the spec's legacy ``kv_mode``)."""
+    from repro.backends import get_backend
+
+    runtime = getattr(spec, "runtime", "hf-transformers")
+    if runtime == "hf-transformers":
+        return get_backend("hf-transformers", kv_mode=spec.kv_mode)
+    return get_backend(runtime)
 
 
 def default_precision_for(model_name: str) -> Precision:
@@ -106,7 +132,7 @@ def run_experiment(
     mode = get_power_mode(spec.power_mode)
     try:
         engine = ServingEngine(device, arch, spec.precision, params=params,
-                               kv_mode=spec.kv_mode,
+                               backend=backend_for_spec(spec),
                                fast_forward=fast_forward,
                                observer=observer)
     except OutOfMemoryError:
@@ -119,6 +145,7 @@ def run_experiment(
             gen=spec.gen,
             power_mode=spec.power_mode,
             workload=spec.workload,
+            runtime=spec.runtime,
             oom=True,
         )
     else:

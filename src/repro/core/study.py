@@ -37,10 +37,19 @@ class StudySpec:
     n_runs: int = 5
     include_power_energy: bool = True
     fast_forward: bool = True
+    #: Inference-runtime backend every planned experiment runs on.
+    runtime: str = "hf-transformers"
 
     def __post_init__(self) -> None:
         if self.n_runs < 1:
             raise ExperimentError("study needs n_runs >= 1")
+        from repro.backends import get_backend
+
+        get_backend(self.runtime)  # typed ConfigError on unknown names
+
+    def __setstate__(self, state: dict) -> None:
+        state.setdefault("runtime", "hf-transformers")
+        self.__dict__.update(state)
 
     @classmethod
     def of(cls, models: Optional[Sequence[str]] = None,
@@ -73,7 +82,8 @@ _Slot = Tuple[str, str, object]
 
 
 def _build_plan(
-    models: List[str], n_runs: int, include_power_energy: bool
+    models: List[str], n_runs: int, include_power_energy: bool,
+    runtime: str = "hf-transformers",
 ) -> List[Tuple[_Slot, ExperimentSpec]]:
     """Flatten every sweep of every model into one ordered spec list.
 
@@ -86,22 +96,27 @@ def _build_plan(
         for wl in ("wikitext2", "longbench"):
             for spec in batch_size_sweep_specs(
                     ExperimentSpec.for_model(model, workload=wl,
-                                             n_runs=n_runs)):
+                                             n_runs=n_runs,
+                                             runtime=runtime)):
                 plan.append((("batch", model, wl), spec))
         for wl in ("wikitext2", "longbench"):
             for spec in seq_len_sweep_specs(
                     ExperimentSpec.for_model(model, workload=wl,
-                                             n_runs=n_runs)):
+                                             n_runs=n_runs,
+                                             runtime=runtime)):
                 plan.append((("seqlen", model, wl), spec))
         for spec in quantization_sweep_specs(
-                ExperimentSpec.for_model(model, n_runs=n_runs)):
+                ExperimentSpec.for_model(model, n_runs=n_runs,
+                                         runtime=runtime)):
             plan.append((("quant", model, None), spec))
         for spec in power_mode_sweep_specs(
-                ExperimentSpec.for_model(model, n_runs=n_runs)):
+                ExperimentSpec.for_model(model, n_runs=n_runs,
+                                         runtime=runtime)):
             plan.append((("power_mode", model, None), spec))
         if include_power_energy:
             grid = batch_quant_power_sweep_specs(
-                ExperimentSpec.for_model(model, n_runs=n_runs))
+                ExperimentSpec.for_model(model, n_runs=n_runs,
+                                         runtime=runtime))
             for prec, specs in grid.items():
                 for spec in specs:
                     plan.append((("power_energy", model, prec), spec))
@@ -111,7 +126,7 @@ def _build_plan(
 #: run_full_study kwargs that configure *what* runs (StudySpec fields,
 #: plus the legacy spelling ``models`` as a list).
 _STUDY_SPEC_KEYS = ("models", "n_runs", "include_power_energy",
-                    "fast_forward")
+                    "fast_forward", "runtime")
 
 
 def run_full_study(
@@ -173,7 +188,8 @@ def run_full_study(
         if progress:  # pragma: no cover - cosmetic
             print(msg, flush=True)
 
-    plan = _build_plan(models, n_runs, include_power_energy)
+    plan = _build_plan(models, n_runs, include_power_energy,
+                       runtime=spec.runtime)
     log(f"[study] {len(plan)} configurations across {len(models)} model(s), "
         f"jobs={jobs or 1}")
     runs = run_specs([s for _, s in plan], params=params, jobs=jobs,

@@ -198,6 +198,46 @@ def power_mode_sweep(
     return _run_all(specs, params, cache, observer)
 
 
+# -- extension: runtime backends ----------------------------------------------
+
+def runtime_sweep_specs(
+    spec: SpecOrModel,
+    runtimes: Optional[Sequence[str]] = None,
+    **legacy,
+) -> List[ExperimentSpec]:
+    """The spec grid of :func:`runtime_sweep`, in registry order."""
+    if runtimes is None:
+        from repro.backends import list_backends
+
+        runtimes = list_backends()
+    base = _base_spec(spec, "runtime_sweep_specs", legacy)
+    # Non-hf runtimes fix their own KV policy; drop a template kv_mode
+    # ablation rather than refusing the whole sweep.
+    return [replace(base, runtime=rt,
+                    kv_mode=base.kv_mode if rt == "hf-transformers"
+                    else "dynamic")
+            for rt in runtimes]
+
+
+def runtime_sweep(
+    spec: SpecOrModel,
+    runtimes: Optional[Sequence[str]] = None,
+    params: Optional[EngineCostParams] = None,
+    cache=None,
+    observer=None,
+    **legacy,
+) -> List[RunResult]:
+    """Cross-backend comparison: one fixed configuration per runtime.
+
+    Extension beyond the paper (which measured only the HF stack);
+    the grid covers every registered backend unless ``runtimes`` narrows
+    it.  Pair with :func:`repro.reporting.runtime_comparison` for the
+    tok/s / TTFT / energy-per-token table.
+    """
+    specs = runtime_sweep_specs(spec, runtimes, **legacy)
+    return _run_all(specs, params, cache, observer)
+
+
 # -- §3.3: power/energy across batch sizes ------------------------------------
 
 def batch_quant_power_sweep_specs(

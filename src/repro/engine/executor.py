@@ -90,6 +90,21 @@ class BatchExecutor:
         self.fast_forward = fast_forward
 
     # -- memory helpers ------------------------------------------------------
+    def _make_kv(self, batch_size: int, gen):
+        """KV cache for one batch — the hook runtime backends override.
+
+        The returned object must expose the growth protocol the decode
+        loop drives: ``prefill(n)``, ``append_token()``, ``seq_len``,
+        ``concat_traffic_bytes()`` and ``release()``.
+        """
+        return KVCache(
+            self.timer.arch.kv_cache_spec(),
+            self.allocator,
+            batch_size=batch_size,
+            mode=self.kv_mode,
+            max_seq_len=gen.total_tokens if self.kv_mode == "static" else None,
+        )
+
     def _eager_bytes(self, batch_size: int, context: int) -> int:
         arch = self.timer.arch
         # fp16 scores + fp32 softmax upcast per layer, all layers resident.
@@ -128,7 +143,7 @@ class BatchExecutor:
         start = env.now
 
         held: List[Allocation] = []
-        kv: Optional[KVCache] = None
+        kv = None
         eager_buf: Optional[Allocation] = None
         try:
             held.append(
@@ -136,13 +151,7 @@ class BatchExecutor:
                     self.workspace_bytes + self._activation_bytes(bs), tag="workspace"
                 )
             )
-            kv = KVCache(
-                self.timer.arch.kv_cache_spec(),
-                self.allocator,
-                batch_size=bs,
-                mode=self.kv_mode,
-                max_seq_len=gen.total_tokens if self.kv_mode == "static" else None,
-            )
+            kv = self._make_kv(bs, gen)
 
             # ---- prefill ----
             kv.prefill(gen.input_tokens)

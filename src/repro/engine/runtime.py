@@ -20,11 +20,11 @@ median of the 2-second samples and energy the trapezoidal integral.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.engine.executor import BatchExecutor
-from repro.engine.kernels import EngineCostParams, StepTimer
+from repro.engine.kernels import EngineCostParams
 from repro.engine.request import BatchRequest, BatchResult, GenerationSpec
 from repro.engine.state import EngineState
 from repro.errors import ExperimentError, OutOfMemoryError
@@ -32,7 +32,6 @@ from repro.hardware.device import EdgeDevice
 from repro.memsys.allocator import CachingAllocator
 from repro.memsys.tracker import MemoryTracker
 from repro.models.architecture import TransformerArchitecture
-from repro.models.footprint import weight_bytes
 from repro.obs import kinds
 from repro.obs.span import NULL_OBSERVER, Observer
 from repro.power.model import PowerModel
@@ -57,6 +56,8 @@ class RunResult:
     #: Dataset label of the experiment spec ("" when the engine is
     #: driven directly without a spec).
     workload: str = ""
+    #: Inference-runtime backend that produced the numbers.
+    runtime: str = "hf-transformers"
     oom: bool = False
     mean_latency_s: float = 0.0
     throughput_tok_s: float = 0.0
@@ -78,6 +79,7 @@ class RunResult:
             "model": self.model,
             "device": self.device,
             "workload": self.workload,
+            "runtime": self.runtime,
             "precision": self.precision.value,
             "power_mode": self.power_mode,
             "batch_size": self.batch_size,
@@ -89,6 +91,12 @@ class RunResult:
             "power_w": round(self.median_power_w, 1),
             "energy_j": round(self.energy_j, 1),
         }
+
+    def __setstate__(self, state: dict) -> None:
+        # Results pickled before the runtime axis existed load with the
+        # (only possible) hf default.
+        state.setdefault("runtime", "hf-transformers")
+        self.__dict__.update(state)
 
 
 class ServingEngine:
@@ -106,21 +114,40 @@ class ServingEngine:
         arch: TransformerArchitecture,
         precision: Precision,
         params: Optional[EngineCostParams] = None,
-        kv_mode: str = "dynamic",
+        kv_mode: Optional[str] = None,
         power_model: Optional[PowerModel] = None,
         sample_period_s: float = 2.0,
         fast_forward: bool = True,
         observer: Optional[Observer] = None,
+        backend=None,
     ):
         # Imported lazily: calibration constants are themselves expressed
-        # as EngineCostParams, so a module-level import would be circular.
+        # as EngineCostParams, and backends build on the engine modules,
+        # so module-level imports would be circular.
+        from repro.backends.base import resolve_backend
         from repro.calibration.constants import CALIBRATED_COST_PARAMS
 
+        if kv_mode is not None:
+            warnings.warn(
+                "ServingEngine(kv_mode=...) is deprecated; the KV policy "
+                "is a runtime-backend concern — pass "
+                "backend=get_backend('hf-transformers', kv_mode=...) "
+                "instead",
+                DeprecationWarning, stacklevel=2)
+            if backend is not None:
+                raise ExperimentError(
+                    "pass either backend= or the deprecated kv_mode= "
+                    "keyword, not both")
+            from repro.backends.registry import get_backend
+
+            backend = get_backend("hf-transformers", kv_mode=kv_mode)
+        self.backend = resolve_backend(backend)
         self.device = device
         self.arch = arch
         self.precision = precision
         self.params = params or CALIBRATED_COST_PARAMS
-        self.kv_mode = kv_mode
+        #: Back-compat view; only meaningful for the hf backend.
+        self.kv_mode = getattr(self.backend, "kv_mode", None)
         self.power_model = power_model or PowerModel()
         self.sample_period_s = sample_period_s
         self.fast_forward = fast_forward
@@ -140,38 +167,16 @@ class ServingEngine:
         #: Legacy kind-filtered view; shares the observer when tracing
         #: is on so span records surface through the old API too.
         self.trace = Trace(self.obs if self.obs.enabled else None)
-        self.timer = StepTimer(arch, device, precision, self.params)
+        self.timer = self.backend.make_timer(arch, device, precision,
+                                             self.params)
 
         self.tracker.mark_baseline()
         self._load_weights()
         self.tracker.mark_model_loaded()
 
     def _load_weights(self) -> None:
-        """Allocate weights per layer, as a checkpoint load does."""
-        total = weight_bytes(self.arch, self.precision)
-        per_layer = total // (self.arch.n_layers + 2)
-        remainder = total - per_layer * (self.arch.n_layers + 2)
-        for i in range(self.arch.n_layers + 2):
-            n = per_layer + (remainder if i == 0 else 0)
-            self.allocator.alloc(n, tag=f"weights.{i}")
-
-    def _workspace_bytes(self, batch_size: int) -> int:
-        from repro.calibration.constants import (
-            INT4_WORKLOAD_OVERHEAD_GB_PER_BPARAM,
-            INT8_WORKLOAD_OVERHEAD_GB_PER_BPARAM,
-            RUNTIME_WORKSPACE_GB,
-        )
-
-        extra_gb = 0.0
-        if self.precision is Precision.INT8:
-            coeff = INT8_WORKLOAD_OVERHEAD_GB_PER_BPARAM
-        elif self.precision is Precision.INT4:
-            coeff = INT4_WORKLOAD_OVERHEAD_GB_PER_BPARAM
-        else:
-            coeff = 0.0
-        if coeff:
-            extra_gb = coeff * self.arch.n_params_billions * (batch_size**0.4 - 1.0)
-        return int((RUNTIME_WORKSPACE_GB + extra_gb) * 1e9)
+        """Allocate weights the way the backend's loader lays them out."""
+        self.backend.load_weights(self.allocator, self.arch, self.precision)
 
     # -- public ------------------------------------------------------------
     def run(
@@ -194,11 +199,12 @@ class ServingEngine:
         self.allocator.reset_peaks()
 
         request = BatchRequest(batch_size=batch_size, gen=gen)
-        executor = BatchExecutor(
+        executor = self.backend.make_executor(
             self.timer,
             self.allocator,
-            kv_mode=self.kv_mode,
-            workspace_bytes=self._workspace_bytes(batch_size),
+            self.arch,
+            self.precision,
+            batch_size,
             fast_forward=self.fast_forward,
         )
 
@@ -256,6 +262,7 @@ class ServingEngine:
             batch_size=batch_size,
             gen=gen,
             power_mode=mode_name,
+            runtime=self.backend.name,
             batches=batches,
         )
         self.tracker.finish()

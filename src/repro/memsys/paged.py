@@ -140,6 +140,11 @@ class PagedKVCache:
         self._free.extend(table)
         self.stats.used_blocks -= len(table)
 
+    @property
+    def live_sequences(self) -> List[int]:
+        """Ids of sequences currently holding blocks."""
+        return list(self._tables)
+
     def seq_tokens(self, seq_id: int) -> int:
         """Current token count of a sequence."""
         if seq_id not in self._tokens:

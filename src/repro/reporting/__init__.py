@@ -10,6 +10,8 @@
   with per-cell relative deviation (feeds EXPERIMENTS.md).
 - :mod:`repro.reporting.breakdown` — per-phase latency attribution from
   the observability layer's spans.
+- :mod:`repro.reporting.backends` — cross-runtime comparison tables
+  (tok/s, TTFT, energy/token per backend at a fixed cell).
 """
 
 from repro.reporting.tables import format_table, markdown_table
@@ -17,6 +19,7 @@ from repro.reporting.figures import ascii_bars, ascii_lines
 from repro.reporting.export import write_csv, write_json
 from repro.reporting.compare import compare_rows, deviation_summary
 from repro.reporting.breakdown import phase_breakdown
+from repro.reporting.backends import runtime_comparison
 
 __all__ = [
     "ascii_bars",
@@ -26,6 +29,7 @@ __all__ = [
     "format_table",
     "markdown_table",
     "phase_breakdown",
+    "runtime_comparison",
     "write_csv",
     "write_json",
 ]

@@ -1,0 +1,84 @@
+"""Cross-backend comparison tables.
+
+Groups :class:`~repro.engine.runtime.RunResult` rows by experimental
+cell — (model, device, precision, power mode, batch, sequence length) —
+and lays the runtimes of each cell side by side: throughput, TTFT,
+energy per token, memory, and the speedup over the ``hf-transformers``
+baseline when that runtime is present in the cell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.runtime import RunResult
+
+#: The baseline runtime speedups are computed against.
+BASELINE_RUNTIME = "hf-transformers"
+
+
+def _cell_of(r: RunResult) -> Tuple:
+    return (r.model, r.device, r.precision.value, r.power_mode,
+            r.batch_size, r.gen.total_tokens)
+
+
+def _ttft_s(r: RunResult) -> float:
+    """Mean time-to-first-token: prefill time of the non-OOM batches
+    (the static-batch protocol's TTFT)."""
+    ok = [b for b in r.batches if not b.oom]
+    if not ok:
+        return 0.0
+    return sum(b.prefill_s for b in ok) / len(ok)
+
+
+def _energy_j_per_token(r: RunResult) -> float:
+    tokens = r.batch_size * r.gen.output_tokens * max(
+        1, sum(1 for b in r.batches if not b.oom))
+    return r.energy_j / tokens if tokens else 0.0
+
+
+def runtime_comparison(results: Sequence[RunResult]) -> List[dict]:
+    """Side-by-side backend rows, one per (cell, runtime).
+
+    Rows keep the input's cell order, with runtimes sorted inside each
+    cell (baseline first).  ``speedup_x`` is throughput relative to the
+    cell's ``hf-transformers`` row, blank when the baseline is missing
+    or either side OOMed.
+    """
+    cells: Dict[Tuple, List[RunResult]] = {}
+    order: List[Tuple] = []
+    for r in results:
+        key = _cell_of(r)
+        if key not in cells:
+            cells[key] = []
+            order.append(key)
+        cells[key].append(r)
+
+    rows: List[dict] = []
+    for key in order:
+        group = sorted(
+            cells[key],
+            key=lambda r: (r.runtime != BASELINE_RUNTIME, r.runtime))
+        base: Optional[RunResult] = next(
+            (r for r in group if r.runtime == BASELINE_RUNTIME and not r.oom),
+            None)
+        for r in group:
+            speedup: object = ""
+            if base is not None and not r.oom and base.throughput_tok_s > 0:
+                speedup = round(r.throughput_tok_s / base.throughput_tok_s, 2)
+            rows.append({
+                "model": r.model,
+                "device": r.device,
+                "precision": r.precision.value,
+                "power_mode": r.power_mode,
+                "batch_size": r.batch_size,
+                "seq_len": r.gen.total_tokens,
+                "runtime": r.runtime,
+                "oom": r.oom,
+                "throughput_tok_s": round(r.throughput_tok_s, 2),
+                "ttft_s": round(_ttft_s(r), 3),
+                "energy_j_per_tok": round(_energy_j_per_token(r), 3),
+                "ram_gb": round(r.total_gb, 2),
+                "speedup_x": speedup,
+            })
+    return rows

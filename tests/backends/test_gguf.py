@@ -1,0 +1,167 @@
+"""GGUF k-quant formats and the llama.cpp-style cost model."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.core import ExperimentSpec, run_experiment, spec_fingerprint
+from repro.engine.kernels import EngineCostParams
+from repro.errors import ConfigError, QuantizationError
+from repro.models import get_model
+from repro.quant.dtypes import Precision
+from repro.quant.gguf import (
+    GGUF_TYPES,
+    Q4_K,
+    Q8_0,
+    gguf_rel_error,
+    gguf_type_for,
+    gguf_weight_bytes,
+    quantize_q4_k,
+    quantize_q8_0,
+)
+
+
+class TestStorageLayouts:
+    def test_bits_per_weight_match_the_format_spec(self):
+        assert Q8_0.bits_per_weight == 8.5   # 34 B / 32 weights
+        assert Q4_K.bits_per_weight == 4.5   # 144 B / 256 weights
+
+    def test_tensor_bytes_round_up_to_blocks(self):
+        assert Q8_0.tensor_bytes(32) == 34
+        assert Q8_0.tensor_bytes(33) == 68
+        assert Q4_K.tensor_bytes(1) == 144
+
+    def test_precision_mapping(self):
+        assert gguf_type_for(Precision.INT8) is Q8_0
+        assert gguf_type_for(Precision.INT4) is Q4_K
+        assert gguf_type_for(Precision.FP16).bits_per_weight == 16
+
+    def test_gguf_weights_smaller_than_bitsandbytes(self):
+        from repro.models.footprint import weight_bytes
+
+        arch = get_model("llama")
+        for prec in (Precision.INT8, Precision.INT4):
+            assert gguf_weight_bytes(arch, prec) < weight_bytes(arch,
+                                                                Precision.FP16)
+        # 4.5 vs 8.5 bpw ordering survives the fp16 non-linear tensors.
+        assert gguf_weight_bytes(arch, Precision.INT4) < \
+            gguf_weight_bytes(arch, Precision.INT8)
+
+
+class TestRealQuantizers:
+    def test_q8_0_roundtrip_is_tight(self, rng):
+        w = rng.normal(scale=0.02, size=(64, 128)).astype(np.float32)
+        wq = quantize_q8_0(w)
+        assert wq.shape == w.shape
+        rel = np.linalg.norm(wq - w) / np.linalg.norm(w)
+        assert 0 < rel < 0.01
+
+    def test_q4_k_coarser_than_q8_0(self, rng):
+        w = rng.normal(scale=0.02, size=(64, 256)).astype(np.float32)
+        r8 = np.linalg.norm(quantize_q8_0(w) - w) / np.linalg.norm(w)
+        r4 = np.linalg.norm(quantize_q4_k(w) - w) / np.linalg.norm(w)
+        assert r8 < r4 < 0.1
+
+    def test_error_report_ordering_and_determinism(self):
+        arch = get_model("phi2")
+        e8 = gguf_rel_error(arch, "Q8_0")
+        e4 = gguf_rel_error(arch, "Q4_K")
+        assert 0 < e8.rel_matmul_error < e4.rel_matmul_error
+        assert gguf_rel_error(arch, "Q4_K") == e4
+        assert gguf_rel_error(arch, "F32").rel_matmul_error == 0.0
+
+    def test_unknown_dtype_is_a_quantization_error(self):
+        with pytest.raises(QuantizationError, match="known"):
+            gguf_rel_error(get_model("phi2"), "Q2_K")
+        assert set(GGUF_TYPES) == {"Q8_0", "Q4_K", "F16", "F32"}
+
+    def test_backend_quant_error_uses_the_precision_mapping(self):
+        arch = get_model("phi2")
+        report = get_backend("gguf").quant_error(arch, Precision.INT4)
+        assert report.gguf_type == "Q4_K"
+        assert report == gguf_rel_error(arch, "Q4_K")
+
+
+def _throughput(runtime, batch_size=1):
+    spec = ExperimentSpec.for_model(
+        "phi2", precision=Precision.INT4, batch_size=batch_size, n_runs=1,
+        runtime=runtime)
+    return run_experiment(spec)
+
+
+class TestCostModel:
+    def test_single_sequence_advantage_over_hf(self):
+        gguf = _throughput("gguf", batch_size=1)
+        hf = _throughput("hf-transformers", batch_size=1)
+        assert not gguf.oom and not hf.oom
+        assert gguf.throughput_tok_s > hf.throughput_tok_s
+
+    def test_cpu_only_split_is_slower_than_full_offload(self):
+        from repro.engine.request import GenerationSpec
+        from repro.engine.runtime import ServingEngine
+        from repro.hardware import get_device
+
+        def run(n_gpu_layers):
+            engine = ServingEngine(
+                get_device("jetson-orin-agx-64gb"), get_model("phi2"),
+                Precision.INT4,
+                backend=get_backend("gguf", n_gpu_layers=n_gpu_layers))
+            return engine.run(batch_size=1, gen=GenerationSpec(32, 64),
+                              n_runs=1)
+
+        full, cpu_only = run(-1), run(0)
+        assert cpu_only.throughput_tok_s < full.throughput_tok_s
+        # -1 clamps to the whole stack, same as n_layers exactly.
+        exact = run(get_model("phi2").n_layers)
+        assert exact.mean_latency_s == full.mean_latency_s
+
+    def test_total_footprint_below_hf_at_int4(self):
+        # Q4_K (4.5 bpw) carries slightly more weight bytes than the
+        # bitsandbytes 4-bit layout, but the fixed compute buffer beats
+        # the PyTorch workspace, so total serving RAM is lower.
+        gguf = _throughput("gguf")
+        hf = _throughput("hf-transformers")
+        assert gguf.total_gb < hf.total_gb
+
+    def test_deterministic(self):
+        a, b = _throughput("gguf"), _throughput("gguf")
+        assert a.mean_latency_s == b.mean_latency_s
+        assert a.energy_j == b.energy_j
+
+    def test_timer_is_memoized_like_the_base(self):
+        from repro.hardware import get_device
+
+        timer = get_backend("gguf").make_timer(
+            get_model("phi2"), get_device("jetson-orin-agx-64gb"),
+            Precision.INT4, EngineCostParams())
+        assert timer.decode_step(4, 128) is timer.decode_step(4, 128)
+        assert timer.weight_bytes == gguf_weight_bytes(get_model("phi2"),
+                                                       Precision.INT4)
+
+
+class TestConfig:
+    def test_cost_params_validate(self):
+        from repro.backends.gguf import GGUFCostParams
+
+        with pytest.raises(ConfigError, match="positive"):
+            GGUFCostParams(kernel_floor_s=0.0)
+        with pytest.raises(ConfigError, match="<= 1"):
+            GGUFCostParams(cpu_stream_fraction=1.5)
+
+    def test_fingerprints_differ_per_runtime(self):
+        params = EngineCostParams()
+        keys = {
+            spec_fingerprint(
+                ExperimentSpec.for_model("phi2", n_runs=1, runtime=rt),
+                params)
+            for rt in ("hf-transformers", "gguf", "paged")
+        }
+        assert len(keys) == 3
+
+    def test_fingerprint_stable_for_same_runtime(self):
+        params = EngineCostParams()
+        spec = ExperimentSpec.for_model("phi2", n_runs=1, runtime="gguf")
+        assert spec_fingerprint(spec, params) == spec_fingerprint(
+            dataclasses.replace(spec), params)

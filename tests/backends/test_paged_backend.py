@@ -1,0 +1,200 @@
+"""The vLLM-style paged backend: block admission, pool exhaustion."""
+
+import pytest
+
+from repro.backends import get_backend
+from repro.backends.paged import _PagedBatchKV
+from repro.core import ExperimentSpec, run_experiment
+from repro.errors import ConfigError, OutOfMemoryError
+from repro.memsys.allocator import CachingAllocator
+from repro.models import get_model
+from repro.quant.dtypes import Precision
+
+
+@pytest.fixture
+def kv_spec():
+    return get_model("phi2").kv_cache_spec()
+
+
+class TestAdmissionArithmetic:
+    def test_reservation_is_prompt_only_and_block_rounded(self):
+        b = get_backend("paged", block_tokens=16)
+        bpt = 1000
+        # 33 prompt tokens -> 3 blocks; the 64 output tokens are free at
+        # admission time (optimistic, continuous-batching semantics).
+        assert b.request_kv_reservation(33, 64, bpt) == 3 * 16 * bpt
+        hf = get_backend("hf-transformers")
+        assert hf.request_kv_reservation(33, 64, bpt) == 97 * bpt
+        assert b.request_kv_reservation(33, 64, bpt) < \
+            hf.request_kv_reservation(33, 64, bpt)
+
+    def test_live_bytes_grow_by_blocks(self):
+        b = get_backend("paged", block_tokens=16)
+        bpt = 1000
+        assert b.live_kv_bytes(16, 0, 64, bpt) == 16 * bpt
+        assert b.live_kv_bytes(16, 1, 64, bpt) == 32 * bpt
+        assert b.live_kv_bytes(16, 16, 64, bpt) == 32 * bpt
+        assert b.live_kv_bytes(16, 17, 64, bpt) == 48 * bpt
+
+    def test_decode_concat_traffic_is_zero(self):
+        assert get_backend("paged").decode_concat_bytes(10**9) == 0.0
+        assert get_backend("paged").admits_by_free_blocks is True
+
+
+class TestPagedBatchKV:
+    def _alloc(self, capacity):
+        return CachingAllocator(capacity)
+
+    def test_pool_smaller_than_one_block_ooms(self, kv_spec):
+        block_bytes = kv_spec.bytes_per_token_per_layer * kv_spec.n_layers * 16
+        with pytest.raises(OutOfMemoryError):
+            _PagedBatchKV(kv_spec, self._alloc(block_bytes), batch_size=1,
+                          block_tokens=16, pool_utilization=0.5)
+
+    def test_mid_decode_pool_exhaustion(self, kv_spec):
+        block_bytes = kv_spec.bytes_per_token_per_layer * kv_spec.n_layers * 16
+        capacity = 10**9
+        # Pool of exactly 2 blocks: the 16-token prefill takes one per
+        # sequence, so with batch 2 the pool is full and the first
+        # appended token (needing a fresh block per sequence) must OOM.
+        kv = _PagedBatchKV(kv_spec, self._alloc(capacity), batch_size=2,
+                           block_tokens=16,
+                           pool_utilization=2.5 * block_bytes / capacity)
+        kv.prefill(16)
+        with pytest.raises(OutOfMemoryError):
+            kv.append_token()
+
+    def test_release_returns_every_byte(self, kv_spec):
+        alloc = self._alloc(10**9)
+        kv = _PagedBatchKV(kv_spec, alloc, batch_size=2, block_tokens=16,
+                           pool_utilization=0.5)
+        kv.prefill(16)
+        for _ in range(5):
+            kv.append_token()
+        assert alloc.reserved_bytes > 0
+        kv.release()
+        assert alloc.allocated_bytes == 0
+
+    def test_concat_traffic_is_zero(self, kv_spec):
+        kv = _PagedBatchKV(kv_spec, self._alloc(10**9), batch_size=1,
+                           block_tokens=16, pool_utilization=0.5)
+        kv.prefill(16)
+        kv.append_token()
+        assert kv.concat_traffic_bytes() == 0
+
+
+class TestEngineIntegration:
+    def _run(self, **overrides):
+        spec = ExperimentSpec.for_model(
+            "phi2", precision=Precision.FP16, batch_size=4, n_runs=1,
+            runtime="paged", **overrides)
+        return run_experiment(spec)
+
+    def test_deterministic(self):
+        a, b = self._run(), self._run()
+        assert a.mean_latency_s == b.mean_latency_s
+        assert a.energy_j == b.energy_j
+        assert a.runtime == "paged"
+
+    def test_pool_reservation_dominates_ram(self):
+        # vLLM semantics: 90% of free memory is the block pool, so
+        # reported RAM is near the board's usable capacity regardless of
+        # the batch actually served.
+        paged = self._run()
+        hf = run_experiment(ExperimentSpec.for_model(
+            "phi2", precision=Precision.FP16, batch_size=4, n_runs=1))
+        assert paged.total_gb > hf.total_gb
+
+    def test_as_row_carries_the_runtime(self):
+        row = self._run().as_row()
+        assert row["runtime"] == "paged"
+
+
+class TestClusterIntegration:
+    def test_pool_exhaustion_preempts_then_completes(self):
+        from repro.cluster import EdgeCluster, NodeSpec
+        from repro.cluster.workload import poisson_workload
+        from repro.obs import Observer
+        from repro.obs.kinds import EJECT
+
+        obs = Observer()
+        cluster = EdgeCluster.build(
+            [NodeSpec("jetson-orin-agx-64gb", runtime="paged", max_batch=8)],
+            model="phi2", precision="fp16", policy="round-robin",
+            observer=obs)
+        node = cluster.nodes[0]
+        # Pool holds ~2.5 whole requests; prompt-block admission lets in
+        # more, so live KV outgrows the pool mid-decode and the youngest
+        # must be preempted — but each request fits alone, so every one
+        # eventually completes.
+        lifetime = node.backend.live_kv_bytes(64, 32, 32, node._kv_per_token)
+        node._kv_budget_base = int(2.5 * lifetime)
+        node._explicit_kv_budget = True
+        report = cluster.run(poisson_workload(50.0, 8, input_tokens=64,
+                                              output_tokens=32, seed=3))
+        assert report.n_requests == 8
+        assert report.completed == 8
+        ejects = [i for i in obs.instants
+                  if i.name == EJECT and dict(i.args).get("pool_exhausted")]
+        assert ejects
+
+    def test_request_too_big_for_the_pool_is_rejected_not_livelocked(self):
+        from repro.cluster import EdgeCluster, NodeSpec
+        from repro.cluster.workload import poisson_workload
+
+        cluster = EdgeCluster.build(
+            [NodeSpec("jetson-orin-agx-64gb", runtime="paged", max_batch=4)],
+            model="phi2", precision="fp16", policy="round-robin")
+        node = cluster.nodes[0]
+        # Budget admits the prompt's blocks but can never hold any
+        # request's whole lifetime: eviction must escalate to the
+        # fleet's capped requeue instead of livelocking at the head.
+        node._kv_budget_base = node.backend.request_kv_reservation(
+            64, 32, node._kv_per_token) + 1
+        node._explicit_kv_budget = True
+        report = cluster.run(poisson_workload(5.0, 4, input_tokens=64,
+                                              output_tokens=32, seed=3))
+        assert report.n_requests == 4
+        assert report.rejected == 4
+        assert node.as_row()["runtime"] == "paged"
+
+    def test_mixed_fleet_builds(self):
+        from repro.cluster import EdgeCluster, NodeSpec
+
+        cluster = EdgeCluster.build(
+            [NodeSpec("jetson-orin-agx-64gb", runtime="paged"),
+             NodeSpec("jetson-orin-agx-64gb", runtime="gguf"),
+             NodeSpec("jetson-orin-agx-64gb")],
+            model="phi2", precision="fp16")
+        assert [n.backend.name for n in cluster.nodes] == \
+            ["paged", "gguf", "hf-transformers"]
+
+    def test_unknown_node_runtime_is_a_config_error(self):
+        from repro.cluster import NodeSpec
+
+        with pytest.raises(ConfigError, match="unknown runtime backend"):
+            NodeSpec("jetson-orin-agx-64gb", runtime="nope")
+
+
+class TestConfig:
+    def test_field_validation(self):
+        with pytest.raises(ConfigError, match="block_tokens"):
+            get_backend("paged", block_tokens=0)
+        with pytest.raises(ConfigError, match="pool_utilization"):
+            get_backend("paged", pool_utilization=1.5)
+        with pytest.raises(ConfigError, match="kv_read_penalty"):
+            get_backend("paged", kv_read_penalty=0.5)
+
+    def test_kv_read_penalty_slows_decode(self):
+        from repro.engine.kernels import EngineCostParams
+        from repro.hardware import get_device
+
+        arch = get_model("phi2")
+        dev = get_device("jetson-orin-agx-64gb")
+        params = EngineCostParams()
+        slow = get_backend("paged", kv_read_penalty=2.0).make_timer(
+            arch, dev, Precision.FP16, params)
+        base = get_backend("paged").make_timer(arch, dev, Precision.FP16,
+                                               params)
+        assert slow.decode_step(4, 2048).seconds > \
+            base.decode_step(4, 2048).seconds

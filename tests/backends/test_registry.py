@@ -1,0 +1,125 @@
+"""The backend registry's typed-error and configuration contract."""
+
+import pytest
+
+import repro
+import repro.backends as backends
+from repro.backends import (
+    RuntimeBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+    resolve_backend,
+)
+from repro.backends.registry import _BACKENDS
+from repro.errors import ConfigError
+
+
+class TestLookup:
+    def test_builtins_are_registered(self):
+        assert {"gguf", "hf-transformers", "paged"} <= set(list_backends())
+
+    def test_list_is_sorted(self):
+        assert list_backends() == sorted(list_backends())
+
+    def test_unknown_name_is_a_config_error_listing_known(self):
+        with pytest.raises(ConfigError, match="unknown runtime backend"):
+            get_backend("nope")
+        with pytest.raises(ConfigError, match="hf-transformers"):
+            get_backend("nope")
+
+    def test_non_string_is_a_config_error(self):
+        with pytest.raises(ConfigError, match="must be a string"):
+            get_backend(42)
+
+    def test_name_is_normalised(self):
+        assert get_backend("  GGUF ").name == "gguf"
+
+    def test_kwargs_configure_the_instance(self):
+        b = get_backend("hf-transformers", kv_mode="static")
+        assert b.kv_mode == "static"
+        with pytest.raises(ConfigError, match="kv_mode"):
+            get_backend("hf-transformers", kv_mode="magic")
+
+    def test_each_call_is_a_fresh_instance(self):
+        assert get_backend("gguf") is not get_backend("gguf")
+
+
+class TestRegisterDecorator:
+    def test_round_trip(self):
+        @register_backend
+        class Dummy(RuntimeBackend):
+            name = "test-dummy"
+
+        try:
+            assert "test-dummy" in list_backends()
+            assert isinstance(get_backend("test-dummy"), Dummy)
+        finally:
+            del _BACKENDS["test-dummy"]
+
+    def test_duplicate_name_is_refused(self):
+        from repro.backends.hf import HFTransformersBackend
+
+        class Imposter(RuntimeBackend):
+            name = HFTransformersBackend.name
+
+        with pytest.raises(ConfigError, match="already registered"):
+            register_backend(Imposter)
+
+    def test_missing_name_is_refused(self):
+        class Nameless(RuntimeBackend):
+            name = ""
+
+        with pytest.raises(ConfigError, match="non-empty"):
+            register_backend(Nameless)
+
+
+class TestResolve:
+    def test_none_resolves_to_the_default(self):
+        assert resolve_backend(None).name == "hf-transformers"
+
+    def test_instances_pass_through(self):
+        b = get_backend("paged")
+        assert resolve_backend(b) is b
+
+    def test_strings_resolve_by_name(self):
+        assert resolve_backend("gguf").name == "gguf"
+
+
+class TestBackendIdentity:
+    def test_config_payload_covers_name_and_fields(self):
+        payload = get_backend("paged", block_tokens=32).config_payload()
+        assert payload["name"] == "paged"
+        assert payload["block_tokens"] == 32
+        assert payload["pool_utilization"] == 0.90
+
+    def test_nested_dataclass_fields_flatten(self):
+        payload = get_backend("gguf").config_payload()
+        assert payload["cost"]["kernel_fusion"] == 0.6
+
+    def test_with_replaces_configuration(self):
+        b = get_backend("hf-transformers").with_(kv_mode="static")
+        assert b.kv_mode == "static"
+
+    def test_every_builtin_has_a_description(self):
+        for name in ("gguf", "hf-transformers", "paged"):
+            assert get_backend(name).description
+
+
+class TestFacadeReexports:
+    def test_facade_exports_the_registry_api(self):
+        assert repro.get_backend is get_backend
+        assert repro.list_backends is list_backends
+        assert repro.register_backend is register_backend
+        assert repro.RuntimeBackend is RuntimeBackend
+        for name in ("get_backend", "list_backends", "register_backend",
+                     "RuntimeBackend", "runtime_sweep", "runtime_comparison"):
+            assert name in repro.__all__
+
+    def test_package_lazy_exports_concrete_classes(self):
+        assert backends.GGUFBackend is type(get_backend("gguf"))
+        assert backends.HFTransformersBackend is type(
+            get_backend("hf-transformers"))
+        assert backends.PagedBackend is type(get_backend("paged"))
+        with pytest.raises(AttributeError):
+            backends.NoSuchBackend

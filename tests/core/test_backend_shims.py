@@ -1,0 +1,143 @@
+"""Back-compat shims for the runtime-backend axis.
+
+Specs and results pickled before ``runtime`` existed must load with the
+hf default; the engine's old ``kv_mode=`` keyword must keep working
+under a :class:`DeprecationWarning`; and the spec surface must refuse
+ambiguous combinations with typed errors.
+"""
+
+import pickle
+
+import pytest
+
+from repro.backends import get_backend
+from repro.core import ExperimentSpec, StudySpec, spec_fingerprint
+from repro.core.sweeps import runtime_sweep_specs
+from repro.engine.kernels import EngineCostParams
+from repro.engine.runtime import RunResult, ServingEngine
+from repro.errors import ConfigError, ExperimentError
+from repro.hardware import get_device
+from repro.models import get_model
+from repro.quant.dtypes import Precision
+
+
+def _reload_without(obj, *fields):
+    """Round-trip ``obj`` through pickle as if serialised before
+    ``fields`` existed (old cache entries, worker handoffs)."""
+    clone = pickle.loads(pickle.dumps(obj))
+    state = dict(clone.__dict__)
+    for f in fields:
+        state.pop(f, None)
+    fresh = object.__new__(type(obj))
+    fresh.__setstate__(state)
+    return fresh
+
+
+class TestSpecRuntimeField:
+    def test_for_model_accepts_runtime(self):
+        spec = ExperimentSpec.for_model("phi2", runtime="gguf")
+        assert spec.runtime == "gguf"
+        assert ExperimentSpec.for_model("phi2").runtime == "hf-transformers"
+
+    def test_unknown_runtime_is_a_config_error_listing_known(self):
+        with pytest.raises(ConfigError, match="known: gguf"):
+            ExperimentSpec.for_model("phi2", runtime="onnx")
+
+    def test_kv_mode_is_an_hf_concern(self):
+        with pytest.raises(ExperimentError, match="hf-transformers concern"):
+            ExperimentSpec.for_model("phi2", runtime="paged",
+                                     kv_mode="static")
+        # ... but stays a valid ablation axis on the hf runtime.
+        spec = ExperimentSpec.for_model("phi2", kv_mode="static")
+        assert spec.kv_mode == "static"
+
+    def test_studyspec_of_accepts_runtime(self):
+        assert StudySpec.of(["phi2"], runtime="paged").runtime == "paged"
+        with pytest.raises(ConfigError, match="unknown runtime"):
+            StudySpec.of(["phi2"], runtime="onnx")
+
+
+class TestOldPicklesLoadCleanly:
+    def test_experiment_spec(self):
+        old = _reload_without(ExperimentSpec.for_model("phi2"), "runtime")
+        assert old.runtime == "hf-transformers"
+        assert old == ExperimentSpec.for_model("phi2")
+
+    def test_study_spec(self):
+        old = _reload_without(StudySpec.of(["phi2"], n_runs=1), "runtime")
+        assert old.runtime == "hf-transformers"
+
+    def test_run_result(self):
+        from repro.engine.request import GenerationSpec
+
+        r = RunResult(model="m", device="d", precision=Precision.FP16,
+                      batch_size=1, gen=GenerationSpec(1, 1),
+                      power_mode="MAXN", runtime="gguf")
+        old = _reload_without(r, "runtime")
+        assert old.runtime == "hf-transformers"
+        assert old.as_row()["runtime"] == "hf-transformers"
+
+    def test_new_pickles_keep_their_runtime(self):
+        spec = ExperimentSpec.for_model("phi2", runtime="gguf")
+        assert pickle.loads(pickle.dumps(spec)).runtime == "gguf"
+
+
+class TestEngineKvModeShim:
+    def _engine(self, **kwargs):
+        return ServingEngine(get_device("jetson-orin-agx-64gb"),
+                             get_model("phi2"), Precision.FP16, **kwargs)
+
+    def test_kv_mode_keyword_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="runtime-backend"):
+            engine = self._engine(kv_mode="static")
+        assert engine.backend.name == "hf-transformers"
+        assert engine.backend.kv_mode == "static"
+        assert engine.kv_mode == "static"
+
+    def test_kv_mode_plus_backend_is_refused(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ExperimentError, match="not both"):
+                self._engine(kv_mode="static",
+                             backend=get_backend("hf-transformers"))
+
+    def test_backend_keyword_is_warning_free(self, recwarn):
+        engine = self._engine(backend="gguf")
+        assert engine.backend.name == "gguf"
+        assert engine.kv_mode is None  # not an hf engine
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestCacheKeyCoversTheRuntime:
+    def test_fingerprint_differs_per_runtime(self):
+        params = EngineCostParams()
+        base = ExperimentSpec.for_model("phi2", n_runs=1)
+        gguf = ExperimentSpec.for_model("phi2", n_runs=1, runtime="gguf")
+        assert spec_fingerprint(base, params) != spec_fingerprint(gguf, params)
+
+    def test_fingerprint_sees_backend_configuration_via_kv_mode(self):
+        params = EngineCostParams()
+        dyn = ExperimentSpec.for_model("phi2", n_runs=1)
+        static = ExperimentSpec.for_model("phi2", n_runs=1, kv_mode="static")
+        assert spec_fingerprint(dyn, params) != spec_fingerprint(static,
+                                                                 params)
+
+
+class TestRuntimeSweepSpecs:
+    def test_defaults_cover_every_registered_backend(self):
+        from repro.backends import list_backends
+
+        specs = runtime_sweep_specs(ExperimentSpec.for_model("phi2",
+                                                             n_runs=1))
+        assert [s.runtime for s in specs] == list_backends()
+
+    def test_non_hf_points_drop_the_kv_mode_ablation(self):
+        base = ExperimentSpec.for_model("phi2", n_runs=1, kv_mode="static")
+        specs = runtime_sweep_specs(base, runtimes=("hf-transformers",
+                                                    "paged"))
+        assert specs[0].kv_mode == "static"
+        assert specs[1].kv_mode == "dynamic"
+
+    def test_spec_plus_legacy_kwargs_is_refused(self):
+        with pytest.raises(ExperimentError, match="ExperimentSpec"):
+            runtime_sweep_specs(ExperimentSpec.for_model("phi2"), n_runs=3)

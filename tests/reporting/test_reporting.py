@@ -118,3 +118,36 @@ class TestCompare:
     def test_empty_rejected(self):
         with pytest.raises(ReproError):
             compare_rows([], [], ["k"], ["v"])
+
+
+class TestRuntimeComparison:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        from repro.core import ExperimentSpec, run_experiment
+
+        return [run_experiment(ExperimentSpec.for_model(
+                    "phi2", batch_size=1, n_runs=1, runtime=rt))
+                for rt in ("gguf", "hf-transformers")]
+
+    def test_baseline_first_with_unit_speedup(self, runs):
+        from repro.reporting import runtime_comparison
+
+        rows = runtime_comparison(runs)
+        assert [r["runtime"] for r in rows] == ["hf-transformers", "gguf"]
+        assert rows[0]["speedup_x"] == 1.0
+        assert rows[1]["speedup_x"] > 1.0  # gguf wins single-sequence
+        assert rows[1]["speedup_x"] == round(
+            rows[1]["throughput_tok_s"] / rows[0]["throughput_tok_s"], 2)
+
+    def test_speedup_blank_without_a_baseline(self, runs):
+        from repro.reporting import runtime_comparison
+
+        gguf_only = [r for r in runs if r.runtime == "gguf"]
+        rows = runtime_comparison(gguf_only)
+        assert rows[0]["speedup_x"] == ""
+
+    def test_rows_format_as_a_table(self, runs):
+        from repro.reporting import runtime_comparison
+
+        text = format_table(runtime_comparison(runs))
+        assert "hf-transformers" in text and "speedup_x" in text

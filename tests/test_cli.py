@@ -146,3 +146,30 @@ def test_obs_flags_off_leave_no_files(tmp_path, capsys):
     assert main(CLUSTER_OBS_ARGS) == 0
     assert "phase breakdown" not in capsys.readouterr().out
     assert list(tmp_path.iterdir()) == []
+
+
+def test_backends_listing(capsys):
+    assert main(["backends"]) == 0
+    out = capsys.readouterr().out
+    for name in ("hf-transformers", "gguf", "paged"):
+        assert name in out
+
+
+def test_sweep_runtime_prints_comparison_with_cache(tmp_path, capsys):
+    args = ["sweep", "runtime", "--model", "phi2", "--runs", "1",
+            "--cache", "--cache-dir", str(tmp_path / "cache")]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "runtime comparison" in out
+    assert "speedup_x" in out and "gguf" in out and "paged" in out
+    # Replay: every cell comes back from the cache, same table.
+    assert main(args) == 0
+    assert "0 misses" in capsys.readouterr().out
+
+
+def test_run_accepts_runtime(capsys):
+    rc = main(["run", "--model", "phi2", "--runtime", "gguf",
+               "--batch-size", "1", "--input-tokens", "4",
+               "--output-tokens", "8", "--runs", "1"])
+    assert rc == 0
+    assert "gguf" in capsys.readouterr().out

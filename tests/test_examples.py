@@ -17,6 +17,7 @@ FAST_SCRIPTS = [
     "quickstart.py",
     "live_generation.py",
     "serving_comparison.py",
+    "backend_comparison.py",
 ]
 
 
