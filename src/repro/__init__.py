@@ -60,6 +60,7 @@ from repro.cluster import (
     diurnal_workload,
     multi_tenant_workload,
     poisson_workload,
+    shared_prefix_workload,
 )
 from repro.core import (
     ExperimentSpec,
@@ -80,6 +81,12 @@ from repro.core import (
 from repro.errors import OutOfMemoryError, ReproError
 from repro.faults import ChaosSpec, FaultSchedule, FaultScheduleSpec, run_chaos
 from repro.hardware import get_device
+from repro.kvtier import (
+    KvTierSpec,
+    get_kv_policy,
+    list_kv_policies,
+    run_kvtier,
+)
 from repro.models import get_model
 from repro.obs import (
     MetricsRegistry,
@@ -103,6 +110,7 @@ __all__ = [
     "FaultScheduleSpec",
     "FullStudyResults",
     "GenerationSpec",
+    "KvTierSpec",
     "MetricsRegistry",
     "NodeSpec",
     "Observer",
@@ -125,8 +133,10 @@ __all__ = [
     "diurnal_workload",
     "get_backend",
     "get_device",
+    "get_kv_policy",
     "get_model",
     "list_backends",
+    "list_kv_policies",
     "multi_tenant_workload",
     "phase_breakdown",
     "poisson_workload",
@@ -137,10 +147,12 @@ __all__ = [
     "run_chaos",
     "run_experiment",
     "run_full_study",
+    "run_kvtier",
     "run_specs",
     "runtime_comparison",
     "runtime_sweep",
     "seq_len_sweep",
+    "shared_prefix_workload",
     "write_chrome_trace",
     "write_metrics",
 ]

@@ -12,7 +12,11 @@ map onto the paper's experiments:
 - ``repro study --jobs -1 --cache`` — the entire paper in one go, with
   process fan-out and the on-disk result cache.
 - ``repro cluster`` / ``repro chaos`` — multi-node serving, with and
-  without fault injection.
+  without fault injection; both take ``--kv-policy`` to pick the KV
+  lifecycle policy (``sacrifice`` vs ``swap[-lifo|-fifo|-lru]``, with
+  an optional ``-aggressive`` trigger suffix).
+- ``repro kvtier`` — the KV lifecycle sweep: policy × trigger ×
+  prefix-share-ratio on one memory-pressured node.
 - ``repro devices`` / ``repro models`` / ``repro backends`` — list
   presets and registered inference runtimes.
 
@@ -193,7 +197,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.reporting import format_table, write_csv
 
     devices = [d.strip() for d in args.devices.split(",") if d.strip()]
-    specs = [NodeSpec(d, max_batch=args.max_batch) for d in devices]
+    specs = [NodeSpec(d, max_batch=args.max_batch, kv_policy=args.kv_policy,
+                      kv_trigger=args.kv_trigger) for d in devices]
     slo = SLOSpec(ttft_s=args.ttft_slo, tpot_s=args.tpot_slo)
     obs = _obs_from_args(args)
     cluster = EdgeCluster.build(
@@ -246,6 +251,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         input_tokens=args.input_tokens,
         output_tokens=args.output_tokens,
         workload_seed=args.seed,
+        kv_policy=args.kv_policy,
         faults=FaultScheduleSpec(
             seed=args.seed,
             horizon_s=args.horizon,
@@ -277,6 +283,40 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         path = write_csv(args.csv, [report.as_row()])
         print(f"wrote {path}")
     _finish_obs(args, obs)
+    return 0
+
+
+def _cmd_kvtier(args: argparse.Namespace) -> int:
+    from repro.kvtier import KvTierSpec, run_kvtier, sweep_rows_csv
+
+    def _floats(text: str) -> tuple:
+        return tuple(float(v) for v in text.split(",") if v.strip())
+
+    spec = KvTierSpec(
+        device=args.device,
+        model=args.model,
+        precision=args.precision,
+        power_mode=args.power_mode,
+        rate_per_s=args.rate,
+        n_requests=args.requests,
+        prefix_tokens=args.prefix_tokens,
+        unique_tokens=args.unique_tokens,
+        output_tokens=args.output_tokens,
+        max_batch=args.max_batch,
+        kv_budget_frac=args.kv_budget_frac,
+        policies=tuple(p.strip() for p in args.policies.split(",")
+                       if p.strip()),
+        triggers=_floats(args.triggers),
+        share_ratios=_floats(args.share_ratios),
+        seed=args.seed,
+    )
+    report = run_kvtier(spec)
+    print(report.table())
+    print(f"cache_key={spec.cache_key()}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8", newline="") as fh:
+            fh.write(sweep_rows_csv(report))
+        print(f"wrote {args.csv}")
     return 0
 
 
@@ -436,6 +476,12 @@ def build_parser() -> argparse.ArgumentParser:
     clu.add_argument("--max-batch", type=int, default=8)
     clu.add_argument("--ttft-slo", type=float, default=10.0)
     clu.add_argument("--tpot-slo", type=float, default=1.0)
+    clu.add_argument("--kv-policy", default="sacrifice",
+                     help="KV lifecycle under preemption: sacrifice|"
+                          "swap[-lifo|-fifo|-lru][-aggressive]")
+    clu.add_argument("--kv-trigger", type=float, default=None,
+                     help="override the preemption trigger fraction "
+                          "(0 < t <= 1; e.g. 0.85 = aggressive)")
     clu.add_argument("--autoscale", action="store_true",
                      help="enable the power-mode autoscaler")
     clu.add_argument("--seed", type=int, default=0)
@@ -466,12 +512,44 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--oom-rate", type=float, default=0.0)
     chaos.add_argument("--straggler-rate", type=float, default=0.0)
     chaos.add_argument("--thermal-rate", type=float, default=0.0)
+    chaos.add_argument("--kv-policy", default="sacrifice",
+                       help="KV lifecycle under preemption: sacrifice|"
+                            "swap[-lifo|-fifo|-lru][-aggressive]")
     chaos.add_argument("--fallback", action="store_true",
                        help="enable INT8->INT4 precision fallback")
     chaos.add_argument("--show-trace", action="store_true",
                        help="print the applied-fault transcript")
     chaos.add_argument("--csv", default=None, help="also write the report row")
     _add_obs_args(chaos)
+
+    kvt = sub.add_parser(
+        "kvtier",
+        help="KV lifecycle sweep: policy x trigger x prefix-share-ratio")
+    kvt.add_argument("--device", default="jetson-orin-agx-64gb")
+    kvt.add_argument("--model", default="llama3.1-8b")
+    kvt.add_argument("--precision", default="fp16")
+    kvt.add_argument("--power-mode", default="MAXN")
+    kvt.add_argument("--rate", type=float, default=4.0,
+                     help="mean arrival rate (req/s)")
+    kvt.add_argument("--requests", type=int, default=40)
+    kvt.add_argument("--prefix-tokens", type=int, default=128,
+                     help="shared system-prompt length (tokens)")
+    kvt.add_argument("--unique-tokens", type=int, default=32,
+                     help="per-request unique suffix length (tokens)")
+    kvt.add_argument("--output-tokens", type=int, default=64)
+    kvt.add_argument("--max-batch", type=int, default=8)
+    kvt.add_argument("--kv-budget-frac", type=float, default=0.005,
+                     help="fraction of the natural KV budget kept "
+                          "(< 1 forces preemption)")
+    kvt.add_argument("--policies", default="sacrifice,swap-lifo,swap-lru",
+                     help="comma-separated KV lifecycle policies")
+    kvt.add_argument("--triggers", default="1.0,0.85",
+                     help="comma-separated trigger fractions")
+    kvt.add_argument("--share-ratios", default="0.0,0.5",
+                     help="comma-separated shared-prefix ratios")
+    kvt.add_argument("--seed", type=int, default=0)
+    kvt.add_argument("--csv", default=None,
+                     help="write the sweep rows as canonical CSV")
 
     return parser
 
@@ -487,6 +565,7 @@ _COMMANDS = {
     "study": _cmd_study,
     "cluster": _cmd_cluster,
     "chaos": _cmd_chaos,
+    "kvtier": _cmd_kvtier,
 }
 
 

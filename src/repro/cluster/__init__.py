@@ -57,6 +57,7 @@ from repro.cluster.workload import (
     diurnal_workload,
     multi_tenant_workload,
     poisson_workload,
+    shared_prefix_workload,
 )
 
 __all__ = [
@@ -89,4 +90,5 @@ __all__ = [
     "multi_tenant_workload",
     "percentile",
     "poisson_workload",
+    "shared_prefix_workload",
 ]

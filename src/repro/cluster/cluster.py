@@ -48,6 +48,12 @@ class NodeSpec:
     #: Inference-runtime backend this node serves with; heterogeneous
     #: fleets may mix runtimes per node.
     runtime: str = "hf-transformers"
+    #: KV lifecycle policy under memory pressure (``repro.kvtier``):
+    #: ``sacrifice`` (default), ``swap``, ``swap-lru-aggressive``, ...
+    kv_policy: str = "sacrifice"
+    #: Optional trigger-threshold override (preempt at this fraction of
+    #: the KV budget; None keeps the policy's own trigger).
+    kv_trigger: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1 or self.max_queue < 1:
@@ -55,6 +61,18 @@ class NodeSpec:
         from repro.backends import get_backend
 
         get_backend(self.runtime)  # typed ConfigError on unknown names
+        from repro.kvtier.policy import get_kv_policy
+
+        get_kv_policy(self.kv_policy)  # typed ConfigError likewise
+
+    def resolved_kv_policy(self):
+        """The policy instance this spec describes."""
+        from repro.kvtier.policy import get_kv_policy
+
+        policy = get_kv_policy(self.kv_policy)
+        if self.kv_trigger is not None:
+            policy = policy.with_(trigger=self.kv_trigger)
+        return policy
 
 
 class EdgeCluster:
@@ -126,6 +144,7 @@ class EdgeCluster:
                 max_queue=s.max_queue, params=params,
                 power_model=shared_power, sample_period_s=sample_period_s,
                 obs=observer, backend=s.runtime,
+                kv_policy=s.resolved_kv_policy(),
             )
             for i, s in enumerate(specs)
         ]

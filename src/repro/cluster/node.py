@@ -43,6 +43,9 @@ from repro.engine.state import EngineState
 from repro.errors import ConfigError
 from repro.hardware.device import EdgeDevice
 from repro.hardware.thermal import ThermalModel
+from repro.kvtier.policy import get_kv_policy
+from repro.kvtier.radix import RadixPrefixCache
+from repro.kvtier.swap import HostSwapSpace, swap_bandwidth_bytes_s
 from repro.models.architecture import TransformerArchitecture
 from repro.obs import kinds
 from repro.obs.span import NO_SPAN, NULL_OBSERVER, Observer
@@ -128,6 +131,7 @@ class ClusterNode:
         thermal: Optional[ThermalModel] = None,
         obs: Optional[Observer] = None,
         backend=None,
+        kv_policy=None,
     ):
         if max_batch < 1 or max_queue < 1:
             raise ConfigError("max_batch and max_queue must be >= 1")
@@ -167,6 +171,29 @@ class ClusterNode:
         self._kv_per_token = (
             arch.kv_cache_spec().bytes_per_token_per_layer * arch.n_layers
         )
+
+        #: KV lifecycle policy (repro.kvtier): what happens to preempted
+        #: requests' caches.  The default sacrifice/lifo/conservative is
+        #: bit-identical to the historical preempt-youngest-recompute.
+        self.kv_policy = get_kv_policy(kv_policy)
+        self.swap: Optional[HostSwapSpace] = None
+        if self.kv_policy.preserves_kv:
+            self.swap = HostSwapSpace(int(
+                self.kv_policy.host_capacity_frac
+                * device.memory.capacity_bytes))
+        #: Shared-prefix radix cache; only the paged runtime does block-
+        #: granular sharing, and only ``prompt_ids``-carrying requests
+        #: participate, so other configurations see an empty tree.
+        self.radix: Optional[RadixPrefixCache] = None
+        if self.backend.admits_by_free_blocks and self.role != "decode":
+            bt = getattr(self.backend, "block_tokens", 16)
+            self.radix = RadixPrefixCache(bt, bt * self._kv_per_token)
+        #: Swap-out bus time accrued outside the serve loop, billed (with
+        #: mem-bound energy) at the next loop iteration.
+        self._pending_transfer_s = 0.0
+        #: Preemptions that dropped KV (any policy; includes swap-space-
+        #: full fallbacks).
+        self.kv_sacrifices = 0
 
         self.queue: List[ClusterRequest] = []
         self.active: List[ClusterRequest] = []
@@ -229,20 +256,36 @@ class ClusterNode:
 
     def _kv_need(self, r: ClusterRequest) -> int:
         """KV bytes admission charges ``r`` (backend discipline: hf/gguf
-        reserve the whole lifetime, paged only the prompt's blocks)."""
+        reserve the whole lifetime, paged only the prompt's blocks).
+
+        A swapped request must restore everything it preserved — prompt
+        plus generated-so-far — before it can decode again."""
+        if getattr(r, "kv_state", "resident") == "swapped":
+            return r.swapped_kv_bytes
         out = 0 if self.role == "prefill" else r.output_tokens
         return self.backend.request_kv_reservation(
             r.input_tokens, out, self._kv_per_token)
 
     def _kv_live(self, r: ClusterRequest) -> int:
-        """KV bytes ``r`` holds right now (grows per token under paged)."""
+        """KV bytes ``r`` holds privately right now (grows per token
+        under paged).  Prompt blocks living in the radix tree are
+        charged once through the tree, not per sharer."""
         out = 0 if self.role == "prefill" else r.output_tokens
-        return self.backend.live_kv_bytes(
+        live = self.backend.live_kv_bytes(
             r.input_tokens, r.generated, out, self._kv_per_token)
+        if self.radix is not None and self.radix.holds(r.req_id):
+            bt = self.radix.block_tokens
+            live -= self.kv_bytes((r.input_tokens // bt) * bt)
+        return max(0, live)
 
     @property
     def kv_in_use(self) -> int:
-        return sum(self._kv_live(r) for r in self.active)
+        total = sum(self._kv_live(r) for r in self.active)
+        if self.radix is not None:
+            # Tree-resident prompt blocks (shared and retained-after-
+            # completion alike) occupy the pool once.
+            total += self.radix.resident_bytes
+        return total
 
     @property
     def kv_pressure(self) -> float:
@@ -357,6 +400,18 @@ class ClusterNode:
                 r.queue_span = NO_SPAN
         for r in self.active:
             r.reset_for_replay()
+        for r in orphans:
+            # Host swap space and the radix tree live on the same board:
+            # a crash loses preserved KV exactly like resident KV.
+            if r.kv_state == "swapped":
+                if self.swap is not None:
+                    self.swap.drop(r.req_id)
+                r.kv_state = "sacrificed"
+                r.swapped_kv_bytes = 0
+                r.reset_for_replay()
+            r.prefix_cached_tokens = 0
+        if self.radix is not None:
+            self.radix.clear()
         self.active.clear()
         self.queue.clear()
         self.state.set_idle()
@@ -413,12 +468,18 @@ class ClusterNode:
         handed to the fleet (``on_crash``, whose requeue cap bounds the
         retries) or marked rejected.
         """
+        policy = self.kv_policy
+        limit = policy.effective_budget(self.kv_budget)
+        if self.radix is not None and self.kv_in_use > limit:
+            # Cheapest relief first: retained (unpinned) prefix blocks.
+            self.radix.reclaim(self.kv_in_use - limit, self.env.now)
         evicted: List[ClusterRequest] = []
-        while self.active and self.kv_in_use > self.kv_budget:
-            victim = max(self.active,
-                         key=lambda a: (a.arrival_s, self.active.index(a)))
+        while self.active and self.kv_in_use > limit:
+            victim = policy.select_victim(self.active)
+            if victim is None:  # pragma: no cover - active implies one
+                break
             self.active.remove(victim)
-            victim.reset_for_replay()
+            self._drop_radix_pin(victim)
             evicted.append(victim)
         if evicted:
             if self.obs.enabled:
@@ -438,6 +499,11 @@ class ClusterNode:
                 hopeless = [r for r in evicted
                             if lifetime(r) > self.kv_budget]
             requeue = [r for r in evicted if r not in hopeless]
+            for r in hopeless:
+                self._sacrifice(r)
+            for r in requeue:
+                if not self._try_swap_out(r):
+                    self._sacrifice(r)
             # Evictions re-enter at the queue head (they were already
             # admitted once); the depth cap only gates *new* arrivals.
             self.queue[0:0] = requeue
@@ -454,6 +520,58 @@ class ClusterNode:
                     for r in hopeless:
                         r.rejected = True
         return evicted
+
+    def _drop_radix_pin(self, r: ClusterRequest) -> None:
+        """Unpin ``r``'s prompt path (the tree keeps it, reclaimable)."""
+        if self.radix is not None and self.radix.holds(r.req_id):
+            self.radix.release(r.req_id)
+
+    def _try_swap_out(self, r: ClusterRequest) -> bool:
+        """Preserve an eviction victim's KV host-side (swap policies).
+
+        Returns False when the policy sacrifices or host space is full;
+        the caller then falls back to drop + re-prefill.  The transfer
+        occupies the memory bus: its seconds accrue to
+        ``_pending_transfer_s`` and the serve loop bills them (with
+        mem-bound energy) before the next step.
+        """
+        if self.swap is None:
+            return False
+        nbytes = self._kv_live(r)
+        if nbytes <= 0 or not self.swap.can_hold(nbytes):
+            self.swap.stats.sacrifices += 1
+            return False
+        seconds = self.swap.swap_out(
+            r.req_id, nbytes, swap_bandwidth_bytes_s(self.device))
+        self._pending_transfer_s += seconds
+        r.kv_state = "swapped"
+        r.swapped_kv_bytes = nbytes
+        r.swaps += 1
+        if self.obs.enabled:
+            self.obs.instant(
+                kinds.KV_SWAP_OUT, cat=kinds.CAT_REQUEST,
+                track=f"req{r.req_id}", parent=r.obs_span,
+                node=self.node_id, kv_bytes=nbytes,
+                transfer_s=round(seconds, 6))
+            self.obs.metrics.histogram("kv_swap_out_bytes").observe(nbytes)
+        return True
+
+    def _sacrifice(self, r: ClusterRequest) -> None:
+        """Drop + re-prefill accounting for one eviction victim, with
+        the KV loss made explicit in traces (a ``kv_transfer`` instant:
+        the bytes recomputation will have to move again)."""
+        lost_bytes = self._kv_live(r)
+        lost_tokens = r.generated
+        r.reset_for_replay()
+        r.kv_state = "sacrificed"
+        r.swapped_kv_bytes = 0
+        self.kv_sacrifices += 1
+        if self.obs.enabled:
+            self.obs.instant(
+                kinds.KV_TRANSFER, cat=kinds.CAT_REQUEST,
+                track=f"req{r.req_id}", parent=r.obs_span,
+                node=self.node_id, kv_bytes=lost_bytes,
+                lost_tokens=lost_tokens, reason="sacrifice")
 
     def set_precision(self, precision: Precision) -> None:
         """Swap the served precision (graceful degradation).
@@ -520,11 +638,37 @@ class ClusterNode:
         self._advance_thermal(watts, seconds)
         return joules, seconds
 
+    def _account_transfer(self, seconds: float, phase: str) -> tuple:
+        """Bill a KV host transfer: the memory bus streams at its
+        effective rate, one CPU core drives the copy, the GPU idles."""
+        mem = self.device.memory
+        util = ComponentUtilization(
+            gpu_compute=0.0, gpu_busy=0.0,
+            mem_bw=min(1.0, mem.streaming_efficiency * mem.effective_ratio),
+            cpu_cores_active=1.0,
+        )
+        self.state.set(phase, util)
+        seconds *= self.slowdown
+        watts = self.power_model.power_w(self.device, util)
+        joules = watts * seconds
+        self.busy_energy_j += joules
+        self.busy_seconds += seconds
+        self._advance_thermal(watts, seconds)
+        return joules, seconds
+
     # -- the serving loop --------------------------------------------------
     def _admit(self) -> List[ClusterRequest]:
         admitted = []
-        while (self.queue and len(self.active) < self.max_batch
-               and self.kv_in_use + self._kv_need(self.queue[0]) <= self.kv_budget):
+        limit = self.kv_policy.effective_budget(self.kv_budget)
+        while self.queue and len(self.active) < self.max_batch:
+            need = self._kv_need(self.queue[0])
+            if (self.kv_in_use + need > limit and self.radix is not None):
+                # Retained prefix blocks are the cache of last resort:
+                # give them back before refusing admission.
+                self.radix.reclaim(self.kv_in_use + need - limit,
+                                   self.env.now)
+            if self.kv_in_use + need > limit:
+                break
             r = self.queue.pop(0)
             self.active.append(r)
             admitted.append(r)
@@ -558,24 +702,68 @@ class ClusterNode:
                 self._restart_ev = None
                 continue
             try:
+                if self._pending_transfer_s > 0:
+                    # Swap-out traffic from the last preemption round:
+                    # the bus was busy writing victims' KV host-side.
+                    seconds = self._pending_transfer_s
+                    self._pending_transfer_s = 0.0
+                    _, dur = self._account_transfer(seconds, "kv_swap_out")
+                    yield env.timeout(dur)
+                    self.last_busy_s = env.now
                 admitted = self._admit()
                 for r in admitted:
+                    if r.kv_state == "swapped":
+                        # Restore preserved KV instead of re-prefilling.
+                        nbytes, seconds = self.swap.swap_in(
+                            r.req_id, swap_bandwidth_bytes_s(self.device))
+                        _, dur = self._account_transfer(
+                            seconds, "kv_swap_in")
+                        swap_start = env.now
+                        yield env.timeout(dur)
+                        self.last_busy_s = env.now
+                        r.kv_state = "resident"
+                        r.swapped_kv_bytes = 0
+                        r.swap_ins += 1
+                        if self.obs.enabled:
+                            self.obs.complete(
+                                kinds.KV_SWAP_IN, swap_start, env.now,
+                                cat=kinds.CAT_CLUSTER, track=self.obs_track,
+                                req=r.req_id, kv_bytes=nbytes)
+                            self.obs.metrics.histogram(
+                                "kv_swap_in_s").observe(env.now - swap_start)
+                        continue
                     if self.role == "decode":
                         continue  # prompt KV arrives via the transfer link
-                    cost = self.timer.prefill(1, r.input_tokens)
+                    hit = 0
+                    if self.radix is not None and r.prompt_ids is not None:
+                        if self.radix.holds(r.req_id):
+                            self.radix.release(r.req_id)  # replay re-match
+                        hit = self.radix.insert(
+                            r.req_id, r.prompt_ids, env.now)
+                        r.prefix_cached_tokens = hit
+                        if hit and self.obs.enabled:
+                            self.obs.instant(
+                                kinds.KV_PREFIX_HIT, cat=kinds.CAT_REQUEST,
+                                track=f"req{r.req_id}", parent=r.obs_span,
+                                node=self.node_id, tokens=hit)
+                            self.obs.metrics.histogram(
+                                "kv_prefix_hit_tokens").observe(hit)
+                    prefill_tokens = max(1, r.input_tokens - hit)
+                    cost = self.timer.prefill(1, prefill_tokens)
                     _, dur = self._account(cost, "prefill")
                     prefill_start = env.now
                     yield env.timeout(dur)
                     self.last_busy_s = env.now
-                    self.prefilled_tokens += r.input_tokens
+                    self.prefilled_tokens += prefill_tokens
                     r.prefill_end_s = env.now
                     if self.obs.enabled:
                         self.obs.complete(
                             kinds.PREFILL, prefill_start, env.now,
                             cat=kinds.CAT_CLUSTER, track=self.obs_track,
-                            req=r.req_id, tokens=r.input_tokens)
+                            req=r.req_id, tokens=prefill_tokens)
                     if self.role == "prefill":
                         self.active.remove(r)
+                        self._drop_radix_pin(r)
                         if self.on_prefill_done is not None:
                             self.on_prefill_done(r)
 
@@ -609,6 +797,7 @@ class ClusterNode:
                 # and get no token from this step.
                 for r in list(self.active):
                     r.generated += 1
+                    r.last_token_s = env.now
                     r.energy_j += step_j / bs
                     self.served_tokens += 1
                     if r.first_token_s is None:
@@ -616,6 +805,9 @@ class ClusterNode:
                     if r.generated >= r.output_tokens:
                         r.finish_s = env.now
                         self.active.remove(r)
+                        # The prompt path stays in the radix tree for
+                        # future arrivals; only the pin is dropped.
+                        self._drop_radix_pin(r)
                         self.completed.append(r)
                         if self.on_complete is not None:
                             self.on_complete(r)

@@ -141,6 +141,20 @@ class ClusterReport:
     requeues: int = 0
     #: Decode tokens produced then thrown away (preemption / KV loss).
     lost_tokens: int = 0
+    # -- KV lifecycle (repro.kvtier); zero when no policy triggered ------
+    #: Preemptions that preserved KV host-side / restores back to device.
+    swap_outs: int = 0
+    swap_ins: int = 0
+    #: Preemptions that dropped KV (includes swap-space-full fallbacks).
+    sacrifices: int = 0
+    #: Total bytes written to the host swap tier, in GB.
+    swapped_gb: float = 0.0
+    #: Wall seconds the memory buses spent moving swapped KV.
+    swap_transfer_s: float = 0.0
+    #: Prompt tokens served from shared-prefix radix caches.
+    prefix_hit_tokens: int = 0
+    #: Fraction of prefix-cache lookups that reused >= 1 full block.
+    prefix_hit_rate: float = 0.0
     tenants: List[TenantReport] = field(default_factory=list)
     node_rows: List[Dict] = field(default_factory=list)
     requests: List[ClusterRequest] = field(default_factory=list)
@@ -165,6 +179,14 @@ class ClusterReport:
             "mttr_s": round(self.mttr_s, 2),
             "retries": self.retries,
             "requeues": self.requeues,
+            # KV-lifecycle columns likewise: all-zero without a swap
+            # policy or prefix-carrying workload.
+            "swap_outs": self.swap_outs,
+            "swap_ins": self.swap_ins,
+            "sacrifices": self.sacrifices,
+            "swapped_gb": round(self.swapped_gb, 3),
+            "prefix_hit_tokens": self.prefix_hit_tokens,
+            "prefix_hit_rate": round(self.prefix_hit_rate, 3),
         }
 
 
@@ -221,6 +243,12 @@ def build_report(
                     else 1.0 - downtime / (len(nodes) * span))
     repairs = [ep.repair_s for n in nodes for ep in n.crash_log
                if ep.repair_s is not None]
+
+    # KV lifecycle: swap-tier and radix-cache counters across the fleet.
+    swap_stats = [n.swap.stats for n in nodes if n.swap is not None]
+    radix_stats = [n.radix.stats for n in nodes if n.radix is not None]
+    prefix_lookups = sum(s.lookups for s in radix_stats)
+    prefix_hits = sum(s.hits for s in radix_stats)
     return ClusterReport(
         policy=policy,
         n_requests=len(requests),
@@ -245,6 +273,14 @@ def build_report(
         retries=sum(r.retries for r in requests),
         requeues=sum(getattr(r, "requeues", 0) for r in requests),
         lost_tokens=sum(r.lost_tokens for r in requests),
+        swap_outs=sum(s.swap_outs for s in swap_stats),
+        swap_ins=sum(s.swap_ins for s in swap_stats),
+        sacrifices=sum(n.kv_sacrifices for n in nodes),
+        swapped_gb=sum(s.swapped_out_bytes for s in swap_stats) / 1e9,
+        swap_transfer_s=sum(s.transfer_seconds for s in swap_stats),
+        prefix_hit_tokens=sum(s.hit_tokens for s in radix_stats),
+        prefix_hit_rate=(prefix_hits / prefix_lookups
+                         if prefix_lookups else 0.0),
         tenants=sorted(tenants.values(), key=lambda t: t.tenant),
         node_rows=[n.as_row() for n in nodes],
         requests=list(requests),

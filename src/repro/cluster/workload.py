@@ -55,6 +55,16 @@ class ClusterRequest(ServeRequest):
     queue_span: int = -1
     #: Transient: evicted under KV pressure, awaiting re-admission.
     evicted: bool = False
+    #: KV lifecycle state (``repro.kvtier``): ``resident`` while the
+    #: request's KV lives on-device, ``swapped`` while preserved host-
+    #: side awaiting re-admission, ``sacrificed`` after a drop.
+    kv_state: str = "resident"
+    #: Bytes currently preserved in the host swap tier (0 unless
+    #: ``kv_state == "swapped"``).
+    swapped_kv_bytes: int = 0
+    #: Lifetime swap-out / swap-in counts for this request.
+    swaps: int = 0
+    swap_ins: int = 0
 
 
 def poisson_workload(
@@ -283,6 +293,50 @@ def multi_tenant_workload(
         out.append(ClusterRequest(req_id=r.req_id, arrival_s=r.arrival_s,
                                   input_tokens=inp, output_tokens=outp,
                                   tenant=tenant.name))
+    return out
+
+
+def shared_prefix_workload(
+    rate_per_s: float,
+    n_requests: int,
+    prefix_tokens: int = 128,
+    share_ratio: float = 0.5,
+    unique_tokens: int = 32,
+    output_tokens: int = 64,
+    seed: int = 0,
+) -> List[ClusterRequest]:
+    """The millions-of-users scenario: one common system prompt.
+
+    A ``share_ratio`` fraction of requests open with the same
+    ``prefix_tokens``-long system prompt followed by a per-request tail;
+    the rest get fully unique prompts of identical total length, so the
+    two populations are shape-matched and any TTFT difference comes
+    from radix prefix hits alone.  Every request carries ``prompt_ids``
+    (deterministic token IDs under ``seed``).
+    """
+    if rate_per_s <= 0 or n_requests < 1:
+        raise WorkloadError("need a positive rate and >= 1 request")
+    if not 0.0 <= share_ratio <= 1.0:
+        raise WorkloadError("share_ratio must be in [0, 1]")
+    if prefix_tokens < 1 or unique_tokens < 1:
+        raise WorkloadError("prefix and unique lengths must be >= 1")
+    rng = np.random.default_rng(seed)
+    system_prompt = tuple(int(t) for t in
+                          rng.integers(0, 32000, size=prefix_tokens))
+    t = 0.0
+    out: List[ClusterRequest] = []
+    for i in range(n_requests):
+        t += float(rng.exponential(1.0 / rate_per_s))
+        shared = bool(rng.uniform() < share_ratio)
+        tail_len = unique_tokens if shared else prefix_tokens + unique_tokens
+        tail = tuple(int(v) for v in
+                     rng.integers(32000, 64000, size=tail_len))
+        ids = (system_prompt + tail) if shared else tail
+        out.append(ClusterRequest(req_id=i, arrival_s=t,
+                                  input_tokens=len(ids),
+                                  output_tokens=output_tokens,
+                                  prompt_ids=ids,
+                                  tenant="shared" if shared else "unique"))
     return out
 
 

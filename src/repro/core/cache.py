@@ -77,6 +77,7 @@ def spec_fingerprint(spec, params: EngineCostParams,
                      version: str = COST_MODEL_VERSION) -> str:
     """SHA-256 content address of one (spec, constants, version) point."""
     from repro.core.experiment import backend_for_spec
+    from repro.kvtier.policy import KV_TIER_VERSION
 
     payload = {
         "spec": {
@@ -97,6 +98,9 @@ def spec_fingerprint(spec, params: EngineCostParams,
         "backend": backend_for_spec(spec).config_payload(),
         "backend_model_version": BACKEND_MODEL_VERSION,
         "cost_model_version": version,
+        # KV lifecycle semantics (preemption, swap, prefix sharing) sit
+        # under every serving result; bumping kvtier invalidates too.
+        "kv_tier_version": KV_TIER_VERSION,
     }
     return payload_fingerprint(payload)
 

@@ -50,6 +50,14 @@ class ServeRequest:
     lost_tokens: int = 0
     #: How many times this request restarted from scratch.
     replays: int = 0
+    #: Token-ID prompt (optional).  When present on the paged backend,
+    #: the radix prefix cache can share KV blocks with other requests
+    #: whose prompts start identically.
+    prompt_ids: Optional[tuple] = None
+    #: Sim time of the most recent decode token (LRU victim selection).
+    last_token_s: Optional[float] = None
+    #: Prompt tokens served from the shared-prefix cache (block-aligned).
+    prefix_cached_tokens: int = 0
 
     def reset_for_replay(self) -> None:
         """Drop in-flight state after preemption / KV loss.
@@ -249,15 +257,37 @@ class ContinuousBatchScheduler(_SchedulerBase):
     whole-sequence byte reservations: sequences only hold blocks for the
     tokens they have actually produced, so more requests fit the same
     budget (at bounded per-sequence slack).
+
+    ``kv_policy`` selects what happens to preempted sequences (see
+    :mod:`repro.kvtier.policy`): the default ``sacrifice`` drops the
+    victim's KV and re-prefills later; ``swap`` preserves it on the
+    host side and pays a bandwidth-modelled transfer each way.
+
+    ``prefix_cache=True`` (paged only) shares block-aligned KV between
+    co-resident sequences whose ``prompt_ids`` start identically, via a
+    radix tree over token IDs — the shared-system-prompt scenario.
     """
 
     def __init__(self, *args, paged: bool = False, block_tokens: int = 16,
-                 **kwargs):
+                 kv_policy=None, prefix_cache: bool = False, **kwargs):
+        from repro.kvtier.policy import get_kv_policy
+
         super().__init__(*args, **kwargs)
         self.paged = paged
         self.block_tokens = block_tokens
+        self.kv_policy = get_kv_policy(kv_policy)
+        if prefix_cache and not paged:
+            raise ExperimentError(
+                "prefix_cache requires the paged block manager")
+        self.prefix_cache = prefix_cache
+        #: Populated by :meth:`serve` when the policy preserves KV.
+        self.swap_stats = None
+        #: Populated by :meth:`serve` when prefix caching is on.
+        self.prefix_stats = None
 
     def serve(self, requests: List[ServeRequest]) -> ServingReport:
+        from repro.kvtier.radix import RadixPrefixCache
+        from repro.kvtier.swap import HostSwapSpace, swap_bandwidth_bytes_s
         from repro.memsys.allocator import CachingAllocator
         from repro.memsys.paged import PagedKVCache
 
@@ -277,20 +307,70 @@ class ContinuousBatchScheduler(_SchedulerBase):
                 block_tokens=self.block_tokens,
             )
 
+        policy = self.kv_policy
+        host: Optional[HostSwapSpace] = None
+        if policy.preserves_kv:
+            host = HostSwapSpace(int(
+                policy.host_capacity_frac * self.device.memory.capacity_bytes))
+            self.swap_stats = host.stats
+        swap_bw = swap_bandwidth_bytes_s(self.device)
+
+        radix: Optional[RadixPrefixCache] = None
+        prompts: Dict[int, tuple] = {}
+        if self.prefix_cache:
+            radix = RadixPrefixCache(
+                self.block_tokens,
+                paged_cache.bytes_per_block,
+            )
+            self.prefix_stats = radix.stats
+
         def kv_in_use() -> int:
             return sum(
                 self.kv_bytes(r.input_tokens + r.generated) for r in active
             )
 
+        def resident_tokens(r: ServeRequest) -> int:
+            """Tokens whose KV must be resident for ``r`` to decode —
+            prompt plus any preserved (swapped) progress."""
+            return r.input_tokens + r.generated
+
         def can_admit(r: ServeRequest) -> bool:
             if paged_cache is not None:
-                # Paged: only the prompt needs blocks now; decode grows
-                # block by block.
-                return paged_cache.can_admit(r.input_tokens + 1)
+                # Paged: a prompt that needs exactly the remaining
+                # blocks fits — decode growth preempts later if needed.
+                needed = paged_cache.blocks_needed(resident_tokens(r))
+                limit = int(paged_cache.stats.total_blocks * policy.trigger)
+                return (needed <= paged_cache.free_blocks
+                        and paged_cache.stats.used_blocks + needed <= limit)
             # Contiguous: reserve the whole final sequence up front.
             return kv_in_use() + self.kv_bytes(
                 r.input_tokens + r.output_tokens
-            ) <= self.kv_budget
+            ) <= policy.effective_budget(self.kv_budget)
+
+        def shared_prefix_blocks(r: ServeRequest):
+            """Radix lookup: physical blocks covering ``r``'s prompt
+            head, donated by a co-resident sequence (or none)."""
+            if radix is None or r.prompt_ids is None:
+                return [], 0
+            hit = radix.insert(r.req_id, r.prompt_ids, env.now)
+            prompts[r.req_id] = tuple(r.prompt_ids)
+            if not hit:
+                return [], 0
+            # Any live sequence pinning that path holds the blocks.
+            for other in active:
+                ids = prompts.get(other.req_id)
+                if ids and ids[:hit] == tuple(r.prompt_ids)[:hit]:
+                    n = hit // self.block_tokens
+                    return paged_cache.prefix_blocks(other.req_id, n), hit
+            return [], 0
+
+        def drop_radix(req_id: int) -> None:
+            if radix is not None and radix.holds(req_id):
+                radix.release(req_id)
+                # Engine-level blocks die with their sequences, so the
+                # tree only keeps live-backed (pinned) paths.
+                radix.reclaim(float("inf"), env.now)
+            prompts.pop(req_id, None)
 
         #: Preempted requests wait here until a sequence finishes —
         #: re-admitting them immediately would steal the very blocks the
@@ -305,7 +385,9 @@ class ContinuousBatchScheduler(_SchedulerBase):
                 while next_idx < len(pending) and pending[next_idx].arrival_s <= env.now:
                     arrived.append(pending[next_idx])
                     next_idx += 1
-                # Admit while capacity allows; newly admitted pay prefill.
+                # Admit while capacity allows; newly admitted pay
+                # prefill (minus any shared prefix), swapped returnees
+                # pay their swap-in transfer instead.
                 admitted = []
                 while (arrived and len(active) < self.max_batch
                        and can_admit(arrived[0])):
@@ -313,11 +395,21 @@ class ContinuousBatchScheduler(_SchedulerBase):
                     active.append(r)
                     admitted.append(r)
                     if paged_cache is not None:
-                        paged_cache.add_sequence(r.req_id, r.input_tokens)
+                        shared, hit = ([], 0)
+                        if not (host is not None and host.holds(r.req_id)):
+                            shared, hit = shared_prefix_blocks(r)
+                        r.prefix_cached_tokens = hit
+                        paged_cache.add_sequence(
+                            r.req_id, resident_tokens(r),
+                            shared_blocks=shared)
                 for r in admitted:
-                    yield env.timeout(
-                        self.timer.prefill(1, r.input_tokens).seconds
-                    )
+                    if host is not None and host.holds(r.req_id):
+                        _, seconds = host.swap_in(r.req_id, swap_bw)
+                        yield env.timeout(seconds)
+                    else:
+                        yield env.timeout(self.timer.prefill(
+                            1, max(1, r.input_tokens - r.prefix_cached_tokens)
+                        ).seconds)
 
                 if not active:
                     # Idle: jump to the next arrival.
@@ -334,19 +426,28 @@ class ContinuousBatchScheduler(_SchedulerBase):
                 cost = self.timer.decode_step(bs, context, concat_bytes=concat)
                 yield env.timeout(cost.seconds)
 
-                def preempt_youngest(keep: ServeRequest) -> bool:
-                    """Recompute-style preemption: evict the youngest
-                    other sequence (ties broken by admission order, so
-                    the head of the batch always makes progress) into the
-                    parked list until something finishes."""
-                    victims = [a for a in active if a is not keep]
-                    if not victims:
+                pending_transfer_s = [0.0]
+
+                def preempt_one(keep: ServeRequest) -> bool:
+                    """Policy-driven preemption: the policy picks the
+                    victim; ``swap`` preserves its KV on the host (a
+                    bandwidth-billed transfer), ``sacrifice`` drops it
+                    for a later full re-prefill.  The victim parks until
+                    a sequence finishes."""
+                    victim = policy.select_victim(active, keep=keep)
+                    if victim is None:
                         return False
-                    victim = max(victims,
-                                 key=lambda a: (a.arrival_s, active.index(a)))
                     paged_cache.release_sequence(victim.req_id)
+                    drop_radix(victim.req_id)
                     active.remove(victim)
-                    victim.reset_for_replay()
+                    nbytes = self.kv_bytes(resident_tokens(victim))
+                    if host is not None and host.can_hold(nbytes):
+                        pending_transfer_s[0] += host.swap_out(
+                            victim.req_id, nbytes, swap_bw)
+                    else:
+                        if host is not None:
+                            host.stats.sacrifices += 1
+                        victim.reset_for_replay()
                     parked.append(victim)
                     return True
 
@@ -354,13 +455,14 @@ class ContinuousBatchScheduler(_SchedulerBase):
                     if r not in active:
                         continue  # preempted within this iteration
                     r.generated += 1
+                    r.last_token_s = env.now
                     if paged_cache is not None:
                         while True:
                             try:
                                 paged_cache.append_token(r.req_id)
                                 break
                             except OutOfMemoryError:
-                                if not preempt_youngest(r):
+                                if not preempt_one(r):
                                     raise
                     if r.generated == 1 and r.first_token_s is None:
                         r.first_token_s = env.now
@@ -370,11 +472,15 @@ class ContinuousBatchScheduler(_SchedulerBase):
                         finished += 1
                         if paged_cache is not None:
                             paged_cache.release_sequence(r.req_id)
+                            drop_radix(r.req_id)
                         if parked:
                             # Freed capacity: let preempted work retry,
                             # ahead of fresh arrivals.
                             arrived[0:0] = parked
                             parked.clear()
+                if pending_transfer_s[0]:
+                    # The bus time spent writing victims' KV host-side.
+                    yield env.timeout(pending_transfer_s[0])
 
         done = env.process(server(), name="continuous-server")
         env.run(until=done)

@@ -55,6 +55,9 @@ class ChaosSpec:
     policy: str = "jsq"
     max_batch: int = 8
     max_queue: int = 256
+    #: KV lifecycle policy under preemption (see repro.kvtier); folded
+    #: into the cache key via asdict like every other field.
+    kv_policy: str = "sacrifice"
 
     rate_per_s: float = 2.0
     n_requests: int = 80
@@ -147,7 +150,8 @@ class ChaosReport:
 
 def _build_cluster(spec: ChaosSpec, observer=None) -> EdgeCluster:
     return EdgeCluster.build(
-        [NodeSpec(d, max_batch=spec.max_batch, max_queue=spec.max_queue)
+        [NodeSpec(d, max_batch=spec.max_batch, max_queue=spec.max_queue,
+                  kv_policy=spec.kv_policy)
          for d in spec.devices],
         model=spec.model, precision=spec.precision, policy=spec.policy,
         retry=spec.retry, observer=observer,

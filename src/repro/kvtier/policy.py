@@ -1,0 +1,203 @@
+"""The :class:`KvLifecyclePolicy` axis: what happens under KV pressure.
+
+Before this subsystem the serving stack had exactly one escape hatch
+when live KV outgrew the budget: preempt the youngest request and throw
+its cache away (drop + full re-prefill).  The policy interface turns
+that hard-coded failure path into a configuration axis, the design
+space of the ``vllm_simulation`` exemplar:
+
+- **mode** — ``sacrifice`` (drop the victim's KV, re-prefill later;
+  the historical behaviour) vs ``swap`` (preserve the victim's KV on
+  the host side of the LPDDR5 pool and pay a bandwidth-modelled
+  transfer each way);
+- **victim order** — ``lifo`` (youngest admission; the historical
+  rule), ``fifo`` (oldest admission) or ``lru`` (stalest last token);
+- **trigger** — *conservative* policies preempt only once live KV
+  actually exceeds the budget (trigger = 1.0); *aggressive* policies
+  keep proactive headroom by treating ``trigger * budget`` as the
+  ceiling, preempting earlier but less urgently.
+
+Policies are frozen dataclasses so their configuration content-
+addresses experiment results; :data:`KV_TIER_VERSION` is folded into
+every cache key that depends on lifecycle semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ConfigError
+
+#: Bump when KV-lifecycle semantics change in a way the policy fields
+#: alone cannot see; folded into result-cache keys next to
+#: COST_MODEL_VERSION / BACKEND_MODEL_VERSION.
+KV_TIER_VERSION = "2026.08-kvtier-1"
+
+#: Victim-selection orders, in presentation order.
+VICTIM_ORDERS = ("lifo", "fifo", "lru")
+
+#: Trigger a non-conservative policy defaults to (see ``aggressive``).
+AGGRESSIVE_TRIGGER = 0.85
+
+
+def _last_activity(r, default: float) -> float:
+    """Last token production time, falling back to arrival (no token yet)."""
+    t = getattr(r, "last_token_s", None)
+    return t if t is not None else default
+
+
+@dataclass(frozen=True)
+class KvLifecyclePolicy:
+    """Base class: victim order + trigger threshold, no KV preservation."""
+
+    name = "base"
+    description = ""
+    #: True when preempted KV survives (swap tier) instead of being lost.
+    preserves_kv = False
+
+    #: Victim-selection order: ``lifo`` | ``fifo`` | ``lru``.
+    victim: str = "lifo"
+    #: Fraction of the KV budget treated as the preemption ceiling.
+    #: 1.0 = conservative (preempt only when actually over budget);
+    #: lower = aggressive (keep proactive headroom).
+    trigger: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.victim not in VICTIM_ORDERS:
+            known = "|".join(VICTIM_ORDERS)
+            raise ConfigError(
+                f"unknown victim order {self.victim!r}; known: {known}")
+        if not 0.0 < self.trigger <= 1.0:
+            raise ConfigError("trigger must be in (0, 1]")
+
+    # -- decisions ----------------------------------------------------------
+    def effective_budget(self, budget_bytes: int) -> int:
+        """The ceiling preemption/admission keeps live KV under."""
+        return int(budget_bytes * self.trigger)
+
+    def select_victim(self, candidates: Sequence, keep=None):
+        """Pick the next preemption victim (deterministic; None if empty).
+
+        ``candidates`` are the running requests in admission order;
+        ``keep`` is excluded (the request whose growth forced the
+        preemption must itself make progress).
+        """
+        pool = [(i, r) for i, r in enumerate(candidates) if r is not keep]
+        if not pool:
+            return None
+        if self.victim == "lifo":
+            # Youngest arrival, ties broken by admission order — the
+            # historical preempt-youngest rule, bit-for-bit.
+            return max(pool, key=lambda p: (p[1].arrival_s, p[0]))[1]
+        if self.victim == "fifo":
+            return min(pool, key=lambda p: (p[1].arrival_s, p[0]))[1]
+        # lru: stalest last token; requests that never produced one rank
+        # by arrival.  Ties fall back to admission order (stable).
+        return min(pool,
+                   key=lambda p: (_last_activity(p[1], p[1].arrival_s),
+                                  p[1].arrival_s, p[0]))[1]
+
+    # -- identity -----------------------------------------------------------
+    def config_payload(self) -> Dict:
+        """JSON-serialisable configuration for content addressing."""
+        payload = {"name": self.name, "kv_tier_version": KV_TIER_VERSION}
+        for f in dataclasses.fields(self):
+            payload[f.name] = getattr(self, f.name)
+        return payload
+
+    def with_(self, **kwargs) -> "KvLifecyclePolicy":
+        """Copy with configuration overrides."""
+        return dataclasses.replace(self, **kwargs)
+
+    @property
+    def label(self) -> str:
+        """Compact display label (``swap-lru@0.85``)."""
+        return f"{self.name}-{self.victim}@{self.trigger:g}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+
+@dataclass(frozen=True)
+class SacrificePolicy(KvLifecyclePolicy):
+    """Drop + re-prefill: the victim's KV is recomputed from scratch."""
+
+    name = "sacrifice"
+    description = ("drop the victim's KV and re-prefill on re-admission "
+                   "(recompute preemption; the historical behaviour)")
+    preserves_kv = False
+
+
+@dataclass(frozen=True)
+class SwapPolicy(KvLifecyclePolicy):
+    """Preserve the victim's KV on the host side of the memory system.
+
+    Swapped bytes move at the device's *current* bandwidth-derived swap
+    rate (see :func:`repro.kvtier.swap.swap_bandwidth_bytes_s`), so low
+    memory power modes make swapping proportionally slower.  Host space
+    is bounded; once it fills, further victims fall back to sacrifice.
+    """
+
+    name = "swap"
+    description = ("preserve preempted KV on the host (CPU/LPDDR5) side "
+                   "and restore it on re-admission")
+    preserves_kv = True
+
+    #: Fraction of the device's physical memory usable as host swap
+    #: space (on unified-memory boards the CPU side of the same pool).
+    host_capacity_frac: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.host_capacity_frac <= 4.0:
+            raise ConfigError("host_capacity_frac must be in (0, 4]")
+
+
+_POLICIES = {
+    "sacrifice": SacrificePolicy,
+    "swap": SwapPolicy,
+}
+
+
+def list_kv_policies() -> Sequence[str]:
+    """Registered policy mode names, sorted."""
+    return sorted(_POLICIES)
+
+
+def get_kv_policy(name: "Optional[str | KvLifecyclePolicy]" = None,
+                  **overrides) -> KvLifecyclePolicy:
+    """Resolve a policy from a compound name or pass an instance through.
+
+    Grammar: ``mode[-victim][-aggressive]`` — e.g. ``sacrifice``,
+    ``swap-lru``, ``swap-fifo-aggressive``.  ``aggressive`` sets
+    ``trigger`` to :data:`AGGRESSIVE_TRIGGER` unless an explicit
+    ``trigger=`` override is given.
+    """
+    if isinstance(name, KvLifecyclePolicy):
+        return name.with_(**overrides) if overrides else name
+    if name is None:
+        name = "sacrifice"
+    parts = [p for p in name.strip().lower().split("-") if p]
+    if not parts or parts[0] not in _POLICIES:
+        known = ", ".join(sorted(_POLICIES))
+        raise ConfigError(
+            f"unknown KV lifecycle policy {name!r}; known modes: {known} "
+            f"(grammar: mode[-victim][-aggressive])")
+    cls = _POLICIES[parts[0]]
+    kwargs: Dict = {}
+    for part in parts[1:]:
+        if part in VICTIM_ORDERS:
+            kwargs["victim"] = part
+        elif part == "aggressive":
+            kwargs.setdefault("trigger", AGGRESSIVE_TRIGGER)
+        elif part == "conservative":
+            kwargs.setdefault("trigger", 1.0)
+        else:
+            raise ConfigError(
+                f"unknown KV policy qualifier {part!r} in {name!r}; "
+                f"expected one of {'|'.join(VICTIM_ORDERS)}, "
+                f"aggressive, conservative")
+    kwargs.update(overrides)
+    return cls(**kwargs)

@@ -1,0 +1,133 @@
+"""The host swap tier: bounded space, bandwidth-modelled transfers.
+
+On Jetson-class boards there is no PCIe hop to hide behind: CPU and GPU
+share one LPDDR5 pool, so a KV swap is a DRAM-to-DRAM copy that reads
+and writes the *same* bus — the achievable one-way rate is half the
+streaming bandwidth at the current EMC clock.  Discrete-GPU servers
+instead bottleneck on the host link.  Both cases derive from the
+existing :class:`~repro.hardware.memory.SharedMemory` state, so power
+modes that downclock memory (the paper's mode H) automatically make
+swapping slower too.
+
+:class:`HostSwapSpace` owns the host-side bookkeeping for one node:
+which requests hold swapped KV, how many bytes, and the lifetime
+counters (:class:`SwapStats`) reporting folds into tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.hardware.device import EdgeDevice
+
+#: Effective host-link bandwidth for non-unified (discrete GPU) devices:
+#: PCIe 4.0 x16 at practical efficiency.
+PCIE_HOST_LINK_BYTES_S = 25e9
+
+
+def swap_bandwidth_bytes_s(device: EdgeDevice) -> float:
+    """One-way KV transfer rate at the device's current operating point.
+
+    Unified memory: a copy through one LPDDR bus pays read + write, so
+    the rate is half the streaming bandwidth at the current clock.
+    Discrete: the PCIe link caps the transfer (DRAM is faster).
+    """
+    mem = device.memory
+    streaming = (mem.peak_bandwidth * mem.streaming_efficiency
+                 * mem.effective_ratio)
+    if device.unified_memory:
+        return streaming / 2.0
+    return min(streaming, PCIE_HOST_LINK_BYTES_S)
+
+
+@dataclass
+class SwapStats:
+    """Lifetime swap-tier counters for one node."""
+
+    swap_outs: int = 0
+    swap_ins: int = 0
+    #: Victims that fell back to sacrifice (host space full, or the
+    #: policy never preserved KV in the first place).
+    sacrifices: int = 0
+    swapped_out_bytes: int = 0
+    swapped_in_bytes: int = 0
+    peak_host_bytes: int = 0
+    #: Total wall time the bus spent moving KV (both directions).
+    transfer_seconds: float = 0.0
+
+    def as_row(self) -> Dict:
+        return {
+            "swap_outs": self.swap_outs,
+            "swap_ins": self.swap_ins,
+            "sacrifices": self.sacrifices,
+            "swapped_gb": round(self.swapped_out_bytes / 1e9, 3),
+            "swap_transfer_s": round(self.transfer_seconds, 2),
+        }
+
+
+class HostSwapSpace:
+    """Bounded host-side store of preempted requests' KV.
+
+    Transfers are *accounted*, not scheduled: callers receive the
+    seconds a transfer occupies the bus and bill them on their own
+    serving loop (the node stalls; interference is the model).
+    """
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ConfigError("host swap capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._held: Dict[int, int] = {}
+        self.host_bytes = 0
+        self.stats = SwapStats()
+
+    def can_hold(self, nbytes: int) -> bool:
+        """Would ``nbytes`` more fit right now?"""
+        return self.host_bytes + nbytes <= self.capacity_bytes
+
+    def holds(self, req_id: int) -> bool:
+        return req_id in self._held
+
+    def swap_out(self, req_id: int, nbytes: int,
+                 bandwidth_bytes_s: float) -> float:
+        """Store a victim's KV; returns the transfer seconds to bill."""
+        if req_id in self._held:
+            raise ConfigError(f"request {req_id} is already swapped")
+        if nbytes <= 0:
+            raise ConfigError("swapped KV must be positive")
+        if not self.can_hold(nbytes):
+            raise ConfigError("host swap space full")
+        self._held[req_id] = nbytes
+        self.host_bytes += nbytes
+        st = self.stats
+        st.swap_outs += 1
+        st.swapped_out_bytes += nbytes
+        st.peak_host_bytes = max(st.peak_host_bytes, self.host_bytes)
+        seconds = nbytes / bandwidth_bytes_s
+        st.transfer_seconds += seconds
+        return seconds
+
+    def swap_in(self, req_id: int, bandwidth_bytes_s: float) -> tuple:
+        """Restore a request's KV; returns ``(nbytes, transfer_seconds)``."""
+        nbytes = self._held.pop(req_id, None)
+        if nbytes is None:
+            raise ConfigError(f"request {req_id} holds no swapped KV")
+        self.host_bytes -= nbytes
+        st = self.stats
+        st.swap_ins += 1
+        st.swapped_in_bytes += nbytes
+        seconds = nbytes / bandwidth_bytes_s
+        st.transfer_seconds += seconds
+        return nbytes, seconds
+
+    def drop(self, req_id: int) -> int:
+        """Discard a request's swapped KV without a transfer (crash,
+        rejection, fleet requeue).  Returns the bytes released (0 when
+        the request held nothing)."""
+        nbytes = self._held.pop(req_id, None)
+        if nbytes is None:
+            return 0
+        self.host_bytes -= nbytes
+        return nbytes

@@ -47,6 +47,12 @@ AUTOSCALE = "autoscale"
 ROUTE = "route"
 #: KV-cache movement between prefill and decode nodes (disaggregated).
 KV_TRANSFER = "kv_transfer"
+#: A preempted request's KV written out to the host side (swap tier).
+KV_SWAP_OUT = "kv.swap_out"
+#: Swapped KV restored to device memory ahead of decode resumption.
+KV_SWAP_IN = "kv.swap_in"
+#: A prompt prefix served from the shared radix cache (paged backend).
+KV_PREFIX_HIT = "kv.prefix_hit"
 #: Fault-episode spans are named ``fault.<class>`` (``fault.crash``...).
 FAULT_PREFIX = "fault."
 #: jtop-style board power counter series (watts over sim time).

@@ -12,6 +12,8 @@
   the observability layer's spans.
 - :mod:`repro.reporting.backends` — cross-runtime comparison tables
   (tok/s, TTFT, energy/token per backend at a fixed cell).
+- :mod:`repro.reporting.kvtier` — KV-lifecycle policy comparison
+  tables (goodput/TTFT vs. policy with sacrifice-baseline deltas).
 """
 
 from repro.reporting.tables import format_table, markdown_table
@@ -20,6 +22,7 @@ from repro.reporting.export import write_csv, write_json
 from repro.reporting.compare import compare_rows, deviation_summary
 from repro.reporting.breakdown import phase_breakdown
 from repro.reporting.backends import runtime_comparison
+from repro.reporting.kvtier import kv_policy_comparison
 
 __all__ = [
     "ascii_bars",
@@ -27,6 +30,7 @@ __all__ = [
     "compare_rows",
     "deviation_summary",
     "format_table",
+    "kv_policy_comparison",
     "markdown_table",
     "phase_breakdown",
     "runtime_comparison",

@@ -1,0 +1,55 @@
+"""KV-lifecycle policy comparison tables.
+
+Lays :class:`~repro.cluster.slo.ClusterReport` rows from runs that
+differ only in their KV policy side by side — goodput, TTFT, lost
+tokens, swap traffic, prefix hits — with deltas against the
+``sacrifice`` baseline when it is present, so the table answers the
+question the kvtier subsystem exists for: what did preserving (or
+sharing) KV buy at this memory-pressure point?
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.slo import ClusterReport
+
+#: The baseline policy deltas are computed against (today's behaviour).
+BASELINE_POLICY = "sacrifice"
+
+
+def kv_policy_comparison(
+    runs: Sequence[Tuple[str, ClusterReport]],
+) -> List[dict]:
+    """Side-by-side policy rows from ``(policy_label, report)`` pairs.
+
+    Rows keep the input order.  ``goodput_x`` and ``ttft_saved_s`` are
+    relative to the first run whose label starts with
+    :data:`BASELINE_POLICY`; blank when no baseline run is present.
+    """
+    base: Optional[ClusterReport] = next(
+        (rep for label, rep in runs
+         if label.split("-")[0] == BASELINE_POLICY), None)
+    rows: List[dict] = []
+    for label, rep in runs:
+        goodput_x: object = ""
+        ttft_saved: object = ""
+        if base is not None and base.goodput_rps > 0:
+            goodput_x = round(rep.goodput_rps / base.goodput_rps, 2)
+            ttft_saved = round(base.p50_ttft_s - rep.p50_ttft_s, 3)
+        rows.append({
+            "kv_policy": label,
+            "completed": rep.completed,
+            "goodput_rps": round(rep.goodput_rps, 4),
+            "p50_ttft_s": round(rep.p50_ttft_s, 3),
+            "p99_ttft_s": round(rep.p99_ttft_s, 3),
+            "lost_tokens": rep.lost_tokens,
+            "swap_outs": rep.swap_outs,
+            "sacrifices": rep.sacrifices,
+            "swapped_gb": round(rep.swapped_gb, 3),
+            "prefix_hit_rate": round(rep.prefix_hit_rate, 3),
+            "j_per_token": round(rep.j_per_token, 4),
+            "goodput_x": goodput_x,
+            "ttft_saved_s": ttft_saved,
+        })
+    return rows

@@ -164,3 +164,48 @@ class TestPreemption:
         with pytest.raises(OutOfMemoryError):
             sched(paged=True, budget=2 * _bytes_per_block(),
                   max_batch=1).serve(reqs)
+
+
+class TestBlockRoundedAdmissionBoundary:
+    """Regression: a prompt needing exactly the remaining blocks admits.
+
+    The old admission check asked for blocks covering ``input + 1``
+    tokens, so a prompt that exactly filled the free pool was refused
+    until a running sequence finished — an off-by-one that serialised
+    exactly-full admissions.  Decode growth is handled by preemption,
+    not by reserving the extra block up front.
+    """
+
+    def _sched_with_blocks(self, n_blocks, max_batch=8):
+        from repro.models import get_model
+
+        arch = get_model("llama")
+        probe = arch.kv_cache_spec()
+        bpb = probe.bytes_per_token_per_layer * probe.n_layers * 16
+        return sched(paged=True, budget=n_blocks * bpb, max_batch=max_batch)
+
+    def test_exactly_full_pool_admits(self):
+        s = self._sched_with_blocks(8)
+        # A holds 3 blocks for its whole life (48-token cap, 16 rounds).
+        a = ServeRequest(req_id=0, arrival_s=0.0, input_tokens=40,
+                         output_tokens=8)
+        # B's 80-token prompt needs exactly the 5 remaining blocks.
+        b = ServeRequest(req_id=1, arrival_s=0.05, input_tokens=80,
+                         output_tokens=16)
+        report = s.serve([a, b])
+        assert report.n_requests == 2
+        assert a.finish_s is not None and b.finish_s is not None
+        # The boundary admission ran B concurrently with A: its first
+        # token streams long before A drains (pre-fix, B waited for A).
+        assert b.first_token_s < a.finish_s
+
+    def test_over_full_prompt_still_waits(self):
+        s = self._sched_with_blocks(8)
+        a = ServeRequest(req_id=0, arrival_s=0.0, input_tokens=40,
+                         output_tokens=8)
+        # 81 tokens -> 6 blocks > the 5 free: must wait for A to finish.
+        b = ServeRequest(req_id=1, arrival_s=0.05, input_tokens=81,
+                         output_tokens=8)
+        report = s.serve([a, b])
+        assert report.n_requests == 2
+        assert b.first_token_s > a.finish_s

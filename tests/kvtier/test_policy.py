@@ -1,0 +1,123 @@
+"""KvLifecyclePolicy: name grammar, victim selection, identity."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.kvtier import (
+    AGGRESSIVE_TRIGGER,
+    KV_TIER_VERSION,
+    VICTIM_ORDERS,
+    SacrificePolicy,
+    SwapPolicy,
+    get_kv_policy,
+    list_kv_policies,
+)
+
+
+class _Req:
+    def __init__(self, arrival_s, last_token_s=None):
+        self.arrival_s = arrival_s
+        self.last_token_s = last_token_s
+
+
+class TestGrammar:
+    def test_default_is_sacrifice(self):
+        p = get_kv_policy(None)
+        assert isinstance(p, SacrificePolicy)
+        assert p.victim == "lifo" and p.trigger == 1.0
+        assert not p.preserves_kv
+
+    def test_compound_names(self):
+        p = get_kv_policy("swap-lru-aggressive")
+        assert isinstance(p, SwapPolicy)
+        assert p.preserves_kv
+        assert p.victim == "lru"
+        assert p.trigger == AGGRESSIVE_TRIGGER
+
+    def test_conservative_qualifier(self):
+        assert get_kv_policy("swap-fifo-conservative").trigger == 1.0
+
+    def test_instance_passthrough(self):
+        p = SwapPolicy(victim="fifo")
+        assert get_kv_policy(p) is p
+        assert get_kv_policy(p, trigger=0.5).trigger == 0.5
+
+    def test_overrides_beat_qualifiers(self):
+        assert get_kv_policy("swap-aggressive", trigger=0.7).trigger == 0.7
+
+    @pytest.mark.parametrize("bad", ["drop", "swap-random", "swap-lru-bogus"])
+    def test_unknown_names_raise(self, bad):
+        with pytest.raises(ConfigError):
+            get_kv_policy(bad)
+
+    @pytest.mark.parametrize("trigger", [0.0, -0.1, 1.5])
+    def test_trigger_bounds(self, trigger):
+        with pytest.raises(ConfigError):
+            get_kv_policy("swap", trigger=trigger)
+
+    def test_host_capacity_bounds(self):
+        with pytest.raises(ConfigError):
+            SwapPolicy(host_capacity_frac=0.0)
+
+    def test_listing(self):
+        assert list(list_kv_policies()) == ["sacrifice", "swap"]
+
+
+class TestVictimSelection:
+    def setup_method(self):
+        # Admission order != arrival order, so ties are observable.
+        self.reqs = [_Req(2.0, last_token_s=5.0),
+                     _Req(1.0, last_token_s=9.0),
+                     _Req(3.0)]  # never produced a token
+
+    def test_lifo_picks_youngest_arrival(self):
+        p = get_kv_policy("sacrifice")
+        assert p.select_victim(self.reqs) is self.reqs[2]
+
+    def test_fifo_picks_oldest_arrival(self):
+        p = get_kv_policy("swap-fifo")
+        assert p.select_victim(self.reqs) is self.reqs[1]
+
+    def test_lru_picks_stalest_token(self):
+        # req[2] never decoded: ranks by arrival (3.0); req[0] is stalest.
+        p = get_kv_policy("swap-lru")
+        assert p.select_victim(self.reqs) is self.reqs[2]
+        self.reqs[2].last_token_s = 10.0
+        assert p.select_victim(self.reqs) is self.reqs[0]
+
+    def test_keep_is_never_chosen(self):
+        p = get_kv_policy("sacrifice")
+        assert p.select_victim(self.reqs, keep=self.reqs[2]) is self.reqs[0]
+        assert p.select_victim([self.reqs[0]], keep=self.reqs[0]) is None
+        assert p.select_victim([]) is None
+
+    def test_lifo_matches_historical_preempt_youngest(self):
+        # Bit-for-bit the old rule: max over (arrival, admission index).
+        p = get_kv_policy("sacrifice")
+        tied = [_Req(1.0), _Req(1.0), _Req(1.0)]
+        assert p.select_victim(tied) is tied[2]
+
+
+class TestIdentity:
+    def test_effective_budget(self):
+        assert get_kv_policy("swap").effective_budget(1000) == 1000
+        assert get_kv_policy("swap-aggressive").effective_budget(1000) == 850
+
+    def test_labels(self):
+        assert get_kv_policy("sacrifice").label == "sacrifice-lifo@1"
+        assert get_kv_policy("swap-lru-aggressive").label == "swap-lru@0.85"
+
+    def test_config_payload_carries_version(self):
+        payload = get_kv_policy("swap-lru").config_payload()
+        assert payload["kv_tier_version"] == KV_TIER_VERSION
+        assert payload["name"] == "swap"
+        assert payload["victim"] == "lru"
+        assert payload["host_capacity_frac"] == 0.5
+
+    def test_payloads_distinguish_policies(self):
+        seen = set()
+        for mode in list_kv_policies():
+            for victim in VICTIM_ORDERS:
+                p = get_kv_policy(f"{mode}-{victim}")
+                seen.add(str(sorted(p.config_payload().items())))
+        assert len(seen) == len(list_kv_policies()) * len(VICTIM_ORDERS)

@@ -1,0 +1,92 @@
+"""HostSwapSpace bookkeeping and the bandwidth model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import get_device
+from repro.kvtier import HostSwapSpace, swap_bandwidth_bytes_s
+from repro.kvtier.swap import PCIE_HOST_LINK_BYTES_S
+
+
+class TestBandwidth:
+    def test_unified_memory_pays_read_plus_write(self, orin):
+        mem = orin.memory
+        streaming = (mem.peak_bandwidth * mem.streaming_efficiency
+                     * mem.effective_ratio)
+        assert orin.unified_memory
+        assert swap_bandwidth_bytes_s(orin) == pytest.approx(streaming / 2.0)
+
+    def test_discrete_gpu_caps_at_host_link(self, a100):
+        assert not a100.unified_memory
+        assert swap_bandwidth_bytes_s(a100) == pytest.approx(
+            PCIE_HOST_LINK_BYTES_S)
+
+    def test_low_power_mode_slows_swaps(self):
+        from repro.power.modes import apply_power_mode, get_power_mode
+
+        maxn = get_device("jetson-orin-agx-64gb")
+        low = get_device("jetson-orin-agx-64gb")
+        apply_power_mode(low, get_power_mode("H"))
+        assert swap_bandwidth_bytes_s(low) < swap_bandwidth_bytes_s(maxn)
+
+
+class TestHostSwapSpace:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            HostSwapSpace(0)
+
+    def test_round_trip_accounting(self):
+        host = HostSwapSpace(1000)
+        sec_out = host.swap_out(7, 400, bandwidth_bytes_s=100.0)
+        assert sec_out == pytest.approx(4.0)
+        assert host.holds(7) and host.host_bytes == 400
+        nbytes, sec_in = host.swap_in(7, bandwidth_bytes_s=200.0)
+        assert (nbytes, sec_in) == (400, pytest.approx(2.0))
+        assert not host.holds(7) and host.host_bytes == 0
+        st = host.stats
+        assert (st.swap_outs, st.swap_ins) == (1, 1)
+        assert st.swapped_out_bytes == st.swapped_in_bytes == 400
+        assert st.peak_host_bytes == 400
+        assert st.transfer_seconds == pytest.approx(6.0)
+
+    def test_can_hold_is_exact_at_capacity(self):
+        host = HostSwapSpace(1000)
+        host.swap_out(1, 600, 1.0)
+        assert host.can_hold(400)
+        assert not host.can_hold(401)
+        host.swap_out(2, 400, 1.0)
+        with pytest.raises(ConfigError):
+            host.swap_out(3, 1, 1.0)
+
+    def test_double_swap_out_rejected(self):
+        host = HostSwapSpace(1000)
+        host.swap_out(1, 100, 1.0)
+        with pytest.raises(ConfigError):
+            host.swap_out(1, 100, 1.0)
+
+    def test_swap_in_requires_held_kv(self):
+        with pytest.raises(ConfigError):
+            HostSwapSpace(1000).swap_in(9, 1.0)
+
+    def test_nonpositive_bytes_rejected(self):
+        with pytest.raises(ConfigError):
+            HostSwapSpace(1000).swap_out(1, 0, 1.0)
+
+    def test_drop_releases_without_transfer(self):
+        host = HostSwapSpace(1000)
+        host.swap_out(1, 300, 1.0)
+        before = host.stats.transfer_seconds
+        assert host.drop(1) == 300
+        assert host.host_bytes == 0 and not host.holds(1)
+        assert host.drop(1) == 0  # idempotent
+        assert host.stats.transfer_seconds == before
+        assert host.stats.swap_ins == 0
+
+    def test_as_row_shape(self):
+        host = HostSwapSpace(10 ** 9)
+        host.swap_out(1, 5 * 10 ** 8, 1e9)
+        row = host.stats.as_row()
+        assert row["swap_outs"] == 1
+        assert row["swapped_gb"] == pytest.approx(0.5)
+        assert set(row) == {"swap_outs", "swap_ins", "sacrifices",
+                            "swapped_gb", "swap_transfer_s"}

@@ -173,3 +173,36 @@ def test_run_accepts_runtime(capsys):
                "--output-tokens", "8", "--runs", "1"])
     assert rc == 0
     assert "gguf" in capsys.readouterr().out
+
+
+def test_kvtier_sweep_bit_reproducible(tmp_path, capsys):
+    args = ["kvtier", "--requests", "12", "--policies", "sacrifice,swap-lru",
+            "--triggers", "1.0", "--share-ratios", "0.5"]
+    assert main(args + ["--csv", str(tmp_path / "a.csv")]) == 0
+    first = capsys.readouterr().out
+    assert main(args + ["--csv", str(tmp_path / "b.csv")]) == 0
+    second = capsys.readouterr().out
+    assert "swap-lru@1" in first and "cache_key=" in first
+    assert first.replace("a.csv", "b.csv") == second
+    assert (tmp_path / "a.csv").read_bytes() == (tmp_path / "b.csv").read_bytes()
+
+
+def test_kvtier_rejects_unknown_policy(capsys):
+    assert main(["kvtier", "--policies", "bogus"]) == 1
+    assert "unknown KV lifecycle policy" in capsys.readouterr().err
+
+
+def test_cluster_accepts_kv_policy(capsys):
+    rc = main(["cluster", "--devices", "jetson-orin-agx-64gb",
+               "--requests", "8", "--kv-policy", "swap-lru",
+               "--kv-trigger", "0.9"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "swap_outs" in out and "prefix_hit_rate" in out
+
+
+def test_chaos_accepts_kv_policy(capsys):
+    rc = main(["chaos", "--devices", "jetson-orin-agx-64gb", "--requests",
+               "8", "--kv-policy", "swap-lifo", "--crash-rate", "0.5"])
+    assert rc == 0
+    assert "cache_key=" in capsys.readouterr().out
