@@ -1,21 +1,31 @@
 #!/usr/bin/env python
 """Before/after timings for the study-harness fast path.
 
-Runs the same slice of the full study under four execution modes and
+Runs the same slice of the full study under several execution modes and
 reports wall-clock speedups over the step-by-step serial baseline:
 
 - ``baseline``      — per-token decode events, serial, no cache (the
   execution model of the original harness; kernel-cost memoization and
   the BLAS INT8 perplexity path cannot be disabled, so this *under*-
   states the end-to-end gain over the original code).
-- ``fast-forward``  — decode stretches collapsed to one event each.
-- ``parallel``      — fast-forward plus process fan-out (``--jobs``).
-- ``cache-cold``    — fast-forward, populating an empty result cache.
+- ``fast-forward``  — decode stretches collapsed to one event each,
+  vectorized decode stepping, and memoized allocator trajectories.
+- ``parallel``      — fast-forward plus process fan-out (one row per
+  ``--jobs`` value; the multi-core scaling picture).
+- ``cache-cold``    — fast-forward, populating an empty result cache
+  (single-flight claims active).
 - ``cache-warm``    — every configuration served from the cache.
 
 Every mode asserts its result rows are identical to the baseline's
 before any timing is reported — speed that changes answers is a bug,
-not a feature.
+not a feature.  Every timed scenario starts from a cold process-global
+state (trajectory cache cleared, worker pool torn down), so no row
+inherits warmth from an earlier one.
+
+Regression gates (CI ``speed-regression`` job): the cold fast-forward
+serial run must be >= ``--min-ff-speedup`` (default 5x) over the
+per-token baseline, and on a host with >= 4 cores ``--jobs 4`` must be
+>= ``--min-jobs-speedup`` (default 2.5x) over fast-forward serial.
 
 Usage::
 
@@ -35,8 +45,10 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.cache import ResultCache  # noqa: E402
+from repro.core.parallel import shutdown_pool  # noqa: E402
 from repro.core.study import (FullStudyResults, StudySpec,  # noqa: E402
                               run_full_study)
+from repro.memsys.fastpath import TRAJECTORY_CACHE  # noqa: E402
 from repro.reporting import format_table, write_csv  # noqa: E402
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -60,11 +72,16 @@ def main() -> int:
     ap.add_argument("--smoke", action="store_true",
                     help="small grid + wall-clock budget; exit 1 if busted")
     ap.add_argument("--jobs", type=int, default=4,
-                    help="workers for the parallel scenario")
+                    help="max workers for the parallel scaling rows")
     ap.add_argument("--budget-s", type=float, default=120.0,
                     help="--smoke: max allowed fast-forward serial seconds")
     ap.add_argument("--min-speedup", type=float, default=5.0,
                     help="required cache-warm speedup over baseline")
+    ap.add_argument("--min-ff-speedup", type=float, default=5.0,
+                    help="required cold fast-forward speedup over baseline")
+    ap.add_argument("--min-jobs-speedup", type=float, default=2.5,
+                    help="required --jobs 4 speedup over fast-forward "
+                         "serial (only enforced on hosts with >= 4 cores)")
     args = ap.parse_args()
 
     if args.smoke:
@@ -74,16 +91,23 @@ def main() -> int:
                   include_power_energy=True)
 
     def timed(label, fast_forward=True, **extra):
+        # Cold-start honesty: scenarios share one process, and forked
+        # workers inherit parent memory — clear the process-global
+        # trajectory cache and tear down the persistent pool so every
+        # timed row pays its own warm-up.
+        TRAJECTORY_CACHE.clear()
+        shutdown_pool()
         spec = StudySpec.of(fast_forward=fast_forward, **kw)
         t0 = time.perf_counter()
         res = run_full_study(spec, **extra)
         dt = time.perf_counter() - t0
-        print(f"  {label:14s} {dt:8.2f}s", flush=True)
+        print(f"  {label:18s} {dt:8.2f}s", flush=True)
         return dt, study_rows(res)
 
+    n_cores = os.cpu_count() or 1
     n_note = f"models={kw['models']} n_runs={kw['n_runs']} " \
              f"power_energy={kw['include_power_energy']}"
-    print(f"harness speed — {n_note} ({os.cpu_count()} core(s))", flush=True)
+    print(f"harness speed — {n_note} ({n_cores} core(s))", flush=True)
 
     # Prime the process-global lru caches (perplexity anchors, FLOP
     # counts) untimed, so scenario order does not skew the comparison:
@@ -94,39 +118,51 @@ def main() -> int:
 
     t_base, rows_base = timed("baseline", fast_forward=False)
     t_ff, rows_ff = timed("fast-forward")
-    t_par, rows_par = timed(f"parallel x{args.jobs}", jobs=args.jobs)
+    job_counts = [j for j in (2, args.jobs) if j > 1]
+    job_counts = sorted(set(job_counts))
+    par_times = {}
+    rows_by_label = [("fast-forward", rows_ff)]
+    for j in job_counts:
+        t_par, rows_par = timed(f"parallel x{j}", jobs=j)
+        par_times[j] = t_par
+        rows_by_label.append((f"parallel x{j}", rows_par))
     with tempfile.TemporaryDirectory() as d:
         cache = ResultCache(d)
         t_cold, rows_cold = timed("cache-cold", cache=cache)
         t_warm, rows_warm = timed("cache-warm", cache=cache)
         stats = cache.stats.as_row()
+    rows_by_label += [("cache-cold", rows_cold), ("cache-warm", rows_warm)]
 
-    for label, rows in [("fast-forward", rows_ff), ("parallel", rows_par),
-                        ("cache-cold", rows_cold), ("cache-warm", rows_warm)]:
+    for label, rows in rows_by_label:
         assert rows == rows_base, f"{label} changed results vs baseline"
 
     table = []
-    for label, dt in [("baseline (per-token serial)", t_base),
-                      ("fast-forward serial", t_ff),
-                      (f"fast-forward + jobs={args.jobs}", t_par),
-                      ("fast-forward + cache cold", t_cold),
-                      ("fast-forward + cache warm", t_warm)]:
+    scenarios = [("baseline (per-token serial)", t_base),
+                 ("fast-forward serial (cold)", t_ff)]
+    scenarios += [(f"fast-forward + jobs={j}", par_times[j])
+                  for j in job_counts]
+    scenarios += [("fast-forward + cache cold", t_cold),
+                  ("fast-forward + cache warm", t_warm)]
+    for label, dt in scenarios:
         table.append({
             "scenario": label,
             "seconds": round(dt, 2),
             "speedup_vs_baseline": round(t_base / dt, 1),
+            "speedup_vs_ff_serial": round(t_ff / dt, 2),
             "configs": len(rows_base),
         })
     text = format_table(
         table, title=f"study-harness speed — {n_note}, "
-                     f"{os.cpu_count()} core(s)")
+                     f"{n_cores} core(s)")
     text += (f"\n\ncache stats across cold+warm: {stats}"
              "\nall scenarios verified row-identical to the baseline."
+             "\nevery timed row starts cold: trajectory cache cleared and"
+             "\nworker pool torn down between scenarios."
              "\nnotes: the baseline keeps kernel-cost memoization and the"
              "\nBLAS INT8 perplexity path (not disableable); the"
              "\npre-fast-path harness was slower still.  --jobs only pays"
-             "\noff with >1 core — on a 1-core host the parallel row is"
-             "\npure pool overhead.")
+             "\noff with >1 core — on a 1-core host the parallel rows are"
+             "\npure pool overhead (see speedup_vs_ff_serial).")
     print("\n" + text)
 
     if not args.smoke:
@@ -135,17 +171,38 @@ def main() -> int:
         write_csv(RESULTS_DIR / "harness_speed.csv", table)
         print(f"\nwrote {RESULTS_DIR}/harness_speed.{{txt,csv}}")
 
+    ok = True
+    ff_speedup = t_base / t_ff
+    if ff_speedup < args.min_ff_speedup:
+        print(f"FAIL: cold fast-forward speedup {ff_speedup:.1f}x "
+              f"< required {args.min_ff_speedup}x", file=sys.stderr)
+        ok = False
+    jobs_for_gate = max((j for j in job_counts if j >= 4), default=None)
+    if n_cores >= 4 and jobs_for_gate is not None:
+        jobs_speedup = t_ff / par_times[jobs_for_gate]
+        if jobs_speedup < args.min_jobs_speedup:
+            print(f"FAIL: jobs={jobs_for_gate} speedup {jobs_speedup:.2f}x "
+                  f"over ff-serial < required {args.min_jobs_speedup}x "
+                  f"({n_cores} cores)", file=sys.stderr)
+            ok = False
+        else:
+            print(f"jobs={jobs_for_gate} speedup {jobs_speedup:.2f}x over "
+                  f"ff-serial ({n_cores} cores)")
+    else:
+        print(f"jobs speedup gate skipped: {n_cores} core(s) < 4")
     warm_speedup = t_base / t_warm
     if warm_speedup < args.min_speedup:
         print(f"FAIL: cache-warm speedup {warm_speedup:.1f}x "
               f"< required {args.min_speedup}x", file=sys.stderr)
-        return 1
+        ok = False
     if args.smoke and t_ff > args.budget_s:
         print(f"FAIL: fast-forward serial {t_ff:.1f}s "
               f"> budget {args.budget_s}s", file=sys.stderr)
+        ok = False
+    if not ok:
         return 1
     print(f"OK: cache-warm {warm_speedup:.0f}x, "
-          f"fast-forward {t_base / t_ff:.1f}x over per-token baseline")
+          f"fast-forward {ff_speedup:.1f}x over per-token baseline")
     return 0
 
 

@@ -9,6 +9,8 @@ map onto the paper's experiments:
 - ``repro sweep batch|seqlen|quant|powermode --model llama`` — one of
   the §3 sweeps.
 - ``repro perplexity`` — Table 3.
+- ``repro profile`` — cProfile the cold simulate path and print a
+  deterministic top-N report (stable sort, repo-relative paths).
 - ``repro study --jobs -1 --cache`` — the entire paper in one go, with
   process fan-out and the on-disk result cache.
 - ``repro cluster`` / ``repro chaos`` — multi-node serving, with and
@@ -376,6 +378,23 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.profile import default_profile_specs, profile_specs
+
+    models = ([m.strip() for m in args.models.split(",") if m.strip()]
+              if args.models else None)
+    specs = default_profile_specs(models, n_runs=args.runs)
+    report = profile_specs(specs, fast_forward=not args.per_token,
+                           top=args.top)
+    text = report.format()
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_perplexity(args: argparse.Namespace) -> int:
     from repro.hardware import get_device
     from repro.perplexity import perplexity_table
@@ -432,6 +451,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     ppl = sub.add_parser("perplexity", help="Table 3: perplexity by precision")
     ppl.add_argument("--device", default="jetson-orin-agx-64gb")
+
+    prof = sub.add_parser(
+        "profile",
+        help="cProfile the cold simulate path (deterministic top-N report)")
+    prof.add_argument("--models", default=None,
+                      help="comma-separated model names (default: llama)")
+    prof.add_argument("--runs", type=int, default=2,
+                      help="measured runs per configuration")
+    prof.add_argument("--per-token", action="store_true",
+                      help="profile the token-by-token path "
+                           "(fast_forward=False)")
+    prof.add_argument("--top", type=int, default=25,
+                      help="rows to show (sorted by cumulative time)")
+    prof.add_argument("--out", default=None,
+                      help="also write the report to FILE")
 
     study = sub.add_parser("study", help="run the paper's full experiment matrix")
     study.add_argument("--models", default=None,
@@ -562,6 +596,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "perplexity": _cmd_perplexity,
+    "profile": _cmd_profile,
     "study": _cmd_study,
     "cluster": _cmd_cluster,
     "chaos": _cmd_chaos,

@@ -123,10 +123,23 @@ def run_experiment(
     # None; the cache key must hash the constants actually in effect.
     effective_params = params or CALIBRATED_COST_PARAMS
     if cache is not None:
-        hit = cache.get(spec, effective_params)
-        if hit is not None:
-            return hit
+        # Single-flight: under parallel cold runs, concurrent workers
+        # landing on one key resolve to exactly one compute — the rest
+        # block on the claim and read the winner's result.
+        return cache.get_or_compute(
+            spec, effective_params,
+            lambda: _simulate_spec(spec, params, fast_forward, observer),
+        )
+    return _simulate_spec(spec, params, fast_forward, observer)
 
+
+def _simulate_spec(
+    spec: ExperimentSpec,
+    params: Optional[EngineCostParams],
+    fast_forward: bool,
+    observer,
+) -> RunResult:
+    """Run the simulation for one spec (the cache-miss path)."""
     arch = get_model(spec.model)
     device = get_device(spec.device)
     mode = get_power_mode(spec.power_mode)
@@ -157,6 +170,4 @@ def run_experiment(
             power_mode=mode,
         )
         result.workload = spec.workload
-    if cache is not None:
-        cache.put(spec, effective_params, result)
     return result

@@ -7,7 +7,8 @@ serially or across a :class:`~concurrent.futures.ProcessPoolExecutor`,
 with three guarantees:
 
 - **Deterministic ordering**: results come back in spec order
-  regardless of worker scheduling (``Executor.map`` semantics).
+  regardless of worker scheduling (futures are slotted back into the
+  position their chunk was submitted from).
 - **Determinism per worker**: workers re-seed the stdlib and numpy
   global RNGs on startup; the simulator itself never consumes global
   RNG state (every stochastic component derives its stream from
@@ -15,22 +16,39 @@ with three guarantees:
   asserted by ``tests/engine/test_fast_forward.py``.
 - **Shared cache**: when a :class:`~repro.core.cache.ResultCache` is
   given, workers consult and fill the same on-disk store (atomic
-  writes; no locking needed).
+  writes plus a single-flight claim protocol, so a cold key is
+  computed exactly once fleet-wide).
+
+Fan-out overhead is kept off the per-spec path: the shared immutables
+(cost params, cache config, fast-forward flag) ship **once** through the
+pool initializer instead of riding inside every task payload, specs are
+dispatched in contiguous chunks so each task amortizes the pickle and
+scheduling cost over several specs, and the pool itself persists across
+calls (``run_full_study`` runs many sweep phases back to back — paying
+worker startup once instead of per phase).
 """
 
 from __future__ import annotations
 
+import atexit
 import os
-from concurrent.futures import ProcessPoolExecutor
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import List, Optional, Sequence
 
 from repro.core.experiment import ExperimentSpec
 from repro.engine.kernels import EngineCostParams
 from repro.engine.runtime import RunResult
 
+#: Worker-process context installed by :func:`_worker_init` — the shared
+#: immutables every chunk needs, shipped once per worker instead of once
+#: per task.
+_ctx: dict = {}
 
-def _worker_init() -> None:  # pragma: no cover - runs in child processes
-    """Pin child-process global RNG state for reproducibility."""
+
+def _worker_init(params, cache_root, cache_version,
+                 fast_forward) -> None:  # pragma: no cover - child process
+    """Pin child RNG state and install the shared per-worker context."""
     import random
 
     random.seed(0)
@@ -40,26 +58,35 @@ def _worker_init() -> None:  # pragma: no cover - runs in child processes
         np.random.seed(0)
     except ImportError:
         pass
+    from repro.core.cache import ResultCache
+
+    _ctx["params"] = params
+    _ctx["fast_forward"] = fast_forward
+    # One persistent cache handle per worker: its CacheStats accumulate
+    # across every chunk this worker executes, and _run_chunk ships the
+    # per-chunk delta back via snapshot()/delta_since().
+    _ctx["cache"] = (ResultCache(cache_root, version=cache_version)
+                     if cache_root is not None else None)
 
 
-def _run_one(args):
+def _run_chunk(specs):
     """Module-level worker target (must be picklable).
 
-    Returns ``(result, (hits, misses, puts))`` so the parent can fold
-    worker-side cache activity back into its own
-    :class:`~repro.core.cache.CacheStats`.
+    Runs a contiguous chunk of specs and returns
+    ``(results, stats_delta)`` where ``stats_delta`` is the
+    :class:`~repro.core.cache.CacheStats` accumulated by this chunk
+    (``None`` when no cache is configured), ready for
+    :meth:`CacheStats.merge` in the parent.
     """
-    spec, params, cache_root, cache_version, fast_forward = args
-    from repro.core.cache import ResultCache
     from repro.core.experiment import run_experiment
 
-    cache = (ResultCache(cache_root, version=cache_version)
-             if cache_root is not None else None)
-    result = run_experiment(spec, params=params, cache=cache,
-                            fast_forward=fast_forward)
-    stats = ((cache.stats.hits, cache.stats.misses, cache.stats.puts)
-             if cache is not None else (0, 0, 0))
-    return result, stats
+    cache = _ctx.get("cache")
+    before = cache.stats.snapshot() if cache is not None else None
+    results = [run_experiment(s, params=_ctx.get("params"), cache=cache,
+                              fast_forward=_ctx.get("fast_forward", True))
+               for s in specs]
+    delta = cache.stats.delta_since(before) if cache is not None else None
+    return results, delta
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -69,6 +96,68 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs < 0:
         return max(1, os.cpu_count() or 1)
     return jobs
+
+
+def chunk_specs(n_specs: int, n_jobs: int) -> List[slice]:
+    """Contiguous, balanced slices assigning ``n_specs`` to pool tasks.
+
+    The heuristic trades dispatch overhead against load balance: large
+    sweeps get ~4 chunks per worker (stragglers rebalance), small ones
+    fewer, and a sweep no bigger than the pool gets one spec per task.
+    Chunk sizes differ by at most one, and concatenating the slices in
+    order reproduces ``range(n_specs)`` exactly (spec order survives).
+    """
+    if n_specs <= 0:
+        return []
+    if n_specs >= n_jobs * 8:
+        chunks_per_worker = 4
+    elif n_specs >= n_jobs * 3:
+        chunks_per_worker = 2
+    else:
+        chunks_per_worker = 1
+    n_tasks = min(n_specs, n_jobs * chunks_per_worker)
+    base, extra = divmod(n_specs, n_tasks)
+    slices, start = [], 0
+    for i in range(n_tasks):
+        size = base + (1 if i < extra else 0)
+        slices.append(slice(start, start + size))
+        start += size
+    return slices
+
+
+#: Persistent pool reused across run_specs calls (a full study is many
+#: sweep phases; worker startup + initializer cost is paid once).  Keyed
+#: by the worker configuration — a call with different shared immutables
+#: tears it down and builds a fresh one.
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_key: Optional[tuple] = None
+
+
+def _get_pool(max_workers, initargs) -> ProcessPoolExecutor:
+    global _pool, _pool_key
+    # Pickle equality is the honest comparison for initargs: it is
+    # exactly what the initializer would receive in the child.
+    key = (max_workers, pickle.dumps(initargs))
+    if _pool is not None and _pool_key == key:
+        return _pool
+    shutdown_pool()
+    _pool = ProcessPoolExecutor(max_workers=max_workers,
+                                initializer=_worker_init,
+                                initargs=initargs)
+    _pool_key = key
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (no-op when none is live)."""
+    global _pool, _pool_key
+    if _pool is not None:
+        _pool.shutdown(wait=True)
+    _pool = None
+    _pool_key = None
+
+
+atexit.register(shutdown_pool)
 
 
 def run_specs(
@@ -82,9 +171,9 @@ def run_specs(
     """Run every spec; returns results in spec order.
 
     ``jobs <= 1`` runs serially in-process (and still uses ``cache``).
-    ``jobs > 1`` fans out over a process pool; ``jobs = -1`` uses every
-    core.  Serial and parallel runs return identical results in
-    identical order.
+    ``jobs > 1`` fans out over a persistent process pool; ``jobs = -1``
+    uses every core.  Serial and parallel runs return identical results
+    in identical order.
 
     An enabled ``observer`` forces the serial path: span records live in
     the parent process and cannot be collected across a pool boundary.
@@ -100,17 +189,26 @@ def run_specs(
 
     cache_root = str(cache.root) if cache is not None else None
     cache_version = cache.version if cache is not None else None
-    payload = [(s, params, cache_root, cache_version, fast_forward)
-               for s in specs]
-    chunksize = max(1, len(specs) // (n_jobs * 4))
-    with ProcessPoolExecutor(max_workers=min(n_jobs, len(specs)),
-                             initializer=_worker_init) as pool:
-        pairs = list(pool.map(_run_one, payload, chunksize=chunksize))
-    results = [r for r, _ in pairs]
-    if cache is not None:
-        # Fold worker-side cache activity back into the parent's stats.
-        for _, (hits, misses, puts) in pairs:
-            cache.stats.hits += hits
-            cache.stats.misses += misses
-            cache.stats.puts += puts
-    return results
+    initargs = (params, cache_root, cache_version, fast_forward)
+    max_workers = min(n_jobs, len(specs))
+    slices = chunk_specs(len(specs), max_workers)
+    pool = _get_pool(max_workers, initargs)
+
+    futures = {pool.submit(_run_chunk, list(specs[sl])): i
+               for i, sl in enumerate(slices)}
+    chunk_results: List[Optional[list]] = [None] * len(slices)
+    pending = set(futures)
+    while pending:
+        # Stream results back as chunks land (rather than map()'s
+        # in-order drain) so parent-side stats fold overlaps the tail
+        # of the computation; ordering is restored via the slot array.
+        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for fut in done:
+            results, delta = fut.result()
+            chunk_results[futures[fut]] = results
+            if cache is not None and delta is not None:
+                cache.stats.merge(delta)
+    out: List[RunResult] = []
+    for chunk in chunk_results:
+        out.extend(chunk or [])
+    return out

@@ -12,11 +12,14 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+import numpy as np
+
 from repro.engine.kernels import StepTimer
 from repro.engine.request import BatchRequest, BatchResult
 from repro.engine.state import EngineState
 from repro.errors import OutOfMemoryError
 from repro.memsys.allocator import Allocation, CachingAllocator
+from repro.memsys.fastpath import TRAJECTORY_CACHE, StreamSpec, apply_delta
 from repro.memsys.kvcache import KVCache
 from repro.obs import kinds
 from repro.obs.span import NULL_OBSERVER, Observer
@@ -88,6 +91,8 @@ class BatchExecutor:
         self.eager_score_buffers = eager_score_buffers
         self.workspace_bytes = int(workspace_bytes)
         self.fast_forward = fast_forward
+        #: Batches served by the memoized-trajectory fast path (tests).
+        self.fastpath_batches = 0
 
     # -- memory helpers ------------------------------------------------------
     def _make_kv(self, batch_size: int, gen):
@@ -141,6 +146,13 @@ class BatchExecutor:
         gen = request.gen
         result = BatchResult(request=request, latency_s=0.0, prefill_s=0.0, decode_s=0.0)
         start = env.now
+
+        if self.fast_forward and self._fastpath_eligible():
+            # The whole batch's allocator trajectory is timing-independent:
+            # resolve it (memoized) and apply the end state up front, then
+            # emit the exact same events/timestamps the loop below would.
+            return (yield from self._run_trajectory(
+                env, request, state, result, start, trace, obs, track))
 
         held: List[Allocation] = []
         kv = None
@@ -270,3 +282,120 @@ class BatchExecutor:
             for h in held:
                 self.allocator.free(h)
         return result
+
+    # -- memoized-trajectory fast path --------------------------------------
+    def _fastpath_eligible(self) -> bool:
+        """The trajectory replay assumes the stock KV growth protocol on
+        the stock allocator; backends that override either (e.g. the
+        paged executor's block pool) keep the generic loop above."""
+        return (
+            type(self)._make_kv is BatchExecutor._make_kv
+            and type(self.allocator) is CachingAllocator
+            and self.kv_mode in ("dynamic", "static")
+        )
+
+    def _run_trajectory(self, env, request, state, result, start, trace,
+                        obs, track):
+        """Fast-forward one batch via a memoized allocator trajectory.
+
+        Identical observables to the generic loop in :meth:`run`: the
+        allocator ends in the same state (same segments, stats and
+        peaks, via :class:`~repro.memsys.fastpath.TrajectoryDelta`), and
+        timing/spans/utilization are emitted from the vectorized
+        :meth:`~repro.engine.kernels.StepTimer.decode_run` with
+        timestamps accumulated in the same float order (``np.cumsum`` is
+        bit-identical to the sequential left fold).
+        """
+        bs = request.batch_size
+        gen = request.gen
+        kv_spec = self.timer.arch.kv_cache_spec()
+        static = self.kv_mode == "static"
+        n_out = gen.output_tokens
+        if self.eager_score_buffers:
+            eager_prefill = self._eager_bytes(bs, gen.input_tokens)
+            eager_steps = tuple(self._eager_bytes(bs, gen.input_tokens + j + 1)
+                                for j in range(n_out))
+        else:
+            eager_prefill = None
+            eager_steps = ()
+        stream = StreamSpec(
+            workspace_bytes=self.workspace_bytes + self._activation_bytes(bs),
+            n_kv_tensors=2 * kv_spec.n_layers,
+            kv_prefill_bytes=kv_spec.layer_tensor_bytes(
+                bs, gen.total_tokens if static else gen.input_tokens),
+            kv_step_bytes=() if static else tuple(
+                kv_spec.layer_tensor_bytes(bs, gen.input_tokens + j + 1)
+                for j in range(n_out)),
+            eager_prefill_bytes=eager_prefill,
+            eager_step_bytes=eager_steps,
+            n_tokens=n_out,
+        )
+        delta = TRAJECTORY_CACHE.delta_for(self.allocator, stream)
+        apply_delta(self.allocator, delta)
+        self.fastpath_batches += 1
+        try:
+            if delta.oom is not None and delta.oom[0] == "setup":
+                # The generic path raises before its first yield; no
+                # prefill span, zero elapsed time.
+                result.oom = True
+                result.latency_s = env.now - start
+                return result
+
+            # ---- prefill ----
+            cost = self.timer.prefill(bs, gen.input_tokens)
+            state.set("prefill", _util_of(cost))
+            prefill_start = env.now
+            yield env.timeout(cost.seconds)
+            result.prefill_s = cost.seconds
+            if obs.enabled:
+                obs.complete(kinds.PREFILL, prefill_start, env.now,
+                             cat=kinds.CAT_ENGINE, track=track, batch=bs,
+                             tokens=gen.input_tokens)
+            if trace is not None:
+                trace.record(env.now, kinds.PREFILL,
+                             seconds=cost.seconds, batch=bs)
+
+            # ---- decode ----
+            n_timed = delta.oom[1] if delta.oom is not None else n_out
+            if n_timed:
+                concat_coef = 0 if static else kv_spec.bytes_total(bs, 1)
+                run = self.timer.decode_run(bs, gen.input_tokens, n_timed,
+                                            concat_coef)
+                sec = run.seconds
+                ts = np.cumsum(np.concatenate(
+                    ((env.now,), np.asarray(sec, dtype=np.float64))))[1:]
+                i = 0
+                while i < n_timed:
+                    horizon = env.peek()
+                    stretch_start = env.now
+                    # First step whose completion time reaches the next
+                    # scheduled event ends the stretch (inclusive) —
+                    # the `t >= horizon` break of the generic loop.
+                    end = int(np.searchsorted(ts, horizon, side="left")) + 1
+                    if end <= i:
+                        end = i + 1
+                    if end > n_timed:
+                        end = n_timed
+                    result.step_seconds.extend(sec[i:end])
+                    last = end - 1
+                    state.set("decode", ComponentUtilization(
+                        gpu_compute=run.gpu_compute_frac[last],
+                        gpu_busy=run.gpu_busy_frac[last],
+                        mem_bw=run.mem_bw_frac[last],
+                        cpu_cores_active=run.cpu_cores_active[last],
+                    ))
+                    yield env.timeout_at(float(ts[last]))
+                    if obs.enabled:
+                        obs.complete(kinds.DECODE, stretch_start, env.now,
+                                     cat=kinds.CAT_ENGINE, track=track,
+                                     batch=bs, tokens=end - i)
+                    i = end
+            if delta.oom is not None:
+                result.oom = True
+                result.latency_s = env.now - start
+                return result
+            result.decode_s = sum(result.step_seconds)
+            result.latency_s = env.now - start
+            return result
+        finally:
+            state.set_idle()

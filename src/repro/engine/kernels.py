@@ -24,12 +24,21 @@ where
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
+
+import numpy as np
 
 from repro.errors import ConfigError
 from repro.hardware.device import EdgeDevice
 from repro.models.architecture import TransformerArchitecture
-from repro.models.flops import PhaseCounts, decode_step_counts, prefill_counts
+from repro.models.flops import (
+    PhaseCounts,
+    _activation_bytes as _activation_bytes_of,
+    _matmul_params as _matmul_params_of,
+    decode_step_counts,
+    prefill_counts,
+)
 from repro.models.footprint import weight_bytes
 from repro.quant.dtypes import Precision
 from repro.quant.overhead import QuantKernelModel
@@ -102,6 +111,41 @@ class StepCost:
     cpu_cores_active: float
 
 
+@dataclass(frozen=True)
+class DecodeRun:
+    """Per-token cost arrays for a run of consecutive decode steps.
+
+    Produced by :meth:`StepTimer.decode_run`; token ``j`` covers the
+    decode iteration at context length ``ctx_start + j``.  Every element
+    is bit-identical to the corresponding field of the scalar
+    :meth:`StepTimer.decode_step` cost — the vectorized path replays the
+    exact float operation order of :meth:`StepTimer._combine` with numpy
+    elementwise arithmetic (IEEE-exact for ``+ - * /``/``min``) and
+    keeps the roofline ``**`` terms in scalar Python-float form, where
+    numpy's pow is *not* bit-identical.
+    """
+
+    seconds: tuple
+    gpu_compute_frac: tuple
+    gpu_busy_frac: tuple
+    mem_bw_frac: tuple
+    cpu_cores_active: tuple
+
+    def __len__(self) -> int:
+        return len(self.seconds)
+
+
+#: Run-level memo bound (entries are O(n_steps) tuples; a full study grid
+#: touches a few hundred distinct (batch, ctx, run-length, clock) keys).
+_RUN_MEMO_CAP = 256
+
+#: Above this magnitude integer byte counts stop being exactly
+#: representable as float64 and the coefficient-times-context
+#: vectorization of the KV terms would round differently; fall back to
+#: the scalar path (unreachable for any realistic model/context).
+_EXACT_INT_LIMIT = 2 ** 53
+
+
 class StepTimer:
     """Computes :class:`StepCost` for a (model, device, precision) triple.
 
@@ -131,6 +175,9 @@ class StepTimer:
         self._memo: dict = {}
         self.memo_hits = 0
         self.memo_misses = 0
+        self._run_memo: OrderedDict = OrderedDict()
+        self.run_memo_hits = 0
+        self.run_memo_misses = 0
 
     def _operating_point(self) -> tuple:
         """Everything :meth:`_combine` reads from mutable device state."""
@@ -257,3 +304,153 @@ class StepTimer:
                     concat_bytes: float = 0.0) -> StepCost:
         """Cost of one decode iteration at the given context length."""
         return self._memoized(False, batch_size, context_len, concat_bytes)
+
+    def decode_run(self, batch_size: int, ctx_start: int, n_steps: int,
+                   concat_coef: int = 0) -> DecodeRun:
+        """Costs for ``n_steps`` consecutive decode iterations, batched.
+
+        Token ``j`` decodes at context length ``ctx_start + j`` with
+        DynamicCache concat traffic ``concat_coef * ctx + concat_coef *
+        (ctx + 1)`` (``concat_coef`` is the per-context-token KV byte
+        count of the whole batch; 0 for static/preallocated caches —
+        exactly what :meth:`~repro.memsys.kvcache.KVCache.concat_traffic_bytes`
+        feeds the scalar path).
+
+        The whole run is computed as numpy array ops — one pass instead
+        of ``n_steps`` Python-level cost evaluations — and memoized per
+        (batch, ctx_start, n_steps, concat_coef, operating point).
+        Subclasses that override :meth:`_combine` (e.g. the GGUF timer)
+        transparently fall back to the scalar per-step path, as does any
+        byte count too large for exact float64 integer arithmetic.
+        """
+        if n_steps <= 0:
+            empty = ()
+            return DecodeRun(empty, empty, empty, empty, empty)
+        key = (batch_size, ctx_start, n_steps, concat_coef,
+               self._operating_point())
+        run = self._run_memo.get(key)
+        if run is not None:
+            self.run_memo_hits += 1
+            self._run_memo.move_to_end(key)
+            return run
+        self.run_memo_misses += 1
+        run = self._decode_run_compute(batch_size, ctx_start, n_steps,
+                                       concat_coef)
+        self._run_memo[key] = run
+        if len(self._run_memo) > _RUN_MEMO_CAP:
+            self._run_memo.popitem(last=False)
+        return run
+
+    def _decode_run_compute(self, batch_size: int, ctx_start: int,
+                            n_steps: int, concat_coef: int) -> DecodeRun:
+        arch = self.arch
+        kv_spec = arch.kv_cache_spec(2)
+        kv_coef = kv_spec.bytes_total(batch_size, 1)
+        ctx_max = ctx_start + n_steps
+        vectorizable = (
+            type(self)._combine is StepTimer._combine
+            and kv_coef * ctx_max < _EXACT_INT_LIMIT
+            and concat_coef * 2 * (ctx_max + 1) < _EXACT_INT_LIMIT
+        )
+        if not vectorizable:
+            costs = [
+                self._memoized(False, batch_size, ctx_start + j,
+                               concat_coef * (ctx_start + j)
+                               + concat_coef * (ctx_start + j + 1))
+                for j in range(n_steps)
+            ]
+            return DecodeRun(
+                seconds=tuple(c.seconds for c in costs),
+                gpu_compute_frac=tuple(c.gpu_compute_frac for c in costs),
+                gpu_busy_frac=tuple(c.gpu_busy_frac for c in costs),
+                mem_bw_frac=tuple(c.mem_bw_frac for c in costs),
+                cpu_cores_active=tuple(c.cpu_cores_active for c in costs),
+            )
+
+        p = self.params
+        dev = self.device
+        gpu = dev.gpu
+        n_tokens = batch_size
+
+        # Scalar constants, computed with the exact expressions (and float
+        # operation order) of decode_step_counts()/_combine().
+        ctx = np.arange(ctx_start, ctx_max, dtype=np.float64)
+        dense_flops = 2.0 * n_tokens * _matmul_params_of(arch)
+        attn_coef = 4.0 * n_tokens * arch.n_layers * arch.n_heads * arch.head_dim
+        flops = dense_flops + attn_coef * ctx
+
+        kv_read = float(kv_coef) * ctx
+        kv_written = float(kv_spec.bytes_total(batch_size, 1))
+        if arch.gqa_ratio > 1:
+            kv_tail = kv_read + (2.0 * (arch.gqa_ratio - 1)) * kv_read
+        else:
+            kv_tail = kv_read + 0.0
+        activation = _activation_bytes_of(arch, n_tokens)
+
+        stream_bw = dev.memory.streaming_bandwidth() * p.bw_scale
+        kv_scale = p.kv_traffic_scale
+        if self.precision is Precision.INT8 and p.quant.uses_fallback(gpu, self.precision):
+            kv_scale *= p.int8_kv_penalty
+        traffic_mult = p.quant.weight_traffic_multiplier(gpu, self.precision)
+        stream_base = (
+            float(self.weight_bytes) * traffic_mult
+            + activation
+            + kv_written
+        )
+        if concat_coef:
+            cc = float(concat_coef)
+            concat = cc * ctx + cc * (ctx + 1.0)
+        else:
+            concat = 0.0
+        stream_bytes = stream_base + concat + kv_tail * kv_scale
+        t_mem = stream_bytes / stream_bw
+
+        sat = n_tokens / (n_tokens + p.gemm_sat_tokens)
+        flops_rate = (
+            gpu.effective_flops(self.precision)
+            * p.flops_scale
+            * sat
+            * p.quant.math_rate_multiplier(gpu, self.precision)
+        )
+        t_matmul = flops / flops_rate
+        t_dequant = p.quant.dequant_seconds(arch, gpu, self.precision)
+        t_actq = p.quant.activation_overhead_seconds(
+            arch, gpu, self.precision, n_tokens
+        )
+        t_comp = t_matmul + t_dequant + t_actq
+        t_alu = t_matmul + t_actq + t_dequant * p.quant.dequant_alu_fraction(self.precision)
+
+        # numpy's elementwise ** is not bit-identical to Python's float
+        # pow — keep the roofline in scalar Python-float form.
+        pw = p.overlap_p
+        inv_pw = 1.0 / p.overlap_p
+        t_roof = np.array(
+            [(m ** pw + c ** pw) ** inv_pw
+             for m, c in zip(t_mem.tolist(), t_comp.tolist())],
+            dtype=np.float64,
+        )
+        floor_scale = gpu.freq_ratio * dev.memory.freq_ratio**0.5
+        t_floor = arch.kernels_per_step * p.kernel_floor_s / floor_scale
+        t_gpu = t_roof + t_floor
+
+        t_host = (p.host_step_s + p.host_per_seq_s * self._host_seqs(n_tokens, False)) \
+            / dev.cpu.freq_ratio
+        seconds = t_gpu + t_host
+
+        busy_cap = p.quant.gpu_utilization(self.precision)
+        gpu_busy = (t_gpu / seconds) * busy_cap
+        denom = t_mem + t_comp
+        ratio = np.divide(t_alu, denom, out=np.zeros_like(t_alu),
+                          where=denom > 0)
+        gpu_compute = gpu_busy * ratio
+        peak_bw_now = dev.memory.peak_bandwidth * dev.memory.effective_ratio
+        mem_bw_frac = np.minimum(1.0, stream_bytes / (peak_bw_now * seconds))
+        cpu_cores = 2.2 + 0.8 * (t_host / seconds)
+        cpu_active = np.minimum(cpu_cores, float(dev.cpu.online_cores))
+        return DecodeRun(
+            seconds=tuple(seconds.tolist()),
+            gpu_compute_frac=tuple(gpu_compute.tolist()),
+            gpu_busy_frac=tuple(gpu_busy.tolist()),
+            mem_bw_frac=tuple(mem_bw_frac.tolist()),
+            cpu_cores_active=tuple(cpu_active.tolist()),
+        )

@@ -1,0 +1,488 @@
+"""Fast-forward allocator trajectories: replay a whole batch in one step.
+
+Profiling the cold study path (``repro profile``) shows ~94% of
+simulated-run wall time is allocator churn: every decoded token drives
+``2 * n_layers`` ``realloc_grow`` calls through
+:class:`~repro.memsys.allocator.CachingAllocator`, each a best-fit scan
+plus coalescing bookkeeping.  None of that work depends on simulated
+*time* — the allocator op stream of one executor batch is a pure
+function of (allocator state, batch geometry).  This module exploits
+that:
+
+- :func:`state_fingerprint` captures the exact allocator state as a
+  hashable tuple (per-pool block layouts + capacity/GC knobs + counters
+  that feed GC decisions).
+- :class:`AllocatorMirror` replays the allocator's semantics — 512 B
+  rounding, pooled segments, best-fit with the same (size, pool
+  position, offset) tie-break, remainder splitting, free coalescing,
+  GC-threshold / dead-cap / OOM-retry reclaim — on an indexed copy
+  where best-fit is a ``bisect`` instead of a scan.
+- :func:`TrajectoryCache.delta_for` simulates one batch's entire op
+  stream (:class:`StreamSpec`) on a mirror and memoizes the resulting
+  :class:`TrajectoryDelta` by ``(fingerprint, stream)``.  Because the
+  measurement protocol replays identical batches ``warmup + n_runs``
+  times — and study sweeps repeat (model, precision, batch, length)
+  combinations across power modes — almost every batch after the first
+  is a cache hit applied in O(segments) instead of O(tokens * layers).
+
+A batch's stream is *net-zero*: everything it allocates, it frees.  Two
+structural invariants make the delta exact: the allocator never mutates
+used blocks (weights are untouched), and free space is always maximal
+(no two adjacent free blocks), so freeing everything a batch allocated
+restores every surviving pre-batch segment to its exact block layout.
+The only lasting effects are reclaimed segments, surviving new (fully
+free) segments, counter/watermark updates — precisely what
+:class:`TrajectoryDelta` records and :func:`apply_delta` applies.
+
+Bit-exactness is property-tested differentially against the real
+allocator in ``tests/memsys/test_fastpath.py`` and end-to-end in
+``tests/engine/test_fast_forward.py``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import OutOfMemoryError
+from repro.memsys.allocator import (
+    LARGE_ROUND,
+    LARGE_SEGMENT_MIN,
+    ROUND_SMALL,
+    SMALL_LARGE_THRESHOLD,
+    SMALL_SEGMENT,
+    CachingAllocator,
+    _round_up,
+    _Segment,
+)
+
+_POOLS = ("small", "large")
+
+
+def state_fingerprint(allocator: CachingAllocator) -> tuple:
+    """Hashable exact snapshot of everything that determines how the
+    allocator responds to a future operation stream.
+
+    Includes ``stats.allocated`` (not derivable from the layout alone —
+    sub-512 B remainders absorbed into used blocks make block sizes
+    exceed their rounded accounting) because the GC free-fraction test
+    reads it.
+    """
+    layout = tuple(
+        tuple(
+            (seg.size, tuple((b.offset, b.size, b.free) for b in seg.blocks))
+            for seg in allocator._pools[pool]
+        )
+        for pool in _POOLS
+    )
+    return (
+        layout,
+        allocator.capacity,
+        allocator.gc_threshold,
+        allocator.dead_cap_bytes,
+        allocator.stats.allocated,
+        allocator.stats.reserved,
+        allocator._dead_bytes,
+    )
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """The allocator-visible operation stream of one executor batch.
+
+    Mirrors :meth:`~repro.engine.executor.BatchExecutor.run` exactly:
+    workspace+activation alloc, ``2 * n_layers`` KV prefill allocs, an
+    optional eager-score buffer, then per decoded token the in-place
+    ``realloc_grow`` of every KV tensor (dynamic mode) followed by the
+    eager buffer's free-then-alloc, and finally-ordered cleanup (eager,
+    KV handles in list order, workspace).
+    """
+
+    workspace_bytes: int
+    n_kv_tensors: int
+    kv_prefill_bytes: int
+    #: Per-token per-tensor realloc size (``()`` for static KV).
+    kv_step_bytes: Tuple[int, ...]
+    eager_prefill_bytes: Optional[int]
+    #: Per-token eager-score buffer size (``()`` when eager is off).
+    eager_step_bytes: Tuple[int, ...]
+    n_tokens: int
+
+
+@dataclass(frozen=True)
+class TrajectoryDelta:
+    """Net allocator effect of one batch, applied in O(segments).
+
+    ``oom`` is ``None`` for a clean batch, ``("setup", 0)`` when the
+    workspace/KV-prefill/eager setup allocations fail, or
+    ``("decode", j)`` when token ``j`` (0-based) fails mid-decode.
+    """
+
+    oom: Optional[Tuple[str, int]]
+    #: Per pool (small, large): indices of pre-batch segments reclaimed.
+    removed: Tuple[Tuple[int, ...], Tuple[int, ...]]
+    #: Per pool: sizes of surviving new segments, in creation order
+    #: (they are fully free at batch end — the stream is net-zero).
+    added: Tuple[Tuple[int, ...], Tuple[int, ...]]
+    n_allocs: int
+    n_segment_allocs: int
+    n_reclaims: int
+    n_oom_retries: int
+    #: Absolute high-water marks reached during the batch.
+    peak_allocated: int
+    peak_reserved: int
+    reserved_end: int
+    dead_bytes_end: int
+
+
+def apply_delta(allocator: CachingAllocator, delta: TrajectoryDelta) -> None:
+    """Apply a memoized batch trajectory to the real allocator."""
+    for pool, removed, added in zip(_POOLS, delta.removed, delta.added):
+        segs = allocator._pools[pool]
+        if removed:
+            drop = set(removed)
+            segs = [s for i, s in enumerate(segs) if i not in drop]
+        for size in added:
+            segs.append(_Segment(size=size, pool=pool))
+        allocator._pools[pool] = segs
+    st = allocator.stats
+    st.n_allocs += delta.n_allocs
+    st.n_segment_allocs += delta.n_segment_allocs
+    st.n_reclaims += delta.n_reclaims
+    st.n_oom_retries += delta.n_oom_retries
+    st.reserved = delta.reserved_end
+    if delta.peak_allocated > st.peak_allocated:
+        st.peak_allocated = delta.peak_allocated
+    if delta.peak_reserved > st.peak_reserved:
+        st.peak_reserved = delta.peak_reserved
+    allocator._dead_bytes = delta.dead_bytes_end
+
+
+class _MirrorSegment:
+    """Interval view of one segment: free spans by start/end offset plus
+    used spans by offset (used only to reconstruct fingerprints and to
+    answer the fully-free test in O(1))."""
+
+    __slots__ = ("seq", "size", "pool", "orig_index",
+                 "free_starts", "free_ends", "used_blocks")
+
+    def __init__(self, seq: int, size: int, pool: str,
+                 orig_index: Optional[int]):
+        self.seq = seq
+        self.size = size
+        self.pool = pool
+        self.orig_index = orig_index
+        self.free_starts: Dict[int, int] = {}  # start offset -> span size
+        self.free_ends: Dict[int, int] = {}    # end offset -> start offset
+        self.used_blocks: Dict[int, int] = {}  # start offset -> span size
+
+
+class AllocatorMirror:
+    """Bit-exact replay of :class:`CachingAllocator` on an indexed copy.
+
+    Best-fit: the real allocator scans pool segments in list order and
+    keeps the first strictly-smaller fitting block, i.e. it picks the
+    lexicographic minimum of ``(block size, segment position, block
+    offset)``.  The mirror keeps one sorted list per pool of
+    ``(size, segment seq, offset, segment)`` — pool lists are always
+    ordered by creation ``seq``, so ``bisect_left`` on ``(rounded, -1,
+    -1)`` lands on exactly that minimum.
+    """
+
+    __slots__ = ("capacity", "gc_threshold", "dead_cap_bytes",
+                 "allocated", "reserved", "dead_bytes",
+                 "peak_allocated", "peak_reserved",
+                 "n_allocs", "n_segment_allocs", "n_reclaims",
+                 "n_oom_retries", "pools", "index", "_seq", "_n_orig")
+
+    def __init__(self, allocator: CachingAllocator):
+        self.capacity = allocator.capacity
+        self.gc_threshold = allocator.gc_threshold
+        self.dead_cap_bytes = allocator.dead_cap_bytes
+        st = allocator.stats
+        self.allocated = st.allocated
+        self.reserved = st.reserved
+        self.dead_bytes = allocator._dead_bytes
+        self.peak_allocated = st.allocated
+        self.peak_reserved = st.reserved
+        self.n_allocs = 0
+        self.n_segment_allocs = 0
+        self.n_reclaims = 0
+        self.n_oom_retries = 0
+        self._seq = 0
+        self.pools: Dict[str, List[_MirrorSegment]] = {p: [] for p in _POOLS}
+        self.index: Dict[str, list] = {p: [] for p in _POOLS}
+        self._n_orig: Dict[str, int] = {}
+        for pool in _POOLS:
+            idx = self.index[pool]
+            for i, seg in enumerate(allocator._pools[pool]):
+                m = _MirrorSegment(self._seq, seg.size, pool, i)
+                self._seq += 1
+                for b in seg.blocks:
+                    if b.free:
+                        m.free_starts[b.offset] = b.size
+                        m.free_ends[b.offset + b.size] = b.offset
+                        idx.append((b.size, m.seq, b.offset, m))
+                    else:
+                        m.used_blocks[b.offset] = b.size
+                self.pools[pool].append(m)
+            self._n_orig[pool] = len(self.pools[pool])
+            idx.sort()
+
+    # -- operations ---------------------------------------------------------
+    def alloc(self, nbytes: int) -> tuple:
+        rounded = _round_up(int(nbytes), ROUND_SMALL)
+        pool = "small" if rounded < SMALL_LARGE_THRESHOLD else "large"
+        idx = self.index[pool]
+        i = bisect_left(idx, (rounded, -1, -1))
+        if i < len(idx):
+            size, _, offset, seg = idx.pop(i)
+            del seg.free_starts[offset]
+            del seg.free_ends[offset + size]
+        else:
+            seg = self._new_segment(rounded, pool)
+            size, offset = seg.size, 0
+        if not seg.used_blocks:
+            self.dead_bytes -= seg.size
+        remainder = size - rounded
+        if remainder >= ROUND_SMALL:
+            used_size = rounded
+            roff = offset + rounded
+            seg.free_starts[roff] = remainder
+            seg.free_ends[offset + size] = roff
+            insort(idx, (remainder, seg.seq, roff, seg))
+        else:
+            # Too small to track separately: absorbed into the used span.
+            used_size = size
+        seg.used_blocks[offset] = used_size
+        self.allocated += rounded
+        self.n_allocs += 1
+        if self.allocated > self.peak_allocated:
+            self.peak_allocated = self.allocated
+        return (seg, offset, used_size, rounded)
+
+    def free(self, handle: tuple) -> None:
+        seg, offset, used_size, rounded = handle
+        del seg.used_blocks[offset]
+        idx = self.index[seg.pool]
+        start = offset
+        size = used_size
+        end = offset + used_size
+        right = seg.free_starts.pop(end, None)
+        if right is not None:
+            del seg.free_ends[end + right]
+            self._index_remove(idx, right, seg.seq, end)
+            size += right
+            end += right
+        left_start = seg.free_ends.pop(offset, None)
+        if left_start is not None:
+            left_size = seg.free_starts.pop(left_start)
+            self._index_remove(idx, left_size, seg.seq, left_start)
+            start = left_start
+            size += left_size
+        seg.free_starts[start] = size
+        seg.free_ends[start + size] = start
+        insort(idx, (size, seg.seq, start, seg))
+        if not seg.used_blocks:
+            self.dead_bytes += seg.size
+        self.allocated -= rounded
+        self._maybe_gc()
+
+    def realloc_grow(self, handle: tuple, nbytes: int) -> tuple:
+        # Alloc-new-then-free-old, like the real allocator: the OOM (if
+        # any) fires before the old handle is released.
+        new = self.alloc(nbytes)
+        self.free(handle)
+        return new
+
+    # -- internals ----------------------------------------------------------
+    @staticmethod
+    def _index_remove(idx: list, size: int, seq: int, offset: int) -> None:
+        i = bisect_left(idx, (size, seq, offset))
+        del idx[i]
+
+    def _new_segment(self, rounded: int, pool: str) -> _MirrorSegment:
+        if pool == "small":
+            size = SMALL_SEGMENT
+        else:
+            size = max(LARGE_SEGMENT_MIN, _round_up(rounded, LARGE_ROUND))
+        if self.reserved + size > self.capacity:
+            self.n_oom_retries += 1
+            self._reclaim()
+            if self.reserved + size > self.capacity:
+                raise OutOfMemoryError(
+                    requested_bytes=size,
+                    available_bytes=self.capacity - self.reserved,
+                    context="caching allocator segment",
+                )
+        seg = _MirrorSegment(self._seq, size, pool, None)
+        self._seq += 1
+        self.pools[pool].append(seg)
+        self.dead_bytes += size  # fully free until the caller carves it
+        self.reserved += size
+        self.n_segment_allocs += 1
+        if self.reserved > self.peak_reserved:
+            self.peak_reserved = self.reserved
+        return seg
+
+    def _maybe_gc(self) -> None:
+        if self.reserved == 0:
+            return
+        if self.gc_threshold is not None:
+            free_frac = 1.0 - self.allocated / self.reserved
+            if free_frac > self.gc_threshold:
+                self._reclaim()
+                return
+        if self.dead_cap_bytes is not None and self.dead_bytes > self.dead_cap_bytes:
+            self._reclaim()
+
+    def _reclaim(self) -> None:
+        reclaimed = False
+        for pool in _POOLS:
+            idx = self.index[pool]
+            kept: List[_MirrorSegment] = []
+            for seg in self.pools[pool]:
+                if not seg.used_blocks:
+                    # Invariant: a segment with no used spans has exactly
+                    # one (coalesced) free span covering it.
+                    self.reserved -= seg.size
+                    reclaimed = True
+                    self._index_remove(idx, seg.size, seg.seq, 0)
+                else:
+                    kept.append(seg)
+            self.pools[pool] = kept
+        if reclaimed:
+            self.n_reclaims += 1
+        self.dead_bytes = 0
+
+    # -- views --------------------------------------------------------------
+    def fingerprint(self) -> tuple:
+        """Same format as :func:`state_fingerprint` (differential tests)."""
+        layout = tuple(
+            tuple(
+                (seg.size, tuple(sorted(
+                    [(off, sz, True) for off, sz in seg.free_starts.items()]
+                    + [(off, sz, False) for off, sz in seg.used_blocks.items()]
+                )))
+                for seg in self.pools[pool]
+            )
+            for pool in _POOLS
+        )
+        return (layout, self.capacity, self.gc_threshold,
+                self.dead_cap_bytes, self.allocated, self.reserved,
+                self.dead_bytes)
+
+    def delta(self, oom: Optional[Tuple[str, int]]) -> TrajectoryDelta:
+        removed = []
+        added = []
+        for pool in _POOLS:
+            surviving = {seg.orig_index for seg in self.pools[pool]
+                         if seg.orig_index is not None}
+            removed.append(tuple(i for i in range(self._n_orig[pool])
+                                 if i not in surviving))
+            added.append(tuple(seg.size for seg in self.pools[pool]
+                               if seg.orig_index is None))
+        return TrajectoryDelta(
+            oom=oom,
+            removed=(removed[0], removed[1]),
+            added=(added[0], added[1]),
+            n_allocs=self.n_allocs,
+            n_segment_allocs=self.n_segment_allocs,
+            n_reclaims=self.n_reclaims,
+            n_oom_retries=self.n_oom_retries,
+            peak_allocated=self.peak_allocated,
+            peak_reserved=self.peak_reserved,
+            reserved_end=self.reserved,
+            dead_bytes_end=self.dead_bytes,
+        )
+
+
+def simulate_stream(mirror: AllocatorMirror,
+                    stream: StreamSpec) -> Optional[Tuple[str, int]]:
+    """Run one batch's op stream on a mirror; returns the OOM marker.
+
+    Replays :meth:`BatchExecutor.run` exactly, including the partial
+    states an OOM leaves behind (a mid-``append_token`` failure keeps
+    the not-yet-grown handles; cleanup frees whatever is live, in the
+    executor's ``finally`` order).
+    """
+    oom: Optional[Tuple[str, int]] = None
+    ws = None
+    kv: List[tuple] = []
+    eager = None
+    try:
+        ws = mirror.alloc(stream.workspace_bytes)
+        for _ in range(stream.n_kv_tensors):
+            kv.append(mirror.alloc(stream.kv_prefill_bytes))
+        if stream.eager_prefill_bytes is not None:
+            eager = mirror.alloc(stream.eager_prefill_bytes)
+    except OutOfMemoryError:
+        oom = ("setup", 0)
+    if oom is None:
+        for j in range(stream.n_tokens):
+            try:
+                if stream.kv_step_bytes:
+                    per = stream.kv_step_bytes[j]
+                    for i in range(stream.n_kv_tensors):
+                        kv[i] = mirror.realloc_grow(kv[i], per)
+                if stream.eager_step_bytes:
+                    buf, eager = eager, None
+                    mirror.free(buf)
+                    eager = mirror.alloc(stream.eager_step_bytes[j])
+            except OutOfMemoryError:
+                oom = ("decode", j)
+                break
+    if eager is not None:
+        mirror.free(eager)
+    for h in kv:
+        mirror.free(h)
+    if ws is not None:
+        mirror.free(ws)
+    return oom
+
+
+class TrajectoryCache:
+    """Process-global LRU of batch trajectories.
+
+    Keys are ``(state_fingerprint(allocator), stream)`` — exact tuple
+    equality, so a hit can only ever replay the exact same trajectory.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        self.max_entries = max_entries
+        self._map: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def delta_for(self, allocator: CachingAllocator,
+                  stream: StreamSpec) -> TrajectoryDelta:
+        key = (state_fingerprint(allocator), stream)
+        delta = self._map.get(key)
+        if delta is not None:
+            self.hits += 1
+            self._map.move_to_end(key)
+            return delta
+        self.misses += 1
+        mirror = AllocatorMirror(allocator)
+        oom = simulate_stream(mirror, stream)
+        delta = mirror.delta(oom)
+        self._map[key] = delta
+        if len(self._map) > self.max_entries:
+            self._map.popitem(last=False)
+        return delta
+
+    def clear(self) -> None:
+        self._map.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+#: Shared across all executors in the process: study sweeps repeat the
+#: same (model, precision, batch, length) geometry across power modes
+#: and replayed runs, and those trajectories are identical.
+TRAJECTORY_CACHE = TrajectoryCache()

@@ -1,0 +1,58 @@
+"""The `repro profile` entry point and its deterministic report."""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.core.profile import (
+    ProfileReport,
+    ProfileRow,
+    default_profile_specs,
+    profile_specs,
+)
+
+
+def test_profile_specs_produces_sorted_repo_relative_report():
+    specs = default_profile_specs(["MS-Phi2"], n_runs=1)
+    report = profile_specs(specs, top=15)
+    assert isinstance(report, ProfileReport)
+    assert report.n_specs == len(specs) == 2
+    assert 0 < len(report.rows) <= 15
+    assert report.total_calls > 0 and report.total_seconds > 0
+
+    # Rows sorted by cumulative time, descending; ties broken by name so
+    # the ordering is stable across runs of the same build.
+    cums = [r.cumtime for r in report.rows]
+    assert cums == sorted(cums, reverse=True)
+    # Repo files print relative to src/ — no machine-specific prefixes.
+    repro_rows = [r for r in report.rows if r.where.startswith("repro/")]
+    assert repro_rows, "expected repro-relative rows near the top"
+    assert not any(r.where.startswith("/") for r in report.rows)
+    assert any("run_experiment" in r.where for r in report.rows)
+
+    text = report.format()
+    assert "cProfile-instrumented" in text.splitlines()[0]
+    assert len(text.splitlines()) == 2 + len(report.rows)
+
+
+def test_report_rows_have_structured_view():
+    row = ProfileRow(ncalls=3, tottime=0.5, cumtime=1.25,
+                     where="repro/x.py:1(f)")
+    assert row.as_row() == {"ncalls": 3, "tottime_s": 0.5,
+                            "cumtime_s": 1.25, "function": "repro/x.py:1(f)"}
+
+
+def test_default_profile_specs_default_model():
+    specs = default_profile_specs(None, n_runs=2)
+    assert [s.model for s in specs] == ["llama", "llama"]
+    assert all(s.n_runs == 2 for s in specs)
+
+
+def test_profile_cli_smoke(tmp_path, capsys):
+    out_file = tmp_path / "profile.txt"
+    rc = main(["profile", "--models", "MS-Phi2", "--runs", "1",
+               "--top", "5", "--out", str(out_file)])
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "profile: 2 spec(s)" in printed
+    assert out_file.exists()
+    assert "cumtime" in out_file.read_text()

@@ -1,0 +1,148 @@
+"""Single-flight semantics of ResultCache.get_or_compute.
+
+The shared on-disk cache already tolerated concurrent writers (atomic
+rename).  The claim protocol adds a stronger guarantee: a *cold* key is
+computed exactly once fleet-wide — concurrent callers block on the
+winner's claim and read its result.  These tests race two real
+processes through one cold key, and exercise the crash-safety edges
+(dead-owner takeover, mtime-stale takeover, wait-timeout fallback).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+from repro.calibration.constants import CALIBRATED_COST_PARAMS
+from repro.core.cache import CacheStats, ResultCache, _claim_is_stale
+from repro.core.experiment import ExperimentSpec
+
+SPEC = ExperimentSpec(model="MS-Phi2", batch_size=2, n_runs=1)
+
+
+def _claim_path(cache: ResultCache, spec=SPEC):
+    key = cache.key_for(spec, CALIBRATED_COST_PARAMS)
+    path = cache._path_for(key)
+    return path.parent / f"{key}.claim"
+
+
+def _race_child(root, barrier, queue):
+    cache = ResultCache(root, version="test")
+    computed = []
+
+    def compute():
+        computed.append(os.getpid())
+        time.sleep(0.25)  # hold the claim long enough to force a wait
+        return {"payload": "sentinel"}
+
+    barrier.wait()
+    result = cache.get_or_compute(SPEC, CALIBRATED_COST_PARAMS, compute)
+    queue.put((os.getpid(), result, len(computed), cache.stats.as_row()))
+
+
+def test_two_processes_racing_cold_key_compute_once(tmp_path):
+    barrier = multiprocessing.Barrier(2)
+    queue = multiprocessing.Queue()
+    procs = [multiprocessing.Process(target=_race_child,
+                                     args=(str(tmp_path), barrier, queue))
+             for _ in range(2)]
+    for p in procs:
+        p.start()
+    rows = [queue.get(timeout=30) for _ in procs]
+    for p in procs:
+        p.join(timeout=30)
+        assert p.exitcode == 0
+
+    results = [r[1] for r in rows]
+    assert results[0] == results[1] == {"payload": "sentinel"}
+    n_computes = sorted(r[2] for r in rows)
+    assert n_computes == [0, 1], "exactly one process may compute"
+    stats = {r[2]: r[3] for r in rows}
+    # The winner: one miss, one put, no waiting.
+    assert stats[1]["puts"] == 1 and stats[1]["dedup_waits"] == 0
+    # The loser: a miss resolved by waiting on the winner's claim.
+    assert stats[0]["puts"] == 0 and stats[0]["dedup_waits"] == 1
+    # The claim is released once the result is published.
+    cache = ResultCache(str(tmp_path), version="test")
+    assert not _claim_path(cache).exists()
+
+
+def test_winner_removes_claim_and_populates(tmp_path):
+    cache = ResultCache(str(tmp_path), version="test")
+    calls = []
+    out = cache.get_or_compute(SPEC, CALIBRATED_COST_PARAMS,
+                               lambda: calls.append(1) or {"v": 7})
+    assert out == {"v": 7} and calls == [1]
+    assert not _claim_path(cache).exists()
+    assert cache.stats.misses == 1 and cache.stats.puts == 1
+    # Second call is a plain hit: no compute, no claim.
+    out2 = cache.get_or_compute(SPEC, CALIBRATED_COST_PARAMS,
+                                lambda: calls.append(2) or {"v": 8})
+    assert out2 == {"v": 7} and calls == [1]
+    assert cache.stats.hits == 1
+
+
+def _exit_immediately():
+    pass
+
+
+def test_dead_owner_claim_is_taken_over(tmp_path):
+    cache = ResultCache(str(tmp_path), version="test")
+    claim = _claim_path(cache)
+    claim.parent.mkdir(parents=True, exist_ok=True)
+    # A claim owned by a pid that no longer exists.
+    p = multiprocessing.Process(target=_exit_immediately)
+    p.start()
+    dead_pid = p.pid
+    p.join()
+    claim.write_text(str(dead_pid))
+    assert _claim_is_stale(claim, claim_stale_s=300.0)
+
+    out = cache.get_or_compute(SPEC, CALIBRATED_COST_PARAMS,
+                               lambda: {"v": "recovered"})
+    assert out == {"v": "recovered"}
+    assert not claim.exists()
+
+
+def test_mtime_stale_claim_is_taken_over(tmp_path):
+    cache = ResultCache(str(tmp_path), version="test")
+    claim = _claim_path(cache)
+    claim.parent.mkdir(parents=True, exist_ok=True)
+    claim.write_text(str(os.getpid()))  # owner alive, but ancient
+    old = time.time() - 1000
+    os.utime(claim, (old, old))
+    assert _claim_is_stale(claim, claim_stale_s=300.0)
+    out = cache.get_or_compute(SPEC, CALIBRATED_COST_PARAMS,
+                               lambda: {"v": "took-over"},
+                               claim_stale_s=300.0)
+    assert out == {"v": "took-over"}
+
+
+def test_wait_timeout_computes_anyway(tmp_path):
+    cache = ResultCache(str(tmp_path), version="test")
+    claim = _claim_path(cache)
+    claim.parent.mkdir(parents=True, exist_ok=True)
+    claim.write_text(str(os.getpid()))  # live, fresh claim: a wedged owner
+    out = cache.get_or_compute(SPEC, CALIBRATED_COST_PARAMS,
+                               lambda: {"v": "gave-up-waiting"},
+                               wait_timeout_s=0.05)
+    assert out == {"v": "gave-up-waiting"}
+    assert cache.stats.puts == 1 and cache.stats.dedup_waits == 0
+
+
+def test_cache_stats_merge_snapshot_delta():
+    a = CacheStats(hits=2, misses=3, puts=1, dedup_waits=1)
+    before = a.snapshot()
+    assert before == a and before is not a
+    a.hits += 5
+    a.dedup_waits += 2
+    d = a.delta_since(before)
+    assert (d.hits, d.misses, d.puts, d.dedup_waits) == (5, 0, 0, 2)
+
+    total = CacheStats().merge(before).merge(d)
+    assert (total.hits, total.misses, total.puts, total.dedup_waits) == \
+        (7, 3, 1, 3)
+    assert total.lookups == 10 and total.hit_rate == 0.7
+    row = total.as_row()
+    assert row["dedup_waits"] == 3 and row["hit_rate"] == 0.7

@@ -126,6 +126,30 @@ def test_fast_forward_runs_fewer_events():
     assert fast == 2
 
 
+SPEC_CONFIGS = [
+    pytest.param({"kv_mode": "static"}, id="static-kv"),
+    pytest.param({"kv_mode": "static", "batch_size": 64}, id="static-big"),
+    pytest.param({"runtime": "gguf"}, id="gguf"),
+    pytest.param({"runtime": "gguf", "precision": Precision.INT4},
+                 id="gguf-int4"),
+    pytest.param({"runtime": "paged"}, id="paged"),
+    pytest.param({"runtime": "paged", "power_mode": "E"}, id="paged-mode-E"),
+]
+
+
+@pytest.mark.parametrize("overrides", SPEC_CONFIGS)
+def test_fast_forward_identical_across_runtimes_and_kv_modes(overrides):
+    """The fastpath only engages where it is provably exact (hf dynamic/
+    static KV on the caching allocator); every other backend must fall
+    back to the generic path — and all of them must stay bit-identical
+    to per-token stepping."""
+    kwargs = dict(model="Llama3", batch_size=4, n_runs=2)
+    kwargs.update(overrides)
+    spec = ExperimentSpec(**kwargs)
+    assert_identical(run_experiment(spec, fast_forward=False),
+                     run_experiment(spec, fast_forward=True))
+
+
 def test_run_experiment_fast_forward_flag_matches():
     spec = ExperimentSpec(model="Mistral-Base", precision=Precision.INT4,
                           batch_size=8, n_runs=2)
@@ -148,3 +172,71 @@ def test_serial_vs_parallel_study_identical():
     for a, b in zip(serial, parallel):
         assert_identical(a, b)
         assert a.as_row() == b.as_row()
+
+
+def test_mixed_grid_serial_parallel_vectorized_identical():
+    """Acceptance grid: backends x precision x power mode, OOM included.
+
+    Three executions of one mixed spec list must agree row-for-row:
+    per-token stepping (the ground truth), the serial fast-forward path
+    (vectorized decode + trajectory replay), and the process fan-out.
+    """
+    specs = [
+        ExperimentSpec(model="Llama3", batch_size=2, n_runs=1),
+        ExperimentSpec(model="Llama3", precision=Precision.INT8,
+                       kv_mode="static", batch_size=4, n_runs=1),
+        ExperimentSpec(model="MS-Phi2", power_mode="E", batch_size=2,
+                       n_runs=1),
+        ExperimentSpec(model="Llama3", runtime="gguf", batch_size=2,
+                       n_runs=1),
+        ExperimentSpec(model="Llama3", runtime="paged", batch_size=2,
+                       n_runs=1),
+        # Phi-2 at bs=32 / sl=1024 OOMs mid-decode on the 64 GB board.
+        ExperimentSpec(model="MS-Phi2", batch_size=32,
+                       gen=GenerationSpec(256, 768), n_runs=1),
+    ]
+    baseline = [run_experiment(s, fast_forward=False) for s in specs]
+    assert any(r.oom for r in baseline), "grid must include the OOM cell"
+    serial = run_specs(specs, jobs=1)
+    parallel = run_specs(specs, jobs=2)
+    for base, a, b in zip(baseline, serial, parallel):
+        assert_identical(base, a)
+        assert_identical(a, b)
+        assert a.as_row() == b.as_row()
+
+
+def test_fastpath_engages_and_matches_allocator_end_state():
+    """fast_forward=True must actually take the trajectory fastpath (not
+    silently fall back), and leave the allocator in the *exact* state
+    per-token stepping leaves it in."""
+    from repro.engine.executor import BatchExecutor
+    from repro.engine.kernels import StepTimer
+    from repro.engine.request import BatchRequest
+    from repro.engine.state import EngineState
+    from repro.memsys.allocator import CachingAllocator
+    from repro.memsys.fastpath import state_fingerprint
+    from repro.sim.environment import Environment
+
+    def drive(fast_forward):
+        env = Environment()
+        timer = StepTimer(get_model("Llama3"),
+                          get_device("jetson-orin-agx-64gb"), Precision.FP16)
+        alloc = CachingAllocator(int(60e9))
+        ex = BatchExecutor(timer, alloc, fast_forward=fast_forward)
+        gen = ex.run(env, BatchRequest(batch_size=2,
+                                       gen=GenerationSpec(8, 32)),
+                     EngineState())
+        try:
+            ev = next(gen)
+            while True:
+                env.run(until=ev)
+                ev = gen.send(ev._value)
+        except StopIteration:
+            pass
+        return ex, alloc
+
+    slow_ex, slow_alloc = drive(False)
+    fast_ex, fast_alloc = drive(True)
+    assert slow_ex.fastpath_batches == 0
+    assert fast_ex.fastpath_batches == 1
+    assert state_fingerprint(fast_alloc) == state_fingerprint(slow_alloc)

@@ -1,0 +1,255 @@
+"""Differential tests: AllocatorMirror vs the real CachingAllocator.
+
+The fast-forward trajectory machinery is only sound if the mirror is a
+*bit-exact* replay of the allocator — same best-fit choice, same
+rounding, same coalescing, same GC and OOM-retry decisions, in the same
+order.  These tests drive both implementations with identical operation
+streams (random fuzz plus the executor's structured batch stream) and
+compare full state fingerprints after every step.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.memsys.allocator import CachingAllocator
+from repro.memsys.fastpath import (
+    TRAJECTORY_CACHE,
+    AllocatorMirror,
+    StreamSpec,
+    TrajectoryCache,
+    apply_delta,
+    simulate_stream,
+    state_fingerprint,
+)
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+def _warmed_allocator(**kwargs) -> CachingAllocator:
+    """An allocator with live 'weights' plus cached free segments, so the
+    mirror starts from a non-trivial layout."""
+    alloc = CachingAllocator(**kwargs)
+    alloc.alloc(8 * MiB, tag="weights")
+    scratch = [alloc.alloc(n) for n in (3 * MiB, 700 * KiB, 64 * KiB, 5 * MiB)]
+    for h in scratch[::2]:
+        alloc.free(h)
+    return alloc
+
+
+GC_VARIANTS = [
+    pytest.param(dict(gc_threshold=0.5), id="gc-frac"),
+    pytest.param(dict(gc_threshold=None), id="gc-off"),
+    pytest.param(dict(gc_threshold=None, dead_cap_bytes=4 * MiB),
+                 id="dead-cap"),
+    pytest.param(dict(gc_threshold=0.9, dead_cap_bytes=16 * MiB),
+                 id="both-knobs"),
+]
+
+
+@pytest.mark.parametrize("knobs", GC_VARIANTS)
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_mirror_matches_real_allocator_step_by_step(seed, knobs):
+    rng = random.Random(seed)
+    real = _warmed_allocator(capacity_bytes=48 * MiB, **knobs)
+    mirror = AllocatorMirror(real)
+    assert mirror.fingerprint() == state_fingerprint(real)
+
+    live: List[Tuple[object, tuple]] = []  # (real handle, mirror handle)
+    for _ in range(300):
+        op = rng.random()
+        if op < 0.55 or not live:
+            if rng.random() < 0.5:
+                size = rng.randint(1, MiB - 1)          # small pool
+            else:
+                size = rng.randint(MiB, 6 * MiB)        # large pool
+            r_exc = m_exc = None
+            try:
+                rh = real.alloc(size)
+            except OutOfMemoryError as e:
+                r_exc = e
+            try:
+                mh = mirror.alloc(size)
+            except OutOfMemoryError as e:
+                m_exc = e
+            assert (r_exc is None) == (m_exc is None), \
+                f"OOM divergence on alloc({size})"
+            if r_exc is None:
+                live.append((rh, mh))
+            else:
+                assert r_exc.requested_bytes == m_exc.requested_bytes
+                assert r_exc.available_bytes == m_exc.available_bytes
+        elif op < 0.80:
+            rh, mh = live.pop(rng.randrange(len(live)))
+            real.free(rh)
+            mirror.free(mh)
+        else:
+            i = rng.randrange(len(live))
+            rh, mh = live[i]
+            grown = rh.requested + rng.randint(1, 512 * KiB)
+            r_exc = m_exc = None
+            try:
+                rh2 = real.realloc_grow(rh, grown)
+            except OutOfMemoryError as e:
+                r_exc = e
+            try:
+                mh2 = mirror.realloc_grow(mh, grown)
+            except OutOfMemoryError as e:
+                m_exc = e
+            assert (r_exc is None) == (m_exc is None)
+            if r_exc is None:
+                live[i] = (rh2, mh2)
+        assert mirror.fingerprint() == state_fingerprint(real)
+
+    # Counters the delta folds back must match the real deltas too.
+    st = real.stats
+    assert mirror.n_oom_retries == st.n_oom_retries
+    assert mirror.reserved == st.reserved
+    assert mirror.allocated == st.allocated
+    assert mirror.peak_allocated == st.peak_allocated
+    assert mirror.peak_reserved == st.peak_reserved
+
+
+def _replay_stream_real(alloc: CachingAllocator,
+                        stream: StreamSpec) -> Optional[Tuple[str, int]]:
+    """Execute a StreamSpec with real allocator calls, in the executor's
+    exact order (including OOM partial states and finally cleanup)."""
+    oom: Optional[Tuple[str, int]] = None
+    ws = None
+    kv = []
+    eager = None
+    try:
+        ws = alloc.alloc(stream.workspace_bytes)
+        for _ in range(stream.n_kv_tensors):
+            kv.append(alloc.alloc(stream.kv_prefill_bytes))
+        if stream.eager_prefill_bytes is not None:
+            eager = alloc.alloc(stream.eager_prefill_bytes)
+    except OutOfMemoryError:
+        oom = ("setup", 0)
+    if oom is None:
+        for j in range(stream.n_tokens):
+            try:
+                if stream.kv_step_bytes:
+                    per = stream.kv_step_bytes[j]
+                    for i in range(stream.n_kv_tensors):
+                        kv[i] = alloc.realloc_grow(kv[i], per)
+                if stream.eager_step_bytes:
+                    buf, eager = eager, None
+                    alloc.free(buf)
+                    eager = alloc.alloc(stream.eager_step_bytes[j])
+            except OutOfMemoryError:
+                oom = ("decode", j)
+                break
+    if eager is not None:
+        alloc.free(eager)
+    for h in kv:
+        alloc.free(h)
+    if ws is not None:
+        alloc.free(ws)
+    return oom
+
+
+def _batch_stream(n_tokens=12, eager=True) -> StreamSpec:
+    base = 256 * KiB
+    return StreamSpec(
+        workspace_bytes=2 * MiB,
+        n_kv_tensors=4,
+        kv_prefill_bytes=base,
+        kv_step_bytes=tuple(base + (j + 1) * 32 * KiB
+                            for j in range(n_tokens)),
+        eager_prefill_bytes=MiB if eager else None,
+        eager_step_bytes=(tuple(MiB + (j + 1) * 128 * KiB
+                                for j in range(n_tokens))
+                          if eager else ()),
+        n_tokens=n_tokens,
+    )
+
+
+@pytest.mark.parametrize("knobs", GC_VARIANTS)
+@pytest.mark.parametrize("eager", [True, False], ids=["eager", "no-eager"])
+def test_apply_delta_reproduces_real_end_state(knobs, eager):
+    stream = _batch_stream(eager=eager)
+    real = _warmed_allocator(capacity_bytes=64 * MiB, **knobs)
+    fast = _warmed_allocator(capacity_bytes=64 * MiB, **knobs)
+    assert state_fingerprint(real) == state_fingerprint(fast)
+
+    oom = _replay_stream_real(real, stream)
+    assert oom is None
+
+    cache = TrajectoryCache()
+    delta = cache.delta_for(fast, stream)
+    assert delta.oom is None
+    apply_delta(fast, delta)
+
+    assert state_fingerprint(fast) == state_fingerprint(real)
+    # Counter folding must match the real run too (peaks, op counts).
+    for attr in ("n_allocs", "n_segment_allocs", "n_reclaims",
+                 "n_oom_retries", "peak_allocated", "peak_reserved",
+                 "reserved"):
+        assert getattr(fast.stats, attr) == getattr(real.stats, attr), attr
+
+
+def test_apply_delta_reproduces_oom_end_state():
+    # Capacity sized so decode's growing eager buffers blow the budget
+    # mid-stream — both paths must OOM at the same token and leave
+    # identical end states after cleanup.
+    stream = StreamSpec(
+        workspace_bytes=2 * MiB,
+        n_kv_tensors=4,
+        kv_prefill_bytes=256 * KiB,
+        kv_step_bytes=tuple(256 * KiB + (j + 1) * 64 * KiB
+                            for j in range(40)),
+        eager_prefill_bytes=MiB,
+        eager_step_bytes=tuple(MiB * (j + 2) for j in range(40)),
+        n_tokens=40,
+    )
+    knobs = dict(capacity_bytes=24 * MiB, gc_threshold=0.5)
+    real = CachingAllocator(**knobs)
+    fast = CachingAllocator(**knobs)
+
+    oom = _replay_stream_real(real, stream)
+    assert oom is not None and oom[0] == "decode"
+
+    delta = TrajectoryCache().delta_for(fast, stream)
+    assert delta.oom == oom
+    apply_delta(fast, delta)
+    assert state_fingerprint(fast) == state_fingerprint(real)
+    assert fast.stats.n_oom_retries == real.stats.n_oom_retries
+
+
+def test_trajectory_cache_hits_on_repeat_state():
+    stream = _batch_stream()
+    cache = TrajectoryCache()
+    a = _warmed_allocator(capacity_bytes=64 * MiB)
+    d1 = cache.delta_for(a, stream)
+    assert (cache.hits, cache.misses) == (0, 1)
+    # Identical state + identical stream -> pure cache hit, same delta.
+    b = _warmed_allocator(capacity_bytes=64 * MiB)
+    d2 = cache.delta_for(b, stream)
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert d1 is d2
+    # A different state must miss (keys include the full fingerprint).
+    c = _warmed_allocator(capacity_bytes=64 * MiB)
+    c.alloc(MiB, tag="extra")
+    cache.delta_for(c, stream)
+    assert (cache.hits, cache.misses) == (1, 2)
+    assert len(cache) == 2
+
+
+def test_trajectory_cache_lru_bound_and_clear():
+    cache = TrajectoryCache(max_entries=3)
+    a = CachingAllocator(64 * MiB)
+    for n in range(1, 6):
+        cache.delta_for(a, _batch_stream(n_tokens=n))
+    assert len(cache) == 3
+    cache.clear()
+    assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+
+def test_process_global_cache_exists():
+    assert isinstance(TRAJECTORY_CACHE, TrajectoryCache)
