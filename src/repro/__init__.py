@@ -79,6 +79,15 @@ from repro.core import (
     seq_len_sweep,
 )
 from repro.errors import OutOfMemoryError, ReproError
+from repro.fairness import (
+    FairnessSpec,
+    Interaction,
+    TokenThrottle,
+    get_fair_scheduler,
+    list_fair_schedulers,
+    run_fairness,
+    session_workload,
+)
 from repro.faults import ChaosSpec, FaultSchedule, FaultScheduleSpec, run_chaos
 from repro.hardware import get_device
 from repro.kvtier import (
@@ -106,10 +115,12 @@ __all__ = [
     "ClusterReport",
     "EdgeCluster",
     "ExperimentSpec",
+    "FairnessSpec",
     "FaultSchedule",
     "FaultScheduleSpec",
     "FullStudyResults",
     "GenerationSpec",
+    "Interaction",
     "KvTierSpec",
     "MetricsRegistry",
     "NodeSpec",
@@ -124,6 +135,7 @@ __all__ = [
     "SLOSpec",
     "ServingEngine",
     "StudySpec",
+    "TokenThrottle",
     "__version__",
     "batch_quant_power_sweep",
     "batch_size_sweep",
@@ -133,9 +145,11 @@ __all__ = [
     "diurnal_workload",
     "get_backend",
     "get_device",
+    "get_fair_scheduler",
     "get_kv_policy",
     "get_model",
     "list_backends",
+    "list_fair_schedulers",
     "list_kv_policies",
     "multi_tenant_workload",
     "phase_breakdown",
@@ -146,12 +160,14 @@ __all__ = [
     "register_backend",
     "run_chaos",
     "run_experiment",
+    "run_fairness",
     "run_full_study",
     "run_kvtier",
     "run_specs",
     "runtime_comparison",
     "runtime_sweep",
     "seq_len_sweep",
+    "session_workload",
     "shared_prefix_workload",
     "write_chrome_trace",
     "write_metrics",

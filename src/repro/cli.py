@@ -322,6 +322,42 @@ def _cmd_kvtier(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fairness(args: argparse.Namespace) -> int:
+    from repro.fairness import (FairnessSpec, fairness_rows_csv,
+                                run_fairness)
+
+    def _names(text: str) -> tuple:
+        return tuple(v.strip() for v in text.split(",") if v.strip())
+
+    spec = FairnessSpec(
+        device=args.device,
+        model=args.model,
+        precision=args.precision,
+        runtimes=_names(args.runtimes),
+        kv_policies=_names(args.kv_policies),
+        schedulers=_names(args.schedulers),
+        mixes=_names(args.mixes),
+        routing=args.routing,
+        rate_per_s=args.rate,
+        n_interactions=args.interactions,
+        mean_turns=args.mean_turns,
+        max_turns=args.max_turns,
+        mean_think_time_s=args.think_time,
+        max_batch=args.max_batch,
+        throttle_rate=args.throttle_rate,
+        slo_ttft_s=args.slo_ttft,
+        seed=args.seed,
+    )
+    report = run_fairness(spec)
+    print(report.table())
+    print(f"cache_key={spec.cache_key()}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8", newline="") as fh:
+            fh.write(fairness_rows_csv(report))
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     import time
 
@@ -585,6 +621,40 @@ def build_parser() -> argparse.ArgumentParser:
     kvt.add_argument("--csv", default=None,
                      help="write the sweep rows as canonical CSV")
 
+    fair = sub.add_parser(
+        "fairness",
+        help="fair-serving sweep: scheduler x tenant-mix x runtime x kv")
+    fair.add_argument("--device", default="jetson-orin-agx-64gb")
+    fair.add_argument("--model", default="llama3.1-8b")
+    fair.add_argument("--precision", default="fp16")
+    fair.add_argument("--runtimes", default="hf-transformers",
+                      help="comma-separated runtime backends")
+    fair.add_argument("--kv-policies", default="sacrifice",
+                      help="comma-separated KV lifecycle policies")
+    fair.add_argument("--schedulers", default="fcfs,vtc,wsc",
+                      help="comma-separated queue disciplines")
+    fair.add_argument("--mixes", default="balanced,flood",
+                      help="comma-separated tenant mixes "
+                           "(balanced|flood)")
+    fair.add_argument("--routing", default="round-robin",
+                      help="routing policy for the fleet")
+    fair.add_argument("--rate", type=float, default=3.0,
+                      help="mean session arrival rate (sessions/s)")
+    fair.add_argument("--interactions", type=int, default=24,
+                      help="number of multi-turn sessions")
+    fair.add_argument("--mean-turns", type=float, default=3.0)
+    fair.add_argument("--max-turns", type=int, default=6)
+    fair.add_argument("--think-time", type=float, default=1.0,
+                      help="mean user think time between turns (s)")
+    fair.add_argument("--max-batch", type=int, default=2)
+    fair.add_argument("--throttle-rate", type=float, default=0.0,
+                      help="per-tenant token budget (tokens/s); 0 = off")
+    fair.add_argument("--slo-ttft", type=float, default=30.0,
+                      help="TTFT deadline the good-share metric uses (s)")
+    fair.add_argument("--seed", type=int, default=0)
+    fair.add_argument("--csv", default=None,
+                      help="write the sweep rows as canonical CSV")
+
     return parser
 
 
@@ -601,6 +671,7 @@ _COMMANDS = {
     "cluster": _cmd_cluster,
     "chaos": _cmd_chaos,
     "kvtier": _cmd_kvtier,
+    "fairness": _cmd_fairness,
 }
 
 

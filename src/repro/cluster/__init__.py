@@ -34,6 +34,7 @@ from repro.cluster.router import (
     EnergyAwareRouter,
     JoinShortestQueueRouter,
     LeastKVPressureRouter,
+    PrefixAffinityRouter,
     RoundRobinRouter,
     Router,
     SplitwiseRouter,
@@ -56,6 +57,7 @@ from repro.cluster.workload import (
     bursty_workload,
     diurnal_workload,
     multi_tenant_workload,
+    normalized_weights,
     poisson_workload,
     shared_prefix_workload,
 )
@@ -72,6 +74,7 @@ __all__ = [
     "ModeSwitch",
     "NodeSpec",
     "PowerModeAutoscaler",
+    "PrefixAffinityRouter",
     "RoundRobinRouter",
     "Router",
     "SLOSpec",
@@ -88,6 +91,7 @@ __all__ = [
     "list_policies",
     "max_min_share",
     "multi_tenant_workload",
+    "normalized_weights",
     "percentile",
     "poisson_workload",
     "shared_prefix_workload",

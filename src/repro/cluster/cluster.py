@@ -16,8 +16,9 @@ Build a heterogeneous fleet declaratively from :class:`NodeSpec` presets:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.node import ClusterNode
 from repro.cluster.router import Router, SplitwiseRouter, get_router
@@ -26,6 +27,9 @@ from repro.cluster.workload import ClusterRequest, as_cluster_requests
 from repro.engine.kernels import EngineCostParams
 from repro.engine.scheduler import ServeRequest
 from repro.errors import ConfigError, ExperimentError
+from repro.fairness.scheduler import get_fair_scheduler
+from repro.fairness.session import Interaction
+from repro.fairness.throttle import TokenThrottle
 from repro.faults.recovery import RetryBudget, RetryPolicy
 from repro.hardware import get_device
 from repro.models import get_model
@@ -54,6 +58,9 @@ class NodeSpec:
     #: Optional trigger-threshold override (preempt at this fraction of
     #: the KV budget; None keeps the policy's own trigger).
     kv_trigger: Optional[float] = None
+    #: Queue discipline for this node's admission queue
+    #: (``repro.fairness``): ``fcfs`` (default), ``vtc``, ``wsc``.
+    scheduler: str = "fcfs"
 
     def __post_init__(self) -> None:
         if self.max_batch < 1 or self.max_queue < 1:
@@ -64,6 +71,7 @@ class NodeSpec:
         from repro.kvtier.policy import get_kv_policy
 
         get_kv_policy(self.kv_policy)  # typed ConfigError likewise
+        get_fair_scheduler(self.scheduler)  # and again
 
     def resolved_kv_policy(self):
         """The policy instance this spec describes."""
@@ -88,6 +96,8 @@ class EdgeCluster:
         retry_backoff_s: float = 0.25,
         retry: Optional[RetryPolicy] = None,
         observer: Optional[Observer] = None,
+        throttle: Optional[TokenThrottle] = None,
+        tenant_weights: Optional[Dict[str, float]] = None,
     ):
         if not nodes:
             raise ConfigError("cluster needs at least one node")
@@ -97,6 +107,17 @@ class EdgeCluster:
         self.router = router
         self.env = env
         self.slo = slo or SLOSpec()
+        #: Per-tenant token-rate budget applied at injection (None = off).
+        self.throttle = throttle
+        #: Tenant weights the report's fairness columns normalize by.
+        self.tenant_weights = dict(tenant_weights) if tenant_weights else None
+        self.scheduler_name = self.nodes[0].scheduler.name
+        #: Multi-turn bookkeeping; ``run`` leaves both untouched.
+        self._session_hook = None
+        self._open_sessions = 0
+        #: The requests of the most recent ``run``/``run_interactions``
+        #: (conservation checks rebuild ledgers from these).
+        self.last_requests: List[ClusterRequest] = []
         #: Full policy; the legacy (max_retries, retry_backoff_s) pair
         #: seeds one with an uncapped-at-that-base exponential schedule.
         self.retry = retry or RetryPolicy(max_retries=max_retries,
@@ -128,6 +149,8 @@ class EdgeCluster:
         sample_period_s: float = 1.0,
         retry: Optional[RetryPolicy] = None,
         observer: Optional[Observer] = None,
+        throttle: Optional[TokenThrottle] = None,
+        tenant_weights: Optional[Dict[str, float]] = None,
         **router_kwargs,
     ) -> "EdgeCluster":
         """Instantiate devices from presets and wire the fleet together."""
@@ -145,11 +168,13 @@ class EdgeCluster:
                 power_model=shared_power, sample_period_s=sample_period_s,
                 obs=observer, backend=s.runtime,
                 kv_policy=s.resolved_kv_policy(),
+                scheduler=get_fair_scheduler(s.scheduler, tenant_weights),
             )
             for i, s in enumerate(specs)
         ]
         return cls(nodes, get_router(policy, **router_kwargs), env, slo=slo,
-                   retry=retry, observer=observer)
+                   retry=retry, observer=observer, throttle=throttle,
+                   tenant_weights=tenant_weights)
 
     def attach_autoscaler(self, autoscaler) -> None:
         """Register a power-mode autoscaler (started when ``run`` begins)."""
@@ -207,8 +232,7 @@ class EdgeCluster:
         if node is None:
             self._obs_reject(r, "no_decode_node")
             r.rejected = True
-            self._finished += 1
-            self._check_done()
+            self._finish_request(r)
             return
         transfer_start = self.env.now
         yield self.env.timeout(self.router.transfer_seconds(r, node))
@@ -221,12 +245,73 @@ class EdgeCluster:
         if not node.submit(r):
             self._obs_reject(r, "decode_refused")
             r.rejected = True
-            self._finished += 1
+            self._finish_request(r)
+
+    def _finish_request(self, r: ClusterRequest) -> None:
+        """One request left the system, completed or rejected."""
+        self._finished += 1
+        if self._session_hook is not None:
+            self._session_hook(r)
         self._check_done()
 
     def _check_done(self) -> None:
-        if self._finished >= self._n_injected and not self._done.triggered:
+        if (self._finished >= self._n_injected
+                and self._open_sessions == 0
+                and not self._done.triggered):
             self._done.succeed(None)
+
+    def _throttle_admit(self, r: ClusterRequest) -> bool:
+        """Charge the tenant's token budget; turn over-issued work away."""
+        if self.throttle is None:
+            return True
+        demand = r.input_tokens + r.output_tokens
+        if self.throttle.admit(r.tenant, demand, self.env.now):
+            return True
+        r.throttled = True
+        r.rejected = True
+        if self.obs.enabled:
+            self.obs.instant(kinds.TENANT_THROTTLE, cat=kinds.CAT_CLUSTER,
+                             track=f"req{r.req_id}", parent=r.obs_span,
+                             tenant=r.tenant, demand_tokens=demand)
+        self._obs_reject(r, "throttle")
+        return False
+
+    def _on_complete(self, r: ClusterRequest) -> None:
+        obs = self.obs
+        if obs.enabled:
+            obs.end(r.obs_span, outcome="ok", node=r.node_id)
+            r.obs_span = NO_SPAN
+            m = obs.metrics
+            m.counter("requests_completed_total").inc()
+            m.counter("tokens_total").inc(r.output_tokens)
+            if r.first_token_s is not None:
+                m.histogram("ttft_s").observe(r.first_token_s - r.arrival_s)
+            if r.finish_s is not None:
+                m.histogram("latency_s").observe(r.finish_s - r.arrival_s)
+        self._finish_request(r)
+
+    def _on_prefill_done(self, r: ClusterRequest) -> None:
+        self.env.process(self._transfer_then_decode(r),
+                         name=f"kv-transfer-{r.req_id}")
+
+    def _start_serving(self, injector) -> None:
+        """Wire node callbacks, start the injector, then the services."""
+        for n in self.nodes:
+            n.on_complete = self._on_complete
+            n.on_prefill_done = self._on_prefill_done
+            n.on_crash = self._requeue_orphans
+            n.sampler.start()
+        self.env.process(injector(), name="injector")
+        for svc in self._services:
+            svc.start()
+
+    def _stop_serving(self) -> None:
+        for n in self.nodes:
+            n.sampler.stop()
+        for svc in self._services:
+            svc.stop()
+        if self.obs.enabled:
+            self.obs.finish_open()
 
     def run(self, requests: Sequence[ServeRequest]) -> ClusterReport:
         """Serve the trace to completion; returns the cluster report."""
@@ -236,34 +321,10 @@ class EdgeCluster:
         env = self.env
         self._n_injected = len(reqs)
         self._finished = 0
+        self._open_sessions = 0
+        self._session_hook = None
         self._done = env.event()
         self._retry_budget = RetryBudget(self.retry.retry_budget)
-
-        obs = self.obs
-
-        def on_complete(r: ClusterRequest) -> None:
-            if obs.enabled:
-                obs.end(r.obs_span, outcome="ok", node=r.node_id)
-                r.obs_span = NO_SPAN
-                m = obs.metrics
-                m.counter("requests_completed_total").inc()
-                m.counter("tokens_total").inc(r.output_tokens)
-                if r.first_token_s is not None:
-                    m.histogram("ttft_s").observe(r.first_token_s - r.arrival_s)
-                if r.finish_s is not None:
-                    m.histogram("latency_s").observe(r.finish_s - r.arrival_s)
-            self._finished += 1
-            self._check_done()
-
-        def on_prefill_done(r: ClusterRequest) -> None:
-            env.process(self._transfer_then_decode(r),
-                        name=f"kv-transfer-{r.req_id}")
-
-        for n in self.nodes:
-            n.on_complete = on_complete
-            n.on_prefill_done = on_prefill_done
-            n.on_crash = self._requeue_orphans
-            n.sampler.start()
 
         def injector():
             for r in sorted(reqs, key=lambda x: (x.arrival_s, x.req_id)):
@@ -271,21 +332,98 @@ class EdgeCluster:
                 if delay > 0:
                     yield env.timeout(delay)
                 self._obs_request_start(r)
+                if not self._throttle_admit(r):
+                    self._finish_request(r)
+                    continue
                 env.process(self._admit_with_retry(r),
                             name=f"admit-{r.req_id}")
 
-        env.process(injector(), name="injector")
-        for svc in self._services:
-            svc.start()
+        self._start_serving(injector)
         env.run(until=self._done)
-        for n in self.nodes:
-            n.sampler.stop()
-        for svc in self._services:
-            svc.stop()
-        if obs.enabled:
-            obs.finish_open()
+        self._stop_serving()
+        self.last_requests = reqs
         return build_report(self.router.name, reqs, self.nodes, self.slo,
-                            makespan_s=env.now)
+                            makespan_s=env.now,
+                            scheduler=self.scheduler_name,
+                            tenant_weights=self.tenant_weights)
+
+    def run_interactions(
+            self, interactions: Sequence[Interaction]) -> ClusterReport:
+        """Serve multi-turn sessions to completion.
+
+        Each interaction's turns are staged: turn ``k+1`` enters only
+        after turn ``k`` finishes plus the user's think time, with the
+        cumulative context already folded into its token counts by
+        :func:`~repro.fairness.session.session_workload`.  A rejected
+        (or throttled) turn abandons the whole session — the user walks
+        away and every token already spent on it becomes waste in the
+        report's ledger.
+        """
+        if not interactions:
+            raise ExperimentError("empty interaction trace")
+        inters = list(interactions)
+        by_id = {i.interaction_id: i for i in inters}
+        if len(by_id) != len(inters):
+            raise ExperimentError("interaction ids must be unique")
+        env = self.env
+        reqs: List[ClusterRequest] = []
+        self._n_injected = 0
+        self._finished = 0
+        self._open_sessions = len(inters)
+        self._done = env.event()
+        self._retry_budget = RetryBudget(self.retry.retry_budget)
+        req_ids = itertools.count()
+
+        def inject_turn(inter: Interaction) -> None:
+            r = inter.next_request(next(req_ids), env.now)
+            reqs.append(r)
+            self._n_injected += 1
+            self._obs_request_start(r)
+            if not self._throttle_admit(r):
+                self._finish_request(r)
+                return
+            env.process(self._admit_with_retry(r), name=f"admit-{r.req_id}")
+
+        def stage_turn(inter: Interaction, think_s: float):
+            yield env.timeout(max(0.0, think_s))
+            inject_turn(inter)
+
+        def session_hook(r: ClusterRequest) -> None:
+            inter = by_id.get(r.interaction_id)
+            if inter is None:
+                return
+            if r.rejected:
+                inter.mark_abandoned()
+                self._open_sessions -= 1
+                return
+            nxt = inter.peek_turn()
+            if nxt is None:
+                self._open_sessions -= 1
+                return
+            env.process(stage_turn(inter, nxt.think_time_s),
+                        name=f"stage-{inter.interaction_id}-{inter.next_turn}")
+
+        self._session_hook = session_hook
+
+        def injector():
+            order = sorted(inters, key=lambda i: (i.arrival_s,
+                                                  i.interaction_id))
+            for inter in order:
+                delay = inter.arrival_s - env.now
+                if delay > 0:
+                    yield env.timeout(delay)
+                inject_turn(inter)
+
+        self._start_serving(injector)
+        env.run(until=self._done)
+        self._stop_serving()
+        self._session_hook = None
+        self.last_requests = reqs
+        return build_report(self.router.name, reqs, self.nodes, self.slo,
+                            makespan_s=env.now,
+                            scheduler=self.scheduler_name,
+                            interactions=inters,
+                            tenant_weights=self.tenant_weights)
 
     def _requeue_orphans(self, orphans: List[ClusterRequest]) -> None:
         """Crash handler: re-place the dead node's outstanding work.
@@ -299,8 +437,7 @@ class EdgeCluster:
             if r.requeues >= self.retry.max_requeues:
                 self._obs_reject(r, "requeue_cap")
                 r.rejected = True
-                self._finished += 1
-                self._check_done()
+                self._finish_request(r)
                 continue
             r.requeues += 1
             r.node_id = None
@@ -330,8 +467,7 @@ class EdgeCluster:
             yield self.env.timeout(self.retry.delay_s(attempt))
         self._obs_reject(r, "admission")
         r.rejected = True
-        self._finished += 1
-        self._check_done()
+        self._finish_request(r)
         # Generator must stay a generator even on the no-backoff path.
         if False:  # pragma: no cover
             yield

@@ -34,10 +34,11 @@ hook.  All of it is deterministic on the shared clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.backends.base import resolve_backend
 from repro.cluster.workload import ClusterRequest
+from repro.fairness.scheduler import get_fair_scheduler
 from repro.engine.kernels import EngineCostParams, StepCost
 from repro.engine.state import EngineState
 from repro.errors import ConfigError
@@ -132,6 +133,7 @@ class ClusterNode:
         obs: Optional[Observer] = None,
         backend=None,
         kv_policy=None,
+        scheduler=None,
     ):
         if max_batch < 1 or max_queue < 1:
             raise ConfigError("max_batch and max_queue must be >= 1")
@@ -194,6 +196,14 @@ class ClusterNode:
         #: Preemptions that dropped KV (any policy; includes swap-space-
         #: full fallbacks).
         self.kv_sacrifices = 0
+
+        #: Queue-scheduling discipline (``repro.fairness``): FCFS by
+        #: default — a bit-identical extraction of the historical
+        #: head-of-queue pop — or a fair policy (``vtc``, ``wsc``).
+        self.scheduler = get_fair_scheduler(scheduler)
+        #: Per-tenant decode-token production meter (counts every token
+        #: this node produced for the tenant, replays included).
+        self.tenant_served_tokens: Dict[str, int] = {}
 
         self.queue: List[ClusterRequest] = []
         self.active: List[ClusterRequest] = []
@@ -313,6 +323,7 @@ class ClusterNode:
             return False
         r.node_id = self.node_id
         self.queue.append(r)
+        self.scheduler.on_arrival(r, self.env.now)
         if self.obs.enabled:
             r.queue_span = self.obs.begin(
                 kinds.QUEUE, cat=kinds.CAT_REQUEST, track=f"req{r.req_id}",
@@ -414,6 +425,7 @@ class ClusterNode:
             self.radix.clear()
         self.active.clear()
         self.queue.clear()
+        self.scheduler.on_flush()
         self.state.set_idle()
         self._wake = None
         self.crash_log.append(CrashEpisode(down_s=self.env.now))
@@ -507,6 +519,8 @@ class ClusterNode:
             # Evictions re-enter at the queue head (they were already
             # admitted once); the depth cap only gates *new* arrivals.
             self.queue[0:0] = requeue
+            for r in requeue:
+                self.scheduler.on_arrival(r, self.env.now)
             if self.obs.enabled:
                 for r in requeue:
                     r.queue_span = self.obs.begin(
@@ -657,11 +671,27 @@ class ClusterNode:
         return joules, seconds
 
     # -- the serving loop --------------------------------------------------
+    def _next_candidate(self) -> Optional[ClusterRequest]:
+        """The queued request the scheduler would admit next."""
+        if not self.queue:
+            return None
+        return self.queue[self.scheduler.select_next(self.queue)]
+
     def _admit(self) -> List[ClusterRequest]:
+        """Admit scheduler-selected requests while the batch and KV
+        budget allow.
+
+        The scheduler picks *which* queued request each admission slot
+        goes to; admission still stops at the first selected candidate
+        that does not fit (head-of-line semantics relative to the
+        scheduler's order — under FCFS this is exactly the historical
+        ``queue[0]`` discipline, bit for bit).
+        """
         admitted = []
         limit = self.kv_policy.effective_budget(self.kv_budget)
         while self.queue and len(self.active) < self.max_batch:
-            need = self._kv_need(self.queue[0])
+            idx = self.scheduler.select_next(self.queue)
+            need = self._kv_need(self.queue[idx])
             if (self.kv_in_use + need > limit and self.radix is not None):
                 # Retained prefix blocks are the cache of last resort:
                 # give them back before refusing admission.
@@ -669,10 +699,20 @@ class ClusterNode:
                                    self.env.now)
             if self.kv_in_use + need > limit:
                 break
-            r = self.queue.pop(0)
+            r = self.queue.pop(idx)
+            self.scheduler.on_dequeue(r)
             self.active.append(r)
             admitted.append(r)
             if self.obs.enabled:
+                if idx:
+                    # Queue jumps are the fair-scheduling signal worth
+                    # tracing; FCFS never jumps, so legacy traces are
+                    # unchanged byte for byte.
+                    self.obs.instant(
+                        kinds.SCHED_SELECT, cat=kinds.CAT_CLUSTER,
+                        track=self.obs_track, req=r.req_id,
+                        tenant=r.tenant, scheduler=self.scheduler.name,
+                        queue_jump=idx)
                 self._obs_admitted(r)
         return admitted
 
@@ -755,6 +795,8 @@ class ClusterNode:
                     yield env.timeout(dur)
                     self.last_busy_s = env.now
                     self.prefilled_tokens += prefill_tokens
+                    self.scheduler.on_tokens_served(
+                        r, prefill_tokens=prefill_tokens)
                     r.prefill_end_s = env.now
                     if self.obs.enabled:
                         self.obs.complete(
@@ -769,8 +811,9 @@ class ClusterNode:
 
                 if not self.active:
                     self.state.set_idle()
-                    if (self.queue and self._kv_need(self.queue[0])
-                            <= self.kv_budget):
+                    head = self._next_candidate()
+                    if (head is not None
+                            and self._kv_need(head) <= self.kv_budget):
                         continue  # re-check admission (head now fits)
                     # Empty, or head-of-line blocked by shrunk KV budget:
                     # sleep until a submit/restore/degrade wakes us.
@@ -795,11 +838,16 @@ class ClusterNode:
                         batch=bs, context=context)
                 # Requests evicted mid-step (OOM pressure) left `active`
                 # and get no token from this step.
+                step_tenants = set()
                 for r in list(self.active):
                     r.generated += 1
                     r.last_token_s = env.now
                     r.energy_j += step_j / bs
                     self.served_tokens += 1
+                    self.scheduler.on_tokens_served(r, decode_tokens=1)
+                    self.tenant_served_tokens[r.tenant] = (
+                        self.tenant_served_tokens.get(r.tenant, 0) + 1)
+                    step_tenants.add(r.tenant)
                     if r.first_token_s is None:
                         r.first_token_s = env.now
                     if r.generated >= r.output_tokens:
@@ -811,6 +859,16 @@ class ClusterNode:
                         self.completed.append(r)
                         if self.on_complete is not None:
                             self.on_complete(r)
+                if self.obs.enabled and self.scheduler.name != "fcfs":
+                    # Per-tenant served-token counter series (sorted so
+                    # the trace stays byte-stable under PYTHONHASHSEED).
+                    # Fair-scheduler runs only: legacy FCFS traces keep
+                    # their exact historical record stream.
+                    for tenant in sorted(step_tenants):
+                        self.obs.counter(
+                            kinds.served_tokens_kind(tenant),
+                            self.tenant_served_tokens[tenant],
+                            track=self.obs_track)
                 # Optimistic (free-block) admission can overcommit: live
                 # KV grew this step and may now exceed the pool —
                 # preempt the youngest (vLLM recompute preemption).
@@ -827,6 +885,7 @@ class ClusterNode:
             "node": self.node_id,
             "device": self.device.name,
             "runtime": self.backend.name,
+            "scheduler": self.scheduler.name,
             "served_tokens": self.served_tokens,
             "prefilled_tokens": self.prefilled_tokens,
             "completed": len(self.completed),

@@ -13,6 +13,11 @@ Policies
 - :class:`EnergyAwareRouter` — lowest predicted J/token at the node's
   *current* power mode (from the calibrated power model), inflated by a
   load penalty so a single efficient node does not melt under queueing.
+- :class:`PrefixAffinityRouter` — multi-turn session turns follow their
+  shared prefix: route to the node whose radix cache already holds the
+  longest whole-block match (falling back to session stickiness, then
+  least-KV), so turn k+1 reuses turn k's context instead of
+  recomputing it.
 - :class:`SplitwiseRouter` — prefill/decode disaggregation: prompts go
   to compute-strong prefill nodes, decode to the rest, with the KV
   handed over across a link (see :mod:`repro.engine.splitwise` for the
@@ -133,6 +138,57 @@ class EnergyAwareRouter(Router):
         return min(ok, key=lambda n: (self.score(n), n.node_id))
 
 
+class PrefixAffinityRouter(Router):
+    """Send a session's turns to the node already holding its prefix.
+
+    Turn ``k+1``'s prompt extends turn ``k``'s prompt + output, so the
+    node that served turn ``k`` holds (in its radix cache, on the paged
+    runtime) exactly the KV this turn needs — any other placement
+    recomputes the whole context.  Scoring, in order:
+
+    1. largest whole-block radix hit on the request's ``prompt_ids``
+       (probed side-effect-free via
+       :meth:`~repro.kvtier.radix.RadixPrefixCache.peek`);
+    2. the node that last served this interaction, when no cache can
+       prove a hit (restarted or non-paged nodes);
+    3. least KV pressure, for session-less or first-turn requests.
+
+    Ties break on ``node_id``; the affinity map is per-router state, so
+    a fixed seed stays bit-reproducible.
+    """
+
+    name = "prefix-affinity"
+
+    def __init__(self) -> None:
+        #: interaction_id -> node_id of the last placement.
+        self._session_node: Dict[int, int] = {}
+
+    def _hit_tokens(self, request: ClusterRequest, node: ClusterNode) -> int:
+        if node.radix is None or request.prompt_ids is None:
+            return 0
+        matched = node.radix.peek(request.prompt_ids)
+        return node.radix.block_hit_tokens(matched)
+
+    def choose(self, request, nodes):
+        ok = self.eligible(request, nodes)
+        if not ok:
+            return None
+        iid = getattr(request, "interaction_id", None)
+        best = max(ok, key=lambda n: (self._hit_tokens(request, n),
+                                      -n.node_id))
+        if self._hit_tokens(request, best) <= 0:
+            best = None
+            if iid is not None and iid in self._session_node:
+                home = self._session_node[iid]
+                best = next((n for n in ok if n.node_id == home), None)
+            if best is None:
+                best = min(ok, key=lambda n: (n.kv_pressure, n.depth,
+                                              n.node_id))
+        if iid is not None:
+            self._session_node[iid] = best.node_id
+        return best
+
+
 class SplitwiseRouter(Router):
     """Prefill/decode disaggregation across the fleet.
 
@@ -201,6 +257,7 @@ _ROUTERS: Dict[str, type] = {
     JoinShortestQueueRouter.name: JoinShortestQueueRouter,
     LeastKVPressureRouter.name: LeastKVPressureRouter,
     EnergyAwareRouter.name: EnergyAwareRouter,
+    PrefixAffinityRouter.name: PrefixAffinityRouter,
     SplitwiseRouter.name: SplitwiseRouter,
 }
 

@@ -80,7 +80,7 @@ def max_min_share(values: Sequence[float]) -> float:
 
 @dataclass
 class TenantReport:
-    """Served volume and SLO outcome for one tenant."""
+    """Served volume, SLO outcome and token books for one tenant."""
 
     tenant: str
     injected: int = 0
@@ -89,6 +89,20 @@ class TenantReport:
     served_tokens: int = 0
     slo_met: int = 0
     p99_ttft_s: float = 0.0
+    # -- fairness ledger (repro.fairness); zero on fairness-free runs ----
+    #: Service weight the schedulers/throttle honoured for this tenant.
+    weight: float = 1.0
+    #: Requests (and their prompt+output demand) the per-tenant token
+    #: throttle turned away at injection.
+    throttled: int = 0
+    throttled_tokens: int = 0
+    #: Produced-but-useless tokens: preemption/crash replays, unfinished
+    #: requests, and turns of abandoned sessions.
+    wasted_tokens: int = 0
+    #: Served tokens of requests that met every SLO deadline.
+    good_tokens: int = 0
+    #: ``good_tokens`` over the tenant's admitted output demand.
+    slo_good_share: float = 0.0
 
     def as_row(self) -> Dict:
         return {
@@ -96,8 +110,11 @@ class TenantReport:
             "injected": self.injected,
             "completed": self.completed,
             "rejected": self.rejected,
+            "throttled": self.throttled,
             "served_tokens": self.served_tokens,
+            "wasted_tokens": self.wasted_tokens,
             "slo_met": self.slo_met,
+            "slo_good_share": round(self.slo_good_share, 3),
             "p99_ttft_s": round(self.p99_ttft_s, 2),
         }
 
@@ -155,6 +172,21 @@ class ClusterReport:
     prefix_hit_tokens: int = 0
     #: Fraction of prefix-cache lookups that reused >= 1 full block.
     prefix_hit_rate: float = 0.0
+    # -- fairness (repro.fairness); defaults on fairness-free runs ------
+    #: Queue-scheduling discipline the nodes served under.
+    scheduler: str = "fcfs"
+    #: Requests (and demand tokens) the per-tenant throttle turned away.
+    throttled: int = 0
+    throttled_tokens: int = 0
+    #: Fleet-wide produced-but-useless tokens (see TenantReport).
+    wasted_tokens: int = 0
+    #: Jain's index over per-tenant SLO-good token shares — the token-
+    #: level fairness metric (the request-count ``jains_index`` cannot
+    #: separate schedulers once every request eventually completes).
+    jain_tokens: float = 1.0
+    #: Multi-turn sessions injected / abandoned (0 on single-shot runs).
+    interactions: int = 0
+    abandoned_interactions: int = 0
     tenants: List[TenantReport] = field(default_factory=list)
     node_rows: List[Dict] = field(default_factory=list)
     requests: List[ClusterRequest] = field(default_factory=list)
@@ -173,6 +205,12 @@ class ClusterReport:
             "fleet_energy_j": round(self.fleet_energy_j, 1),
             "j_per_token": round(self.j_per_token, 3),
             "jain": round(self.jains_index, 3),
+            # Fairness columns are always present likewise: FCFS, zero
+            # throttling and zero waste on fairness-free runs.
+            "scheduler": self.scheduler,
+            "jain_tokens": round(self.jain_tokens, 3),
+            "throttled": self.throttled,
+            "wasted_tokens": self.wasted_tokens,
             # Resilience columns are always present, so chaos and
             # fault-free CSVs stay schema-compatible.
             "availability": round(self.availability, 4),
@@ -196,8 +234,18 @@ def build_report(
     nodes: Sequence[ClusterNode],
     slo: SLOSpec,
     makespan_s: float,
+    scheduler: str = "fcfs",
+    interactions: Optional[Sequence] = None,
+    tenant_weights: Optional[Dict[str, float]] = None,
 ) -> ClusterReport:
-    """Fold per-request outcomes and node telemetry into one report."""
+    """Fold per-request outcomes and node telemetry into one report.
+
+    ``interactions`` (multi-turn runs) supplies the abandoned-session
+    set for the wasted-token ledger; ``tenant_weights`` annotates the
+    per-tenant rows with the weights the schedulers honoured.
+    """
+    from repro.fairness.accounting import build_ledger
+
     done = [r for r in requests if r.finish_s is not None]
     rejected = [r for r in requests if r.rejected]
     ttfts = [r.ttft_s for r in done if r.ttft_s is not None]
@@ -229,6 +277,26 @@ def build_report(
                 tenant_ttfts.setdefault(name, []).append(r.ttft_s)
     for name, t in tenants.items():
         t.p99_ttft_s = percentile(tenant_ttfts.get(name, []), 99)
+
+    # The token-level fairness ledger (repro.fairness): conservation-
+    # checked production/waste books per tenant, session abandonment
+    # included.  ``served_tokens`` comes from the ledger so tokens
+    # delivered to turns of dead sessions count as waste, not service.
+    abandoned_ids = frozenset(
+        i.interaction_id for i in (interactions or []) if i.abandoned)
+    ledgers = build_ledger(requests, abandoned_ids, slo_met=slo.met,
+                           weights=tenant_weights)
+    for name, t in tenants.items():
+        led = ledgers[name]
+        t.weight = led.weight
+        t.throttled = led.throttled
+        t.throttled_tokens = led.throttled_tokens
+        t.served_tokens = led.served_tokens
+        t.wasted_tokens = led.wasted_tokens
+        t.good_tokens = led.good_tokens
+        t.slo_good_share = led.slo_good_share
+    good_shares = [l.slo_good_share for l in ledgers.values()
+                   if l.admitted_output_tokens > 0]
 
     # Fairness over per-tenant *service rates* normalised by demand:
     # share = completed/injected, so a tenant whose whole traffic is
@@ -281,6 +349,13 @@ def build_report(
         prefix_hit_tokens=sum(s.hit_tokens for s in radix_stats),
         prefix_hit_rate=(prefix_hits / prefix_lookups
                          if prefix_lookups else 0.0),
+        scheduler=scheduler,
+        throttled=sum(l.throttled for l in ledgers.values()),
+        throttled_tokens=sum(l.throttled_tokens for l in ledgers.values()),
+        wasted_tokens=sum(l.wasted_tokens for l in ledgers.values()),
+        jain_tokens=jains_index(good_shares),
+        interactions=len(interactions or []),
+        abandoned_interactions=len(abandoned_ids),
         tenants=sorted(tenants.values(), key=lambda t: t.tenant),
         node_rows=[n.as_row() for n in nodes],
         requests=list(requests),

@@ -40,6 +40,13 @@ class ClusterRequest(ServeRequest):
     node_id: Optional[int] = None
     #: True once admission control gave up on the request.
     rejected: bool = False
+    #: True when the per-tenant token throttle turned the request away
+    #: before placement (a rejected-with-reason subset of ``rejected``).
+    throttled: bool = False
+    #: Multi-turn session membership (``repro.fairness``): the owning
+    #: interaction and this request's turn index within it.
+    interaction_id: Optional[int] = None
+    turn: int = 0
     #: Placement attempts that found no node with capacity.
     retries: int = 0
     #: Times the request was re-placed after losing its node (crash).
@@ -244,6 +251,26 @@ class TenantProfile:
         )
 
 
+def normalized_weights(tenants: Sequence[TenantProfile]) -> np.ndarray:
+    """Tenant draw probabilities from profile weights (sums to 1).
+
+    The single normalisation point shared by ``multi_tenant_workload``
+    and :func:`repro.fairness.session.session_workload`; raises a typed
+    :class:`~repro.errors.WorkloadError` on an empty mix or a
+    non-positive total (individual ``weight <= 0`` is already refused
+    by :class:`TenantProfile` at construction).
+    """
+    if not tenants:
+        raise WorkloadError("need at least one tenant profile")
+    weights = np.array([t.weight for t in tenants], dtype=float)
+    total = float(weights.sum())
+    if not total > 0 or not np.isfinite(total):
+        raise WorkloadError(
+            f"tenant weights must sum to a positive finite value, "
+            f"got {total!r}")
+    return weights / total
+
+
 #: A small default mix: chat (short in/medium out), summarisation
 #: (long in/short out) and batch analytics (long both ways).
 DEFAULT_TENANTS = (
@@ -271,8 +298,7 @@ def multi_tenant_workload(
     bursty, ``rate_per_s`` is the calm rate and ``rate_burst_per_s``
     defaults to 4x calm).
     """
-    if not tenants:
-        raise WorkloadError("need at least one tenant profile")
+    weights = normalized_weights(tenants)
     if arrivals == "poisson":
         base = poisson_workload(rate_per_s, n_requests, seed=seed,
                                 **arrival_kwargs)
@@ -284,8 +310,6 @@ def multi_tenant_workload(
         raise WorkloadError(f"unknown arrival process {arrivals!r}")
 
     rng = np.random.default_rng(seed + 1)
-    weights = np.array([t.weight for t in tenants], dtype=float)
-    weights /= weights.sum()
     out: List[ClusterRequest] = []
     for r in base:
         tenant = tenants[int(rng.choice(len(tenants), p=weights))]

@@ -269,13 +269,18 @@ class ContinuousBatchScheduler(_SchedulerBase):
     """
 
     def __init__(self, *args, paged: bool = False, block_tokens: int = 16,
-                 kv_policy=None, prefix_cache: bool = False, **kwargs):
+                 kv_policy=None, prefix_cache: bool = False,
+                 fair_scheduler=None, **kwargs):
         from repro.kvtier.policy import get_kv_policy
 
         super().__init__(*args, **kwargs)
         self.paged = paged
         self.block_tokens = block_tokens
         self.kv_policy = get_kv_policy(kv_policy)
+        #: Queue discipline over waiting arrivals (``repro.fairness``);
+        #: the default FCFS is bit-identical to the historical
+        #: pop-the-head admission order.
+        self.fair_scheduler = fair_scheduler
         if prefix_cache and not paged:
             raise ExperimentError(
                 "prefix_cache requires the paged block manager")
@@ -286,11 +291,13 @@ class ContinuousBatchScheduler(_SchedulerBase):
         self.prefix_stats = None
 
     def serve(self, requests: List[ServeRequest]) -> ServingReport:
+        from repro.fairness.scheduler import get_fair_scheduler
         from repro.kvtier.radix import RadixPrefixCache
         from repro.kvtier.swap import HostSwapSpace, swap_bandwidth_bytes_s
         from repro.memsys.allocator import CachingAllocator
         from repro.memsys.paged import PagedKVCache
 
+        fair = get_fair_scheduler(self.fair_scheduler)
         env = Environment()
         pending = sorted(requests, key=lambda x: x.arrival_s)
         arrived: List[ServeRequest] = []
@@ -384,14 +391,19 @@ class ContinuousBatchScheduler(_SchedulerBase):
                 # Pull arrivals up to the current time.
                 while next_idx < len(pending) and pending[next_idx].arrival_s <= env.now:
                     arrived.append(pending[next_idx])
+                    fair.on_arrival(pending[next_idx], env.now)
                     next_idx += 1
                 # Admit while capacity allows; newly admitted pay
                 # prefill (minus any shared prefix), swapped returnees
-                # pay their swap-in transfer instead.
+                # pay their swap-in transfer instead.  The fair
+                # scheduler picks who goes next (FCFS: the head).
                 admitted = []
-                while (arrived and len(active) < self.max_batch
-                       and can_admit(arrived[0])):
-                    r = arrived.pop(0)
+                while arrived and len(active) < self.max_batch:
+                    pick = fair.select_next(arrived)
+                    if not can_admit(arrived[pick]):
+                        break
+                    r = arrived.pop(pick)
+                    fair.on_dequeue(r)
                     active.append(r)
                     admitted.append(r)
                     if paged_cache is not None:
@@ -407,9 +419,11 @@ class ContinuousBatchScheduler(_SchedulerBase):
                         _, seconds = host.swap_in(r.req_id, swap_bw)
                         yield env.timeout(seconds)
                     else:
+                        charged = max(1, r.input_tokens
+                                      - r.prefix_cached_tokens)
                         yield env.timeout(self.timer.prefill(
-                            1, max(1, r.input_tokens - r.prefix_cached_tokens)
-                        ).seconds)
+                            1, charged).seconds)
+                        fair.on_tokens_served(r, prefill_tokens=charged)
 
                 if not active:
                     # Idle: jump to the next arrival.
@@ -456,6 +470,7 @@ class ContinuousBatchScheduler(_SchedulerBase):
                         continue  # preempted within this iteration
                     r.generated += 1
                     r.last_token_s = env.now
+                    fair.on_tokens_served(r, decode_tokens=1)
                     if paged_cache is not None:
                         while True:
                             try:
@@ -477,6 +492,8 @@ class ContinuousBatchScheduler(_SchedulerBase):
                             # Freed capacity: let preempted work retry,
                             # ahead of fresh arrivals.
                             arrived[0:0] = parked
+                            for p in parked:
+                                fair.on_arrival(p, env.now)
                             parked.clear()
                 if pending_transfer_s[0]:
                     # The bus time spent writing victims' KV host-side.

@@ -1,0 +1,196 @@
+"""Multi-turn sessions: Interactions of staged requests with context growth.
+
+Real conversational traffic is not independent single-shot requests: a
+user opens an *interaction*, and each turn's prompt carries the whole
+conversation so far (prior prompts plus the assistant's replies) plus
+the new user message.  :class:`Interaction` models exactly that — an
+ordered list of pre-materialised :class:`SessionTurn` templates whose
+prompt lengths grow cumulatively, staged one at a time: turn *k+1* is
+only injected after turn *k* completes and the user's think-time gap
+elapses (:meth:`~repro.cluster.cluster.EdgeCluster.run_interactions`
+drives the staging on the DES clock).
+
+Because each turn's ``prompt_ids`` extend the previous turn's prompt
+verbatim, session turns are natural shared-prefix sharers: on the paged
+backend the radix cache serves turn *k*'s context from the blocks turn
+*k-1* left behind — if the router lands the turn on the same node
+(:class:`~repro.cluster.router.PrefixAffinityRouter`).
+
+:func:`session_workload` generates a deterministic interaction trace
+over the existing :class:`~repro.cluster.workload.TenantProfile` mix,
+sharing the tenant-draw normalisation with ``multi_tenant_workload``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.workload import (
+    DEFAULT_TENANTS,
+    ClusterRequest,
+    TenantProfile,
+    normalized_weights,
+)
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class SessionTurn:
+    """One pre-materialised turn template of an interaction.
+
+    ``input_tokens`` is the *cumulative* prompt length this turn
+    submits (all prior turns' prompts and outputs plus
+    ``new_input_tokens`` of fresh user text); ``think_time_s`` is the
+    user gap between the previous turn's completion and this turn's
+    injection.
+    """
+
+    new_input_tokens: int
+    output_tokens: int
+    think_time_s: float
+    input_tokens: int
+    prompt_ids: Optional[Tuple[int, ...]] = None
+
+
+@dataclass
+class Interaction:
+    """An ordered multi-turn session owned by one tenant.
+
+    Turns are staged: :meth:`next_request` materialises one turn as a
+    :class:`~repro.cluster.workload.ClusterRequest` and advances the
+    cursor; the cluster injects the next turn only after the previous
+    one completes plus the think-time gap.  A rejected or throttled
+    turn abandons the whole session — every token already served to it
+    was wasted (the accounting ledger charges it as such).
+    """
+
+    interaction_id: int
+    tenant: str
+    arrival_s: float
+    turns: List[SessionTurn]
+    #: Index of the next turn to stage.
+    next_turn: int = 0
+    #: True once a turn was rejected/throttled: remaining turns never run.
+    abandoned: bool = False
+    #: The requests actually injected for this session, in turn order.
+    requests: List[ClusterRequest] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.turns:
+            raise WorkloadError("an interaction needs at least one turn")
+
+    @property
+    def has_next(self) -> bool:
+        return not self.abandoned and self.next_turn < len(self.turns)
+
+    @property
+    def completed(self) -> bool:
+        """Every turn injected and finished (never true once abandoned)."""
+        return (not self.abandoned
+                and self.next_turn >= len(self.turns)
+                and all(r.finish_s is not None for r in self.requests))
+
+    def peek_turn(self) -> Optional[SessionTurn]:
+        return self.turns[self.next_turn] if self.has_next else None
+
+    def next_request(self, req_id: int,
+                     arrival_s: float) -> Optional[ClusterRequest]:
+        """Materialise the next staged turn (None when exhausted)."""
+        turn = self.peek_turn()
+        if turn is None:
+            return None
+        r = ClusterRequest(
+            req_id=req_id, arrival_s=arrival_s,
+            input_tokens=turn.input_tokens,
+            output_tokens=turn.output_tokens,
+            prompt_ids=turn.prompt_ids,
+            tenant=self.tenant,
+            interaction_id=self.interaction_id,
+            turn=self.next_turn,
+        )
+        self.next_turn += 1
+        self.requests.append(r)
+        return r
+
+    def mark_abandoned(self) -> None:
+        self.abandoned = True
+
+
+def session_workload(
+    rate_per_s: float,
+    n_interactions: int,
+    tenants: Sequence[TenantProfile] = DEFAULT_TENANTS,
+    mean_turns: float = 3.0,
+    max_turns: int = 8,
+    mean_think_time_s: float = 2.0,
+    seed: int = 0,
+    with_prompt_ids: bool = True,
+) -> List[Interaction]:
+    """Seeded Poisson stream of multi-turn interactions over a tenant mix.
+
+    Interaction arrivals are Poisson at ``rate_per_s``; the owning
+    tenant is drawn from the normalised profile weights (the same
+    helper ``multi_tenant_workload`` uses).  Turn counts are
+    ``1 + Poisson(mean_turns - 1)`` clamped to ``max_turns``; per-turn
+    shapes come from the tenant's length profile and think times are
+    exponential with mean ``mean_think_time_s``.  With
+    ``with_prompt_ids`` each turn carries concrete token IDs extending
+    the previous turn's prompt (prior context plus synthetic assistant
+    output plus the new user text), so turns share radix prefixes.
+    """
+    if rate_per_s <= 0 or n_interactions < 1:
+        raise WorkloadError("need a positive rate and >= 1 interaction")
+    if mean_turns < 1 or max_turns < 1:
+        raise WorkloadError("need mean_turns >= 1 and max_turns >= 1")
+    if mean_think_time_s < 0:
+        raise WorkloadError("mean_think_time_s must be >= 0")
+    weights = normalized_weights(tenants)
+    rng = np.random.default_rng(seed)
+    t = 0.0
+    out: List[Interaction] = []
+    for i in range(n_interactions):
+        t += float(rng.exponential(1.0 / rate_per_s))
+        tenant = tenants[int(rng.choice(len(tenants), p=weights))]
+        n_turns = min(max_turns, 1 + int(rng.poisson(max(0.0, mean_turns - 1))))
+        turns: List[SessionTurn] = []
+        context = 0
+        ids: Tuple[int, ...] = ()
+        for k in range(n_turns):
+            new_in, new_out = tenant.sample_shape(rng)
+            think = (0.0 if k == 0 or mean_think_time_s == 0
+                     else float(rng.exponential(mean_think_time_s)))
+            if with_prompt_ids:
+                # This turn's prompt = full context so far + new user
+                # text; afterwards the (synthetic) assistant reply joins
+                # the context, so turn k+1 extends turn k's prompt AND
+                # its output — the natural radix-prefix chain.
+                ids = ids + tuple(
+                    int(v) for v in rng.integers(0, 32000, size=new_in))
+                prompt_ids: Optional[Tuple[int, ...]] = ids
+                ids = ids + tuple(
+                    int(v) for v in rng.integers(32000, 64000, size=new_out))
+            else:
+                prompt_ids = None
+            turns.append(SessionTurn(
+                new_input_tokens=new_in,
+                output_tokens=new_out,
+                think_time_s=think,
+                input_tokens=context + new_in,
+                prompt_ids=prompt_ids,
+            ))
+            context += new_in + new_out
+        out.append(Interaction(interaction_id=i, tenant=tenant.name,
+                               arrival_s=t, turns=turns))
+    return out
+
+
+def session_requests(interactions: Sequence[Interaction]
+                     ) -> List[ClusterRequest]:
+    """All requests injected so far across ``interactions`` (turn order)."""
+    out: List[ClusterRequest] = []
+    for inter in interactions:
+        out.extend(inter.requests)
+    return out

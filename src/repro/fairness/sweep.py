@@ -1,0 +1,216 @@
+"""The ``repro fairness`` sweep: scheduler × tenant-mix × runtime × kv.
+
+One spec describes a contended multi-turn serving scenario; the sweep
+replays the *same* deterministic session workload under every queue
+discipline, tenant mix, runtime backend and KV lifecycle policy, so the
+rows differ only in what the policy axes changed.  The adversarial
+``flood`` mix is the FairServe stress case: one tenant issues far more
+than its entitlement while equally-weighted polite tenants trickle in —
+FCFS lets the flood starve them, VTC/WSC do not, and the per-tenant
+``jain_tokens`` column shows the gap.
+
+Every row's token books are conservation-checked
+(:func:`~repro.fairness.accounting.conservation_violations`) and the
+whole grid is content-addressed (:func:`FairnessSpec.cache_key` folds
+:data:`~repro.fairness.scheduler.FAIRNESS_VERSION`) and
+bit-reproducible — the CI smoke job runs the sweep twice and diffs the
+CSV byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.cache import payload_fingerprint
+from repro.errors import ConfigError, ExperimentError
+from repro.fairness.scheduler import FAIRNESS_VERSION, get_fair_scheduler
+
+#: Named tenant mixes the sweep draws sessions from.  Profile weights
+#: set *arrival* share; the sweep always grants tenants *equal*
+#: fairness entitlement, so the ``flood`` tenant's 8x arrival share is
+#: exactly the over-issuing adversary fair schedulers exist to contain.
+TENANT_MIXES: Dict[str, Tuple] = {}
+
+
+def _init_mixes() -> None:
+    from repro.cluster.workload import TenantProfile
+
+    TENANT_MIXES["balanced"] = (
+        TenantProfile("chat", weight=1.0, mean_input_tokens=48,
+                      mean_output_tokens=96, cv_input=0.6, cv_output=0.7),
+        TenantProfile("summarize", weight=1.0, mean_input_tokens=256,
+                      mean_output_tokens=48, cv_input=0.4, cv_output=0.4),
+        TenantProfile("analytics", weight=1.0, mean_input_tokens=384,
+                      mean_output_tokens=128, cv_input=0.3, cv_output=0.3),
+    )
+    TENANT_MIXES["flood"] = (
+        TenantProfile("flood", weight=8.0, mean_input_tokens=192,
+                      mean_output_tokens=160, cv_input=0.2, cv_output=0.2),
+        TenantProfile("polite-a", weight=1.0, mean_input_tokens=48,
+                      mean_output_tokens=64, cv_input=0.5, cv_output=0.5),
+        TenantProfile("polite-b", weight=1.0, mean_input_tokens=48,
+                      mean_output_tokens=64, cv_input=0.5, cv_output=0.5),
+    )
+
+
+@dataclass(frozen=True)
+class FairnessSpec:
+    """One fairness sweep configuration (frozen, content-addressable)."""
+
+    device: str = "jetson-orin-agx-64gb"
+    model: str = "llama3.1-8b"
+    precision: str = "fp16"
+    runtimes: Tuple[str, ...] = ("hf-transformers",)
+    kv_policies: Tuple[str, ...] = ("sacrifice",)
+    schedulers: Tuple[str, ...] = ("fcfs", "vtc", "wsc")
+    mixes: Tuple[str, ...] = ("balanced", "flood")
+    routing: str = "round-robin"
+    rate_per_s: float = 3.0
+    n_interactions: int = 24
+    mean_turns: float = 3.0
+    max_turns: int = 6
+    mean_think_time_s: float = 1.0
+    #: Small on purpose: fairness only matters while work is queued.
+    max_batch: int = 2
+    #: Per-tenant token budget (tokens/s); 0 disables the throttle.
+    throttle_rate: float = 0.0
+    throttle_burst_s: float = 4.0
+    #: SLO deadlines the ``jain_tokens`` good-share metric scores by.
+    #: The TTFT deadline sits between the queue-jump TTFT a fair
+    #: scheduler buys a polite tenant (~10 s under the flood mix) and
+    #: the full-queue wait FCFS imposes (minutes), so the good-share
+    #: columns actually separate the disciplines.
+    slo_ttft_s: float = 30.0
+    slo_tpot_s: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.runtimes or not self.kv_policies:
+            raise ConfigError("sweep axes must be non-empty")
+        if not self.schedulers or not self.mixes:
+            raise ConfigError("sweep axes must be non-empty")
+        for s in self.schedulers:
+            get_fair_scheduler(s)  # typed error on unknown names
+        from repro.kvtier.policy import get_kv_policy
+
+        for p in self.kv_policies:
+            get_kv_policy(p)  # typed error likewise
+        if not TENANT_MIXES:
+            _init_mixes()
+        for m in self.mixes:
+            if m not in TENANT_MIXES:
+                raise ConfigError(
+                    f"unknown tenant mix {m!r}; "
+                    f"known: {', '.join(sorted(TENANT_MIXES))}")
+        if self.throttle_rate < 0:
+            raise ConfigError("throttle_rate must be >= 0")
+
+    def cache_key(self) -> str:
+        """Content address folding the fairness semantics version."""
+        payload = dataclasses.asdict(self)
+        payload["fairness_version"] = FAIRNESS_VERSION
+        return payload_fingerprint(payload)
+
+
+@dataclass
+class FairnessReport:
+    """All sweep rows for one spec (deterministic row order)."""
+
+    spec: FairnessSpec
+    rows: List[Dict] = dataclasses.field(default_factory=list)
+
+    def table(self) -> str:
+        """Aligned text table of the rows (stable formatting)."""
+        if not self.rows:
+            return ""
+        cols = list(self.rows[0])
+        widths = {c: max(len(c), *(len(str(r[c])) for r in self.rows))
+                  for c in cols}
+        lines = ["  ".join(c.ljust(widths[c]) for c in cols)]
+        for r in self.rows:
+            lines.append("  ".join(str(r[c]).ljust(widths[c]) for c in cols))
+        return "\n".join(lines)
+
+
+def _run_point(spec: FairnessSpec, scheduler: str, mix: str,
+               runtime: str, kv_policy: str) -> Dict:
+    from repro.cluster import EdgeCluster, NodeSpec
+    from repro.cluster.slo import SLOSpec
+    from repro.fairness.accounting import (build_ledger,
+                                           conservation_violations)
+    from repro.fairness.session import session_workload
+    from repro.fairness.throttle import TokenThrottle
+
+    tenants = TENANT_MIXES[mix]
+    weights = {t.name: 1.0 for t in tenants}
+    throttle = None
+    if spec.throttle_rate > 0:
+        throttle = TokenThrottle(spec.throttle_rate,
+                                 burst_s=spec.throttle_burst_s)
+    cluster = EdgeCluster.build(
+        [NodeSpec(spec.device, max_batch=spec.max_batch, runtime=runtime,
+                  kv_policy=kv_policy, scheduler=scheduler)],
+        model=spec.model, precision=spec.precision, policy=spec.routing,
+        slo=SLOSpec(ttft_s=spec.slo_ttft_s, tpot_s=spec.slo_tpot_s),
+        throttle=throttle, tenant_weights=weights,
+    )
+    interactions = session_workload(
+        spec.rate_per_s, spec.n_interactions, tenants=tenants,
+        mean_turns=spec.mean_turns, max_turns=spec.max_turns,
+        mean_think_time_s=spec.mean_think_time_s, seed=spec.seed,
+    )
+    report = cluster.run_interactions(interactions)
+    abandoned = frozenset(i.interaction_id for i in interactions
+                          if i.abandoned)
+    ledgers = build_ledger(cluster.last_requests, abandoned,
+                           slo_met=cluster.slo.met, weights=weights)
+    meters = sum(sum(n.tenant_served_tokens.values())
+                 for n in cluster.nodes)
+    violations = conservation_violations(ledgers,
+                                         node_served_tokens=meters)
+    if violations:
+        raise ExperimentError(
+            "token books do not balance: " + "; ".join(violations))
+    return {
+        "scheduler": scheduler,
+        "mix": mix,
+        "runtime": runtime,
+        "kv_policy": kv_policy,
+        "interactions": report.interactions,
+        "abandoned": report.abandoned_interactions,
+        "completed": report.completed,
+        "throttled": report.throttled,
+        "jain": round(report.jains_index, 3),
+        "jain_tokens": round(report.jain_tokens, 3),
+        "goodput_rps": round(report.goodput_rps, 4),
+        "p99_ttft_s": round(report.p99_ttft_s, 3),
+        "wasted_tokens": report.wasted_tokens,
+        "throttled_tokens": report.throttled_tokens,
+        "prefix_hit_rate": round(report.prefix_hit_rate, 3),
+        "j_per_token": round(report.j_per_token, 4),
+    }
+
+
+def run_fairness(spec: FairnessSpec) -> FairnessReport:
+    """Run the scheduler × mix × runtime × kv grid (deterministic)."""
+    report = FairnessReport(spec=spec)
+    for mix in spec.mixes:
+        for runtime in spec.runtimes:
+            for kv_policy in spec.kv_policies:
+                for scheduler in spec.schedulers:
+                    report.rows.append(_run_point(
+                        spec, scheduler, mix, runtime, kv_policy))
+    return report
+
+
+def fairness_rows_csv(report: FairnessReport) -> str:
+    """The rows as canonical CSV text (the determinism-gate artifact)."""
+    if not report.rows:
+        return ""
+    cols = list(report.rows[0])
+    lines = [",".join(cols)]
+    for r in report.rows:
+        lines.append(",".join(str(r[c]) for c in r))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,105 @@
+"""Over-issued-token throttling: per-tenant token-rate budgets.
+
+A flooding tenant can starve the queue before any fair scheduler gets
+to reorder it — admission-time throttling is the complementary control.
+:class:`TokenThrottle` gives each tenant a token bucket (``rate_per_s``
+tokens per second of demand, up to ``burst`` banked) refilled lazily
+and deterministically on the DES clock: every decision is a pure
+function of the last-refill timestamp, so seeded runs are
+bit-reproducible.
+
+A request is charged its *demand* (prompt + requested output tokens) at
+injection; if the tenant's bucket cannot cover it the request is
+rejected with reason ``"throttle"`` — whole-request semantics, no
+partial admission — and the turned-away demand is counted per tenant
+for the conservation ledger (:mod:`repro.fairness.accounting`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class TenantBucket:
+    """One tenant's bucket: level at ``stamp_s`` (lazy refill)."""
+
+    level: float
+    stamp_s: float
+    #: Lifetime counters for the conservation ledger.
+    throttled_requests: int = 0
+    throttled_tokens: int = 0
+
+
+@dataclass
+class TokenThrottle:
+    """Deterministic per-tenant token buckets on the simulation clock.
+
+    ``rate_per_s`` is the default demand budget (tokens/s) for every
+    tenant; ``burst_s`` sizes the bucket as that many seconds of rate
+    (buckets start full, so a tenant can always open with one burst).
+    ``rates`` overrides the rate per tenant — weights-proportional
+    budgets are the natural choice for weighted tenant mixes.
+    """
+
+    rate_per_s: float
+    burst_s: float = 2.0
+    rates: Optional[Mapping[str, float]] = None
+    _buckets: Dict[str, TenantBucket] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ConfigError("throttle rate_per_s must be positive")
+        if self.burst_s <= 0:
+            raise ConfigError("throttle burst_s must be positive")
+        for tenant, r in (self.rates or {}).items():
+            if r <= 0:
+                raise ConfigError(
+                    f"throttle rate for tenant {tenant!r} must be positive")
+
+    def _rate(self, tenant: str) -> float:
+        if self.rates is not None and tenant in self.rates:
+            return float(self.rates[tenant])
+        return self.rate_per_s
+
+    def _bucket(self, tenant: str, now: float) -> TenantBucket:
+        b = self._buckets.get(tenant)
+        rate = self._rate(tenant)
+        cap = rate * self.burst_s
+        if b is None:
+            b = self._buckets[tenant] = TenantBucket(level=cap, stamp_s=now)
+            return b
+        if now > b.stamp_s:
+            b.level = min(cap, b.level + (now - b.stamp_s) * rate)
+            b.stamp_s = now
+        return b
+
+    def admit(self, tenant: str, tokens: int, now: float) -> bool:
+        """Charge ``tokens`` of demand; False means throttled (no
+        partial take — the bucket is left to keep refilling)."""
+        b = self._bucket(tenant, now)
+        if b.level >= tokens:
+            b.level -= tokens
+            return True
+        b.throttled_requests += 1
+        b.throttled_tokens += tokens
+        return False
+
+    def level(self, tenant: str, now: float) -> float:
+        """Current bucket level (refilled to ``now``), for tests."""
+        return self._bucket(tenant, now).level
+
+    @property
+    def throttled_requests(self) -> int:
+        return sum(b.throttled_requests for b in self._buckets.values())
+
+    @property
+    def throttled_tokens(self) -> int:
+        return sum(b.throttled_tokens for b in self._buckets.values())
+
+    def per_tenant(self) -> Dict[str, TenantBucket]:
+        """Tenant -> bucket, sorted by tenant name (stable reporting)."""
+        return dict(sorted(self._buckets.items()))

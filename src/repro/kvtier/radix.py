@@ -112,6 +112,17 @@ class RadixPrefixCache:
             self.stats.hit_tokens += block_hit
         return matched
 
+    def peek(self, tokens: Sequence[int]) -> int:
+        """Longest cached prefix in tokens, with **no side effects**.
+
+        Unlike :meth:`match` this neither counts a lookup nor touches
+        LRU timestamps — routers probing every node's cache to place a
+        request must not perturb the caches they inspect (or the stats
+        the reports are built from).
+        """
+        _, matched = self._walk(tuple(tokens))
+        return matched
+
     def block_hit_tokens(self, matched_tokens: int) -> int:
         """The reusable (whole-block) part of a token match."""
         return (matched_tokens // self.block_tokens) * self.block_tokens

@@ -53,6 +53,14 @@ KV_SWAP_OUT = "kv.swap_out"
 KV_SWAP_IN = "kv.swap_in"
 #: A prompt prefix served from the shared radix cache (paged backend).
 KV_PREFIX_HIT = "kv.prefix_hit"
+#: A fair scheduler admitted a request from other than the queue head
+#: (carries the scheduler, tenant and the queue-jump distance).
+SCHED_SELECT = "sched.select"
+#: The per-tenant token throttle turned a request away at injection.
+TENANT_THROTTLE = "tenant.throttle"
+#: Per-tenant served-token counter series are named
+#: ``served_tokens.<tenant>`` (fair-scheduler runs only).
+SERVED_TOKENS_PREFIX = "served_tokens."
 #: Fault-episode spans are named ``fault.<class>`` (``fault.crash``...).
 FAULT_PREFIX = "fault."
 #: jtop-style board power counter series (watts over sim time).
@@ -72,3 +80,8 @@ CAT_LEGACY = "legacy"
 def fault_kind(fault_class: str) -> str:
     """Span name of one fault class (``"crash"`` -> ``"fault.crash"``)."""
     return FAULT_PREFIX + fault_class
+
+
+def served_tokens_kind(tenant: str) -> str:
+    """Counter-series name of one tenant's served-token meter."""
+    return SERVED_TOKENS_PREFIX + tenant

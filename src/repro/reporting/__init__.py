@@ -14,6 +14,8 @@
   (tok/s, TTFT, energy/token per backend at a fixed cell).
 - :mod:`repro.reporting.kvtier` — KV-lifecycle policy comparison
   tables (goodput/TTFT vs. policy with sacrifice-baseline deltas).
+- :mod:`repro.reporting.fairness` — fair-scheduler comparison tables
+  (token-weighted Jain / min good share with FCFS-baseline deltas).
 """
 
 from repro.reporting.tables import format_table, markdown_table
@@ -23,12 +25,14 @@ from repro.reporting.compare import compare_rows, deviation_summary
 from repro.reporting.breakdown import phase_breakdown
 from repro.reporting.backends import runtime_comparison
 from repro.reporting.kvtier import kv_policy_comparison
+from repro.reporting.fairness import fairness_comparison
 
 __all__ = [
     "ascii_bars",
     "ascii_lines",
     "compare_rows",
     "deviation_summary",
+    "fairness_comparison",
     "format_table",
     "kv_policy_comparison",
     "markdown_table",

@@ -1,0 +1,60 @@
+"""Fair-scheduler comparison tables.
+
+Lays :class:`~repro.cluster.slo.ClusterReport` rows from runs that
+differ only in their queue discipline side by side — token-weighted
+Jain, goodput, wasted and throttled tokens, per-tenant good shares —
+with deltas against the ``fcfs`` baseline when it is present, so the
+table answers the question the fairness subsystem exists for: what did
+fair queueing buy the polite tenants, and what did it cost the flood?
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.slo import ClusterReport
+
+#: The baseline discipline deltas are computed against (today's order).
+BASELINE_SCHEDULER = "fcfs"
+
+
+def fairness_comparison(
+    runs: Sequence[Tuple[str, ClusterReport]],
+) -> List[dict]:
+    """Side-by-side scheduler rows from ``(scheduler, report)`` pairs.
+
+    Rows keep the input order.  ``jain_tokens_gain`` and
+    ``min_share_gain`` (the worst-off tenant's SLO-good share, the
+    max-min fairness view) are relative to the first run labelled
+    :data:`BASELINE_SCHEDULER`; blank when no baseline run is present.
+    """
+    base: Optional[ClusterReport] = next(
+        (rep for label, rep in runs if label == BASELINE_SCHEDULER), None)
+
+    def min_share(rep: ClusterReport) -> float:
+        shares = [t.slo_good_share for t in rep.tenants]
+        return min(shares) if shares else 0.0
+
+    rows: List[dict] = []
+    for label, rep in runs:
+        jain_gain: object = ""
+        share_gain: object = ""
+        if base is not None:
+            jain_gain = round(rep.jain_tokens - base.jain_tokens, 3)
+            share_gain = round(min_share(rep) - min_share(base), 3)
+        rows.append({
+            "scheduler": label,
+            "completed": rep.completed,
+            "throttled": rep.throttled,
+            "jain": round(rep.jains_index, 3),
+            "jain_tokens": round(rep.jain_tokens, 3),
+            "min_good_share": round(min_share(rep), 3),
+            "goodput_rps": round(rep.goodput_rps, 4),
+            "p99_ttft_s": round(rep.p99_ttft_s, 3),
+            "wasted_tokens": rep.wasted_tokens,
+            "throttled_tokens": rep.throttled_tokens,
+            "j_per_token": round(rep.j_per_token, 4),
+            "jain_tokens_gain": jain_gain,
+            "min_share_gain": share_gain,
+        })
+    return rows

@@ -1,0 +1,121 @@
+"""Adversarial tenant mixes: fairness uplift, throttling, determinism.
+
+One flooding tenant front-loads the queue with 20 requests inside the
+first second; two polite tenants trickle in afterwards.  Under FCFS the
+flood monopolises the node and the polite tenants blow their TTFT SLO;
+VTC/WSC let them jump the backlog, and the token throttle caps how much
+the flooder can even inject.
+"""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+
+from repro.cluster import EdgeCluster, NodeSpec
+from repro.cluster.slo import SLOSpec
+from repro.cluster.workload import ClusterRequest
+from repro.fairness import TokenThrottle
+
+WEIGHTS = {"flood": 1.0, "polite-a": 1.0, "polite-b": 1.0}
+
+
+def adversarial_workload(seed=0):
+    rng = np.random.default_rng(seed)
+    reqs = []
+    for i in range(20):
+        reqs.append(ClusterRequest(
+            req_id=i, arrival_s=float(rng.uniform(0.0, 1.0)),
+            input_tokens=32, output_tokens=32, tenant="flood"))
+    rid = 20
+    for tenant in ("polite-a", "polite-b"):
+        for _ in range(3):
+            reqs.append(ClusterRequest(
+                req_id=rid, arrival_s=float(rng.uniform(1.0, 30.0)),
+                input_tokens=24, output_tokens=24, tenant=tenant))
+            rid += 1
+    return sorted(reqs, key=lambda r: (r.arrival_s, r.req_id))
+
+
+def run_scheduler(name, seed=0, throttle=None):
+    cluster = EdgeCluster.build(
+        [NodeSpec("jetson-orin-agx-64gb", max_batch=1, scheduler=name)],
+        slo=SLOSpec(ttft_s=10.0), throttle=throttle,
+        tenant_weights=WEIGHTS)
+    return cluster.run(adversarial_workload(seed))
+
+
+def tenant_row(rep, name):
+    return next(t for t in rep.tenants if t.tenant == name)
+
+
+class TestFairnessUplift:
+    def test_vtc_and_wsc_beat_fcfs_on_token_fairness(self):
+        fcfs = run_scheduler("fcfs")
+        vtc = run_scheduler("vtc")
+        wsc = run_scheduler("wsc")
+        assert vtc.jain_tokens > fcfs.jain_tokens
+        assert wsc.jain_tokens > fcfs.jain_tokens
+
+    def test_fair_schedulers_rescue_the_polite_tenants_slo(self):
+        fcfs = run_scheduler("fcfs")
+        vtc = run_scheduler("vtc")
+        for tenant in ("polite-a", "polite-b"):
+            assert (tenant_row(vtc, tenant).slo_good_share
+                    > tenant_row(fcfs, tenant).slo_good_share)
+
+
+class TestThrottling:
+    def test_throttle_bounds_the_flooders_share(self):
+        th = TokenThrottle(20.0, burst_s=4.0)
+        rep = run_scheduler("fcfs", throttle=th)
+        flood = tenant_row(rep, "flood")
+        # Most of the burst is turned away at injection...
+        assert flood.throttled >= 10
+        assert rep.throttled == flood.throttled
+        # ...so the flooder no longer holds the majority of served tokens.
+        total = sum(t.served_tokens for t in rep.tenants)
+        assert flood.served_tokens / total < 0.5
+        # The polite tenants sail through untouched.
+        for tenant in ("polite-a", "polite-b"):
+            t = tenant_row(rep, tenant)
+            assert t.throttled == 0
+            assert t.completed == 3
+
+    def test_throttled_demand_is_booked_not_served(self):
+        th = TokenThrottle(20.0, burst_s=4.0)
+        rep = run_scheduler("fcfs", throttle=th)
+        flood = tenant_row(rep, "flood")
+        assert flood.throttled_tokens == flood.throttled * 64
+        assert rep.throttled_tokens == flood.throttled_tokens
+
+
+class TestDeterminism:
+    def test_repeat_runs_are_bit_identical(self):
+        for name in ("fcfs", "vtc", "wsc"):
+            a = run_scheduler(name)
+            b = run_scheduler(name)
+            assert a.as_row() == b.as_row()
+            assert [t.as_row() for t in a.tenants] == \
+                   [t.as_row() for t in b.tenants]
+
+    def test_stable_across_hash_seeds(self):
+        """PYTHONHASHSEED must not reorder tenants, counters or floats."""
+        script = (
+            "import json\n"
+            "from tests.fairness.test_adversarial import run_scheduler\n"
+            "rep = run_scheduler('vtc')\n"
+            "print(json.dumps([rep.as_row()]"
+            " + [t.as_row() for t in rep.tenants], sort_keys=False))\n"
+        )
+        outs = []
+        for hash_seed in ("0", "4242"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": "src:.", "PYTHONHASHSEED": hash_seed},
+            )
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1]
+        json.loads(outs[0])  # and it is well-formed

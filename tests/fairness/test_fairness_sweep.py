@@ -1,0 +1,91 @@
+"""Fairness sweep: reproducibility gate, row order, cache keys."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fairness import (FairnessSpec, fairness_rows_csv, run_fairness)
+from repro.fairness.sweep import TENANT_MIXES, _init_mixes
+
+
+def tiny_spec(**kw):
+    base = dict(schedulers=("fcfs", "vtc"), mixes=("flood",),
+                n_interactions=6, rate_per_s=3.0, mean_turns=2.0,
+                max_turns=3, mean_think_time_s=0.5)
+    base.update(kw)
+    return FairnessSpec(**base)
+
+
+class TestSpec:
+    def test_unknown_scheduler_is_typed_error(self):
+        with pytest.raises(ConfigError):
+            tiny_spec(schedulers=("fcfs", "lottery"))
+
+    def test_unknown_mix_is_typed_error_listing_names(self):
+        with pytest.raises(ConfigError) as exc:
+            tiny_spec(mixes=("rushhour",))
+        assert "rushhour" in str(exc.value)
+        assert "flood" in str(exc.value)
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigError):
+            tiny_spec(schedulers=())
+        with pytest.raises(ConfigError):
+            tiny_spec(kv_policies=())
+
+    def test_negative_throttle_rejected(self):
+        with pytest.raises(ConfigError):
+            tiny_spec(throttle_rate=-1.0)
+
+    def test_builtin_mixes_registered(self):
+        _init_mixes()
+        assert {"balanced", "flood"} <= set(TENANT_MIXES)
+
+
+class TestCacheKey:
+    def test_stable_for_equal_specs(self):
+        assert tiny_spec().cache_key() == tiny_spec().cache_key()
+
+    def test_changes_with_every_axis(self):
+        base = tiny_spec().cache_key()
+        assert tiny_spec(seed=1).cache_key() != base
+        assert tiny_spec(schedulers=("fcfs",)).cache_key() != base
+        assert tiny_spec(mixes=("balanced",)).cache_key() != base
+        assert tiny_spec(throttle_rate=10.0).cache_key() != base
+
+    def test_folds_the_fairness_version(self):
+        """Bump FAIRNESS_VERSION -> every cached sweep invalidates."""
+        import repro.fairness.sweep as sweep_mod
+        base = tiny_spec().cache_key()
+        old = sweep_mod.FAIRNESS_VERSION
+        sweep_mod.FAIRNESS_VERSION = old + "-bumped"
+        try:
+            assert tiny_spec().cache_key() != base
+        finally:
+            sweep_mod.FAIRNESS_VERSION = old
+
+
+class TestSweep:
+    def test_rows_csv_is_bit_reproducible(self):
+        spec = tiny_spec()
+        a = fairness_rows_csv(run_fairness(spec))
+        b = fairness_rows_csv(run_fairness(spec))
+        assert a == b
+        assert a.endswith("\n")
+
+    def test_row_order_is_the_declared_grid_order(self):
+        rep = run_fairness(tiny_spec())
+        assert [(r["mix"], r["scheduler"]) for r in rep.rows] == \
+            [("flood", "fcfs"), ("flood", "vtc")]
+
+    def test_rows_carry_the_fairness_columns(self):
+        rep = run_fairness(tiny_spec(schedulers=("fcfs",)))
+        row = rep.rows[0]
+        for col in ("jain", "jain_tokens", "wasted_tokens",
+                    "throttled_tokens", "prefix_hit_rate", "j_per_token"):
+            assert col in row
+
+    def test_table_renders_all_rows(self):
+        rep = run_fairness(tiny_spec(schedulers=("fcfs",)))
+        text = rep.table()
+        assert "scheduler" in text.splitlines()[0]
+        assert len(text.splitlines()) == 1 + len(rep.rows)

@@ -1,0 +1,69 @@
+"""Prefix-affinity routing: keep a conversation's turns on one node.
+
+Multi-turn interactions re-send their whole history each turn; on paged
+nodes the radix cache can reuse that prefix — but only if later turns
+land on the node that cached it.  The ``prefix-affinity`` router probes
+each node's radix tree (side-effect-free peek) and routes to the best
+match, falling back to least-kv placement for cold prompts.
+"""
+
+import pytest
+
+from repro.cluster import EdgeCluster, NodeSpec, get_router, list_policies
+from repro.errors import ConfigError
+from repro.fairness import session_workload
+
+
+def run_sessions(policy, n=10, seed=0):
+    cluster = EdgeCluster.build(
+        [NodeSpec("jetson-orin-agx-64gb", max_batch=4, runtime="paged"),
+         NodeSpec("jetson-orin-agx-64gb", max_batch=4, runtime="paged")],
+        policy=policy)
+    inters = session_workload(2.0, n, mean_turns=4.0, max_turns=6,
+                              mean_think_time_s=0.5, seed=seed)
+    rep = cluster.run_interactions(inters)
+    return cluster, inters, rep
+
+
+class TestRegistry:
+    def test_listed_and_constructible(self):
+        assert "prefix-affinity" in list_policies()
+        assert get_router("prefix-affinity").name == "prefix-affinity"
+
+    def test_unknown_policy_still_typed_error(self):
+        with pytest.raises(ConfigError):
+            get_router("prefix-chaos")
+
+
+class TestAffinity:
+    def test_turns_of_one_interaction_stick_to_one_node(self):
+        _, inters, _ = run_sessions("prefix-affinity")
+        multi = [i for i in inters if len(i.requests) > 1]
+        assert multi, "scenario must produce multi-turn interactions"
+        for inter in multi:
+            nodes = {r.node_id for r in inter.requests
+                     if r.node_id is not None}
+            assert len(nodes) == 1
+
+    def test_round_robin_splits_interactions(self):
+        """Sanity: the baseline really does scatter turns, otherwise the
+        uplift assertion below would be vacuous."""
+        _, inters, _ = run_sessions("round-robin")
+        split = [i for i in inters if len(
+            {r.node_id for r in i.requests if r.node_id is not None}) > 1]
+        assert split
+
+    def test_prefix_hit_rate_uplift_over_round_robin(self):
+        _, _, affinity = run_sessions("prefix-affinity")
+        _, _, baseline = run_sessions("round-robin")
+        assert affinity.prefix_hit_rate > baseline.prefix_hit_rate
+        assert affinity.prefix_hit_tokens > baseline.prefix_hit_tokens
+
+    def test_reports_carry_the_policy_name(self):
+        _, _, rep = run_sessions("prefix-affinity", n=4)
+        assert rep.policy == "prefix-affinity"
+
+    def test_deterministic(self):
+        _, _, a = run_sessions("prefix-affinity")
+        _, _, b = run_sessions("prefix-affinity")
+        assert a.as_row() == b.as_row()

@@ -1,0 +1,81 @@
+"""Token-throttle unit behaviour: refill, burst caps, counting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fairness import TokenThrottle
+
+
+class TestValidation:
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            TokenThrottle(0.0)
+
+    def test_burst_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            TokenThrottle(10.0, burst_s=0.0)
+
+    def test_per_tenant_rates_validated(self):
+        with pytest.raises(ConfigError):
+            TokenThrottle(10.0, rates={"bad": -1.0})
+
+
+class TestBucket:
+    def test_buckets_start_full(self):
+        th = TokenThrottle(100.0, burst_s=2.0)
+        assert th.level("a", 0.0) == pytest.approx(200.0)
+
+    def test_whole_request_charge_no_partial_take(self):
+        th = TokenThrottle(100.0, burst_s=1.0)
+        assert th.admit("a", 60, 0.0)
+        # 40 left; a 41-token request is refused and takes nothing.
+        assert not th.admit("a", 41, 0.0)
+        assert th.level("a", 0.0) == pytest.approx(40.0)
+        assert th.admit("a", 40, 0.0)
+
+    def test_deterministic_lazy_refill(self):
+        th = TokenThrottle(10.0, burst_s=1.0)
+        assert th.admit("a", 10, 0.0)
+        assert th.level("a", 0.0) == pytest.approx(0.0)
+        # 0.5 s later half the bucket is back.
+        assert th.level("a", 0.5) == pytest.approx(5.0)
+        assert not th.admit("a", 6, 0.5)
+        assert th.admit("a", 5, 0.5)
+
+    def test_refill_caps_at_burst(self):
+        th = TokenThrottle(10.0, burst_s=1.0)
+        th.admit("a", 10, 0.0)
+        assert th.level("a", 1000.0) == pytest.approx(10.0)
+
+    def test_clock_never_runs_backwards_the_level(self):
+        th = TokenThrottle(10.0, burst_s=1.0)
+        th.admit("a", 10, 5.0)
+        # A query at an earlier timestamp must not refill or drain.
+        assert th.level("a", 5.0) == pytest.approx(0.0)
+
+    def test_per_tenant_rate_override(self):
+        th = TokenThrottle(10.0, burst_s=1.0, rates={"vip": 100.0})
+        assert th.level("vip", 0.0) == pytest.approx(100.0)
+        assert th.level("other", 0.0) == pytest.approx(10.0)
+
+    def test_tenants_are_isolated(self):
+        th = TokenThrottle(10.0, burst_s=1.0)
+        assert th.admit("a", 10, 0.0)
+        assert th.admit("b", 10, 0.0)
+
+
+class TestCounting:
+    def test_throttled_counters_accumulate(self):
+        th = TokenThrottle(10.0, burst_s=1.0)
+        th.admit("a", 10, 0.0)
+        assert not th.admit("a", 7, 0.0)
+        assert not th.admit("a", 8, 0.0)
+        assert th.throttled_requests == 2
+        assert th.throttled_tokens == 15
+        assert th.per_tenant()["a"].throttled_requests == 2
+
+    def test_per_tenant_view_is_sorted(self):
+        th = TokenThrottle(10.0)
+        th.admit("zeta", 1, 0.0)
+        th.admit("alpha", 1, 0.0)
+        assert list(th.per_tenant()) == ["alpha", "zeta"]
