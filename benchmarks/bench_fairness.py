@@ -17,6 +17,11 @@ paper's single-tenant measurements):
   with ``swap-lru`` KV lifecycle: the ``prefix-affinity`` router keeps
   each conversation on the node that cached its history, lifting the
   radix prefix hit rate over round-robin placement.
+- **Weighted entitlements** — the ``weighted`` mix carries non-equal
+  tenant weights into the schedulers (premium pays for 3x); the
+  ``weight_fidelity`` column (served tokens per unit entitlement inside
+  the contended window) shows VTC tracking the 3:1 ratio while FCFS
+  serves demand.
 """
 
 import numpy as np
@@ -28,7 +33,8 @@ from repro.fairness import (FairnessSpec, TokenThrottle, run_fairness,
                             session_workload)
 from repro.reporting import fairness_comparison, format_table
 
-SWEEP_SPEC = FairnessSpec()  # fcfs/vtc/wsc x balanced/flood, 24 sessions
+SWEEP_SPEC = FairnessSpec(  # fcfs/vtc/wsc x all three mixes, 24 sessions
+    mixes=("balanced", "flood", "weighted"))
 
 ADVERSARIAL_WEIGHTS = {"flood": 1.0, "polite-a": 1.0, "polite-b": 1.0}
 
@@ -97,6 +103,13 @@ def test_fair_schedulers_beat_fcfs_on_the_flood_mix(benchmark, emit):
     spread = [by[("balanced", s)]["jain_tokens"]
               for s in ("fcfs", "vtc", "wsc")]
     assert max(spread) - min(spread) < 0.2
+
+    # Weighted mix: premium's 3x entitlement reaches the schedulers;
+    # VTC serves tokens near the entitled ratio while weight-blind
+    # FCFS serves demand (~1:1, a third of the entitlement).
+    assert by[("weighted", "vtc")]["weight_fidelity"] >= 0.5
+    assert by[("weighted", "vtc")]["weight_fidelity"] > \
+        by[("weighted", "fcfs")]["weight_fidelity"] + 0.2
 
     # Every point balanced its token books (run_fairness raises
     # otherwise); the wasted column exists and stayed finite.

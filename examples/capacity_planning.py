@@ -10,7 +10,7 @@ Run:  python examples/capacity_planning.py
 """
 
 from repro.core.experiment import default_precision_for
-from repro.core.planner import max_batch_size, max_sequence_length
+from repro.plan import probe_max_batch, probe_max_seq_len
 from repro.reporting import format_table
 
 DEVICES = ("jetson-orin-nx-16gb", "jetson-orin-agx-32gb",
@@ -23,9 +23,9 @@ def main() -> None:
     for device in DEVICES:
         for model in MODELS:
             precision = default_precision_for(model)
-            bs = max_batch_size(model, precision, device=device, upper=512)
-            sl = (max_sequence_length(model, precision, device=device,
-                                      batch_size=8, upper=8192)
+            bs = probe_max_batch(model, precision, device=device, upper=512)
+            sl = (probe_max_seq_len(model, precision, device=device,
+                                    batch_size=8, upper=8192)
                   if bs else None)
             rows.append({
                 "device": device,

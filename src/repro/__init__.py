@@ -97,6 +97,16 @@ from repro.kvtier import (
     run_kvtier,
 )
 from repro.models import get_model
+from repro.plan import (
+    FeasibilityEnvelope,
+    PlanSpec,
+    ServiceRates,
+    ValidationSpec,
+    plan,
+    probe_max_batch,
+    probe_max_seq_len,
+    run_validation,
+)
 from repro.obs import (
     MetricsRegistry,
     Observer,
@@ -106,7 +116,7 @@ from repro.obs import (
     write_metrics,
 )
 from repro.quant import Precision
-from repro.reporting import phase_breakdown, runtime_comparison
+from repro.reporting import phase_breakdown, plan_table, runtime_comparison
 
 __version__ = "1.1.0"
 
@@ -116,6 +126,7 @@ __all__ = [
     "EdgeCluster",
     "ExperimentSpec",
     "FairnessSpec",
+    "FeasibilityEnvelope",
     "FaultSchedule",
     "FaultScheduleSpec",
     "FullStudyResults",
@@ -126,6 +137,7 @@ __all__ = [
     "NodeSpec",
     "Observer",
     "OutOfMemoryError",
+    "PlanSpec",
     "PowerModeAutoscaler",
     "Precision",
     "ReproError",
@@ -133,9 +145,11 @@ __all__ = [
     "RunResult",
     "RuntimeBackend",
     "SLOSpec",
+    "ServiceRates",
     "ServingEngine",
     "StudySpec",
     "TokenThrottle",
+    "ValidationSpec",
     "__version__",
     "batch_quant_power_sweep",
     "batch_size_sweep",
@@ -153,8 +167,12 @@ __all__ = [
     "list_kv_policies",
     "multi_tenant_workload",
     "phase_breakdown",
+    "plan",
+    "plan_table",
     "poisson_workload",
     "power_mode_sweep",
+    "probe_max_batch",
+    "probe_max_seq_len",
     "prometheus_text",
     "quantization_sweep",
     "register_backend",
@@ -164,6 +182,7 @@ __all__ = [
     "run_full_study",
     "run_kvtier",
     "run_specs",
+    "run_validation",
     "runtime_comparison",
     "runtime_sweep",
     "seq_len_sweep",

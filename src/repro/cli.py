@@ -358,6 +358,60 @@ def _cmd_fairness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.plan import (PlanSpec, ValidationSpec, plan, run_validation,
+                            validation_rows_csv)
+    from repro.reporting import format_table, plan_table
+
+    def _names(text: str) -> tuple:
+        return tuple(v.strip() for v in text.split(",") if v.strip())
+
+    if args.validate:
+        vspec = ValidationSpec(
+            model=args.model, device=args.device,
+            precision=_names(args.precisions)[0],
+            power_mode=_names(args.power_modes)[0],
+            nodes=args.validate_nodes, n_requests=args.validate_requests,
+            input_tokens=args.input_tokens,
+            output_tokens=args.output_tokens, max_batch=args.max_batch,
+            runtimes=_names(args.runtimes), seed=args.seed,
+        )
+        report = run_validation(vspec)
+        print(report.table())
+        print(f"within_tolerance={report.within_fraction:.3f} "
+              f"(tolerance={vspec.tolerance})")
+        print(f"cache_key={vspec.cache_key()}")
+        if args.csv:
+            with open(args.csv, "w", encoding="utf-8", newline="") as fh:
+                fh.write(validation_rows_csv(report))
+            print(f"wrote {args.csv}")
+        return 0
+
+    spec = PlanSpec(
+        model=args.model, device=args.device, rate_per_s=args.rate,
+        input_tokens=args.input_tokens, output_tokens=args.output_tokens,
+        slo_ttft_s=args.slo_ttft, slo_tpot_s=args.slo_tpot,
+        slo_e2e_s=args.slo_e2e, runtimes=_names(args.runtimes),
+        precisions=_names(args.precisions),
+        power_modes=_names(args.power_modes), max_nodes=args.max_nodes,
+        max_batch=args.max_batch, max_utilization=args.max_utilization,
+    )
+    report = plan(spec)
+    print(format_table(plan_table(report),
+                       title=f"capacity plan: {spec.model} @ "
+                             f"{spec.rate_per_s} req/s on {spec.device}"))
+    if report.chosen is not None:
+        c = report.chosen
+        print(f"\nchosen: {c['nodes']}x {spec.device} [{c['runtime']}, "
+              f"{c['precision']}, {c['power_mode']}] — "
+              f"{c['watts']} W fleet, TTFT {c['ttft_s']} s, "
+              f"latency {c['latency_s']} s")
+    else:
+        print("\nno configuration inside the candidate axes meets the SLO")
+    print(f"cache_key={spec.cache_key()}")
+    return 0
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     import time
 
@@ -635,7 +689,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated queue disciplines")
     fair.add_argument("--mixes", default="balanced,flood",
                       help="comma-separated tenant mixes "
-                           "(balanced|flood)")
+                           "(balanced|flood|weighted)")
     fair.add_argument("--routing", default="round-robin",
                       help="routing policy for the fleet")
     fair.add_argument("--rate", type=float, default=3.0,
@@ -655,6 +709,42 @@ def build_parser() -> argparse.ArgumentParser:
     fair.add_argument("--csv", default=None,
                       help="write the sweep rows as canonical CSV")
 
+    pln = sub.add_parser(
+        "plan",
+        help="analytic capacity plan: nodes/power-mode/backend for an SLO")
+    pln.add_argument("--device", default="jetson-orin-agx-64gb")
+    pln.add_argument("--model", default="llama3.1-8b")
+    pln.add_argument("--rate", type=float, default=2.0,
+                     help="offered arrival rate (req/s)")
+    pln.add_argument("--input-tokens", type=int, default=64)
+    pln.add_argument("--output-tokens", type=int, default=64)
+    pln.add_argument("--slo-ttft", type=float, default=10.0,
+                     help="TTFT target (s)")
+    pln.add_argument("--slo-tpot", type=float, default=1.0,
+                     help="per-token decode target (s)")
+    pln.add_argument("--slo-e2e", type=float, default=None,
+                     help="end-to-end latency target (s); off by default")
+    pln.add_argument("--runtimes", default="hf-transformers,paged,gguf",
+                     help="comma-separated candidate runtimes")
+    pln.add_argument("--precisions", default="fp16",
+                     help="comma-separated candidate precisions")
+    pln.add_argument("--power-modes", default="MAXN",
+                     help="comma-separated candidate power modes")
+    pln.add_argument("--max-nodes", type=int, default=8)
+    pln.add_argument("--max-batch", type=int, default=8)
+    pln.add_argument("--max-utilization", type=float, default=0.9,
+                     help="refuse plans busier than this fraction")
+    pln.add_argument("--validate", action="store_true",
+                     help="cross-validate the fluid model against the "
+                          "DES over a workload x router x runtime grid")
+    pln.add_argument("--validate-nodes", type=int, default=2,
+                     help="fleet size of the validation grid")
+    pln.add_argument("--validate-requests", type=int, default=60,
+                     help="requests per validation cell")
+    pln.add_argument("--seed", type=int, default=0)
+    pln.add_argument("--csv", default=None,
+                     help="write the validation rows as canonical CSV")
+
     return parser
 
 
@@ -672,6 +762,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "kvtier": _cmd_kvtier,
     "fairness": _cmd_fairness,
+    "plan": _cmd_plan,
 }
 
 

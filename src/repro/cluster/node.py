@@ -61,13 +61,27 @@ from repro.telemetry.sampler import PowerSampler
 _WORKSPACE_BYTES = int(1e9)
 
 
-def _util_of(cost: StepCost) -> ComponentUtilization:
-    return ComponentUtilization(
-        gpu_compute=cost.gpu_compute_frac,
-        gpu_busy=cost.gpu_busy_frac,
-        mem_bw=cost.mem_bw_frac,
-        cpu_cores_active=cost.cpu_cores_active,
+def natural_kv_budget(device: EdgeDevice, backend,
+                      arch: TransformerArchitecture,
+                      precision: Precision) -> int:
+    """KV bytes left on ``device`` after weights and workspace.
+
+    This is the budget every node derives unless one was pinned
+    explicitly at construction, and the same budget the analytic
+    planner (:mod:`repro.plan`) uses for its M_total token capacity —
+    one formula, two consumers, so the fluid model and the DES agree
+    on memory by construction.  May be <= 0 when the weights alone
+    exceed the board.
+    """
+    return int(
+        device.memory.usable_bytes
+        - backend.weight_bytes(arch, precision)
+        - _WORKSPACE_BYTES
     )
+
+
+def _util_of(cost: StepCost) -> ComponentUtilization:
+    return ComponentUtilization.from_step_cost(cost)
 
 
 @dataclass
@@ -157,11 +171,8 @@ class ClusterNode:
         self.power_model = power_model or PowerModel()
         self._explicit_kv_budget = kv_budget_bytes is not None
         if kv_budget_bytes is None:
-            kv_budget_bytes = int(
-                device.memory.usable_bytes
-                - self.backend.weight_bytes(arch, precision)
-                - _WORKSPACE_BYTES
-            )
+            kv_budget_bytes = natural_kv_budget(device, self.backend,
+                                                arch, precision)
         if kv_budget_bytes <= 0:
             raise ConfigError(
                 f"model leaves no KV budget on node {node_id} ({device.name})"
@@ -601,11 +612,8 @@ class ClusterNode:
         self.timer = self.backend.make_timer(self.arch, self.device,
                                              precision, self._params)
         if not self._explicit_kv_budget:
-            base = int(
-                self.device.memory.usable_bytes
-                - self.backend.weight_bytes(self.arch, precision)
-                - _WORKSPACE_BYTES
-            )
+            base = natural_kv_budget(self.device, self.backend,
+                                     self.arch, precision)
             if base <= 0:
                 raise ConfigError(
                     f"precision {precision.value} leaves no KV budget on "

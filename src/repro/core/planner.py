@@ -1,30 +1,32 @@
-"""Capacity planning: what fits before the board OOMs.
+"""Deprecated function-style planner (now :mod:`repro.plan`).
 
-Answers the questions the paper's OOM cells pose operationally: for a
-(device, model, precision), what is the largest batch at a given
-sequence length — or the longest sequence at a given batch — that
-completes?  The planner searches over the *actual simulated engine*
-(same allocator, same buffers), so its answers are exactly the
-feasibility boundary of the experiments, not a closed-form guess.
+The OOM-boundary searches moved to the spec-first surface:
+:meth:`repro.plan.PlanSpec.feasibility` (or the lower-level
+:func:`repro.plan.probe_max_batch` / :func:`repro.plan.probe_max_seq_len`)
+replaces the two functions below.  These shims keep the historical
+signatures working, with a :class:`DeprecationWarning` each — the test
+suite runs with ``-W error::DeprecationWarning``, so nothing inside the
+repo may call them anymore.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
-from repro.core.experiment import ExperimentSpec, run_experiment
 from repro.engine.request import GenerationSpec
-from repro.errors import ExperimentError
+from repro.plan.feasibility import (
+    engine_feasible as _feasible,  # noqa: F401  (compat re-export)
+    probe_max_batch,
+    probe_max_seq_len,
+)
 from repro.quant.dtypes import Precision
 
 
-def _feasible(model: str, precision: Precision, device: str,
-              batch_size: int, gen: GenerationSpec) -> bool:
-    spec = ExperimentSpec(
-        model=model, precision=precision, device=device,
-        batch_size=batch_size, gen=gen, n_runs=1, warmup=0,
-    )
-    return not run_experiment(spec).oom
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.core.planner.{old} is deprecated; use {new} instead",
+        DeprecationWarning, stacklevel=3)
 
 
 def max_batch_size(
@@ -34,24 +36,11 @@ def max_batch_size(
     gen: GenerationSpec = GenerationSpec(32, 64),
     upper: int = 4096,
 ) -> Optional[int]:
-    """Largest feasible batch size at ``gen``; None if even bs=1 OOMs."""
-    if upper < 1:
-        raise ExperimentError("upper bound must be >= 1")
-    if not _feasible(model, precision, device, 1, gen):
-        return None
-    # Exponential probe then binary search.
-    lo, hi = 1, 2
-    while hi <= upper and _feasible(model, precision, device, hi, gen):
-        lo, hi = hi, hi * 2
-    if hi > upper:
-        return lo
-    while hi - lo > 1:
-        mid = (lo + hi) // 2
-        if _feasible(model, precision, device, mid, gen):
-            lo = mid
-        else:
-            hi = mid
-    return lo
+    """Deprecated alias of :func:`repro.plan.probe_max_batch`."""
+    _deprecated("max_batch_size",
+                "repro.plan.PlanSpec.max_batch_size or "
+                "repro.plan.probe_max_batch")
+    return probe_max_batch(model, precision, device, gen, upper)
 
 
 def max_sequence_length(
@@ -62,31 +51,9 @@ def max_sequence_length(
     input_fraction: float = 0.25,
     upper: int = 65536,
 ) -> Optional[int]:
-    """Longest feasible total sequence length at ``batch_size``.
-
-    Sequence lengths follow the paper's convention: ``input_fraction``
-    of the total is prompt, the rest generated.  Returns None if even
-    sl=8 OOMs.
-    """
-    if not (0.0 < input_fraction < 1.0):
-        raise ExperimentError("input_fraction must be in (0, 1)")
-
-    def gen_for(sl: int) -> GenerationSpec:
-        inp = max(1, int(sl * input_fraction))
-        return GenerationSpec(inp, max(1, sl - inp))
-
-    if not _feasible(model, precision, device, batch_size, gen_for(8)):
-        return None
-    lo, hi = 8, 16
-    while hi <= upper and _feasible(model, precision, device, batch_size,
-                                    gen_for(hi)):
-        lo, hi = hi, hi * 2
-    if hi > upper:
-        return lo
-    while hi - lo > 8:
-        mid = (lo + hi) // 2
-        if _feasible(model, precision, device, batch_size, gen_for(mid)):
-            lo = mid
-        else:
-            hi = mid
-    return lo
+    """Deprecated alias of :func:`repro.plan.probe_max_seq_len`."""
+    _deprecated("max_sequence_length",
+                "repro.plan.PlanSpec.max_seq_len or "
+                "repro.plan.probe_max_seq_len")
+    return probe_max_seq_len(model, precision, device, batch_size,
+                             input_fraction, upper)

@@ -28,10 +28,17 @@ from repro.errors import ConfigError, ExperimentError
 from repro.fairness.scheduler import FAIRNESS_VERSION, get_fair_scheduler
 
 #: Named tenant mixes the sweep draws sessions from.  Profile weights
-#: set *arrival* share; the sweep always grants tenants *equal*
+#: set *arrival* share; for most mixes the sweep grants tenants *equal*
 #: fairness entitlement, so the ``flood`` tenant's 8x arrival share is
 #: exactly the over-issuing adversary fair schedulers exist to contain.
+#: Mixes listed in :data:`WEIGHTED_ENTITLEMENT_MIXES` instead carry
+#: their profile weights into the schedulers as entitlements.
 TENANT_MIXES: Dict[str, Tuple] = {}
+
+#: Mixes whose profile weights are fairness *entitlements* too: VTC/WSC
+#: should serve these tenants tokens in proportion to their weights,
+#: not equally.
+WEIGHTED_ENTITLEMENT_MIXES = frozenset({"weighted"})
 
 
 def _init_mixes() -> None:
@@ -52,6 +59,17 @@ def _init_mixes() -> None:
                       mean_output_tokens=64, cv_input=0.5, cv_output=0.5),
         TenantProfile("polite-b", weight=1.0, mean_input_tokens=48,
                       mean_output_tokens=64, cv_input=0.5, cv_output=0.5),
+    )
+    # Premium pays for a 3x entitlement and issues many small requests;
+    # standard issues a third as many sessions at 3x the token shapes,
+    # so the two tenants *demand* roughly equal tokens.  Under
+    # contention a weight-honoring scheduler should serve premium ~3x
+    # standard's tokens; FCFS, blind to weights, serves demand (~1:1).
+    TENANT_MIXES["weighted"] = (
+        TenantProfile("premium", weight=3.0, mean_input_tokens=48,
+                      mean_output_tokens=48, cv_input=0.3, cv_output=0.3),
+        TenantProfile("standard", weight=1.0, mean_input_tokens=144,
+                      mean_output_tokens=144, cv_input=0.3, cv_output=0.3),
     )
 
 
@@ -134,6 +152,35 @@ class FairnessReport:
         return "\n".join(lines)
 
 
+def _weight_fidelity(requests, weights: Dict[str, float]) -> float:
+    """How faithfully service tracked the entitlements (1.0 = perfect).
+
+    Weighted fair queueing promises service *rates* proportional to the
+    weights only while every tenant is backlogged, so the metric scores
+    the contended window: ``T*`` is the instant the first tenant drains
+    (its last completion), and each tenant's output tokens completed by
+    ``T*`` are normalised by its weight.  The worst/best ratio of those
+    per-entitlement token counts is the fidelity.  Cumulative served
+    tokens over the whole run cannot separate schedulers — the
+    simulation drains every request eventually, so lifetime service
+    always equals demand; what a weight-honoring scheduler changes is
+    the *order*, which the drain-time cutoff converts into tokens.
+    """
+    done: Dict[str, List] = {}
+    for r in requests:
+        if r.finish_s is not None:
+            done.setdefault(r.tenant, []).append(r)
+    if set(done) != set(weights) or not weights:
+        return 0.0  # a tenant never completed anything: no fair window
+    t_star = min(max(r.finish_s for r in reqs) for reqs in done.values())
+    per_weight = [
+        sum(r.output_tokens for r in reqs if r.finish_s <= t_star)
+        / weights[tenant]
+        for tenant, reqs in done.items()
+    ]
+    return min(per_weight) / max(per_weight) if max(per_weight) > 0 else 0.0
+
+
 def _run_point(spec: FairnessSpec, scheduler: str, mix: str,
                runtime: str, kv_policy: str) -> Dict:
     from repro.cluster import EdgeCluster, NodeSpec
@@ -144,7 +191,10 @@ def _run_point(spec: FairnessSpec, scheduler: str, mix: str,
     from repro.fairness.throttle import TokenThrottle
 
     tenants = TENANT_MIXES[mix]
-    weights = {t.name: 1.0 for t in tenants}
+    if mix in WEIGHTED_ENTITLEMENT_MIXES:
+        weights = {t.name: float(t.weight) for t in tenants}
+    else:
+        weights = {t.name: 1.0 for t in tenants}
     throttle = None
     if spec.throttle_rate > 0:
         throttle = TokenThrottle(spec.throttle_rate,
@@ -173,6 +223,7 @@ def _run_point(spec: FairnessSpec, scheduler: str, mix: str,
     if violations:
         raise ExperimentError(
             "token books do not balance: " + "; ".join(violations))
+    fidelity = _weight_fidelity(cluster.last_requests, weights)
     return {
         "scheduler": scheduler,
         "mix": mix,
@@ -184,6 +235,7 @@ def _run_point(spec: FairnessSpec, scheduler: str, mix: str,
         "throttled": report.throttled,
         "jain": round(report.jains_index, 3),
         "jain_tokens": round(report.jain_tokens, 3),
+        "weight_fidelity": round(fidelity, 3),
         "goodput_rps": round(report.goodput_rps, 4),
         "p99_ttft_s": round(report.p99_ttft_s, 3),
         "wasted_tokens": report.wasted_tokens,

@@ -1,0 +1,359 @@
+"""The fluid/ODE approximation of one node's serving dynamics.
+
+The DES serve loop alternates two activities on one server: serial
+prompt prefills for newly admitted requests (batch 1, ``p`` seconds
+each) and whole-batch decode steps (``d(b, c)`` seconds, one token per
+active request).  The fluid model replaces the discrete requests with
+two continuous levels — ``Q(t)`` waiting and ``N(t)`` running — and
+moves probability mass between them at the calibrated rates:
+
+- arrivals raise ``Q`` (rate ``lambda``, or impulse arrivals when a
+  concrete trace is supplied);
+- admission drains ``Q`` into ``N`` at the serial-prefill rate
+  ``1/p``, gated by the concurrency bound ``B = min(max_batch,
+  M_total / tokens-per-request)``;
+- decode drains ``N`` at the completion rate ``N / (d(N, c(N)) *
+  L_out)`` using whatever server time prefill left in the slice.
+
+The batch context follows the DES's ``max`` rule in expectation: with
+``b`` staggered requests the oldest has generated ``L_out * b/(b+1)``
+tokens, so ``c(b) = L_in + round(L_out * b/(b+1))``.
+
+Two entry points share that state machine.  :func:`steady_state` solves
+the fixed point directly (microseconds — the capacity search's inner
+loop), and :func:`integrate` runs an explicit Euler pass over a
+concrete arrival trace (milliseconds), which is what the DES
+cross-validation compares against.  Where the fluid view knowingly
+diverges from the DES — deterministic admission ignores queueing noise,
+the mean-context rule ignores context spread, thermal feedback is
+checked but not fed back — is catalogued in ``docs/mechanisms.md``
+section 14.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.plan.rates import ServiceRates
+
+#: Mass below which a fluid level counts as drained.
+_EPS = 1e-9
+
+#: Hard ceiling on Euler steps; reached only when an overloaded queue
+#: refuses to drain (the estimate is then flagged unstable).
+_MAX_STEPS = 2_000_000
+
+
+@dataclass(frozen=True)
+class FluidEstimate:
+    """Steady-state (or trace-horizon) predictions for one fleet."""
+
+    stable: bool
+    nodes: int
+    #: Steady (or time-averaged) running batch per node.
+    batch: float
+    #: Busy fraction of each node's server.
+    utilization: float
+    #: Fleet decode tokens per second.
+    throughput_tok_s: float
+    ttft_s: float
+    tpot_s: float
+    latency_s: float
+    #: Fleet average power draw (idle floor included).
+    watts: float
+    j_per_token: float
+    #: Steady KV occupancy per node, in cache tokens.
+    kv_tokens: float
+    #: M_total per node, in cache tokens.
+    kv_capacity_tokens: int
+    #: B: the sustainable per-node running-batch bound.
+    concurrency_cap: int
+    #: Fleet decode-token capacity ceiling (tokens/s).
+    capacity_tok_s: float
+    #: Whether steady power would push the lumped RC model past its
+    #: throttle point (the fluid model does not feed this back).
+    throttle_risk: bool = False
+    #: Horizon of the trace integration (0 for steady-state solves).
+    makespan_s: float = 0.0
+
+
+def _context_at(batch: int, input_tokens: int, output_tokens: int) -> int:
+    """Expected DES context (max over staggered active requests)."""
+    return input_tokens + int(round(output_tokens * batch / (batch + 1)))
+
+
+def _infeasible(rates: ServiceRates, nodes: int, cap: int) -> FluidEstimate:
+    idle = rates.idle_watts() if rates.fits else 0.0
+    return FluidEstimate(
+        stable=False, nodes=nodes, batch=0.0, utilization=0.0,
+        throughput_tok_s=0.0, ttft_s=math.inf, tpot_s=math.inf,
+        latency_s=math.inf, watts=idle * nodes, j_per_token=math.inf,
+        kv_tokens=0.0, kv_capacity_tokens=rates.kv_capacity_tokens,
+        concurrency_cap=cap, capacity_tok_s=0.0)
+
+
+def steady_state(
+    rates: ServiceRates,
+    rate_per_s: float,
+    input_tokens: int,
+    output_tokens: int,
+    nodes: int = 1,
+    max_batch: int = 8,
+) -> FluidEstimate:
+    """Solve the fluid fixed point under constant fleet arrivals.
+
+    The stability condition is the operations-research one: per-node
+    token demand ``lambda * L_out`` must not exceed the decode capacity
+    left after prefill takes its ``lambda * p`` share of server time,
+    at the largest batch the M_total/B budgets allow.
+    """
+    if rate_per_s <= 0 or nodes < 1:
+        raise ConfigError("need a positive rate and >= 1 node")
+    if input_tokens < 1 or output_tokens < 1:
+        raise ConfigError("token counts must be >= 1")
+    cap = rates.concurrency_cap(input_tokens, output_tokens, max_batch)
+    if cap < 1:
+        return _infeasible(rates, nodes, cap)
+
+    lam = rate_per_s / nodes
+    p = rates.prefill_cost(input_tokens).seconds
+    phi_p = lam * p  # prefill's share of server time
+
+    def d_of(b: int) -> float:
+        return rates.decode_cost(
+            b, _context_at(b, input_tokens, output_tokens)).seconds
+
+    demand_tok = lam * output_tokens
+    capacity_tok = (1.0 - phi_p) * cap / d_of(cap) if phi_p < 1.0 else 0.0
+    if phi_p >= 1.0 or demand_tok > capacity_tok:
+        est = _infeasible(rates, nodes, cap)
+        steady_w = rates.watts(rates.decode_cost(
+            cap, _context_at(cap, input_tokens, output_tokens)))
+        return FluidEstimate(
+            stable=False, nodes=nodes, batch=float(cap), utilization=1.0,
+            throughput_tok_s=capacity_tok * nodes, ttft_s=math.inf,
+            tpot_s=d_of(cap) / max(1.0 - phi_p, _EPS), latency_s=math.inf,
+            watts=steady_w * nodes,
+            j_per_token=(steady_w / capacity_tok if capacity_tok > 0
+                         else math.inf),
+            kv_tokens=float(cap * rates.reservation_tokens(
+                input_tokens, output_tokens)),
+            kv_capacity_tokens=est.kv_capacity_tokens,
+            concurrency_cap=cap, capacity_tok_s=capacity_tok * nodes)
+
+    # Little's-law fixed point: N = demand * d(N) / (1 - phi_p).
+    n_run = 1.0
+    for _ in range(64):
+        b = max(1, min(cap, int(math.ceil(n_run - _EPS))))
+        n_new = min(float(cap), demand_tok * d_of(b) / (1.0 - phi_p))
+        if abs(n_new - n_run) < 1e-9:
+            n_run = n_new
+            break
+        n_run = n_new
+    b = max(1, min(cap, int(math.ceil(n_run - _EPS))))
+    d_s = d_of(b)
+
+    tpot = d_s / (1.0 - phi_p)
+    ttft = p + d_s
+    latency = ttft + (output_tokens - 1) * tpot
+    busy_dec = demand_tok * d_s / b
+    util = min(1.0, phi_p + busy_dec)
+
+    w_pre = rates.watts(rates.prefill_cost(input_tokens))
+    w_dec = rates.watts(rates.decode_cost(
+        b, _context_at(b, input_tokens, output_tokens)))
+    w_idle = rates.idle_watts()
+    node_w = phi_p * w_pre + busy_dec * w_dec + (1.0 - util) * w_idle
+    thermal_risk = _steady_throttle_risk(rates, node_w)
+    return FluidEstimate(
+        stable=True, nodes=nodes, batch=n_run, utilization=util,
+        throughput_tok_s=demand_tok * nodes, ttft_s=ttft, tpot_s=tpot,
+        latency_s=latency, watts=node_w * nodes,
+        j_per_token=node_w / demand_tok,
+        kv_tokens=n_run * rates.reservation_tokens(
+            input_tokens, output_tokens),
+        kv_capacity_tokens=rates.kv_capacity_tokens,
+        concurrency_cap=cap, capacity_tok_s=capacity_tok * nodes,
+        throttle_risk=thermal_risk)
+
+
+def _steady_throttle_risk(rates: ServiceRates, node_watts: float) -> bool:
+    """Would sustained ``node_watts`` cross the stock RC throttle point?
+
+    The fluid model checks the equilibrium temperature but does not
+    model the clock feedback; a risky cell is flagged so the planner
+    can warn rather than silently over-promise.
+    """
+    from repro.hardware.thermal import ThermalModel
+
+    t = ThermalModel()
+    return t.steady_state_c(node_watts) >= t.throttle_temp_c
+
+
+@dataclass
+class _NodeTrace:
+    """Per-node integrals of one Euler pass (for fleet aggregation)."""
+
+    n_requests: int
+    makespan_s: float
+    tokens: float
+    int_q: float      # ∫ Q dt  (queue-wait mass)
+    int_sys: float    # ∫ (Q+N) dt  (total sojourn mass)
+    int_n: float      # ∫ N dt  (decode-residence mass)
+    busy_s: float
+    energy_j: float
+    mean_step_s: float
+    drained: bool
+
+
+def _integrate_node(
+    rates: ServiceRates,
+    arrivals: Sequence[float],
+    input_tokens: int,
+    output_tokens: int,
+    cap: int,
+) -> _NodeTrace:
+    """Explicit Euler pass over one node's concrete arrival times.
+
+    Service is fluid but completion is Lagrangian: the integrator keeps
+    a decode *step counter* ``S`` advancing at ``1/d(b)`` steps per
+    busy second, and each admitted parcel of mass completes exactly
+    ``L_out`` steps after its admission stamp — the continuous-batching
+    invariant the DES enforces (every decode step gives every running
+    request one token).  Draining mass proportionally instead would
+    shrink the batch before its requests actually finish and
+    systematically understate the tail throughput.
+    """
+    n = len(arrivals)
+    p = rates.prefill_cost(input_tokens).seconds
+    w_pre = rates.watts(rates.prefill_cost(input_tokens))
+    w_idle = rates.idle_watts()
+    d_cap = rates.decode_cost(
+        cap, _context_at(cap, input_tokens, output_tokens)).seconds
+    dt = max(1e-3, min(0.5, d_cap))
+
+    t = 0.0
+    q = 0.0
+    running = 0.0
+    steps = 0.0          # S: decode steps completed so far
+    active: list = []    # FIFO of [admit_step, mass] parcels
+    i = 0
+    tokens = 0.0
+    int_q = int_sys = int_n = 0.0
+    busy = energy = 0.0
+    d_time_sum = d_weight = 0.0
+    drained = True
+    for _ in range(_MAX_STEPS):
+        if i >= n and q + running <= 1e-6:
+            break
+        while i < n and arrivals[i] < t + dt:
+            q += 1.0
+            i += 1
+        want = min(q, float(cap) - running)
+        t_pre = min(dt, max(0.0, want) * p) if p > 0 else 0.0
+        adm = t_pre / p if p > 0 else max(0.0, want)
+        if adm > _EPS:
+            q -= adm
+            running += adm
+            active.append([steps, adm])
+        t_dec = dt - t_pre
+        energy += w_pre * t_pre
+        int_n += running * dt
+        int_sys += (q + running) * dt
+        int_q += q * dt
+        if running > _EPS and t_dec > 0:
+            b = max(1, min(cap, int(round(running))))
+            cost = rates.decode_cost(
+                b, _context_at(b, input_tokens, output_tokens))
+            d_step = steps
+            steps += t_dec / cost.seconds
+            tokens += running * (steps - d_step)
+            d_time_sum += cost.seconds * t_dec
+            d_weight += t_dec
+            busy += t_pre + t_dec
+            energy += rates.watts(cost) * t_dec
+            while active and active[0][0] + output_tokens <= steps:
+                running -= active.pop(0)[1]
+            running = max(0.0, running)
+        else:
+            energy += w_idle * t_dec
+            busy += t_pre
+        t += dt
+    else:
+        drained = False
+    return _NodeTrace(
+        n_requests=n, makespan_s=t, tokens=tokens, int_q=int_q,
+        int_sys=int_sys, int_n=int_n, busy_s=busy, energy_j=energy,
+        mean_step_s=(d_time_sum / d_weight if d_weight > 0 else 0.0),
+        drained=drained)
+
+
+def integrate(
+    rates: ServiceRates,
+    arrivals: Sequence[float],
+    input_tokens: int,
+    output_tokens: int,
+    nodes: int = 1,
+    max_batch: int = 8,
+    router: Optional[str] = None,
+) -> FluidEstimate:
+    """Fluid-integrate a concrete arrival trace over a homogeneous fleet.
+
+    Arrivals are split round-robin across the nodes — for a homogeneous
+    fleet every load-balancing router in the DES (round-robin, jsq,
+    least-kv, energy-aware) converges to an even split, so one fluid
+    split serves the whole router axis (``router`` is accepted for
+    symmetry and ignored).  Fleet metrics recombine via Little's law:
+    total sojourn mass over requests gives mean latency, queue mass
+    gives the waiting part of TTFT.
+    """
+    if not arrivals:
+        raise ConfigError("need at least one arrival")
+    if nodes < 1:
+        raise ConfigError("need >= 1 node")
+    cap = rates.concurrency_cap(input_tokens, output_tokens, max_batch)
+    if cap < 1:
+        return _infeasible(rates, nodes, cap)
+    times = sorted(float(a) for a in arrivals)
+    traces = []
+    for k in range(nodes):
+        node_arr = times[k::nodes]
+        if node_arr:
+            traces.append(_integrate_node(
+                rates, node_arr, input_tokens, output_tokens, cap))
+    n_total = sum(tr.n_requests for tr in traces)
+    makespan = max(tr.makespan_s for tr in traces)
+    tokens = sum(tr.tokens for tr in traces)
+    # Nodes that drain early idle (at idle watts) until the fleet ends,
+    # exactly like their DES power samplers keep integrating.
+    w_idle = rates.idle_watts()
+    energy = sum(tr.energy_j + w_idle * (makespan - tr.makespan_s)
+                 for tr in traces)
+    # Idle nodes beyond the trace count (possible when nodes > requests).
+    energy += w_idle * makespan * (nodes - len(traces))
+    p = rates.prefill_cost(input_tokens).seconds
+    mean_step = (sum(tr.mean_step_s * tr.n_requests for tr in traces)
+                 / n_total)
+    ttft = sum(tr.int_q for tr in traces) / n_total + p + mean_step
+    latency = sum(tr.int_sys for tr in traces) / n_total
+    tpot = (sum(tr.int_n for tr in traces) / tokens) if tokens > 0 else 0.0
+    util = sum(tr.busy_s for tr in traces) / (nodes * makespan)
+    batch = sum(tr.int_n for tr in traces) / (len(traces) * makespan)
+    stable = all(tr.drained for tr in traces)
+    node_w = energy / makespan / nodes
+    return FluidEstimate(
+        stable=stable, nodes=nodes, batch=batch, utilization=util,
+        throughput_tok_s=tokens / makespan, ttft_s=ttft, tpot_s=tpot,
+        latency_s=latency, watts=energy / makespan,
+        j_per_token=energy / tokens if tokens > 0 else math.inf,
+        kv_tokens=batch * rates.reservation_tokens(
+            input_tokens, output_tokens),
+        kv_capacity_tokens=rates.kv_capacity_tokens,
+        concurrency_cap=cap,
+        capacity_tok_s=nodes * cap / rates.decode_cost(
+            cap, _context_at(cap, input_tokens, output_tokens)).seconds,
+        throttle_risk=_steady_throttle_risk(rates, node_w),
+        makespan_s=makespan)

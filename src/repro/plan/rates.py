@@ -1,0 +1,131 @@
+"""Service-rate extraction: one operating point -> calibrated rates.
+
+The fluid planner does not invent its own cost model.  A
+:class:`ServiceRates` binds the exact objects a
+:class:`~repro.cluster.node.ClusterNode` would build for a (model,
+precision, runtime, device, power mode) tuple — the backend's
+:class:`~repro.engine.kernels.StepTimer`, the
+:class:`~repro.power.model.PowerModel`, and the node's natural KV
+budget — and exposes them as the per-phase rates the ODE needs:
+seconds per prompt prefill, seconds per decode step at a batch and
+context, watts for each, and the M_total/B token budgets.  Because the
+DES reads the same timer through the same backend hooks (DynamicCache
+concat traffic included), analytic and discrete-event predictions can
+only diverge through the *dynamics* approximation, never through the
+cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backends.base import resolve_backend
+from repro.cluster.node import natural_kv_budget
+from repro.engine.kernels import EngineCostParams, StepCost
+from repro.errors import ConfigError
+from repro.models import get_model
+from repro.power.model import ComponentUtilization, PowerModel
+from repro.power.modes import device_at_mode
+from repro.quant.dtypes import Precision
+
+
+class ServiceRates:
+    """Calibrated prefill/decode rates at one operating point.
+
+    Construction applies the power mode to a fresh device instance, so
+    every cost below is evaluated at exactly the clocks and core counts
+    the DES node would run — including the GGUF backend's host-loop
+    timer subclass and the paged backend's zero concat traffic.
+    """
+
+    def __init__(
+        self,
+        model: str,
+        precision: str,
+        runtime: str,
+        device: str = "jetson-orin-agx-64gb",
+        power_mode: str = "MAXN",
+        params: Optional[EngineCostParams] = None,
+        power_model: Optional[PowerModel] = None,
+    ):
+        self.model = model
+        self.runtime = runtime
+        self.power_mode = power_mode
+        self.arch = get_model(model)
+        self.precision = Precision.parse(precision)
+        self.backend = resolve_backend(runtime)
+        self.device = device_at_mode(device, power_mode)
+        self.timer = self.backend.make_timer(
+            self.arch, self.device, self.precision, params)
+        self.power_model = power_model or PowerModel()
+        self.kv_per_token = (
+            self.arch.kv_cache_spec().bytes_per_token_per_layer
+            * self.arch.n_layers
+        )
+        #: Natural KV budget (may be <= 0 when weights alone overflow).
+        self.kv_budget_bytes = natural_kv_budget(
+            self.device, self.backend, self.arch, self.precision)
+
+    @property
+    def fits(self) -> bool:
+        """True iff the weights leave any KV budget on the board."""
+        return self.kv_budget_bytes > 0
+
+    @property
+    def kv_capacity_tokens(self) -> int:
+        """M_total: the KV budget expressed in cache tokens."""
+        if not self.fits:
+            return 0
+        return self.kv_budget_bytes // self.kv_per_token
+
+    # -- per-phase costs ---------------------------------------------------
+    def prefill_cost(self, prompt_tokens: int) -> StepCost:
+        """One request's prompt ingestion (the node prefills at bs=1)."""
+        return self.timer.prefill(1, max(1, prompt_tokens))
+
+    def decode_cost(self, batch: int, context: int) -> StepCost:
+        """One decode iteration, with the backend's concat traffic —
+        the same call the node's serve loop issues."""
+        concat = self.backend.decode_concat_bytes(
+            self.kv_per_token * batch * context)
+        return self.timer.decode_step(batch, context, concat_bytes=concat)
+
+    def watts(self, cost: StepCost) -> float:
+        """Board power while executing ``cost`` (CMOS decomposition)."""
+        return self.power_model.power_w(
+            self.device, ComponentUtilization.from_step_cost(cost))
+
+    def idle_watts(self) -> float:
+        return self.power_model.power_w(
+            self.device, ComponentUtilization.idle())
+
+    # -- budgets -----------------------------------------------------------
+    def reservation_tokens(self, input_tokens: int,
+                           output_tokens: int) -> int:
+        """KV tokens one request occupies at steady state.
+
+        Reservation backends (hf/gguf) charge the whole lifetime at
+        admission; the paged backend admits by prompt blocks and grows,
+        so its sustainable occupancy is the staggered-batch mean — the
+        prompt plus half the output, block-rounded.
+        """
+        if self.backend.admits_by_free_blocks:
+            nbytes = self.backend.live_kv_bytes(
+                input_tokens, output_tokens // 2, output_tokens,
+                self.kv_per_token)
+        else:
+            nbytes = self.backend.request_kv_reservation(
+                input_tokens, output_tokens, self.kv_per_token)
+        return max(1, nbytes // self.kv_per_token)
+
+    def concurrency_cap(self, input_tokens: int, output_tokens: int,
+                        max_batch: int = 8) -> int:
+        """B: the sustainable running-batch bound — the node's batch cap
+        clipped by how many requests the KV budget can hold at once."""
+        if max_batch < 1:
+            raise ConfigError("max_batch must be >= 1")
+        if not self.fits:
+            return 0
+        by_kv = self.kv_capacity_tokens // self.reservation_tokens(
+            input_tokens, output_tokens)
+        return min(max_batch, by_kv)

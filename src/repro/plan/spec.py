@@ -1,0 +1,234 @@
+"""``PlanSpec`` and the capacity search behind ``repro plan``.
+
+One frozen spec describes the question an operator asks before buying
+or re-flashing hardware: *this model, this traffic, this SLO — what do
+I deploy?*  :func:`plan` answers it analytically: for every candidate
+(runtime, precision, power mode) it solves the fluid steady state at
+increasing node counts until the SLO holds with headroom, then ranks
+the feasible configurations by node count and fleet watts.  A full
+search over the default axes answers in well under a second — the
+whole point of the analytic tier — and every number it emits comes
+from the same calibrated :class:`~repro.engine.kernels.StepTimer`
+costs the DES replays, so ``repro plan --validate`` can hold it to a
+measured error budget.
+
+The engine-probing feasibility searches that used to live in
+``repro.core.planner`` are methods here (:meth:`PlanSpec.feasibility`,
+:meth:`PlanSpec.max_batch_size`, :meth:`PlanSpec.max_seq_len`); the
+old function signatures survive as ``DeprecationWarning`` shims.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cache import payload_fingerprint
+from repro.errors import ConfigError
+from repro.plan.fluid import FluidEstimate, steady_state
+from repro.plan.rates import ServiceRates
+
+#: Bump when the fluid model's semantics change (folded into cache keys
+#: so committed artifacts never silently mix model generations).
+PLAN_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """One capacity-planning question (frozen, content-addressable)."""
+
+    model: str = "llama3.1-8b"
+    device: str = "jetson-orin-agx-64gb"
+    # -- traffic ---------------------------------------------------------
+    rate_per_s: float = 2.0
+    input_tokens: int = 64
+    output_tokens: int = 64
+    # -- SLO targets (None disables a dimension) -------------------------
+    slo_ttft_s: Optional[float] = 10.0
+    slo_tpot_s: Optional[float] = 1.0
+    slo_e2e_s: Optional[float] = None
+    # -- candidate axes the search ranges over ---------------------------
+    runtimes: Tuple[str, ...] = ("hf-transformers", "paged", "gguf")
+    precisions: Tuple[str, ...] = ("fp16",)
+    power_modes: Tuple[str, ...] = ("MAXN",)
+    max_nodes: int = 8
+    max_batch: int = 8
+    #: Refuse operating points busier than this (stochastic queueing the
+    #: fluid model cannot see blows up near saturation).
+    max_utilization: float = 0.9
+
+    def __post_init__(self) -> None:
+        from repro.backends import get_backend
+        from repro.hardware import get_device
+        from repro.models import get_model
+        from repro.power.modes import get_power_mode
+        from repro.quant.dtypes import Precision
+
+        get_model(self.model)        # typed error on unknown names,
+        get_device(self.device)      # each listing the known set
+        if not self.runtimes or not self.precisions or not self.power_modes:
+            raise ConfigError("candidate axes must be non-empty")
+        for rt in self.runtimes:
+            get_backend(rt)
+        for prec in self.precisions:
+            Precision.parse(prec)
+        for mode in self.power_modes:
+            get_power_mode(mode)
+        if self.rate_per_s <= 0:
+            raise ConfigError("rate_per_s must be positive")
+        if self.input_tokens < 1 or self.output_tokens < 1:
+            raise ConfigError("token counts must be >= 1")
+        if self.max_nodes < 1 or self.max_batch < 1:
+            raise ConfigError("max_nodes and max_batch must be >= 1")
+        if not 0.0 < self.max_utilization <= 1.0:
+            raise ConfigError("max_utilization must be in (0, 1]")
+        for name in ("slo_ttft_s", "slo_tpot_s", "slo_e2e_s"):
+            v = getattr(self, name)
+            if v is not None and v <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+    def cache_key(self) -> str:
+        """Content address folding the fluid-model version."""
+        payload = dataclasses.asdict(self)
+        payload["plan_version"] = PLAN_VERSION
+        return payload_fingerprint(payload)
+
+    # -- engine-probing feasibility (the folded legacy planner) ----------
+    def max_batch_size(self, upper: int = 4096) -> Optional[int]:
+        """Largest engine-feasible batch at this spec's request shape."""
+        from repro.engine.request import GenerationSpec
+        from repro.plan.feasibility import probe_max_batch
+        from repro.quant.dtypes import Precision
+
+        return probe_max_batch(
+            self.model, Precision.parse(self.precisions[0]), self.device,
+            GenerationSpec(self.input_tokens, self.output_tokens), upper)
+
+    def max_seq_len(self, batch_size: int = 32,
+                    input_fraction: float = 0.25,
+                    upper: int = 65536) -> Optional[int]:
+        """Longest engine-feasible total sequence at ``batch_size``."""
+        from repro.plan.feasibility import probe_max_seq_len
+        from repro.quant.dtypes import Precision
+
+        return probe_max_seq_len(
+            self.model, Precision.parse(self.precisions[0]), self.device,
+            batch_size, input_fraction, upper)
+
+    def feasibility(self, upper_batch: int = 4096, batch_size: int = 32,
+                    input_fraction: float = 0.25,
+                    upper_seq: int = 65536):
+        """Both OOM boundaries in one :class:`FeasibilityEnvelope`."""
+        from repro.plan.feasibility import FeasibilityEnvelope
+
+        bs = self.max_batch_size(upper=upper_batch)
+        sl = (self.max_seq_len(batch_size=batch_size,
+                               input_fraction=input_fraction,
+                               upper=upper_seq)
+              if bs is not None else None)
+        return FeasibilityEnvelope(max_batch_size=bs, max_seq_len=sl)
+
+
+@dataclass
+class PlanReport:
+    """Capacity-search outcome: one row per candidate, best first marked.
+
+    ``chosen`` is the feasible row with the fewest nodes (fleet watts
+    breaking ties); ``None`` when nothing inside the axes meets the SLO.
+    """
+
+    spec: PlanSpec
+    rows: List[Dict] = dataclasses.field(default_factory=list)
+    chosen: Optional[Dict] = None
+
+    def table(self) -> str:
+        """Aligned text table of the rows (stable formatting)."""
+        if not self.rows:
+            return ""
+        cols = list(self.rows[0])
+        widths = {c: max(len(c), *(len(str(r[c])) for r in self.rows))
+                  for c in cols}
+        lines = ["  ".join(c.ljust(widths[c]) for c in cols)]
+        for r in self.rows:
+            lines.append("  ".join(str(r[c]).ljust(widths[c]) for c in cols))
+        return "\n".join(lines)
+
+
+def _fin(value: float, digits: int) -> object:
+    """Round finite values; render unbounded ones as ``inf``."""
+    return "inf" if math.isinf(value) else round(value, digits)
+
+
+def _meets_slo(spec: PlanSpec, est: FluidEstimate) -> bool:
+    if not est.stable or est.utilization > spec.max_utilization:
+        return False
+    if spec.slo_ttft_s is not None and est.ttft_s > spec.slo_ttft_s:
+        return False
+    if spec.slo_tpot_s is not None and est.tpot_s > spec.slo_tpot_s:
+        return False
+    if spec.slo_e2e_s is not None and est.latency_s > spec.slo_e2e_s:
+        return False
+    return True
+
+
+def _row_of(spec: PlanSpec, runtime: str, precision: str, mode: str,
+            est: FluidEstimate, feasible: bool) -> Dict:
+    return {
+        "runtime": runtime,
+        "precision": precision,
+        "power_mode": mode,
+        "nodes": est.nodes,
+        "slo_ok": feasible,
+        "stable": est.stable,
+        "batch": round(est.batch, 2),
+        "utilization": round(est.utilization, 3),
+        "throughput_tok_s": round(est.throughput_tok_s, 1),
+        "capacity_tok_s": round(est.capacity_tok_s, 1),
+        "ttft_s": _fin(est.ttft_s, 3),
+        "tpot_s": _fin(est.tpot_s, 4),
+        "latency_s": _fin(est.latency_s, 2),
+        "watts": round(est.watts, 1),
+        "j_per_token": _fin(est.j_per_token, 4),
+        "kv_tokens": round(est.kv_tokens, 1),
+        "kv_cap_tokens": est.kv_capacity_tokens,
+        "throttle_risk": est.throttle_risk,
+    }
+
+
+def plan(spec: PlanSpec) -> PlanReport:
+    """Run the capacity search over the spec's candidate axes.
+
+    For each (runtime, precision, power mode) the search walks node
+    counts upward and keeps the first fleet size that meets the SLO
+    with utilization headroom; candidates that never fit (weights
+    exceed the board) or never stabilise inside ``max_nodes`` appear
+    with ``slo_ok=False`` at ``max_nodes`` so the table still shows
+    *why* they lost.
+    """
+    report = PlanReport(spec=spec)
+    for runtime in spec.runtimes:
+        for precision in spec.precisions:
+            for mode in spec.power_modes:
+                rates = ServiceRates(
+                    spec.model, precision, runtime,
+                    device=spec.device, power_mode=mode)
+                best: Optional[FluidEstimate] = None
+                feasible = False
+                for nodes in range(1, spec.max_nodes + 1):
+                    est = steady_state(
+                        rates, spec.rate_per_s, spec.input_tokens,
+                        spec.output_tokens, nodes=nodes,
+                        max_batch=spec.max_batch)
+                    best = est
+                    if _meets_slo(spec, est):
+                        feasible = True
+                        break
+                report.rows.append(_row_of(
+                    spec, runtime, precision, mode, best, feasible))
+    winners = [r for r in report.rows if r["slo_ok"]]
+    if winners:
+        report.chosen = min(
+            winners, key=lambda r: (r["nodes"], r["watts"]))
+    return report

@@ -13,7 +13,9 @@ from repro.power.modes import (
     PAPER_POWER_MODES,
     PowerMode,
     apply_power_mode,
+    device_at_mode,
     get_power_mode,
+    list_power_modes,
     parse_nvpmodel_conf,
     render_nvpmodel_conf,
 )
@@ -26,7 +28,9 @@ __all__ = [
     "PowerMode",
     "PowerModel",
     "apply_power_mode",
+    "device_at_mode",
     "get_power_mode",
+    "list_power_modes",
     "parse_nvpmodel_conf",
     "render_nvpmodel_conf",
 ]

@@ -56,6 +56,18 @@ class ComponentUtilization:
     def idle() -> "ComponentUtilization":
         return ComponentUtilization()
 
+    @staticmethod
+    def from_step_cost(cost) -> "ComponentUtilization":
+        """The utilization snapshot a :class:`~repro.engine.kernels.StepCost`
+        implies — the single mapping both the cluster nodes and the
+        analytic planner attribute step power through."""
+        return ComponentUtilization(
+            gpu_compute=cost.gpu_compute_frac,
+            gpu_busy=cost.gpu_busy_frac,
+            mem_bw=cost.mem_bw_frac,
+            cpu_cores_active=cost.cpu_cores_active,
+        )
+
 
 @dataclass
 class PowerModel:

@@ -91,6 +91,28 @@ def get_power_mode(name: str) -> PowerMode:
     return mode
 
 
+def list_power_modes() -> List[str]:
+    """Names of the paper's nvpmodel-style modes, MAXN first."""
+    return list(PAPER_POWER_MODES)
+
+
+def device_at_mode(device, mode: str = None) -> EdgeDevice:
+    """A fresh device instance pinned at a named operating point.
+
+    ``device`` may be a preset name or an :class:`EdgeDevice` (mutated
+    in place when an instance is passed — same contract as node
+    construction).  This is the operating-point lookup the analytic
+    planner uses: one call yields the exact clock/core state the
+    :class:`~repro.engine.kernels.StepTimer` will read.
+    """
+    from repro.hardware.device import get_device
+
+    dev = get_device(device) if isinstance(device, str) else device
+    if mode is not None:
+        apply_power_mode(dev, get_power_mode(mode))
+    return dev
+
+
 def apply_power_mode(device: EdgeDevice, mode: PowerMode) -> None:
     """Set the device's operating point to ``mode``.
 

@@ -16,6 +16,10 @@
   tables (goodput/TTFT vs. policy with sacrifice-baseline deltas).
 - :mod:`repro.reporting.fairness` — fair-scheduler comparison tables
   (token-weighted Jain / min good share with FCFS-baseline deltas).
+- :mod:`repro.reporting.comparison` — the shared baseline-first
+  comparison recipe the four tables above are built on.
+- :mod:`repro.reporting.plan` — capacity-plan candidate tables
+  (nodes/watts/J-per-token deltas against the chosen configuration).
 """
 
 from repro.reporting.tables import format_table, markdown_table
@@ -24,12 +28,15 @@ from repro.reporting.export import write_csv, write_json
 from repro.reporting.compare import compare_rows, deviation_summary
 from repro.reporting.breakdown import phase_breakdown
 from repro.reporting.backends import runtime_comparison
+from repro.reporting.comparison import baseline_comparison
 from repro.reporting.kvtier import kv_policy_comparison
 from repro.reporting.fairness import fairness_comparison
+from repro.reporting.plan import plan_table
 
 __all__ = [
     "ascii_bars",
     "ascii_lines",
+    "baseline_comparison",
     "compare_rows",
     "deviation_summary",
     "fairness_comparison",
@@ -37,6 +44,7 @@ __all__ = [
     "kv_policy_comparison",
     "markdown_table",
     "phase_breakdown",
+    "plan_table",
     "runtime_comparison",
     "write_csv",
     "write_json",

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.runtime import RunResult
+from repro.reporting.comparison import baseline_comparison
 
 #: The baseline runtime speedups are computed against.
 BASELINE_RUNTIME = "hf-transformers"
@@ -54,31 +55,35 @@ def runtime_comparison(results: Sequence[RunResult]) -> List[dict]:
             order.append(key)
         cells[key].append(r)
 
+    def build_row(r: RunResult) -> dict:
+        return {
+            "model": r.model,
+            "device": r.device,
+            "precision": r.precision.value,
+            "power_mode": r.power_mode,
+            "batch_size": r.batch_size,
+            "seq_len": r.gen.total_tokens,
+            "runtime": r.runtime,
+            "oom": r.oom,
+            "throughput_tok_s": round(r.throughput_tok_s, 2),
+            "ttft_s": round(_ttft_s(r), 3),
+            "energy_j_per_tok": round(_energy_j_per_token(r), 3),
+            "ram_gb": round(r.total_gb, 2),
+        }
+
+    def build_deltas(r: RunResult, base: Optional[RunResult]) -> dict:
+        speedup: object = ""
+        if base is not None and not r.oom and base.throughput_tok_s > 0:
+            speedup = round(r.throughput_tok_s / base.throughput_tok_s, 2)
+        return {"speedup_x": speedup}
+
     rows: List[dict] = []
     for key in order:
         group = sorted(
             cells[key],
             key=lambda r: (r.runtime != BASELINE_RUNTIME, r.runtime))
-        base: Optional[RunResult] = next(
-            (r for r in group if r.runtime == BASELINE_RUNTIME and not r.oom),
-            None)
-        for r in group:
-            speedup: object = ""
-            if base is not None and not r.oom and base.throughput_tok_s > 0:
-                speedup = round(r.throughput_tok_s / base.throughput_tok_s, 2)
-            rows.append({
-                "model": r.model,
-                "device": r.device,
-                "precision": r.precision.value,
-                "power_mode": r.power_mode,
-                "batch_size": r.batch_size,
-                "seq_len": r.gen.total_tokens,
-                "runtime": r.runtime,
-                "oom": r.oom,
-                "throughput_tok_s": round(r.throughput_tok_s, 2),
-                "ttft_s": round(_ttft_s(r), 3),
-                "energy_j_per_tok": round(_energy_j_per_token(r), 3),
-                "ram_gb": round(r.total_gb, 2),
-                "speedup_x": speedup,
-            })
+        rows.extend(baseline_comparison(
+            group,
+            lambda r: r.runtime == BASELINE_RUNTIME and not r.oom,
+            build_row, build_deltas))
     return rows

@@ -1,0 +1,40 @@
+"""The shared baseline-first comparison-table builder.
+
+Every comparison table in this package follows the same recipe: pick
+the first entry matching a baseline predicate, emit one row per entry
+in input order, and append delta columns computed against that
+baseline (blank strings when it is absent or unusable).  The recipe
+used to be re-implemented in :mod:`repro.reporting.backends`,
+:mod:`repro.reporting.kvtier` and :mod:`repro.reporting.fairness`;
+:func:`baseline_comparison` is the single copy they — and
+:mod:`repro.reporting.plan` — now build on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+E = TypeVar("E")
+
+
+def baseline_comparison(
+    entries: Sequence[E],
+    is_baseline: Callable[[E], bool],
+    build_row: Callable[[E], Dict],
+    build_deltas: Callable[[E, Optional[E]], Dict],
+) -> List[Dict]:
+    """One row per entry, with deltas against the first baseline entry.
+
+    ``build_row`` produces the entry's own columns; ``build_deltas``
+    receives ``(entry, baseline-or-None)`` and returns the delta
+    columns, which are merged after the row columns so they land at
+    the end of every row.  Row order follows the input order — the
+    baseline is *found* by predicate, never moved.
+    """
+    base: Optional[E] = next((e for e in entries if is_baseline(e)), None)
+    rows: List[Dict] = []
+    for e in entries:
+        row = build_row(e)
+        row.update(build_deltas(e, base))
+        rows.append(row)
+    return rows

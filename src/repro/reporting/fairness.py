@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.slo import ClusterReport
+from repro.reporting.comparison import baseline_comparison
 
 #: The baseline discipline deltas are computed against (today's order).
 BASELINE_SCHEDULER = "fcfs"
@@ -28,21 +29,13 @@ def fairness_comparison(
     max-min fairness view) are relative to the first run labelled
     :data:`BASELINE_SCHEDULER`; blank when no baseline run is present.
     """
-    base: Optional[ClusterReport] = next(
-        (rep for label, rep in runs if label == BASELINE_SCHEDULER), None)
-
     def min_share(rep: ClusterReport) -> float:
         shares = [t.slo_good_share for t in rep.tenants]
         return min(shares) if shares else 0.0
 
-    rows: List[dict] = []
-    for label, rep in runs:
-        jain_gain: object = ""
-        share_gain: object = ""
-        if base is not None:
-            jain_gain = round(rep.jain_tokens - base.jain_tokens, 3)
-            share_gain = round(min_share(rep) - min_share(base), 3)
-        rows.append({
+    def build_row(run: Tuple[str, ClusterReport]) -> dict:
+        label, rep = run
+        return {
             "scheduler": label,
             "completed": rep.completed,
             "throttled": rep.throttled,
@@ -54,7 +47,20 @@ def fairness_comparison(
             "wasted_tokens": rep.wasted_tokens,
             "throttled_tokens": rep.throttled_tokens,
             "j_per_token": round(rep.j_per_token, 4),
-            "jain_tokens_gain": jain_gain,
-            "min_share_gain": share_gain,
-        })
-    return rows
+        }
+
+    def build_deltas(run: Tuple[str, ClusterReport],
+                     base_run: Optional[Tuple[str, ClusterReport]]) -> dict:
+        rep = run[1]
+        base = base_run[1] if base_run is not None else None
+        jain_gain: object = ""
+        share_gain: object = ""
+        if base is not None:
+            jain_gain = round(rep.jain_tokens - base.jain_tokens, 3)
+            share_gain = round(min_share(rep) - min_share(base), 3)
+        return {"jain_tokens_gain": jain_gain, "min_share_gain": share_gain}
+
+    return baseline_comparison(
+        list(runs),
+        lambda run: run[0] == BASELINE_SCHEDULER,
+        build_row, build_deltas)

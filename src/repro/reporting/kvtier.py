@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.slo import ClusterReport
+from repro.reporting.comparison import baseline_comparison
 
 #: The baseline policy deltas are computed against (today's behaviour).
 BASELINE_POLICY = "sacrifice"
@@ -27,17 +28,9 @@ def kv_policy_comparison(
     relative to the first run whose label starts with
     :data:`BASELINE_POLICY`; blank when no baseline run is present.
     """
-    base: Optional[ClusterReport] = next(
-        (rep for label, rep in runs
-         if label.split("-")[0] == BASELINE_POLICY), None)
-    rows: List[dict] = []
-    for label, rep in runs:
-        goodput_x: object = ""
-        ttft_saved: object = ""
-        if base is not None and base.goodput_rps > 0:
-            goodput_x = round(rep.goodput_rps / base.goodput_rps, 2)
-            ttft_saved = round(base.p50_ttft_s - rep.p50_ttft_s, 3)
-        rows.append({
+    def build_row(run: Tuple[str, ClusterReport]) -> dict:
+        label, rep = run
+        return {
             "kv_policy": label,
             "completed": rep.completed,
             "goodput_rps": round(rep.goodput_rps, 4),
@@ -49,7 +42,20 @@ def kv_policy_comparison(
             "swapped_gb": round(rep.swapped_gb, 3),
             "prefix_hit_rate": round(rep.prefix_hit_rate, 3),
             "j_per_token": round(rep.j_per_token, 4),
-            "goodput_x": goodput_x,
-            "ttft_saved_s": ttft_saved,
-        })
-    return rows
+        }
+
+    def build_deltas(run: Tuple[str, ClusterReport],
+                     base_run: Optional[Tuple[str, ClusterReport]]) -> dict:
+        rep = run[1]
+        base = base_run[1] if base_run is not None else None
+        goodput_x: object = ""
+        ttft_saved: object = ""
+        if base is not None and base.goodput_rps > 0:
+            goodput_x = round(rep.goodput_rps / base.goodput_rps, 2)
+            ttft_saved = round(base.p50_ttft_s - rep.p50_ttft_s, 3)
+        return {"goodput_x": goodput_x, "ttft_saved_s": ttft_saved}
+
+    return baseline_comparison(
+        list(runs),
+        lambda run: run[0].split("-")[0] == BASELINE_POLICY,
+        build_row, build_deltas)

@@ -1,0 +1,52 @@
+"""Capacity-plan comparison tables.
+
+Lays the rows of a :class:`~repro.plan.spec.PlanReport` side by side
+with deltas against the *chosen* configuration — the feasible row with
+the fewest nodes (fleet watts breaking ties) — so the table answers
+the question ``repro plan`` exists for: what does each alternative
+cost, in nodes, watts and joules per token, relative to the
+recommendation?  Built on the same
+:func:`~repro.reporting.comparison.baseline_comparison` recipe as the
+runtime/kvtier/fairness tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.reporting.comparison import baseline_comparison
+
+
+def plan_table(report) -> List[Dict]:
+    """Side-by-side candidate rows from a ``PlanReport``.
+
+    Rows keep the report's order.  ``chosen`` marks the recommended
+    row; ``extra_nodes``, ``watts_x`` and ``jpt_x`` are relative to it,
+    blank when no candidate met the SLO (or, for the energy ratio,
+    when either side is unbounded).
+    """
+    chosen = report.chosen
+
+    def build_row(r: Dict) -> Dict:
+        row = dict(r)
+        row["chosen"] = chosen is not None and r is chosen
+        return row
+
+    def build_deltas(r: Dict, base: Optional[Dict]) -> Dict:
+        extra: object = ""
+        watts_x: object = ""
+        jpt_x: object = ""
+        if base is not None and r["slo_ok"]:
+            extra = r["nodes"] - base["nodes"]
+            if base["watts"] > 0:
+                watts_x = round(r["watts"] / base["watts"], 2)
+            if (isinstance(r["j_per_token"], float)
+                    and isinstance(base["j_per_token"], float)
+                    and base["j_per_token"] > 0):
+                jpt_x = round(r["j_per_token"] / base["j_per_token"], 2)
+        return {"extra_nodes": extra, "watts_x": watts_x, "jpt_x": jpt_x}
+
+    return baseline_comparison(
+        report.rows,
+        lambda r: chosen is not None and r is chosen,
+        build_row, build_deltas)

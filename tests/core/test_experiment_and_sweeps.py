@@ -55,6 +55,17 @@ class TestRunExperiment:
         with pytest.raises(PowerModeError):
             run_experiment(ExperimentSpec(model="phi2", power_mode="TURBO"))
 
+    def test_none_power_mode_runs_at_native_operating_point(self):
+        """power_mode=None skips mode application: boards whose clock
+        ranges cannot take the AGX Table-2 values still run, at their
+        own maximum (real nvpmodel MAXN is per-device)."""
+        spec = ExperimentSpec(model="phi2", device="jetson-orin-nx-16gb",
+                              batch_size=1, gen=GenerationSpec(4, 8),
+                              n_runs=1, power_mode=None)
+        res = run_experiment(spec)
+        assert not res.oom
+        assert res.power_mode == "MAXN"  # native max, nvpmodel's label
+
 
 GEN = GenerationSpec(4, 8)
 

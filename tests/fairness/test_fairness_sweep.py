@@ -38,7 +38,7 @@ class TestSpec:
 
     def test_builtin_mixes_registered(self):
         _init_mixes()
-        assert {"balanced", "flood"} <= set(TENANT_MIXES)
+        assert {"balanced", "flood", "weighted"} <= set(TENANT_MIXES)
 
 
 class TestCacheKey:
@@ -89,3 +89,33 @@ class TestSweep:
         text = rep.table()
         assert "scheduler" in text.splitlines()[0]
         assert len(text.splitlines()) == 1 + len(rep.rows)
+
+
+class TestWeightedEntitlements:
+    """The ``weighted`` mix carries profile weights into the schedulers.
+
+    Premium pays for a 3x entitlement; both tenants demand roughly
+    equal tokens.  While both are backlogged a weight-honoring
+    scheduler serves premium ~3x standard's tokens, so its
+    ``weight_fidelity`` (served tokens per unit entitlement inside the
+    contended window, worst/best) must sit well above FCFS's, which
+    serves demand (~1:1 — a third of the entitled ratio).
+    """
+
+    def test_vtc_honors_the_weight_ratio(self):
+        rep = run_fairness(FairnessSpec(
+            mixes=("weighted",), schedulers=("fcfs", "vtc")))
+        by = {r["scheduler"]: r for r in rep.rows}
+        assert by["vtc"]["weight_fidelity"] >= 0.5
+        assert by["vtc"]["weight_fidelity"] > \
+            by["fcfs"]["weight_fidelity"] + 0.2
+
+    def test_equal_weight_mixes_keep_unit_entitlements(self):
+        """Non-weighted mixes must not leak profile weights into the
+        schedulers: the flood tenant's 8x *arrival* share is exactly
+        the adversary fair queueing exists to contain."""
+        from repro.fairness.sweep import WEIGHTED_ENTITLEMENT_MIXES
+
+        assert "flood" not in WEIGHTED_ENTITLEMENT_MIXES
+        assert "balanced" not in WEIGHTED_ENTITLEMENT_MIXES
+        assert "weighted" in WEIGHTED_ENTITLEMENT_MIXES

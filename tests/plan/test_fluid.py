@@ -1,0 +1,88 @@
+"""The fluid model: steady-state fixed point and trace integration."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.plan import ServiceRates, integrate, steady_state
+
+
+@pytest.fixture(scope="module")
+def rates():
+    return ServiceRates("llama3.1-8b", "fp16", "hf-transformers")
+
+
+class TestSteadyState:
+    def test_light_load_is_stable_with_low_utilization(self, rates):
+        est = steady_state(rates, 0.05, 64, 64)
+        assert est.stable
+        assert est.utilization < 0.5
+        assert est.throughput_tok_s == pytest.approx(0.05 * 64)
+
+    def test_overload_is_flagged_unstable(self, rates):
+        est = steady_state(rates, 2.0, 64, 64)
+        assert not est.stable
+        assert est.ttft_s == math.inf
+        assert est.latency_s == math.inf
+        # the capacity ceiling is still reported so the planner can
+        # explain *why* the cell lost
+        assert est.capacity_tok_s > 0
+
+    def test_more_nodes_add_capacity(self, rates):
+        one = steady_state(rates, 0.5, 64, 64, nodes=1)
+        four = steady_state(rates, 0.5, 64, 64, nodes=4)
+        assert four.capacity_tok_s > one.capacity_tok_s
+        assert four.utilization < one.utilization
+
+    def test_latency_decomposes_into_ttft_plus_decode(self, rates):
+        est = steady_state(rates, 0.2, 64, 64)
+        assert est.latency_s == pytest.approx(
+            est.ttft_s + 63 * est.tpot_s)
+
+    def test_kv_occupancy_stays_inside_budget(self, rates):
+        est = steady_state(rates, 0.5, 64, 64)
+        assert 0 < est.kv_tokens <= est.kv_capacity_tokens
+
+    def test_validation(self, rates):
+        with pytest.raises(ConfigError):
+            steady_state(rates, 0.0, 64, 64)
+        with pytest.raises(ConfigError):
+            steady_state(rates, 1.0, 0, 64)
+        with pytest.raises(ConfigError):
+            steady_state(rates, 1.0, 64, 64, nodes=0)
+
+    def test_oversized_model_is_infeasible(self):
+        heavy = ServiceRates("deepq", "fp16", "hf-transformers")
+        est = steady_state(heavy, 0.1, 8, 8)
+        assert not est.stable
+        assert est.throughput_tok_s == 0.0
+
+
+class TestIntegrate:
+    def test_conserves_work(self, rates):
+        """Every arrival's L_out tokens come out of the integrator."""
+        arrivals = [0.5 * k for k in range(20)]
+        est = integrate(rates, arrivals, 64, 64)
+        assert est.stable
+        total = est.throughput_tok_s * est.makespan_s
+        assert total == pytest.approx(20 * 64, rel=0.01)
+
+    def test_single_request_latency_matches_serial_cost(self, rates):
+        est = integrate(rates, [0.0], 64, 64)
+        p = rates.prefill_cost(64).seconds
+        d = rates.decode_cost(1, 64 + 32).seconds
+        assert est.latency_s == pytest.approx(p + 64 * d, rel=0.15)
+
+    def test_fleet_split_speeds_up_the_trace(self, rates):
+        arrivals = [0.1 * k for k in range(30)]
+        one = integrate(rates, arrivals, 64, 64, nodes=1)
+        two = integrate(rates, arrivals, 64, 64, nodes=2)
+        assert two.makespan_s < one.makespan_s
+        assert two.latency_s < one.latency_s
+
+    def test_validation(self, rates):
+        with pytest.raises(ConfigError):
+            integrate(rates, [], 64, 64)
+        with pytest.raises(ConfigError):
+            integrate(rates, [0.0], 64, 64, nodes=0)

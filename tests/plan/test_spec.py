@@ -1,0 +1,121 @@
+"""PlanSpec validation, cache keys, and the capacity search."""
+
+import time
+
+import pytest
+
+from repro.errors import (ConfigError, ModelError, PowerModeError,
+                          QuantizationError, ReproError)
+from repro.plan import PLAN_VERSION, PlanSpec, plan
+
+
+class TestValidation:
+    def test_unknown_model_is_typed_error_listing_names(self):
+        with pytest.raises(ModelError) as exc:
+            PlanSpec(model="gpt5")
+        assert "gpt5" in str(exc.value)
+        assert "llama3.1-8b" in str(exc.value)
+
+    def test_unknown_device_lists_known_devices(self):
+        with pytest.raises(ConfigError) as exc:
+            PlanSpec(device="raspberry-pi")
+        assert "raspberry-pi" in str(exc.value)
+        assert "jetson-orin-agx-64gb" in str(exc.value)
+
+    def test_unknown_runtime_lists_known_backends(self):
+        with pytest.raises(ConfigError) as exc:
+            PlanSpec(runtimes=("vllm",))
+        assert "vllm" in str(exc.value)
+        for known in ("gguf", "hf-transformers", "paged"):
+            assert known in str(exc.value)
+
+    def test_unknown_precision_and_power_mode_are_typed(self):
+        with pytest.raises(QuantizationError):
+            PlanSpec(precisions=("fp12",))
+        with pytest.raises(PowerModeError):
+            PlanSpec(power_modes=("TURBO",))
+
+    def test_empty_axes_rejected(self):
+        for kw in ({"runtimes": ()}, {"precisions": ()},
+                   {"power_modes": ()}):
+            with pytest.raises(ConfigError):
+                PlanSpec(**kw)
+
+    @pytest.mark.parametrize("kw", [
+        {"rate_per_s": 0.0}, {"rate_per_s": -1.0},
+        {"input_tokens": 0}, {"output_tokens": 0},
+        {"max_nodes": 0}, {"max_batch": 0},
+        {"max_utilization": 0.0}, {"max_utilization": 1.5},
+        {"slo_ttft_s": -1.0}, {"slo_tpot_s": 0.0}, {"slo_e2e_s": -2.0},
+    ])
+    def test_bad_numbers_rejected(self, kw):
+        with pytest.raises(ReproError):
+            PlanSpec(**kw)
+
+    def test_disabled_slos_are_fine(self):
+        spec = PlanSpec(slo_ttft_s=None, slo_tpot_s=None, slo_e2e_s=None)
+        assert spec.slo_ttft_s is None
+
+
+class TestCacheKey:
+    def test_stable_for_equal_specs(self):
+        assert PlanSpec().cache_key() == PlanSpec().cache_key()
+
+    def test_changes_with_every_axis(self):
+        base = PlanSpec().cache_key()
+        assert PlanSpec(rate_per_s=3.0).cache_key() != base
+        assert PlanSpec(runtimes=("paged",)).cache_key() != base
+        assert PlanSpec(max_nodes=4).cache_key() != base
+        assert PlanSpec(slo_ttft_s=5.0).cache_key() != base
+
+    def test_folds_the_plan_version(self):
+        from repro.plan import spec as spec_mod
+        base = PlanSpec().cache_key()
+        spec_mod.PLAN_VERSION = PLAN_VERSION + 1
+        try:
+            assert PlanSpec().cache_key() != base
+        finally:
+            spec_mod.PLAN_VERSION = PLAN_VERSION
+
+
+class TestPlanSearch:
+    def test_answers_well_under_a_second(self):
+        start = time.perf_counter()
+        report = plan(PlanSpec())
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0
+        assert report.rows
+
+    def test_rows_cover_the_candidate_grid_in_order(self):
+        spec = PlanSpec(runtimes=("hf-transformers", "gguf"),
+                        power_modes=("MAXN", "C"))
+        report = plan(spec)
+        assert [(r["runtime"], r["power_mode"]) for r in report.rows] == [
+            ("hf-transformers", "MAXN"), ("hf-transformers", "C"),
+            ("gguf", "MAXN"), ("gguf", "C")]
+
+    def test_chosen_is_the_cheapest_feasible_row(self):
+        report = plan(PlanSpec())
+        assert report.chosen is not None
+        assert report.chosen["slo_ok"]
+        winners = [r for r in report.rows if r["slo_ok"]]
+        assert report.chosen["nodes"] == min(r["nodes"] for r in winners)
+
+    def test_impossible_slo_yields_no_choice(self):
+        report = plan(PlanSpec(slo_ttft_s=0.001, max_nodes=2))
+        assert report.chosen is None
+        assert all(not r["slo_ok"] for r in report.rows)
+
+    def test_oversized_model_is_reported_infeasible(self):
+        report = plan(PlanSpec(model="deepq", runtimes=("hf-transformers",),
+                               max_nodes=2))
+        row = report.rows[0]
+        assert not row["slo_ok"]
+        assert not row["stable"]
+        assert report.chosen is None
+
+    def test_table_renders_all_rows(self):
+        report = plan(PlanSpec(runtimes=("hf-transformers",)))
+        text = report.table()
+        assert "runtime" in text.splitlines()[0]
+        assert len(text.splitlines()) == 1 + len(report.rows)
