@@ -15,6 +15,7 @@ each routing policy and sweeps the arrival rate.  Asserted shape:
 from repro.cluster import (
     AutoscalerConfig,
     EdgeCluster,
+    FleetSpec,
     NodeSpec,
     PowerModeAutoscaler,
     SLOSpec,
@@ -36,8 +37,10 @@ N_REQUESTS = 60
 
 def _serve(policy: str, rate: float, autoscale: bool = False,
            trace: str = "poisson"):
-    cluster = EdgeCluster.build(
-        list(FLEET), model="llama", precision="fp16", policy=policy, slo=SLO,
+    cluster = EdgeCluster.of(
+        FleetSpec.of(list(FLEET), model="llama", precision="fp16",
+                     policy=policy),
+        slo=SLO,
     )
     if autoscale:
         cluster.attach_autoscaler(PowerModeAutoscaler(

@@ -26,7 +26,7 @@ paper's single-tenant measurements):
 
 import numpy as np
 
-from repro.cluster import EdgeCluster, NodeSpec
+from repro.cluster import EdgeCluster, FleetSpec, NodeSpec
 from repro.cluster.slo import SLOSpec
 from repro.cluster.workload import ClusterRequest
 from repro.fairness import (FairnessSpec, TokenThrottle, run_fairness,
@@ -58,21 +58,21 @@ def _adversarial_workload(seed=0):
 
 
 def _adversarial_run(scheduler, throttle=None):
-    cluster = EdgeCluster.build(
-        [NodeSpec("jetson-orin-agx-64gb", max_batch=1,
-                  scheduler=scheduler)],
+    cluster = EdgeCluster.of(
+        FleetSpec.of([NodeSpec("jetson-orin-agx-64gb", max_batch=1,
+                               scheduler=scheduler)]),
         slo=SLOSpec(ttft_s=10.0), throttle=throttle,
         tenant_weights=ADVERSARIAL_WEIGHTS)
     return cluster.run(_adversarial_workload())
 
 
 def _session_run(policy):
-    cluster = EdgeCluster.build(
+    cluster = EdgeCluster.of(FleetSpec.of(
         [NodeSpec("jetson-orin-agx-64gb", max_batch=4, runtime="paged",
                   kv_policy="swap-lru"),
          NodeSpec("jetson-orin-agx-64gb", max_batch=4, runtime="paged",
                   kv_policy="swap-lru")],
-        policy=policy)
+        policy=policy))
     inters = session_workload(2.0, 12, mean_turns=4.0, max_turns=6,
                               mean_think_time_s=0.5, seed=0)
     return cluster.run_interactions(inters)
@@ -176,3 +176,32 @@ def test_prefix_affinity_lifts_hit_rate_on_swap_lru_fleet(benchmark, emit):
     assert affinity["prefix_hit_rate"] > rr["prefix_hit_rate"]
     assert affinity["prefix_hit_tokens"] > rr["prefix_hit_tokens"]
     assert affinity["completed"] == rr["completed"]
+
+
+def test_vtc_fairness_holds_under_downshifted_power_mode(benchmark, emit):
+    """ROADMAP close-out: fairness x power mode.  Downshifting the node
+    (nvpmodel B) slows everything, but the *fairness* of the schedule
+    is a property of the queueing discipline, not the clock: VTC's
+    token-weighted Jain edge over FCFS survives the downshift nearly
+    unchanged."""
+    spec = FairnessSpec(mixes=("flood",), schedulers=("fcfs", "vtc"),
+                        power_modes=("MAXN", "B"))
+    report = benchmark.pedantic(lambda: run_fairness(spec),
+                                rounds=1, iterations=1)
+    emit(
+        "fairness_power_modes",
+        format_table(report.rows,
+                     title="Fairness x power mode (flood mix, "
+                           "Orin AGX 64GB downshifted MAXN -> B)"),
+        report.rows,
+    )
+    by = {(r["scheduler"], r["power_mode"]): r for r in report.rows}
+    for mode in ("MAXN", "B"):
+        assert by[("vtc", mode)]["jain_tokens"] > \
+            by[("fcfs", mode)]["jain_tokens"], mode
+    # The downshift costs latency, not fairness: p99 TTFT grows ~50%
+    # while VTC's Jain index moves by a couple percent.
+    assert by[("vtc", "B")]["p99_ttft_s"] > \
+        by[("vtc", "MAXN")]["p99_ttft_s"] * 1.2
+    assert abs(by[("vtc", "B")]["jain_tokens"] -
+               by[("vtc", "MAXN")]["jain_tokens"]) < 0.05

@@ -16,6 +16,7 @@ import sys
 
 from repro.cluster import (
     EdgeCluster,
+    FleetSpec,
     NodeSpec,
     SLOSpec,
     bursty_workload,
@@ -39,9 +40,10 @@ def main(rate: float = 2.0) -> None:
 
     rows = []
     for policy in list_policies():
-        cluster = EdgeCluster.build(
-            list(FLEET), model="llama", precision="fp16",
-            policy=policy, slo=slo,
+        cluster = EdgeCluster.of(
+            FleetSpec.of(list(FLEET), model="llama", precision="fp16",
+                         policy=policy),
+            slo=slo,
         )
         reqs = bursty_workload(rate, 8.0 * rate, 80, input_tokens=64,
                                output_tokens=48, seed=13)

@@ -22,7 +22,7 @@ Quick start — one measured configuration, spec-first::
 
 A paper sweep, the whole study, or a served cluster::
 
-    from repro import (EdgeCluster, NodeSpec, Observer, StudySpec,
+    from repro import (EdgeCluster, FleetSpec, Observer, StudySpec,
                       batch_size_sweep, poisson_workload, run_full_study,
                       write_chrome_trace)
 
@@ -30,8 +30,8 @@ A paper sweep, the whole study, or a served cluster::
     study = run_full_study(StudySpec.of(["phi2"], n_runs=1))
 
     obs = Observer()                           # request-scoped telemetry
-    cluster = EdgeCluster.build([NodeSpec("jetson-orin-agx-64gb")],
-                                model="llama", observer=obs)
+    fleet = FleetSpec.of(["jetson-orin-agx-64gb"], model="llama")
+    cluster = EdgeCluster.of(fleet, observer=obs)
     cluster.run(poisson_workload(2.0, 50))
     write_chrome_trace("trace.json", obs)      # load in Perfetto
 
@@ -53,6 +53,7 @@ from repro.backends import (
 from repro.cluster import (
     ClusterReport,
     EdgeCluster,
+    FleetSpec,
     NodeSpec,
     PowerModeAutoscaler,
     SLOSpec,
@@ -116,19 +117,24 @@ from repro.obs import (
     write_metrics,
 )
 from repro.quant import Precision
-from repro.reporting import phase_breakdown, plan_table, runtime_comparison
+from repro.reporting import (carbon_frontier, phase_breakdown, plan_table,
+                             runtime_comparison)
+from repro.sustain import CarbonTrace, CascadeSpec, SustainSpec, run_sustain
 
 __version__ = "1.1.0"
 
 __all__ = [
+    "CarbonTrace",
+    "CascadeSpec",
     "ChaosSpec",
     "ClusterReport",
     "EdgeCluster",
     "ExperimentSpec",
     "FairnessSpec",
-    "FeasibilityEnvelope",
     "FaultSchedule",
     "FaultScheduleSpec",
+    "FeasibilityEnvelope",
+    "FleetSpec",
     "FullStudyResults",
     "GenerationSpec",
     "Interaction",
@@ -148,12 +154,14 @@ __all__ = [
     "ServiceRates",
     "ServingEngine",
     "StudySpec",
+    "SustainSpec",
     "TokenThrottle",
     "ValidationSpec",
     "__version__",
     "batch_quant_power_sweep",
     "batch_size_sweep",
     "bursty_workload",
+    "carbon_frontier",
     "chrome_trace_json",
     "default_precision_for",
     "diurnal_workload",
@@ -182,6 +190,7 @@ __all__ = [
     "run_full_study",
     "run_kvtier",
     "run_specs",
+    "run_sustain",
     "run_validation",
     "runtime_comparison",
     "runtime_sweep",

@@ -19,6 +19,9 @@ map onto the paper's experiments:
   an optional ``-aggressive`` trigger suffix).
 - ``repro kvtier`` — the KV lifecycle sweep: policy × trigger ×
   prefix-share-ratio on one memory-pressured node.
+- ``repro sustain`` — the sustainability sweep: carbon-trace scenario ×
+  routing policy × SLM-cascade mode × power mode over a geo-distributed
+  fleet.
 - ``repro devices`` / ``repro models`` / ``repro backends`` — list
   presets and registered inference runtimes.
 
@@ -188,6 +191,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.cluster import (
         AutoscalerConfig,
         EdgeCluster,
+        FleetSpec,
         NodeSpec,
         PowerModeAutoscaler,
         SLOSpec,
@@ -203,10 +207,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                       kv_trigger=args.kv_trigger) for d in devices]
     slo = SLOSpec(ttft_s=args.ttft_slo, tpot_s=args.tpot_slo)
     obs = _obs_from_args(args)
-    cluster = EdgeCluster.build(
-        specs, model=args.model, precision=args.precision,
-        policy=args.policy, slo=slo, observer=obs,
-    )
+    fleet = FleetSpec.of(specs, model=args.model, precision=args.precision,
+                         policy=args.policy)
+    cluster = EdgeCluster.of(fleet, slo=slo, observer=obs)
     if args.autoscale:
         cluster.attach_autoscaler(
             PowerModeAutoscaler(cluster.env, cluster.nodes, AutoscalerConfig())
@@ -337,6 +340,7 @@ def _cmd_fairness(args: argparse.Namespace) -> int:
         kv_policies=_names(args.kv_policies),
         schedulers=_names(args.schedulers),
         mixes=_names(args.mixes),
+        power_modes=_names(args.power_modes),
         routing=args.routing,
         rate_per_s=args.rate,
         n_interactions=args.interactions,
@@ -354,6 +358,42 @@ def _cmd_fairness(args: argparse.Namespace) -> int:
     if args.csv:
         with open(args.csv, "w", encoding="utf-8", newline="") as fh:
             fh.write(fairness_rows_csv(report))
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_sustain(args: argparse.Namespace) -> int:
+    from repro.sustain import SustainSpec, run_sustain, sustain_rows_csv
+
+    def _names(text: str) -> tuple:
+        return tuple(v.strip() for v in text.split(",") if v.strip())
+
+    spec = SustainSpec(
+        devices=_names(args.devices),
+        model=args.model,
+        precision=args.precision,
+        slm_model=args.slm_model,
+        slm_precision=args.slm_precision,
+        scenarios=_names(args.scenarios),
+        routers=_names(args.routers),
+        cascades=_names(args.cascades),
+        power_modes=_names(args.power_modes),
+        gate=args.gate,
+        rate_per_s=args.rate,
+        n_requests=args.requests,
+        input_tokens=args.input_tokens,
+        output_tokens=args.output_tokens,
+        defer_max_s=args.defer_max_s,
+        defer_threshold_frac=args.defer_threshold,
+        max_batch=args.max_batch,
+        seed=args.seed,
+    )
+    report = run_sustain(spec)
+    print(report.table())
+    print(f"cache_key={spec.cache_key()}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8", newline="") as fh:
+            fh.write(sustain_rows_csv(report))
         print(f"wrote {args.csv}")
     return 0
 
@@ -395,6 +435,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         precisions=_names(args.precisions),
         power_modes=_names(args.power_modes), max_nodes=args.max_nodes,
         max_batch=args.max_batch, max_utilization=args.max_utilization,
+        carbon_gco2_per_kwh=args.carbon_gco2,
     )
     report = plan(spec)
     print(format_table(plan_table(report),
@@ -690,6 +731,9 @@ def build_parser() -> argparse.ArgumentParser:
     fair.add_argument("--mixes", default="balanced,flood",
                       help="comma-separated tenant mixes "
                            "(balanced|flood|weighted)")
+    fair.add_argument("--power-modes", default="MAXN",
+                      help="comma-separated nvpmodel operating points "
+                           "the grid replays under")
     fair.add_argument("--routing", default="round-robin",
                       help="routing policy for the fleet")
     fair.add_argument("--rate", type=float, default=3.0,
@@ -708,6 +752,47 @@ def build_parser() -> argparse.ArgumentParser:
     fair.add_argument("--seed", type=int, default=0)
     fair.add_argument("--csv", default=None,
                       help="write the sweep rows as canonical CSV")
+
+    sus = sub.add_parser(
+        "sustain",
+        help="sustainability sweep: trace x router x cascade x power mode")
+    sus.add_argument("--devices",
+                     default="jetson-orin-agx-64gb,jetson-orin-agx-32gb,"
+                             "jetson-xavier-agx-32gb",
+                     help="comma-separated device presets; order maps "
+                          "round-robin onto each scenario's regions")
+    sus.add_argument("--model", default="llama",
+                     help="the LLM tier (and the no-cascade fleet model)")
+    sus.add_argument("--precision", default="fp16")
+    sus.add_argument("--slm-model", default="phi2",
+                     help="the cascade's small first-pass model")
+    sus.add_argument("--slm-precision", default="int8")
+    sus.add_argument("--scenarios", default="uniform,two-region",
+                     help="comma-separated carbon-trace scenarios")
+    sus.add_argument("--routers", default="energy-aware,carbon-aware",
+                     help="comma-separated routing policies")
+    sus.add_argument("--cascades", default="off,on",
+                     help="comma-separated cascade modes (off|on)")
+    sus.add_argument("--power-modes", default="MAXN",
+                     help="comma-separated nvpmodel operating points "
+                          "(clamped per device on heterogeneous fleets)")
+    sus.add_argument("--gate", type=float, default=0.5,
+                     help="cascade escalation gate strictness (0 = never)")
+    sus.add_argument("--rate", type=float, default=0.5,
+                     help="mean arrival rate (req/s)")
+    sus.add_argument("--requests", type=int, default=24)
+    sus.add_argument("--input-tokens", type=int, default=48)
+    sus.add_argument("--output-tokens", type=int, default=96)
+    sus.add_argument("--defer-max-s", type=float, default=0.0,
+                     help="defer latency-slack arrivals up to this long "
+                          "toward cleaner grid hours (0 = off)")
+    sus.add_argument("--defer-threshold", type=float, default=0.95,
+                     help="defer while intensity exceeds this fraction "
+                          "of the trace mean")
+    sus.add_argument("--max-batch", type=int, default=8)
+    sus.add_argument("--seed", type=int, default=0)
+    sus.add_argument("--csv", default=None,
+                     help="write the sweep rows as canonical CSV")
 
     pln = sub.add_parser(
         "plan",
@@ -734,6 +819,10 @@ def build_parser() -> argparse.ArgumentParser:
     pln.add_argument("--max-batch", type=int, default=8)
     pln.add_argument("--max-utilization", type=float, default=0.9,
                      help="refuse plans busier than this fraction")
+    pln.add_argument("--carbon-gco2", type=float, default=None,
+                     help="deployment region grid intensity (g CO2/kWh); "
+                          "adds a g_per_token column and ranks winners "
+                          "by it after nodes and watts")
     pln.add_argument("--validate", action="store_true",
                      help="cross-validate the fluid model against the "
                           "DES over a workload x router x runtime grid")
@@ -762,6 +851,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "kvtier": _cmd_kvtier,
     "fairness": _cmd_fairness,
+    "sustain": _cmd_sustain,
     "plan": _cmd_plan,
 }
 

@@ -14,9 +14,11 @@ Modules
 - :mod:`repro.cluster.workload` — Poisson/bursty/diurnal/multi-tenant
   trace generators (the single-device schedulers share this API).
 - :mod:`repro.cluster.router` — round-robin, join-shortest-queue,
-  least-KV-pressure, energy-aware and Splitwise-style disaggregated
-  routing policies.
+  least-KV-pressure, energy-aware, carbon-aware and Splitwise-style
+  disaggregated routing policies.
 - :mod:`repro.cluster.node` — one device + engine loop + energy meter.
+- :mod:`repro.cluster.fleet` — :class:`FleetSpec`, the declarative
+  fleet description (`EdgeCluster.of(fleet)` instantiates it).
 - :mod:`repro.cluster.cluster` — the orchestrator.
 - :mod:`repro.cluster.slo` — deadlines, percentiles, fairness, J/token.
 - :mod:`repro.cluster.autoscale` — power-mode control loop.
@@ -29,8 +31,10 @@ from repro.cluster.autoscale import (
     clamp_mode_to_device,
 )
 from repro.cluster.cluster import EdgeCluster, NodeSpec
+from repro.cluster.fleet import FleetSpec
 from repro.cluster.node import ClusterNode
 from repro.cluster.router import (
+    CarbonAwareRouter,
     EnergyAwareRouter,
     JoinShortestQueueRouter,
     LeastKVPressureRouter,
@@ -64,11 +68,13 @@ from repro.cluster.workload import (
 
 __all__ = [
     "AutoscalerConfig",
+    "CarbonAwareRouter",
     "ClusterNode",
     "ClusterReport",
     "ClusterRequest",
     "EdgeCluster",
     "EnergyAwareRouter",
+    "FleetSpec",
     "JoinShortestQueueRouter",
     "LeastKVPressureRouter",
     "ModeSwitch",

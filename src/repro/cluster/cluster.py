@@ -6,19 +6,24 @@ request trace, routes each arrival through the configured policy (with
 bounded retry before rejection), and folds the outcome into a
 :class:`~repro.cluster.slo.ClusterReport`.
 
-Build a heterogeneous fleet declaratively from :class:`NodeSpec` presets:
+Build a heterogeneous fleet declaratively from a
+:class:`~repro.cluster.fleet.FleetSpec` of :class:`NodeSpec` presets:
 
->>> cluster = EdgeCluster.build(
-...     [NodeSpec("jetson-orin-agx-64gb"), NodeSpec("jetson-xavier-agx-32gb")],
+>>> fleet = FleetSpec.of(
+...     ["jetson-orin-agx-64gb", "jetson-xavier-agx-32gb"],
 ...     model="llama", precision="fp16", policy="energy-aware")
->>> report = cluster.run(poisson_workload(2.0, 50))
+>>> report = EdgeCluster.of(fleet).run(poisson_workload(2.0, 50))
+
+(The legacy ``EdgeCluster.build(specs, ...)`` kwargs path survives as a
+DeprecationWarning shim that constructs the same ``FleetSpec``.)
 """
 
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.node import ClusterNode
 from repro.cluster.router import Router, SplitwiseRouter, get_router
@@ -61,6 +66,18 @@ class NodeSpec:
     #: Queue discipline for this node's admission queue
     #: (``repro.fairness``): ``fcfs`` (default), ``vtc``, ``wsc``.
     scheduler: str = "fcfs"
+    #: Geographic region (``repro.sustain``): nodes meter their energy
+    #: against the region's carbon/price trace when the fleet binds one.
+    region: Optional[str] = None
+    #: Per-node model override (None serves the fleet-wide model);
+    #: heterogeneous cascades put an SLM on some nodes, the LLM on the
+    #: rest.
+    model: Optional[str] = None
+    #: Per-node precision override (None serves the fleet-wide one).
+    precision: Optional[str] = None
+    #: Cascade tier label (``repro.sustain``): requests carrying a tier
+    #: are only admitted by nodes with the matching label.
+    tier: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1 or self.max_queue < 1:
@@ -72,6 +89,10 @@ class NodeSpec:
 
         get_kv_policy(self.kv_policy)  # typed ConfigError likewise
         get_fair_scheduler(self.scheduler)  # and again
+        if self.model is not None:
+            get_model(self.model)  # typed ModelError on unknown names
+        if self.precision is not None:
+            Precision.parse(self.precision)
 
     def resolved_kv_policy(self):
         """The policy instance this spec describes."""
@@ -137,6 +158,57 @@ class EdgeCluster:
         router.assign_roles(self.nodes)
 
     @classmethod
+    def of(
+        cls,
+        fleet,
+        slo: Optional[SLOSpec] = None,
+        params: Optional[EngineCostParams] = None,
+        power_model: Optional[PowerModel] = None,
+        sample_period_s: float = 1.0,
+        retry: Optional[RetryPolicy] = None,
+        observer: Optional[Observer] = None,
+        throttle: Optional[TokenThrottle] = None,
+        tenant_weights: Optional[Dict[str, float]] = None,
+    ) -> "EdgeCluster":
+        """Instantiate the fleet a :class:`FleetSpec` describes.
+
+        The spec carries everything declarative (devices, regions,
+        per-node model/precision/runtime/kv-policy, routing policy and
+        its knobs, carbon-trace bindings); the keyword arguments here
+        are runtime wiring only (observers, retry policies, throttles).
+        """
+        from repro.cluster.fleet import FleetSpec
+
+        if not isinstance(fleet, FleetSpec):
+            raise ConfigError(
+                f"EdgeCluster.of needs a FleetSpec, got "
+                f"{type(fleet).__name__}")
+        env = Environment()
+        default_arch: TransformerArchitecture = get_model(fleet.model)
+        default_prec = Precision.parse(fleet.precision)
+        shared_power = power_model or PowerModel()
+        nodes = [
+            ClusterNode(
+                env, i, get_device(s.device),
+                default_arch if s.model is None else get_model(s.model),
+                (default_prec if s.precision is None
+                 else Precision.parse(s.precision)),
+                power_mode=s.power_mode, max_batch=s.max_batch,
+                max_queue=s.max_queue, params=params,
+                power_model=shared_power, sample_period_s=sample_period_s,
+                obs=observer, backend=s.runtime,
+                kv_policy=s.resolved_kv_policy(),
+                scheduler=get_fair_scheduler(s.scheduler, tenant_weights),
+                region=s.region, carbon_trace=fleet.trace_for(s.region),
+                tier=s.tier,
+            )
+            for i, s in enumerate(fleet.nodes)
+        ]
+        return cls(nodes, get_router(fleet.policy, **fleet.router_kwargs()),
+                   env, slo=slo, retry=retry, observer=observer,
+                   throttle=throttle, tenant_weights=tenant_weights)
+
+    @classmethod
     def build(
         cls,
         specs: Sequence[NodeSpec],
@@ -153,28 +225,27 @@ class EdgeCluster:
         tenant_weights: Optional[Dict[str, float]] = None,
         **router_kwargs,
     ) -> "EdgeCluster":
-        """Instantiate devices from presets and wire the fleet together."""
+        """Deprecated kwargs path; use a :class:`FleetSpec` with ``of``.
+
+        Constructs the equivalent ``FleetSpec`` and delegates, so the
+        two surfaces are byte-identical by construction (pinned with
+        exact equality in ``tests/sustain/test_fleet_spec.py``).
+        """
+        warnings.warn(
+            "EdgeCluster.build(specs, ...) is deprecated; describe the "
+            "fleet with FleetSpec.of(...) and instantiate it with "
+            "EdgeCluster.of(fleet, ...)",
+            DeprecationWarning, stacklevel=2)
+        from repro.cluster.fleet import FleetSpec
+
         if not specs:
             raise ConfigError("cluster needs at least one node spec")
-        env = Environment()
-        arch: TransformerArchitecture = get_model(model)
-        prec = Precision.parse(precision)
-        shared_power = power_model or PowerModel()
-        nodes = [
-            ClusterNode(
-                env, i, get_device(s.device), arch, prec,
-                power_mode=s.power_mode, max_batch=s.max_batch,
-                max_queue=s.max_queue, params=params,
-                power_model=shared_power, sample_period_s=sample_period_s,
-                obs=observer, backend=s.runtime,
-                kv_policy=s.resolved_kv_policy(),
-                scheduler=get_fair_scheduler(s.scheduler, tenant_weights),
-            )
-            for i, s in enumerate(specs)
-        ]
-        return cls(nodes, get_router(policy, **router_kwargs), env, slo=slo,
-                   retry=retry, observer=observer, throttle=throttle,
-                   tenant_weights=tenant_weights)
+        fleet = FleetSpec.of(list(specs), model=model, precision=precision,
+                             policy=policy, **router_kwargs)
+        return cls.of(fleet, slo=slo, params=params, power_model=power_model,
+                      sample_period_s=sample_period_s, retry=retry,
+                      observer=observer, throttle=throttle,
+                      tenant_weights=tenant_weights)
 
     def attach_autoscaler(self, autoscaler) -> None:
         """Register a power-mode autoscaler (started when ``run`` begins)."""
@@ -311,7 +382,31 @@ class EdgeCluster:
         for svc in self._services:
             svc.stop()
         if self.obs.enabled:
+            self._emit_carbon_counters()
             self.obs.finish_open()
+
+    def _emit_carbon_counters(self) -> None:
+        """Cumulative per-node gCO₂ counter series (trace-bound nodes).
+
+        Emitted once serving stops, from the same power samples and
+        stepwise-left intensity rule the report integrates with, so the
+        trace's final counter value matches the report's ``carbon_g``
+        node contribution.  Legacy fleets bind no trace and their obs
+        record streams stay byte-identical.
+        """
+        from repro.sustain.trace import J_PER_KWH
+
+        for n in self.nodes:
+            trace = n.carbon_trace
+            if trace is None or len(n.sampler.samples) < 2:
+                continue
+            total = 0.0
+            samples = n.sampler.samples
+            for a, b in zip(samples, samples[1:]):
+                joules = 0.5 * (a.power_w + b.power_w) * (b.time_s - a.time_s)
+                total += joules / J_PER_KWH * trace.intensity_at(a.time_s)
+                self.obs.counter(kinds.CARBON_G, round(total, 6),
+                                 track=n.obs_track, time_s=b.time_s)
 
     def run(self, requests: Sequence[ServeRequest]) -> ClusterReport:
         """Serve the trace to completion; returns the cluster report."""
@@ -423,6 +518,85 @@ class EdgeCluster:
                             makespan_s=env.now,
                             scheduler=self.scheduler_name,
                             interactions=inters,
+                            tenant_weights=self.tenant_weights)
+
+    def run_cascade(
+        self,
+        requests: Sequence[ServeRequest],
+        escalate: Callable[[ClusterRequest], bool],
+        slm_tier: str = "slm",
+        llm_tier: str = "llm",
+    ) -> ClusterReport:
+        """Serve an SLM-first cascade: escalate gated requests to the LLM.
+
+        Every arrival is tagged ``slm_tier`` and served by the fleet's
+        SLM-tier nodes.  When a completed SLM request fails the quality
+        gate (``escalate(r)`` is True — deterministic per request), a
+        fresh ``llm_tier`` twin of the original demand is injected at
+        the completion time: the LLM node pays the full re-prefill,
+        exactly like the sacrifice path, and the SLM's generated tokens
+        are booked as waste in the ledger (``r.escalated``).  Rejected
+        or throttled requests do not escalate.
+        """
+        if not requests:
+            raise ExperimentError("empty request trace")
+        reqs = as_cluster_requests(requests)
+        for r in reqs:
+            r.tier = slm_tier
+        env = self.env
+        all_reqs: List[ClusterRequest] = list(reqs)
+        self._n_injected = len(reqs)
+        self._finished = 0
+        self._open_sessions = 0
+        self._done = env.event()
+        self._retry_budget = RetryBudget(self.retry.retry_budget)
+        req_ids = itertools.count(1 + max(r.req_id for r in reqs))
+
+        def cascade_hook(r: ClusterRequest) -> None:
+            if r.tier != slm_tier or r.rejected or r.finish_s is None:
+                return
+            if not escalate(r):
+                return
+            r.escalated = True
+            twin = ClusterRequest(
+                req_id=next(req_ids), arrival_s=env.now,
+                input_tokens=r.input_tokens, output_tokens=r.output_tokens,
+                prompt_ids=r.prompt_ids, tenant=r.tenant,
+                tier=llm_tier, escalated_from=r.req_id)
+            all_reqs.append(twin)
+            self._n_injected += 1
+            if self.obs.enabled:
+                self.obs.instant(
+                    kinds.CASCADE_ESCALATE, cat=kinds.CAT_CLUSTER,
+                    track=f"req{r.req_id}", parent=r.obs_span,
+                    slm_tokens=r.generated, twin=twin.req_id)
+                self.obs.metrics.counter("cascade_escalations_total").inc()
+            self._obs_request_start(twin)
+            env.process(self._admit_with_retry(twin),
+                        name=f"escalate-{twin.req_id}")
+
+        self._session_hook = cascade_hook
+
+        def injector():
+            for r in sorted(reqs, key=lambda x: (x.arrival_s, x.req_id)):
+                delay = r.arrival_s - env.now
+                if delay > 0:
+                    yield env.timeout(delay)
+                self._obs_request_start(r)
+                if not self._throttle_admit(r):
+                    self._finish_request(r)
+                    continue
+                env.process(self._admit_with_retry(r),
+                            name=f"admit-{r.req_id}")
+
+        self._start_serving(injector)
+        env.run(until=self._done)
+        self._stop_serving()
+        self._session_hook = None
+        self.last_requests = all_reqs
+        return build_report(self.router.name, all_reqs, self.nodes, self.slo,
+                            makespan_s=env.now,
+                            scheduler=self.scheduler_name,
                             tenant_weights=self.tenant_weights)
 
     def _requeue_orphans(self, orphans: List[ClusterRequest]) -> None:

@@ -148,6 +148,9 @@ class ClusterNode:
         backend=None,
         kv_policy=None,
         scheduler=None,
+        region: Optional[str] = None,
+        carbon_trace=None,
+        tier: Optional[str] = None,
     ):
         if max_batch < 1 or max_queue < 1:
             raise ConfigError("max_batch and max_queue must be >= 1")
@@ -159,6 +162,14 @@ class ClusterNode:
         self.arch = arch
         self.precision = precision
         self.role = role
+        #: Geographic placement (``repro.sustain``): the node's region
+        #: and the carbon/price trace its energy is metered against
+        #: (None = no carbon accounting, the legacy behaviour).
+        self.region = region
+        self.carbon_trace = carbon_trace
+        #: Cascade tier label; tiered requests only land on matching
+        #: nodes (None accepts untiered traffic only — see ``accepts``).
+        self.tier = tier
         self.max_batch = max_batch
         self.max_queue = max_queue
         self._params = params
@@ -324,7 +335,13 @@ class ClusterNode:
         return self._kv_need(r) <= self.kv_budget
 
     def accepts(self, r: ClusterRequest) -> bool:
-        """Admission control: healthy, room in the queue, feasible footprint."""
+        """Admission control: healthy, room in the queue, feasible
+        footprint — and, for cascade fleets, a matching tier label
+        (a tiered request names the model stage it needs; untiered
+        requests go anywhere, so legacy fleets are unaffected)."""
+        tier = getattr(r, "tier", None)
+        if tier is not None and self.tier != tier:
+            return False
         return (self.healthy and len(self.queue) < self.max_queue
                 and self.fits(r))
 

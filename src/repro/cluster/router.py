@@ -13,6 +13,9 @@ Policies
 - :class:`EnergyAwareRouter` — lowest predicted J/token at the node's
   *current* power mode (from the calibrated power model), inflated by a
   load penalty so a single efficient node does not melt under queueing.
+- :class:`CarbonAwareRouter` — lowest marginal gCO₂/token: the energy-
+  aware estimate weighted by each node's regional grid intensity *now*
+  (its bound carbon trace on the DES clock).
 - :class:`PrefixAffinityRouter` — multi-turn session turns follow their
   shared prefix: route to the node whose radix cache already holds the
   longest whole-block match (falling back to session stickiness, then
@@ -138,6 +141,31 @@ class EnergyAwareRouter(Router):
         return min(ok, key=lambda n: (self.score(n), n.node_id))
 
 
+class CarbonAwareRouter(EnergyAwareRouter):
+    """Route to the node with the lowest marginal gCO₂ per token.
+
+    The score is the energy-aware J/token estimate converted to grams
+    through the node's *regional* grid intensity right now (its bound
+    :class:`~repro.sustain.trace.CarbonTrace`, read at the DES clock),
+    with the same multiplicative load penalty.  Nodes without a trace
+    score with a dimensionless intensity of 1 — so on a fleet where
+    every region shares one trace (or none), the common factor cancels
+    and the policy picks exactly the energy-aware node (the fallback
+    equality pinned in ``tests/sustain/test_carbon_router.py``).
+    """
+
+    name = "carbon-aware"
+
+    def score(self, node: ClusterNode) -> float:
+        from repro.sustain.trace import J_PER_KWH
+
+        j = node.predicted_j_per_token(self.batch_size, self.context)
+        trace = getattr(node, "carbon_trace", None)
+        if trace is not None:
+            j = j / J_PER_KWH * trace.intensity_at(node.env.now)
+        return j * (1.0 + self.load_weight * node.depth)
+
+
 class PrefixAffinityRouter(Router):
     """Send a session's turns to the node already holding its prefix.
 
@@ -257,6 +285,7 @@ _ROUTERS: Dict[str, type] = {
     JoinShortestQueueRouter.name: JoinShortestQueueRouter,
     LeastKVPressureRouter.name: LeastKVPressureRouter,
     EnergyAwareRouter.name: EnergyAwareRouter,
+    CarbonAwareRouter.name: CarbonAwareRouter,
     PrefixAffinityRouter.name: PrefixAffinityRouter,
     SplitwiseRouter.name: SplitwiseRouter,
 }

@@ -187,6 +187,16 @@ class ClusterReport:
     #: Multi-turn sessions injected / abandoned (0 on single-shot runs).
     interactions: int = 0
     abandoned_interactions: int = 0
+    # -- sustainability (repro.sustain); zero when no trace is bound -----
+    #: Fleet CO₂ integrated from the per-node power traces against each
+    #: node's regional carbon trace (grams; 0.0 on trace-free fleets).
+    carbon_g: float = 0.0
+    #: Fleet grams CO₂ per generated token.
+    g_per_token: float = 0.0
+    #: Electricity cost against the regional price series ($).
+    energy_cost_usd: float = 0.0
+    #: SLM-tier requests the cascade's quality gate escalated.
+    escalations: int = 0
     tenants: List[TenantReport] = field(default_factory=list)
     node_rows: List[Dict] = field(default_factory=list)
     requests: List[ClusterRequest] = field(default_factory=list)
@@ -225,6 +235,12 @@ class ClusterReport:
             "swapped_gb": round(self.swapped_gb, 3),
             "prefix_hit_tokens": self.prefix_hit_tokens,
             "prefix_hit_rate": round(self.prefix_hit_rate, 3),
+            # Sustainability columns likewise: exactly zero unless the
+            # fleet binds regional carbon traces / runs a cascade.
+            "carbon_g": round(self.carbon_g, 3),
+            "g_per_token": round(self.g_per_token, 5),
+            "energy_cost_usd": round(self.energy_cost_usd, 5),
+            "escalations": self.escalations,
         }
 
 
@@ -256,9 +272,18 @@ def build_report(
 
     served_tokens = sum(n.served_tokens for n in nodes)
     fleet_j = 0.0
+    carbon_g = 0.0
+    energy_usd = 0.0
     for n in nodes:
         if len(n.sampler.samples) >= 2:
             fleet_j += trapezoid_energy_j(n.sampler.samples)
+            trace = getattr(n, "carbon_trace", None)
+            if trace is not None:
+                from repro.sustain.trace import carbon_from_samples
+
+                g, usd = carbon_from_samples(n.sampler.samples, trace)
+                carbon_g += g
+                energy_usd += usd
 
     tenants: Dict[str, TenantReport] = {}
     tenant_ttfts: Dict[str, List[float]] = {}
@@ -356,6 +381,11 @@ def build_report(
         jain_tokens=jains_index(good_shares),
         interactions=len(interactions or []),
         abandoned_interactions=len(abandoned_ids),
+        carbon_g=carbon_g,
+        g_per_token=carbon_g / max(served_tokens, 1),
+        energy_cost_usd=energy_usd,
+        escalations=sum(1 for r in requests
+                        if getattr(r, "escalated", False)),
         tenants=sorted(tenants.values(), key=lambda t: t.tenant),
         node_rows=[n.as_row() for n in nodes],
         requests=list(requests),

@@ -72,6 +72,14 @@ class ClusterRequest(ServeRequest):
     #: Lifetime swap-out / swap-in counts for this request.
     swaps: int = 0
     swap_ins: int = 0
+    #: Cascade stage (``repro.sustain``): requests carrying a tier are
+    #: only admitted by nodes labelled with it (None = any node).
+    tier: Optional[str] = None
+    #: True once the cascade's quality gate escalated this (SLM-tier)
+    #: request — its generated tokens are booked as waste.
+    escalated: bool = False
+    #: The SLM request this LLM-tier twin re-serves (-1 = original).
+    escalated_from: int = -1
 
 
 def poisson_workload(

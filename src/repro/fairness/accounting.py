@@ -13,9 +13,12 @@ conservation identity:
 - *served* — tokens delivered by completed requests whose session was
   not abandoned (useful work);
 - *wasted* — replayed tokens (preemption sacrifice, crash KV loss),
-  tokens of requests that never finished, and tokens served to turns
-  of interactions later abandoned (the FairServe waste notion: the
-  conversation died, so its context tokens bought nothing).
+  tokens of requests that never finished, tokens served to turns of
+  interactions later abandoned (the FairServe waste notion: the
+  conversation died, so its context tokens bought nothing), and tokens
+  an SLM generated for requests the cascade's quality gate escalated
+  (``repro.sustain``: the answer was re-served by the LLM, so the
+  small model's draft bought nothing).
 
 Throttled requests are rejected before placement and must satisfy
 ``produced == 0``; their turned-away demand lands in
@@ -123,7 +126,13 @@ def build_ledger(
         in_dead_session = (
             getattr(r, "interaction_id", None) in abandoned_interactions)
         finished = r.finish_s is not None
-        if finished and not in_dead_session:
+        if getattr(r, "escalated", False):
+            # The cascade gate failed this SLM draft: everything it
+            # produced is waste, the LLM twin carries the service.
+            if finished:
+                led.completed += 1
+            led.wasted_tokens += produced
+        elif finished and not in_dead_session:
             led.completed += 1
             led.served_tokens += r.generated
             led.wasted_tokens += r.lost_tokens

@@ -1,9 +1,13 @@
-"""The ``repro fairness`` sweep: scheduler × tenant-mix × runtime × kv.
+"""The ``repro fairness`` sweep: scheduler × mix × runtime × kv × power.
 
 One spec describes a contended multi-turn serving scenario; the sweep
 replays the *same* deterministic session workload under every queue
-discipline, tenant mix, runtime backend and KV lifecycle policy, so the
-rows differ only in what the policy axes changed.  The adversarial
+discipline, tenant mix, runtime backend, KV lifecycle policy and
+nvpmodel power mode, so the rows differ only in what the policy axes
+changed.  The power-mode axis answers the fairness × power question:
+fair-share guarantees are *relative* (who gets the tokens), so
+down-clocking the node shrinks everyone's tokens without breaking the
+shares — ``jain_tokens`` should hold under a downshifted mode.  The adversarial
 ``flood`` mix is the FairServe stress case: one tenant issues far more
 than its entitlement while equally-weighted polite tenants trickle in —
 FCFS lets the flood starve them, VTC/WSC do not, and the per-tenant
@@ -84,6 +88,9 @@ class FairnessSpec:
     kv_policies: Tuple[str, ...] = ("sacrifice",)
     schedulers: Tuple[str, ...] = ("fcfs", "vtc", "wsc")
     mixes: Tuple[str, ...] = ("balanced", "flood")
+    #: nvpmodel operating points the grid replays under — does fair
+    #: scheduling hold when the whole node is downshifted?
+    power_modes: Tuple[str, ...] = ("MAXN",)
     routing: str = "round-robin"
     rate_per_s: float = 3.0
     n_interactions: int = 24
@@ -107,8 +114,12 @@ class FairnessSpec:
     def __post_init__(self) -> None:
         if not self.runtimes or not self.kv_policies:
             raise ConfigError("sweep axes must be non-empty")
-        if not self.schedulers or not self.mixes:
+        if not self.schedulers or not self.mixes or not self.power_modes:
             raise ConfigError("sweep axes must be non-empty")
+        from repro.power.modes import get_power_mode
+
+        for pm in self.power_modes:
+            get_power_mode(pm)  # typed error on unknown names
         for s in self.schedulers:
             get_fair_scheduler(s)  # typed error on unknown names
         from repro.kvtier.policy import get_kv_policy
@@ -182,8 +193,8 @@ def _weight_fidelity(requests, weights: Dict[str, float]) -> float:
 
 
 def _run_point(spec: FairnessSpec, scheduler: str, mix: str,
-               runtime: str, kv_policy: str) -> Dict:
-    from repro.cluster import EdgeCluster, NodeSpec
+               runtime: str, kv_policy: str, power_mode: str) -> Dict:
+    from repro.cluster import EdgeCluster, FleetSpec, NodeSpec
     from repro.cluster.slo import SLOSpec
     from repro.fairness.accounting import (build_ledger,
                                            conservation_violations)
@@ -199,10 +210,13 @@ def _run_point(spec: FairnessSpec, scheduler: str, mix: str,
     if spec.throttle_rate > 0:
         throttle = TokenThrottle(spec.throttle_rate,
                                  burst_s=spec.throttle_burst_s)
-    cluster = EdgeCluster.build(
-        [NodeSpec(spec.device, max_batch=spec.max_batch, runtime=runtime,
+    fleet = FleetSpec.of(
+        [NodeSpec(spec.device, power_mode=power_mode,
+                  max_batch=spec.max_batch, runtime=runtime,
                   kv_policy=kv_policy, scheduler=scheduler)],
-        model=spec.model, precision=spec.precision, policy=spec.routing,
+        model=spec.model, precision=spec.precision, policy=spec.routing)
+    cluster = EdgeCluster.of(
+        fleet,
         slo=SLOSpec(ttft_s=spec.slo_ttft_s, tpot_s=spec.slo_tpot_s),
         throttle=throttle, tenant_weights=weights,
     )
@@ -229,6 +243,7 @@ def _run_point(spec: FairnessSpec, scheduler: str, mix: str,
         "mix": mix,
         "runtime": runtime,
         "kv_policy": kv_policy,
+        "power_mode": power_mode,
         "interactions": report.interactions,
         "abandoned": report.abandoned_interactions,
         "completed": report.completed,
@@ -246,14 +261,16 @@ def _run_point(spec: FairnessSpec, scheduler: str, mix: str,
 
 
 def run_fairness(spec: FairnessSpec) -> FairnessReport:
-    """Run the scheduler × mix × runtime × kv grid (deterministic)."""
+    """Run the scheduler × mix × runtime × kv × power grid."""
     report = FairnessReport(spec=spec)
     for mix in spec.mixes:
         for runtime in spec.runtimes:
             for kv_policy in spec.kv_policies:
-                for scheduler in spec.schedulers:
-                    report.rows.append(_run_point(
-                        spec, scheduler, mix, runtime, kv_policy))
+                for power_mode in spec.power_modes:
+                    for scheduler in spec.schedulers:
+                        report.rows.append(_run_point(
+                            spec, scheduler, mix, runtime, kv_policy,
+                            power_mode))
     return report
 
 

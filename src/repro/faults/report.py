@@ -149,13 +149,14 @@ class ChaosReport:
 
 
 def _build_cluster(spec: ChaosSpec, observer=None) -> EdgeCluster:
-    return EdgeCluster.build(
+    from repro.cluster.fleet import FleetSpec
+
+    fleet = FleetSpec.of(
         [NodeSpec(d, max_batch=spec.max_batch, max_queue=spec.max_queue,
                   kv_policy=spec.kv_policy)
          for d in spec.devices],
-        model=spec.model, precision=spec.precision, policy=spec.policy,
-        retry=spec.retry, observer=observer,
-    )
+        model=spec.model, precision=spec.precision, policy=spec.policy)
+    return EdgeCluster.of(fleet, retry=spec.retry, observer=observer)
 
 
 def _workload(spec: ChaosSpec):

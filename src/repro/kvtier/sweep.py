@@ -88,15 +88,16 @@ class KvTierReport:
 
 def _run_point(spec: KvTierSpec, policy_name: str, trigger: float,
                share_ratio: float) -> Dict:
-    from repro.cluster import EdgeCluster, NodeSpec
+    from repro.cluster import EdgeCluster, FleetSpec, NodeSpec
     from repro.cluster.workload import shared_prefix_workload
 
-    cluster = EdgeCluster.build(
+    fleet = FleetSpec.of(
         [NodeSpec(spec.device, power_mode=spec.power_mode,
                   max_batch=spec.max_batch, runtime=spec.runtime,
                   kv_policy=policy_name, kv_trigger=trigger)],
         model=spec.model, precision=spec.precision,
     )
+    cluster = EdgeCluster.of(fleet)
     node = cluster.nodes[0]
     node._kv_budget_base = max(
         1, int(node._kv_budget_base * spec.kv_budget_frac))

@@ -9,12 +9,13 @@ constants every subsystem names its telemetry from
 
 Quick start::
 
-    from repro import Observer, EdgeCluster, NodeSpec, poisson_workload
+    from repro import (EdgeCluster, FleetSpec, NodeSpec, Observer,
+                       poisson_workload)
     from repro.obs import write_chrome_trace, write_metrics
 
     obs = Observer()
-    cluster = EdgeCluster.build([NodeSpec("jetson-orin-agx-64gb")],
-                                model="llama", observer=obs)
+    fleet = FleetSpec.of(["jetson-orin-agx-64gb"], model="llama")
+    cluster = EdgeCluster.of(fleet, observer=obs)
     cluster.run(poisson_workload(2.0, 20))
     write_chrome_trace("trace.json", obs)    # load in Perfetto
     write_metrics("metrics.prom", obs.metrics)

@@ -65,6 +65,12 @@ SERVED_TOKENS_PREFIX = "served_tokens."
 FAULT_PREFIX = "fault."
 #: jtop-style board power counter series (watts over sim time).
 POWER_W = "power_w"
+#: An SLM-tier request failed the cascade's quality gate; an LLM-tier
+#: twin was injected (carries the wasted SLM tokens and the twin id).
+CASCADE_ESCALATE = "cascade.escalate"
+#: Cumulative per-node carbon counter series (grams CO₂ over sim time,
+#: emitted only for nodes bound to a region's carbon trace).
+CARBON_G = "carbon_g"
 
 # -- categories ---------------------------------------------------------------
 

@@ -58,6 +58,12 @@ class PlanSpec:
     #: Refuse operating points busier than this (stochastic queueing the
     #: fluid model cannot see blows up near saturation).
     max_utilization: float = 0.9
+    #: Optional carbon objective (``repro.sustain``): the deployment
+    #: region's grid intensity in g CO₂/kWh.  When set, every row gains
+    #: a ``g_per_token`` column and the winner ranking appends it after
+    #: nodes and watts; when None (the default) the plan is byte-for-
+    #: byte what it always was.
+    carbon_gco2_per_kwh: Optional[float] = None
 
     def __post_init__(self) -> None:
         from repro.backends import get_backend
@@ -88,6 +94,9 @@ class PlanSpec:
             v = getattr(self, name)
             if v is not None and v <= 0:
                 raise ConfigError(f"{name} must be positive")
+        if (self.carbon_gco2_per_kwh is not None
+                and self.carbon_gco2_per_kwh <= 0):
+            raise ConfigError("carbon_gco2_per_kwh must be positive")
 
     def cache_key(self) -> str:
         """Content address folding the fluid-model version."""
@@ -175,7 +184,7 @@ def _meets_slo(spec: PlanSpec, est: FluidEstimate) -> bool:
 
 def _row_of(spec: PlanSpec, runtime: str, precision: str, mode: str,
             est: FluidEstimate, feasible: bool) -> Dict:
-    return {
+    row = {
         "runtime": runtime,
         "precision": precision,
         "power_mode": mode,
@@ -195,6 +204,12 @@ def _row_of(spec: PlanSpec, runtime: str, precision: str, mode: str,
         "kv_cap_tokens": est.kv_capacity_tokens,
         "throttle_risk": est.throttle_risk,
     }
+    if spec.carbon_gco2_per_kwh is not None:
+        from repro.sustain.trace import J_PER_KWH
+
+        row["g_per_token"] = _fin(
+            est.j_per_token / J_PER_KWH * spec.carbon_gco2_per_kwh, 6)
+    return row
 
 
 def plan(spec: PlanSpec) -> PlanReport:
@@ -229,6 +244,12 @@ def plan(spec: PlanSpec) -> PlanReport:
                     spec, runtime, precision, mode, best, feasible))
     winners = [r for r in report.rows if r["slo_ok"]]
     if winners:
-        report.chosen = min(
-            winners, key=lambda r: (r["nodes"], r["watts"]))
+        def rank(r: Dict):
+            key = [r["nodes"], r["watts"]]
+            if spec.carbon_gco2_per_kwh is not None:
+                g = r["g_per_token"]
+                key.append(math.inf if g == "inf" else g)
+            return tuple(key)
+
+        report.chosen = min(winners, key=rank)
     return report

@@ -154,15 +154,16 @@ def _rel_err(analytic: float, des: float) -> float:
 
 def _run_cell(spec: ValidationSpec, workload_name: str, router: str,
               runtime: str) -> Dict:
-    from repro.cluster import EdgeCluster, NodeSpec
+    from repro.cluster import EdgeCluster, FleetSpec, NodeSpec
 
     workload = _make_workload(spec, workload_name)
-    cluster = EdgeCluster.build(
+    fleet = FleetSpec.of(
         [NodeSpec(spec.device, power_mode=spec.power_mode,
                   max_batch=spec.max_batch, runtime=runtime)
          for _ in range(spec.nodes)],
         model=spec.model, precision=spec.precision, policy=router,
     )
+    cluster = EdgeCluster.of(fleet)
     report = cluster.run(workload)
     done = [r for r in report.requests if r.latency_s is not None]
     des_latency = (sum(r.latency_s for r in done) / len(done)

@@ -18,6 +18,8 @@
   (token-weighted Jain / min good share with FCFS-baseline deltas).
 - :mod:`repro.reporting.comparison` — the shared baseline-first
   comparison recipe the four tables above are built on.
+- :mod:`repro.reporting.frontier` — the sustainability frontier
+  (J/token and gCO₂/token vs. quality proxy, LLM-only baseline).
 - :mod:`repro.reporting.plan` — capacity-plan candidate tables
   (nodes/watts/J-per-token deltas against the chosen configuration).
 """
@@ -29,6 +31,7 @@ from repro.reporting.compare import compare_rows, deviation_summary
 from repro.reporting.breakdown import phase_breakdown
 from repro.reporting.backends import runtime_comparison
 from repro.reporting.comparison import baseline_comparison
+from repro.reporting.frontier import carbon_frontier
 from repro.reporting.kvtier import kv_policy_comparison
 from repro.reporting.fairness import fairness_comparison
 from repro.reporting.plan import plan_table
@@ -37,6 +40,7 @@ __all__ = [
     "ascii_bars",
     "ascii_lines",
     "baseline_comparison",
+    "carbon_frontier",
     "compare_rows",
     "deviation_summary",
     "fairness_comparison",

@@ -1,0 +1,67 @@
+"""The sustainability frontier: J/token and gCO₂/token vs. quality.
+
+Lays :class:`~repro.cluster.slo.ClusterReport` rows from runs that
+differ only in their sustainability levers (cascade operating point,
+routing policy, deferral) side by side — energy per token, carbon per
+token, escalation count, quality proxy — with deltas against the
+LLM-only baseline when it is present, so the table answers the question
+the cascade exists for: how many joules and grams did serving small
+buy, and how much quality proxy did it cost?
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.slo import ClusterReport
+from repro.reporting.comparison import baseline_comparison
+
+#: The baseline label deltas are computed against (no cascade, the big
+#: model serves everything).
+BASELINE_LABEL = "llm-only"
+
+#: One frontier operating point: label, its report and its
+#: quality-proxy regression vs. LLM-only serving (percent, 0 for the
+#: baseline itself).
+FrontierRun = Tuple[str, ClusterReport, float]
+
+
+def carbon_frontier(runs: Sequence[FrontierRun]) -> List[dict]:
+    """Side-by-side frontier rows from ``(label, report, Δquality%)``.
+
+    Rows keep the input order.  ``j_saved_pct`` and ``g_saved_pct`` are
+    relative to the first run whose label starts with
+    :data:`BASELINE_LABEL`; blank when no baseline run is present.
+    """
+    def build_row(run: FrontierRun) -> dict:
+        label, rep, quality_delta = run
+        return {
+            "operating_point": label,
+            "completed": rep.completed,
+            "escalations": rep.escalations,
+            "goodput_rps": round(rep.goodput_rps, 4),
+            "j_per_token": round(rep.j_per_token, 4),
+            "carbon_g": round(rep.carbon_g, 4),
+            "g_per_token": round(rep.g_per_token, 6),
+            "energy_cost_usd": round(rep.energy_cost_usd, 6),
+            "quality_delta_pct": round(quality_delta, 3),
+        }
+
+    def build_deltas(run: FrontierRun,
+                     base_run: Optional[FrontierRun]) -> dict:
+        rep = run[1]
+        base = base_run[1] if base_run is not None else None
+        j_saved: object = ""
+        g_saved: object = ""
+        if base is not None and base.j_per_token > 0:
+            j_saved = round(
+                (1.0 - rep.j_per_token / base.j_per_token) * 100.0, 2)
+        if base is not None and base.g_per_token > 0:
+            g_saved = round(
+                (1.0 - rep.g_per_token / base.g_per_token) * 100.0, 2)
+        return {"j_saved_pct": j_saved, "g_saved_pct": g_saved}
+
+    return baseline_comparison(
+        list(runs),
+        lambda run: run[0].split("@")[0] == BASELINE_LABEL,
+        build_row, build_deltas)

@@ -13,6 +13,10 @@ def _cell(value: Any) -> str:
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):
+        # Two decimals reads best, but sub-cent values (g/token,
+        # $/kWh) would truncate to 0.00 — keep their digits.
+        if value and abs(value) < 0.005:
+            return f"{value:.6f}"
         return f"{value:.2f}"
     return str(value)
 

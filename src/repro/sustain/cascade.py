@@ -1,0 +1,130 @@
+"""SLM-first cascades: serve small, escalate on a calibrated gate.
+
+A :class:`CascadeSpec` names the small stage (an SLM and/or a lower
+precision) and the large stage, plus a ``gate`` strictness knob.  The
+escalation decision is *derived from the calibrated quality machinery*
+rather than invented: the predicted-perplexity model
+(:func:`repro.perplexity.analytical.predicted_perplexity`, built on the
+seeded :func:`repro.quant.error.measure_quant_error` matmul-error
+measurements and the per-model PPL sensitivity constants) gives both
+stages a quality proxy, and the relative gap sets the fraction of
+requests the small stage cannot answer adequately:
+
+``p_escalate = min(1, gate * max(0, ppl_slm / ppl_llm - 1))``
+
+Per request the decision is a deterministic uniform draw keyed by
+``zlib.crc32`` of the request id (PYTHONHASHSEED-stable, bit-identical
+across runs): request difficulty is latent, the calibrated gap decides
+*how many* arrivals exceed the SLM's competence, the seeded draw
+decides *which*.  On escalation the cluster re-serves the full demand
+on the LLM tier — the re-prefill is booked exactly like the sacrifice
+path, and the SLM's draft tokens land in the waste ledger.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models import get_model
+from repro.quant.dtypes import Precision
+
+#: Tier labels the cascade stamps onto requests and fleet nodes.
+SLM_TIER = "slm"
+LLM_TIER = "llm"
+
+
+@dataclass(frozen=True)
+class CascadeSpec:
+    """One SLM→LLM cascade operating point.
+
+    ``gate`` scales the calibrated quality gap into an escalation
+    probability: 0 never escalates (pure SLM serving), larger values
+    escalate a larger share of traffic toward the LLM's quality.
+    """
+
+    slm_model: str = "phi2"
+    slm_precision: str = "int8"
+    llm_model: str = "llama"
+    llm_precision: str = "fp16"
+    gate: float = 0.5
+    dataset: str = "wikitext2"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        get_model(self.slm_model)  # typed error on unknown names
+        get_model(self.llm_model)
+        Precision.parse(self.slm_precision)
+        Precision.parse(self.llm_precision)
+        if self.gate < 0:
+            raise ConfigError("cascade gate must be >= 0")
+        if self.dataset not in ("wikitext2", "longbench"):
+            raise ConfigError(
+                f"unknown quality dataset {self.dataset!r}; "
+                f"known: wikitext2, longbench")
+
+    # -- quality proxies ---------------------------------------------------
+    def slm_quality(self) -> float:
+        """Predicted perplexity of the small stage (lower is better)."""
+        return _predicted_ppl(self.slm_model, self.slm_precision,
+                              self.dataset, self.seed)
+
+    def llm_quality(self) -> float:
+        """Predicted perplexity of the large stage."""
+        return _predicted_ppl(self.llm_model, self.llm_precision,
+                              self.dataset, self.seed)
+
+    def escalation_probability(self) -> float:
+        """Fraction of traffic the calibrated gap sends to the LLM."""
+        gap = max(0.0, self.slm_quality() / self.llm_quality() - 1.0)
+        return min(1.0, self.gate * gap)
+
+    def should_escalate(self, req_id: int) -> bool:
+        """Deterministic per-request gate decision (crc32-keyed draw)."""
+        p = self.escalation_probability()
+        if p <= 0.0:
+            return False
+        rng = np.random.default_rng(
+            (self.seed << 20)
+            ^ (zlib.crc32(f"cascade:{req_id}".encode()) & 0xFFFFFFFF))
+        return float(rng.random()) < p
+
+    def quality_proxy(self, slm_served: int, llm_served: int) -> float:
+        """Token-weighted mixture perplexity of one serving outcome."""
+        total = slm_served + llm_served
+        if total <= 0:
+            return self.llm_quality()
+        return (slm_served * self.slm_quality()
+                + llm_served * self.llm_quality()) / total
+
+    def quality_delta_pct(self, slm_served: int, llm_served: int) -> float:
+        """Mixture quality-proxy regression vs. LLM-only serving (%)."""
+        llm = self.llm_quality()
+        return (self.quality_proxy(slm_served, llm_served) / llm - 1.0) * 100.0
+
+
+@lru_cache(maxsize=None)
+def _predicted_ppl(model: str, precision: str, dataset: str,
+                   seed: int) -> float:
+    from repro.perplexity.analytical import predicted_perplexity
+
+    # The perplexity anchors key off paper model names; resolve any
+    # alias ("phi2" -> "MS-Phi2") through the zoo first.
+    arch = get_model(model)
+    return predicted_perplexity(arch.name, Precision.parse(precision),
+                                dataset, seed=seed)
+
+
+def served_by_tier(requests) -> dict:
+    """Useful (non-escalated, finished) tokens per cascade tier."""
+    out = {SLM_TIER: 0, LLM_TIER: 0, None: 0}
+    for r in requests:
+        if r.finish_s is None or getattr(r, "escalated", False):
+            continue
+        tier = getattr(r, "tier", None)
+        out[tier] = out.get(tier, 0) + r.generated
+    return out

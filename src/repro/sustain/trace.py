@@ -1,0 +1,288 @@
+"""Carbon-intensity and electricity-price traces on the DES clock.
+
+A :class:`CarbonTrace` is a stepwise series of grid carbon intensity
+(g CO₂ per kWh) and electricity price ($ per kWh) over simulated time —
+the first-class input the sustainability scenario routes and defers
+against.  Steps are uniform (``step_s`` wide) and the series repeats
+periodically, so a short compressed "day" covers arbitrarily long runs
+exactly like the diurnal workload generator compresses 24 h into
+``period_s``.
+
+Generators are deterministic under their ``seed`` (the RNG stream is
+keyed with ``zlib.crc32`` of the trace name, never ``hash()``, so the
+series is stable across ``PYTHONHASHSEED``), and a CSV loader covers
+real grid data (electricityMap-style exports).
+
+Everything here is a frozen dataclass of tuples: traces are hashable,
+``dataclasses.asdict``-able, and fold into content-addressed sweep
+cache keys via :data:`SUSTAIN_VERSION`.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Fold into every sustain-layer cache key: bump when trace generation,
+#: routing scores or cascade gating change meaning.
+SUSTAIN_VERSION = 1
+
+#: Joules per kilowatt-hour (the gCO₂/kWh → g/J conversion).
+J_PER_KWH = 3.6e6
+
+
+@dataclass(frozen=True)
+class CarbonTrace:
+    """Stepwise carbon-intensity / price series, periodic in time.
+
+    ``gco2_per_kwh[k]`` and ``usd_per_kwh[k]`` hold over
+    ``[k * step_s, (k + 1) * step_s)``; past the last step the series
+    wraps around (the day repeats).
+    """
+
+    name: str
+    step_s: float
+    gco2_per_kwh: Tuple[float, ...]
+    usd_per_kwh: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("carbon trace needs a name")
+        if self.step_s <= 0:
+            raise ConfigError("carbon trace step must be positive")
+        if not self.gco2_per_kwh:
+            raise ConfigError("carbon trace needs at least one step")
+        if len(self.usd_per_kwh) != len(self.gco2_per_kwh):
+            raise ConfigError(
+                "carbon trace intensity and price series must align")
+        if any(v < 0 for v in self.gco2_per_kwh):
+            raise ConfigError("carbon intensity must be >= 0")
+        if any(v < 0 for v in self.usd_per_kwh):
+            raise ConfigError("electricity price must be >= 0")
+
+    # -- lookups -----------------------------------------------------------
+    @property
+    def period_s(self) -> float:
+        """One full cycle of the series."""
+        return self.step_s * len(self.gco2_per_kwh)
+
+    def _index(self, time_s: float) -> int:
+        return int(math.floor(max(0.0, time_s) / self.step_s)) \
+            % len(self.gco2_per_kwh)
+
+    def intensity_at(self, time_s: float) -> float:
+        """Grid intensity (g CO₂/kWh) in force at ``time_s``."""
+        return self.gco2_per_kwh[self._index(time_s)]
+
+    def price_at(self, time_s: float) -> float:
+        """Electricity price ($/kWh) in force at ``time_s``."""
+        return self.usd_per_kwh[self._index(time_s)]
+
+    def mean_intensity(self) -> float:
+        return sum(self.gco2_per_kwh) / len(self.gco2_per_kwh)
+
+    def min_intensity(self) -> float:
+        return min(self.gco2_per_kwh)
+
+    def carbon_g(self, joules: float, time_s: float) -> float:
+        """Grams of CO₂ for ``joules`` drawn at ``time_s``."""
+        return joules / J_PER_KWH * self.intensity_at(time_s)
+
+    def next_below(self, time_s: float, threshold: float,
+                   horizon_s: float) -> Optional[float]:
+        """Earliest ``t >= time_s`` (within the horizon) whose step has
+        intensity ``<= threshold`` — the deferral knob's target time.
+
+        Returns ``time_s`` itself when the current step already
+        qualifies, and ``None`` when no step boundary inside
+        ``[time_s, time_s + horizon_s]`` does.
+        """
+        if horizon_s < 0:
+            raise ConfigError("deferral horizon must be >= 0")
+        if self.intensity_at(time_s) <= threshold:
+            return time_s
+        t = max(0.0, time_s)
+        # First boundary strictly after t, then step-by-step scan.
+        boundary = (math.floor(t / self.step_s) + 1) * self.step_s
+        while boundary <= time_s + horizon_s:
+            if self.intensity_at(boundary) <= threshold:
+                return boundary
+            boundary += self.step_s
+        return None
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def constant(cls, gco2_per_kwh: float, usd_per_kwh: float = 0.0,
+                 name: str = "constant",
+                 step_s: float = 900.0) -> "CarbonTrace":
+        """A flat grid (one infinite step)."""
+        return cls(name=name, step_s=step_s,
+                   gco2_per_kwh=(float(gco2_per_kwh),),
+                   usd_per_kwh=(float(usd_per_kwh),))
+
+    @classmethod
+    def diurnal(
+        cls,
+        base_gco2: float = 400.0,
+        swing: float = 0.5,
+        base_usd: float = 0.12,
+        price_swing: float = 0.4,
+        period_s: float = 240.0,
+        n_steps: int = 24,
+        noise: float = 0.02,
+        seed: int = 0,
+        name: str = "diurnal",
+    ) -> "CarbonTrace":
+        """A day/night sinusoid: dirty evenings, cleaner early hours.
+
+        Intensity is ``base * (1 + swing * sin(2πk/n))`` plus seeded
+        relative noise; price follows the same phase (scarcity pricing).
+        ``period_s`` compresses the 24 h cycle to something a
+        simulation covers, matching ``diurnal_workload``.
+        """
+        if not 0.0 <= swing < 1.0 or not 0.0 <= price_swing < 1.0:
+            raise ConfigError("swings must be in [0, 1)")
+        if n_steps < 1 or period_s <= 0:
+            raise ConfigError("need >= 1 step over a positive period")
+        rng = np.random.default_rng(
+            seed ^ (zlib.crc32(name.encode()) & 0xFFFF))
+        phase = 2.0 * math.pi * np.arange(n_steps) / n_steps
+        jitter = 1.0 + noise * rng.standard_normal(n_steps)
+        g = base_gco2 * (1.0 + swing * np.sin(phase)) * np.abs(jitter)
+        usd = base_usd * (1.0 + price_swing * np.sin(phase))
+        return cls(name=name, step_s=period_s / n_steps,
+                   gco2_per_kwh=tuple(round(float(v), 4) for v in g),
+                   usd_per_kwh=tuple(round(float(v), 6) for v in usd))
+
+    @classmethod
+    def duck_curve(
+        cls,
+        base_gco2: float = 400.0,
+        solar_dip: float = 0.7,
+        evening_ramp: float = 0.4,
+        base_usd: float = 0.12,
+        period_s: float = 240.0,
+        n_steps: int = 24,
+        noise: float = 0.02,
+        seed: int = 0,
+        name: str = "duck-curve",
+    ) -> "CarbonTrace":
+        """The solar duck: a deep midday dip, then a steep evening ramp.
+
+        Intensity is the base level minus a Gaussian solar dip centred
+        at mid-period (fraction ``solar_dip`` deep) plus an evening
+        ramp peaking at ~80% of the period, with seeded relative noise.
+        Price mirrors intensity (solar hours are cheap).
+        """
+        if not 0.0 <= solar_dip < 1.0 or evening_ramp < 0:
+            raise ConfigError("solar_dip in [0, 1) and evening_ramp >= 0")
+        if n_steps < 1 or period_s <= 0:
+            raise ConfigError("need >= 1 step over a positive period")
+        rng = np.random.default_rng(
+            seed ^ (zlib.crc32(name.encode()) & 0xFFFF))
+        frac = (np.arange(n_steps) + 0.5) / n_steps
+        dip = solar_dip * np.exp(-((frac - 0.5) / 0.15) ** 2)
+        ramp = evening_ramp * np.exp(-((frac - 0.8) / 0.1) ** 2)
+        jitter = 1.0 + noise * rng.standard_normal(n_steps)
+        shape = np.maximum(0.05, 1.0 - dip + ramp)
+        g = base_gco2 * shape * np.abs(jitter)
+        usd = base_usd * shape
+        return cls(name=name, step_s=period_s / n_steps,
+                   gco2_per_kwh=tuple(round(float(v), 4) for v in g),
+                   usd_per_kwh=tuple(round(float(v), 6) for v in usd))
+
+    @classmethod
+    def from_csv(cls, path, name: Optional[str] = None) -> "CarbonTrace":
+        """Load a trace from CSV: ``time_s,gco2_per_kwh[,usd_per_kwh]``.
+
+        Rows must be time-ordered on a uniform grid starting at 0 (the
+        electricityMap-style export shape); price defaults to 0.
+        """
+        times: List[float] = []
+        g: List[float] = []
+        usd: List[float] = []
+        with open(path, "r", encoding="utf-8", newline="") as fh:
+            reader = csv.DictReader(fh)
+            if reader.fieldnames is None or \
+                    "time_s" not in reader.fieldnames or \
+                    "gco2_per_kwh" not in reader.fieldnames:
+                raise ConfigError(
+                    f"{path}: carbon trace CSV needs time_s and "
+                    f"gco2_per_kwh columns")
+            for row in reader:
+                times.append(float(row["time_s"]))
+                g.append(float(row["gco2_per_kwh"]))
+                usd.append(float(row.get("usd_per_kwh") or 0.0))
+        if len(times) < 1:
+            raise ConfigError(f"{path}: carbon trace CSV has no rows")
+        if times[0] != 0.0:
+            raise ConfigError(f"{path}: carbon trace must start at time 0")
+        step = times[1] - times[0] if len(times) > 1 else 900.0
+        if step <= 0:
+            raise ConfigError(f"{path}: carbon trace must be time-ordered")
+        for i, t in enumerate(times):
+            if abs(t - i * step) > 1e-9 * max(1.0, abs(t)):
+                raise ConfigError(
+                    f"{path}: carbon trace steps must be uniform "
+                    f"(row {i} at {t}, expected {i * step})")
+        import os
+
+        return cls(name=name or os.path.splitext(os.path.basename(path))[0],
+                   step_s=step, gco2_per_kwh=tuple(g), usd_per_kwh=tuple(usd))
+
+
+def carbon_from_samples(samples: Sequence,
+                        trace: CarbonTrace) -> Tuple[float, float]:
+    """Integrate a power-sample trace against a carbon/price trace.
+
+    Returns ``(grams_co2, usd)``.  Energy per sample interval is the
+    same trapezoid the fleet meter uses; the interval is billed at the
+    intensity and price in force at its *start*, so two identical runs
+    integrate to identical grams (stepwise-left, no float drift from
+    boundary splitting).
+    """
+    grams = 0.0
+    usd = 0.0
+    for a, b in zip(samples, samples[1:]):
+        joules = 0.5 * (a.power_w + b.power_w) * (b.time_s - a.time_s)
+        kwh = joules / J_PER_KWH
+        grams += kwh * trace.intensity_at(a.time_s)
+        usd += kwh * trace.price_at(a.time_s)
+    return grams, usd
+
+
+def defer_arrivals(
+    requests: Sequence,
+    trace: CarbonTrace,
+    max_defer_s: float,
+    threshold_frac: float = 0.95,
+) -> int:
+    """The deferral knob: shift latency-slack arrivals to cleaner hours.
+
+    Each request whose arrival lands in a step dirtier than
+    ``threshold_frac * mean intensity`` of the reference ``trace`` is
+    pushed to the next step boundary at or below the threshold, bounded
+    by ``max_defer_s`` (the latency slack); requests with no clean step
+    inside their slack stay put.  Mutates ``arrival_s`` in place and
+    returns the number of deferred requests — a pure pre-injection
+    transform, so the DES run stays bit-reproducible.
+    """
+    if max_defer_s < 0:
+        raise ConfigError("max_defer_s must be >= 0")
+    if max_defer_s == 0:
+        return 0
+    threshold = threshold_frac * trace.mean_intensity()
+    deferred = 0
+    for r in requests:
+        target = trace.next_below(r.arrival_s, threshold, max_defer_s)
+        if target is not None and target > r.arrival_s:
+            r.arrival_s = target
+            deferred += 1
+    return deferred

@@ -112,15 +112,15 @@ class TestEngineIntegration:
 
 class TestClusterIntegration:
     def test_pool_exhaustion_preempts_then_completes(self):
-        from repro.cluster import EdgeCluster, NodeSpec
+        from repro.cluster import EdgeCluster, FleetSpec, NodeSpec
         from repro.cluster.workload import poisson_workload
         from repro.obs import Observer
         from repro.obs.kinds import EJECT
 
         obs = Observer()
-        cluster = EdgeCluster.build(
+        cluster = EdgeCluster.of(FleetSpec.of(
             [NodeSpec("jetson-orin-agx-64gb", runtime="paged", max_batch=8)],
-            model="phi2", precision="fp16", policy="round-robin",
+            model="phi2", precision="fp16", policy="round-robin"),
             observer=obs)
         node = cluster.nodes[0]
         # Pool holds ~2.5 whole requests; prompt-block admission lets in
@@ -139,12 +139,12 @@ class TestClusterIntegration:
         assert ejects
 
     def test_request_too_big_for_the_pool_is_rejected_not_livelocked(self):
-        from repro.cluster import EdgeCluster, NodeSpec
+        from repro.cluster import EdgeCluster, FleetSpec, NodeSpec
         from repro.cluster.workload import poisson_workload
 
-        cluster = EdgeCluster.build(
+        cluster = EdgeCluster.of(FleetSpec.of(
             [NodeSpec("jetson-orin-agx-64gb", runtime="paged", max_batch=4)],
-            model="phi2", precision="fp16", policy="round-robin")
+            model="phi2", precision="fp16", policy="round-robin"))
         node = cluster.nodes[0]
         # Budget admits the prompt's blocks but can never hold any
         # request's whole lifetime: eviction must escalate to the
@@ -159,13 +159,13 @@ class TestClusterIntegration:
         assert node.as_row()["runtime"] == "paged"
 
     def test_mixed_fleet_builds(self):
-        from repro.cluster import EdgeCluster, NodeSpec
+        from repro.cluster import EdgeCluster, FleetSpec, NodeSpec
 
-        cluster = EdgeCluster.build(
+        cluster = EdgeCluster.of(FleetSpec.of(
             [NodeSpec("jetson-orin-agx-64gb", runtime="paged"),
              NodeSpec("jetson-orin-agx-64gb", runtime="gguf"),
              NodeSpec("jetson-orin-agx-64gb")],
-            model="phi2", precision="fp16")
+            model="phi2", precision="fp16"))
         assert [n.backend.name for n in cluster.nodes] == \
             ["paged", "gguf", "hf-transformers"]
 

@@ -15,6 +15,7 @@ import pytest
 from repro.cluster import (
     AutoscalerConfig,
     EdgeCluster,
+    FleetSpec,
     NodeSpec,
     PowerModeAutoscaler,
     SLOSpec,
@@ -30,9 +31,10 @@ FLEET = [
 ]
 
 
-def serve(policy, rate=2.0, n=24, seed=3, specs=FLEET, out=16, **build_kw):
-    cluster = EdgeCluster.build(list(specs), model="llama", precision="fp16",
-                                policy=policy, **build_kw)
+def serve(policy, rate=2.0, n=24, seed=3, specs=FLEET, out=16, **run_kw):
+    fleet = FleetSpec.of(list(specs), model="llama", precision="fp16",
+                         policy=policy)
+    cluster = EdgeCluster.of(fleet, **run_kw)
     reqs = poisson_workload(rate, n, input_tokens=16, output_tokens=out,
                             seed=seed)
     return cluster, cluster.run(reqs)
@@ -110,8 +112,9 @@ class TestReports:
         assert 0 < per_request <= rep.busy_energy_j * 1.001
 
     def test_multi_tenant_fairness_reported(self):
-        cluster = EdgeCluster.build(list(FLEET), model="llama",
-                                    precision="fp16", policy="least-kv")
+        cluster = EdgeCluster.of(FleetSpec.of(
+            list(FLEET), model="llama", precision="fp16",
+            policy="least-kv"))
         reqs = multi_tenant_workload(3.0, 40, seed=2)
         rep = cluster.run(reqs)
         assert len(rep.tenants) == 3
@@ -158,8 +161,8 @@ class TestFaultFreeResilience:
 
 class TestAutoscaler:
     def test_scales_up_under_load_and_down_when_calm(self):
-        cluster = EdgeCluster.build(list(FLEET), model="llama",
-                                    precision="fp16", policy="jsq")
+        cluster = EdgeCluster.of(FleetSpec.of(
+            list(FLEET), model="llama", precision="fp16", policy="jsq"))
         scaler = PowerModeAutoscaler(
             cluster.env, cluster.nodes,
             AutoscalerConfig(period_s=1.0, up_depth=2, down_depth=1),
@@ -175,8 +178,9 @@ class TestAutoscaler:
 
     def test_determinism_with_autoscaler(self):
         def once():
-            cluster = EdgeCluster.build(list(FLEET), model="llama",
-                                        precision="fp16", policy="energy-aware")
+            cluster = EdgeCluster.of(FleetSpec.of(
+                list(FLEET), model="llama", precision="fp16",
+                policy="energy-aware"))
             cluster.attach_autoscaler(PowerModeAutoscaler(
                 cluster.env, cluster.nodes, AutoscalerConfig(period_s=1.0)))
             return cluster.run(poisson_workload(4.0, 25, seed=9)).as_row()
@@ -207,8 +211,8 @@ class TestAutoscaler:
 class TestValidation:
     def test_empty_cluster_and_trace(self):
         with pytest.raises(ConfigError):
-            EdgeCluster.build([], model="llama", precision="fp16")
-        cluster = EdgeCluster.build(list(FLEET), model="llama",
-                                    precision="fp16")
+            FleetSpec.of([], model="llama", precision="fp16")
+        cluster = EdgeCluster.of(FleetSpec.of(list(FLEET), model="llama",
+                                              precision="fp16"))
         with pytest.raises(ExperimentError):
             cluster.run([])

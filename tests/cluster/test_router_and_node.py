@@ -29,8 +29,8 @@ def req(req_id=0, inp=32, out=32, arrival=0.0):
 class TestRegistry:
     def test_all_policies_listed(self):
         assert list_policies() == [
-            "energy-aware", "jsq", "least-kv", "prefix-affinity",
-            "round-robin", "splitwise",
+            "carbon-aware", "energy-aware", "jsq", "least-kv",
+            "prefix-affinity", "round-robin", "splitwise",
         ]
 
     def test_unknown_policy_raises_config_error_listing_policies(self):

@@ -13,7 +13,7 @@ import sys
 
 import numpy as np
 
-from repro.cluster import EdgeCluster, NodeSpec
+from repro.cluster import EdgeCluster, FleetSpec, NodeSpec
 from repro.cluster.slo import SLOSpec
 from repro.cluster.workload import ClusterRequest
 from repro.fairness import TokenThrottle
@@ -39,8 +39,9 @@ def adversarial_workload(seed=0):
 
 
 def run_scheduler(name, seed=0, throttle=None):
-    cluster = EdgeCluster.build(
-        [NodeSpec("jetson-orin-agx-64gb", max_batch=1, scheduler=name)],
+    cluster = EdgeCluster.of(
+        FleetSpec.of([NodeSpec("jetson-orin-agx-64gb", max_batch=1,
+                               scheduler=name)]),
         slo=SLOSpec(ttft_s=10.0), throttle=throttle,
         tenant_weights=WEIGHTS)
     return cluster.run(adversarial_workload(seed))

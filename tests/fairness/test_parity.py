@@ -10,7 +10,7 @@ admission body.
 
 import types
 
-from repro.cluster import EdgeCluster, NodeSpec
+from repro.cluster import EdgeCluster, FleetSpec, NodeSpec
 from repro.cluster.workload import multi_tenant_workload
 from repro.engine.scheduler import ContinuousBatchScheduler
 from repro.engine.scheduler import poisson_workload as engine_poisson
@@ -40,10 +40,10 @@ def _legacy_admit(self):
 
 
 def _build(legacy: bool, observer=None):
-    cluster = EdgeCluster.build(
+    cluster = EdgeCluster.of(FleetSpec.of(
         [NodeSpec("jetson-orin-agx-64gb", max_batch=2),
          NodeSpec("jetson-xavier-agx-32gb", max_batch=2)],
-        policy="jsq", observer=observer)
+        policy="jsq"), observer=observer)
     if legacy:
         for n in cluster.nodes:
             n._admit = types.MethodType(_legacy_admit, n)

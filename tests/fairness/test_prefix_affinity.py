@@ -9,16 +9,17 @@ match, falling back to least-kv placement for cold prompts.
 
 import pytest
 
-from repro.cluster import EdgeCluster, NodeSpec, get_router, list_policies
+from repro.cluster import (EdgeCluster, FleetSpec, NodeSpec, get_router,
+                           list_policies)
 from repro.errors import ConfigError
 from repro.fairness import session_workload
 
 
 def run_sessions(policy, n=10, seed=0):
-    cluster = EdgeCluster.build(
+    cluster = EdgeCluster.of(FleetSpec.of(
         [NodeSpec("jetson-orin-agx-64gb", max_batch=4, runtime="paged"),
          NodeSpec("jetson-orin-agx-64gb", max_batch=4, runtime="paged")],
-        policy=policy)
+        policy=policy))
     inters = session_workload(2.0, n, mean_turns=4.0, max_turns=6,
                               mean_think_time_s=0.5, seed=seed)
     rep = cluster.run_interactions(inters)

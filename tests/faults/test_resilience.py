@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cluster import ClusterRequest, EdgeCluster, NodeSpec, SLOSpec
+from repro.cluster import (ClusterRequest, EdgeCluster, FleetSpec,
+                           NodeSpec, SLOSpec)
 from repro.cluster.node import ClusterNode
 from repro.cluster.workload import poisson_workload
 from repro.errors import ConfigError
@@ -39,8 +40,8 @@ def req(req_id=0, inp=32, out=32, arrival=0.0):
 
 def crash_cluster(down_s=10.0, start_s=2.0, n_requests=30, rate=4.0):
     """Two-node fleet with a scripted node-0 crash; returns (report, sched)."""
-    cluster = EdgeCluster.build([NodeSpec(ORIN64), NodeSpec(ORIN64)],
-                                policy="jsq")
+    cluster = EdgeCluster.of(FleetSpec.of(
+        [NodeSpec(ORIN64), NodeSpec(ORIN64)], policy="jsq"))
     sched = schedule_from_episodes([
         FaultEpisode(0, 0, FaultClass.CRASH, start_s, down_s, down_s),
     ])
@@ -121,8 +122,8 @@ class TestRequeueCap:
     def test_requeues_capped_then_rejected(self):
         """A single node that dies with work and never comes back forces
         rejection through the requeue cap rather than an infinite loop."""
-        cluster = EdgeCluster.build(
-            [NodeSpec(ORIN64)], policy="round-robin",
+        cluster = EdgeCluster.of(
+            FleetSpec.of([NodeSpec(ORIN64)], policy="round-robin"),
             retry=RetryPolicy(max_retries=0, max_requeues=1),
         )
         sched = schedule_from_episodes([
@@ -139,8 +140,8 @@ class TestRequeueCap:
 
 class TestRetryBudgetFleetWide:
     def test_spent_budget_fails_fast(self):
-        cluster = EdgeCluster.build(
-            [NodeSpec(ORIN64, max_queue=1)], policy="jsq",
+        cluster = EdgeCluster.of(
+            FleetSpec.of([NodeSpec(ORIN64, max_queue=1)], policy="jsq"),
             retry=RetryPolicy(max_retries=3, retry_budget=0),
         )
         report = cluster.run(poisson_workload(50.0, 40, seed=0,

@@ -12,7 +12,7 @@ The acceptance properties of the kvtier subsystem:
 
 import pytest
 
-from repro.cluster import EdgeCluster, NodeSpec
+from repro.cluster import EdgeCluster, FleetSpec, NodeSpec
 from repro.cluster.workload import poisson_workload, shared_prefix_workload
 from repro.engine.scheduler import ContinuousBatchScheduler, ServeRequest
 from repro.hardware import get_device
@@ -27,11 +27,10 @@ MODEL = "llama3.1-8b"
 def pressured_cluster(kv_policy, budget_frac=0.005, precision="fp16",
                       power_mode="MAXN", observer=None):
     """One node whose KV budget is shrunk until preemption must fire."""
-    cluster = EdgeCluster.build(
+    cluster = EdgeCluster.of(FleetSpec.of(
         [NodeSpec(DEVICE, power_mode=power_mode, max_batch=8,
                   runtime="paged", kv_policy=kv_policy)],
-        model=MODEL, precision=precision, observer=observer,
-    )
+        model=MODEL, precision=precision), observer=observer)
     node = cluster.nodes[0]
     node._kv_budget_base = max(1, int(node._kv_budget_base * budget_frac))
     node._explicit_kv_budget = True
@@ -59,11 +58,11 @@ class TestSwapRoundTrip:
         # int8 halves KV bytes/token, so halve the budget to keep the
         # same preemption pressure across the precision axis.
         frac = 0.005 if precision == "fp16" else 0.0025
-        base = EdgeCluster.build(
+        base = EdgeCluster.of(FleetSpec.of(
             [NodeSpec(DEVICE, power_mode=power_mode, max_batch=8,
                       runtime="paged")],
             model=MODEL, precision=precision,
-        ).run(workload(n=16))
+        )).run(workload(n=16))
         swapped = pressured_cluster("swap-lru", budget_frac=frac,
                                     precision=precision,
                                     power_mode=power_mode).run(workload(n=16))
@@ -123,9 +122,9 @@ class TestPrefixSharing:
                                           share_ratio=share,
                                           unique_tokens=32, output_tokens=32,
                                           seed=1)
-            cluster = EdgeCluster.build(
+            cluster = EdgeCluster.of(FleetSpec.of(
                 [NodeSpec(DEVICE, max_batch=8, runtime="paged")],
-                model=MODEL, precision="fp16")
+                model=MODEL, precision="fp16"))
             return cluster.run(reqs)
 
         cold = run(0.0)

@@ -11,7 +11,8 @@ The three acceptance properties from the layer's introduction:
 
 import pytest
 
-from repro.cluster import EdgeCluster, NodeSpec, poisson_workload
+from repro.cluster import (EdgeCluster, FleetSpec, NodeSpec,
+                           poisson_workload)
 from repro.core import ExperimentSpec, run_experiment
 from repro.faults import ChaosSpec, FaultScheduleSpec, run_chaos
 from repro.obs import Observer, chrome_trace_json, kinds, prometheus_text
@@ -24,8 +25,8 @@ FLEET = [
 
 
 def _cluster_run(observer=None, seed=3, n=24):
-    cluster = EdgeCluster.build(list(FLEET), model="llama", precision="fp16",
-                                observer=observer)
+    fleet = FleetSpec.of(list(FLEET), model="llama", precision="fp16")
+    cluster = EdgeCluster.of(fleet, observer=observer)
     reqs = poisson_workload(2.0, n, input_tokens=16, output_tokens=16,
                             seed=seed)
     return cluster.run(reqs)

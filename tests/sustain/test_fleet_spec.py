@@ -1,0 +1,114 @@
+"""FleetSpec: validation, and exact parity of the legacy build shim."""
+
+import warnings
+
+import pytest
+
+from repro.cluster import EdgeCluster, FleetSpec, NodeSpec, poisson_workload
+from repro.errors import ConfigError
+from repro.obs import Observer, chrome_trace_json
+from repro.sustain import CarbonTrace
+
+
+class TestValidation:
+    def test_needs_nodes(self):
+        with pytest.raises(ConfigError):
+            FleetSpec(nodes=())
+
+    def test_nodes_must_be_nodespecs(self):
+        with pytest.raises(ConfigError):
+            FleetSpec(nodes=("jetson-orin-agx-64gb",))
+
+    def test_unknown_model_precision_policy(self):
+        from repro.errors import ReproError
+
+        node = (NodeSpec("jetson-orin-agx-64gb"),)
+        with pytest.raises(ReproError):
+            FleetSpec(nodes=node, model="gpt17")
+        with pytest.raises(ReproError):
+            FleetSpec(nodes=node, precision="fp12")
+        with pytest.raises(ConfigError):
+            FleetSpec(nodes=node, policy="fifo")
+
+    def test_duplicate_region_binding_rejected(self):
+        tr = CarbonTrace.constant(100.0)
+        with pytest.raises(ConfigError):
+            FleetSpec(nodes=(NodeSpec("jetson-orin-agx-64gb"),),
+                      traces=(("eu", tr), ("eu", tr)))
+
+    def test_of_mixes_presets_and_specs_and_stamps_regions(self):
+        fleet = FleetSpec.of(
+            ["jetson-orin-agx-64gb",
+             NodeSpec("jetson-xavier-agx-32gb", max_batch=2)],
+            regions=["eu", None],
+            traces={"eu": CarbonTrace.constant(90.0)})
+        assert fleet.nodes[0].region == "eu"
+        assert fleet.nodes[1].region is None
+        assert fleet.nodes[1].max_batch == 2
+        assert fleet.trace_for("eu").mean_intensity() == 90.0
+        assert fleet.trace_for(None) is None
+        assert fleet.trace_for("us") is None
+
+    def test_regions_must_parallel_devices(self):
+        with pytest.raises(ConfigError):
+            FleetSpec.of(["jetson-orin-agx-64gb"], regions=["eu", "us"])
+
+    def test_spec_is_hashable_and_cacheable(self):
+        import dataclasses
+
+        from repro.core.cache import payload_fingerprint
+
+        fleet = FleetSpec.of(["jetson-orin-agx-64gb"],
+                             traces={"eu": CarbonTrace.diurnal(seed=1)},
+                             regions=["eu"])
+        hash(fleet)  # frozen dataclass of tuples
+        a = payload_fingerprint(dataclasses.asdict(fleet))
+        b = payload_fingerprint(dataclasses.asdict(fleet))
+        assert a == b
+
+
+FLEET = [
+    NodeSpec("jetson-orin-agx-64gb", max_batch=4),
+    NodeSpec("jetson-xavier-agx-32gb", max_batch=4),
+]
+
+
+def _workload():
+    return poisson_workload(2.0, 20, input_tokens=16, output_tokens=16,
+                            seed=5)
+
+
+class TestBuildShimParity:
+    def test_build_warns_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="FleetSpec"):
+            EdgeCluster.build(list(FLEET), model="llama", policy="jsq")
+
+    def test_build_and_of_are_byte_identical(self):
+        """The shim must construct the *same* cluster: every per-request
+        timestamp, the report row, and the telemetry stream all match
+        exactly (no approx; determinism is the whole contract)."""
+        obs_new = Observer()
+        fleet = FleetSpec.of(list(FLEET), model="llama", precision="fp16",
+                             policy="jsq")
+        new = EdgeCluster.of(fleet, observer=obs_new).run(_workload())
+
+        obs_old = Observer()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy_cluster = EdgeCluster.build(
+                list(FLEET), model="llama", precision="fp16", policy="jsq",
+                observer=obs_old)
+        legacy = legacy_cluster.run(_workload())
+
+        assert new.as_row() == legacy.as_row()
+        assert [r.first_token_s for r in new.requests] == \
+               [r.first_token_s for r in legacy.requests]
+        assert [r.finish_s for r in new.requests] == \
+               [r.finish_s for r in legacy.requests]
+        assert chrome_trace_json(obs_new) == chrome_trace_json(obs_old)
+
+    def test_build_rejects_empty_specs(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ConfigError):
+                EdgeCluster.build([], model="llama")

@@ -1,0 +1,42 @@
+"""The planner's optional carbon objective stays a strict add-on."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.plan import PlanSpec, plan
+
+
+class TestCarbonObjective:
+    def test_default_plan_has_no_carbon_column(self):
+        rep = plan(PlanSpec())
+        assert all("g_per_token" not in r for r in rep.rows)
+
+    def test_carbon_column_appears_and_ranks_after_nodes_and_watts(self):
+        base = plan(PlanSpec())
+        carbon = plan(PlanSpec(carbon_gco2_per_kwh=400.0))
+        assert all("g_per_token" in r for r in carbon.rows)
+        # The objective is ranked *after* nodes and watts: with a single
+        # device the winner cannot change, only gain the extra column.
+        stripped = [{k: v for k, v in r.items() if k != "g_per_token"}
+                    for r in carbon.rows]
+        assert stripped == base.rows
+        chosen = dict(carbon.chosen)
+        chosen.pop("g_per_token")
+        assert chosen == base.chosen
+
+    def test_carbon_changes_cache_key_and_validates(self):
+        assert PlanSpec().cache_key() != \
+            PlanSpec(carbon_gco2_per_kwh=400.0).cache_key()
+        with pytest.raises(ConfigError):
+            PlanSpec(carbon_gco2_per_kwh=-1.0)
+
+    def test_g_per_token_is_j_per_token_times_intensity(self):
+        from repro.sustain.trace import J_PER_KWH
+
+        rep = plan(PlanSpec(carbon_gco2_per_kwh=360.0))
+        for r in rep.rows:
+            if r["j_per_token"] == "inf":
+                assert r["g_per_token"] == "inf"
+            else:
+                expect = r["j_per_token"] / J_PER_KWH * 360.0
+                assert r["g_per_token"] == pytest.approx(expect, abs=5e-6)

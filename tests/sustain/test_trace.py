@@ -1,0 +1,147 @@
+"""CarbonTrace: determinism, periodicity, CSV round-trip, deferral."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sustain import CarbonTrace, defer_arrivals
+from repro.sustain.trace import J_PER_KWH, carbon_from_samples
+
+
+class TestConstruction:
+    def test_constant_trace_is_flat(self):
+        tr = CarbonTrace.constant(300.0, usd_per_kwh=0.1)
+        assert tr.intensity_at(0.0) == 300.0
+        assert tr.intensity_at(1e6) == 300.0
+        assert tr.mean_intensity() == 300.0
+        assert tr.min_intensity() == 300.0
+
+    def test_validation_rejects_bad_shapes(self):
+        with pytest.raises(ConfigError):
+            CarbonTrace(name="x", step_s=0.0, gco2_per_kwh=(1.0,),
+                        usd_per_kwh=(0.1,))
+        with pytest.raises(ConfigError):
+            CarbonTrace(name="x", step_s=10.0, gco2_per_kwh=(),
+                        usd_per_kwh=())
+        with pytest.raises(ConfigError):
+            CarbonTrace(name="x", step_s=10.0, gco2_per_kwh=(1.0, 2.0),
+                        usd_per_kwh=(0.1,))
+        with pytest.raises(ConfigError):
+            CarbonTrace(name="x", step_s=10.0, gco2_per_kwh=(-1.0,),
+                        usd_per_kwh=(0.1,))
+
+    def test_stepwise_left_and_periodic(self):
+        tr = CarbonTrace(name="step", step_s=10.0,
+                         gco2_per_kwh=(100.0, 200.0),
+                         usd_per_kwh=(0.1, 0.2))
+        assert tr.intensity_at(0.0) == 100.0
+        assert tr.intensity_at(9.999) == 100.0
+        assert tr.intensity_at(10.0) == 200.0
+        # Wraps periodically past the last step.
+        assert tr.intensity_at(20.0) == 100.0
+        assert tr.price_at(35.0) == 0.2
+
+
+class TestDeterminism:
+    def test_diurnal_same_seed_same_trace(self):
+        a = CarbonTrace.diurnal(seed=7)
+        b = CarbonTrace.diurnal(seed=7)
+        assert a == b
+        assert a.gco2_per_kwh == b.gco2_per_kwh
+
+    def test_diurnal_seed_and_name_both_matter(self):
+        base = CarbonTrace.diurnal(seed=7)
+        assert CarbonTrace.diurnal(seed=8) != base
+        assert (CarbonTrace.diurnal(seed=7, name="other").gco2_per_kwh
+                != base.gco2_per_kwh)
+
+    def test_stable_across_hash_seeds(self):
+        """PYTHONHASHSEED must not reorder the generated steps."""
+        script = (
+            "import json\n"
+            "from repro.sustain import CarbonTrace\n"
+            "tr = CarbonTrace.diurnal(seed=3)\n"
+            "dk = CarbonTrace.duck_curve(seed=3)\n"
+            "print(json.dumps([tr.gco2_per_kwh, tr.usd_per_kwh,\n"
+            "                  dk.gco2_per_kwh, dk.usd_per_kwh]))\n"
+        )
+        outs = []
+        for hash_seed in ("0", "4242"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": hash_seed},
+            )
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1]
+        json.loads(outs[0])  # and it is well-formed
+
+
+class TestCsvRoundTrip:
+    def test_from_csv_reproduces_generated_trace(self, tmp_path):
+        tr = CarbonTrace.duck_curve(seed=5, name="duck")
+        path = tmp_path / "duck.csv"
+        lines = ["time_s,gco2_per_kwh,usd_per_kwh"]
+        for i, (g, u) in enumerate(zip(tr.gco2_per_kwh, tr.usd_per_kwh)):
+            lines.append(f"{i * tr.step_s},{g},{u}")
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        back = CarbonTrace.from_csv(str(path), name="duck")
+        assert back == tr
+
+
+class TestCarbonMath:
+    def test_carbon_from_samples_trapezoid_times_intensity(self):
+        from repro.telemetry.sampler import PowerSample
+
+        tr = CarbonTrace.constant(360.0, usd_per_kwh=0.36)
+        # Two samples 10 s apart at a constant 100 W = 1000 J.
+        samples = [PowerSample(0.0, 100.0, "decode"),
+                   PowerSample(10.0, 100.0, "decode")]
+        grams, usd = carbon_from_samples(samples, tr)
+        assert grams == pytest.approx(1000.0 / J_PER_KWH * 360.0)
+        assert usd == pytest.approx(1000.0 / J_PER_KWH * 0.36)
+
+    def test_carbon_g_scales_linearly_with_energy(self):
+        tr = CarbonTrace.constant(400.0)
+        assert tr.carbon_g(J_PER_KWH, 0.0) == pytest.approx(400.0)
+        assert tr.carbon_g(J_PER_KWH / 2, 0.0) == pytest.approx(200.0)
+
+
+class TestDeferral:
+    def test_defers_toward_cleaner_step_deterministically(self):
+        from repro.cluster.workload import (as_cluster_requests,
+                                            poisson_workload)
+
+        tr = CarbonTrace(name="two-step", step_s=60.0,
+                         gco2_per_kwh=(500.0, 100.0),
+                         usd_per_kwh=(0.1, 0.1))
+
+        def build():
+            reqs = as_cluster_requests(
+                poisson_workload(0.5, 12, input_tokens=16,
+                                 output_tokens=16, seed=2))
+            moved = defer_arrivals(reqs, tr, max_defer_s=120.0)
+            return moved, [r.arrival_s for r in reqs]
+
+        moved_a, arrivals_a = build()
+        moved_b, arrivals_b = build()
+        assert moved_a == moved_b and arrivals_a == arrivals_b
+        assert moved_a > 0
+        # Deferred arrivals land inside the clean step, never past the
+        # deferral budget, and the list stays sorted for the DES.
+        assert arrivals_a == sorted(arrivals_a)
+
+    def test_no_op_when_budget_is_zero(self):
+        from repro.cluster.workload import (as_cluster_requests,
+                                            poisson_workload)
+
+        tr = CarbonTrace(name="two-step", step_s=60.0,
+                         gco2_per_kwh=(500.0, 100.0),
+                         usd_per_kwh=(0.1, 0.1))
+        reqs = as_cluster_requests(poisson_workload(0.5, 8, seed=2))
+        before = [r.arrival_s for r in reqs]
+        assert defer_arrivals(reqs, tr, max_defer_s=0.0) == 0
+        assert [r.arrival_s for r in reqs] == before

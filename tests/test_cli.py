@@ -206,3 +206,34 @@ def test_chaos_accepts_kv_policy(capsys):
                "8", "--kv-policy", "swap-lifo", "--crash-rate", "0.5"])
     assert rc == 0
     assert "cache_key=" in capsys.readouterr().out
+
+
+def test_sustain_sweep_bit_reproducible(tmp_path, capsys):
+    args = ["sustain", "--requests", "10", "--scenarios", "two-region",
+            "--cascades", "off"]
+    assert main(args + ["--csv", str(tmp_path / "a.csv")]) == 0
+    first = capsys.readouterr().out
+    assert main(args + ["--csv", str(tmp_path / "b.csv")]) == 0
+    second = capsys.readouterr().out
+    assert "carbon-aware" in first and "cache_key=" in first
+    assert first.replace("a.csv", "b.csv") == second
+    assert (tmp_path / "a.csv").read_bytes() == (tmp_path / "b.csv").read_bytes()
+
+
+def test_sustain_rejects_unknown_scenario(capsys):
+    assert main(["sustain", "--scenarios", "mars"]) == 1
+    assert "scenario" in capsys.readouterr().err
+
+
+def test_plan_carbon_flag_adds_column(capsys):
+    assert main(["plan", "--carbon-gco2", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "g_per_token" in out
+
+
+def test_fairness_accepts_power_modes(capsys):
+    rc = main(["fairness", "--schedulers", "fcfs,vtc", "--mixes", "flood",
+               "--power-modes", "MAXN,B", "--interactions", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "power_mode" in out and "cache_key=" in out
